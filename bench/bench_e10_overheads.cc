@@ -1,0 +1,58 @@
+// E10 — Mechanism overheads table (suspend / resume / migrate).
+// Per-model operation latencies from the cost model, the implied overhead of
+// one suspend+resume cycle per 60s quantum, and the measured end-to-end
+// overhead fraction from a time-sliced run.
+#include <iostream>
+
+#include "analysis/harness.h"
+#include "common/table.h"
+
+using namespace gfair;
+
+int main() {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  analysis::Experiment probe(config);
+  probe.users().Create("probe");
+  probe.UseGandivaFair({});
+  auto& exec = probe.exec();
+
+  Table table({"model", "ckpt GB", "suspend", "resume", "migrate",
+               "cycle/quantum overhead"});
+  for (const auto& model : probe.zoo().models()) {
+    const SimDuration suspend = exec.SuspendLatency(model.id);
+    const SimDuration resume = exec.ResumeLatency(model.id);
+    const SimDuration migrate = exec.MigrateLatency(model.id);
+    table.BeginRow()
+        .Cell(model.name)
+        .Cell(model.checkpoint_gb, 1)
+        .Cell(FormatDouble(ToSeconds(suspend), 1) + "s")
+        .Cell(FormatDouble(ToSeconds(resume), 1) + "s")
+        .Cell(FormatDouble(ToSeconds(migrate), 1) + "s")
+        .Cell(FormatDouble(
+                  static_cast<double>(suspend + resume) / Minutes(1) * 100.0, 1) +
+              "%");
+  }
+  table.Report("E10: per-model suspend/resume/migration latencies", "e10_overheads");
+
+  // Measured end-to-end overhead: 2:1 oversubscription, 6h of time slicing.
+  analysis::Experiment exp(config);
+  auto& user = exp.users().Create("u");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(kTimeZero, user.id, i % 2 == 0 ? "DCGAN" : "LSTM-LM", 1, Hours(2000));
+  }
+  exp.Run(Hours(6));
+  double overhead_ms = 0.0;
+  double gpu_ms = 0.0;
+  int suspends = 0;
+  for (const auto* job : exp.jobs().All()) {
+    overhead_ms += static_cast<double>(job->overhead_ms);
+    gpu_ms += job->TotalGpuMs();
+    suspends += job->num_suspends;
+  }
+  std::cout << "Measured: 8 jobs on 4 GPUs for 6h -> " << suspends << " suspends, "
+            << FormatDouble(overhead_ms / gpu_ms * 100.0, 2)
+            << "% of GPU time lost to suspend/resume (quantum = 60s).\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E11 — Scheduler decision latency (google-benchmark).
+// Wall-clock cost of the scheduler's hot operations as the cluster scales:
+// local stride selection, a full cluster quantum tick, and a trading epoch.
+// The paper's claim is that split-stride scheduling keeps per-decision cost
+// trivially small at 200-GPU scale.
+#include <benchmark/benchmark.h>
+
+#include "analysis/harness.h"
+#include "sched/stride.h"
+#include "sched/trade.h"
+
+using namespace gfair;
+
+namespace {
+
+void BM_StrideSelectForQuantum(benchmark::State& state) {
+  const int num_jobs = static_cast<int>(state.range(0));
+  sched::LocalStrideScheduler stride(8);
+  Rng rng(1);
+  for (int i = 0; i < num_jobs; ++i) {
+    const int gang = 1 << rng.UniformInt(0, 3);
+    stride.AddJob(JobId(i), gang, rng.Uniform(0.1, 2.0));
+  }
+  for (auto _ : state) {
+    auto selected = stride.SelectForQuantum();
+    benchmark::DoNotOptimize(selected);
+    for (JobId id : selected) {
+      stride.Charge(id, 60'000);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * num_jobs);
+}
+BENCHMARK(BM_StrideSelectForQuantum)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+// One full quantum tick across the whole cluster, 2x oversubscribed.
+void BM_ClusterQuantumTick(benchmark::State& state) {
+  const int num_servers = static_cast<int>(state.range(0));
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(num_servers, 8);
+  analysis::Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < num_servers * 16; ++i) {
+    exp.SubmitAt(kTimeZero, i % 2 == 0 ? a.id : b.id, "DCGAN", 1, Hours(100000));
+  }
+  exp.Run(Minutes(2));
+  SimTime now = exp.sim().Now();
+  for (auto _ : state) {
+    now += Minutes(1);
+    exp.Run(now);  // exactly one quantum tick (plus its suspend/resume churn)
+  }
+  state.SetLabel(std::to_string(num_servers * 8) + " GPUs");
+}
+BENCHMARK(BM_ClusterQuantumTick)->Arg(1)->Arg(4)->Arg(25)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_TradeEpoch(benchmark::State& state) {
+  const int num_users = static_cast<int>(state.range(0));
+  sched::TradeInputs inputs;
+  Rng rng(3);
+  for (int u = 0; u < num_users; ++u) {
+    inputs.active_users.push_back(UserId(u));
+    inputs.base_tickets[UserId(u)] = 1.0;
+    inputs.total_demand_gpus[UserId(u)] = rng.Uniform(10.0, 100.0);
+  }
+  inputs.pool_sizes = {48, 40, 48, 64};
+  std::vector<double> speedups(num_users);
+  for (auto& speedup : speedups) {
+    speedup = rng.Uniform(1.1, 6.0);
+  }
+  inputs.user_speedup = [&speedups](UserId user, cluster::GpuGeneration fast,
+                                    cluster::GpuGeneration slow, double* out) {
+    const double base = speedups[user.value()];
+    const double span = static_cast<double>(cluster::GenerationIndex(fast)) -
+                        static_cast<double>(cluster::GenerationIndex(slow));
+    *out = 1.0 + (base - 1.0) * span / 3.0;
+    return true;
+  };
+  sched::TradingEngine engine(sched::TradeConfig{});
+  for (auto _ : state) {
+    auto outcome = engine.ComputeEpoch(inputs);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_TradeEpoch)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// End-to-end simulation throughput: simulated hours per wall second at paper
+// scale (also a smoke test that 200-GPU runs are cheap to reproduce).
+void BM_PaperScaleSimHour(benchmark::State& state) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::PaperScaleTopology();
+  analysis::Experiment exp(config);
+  std::vector<UserId> users;
+  for (int u = 0; u < 8; ++u) {
+    users.push_back(exp.users().Create("u" + std::to_string(u)).id);
+  }
+  exp.UseGandivaFair({});
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    exp.SubmitAt(Minutes(rng.UniformInt(0, 59)), users[i % 8], "DCGAN",
+                 1 << rng.UniformInt(0, 2), Hours(100000));
+  }
+  exp.Run(Hours(1));
+  SimTime now = exp.sim().Now();
+  for (auto _ : state) {
+    now += Hours(1);
+    exp.Run(now);
+  }
+  state.SetLabel("simulated hour per iteration, 200 GPUs / 400 jobs");
+}
+BENCHMARK(BM_PaperScaleSimHour)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,215 @@
+// E12 — Ablations over GandivaFair's design knobs.
+// (a) fairness scenario (E2 shape) with gang-awareness knobs and quantum
+//     lengths varied: max per-user deviation from entitled share + overhead;
+// (b) trading scenario (E8 shape) with the trade-rate rule varied and the
+//     residency-rebalancing migrations capped at zero.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/harness.h"
+#include "analysis/metrics.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+using namespace gfair;
+
+namespace {
+
+struct FairnessResult {
+  double max_share_deviation;  // vs 2:2:4 entitlement on 8 GPUs
+  double overhead_pct;
+  int64_t migrations;
+};
+
+FairnessResult RunFairness(const sched::GandivaFairConfig& sched_config) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  analysis::Experiment exp(config);
+  auto& u1 = exp.users().Create("u1", 1.0);
+  auto& u2 = exp.users().Create("u2", 1.0);
+  auto& u3 = exp.users().Create("u3", 2.0);
+  exp.UseGandivaFair(sched_config);
+  exp.SubmitAt(kTimeZero, u1.id, "ResNet-50", 8, Hours(2000));
+  exp.SubmitAt(kTimeZero, u2.id, "DCGAN", 4, Hours(2000));
+  exp.SubmitAt(kTimeZero, u2.id, "LSTM-LM", 4, Hours(2000));
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(kTimeZero, u3.id, "SuperResolution", 1, Hours(2000));
+  }
+  const SimTime horizon = Hours(8);
+  exp.Run(horizon);
+
+  FairnessResult result;
+  const double expected[3] = {16.0, 16.0, 32.0};
+  const UserId ids[3] = {u1.id, u2.id, u3.id};
+  result.max_share_deviation = 0.0;
+  for (int u = 0; u < 3; ++u) {
+    const double hours = exp.ledger().GpuMs(ids[u], kTimeZero, horizon) / kHour;
+    result.max_share_deviation = std::max(
+        result.max_share_deviation, std::abs(hours - expected[u]) / expected[u]);
+  }
+  double overhead_ms = 0.0;
+  double gpu_ms = 0.0;
+  for (const auto* job : exp.jobs().All()) {
+    overhead_ms += static_cast<double>(job->overhead_ms);
+    gpu_ms += job->TotalGpuMs();
+  }
+  result.overhead_pct = overhead_ms / gpu_ms * 100.0;
+  result.migrations = exp.gandiva()->migrations_started();
+  return result;
+}
+
+// E12c: service quality for a late-arriving 8-gang under a dense stream of
+// small jobs — the scenario where the gang-awareness knobs matter.
+struct GangResult {
+  double first_service_min;  // minutes until the gang first holds GPUs
+  double gang_gpu_hours;     // its GPU time over the run
+};
+
+GangResult RunGangChurn(analysis::Policy policy,
+                        const sched::GandivaFairConfig& sched_config) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  config.seed = 5;
+  analysis::Experiment exp(config);
+  auto& gang_user = exp.users().Create("gang-user", 1.0);
+  auto& stream_user = exp.users().Create("stream-user", 1.0);
+  exp.UsePolicy(policy, &sched_config);
+
+  const SimTime horizon = Hours(4);
+  const JobId gang =
+      exp.SubmitAt(Minutes(30), gang_user.id, "ResNet-50", 8, Hours(2000));
+  Rng rng(7);
+  SimTime t = kTimeZero;
+  while (t < horizon) {
+    exp.SubmitAt(t, stream_user.id, "DCGAN", 1, Minutes(94));
+    t += static_cast<SimDuration>(rng.Exponential(static_cast<double>(Minutes(2))));
+  }
+
+  GangResult result{-1.0, 0.0};
+  for (SimTime now = Minutes(31); now <= horizon; now += Minutes(1)) {
+    exp.Run(now);
+    if (result.first_service_min < 0 && exp.jobs().Get(gang).TotalGpuMs() > 0) {
+      result.first_service_min = ToMinutes(now - Minutes(30));
+    }
+  }
+  result.gang_gpu_hours = exp.jobs().Get(gang).TotalGpuMs() / kHour;
+  return result;
+}
+
+struct TradeResult {
+  double lender_gain;
+  double borrower_gain;
+  double total_gain;
+};
+
+TradeResult RunTrade(const sched::GandivaFairConfig& sched_config) {
+  auto run = [&](bool trading) {
+    analysis::ExperimentConfig config;
+    config.topology = cluster::Topology{{
+        {cluster::GpuGeneration::kK80, 2, 8},
+        {cluster::GpuGeneration::kV100, 2, 8},
+    }};
+    config.seed = 11;
+    analysis::Experiment exp(config);
+    auto& vae = exp.users().Create("vae", 1.0);
+    auto& rex = exp.users().Create("rex", 1.0);
+    auto cfg = sched_config;
+    cfg.enable_trading = trading;
+    exp.UseGandivaFair(cfg);
+    for (int i = 0; i < 24; ++i) {
+      exp.SubmitAt(Minutes(2 * i), vae.id, "VAE", 1, Hours(60));
+      exp.SubmitAt(Minutes(2 * i + 1), rex.id, "ResNeXt-50", 1, Hours(60));
+    }
+    exp.Run(Hours(8));
+    const auto summaries = analysis::SummarizeUsers(
+        exp.jobs(), exp.users(), exp.ledger(), exp.zoo(), kTimeZero, Hours(8));
+    return std::pair<double, double>(summaries[0].useful_k80_gpu_hours,
+                                     summaries[1].useful_k80_gpu_hours);
+  };
+  const auto [vae_no, rex_no] = run(false);
+  const auto [vae_yes, rex_yes] = run(true);
+  return TradeResult{vae_yes / vae_no, rex_yes / rex_no,
+                     (vae_yes + rex_yes) / (vae_no + rex_no)};
+}
+
+}  // namespace
+
+int main() {
+  Table fairness({"variant", "max share deviation", "overhead %", "migrations"});
+  auto add_fairness = [&](const char* name, const sched::GandivaFairConfig& cfg) {
+    const FairnessResult result = RunFairness(cfg);
+    fairness.BeginRow()
+        .Cell(name)
+        .Cell(result.max_share_deviation, 4)
+        .Cell(result.overhead_pct, 2)
+        .Cell(result.migrations);
+  };
+  sched::GandivaFairConfig defaults;
+  add_fairness("default (quantum 60s, gang-aware)", defaults);
+
+  sched::GandivaFairConfig no_big_first = defaults;
+  no_big_first.stride.big_job_first = false;
+  add_fairness("big_job_first off", no_big_first);
+
+  sched::GandivaFairConfig no_reserve = defaults;
+  no_reserve.stride.reserve_blocked_gang = false;
+  add_fairness("reserve_blocked_gang off", no_reserve);
+
+  sched::GandivaFairConfig plain = defaults;
+  plain.stride.big_job_first = false;
+  plain.stride.reserve_blocked_gang = false;
+  add_fairness("plain stride (both off)", plain);
+
+  for (double quantum_s : {30.0, 120.0, 300.0}) {
+    sched::GandivaFairConfig cfg = defaults;
+    cfg.quantum = Seconds(quantum_s);
+    const std::string name = "quantum " + FormatDouble(quantum_s, 0) + "s";
+    add_fairness(name.c_str(), cfg);
+  }
+  fairness.Report("E12a: fairness/overhead ablations (E2 scenario, tickets 1:1:2)",
+                  "e12_ablations_fairness");
+
+  Table gang({"variant", "gang first service (min)", "gang GPU-h (3.5h window)"});
+  auto add_gang = [&](const char* name, analysis::Policy policy,
+                      const sched::GandivaFairConfig& cfg) {
+    const GangResult result = RunGangChurn(policy, cfg);
+    gang.BeginRow()
+        .Cell(name)
+        .Cell(result.first_service_min < 0 ? "never" : FormatDouble(result.first_service_min, 0))
+        .Cell(result.gang_gpu_hours, 1);
+  };
+  add_gang("gang-aware (default)", analysis::Policy::kGandivaFair, defaults);
+  add_gang("big_job_first off", analysis::Policy::kGandivaFair, no_big_first);
+  add_gang("reserve_blocked_gang off", analysis::Policy::kGandivaFair, no_reserve);
+  add_gang("plain stride (both off)", analysis::Policy::kGandivaFair, plain);
+  add_gang("EfficiencyGreedy (run-to-completion)", analysis::Policy::kEfficiencyGreedy,
+           defaults);
+  gang.Report("E12c: late 8-gang vs dense 1-GPU stream (1x8 V100, 4h)",
+              "e12_ablations_gang");
+
+  Table trade({"variant", "lender gain", "borrower gain", "total gain"});
+  auto add_trade = [&](const char* name, const sched::GandivaFairConfig& cfg) {
+    const TradeResult result = RunTrade(cfg);
+    trade.BeginRow()
+        .Cell(name)
+        .Cell(FormatDouble(result.lender_gain, 2) + "x")
+        .Cell(FormatDouble(result.borrower_gain, 2) + "x")
+        .Cell(FormatDouble(result.total_gain, 2) + "x");
+  };
+  add_trade("rate = borrower speedup (paper)", defaults);
+
+  sched::GandivaFairConfig geo = defaults;
+  geo.trade.rate_rule = sched::TradeConfig::RateRule::kGeometricMean;
+  add_trade("rate = geometric mean", geo);
+
+  sched::GandivaFairConfig no_rebalance = defaults;
+  no_rebalance.max_trade_migrations = 0;
+  add_trade("no residency rebalancing", no_rebalance);
+  trade.Report("E12b: trading ablations (E8 scenario)", "e12_ablations_trade");
+
+  std::cout << "Shape check: fairness holds across quanta; overhead grows as the\n"
+               "quantum shrinks. The geometric-mean rate makes BOTH parties gain;\n"
+               "without residency rebalancing only newly-placed jobs can follow the\n"
+               "traded entitlements, so the lender's gain shrinks.\n";
+  return 0;
+}

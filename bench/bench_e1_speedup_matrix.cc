@@ -1,0 +1,86 @@
+// E1 — Variable marginal utility across GPU generations (motivation
+// figure/table). For every model in the zoo, runs one 1-GPU job per
+// generation in the simulator, measures mini-batch throughput, and prints
+// the speedup over K80. The spread (~1.2x to ~5.9x at V100) is the paper's
+// case for resource trading.
+#include <iostream>
+
+#include "analysis/harness.h"
+#include "common/table.h"
+
+using namespace gfair;
+
+int main() {
+  analysis::ExperimentConfig config;
+  // One server of each generation; each model gets a dedicated GPU per run.
+  config.topology = cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 1, 8},
+      {cluster::GpuGeneration::kP40, 1, 8},
+      {cluster::GpuGeneration::kP100, 1, 8},
+      {cluster::GpuGeneration::kV100, 1, 8},
+  }};
+
+  const auto& zoo = workload::ModelZoo::Default();
+  Table table({"model", "K80 mb/s", "P40 x", "P100 x", "V100 x", "measured V100 x"});
+
+  for (const auto& model : zoo.models()) {
+    if (!model.FitsGeneration(cluster::GpuGeneration::kK80)) {
+      // Memory-infeasible on the baseline generation (e.g. MegaLM's 14 GB >
+      // K80's 12 GB) — report the declared matrix only.
+      table.BeginRow()
+          .Cell(model.name + " (>K80 mem)")
+          .Cell(model.throughput[cluster::GenerationIndex(cluster::GpuGeneration::kK80)], 1)
+          .Cell(model.SpeedupOver(cluster::GpuGeneration::kP40, cluster::GpuGeneration::kK80), 2)
+          .Cell(model.SpeedupOver(cluster::GpuGeneration::kP100, cluster::GpuGeneration::kK80), 2)
+          .Cell(model.SpeedupOver(cluster::GpuGeneration::kV100, cluster::GpuGeneration::kK80), 2)
+          .Cell("--");
+      continue;
+    }
+    // Measured column: run the job alone on K80 and V100, compare progress.
+    double measured[2] = {0.0, 0.0};
+    const cluster::GpuGeneration gens[2] = {cluster::GpuGeneration::kK80,
+                                            cluster::GpuGeneration::kV100};
+    for (int g = 0; g < 2; ++g) {
+      analysis::Experiment exp(config);
+      auto& user = exp.users().Create("probe");
+      sched::GandivaFairConfig sched_config;
+      sched_config.enable_trading = false;
+      exp.UseGandivaFair(sched_config);
+      const JobId id = exp.SubmitWorkAt(kTimeZero, user.id, model.id, 1, 1e12);
+      // Pin the job to the desired generation by migrating it there.
+      exp.Run(kSecond);
+      if (exp.cluster().server(exp.jobs().Get(id).server).generation() != gens[g]) {
+        // Submit placement prefers the fastest pool; for K80 measure, use a
+        // fresh experiment with a K80-only cluster instead.
+        analysis::ExperimentConfig solo;
+        solo.topology = cluster::HomogeneousTopology(1, 8, gens[g]);
+        analysis::Experiment pinned(solo);
+        auto& pinned_user = pinned.users().Create("probe");
+        pinned.UseGandivaFair(sched_config);
+        const JobId pinned_id =
+            pinned.SubmitWorkAt(kTimeZero, pinned_user.id, model.id, 1, 1e12);
+        pinned.Run(Hours(2));
+        measured[g] =
+            pinned.jobs().Get(pinned_id).completed_minibatches / ToSeconds(Hours(2));
+        continue;
+      }
+      exp.Run(Hours(2));
+      measured[g] = exp.jobs().Get(id).completed_minibatches / ToSeconds(Hours(2));
+    }
+
+    const double k80 = model.throughput[cluster::GenerationIndex(cluster::GpuGeneration::kK80)];
+    table.BeginRow()
+        .Cell(model.name)
+        .Cell(k80, 1)
+        .Cell(model.SpeedupOver(cluster::GpuGeneration::kP40, cluster::GpuGeneration::kK80), 2)
+        .Cell(model.SpeedupOver(cluster::GpuGeneration::kP100, cluster::GpuGeneration::kK80), 2)
+        .Cell(model.SpeedupOver(cluster::GpuGeneration::kV100, cluster::GpuGeneration::kK80), 2)
+        .Cell(measured[1] / measured[0], 2);
+  }
+
+  table.Report("E1: per-model throughput across GPU generations (speedup vs K80)",
+               "e1_speedup_matrix");
+  std::cout << "Shape check: speedups span ~1.2x (VAE) to ~5.9x (ResNeXt-50), the\n"
+               "variable marginal utility that motivates trading.\n";
+  return 0;
+}

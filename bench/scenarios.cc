@@ -1,0 +1,111 @@
+#include "bench/scenarios.h"
+
+#include "common/check.h"
+
+namespace gfair::bench {
+
+RunOutcome RunScenario(analysis::Policy policy, const cluster::Topology& topology,
+                       const std::vector<workload::UserWorkloadSpec>& specs,
+                       SimTime horizon, uint64_t seed,
+                       const sched::GandivaFairConfig* config, SimTime measure_from) {
+  analysis::ExperimentConfig exp_config;
+  exp_config.topology = topology;
+  exp_config.seed = seed;
+  analysis::Experiment exp(exp_config);
+
+  std::vector<UserId> user_ids;
+  std::vector<double> tickets;
+  for (const auto& spec : specs) {
+    const auto& user = exp.users().Create(spec.name, spec.tickets);
+    user_ids.push_back(user.id);
+    tickets.push_back(spec.tickets);
+  }
+  exp.UsePolicy(policy, config);
+
+  workload::TraceGenerator gen(exp.zoo(), seed);
+  exp.LoadTrace(gen.Generate(specs, user_ids));
+  exp.Run(horizon);
+
+  RunOutcome outcome;
+  outcome.policy = analysis::PolicyName(policy);
+  outcome.users = analysis::SummarizeUsers(exp.jobs(), exp.users(), exp.ledger(),
+                                           exp.zoo(), measure_from, horizon);
+  // Policy-independent ideal: ticket-weighted water-filling of the whole
+  // cluster against each user's aggregate demand series.
+  const auto ideal = exp.IdealGpuMs(measure_from, horizon);
+  for (size_t i = 0; i < outcome.users.size(); ++i) {
+    outcome.ideal_gpu_hours.push_back(ideal[i] / kHour);
+    if (ideal[i] > 0.0) {
+      outcome.achieved_ratio.push_back(outcome.users[i].gpu_hours / (ideal[i] / kHour));
+    }
+    outcome.total_gpu_hours += outcome.users[i].gpu_hours;
+    outcome.total_useful_work += outcome.users[i].useful_k80_gpu_hours;
+    outcome.jobs_finished += outcome.users[i].jobs_finished;
+    outcome.jobs_total += outcome.users[i].jobs_total;
+  }
+  outcome.jain = JainIndex(outcome.achieved_ratio);
+  outcome.pool_utilization = analysis::PoolUtilization(exp.ledger(), exp.users(),
+                                                       exp.cluster(), measure_from,
+                                                       horizon);
+  outcome.jct = analysis::ComputeJct(exp.jobs());
+  if (auto* gandiva = exp.gandiva()) {
+    outcome.migrations = gandiva->migrations_started();
+    outcome.trades = gandiva->executed_trades().size();
+  }
+  return outcome;
+}
+
+void AppendUserRows(Table& table, const RunOutcome& outcome) {
+  for (size_t i = 0; i < outcome.users.size(); ++i) {
+    const auto& user = outcome.users[i];
+    const double ideal = outcome.ideal_gpu_hours[i];
+    table.BeginRow()
+        .Cell(outcome.policy)
+        .Cell(user.name)
+        .Cell(user.tickets, 1)
+        .Cell(user.gpu_hours, 1)
+        .Cell(ideal, 1)
+        .Cell(ideal > 0 ? user.gpu_hours / ideal : 1.0, 3)
+        .Cell(user.useful_k80_gpu_hours, 1)
+        .Cell(static_cast<int64_t>(user.jobs_finished))
+        .Cell(user.mean_jct_minutes, 1);
+  }
+}
+
+std::vector<workload::UserWorkloadSpec> ClusterUserSpecs(SimTime horizon,
+                                                         double load_scale) {
+  GFAIR_CHECK(load_scale > 0.0);
+  // Model mixes span the marginal-utility spectrum: users 0-1 run models that
+  // barely benefit from fast GPUs, users 6-7 run the most speedup-hungry
+  // models, the middle is mixed. Users 3 and 6 carry double tickets.
+  struct UserSpec {
+    const char* name;
+    double tickets;
+    std::vector<std::pair<std::string, double>> mix;
+  };
+  const std::vector<UserSpec> bases = {
+      {"vae-lab", 1.0, {{"VAE", 3.0}, {"SuperResolution", 1.0}}},
+      {"audio-lab", 1.0, {{"DeepSpeech2", 1.0}, {"GRU-LM", 1.0}, {"LSTM-LM", 1.0}}},
+      {"gan-lab", 1.0, {{"DCGAN", 2.0}, {"SuperResolution", 1.0}}},
+      {"mixed-a", 2.0, {{"ResNet-18", 1.0}, {"LSTM-LM", 1.0}, {"DCGAN", 1.0}}},
+      {"mixed-b", 1.0, {{"InceptionV3", 1.0}, {"GRU-LM", 1.0}}},
+      {"vision-a", 1.0, {{"ResNet-50", 2.0}, {"InceptionV3", 1.0}}},
+      {"vision-b", 2.0, {{"ResNeXt-50", 2.0}, {"ResNet-50", 1.0}}},
+      {"nlp-lab", 1.0, {{"Transformer", 3.0}, {"ResNeXt-50", 1.0}}},
+  };
+  std::vector<workload::UserWorkloadSpec> specs;
+  for (const auto& base : bases) {
+    workload::UserWorkloadSpec spec;
+    spec.name = base.name;
+    spec.tickets = base.tickets;
+    spec.model_mix = base.mix;
+    spec.mean_interarrival = static_cast<SimDuration>(Minutes(10) / load_scale);
+    spec.mean_duration_k80 = Hours(4);
+    spec.duration_sigma = 1.0;
+    spec.stop = horizon;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace gfair::bench

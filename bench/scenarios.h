@@ -1,0 +1,54 @@
+// Shared scenario plumbing for the experiment benches (E1-E12).
+#ifndef GFAIR_BENCH_SCENARIOS_H_
+#define GFAIR_BENCH_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/fairshare.h"
+#include "analysis/harness.h"
+#include "analysis/metrics.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/trace_gen.h"
+
+namespace gfair::bench {
+
+// A multi-user run's distilled results.
+struct RunOutcome {
+  std::string policy;
+  std::vector<analysis::UserSummary> users;
+  std::vector<double> ideal_gpu_hours;   // per user, demand-capped fair share
+  std::vector<double> achieved_ratio;    // achieved / ideal (users with ideal>0)
+  double jain = 1.0;                     // over achieved ratios
+  double total_gpu_hours = 0.0;
+  double total_useful_work = 0.0;        // K80-GPU-hours
+  cluster::PerGeneration<double> pool_utilization{};
+  int jobs_finished = 0;
+  int jobs_total = 0;
+  int64_t migrations = 0;
+  size_t trades = 0;
+  analysis::JctStats jct;  // over all finished jobs
+};
+
+// Runs `policy` over the given user specs/trace on `topology` until
+// `horizon`, measuring over [measure_from, horizon).
+RunOutcome RunScenario(analysis::Policy policy, const cluster::Topology& topology,
+                       const std::vector<workload::UserWorkloadSpec>& specs,
+                       SimTime horizon, uint64_t seed,
+                       const sched::GandivaFairConfig* config = nullptr,
+                       SimTime measure_from = kTimeZero);
+
+// Renders the per-user block of a RunOutcome into `table` (one row per user).
+void AppendUserRows(Table& table, const RunOutcome& outcome);
+
+// The 8-user mix used by the cluster-scale experiments (E6/E9): tickets
+// mostly 1 with two heavier users, per-user model mixes spanning the speedup
+// spectrum (low-speedup users first, high-speedup last).
+std::vector<workload::UserWorkloadSpec> ClusterUserSpecs(SimTime horizon,
+                                                         double load_scale = 1.0);
+
+}  // namespace gfair::bench
+
+#endif  // GFAIR_BENCH_SCENARIOS_H_

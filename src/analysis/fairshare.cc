@@ -1,0 +1,132 @@
+#include "analysis/fairshare.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gfair::analysis {
+
+std::vector<double> WaterFill(double capacity, const std::vector<double>& tickets,
+                              const std::vector<double>& demands) {
+  GFAIR_CHECK(tickets.size() == demands.size());
+  const size_t n = tickets.size();
+  std::vector<double> allocation(n, 0.0);
+  std::vector<bool> capped(n, false);
+  double remaining = capacity;
+
+  // Iteratively: split remaining capacity proportionally among uncapped
+  // users; cap anyone whose proportional share exceeds their residual
+  // demand; repeat. Terminates in <= n rounds.
+  for (size_t round = 0; round < n; ++round) {
+    double active_tickets = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!capped[i] && demands[i] - allocation[i] > 1e-12) {
+        active_tickets += tickets[i];
+      }
+    }
+    if (active_tickets <= 0.0 || remaining <= 1e-12) {
+      break;
+    }
+    bool any_capped = false;
+    double distributed = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (capped[i] || demands[i] - allocation[i] <= 1e-12) {
+        continue;
+      }
+      const double share = remaining * tickets[i] / active_tickets;
+      const double residual = demands[i] - allocation[i];
+      if (share >= residual) {
+        allocation[i] += residual;
+        distributed += residual;
+        capped[i] = true;
+        any_capped = true;
+      }
+    }
+    if (!any_capped) {
+      // Nobody capped: everyone absorbs their proportional share exactly.
+      for (size_t i = 0; i < n; ++i) {
+        if (!capped[i] && demands[i] - allocation[i] > 1e-12) {
+          allocation[i] += remaining * tickets[i] / active_tickets;
+        }
+      }
+      remaining = 0.0;
+      break;
+    }
+    remaining -= distributed;
+  }
+  return allocation;
+}
+
+std::vector<double> IdealGpuMs(double capacity, SimTime from, SimTime to,
+                               const std::vector<UserShareInput>& users) {
+  GFAIR_CHECK(from <= to);
+  const size_t n = users.size();
+  std::vector<double> result(n, 0.0);
+  if (n == 0 || from == to || capacity <= 0.0) {
+    return result;
+  }
+
+  // Union of all demand breakpoints inside the window.
+  std::vector<SimTime> breakpoints;
+  breakpoints.push_back(from);
+  for (const auto& user : users) {
+    GFAIR_CHECK(user.demand != nullptr);
+    for (const auto& point : user.demand->points()) {
+      if (point.time > from && point.time < to) {
+        breakpoints.push_back(point.time);
+      }
+    }
+  }
+  breakpoints.push_back(to);
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+
+  std::vector<double> tickets(n);
+  for (size_t i = 0; i < n; ++i) {
+    tickets[i] = users[i].tickets;
+  }
+
+  std::vector<double> demands(n);
+  for (size_t seg = 0; seg + 1 < breakpoints.size(); ++seg) {
+    const SimTime start = breakpoints[seg];
+    const SimTime end = breakpoints[seg + 1];
+    for (size_t i = 0; i < n; ++i) {
+      demands[i] = users[i].demand->ValueAt(start, 0.0);
+    }
+    const std::vector<double> allocation = WaterFill(capacity, tickets, demands);
+    const double duration = static_cast<double>(end - start);
+    for (size_t i = 0; i < n; ++i) {
+      result[i] += allocation[i] * duration;
+    }
+  }
+  return result;
+}
+
+std::vector<double> IdealClusterGpuMs(const cluster::Cluster& cluster,
+                                      const sched::FairnessLedger& ledger,
+                                      const std::vector<UserId>& user_ids,
+                                      const std::vector<double>& tickets, SimTime from,
+                                      SimTime to) {
+  GFAIR_CHECK(user_ids.size() == tickets.size());
+  std::vector<double> totals(user_ids.size(), 0.0);
+  for (cluster::GpuGeneration gen : cluster::kAllGenerations) {
+    const int pool = cluster.total_gpus(gen);
+    if (pool == 0) {
+      continue;
+    }
+    std::vector<UserShareInput> inputs;
+    inputs.reserve(user_ids.size());
+    for (size_t i = 0; i < user_ids.size(); ++i) {
+      inputs.push_back(UserShareInput{user_ids[i], tickets[i],
+                                      &ledger.DemandSeries(user_ids[i], gen)});
+    }
+    const std::vector<double> pool_ideal = IdealGpuMs(pool, from, to, inputs);
+    for (size_t i = 0; i < totals.size(); ++i) {
+      totals[i] += pool_ideal[i];
+    }
+  }
+  return totals;
+}
+
+}  // namespace gfair::analysis

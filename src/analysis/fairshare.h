@@ -1,0 +1,47 @@
+// Ideal fair-share computation (demand-capped GPS / water-filling).
+//
+// Given each user's tickets and piecewise-constant GPU demand, computes the
+// GPU time an idealized fluid fair scheduler would have delivered: in every
+// instant, pool capacity is split proportionally to tickets among users with
+// demand, capping each user at its demand and redistributing the excess
+// (work conservation). Experiments compare achieved GPU time against this.
+#ifndef GFAIR_ANALYSIS_FAIRSHARE_H_
+#define GFAIR_ANALYSIS_FAIRSHARE_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "sched/ledger.h"
+#include "simkit/timeseries.h"
+
+namespace gfair::analysis {
+
+struct UserShareInput {
+  UserId id;
+  double tickets;
+  const simkit::TimeSeries* demand;  // GPUs demanded over time
+};
+
+// Instantaneous water-filled allocation for one snapshot of demands.
+// Exposed for unit testing; returns per-user GPUs (same order as inputs).
+std::vector<double> WaterFill(double capacity, const std::vector<double>& tickets,
+                              const std::vector<double>& demands);
+
+// Ideal GPU-milliseconds per user over [from, to) for a pool of `capacity`
+// GPUs. Integrates WaterFill over the union of demand breakpoints.
+std::vector<double> IdealGpuMs(double capacity, SimTime from, SimTime to,
+                               const std::vector<UserShareInput>& users);
+
+// Cluster-wide ideal GPU-ms per user: sums the per-pool ideal using the
+// ledger's per-generation demand series. `user_ids`/`tickets` parallel.
+std::vector<double> IdealClusterGpuMs(const cluster::Cluster& cluster,
+                                      const sched::FairnessLedger& ledger,
+                                      const std::vector<UserId>& user_ids,
+                                      const std::vector<double>& tickets, SimTime from,
+                                      SimTime to);
+
+}  // namespace gfair::analysis
+
+#endif  // GFAIR_ANALYSIS_FAIRSHARE_H_

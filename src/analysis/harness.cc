@@ -1,0 +1,180 @@
+#include "analysis/harness.h"
+
+#include "analysis/fairshare.h"
+#include "baselines/las.h"
+#include "baselines/sjf.h"
+#include "common/check.h"
+
+namespace gfair::analysis {
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kGandivaFair:
+      return "GandivaFair";
+    case Policy::kGandivaFairNoTrade:
+      return "GandivaFair-NoTrade";
+    case Policy::kPlainStride:
+      return "PlainStride";
+    case Policy::kFifo:
+      return "FIFO";
+    case Policy::kStaticQuota:
+      return "StaticQuota";
+    case Policy::kEfficiencyGreedy:
+      return "EfficiencyGreedy";
+    case Policy::kSjf:
+      return "SJF";
+    case Policy::kLas:
+      return "LAS";
+  }
+  return "?";
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      zoo_(config_.zoo != nullptr ? config_.zoo : &workload::ModelZoo::Default()),
+      cluster_(config_.topology) {
+  exec_ = std::make_unique<exec::Executor>(sim_, cluster_, *zoo_, jobs_, config_.exec,
+                                           config_.seed);
+}
+
+void Experiment::UsePolicy(Policy policy, const sched::GandivaFairConfig* config) {
+  sched::SchedulerEnv env{sim_, cluster_, *zoo_, jobs_, users_, *exec_};
+  gandiva_ = nullptr;
+  switch (policy) {
+    case Policy::kGandivaFair: {
+      auto cfg = config != nullptr ? *config : sched::GandivaFairConfig{};
+      auto sched = std::make_unique<sched::GandivaFairScheduler>(env, cfg);
+      gandiva_ = sched.get();
+      scheduler_ = std::move(sched);
+      break;
+    }
+    case Policy::kGandivaFairNoTrade: {
+      auto cfg = config != nullptr ? *config : baselines::NoTradingConfig();
+      cfg.enable_trading = false;
+      auto sched = std::make_unique<sched::GandivaFairScheduler>(env, cfg);
+      gandiva_ = sched.get();
+      scheduler_ = std::move(sched);
+      break;
+    }
+    case Policy::kPlainStride: {
+      auto cfg = config != nullptr ? *config : baselines::PlainStrideConfig();
+      cfg.stride.big_job_first = false;
+      cfg.stride.reserve_blocked_gang = false;
+      auto sched = std::make_unique<sched::GandivaFairScheduler>(env, cfg);
+      gandiva_ = sched.get();
+      scheduler_ = std::move(sched);
+      break;
+    }
+    case Policy::kFifo:
+      scheduler_ = std::make_unique<baselines::FifoScheduler>(env);
+      break;
+    case Policy::kStaticQuota:
+      scheduler_ = std::make_unique<baselines::StaticQuotaScheduler>(env);
+      break;
+    case Policy::kEfficiencyGreedy:
+      scheduler_ = std::make_unique<baselines::EfficiencyGreedyScheduler>(env);
+      break;
+    case Policy::kSjf:
+      scheduler_ = std::make_unique<baselines::SjfScheduler>(env);
+      break;
+    case Policy::kLas:
+      scheduler_ = std::make_unique<baselines::LeastAttainedServiceScheduler>(env);
+      break;
+  }
+  sched::WireCallbacks(*exec_, *scheduler_);
+  // Interpose on job completion for policy-independent demand accounting,
+  // then forward to the policy as WireCallbacks set up.
+  exec_->set_on_job_finished([this](JobId id) {
+    const workload::Job& job = jobs_.Get(id);
+    RecordDemand(job.user, sim_.Now(), -job.gang_size);
+    scheduler_->OnJobFinished(id);
+  });
+}
+
+void Experiment::RecordDemand(UserId user, SimTime time, int delta) {
+  DemandRecord& record = demand_[user];
+  record.current += delta;
+  GFAIR_CHECK(record.current >= -1e-9);
+  record.series.Record(time, record.current);
+}
+
+const simkit::TimeSeries& Experiment::demand_series(UserId user) const {
+  static const simkit::TimeSeries kEmpty;
+  auto it = demand_.find(user);
+  return it != demand_.end() ? it->second.series : kEmpty;
+}
+
+void Experiment::UseGandivaFair(sched::GandivaFairConfig config) {
+  UsePolicy(Policy::kGandivaFair, &config);
+}
+
+sched::IScheduler& Experiment::scheduler() {
+  GFAIR_CHECK_MSG(scheduler_ != nullptr, "UsePolicy() before scheduler()");
+  return *scheduler_;
+}
+
+const sched::FairnessLedger& Experiment::ledger() {
+  return scheduler().policy_ledger();
+}
+
+std::vector<double> Experiment::IdealGpuMs(SimTime from, SimTime to) const {
+  std::vector<UserShareInput> inputs;
+  inputs.reserve(users_.size());
+  for (const auto& user : users_.users()) {
+    inputs.push_back(UserShareInput{user.id, user.tickets, &demand_series(user.id)});
+  }
+  return analysis::IdealGpuMs(cluster_.total_gpus(), from, to, inputs);
+}
+
+JobId Experiment::ScheduleSubmission(SimTime when, UserId user, workload::ModelId model,
+                                     int gang_size, double minibatches, double weight) {
+  GFAIR_CHECK_MSG(scheduler_ != nullptr, "UsePolicy() before submitting jobs");
+  GFAIR_CHECK(when >= sim_.Now());
+  // Create the job record eagerly (ids are stable and returnable); deliver it
+  // to the policy at its arrival time.
+  workload::Job& job = jobs_.Create(user, model, gang_size, minibatches, when);
+  GFAIR_CHECK(weight > 0.0);
+  job.weight = weight;
+  const JobId id = job.id;
+  sim_.At(when, [this, id]() {
+    const workload::Job& arriving = jobs_.Get(id);
+    RecordDemand(arriving.user, sim_.Now(), arriving.gang_size);
+    scheduler_->Submit(id);
+  });
+  return id;
+}
+
+JobId Experiment::SubmitAt(SimTime when, UserId user, const std::string& model_name,
+                           int gang_size, SimDuration standalone_duration_k80,
+                           double weight) {
+  const auto& model = zoo_->GetByName(model_name);
+  const double work =
+      workload::TraceGenerator::MinibatchesFor(model, gang_size, standalone_duration_k80);
+  return ScheduleSubmission(when, user, model.id, gang_size, work, weight);
+}
+
+JobId Experiment::SubmitWorkAt(SimTime when, UserId user, workload::ModelId model,
+                               int gang_size, double minibatches, double weight) {
+  return ScheduleSubmission(when, user, model, gang_size, minibatches, weight);
+}
+
+void Experiment::LoadTrace(const std::vector<workload::TraceEntry>& trace) {
+  for (const auto& entry : trace) {
+    ScheduleSubmission(entry.arrival, entry.user, entry.model, entry.gang_size,
+                       entry.total_minibatches, /*weight=*/1.0);
+  }
+}
+
+void Experiment::Run(SimTime until) {
+  GFAIR_CHECK_MSG(scheduler_ != nullptr, "UsePolicy() before Run()");
+  if (!started_) {
+    scheduler_->Start();
+    started_ = true;
+  }
+  sim_.RunUntil(until);
+  // Fold open run segments into jobs and the ledger so callers can read
+  // consistent metrics at this instant.
+  exec_->SyncAll();
+}
+
+}  // namespace gfair::analysis

@@ -1,0 +1,130 @@
+// Experiment — one-stop harness assembling simulator, cluster, workload,
+// executor and a scheduling policy.
+//
+// Tests, benches and examples all drive runs through this class:
+//
+//   analysis::Experiment exp({.topology = cluster::PaperScaleTopology()});
+//   auto& alice = exp.users().Create("alice", 1.0);
+//   exp.UseGandivaFair({});
+//   exp.SubmitAt(kTimeZero, alice.id, "ResNet-50", 4, Hours(2));
+//   exp.Run(Hours(8));
+//
+#ifndef GFAIR_ANALYSIS_HARNESS_H_
+#define GFAIR_ANALYSIS_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/fifo.h"
+#include "baselines/greedy.h"
+#include "baselines/quota.h"
+#include "baselines/variants.h"
+#include "cluster/cluster.h"
+#include "exec/executor.h"
+#include "sched/gandiva_fair.h"
+#include "sched/scheduler_iface.h"
+#include "simkit/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace gfair::analysis {
+
+struct ExperimentConfig {
+  cluster::Topology topology = cluster::HomogeneousTopology(1, 8);
+  exec::ExecutorConfig exec;
+  uint64_t seed = 42;
+  // Zoo to use; nullptr = ModelZoo::Default().
+  const workload::ModelZoo* zoo = nullptr;
+};
+
+enum class Policy {
+  kGandivaFair,
+  kGandivaFairNoTrade,
+  kPlainStride,
+  kFifo,
+  kStaticQuota,
+  kEfficiencyGreedy,
+  kSjf,   // oracle shortest-job-first (non-preemptive)
+  kLas,   // Tiresias-style least-attained-service (preemptive)
+};
+
+const char* PolicyName(Policy policy);
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  // --- setup (before Run) ---
+  workload::UserTable& users() { return users_; }
+  // Installs a policy. For kGandivaFair-family policies, `config` overrides
+  // the preset (pass nullptr for defaults).
+  void UsePolicy(Policy policy, const sched::GandivaFairConfig* config = nullptr);
+  void UseGandivaFair(sched::GandivaFairConfig config);
+
+  // Schedules one job submission: standalone duration is the uninterrupted
+  // K80 runtime; work is derived from the model's K80 gang throughput.
+  JobId SubmitAt(SimTime when, UserId user, const std::string& model_name, int gang_size,
+                 SimDuration standalone_duration_k80, double weight = 1.0);
+  // Same, with explicit mini-batch count.
+  JobId SubmitWorkAt(SimTime when, UserId user, workload::ModelId model, int gang_size,
+                     double minibatches, double weight = 1.0);
+  // Schedules a whole generated trace.
+  void LoadTrace(const std::vector<workload::TraceEntry>& trace);
+
+  // --- run ---
+  // Runs the simulation until `until` (scheduler Start() happens on the
+  // first call). Can be called repeatedly to advance in phases.
+  void Run(SimTime until);
+
+  // --- access ---
+  simkit::Simulator& sim() { return sim_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  workload::JobTable& jobs() { return jobs_; }
+  exec::Executor& exec() { return *exec_; }
+  const workload::ModelZoo& zoo() const { return *zoo_; }
+  sched::IScheduler& scheduler();
+  // Non-null when the installed policy is GandivaFair (any variant).
+  sched::GandivaFairScheduler* gandiva() { return gandiva_; }
+  const sched::FairnessLedger& ledger();
+
+  // Policy-independent aggregate GPU demand of a user over time (+gang at
+  // submission, -gang at completion, regardless of where the policy put the
+  // job). This is the demand the cross-policy ideal-share comparisons use.
+  const simkit::TimeSeries& demand_series(UserId user) const;
+  // Per-user ideal GPU-ms over [from, to): demand-capped, ticket-weighted
+  // water-filling of the whole cluster's GPUs against the aggregate demand
+  // series (generations treated as fungible).
+  std::vector<double> IdealGpuMs(SimTime from, SimTime to) const;
+
+ private:
+  ExperimentConfig config_;
+  const workload::ModelZoo* zoo_;
+  simkit::Simulator sim_;
+  cluster::Cluster cluster_;
+  workload::JobTable jobs_;
+  workload::UserTable users_;
+  std::unique_ptr<exec::Executor> exec_;
+  std::unique_ptr<sched::IScheduler> scheduler_;
+  sched::GandivaFairScheduler* gandiva_ = nullptr;
+  bool started_ = false;
+
+  struct DemandRecord {
+    simkit::TimeSeries series;
+    double current = 0.0;
+  };
+  mutable std::unordered_map<UserId, DemandRecord> demand_;
+  void RecordDemand(UserId user, SimTime time, int delta);
+
+  // Because pre-submission jobs do not exist yet, SubmitAt returns the JobId
+  // reserved for the entry (ids are assigned in scheduling order).
+  JobId ScheduleSubmission(SimTime when, UserId user, workload::ModelId model,
+                           int gang_size, double minibatches, double weight);
+};
+
+}  // namespace gfair::analysis
+
+#endif  // GFAIR_ANALYSIS_HARNESS_H_

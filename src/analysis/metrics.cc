@@ -1,0 +1,157 @@
+#include "analysis/metrics.h"
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace gfair::analysis {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+
+double UsefulK80GpuHours(const workload::Job& job, const workload::ModelZoo& zoo) {
+  const auto& model = zoo.Get(job.model);
+  const double gang_rate = model.GangThroughput(GpuGeneration::kK80, job.gang_size);
+  GFAIR_CHECK(gang_rate > 0.0);
+  const double gang_seconds = job.completed_minibatches / gang_rate;
+  return gang_seconds * job.gang_size / 3600.0;
+}
+
+std::vector<UserSummary> SummarizeUsers(const workload::JobTable& jobs,
+                                        const workload::UserTable& users,
+                                        const sched::FairnessLedger& ledger,
+                                        const workload::ModelZoo& zoo, SimTime from,
+                                        SimTime to) {
+  std::vector<UserSummary> summaries;
+  summaries.reserve(users.size());
+  for (const auto& user : users.users()) {
+    UserSummary summary;
+    summary.id = user.id;
+    summary.name = user.name;
+    summary.tickets = user.tickets;
+    for (GpuGeneration gen : cluster::kAllGenerations) {
+      const double ms = ledger.GpuMs(user.id, gen, from, to);
+      summary.gpu_hours_by_gen[GenerationIndex(gen)] = ms / kHour;
+      summary.gpu_hours += ms / kHour;
+    }
+    summaries.push_back(summary);
+  }
+
+  for (const workload::Job* job : jobs.All()) {
+    GFAIR_CHECK(job->user.value() < summaries.size());
+    UserSummary& summary = summaries[job->user.value()];
+    summary.jobs_total += 1;
+    summary.useful_k80_gpu_hours += UsefulK80GpuHours(*job, zoo);
+    if (job->finished()) {
+      summary.jobs_finished += 1;
+      summary.mean_jct_minutes += ToMinutes(job->finish_time - job->submit_time);
+    }
+  }
+  for (UserSummary& summary : summaries) {
+    if (summary.jobs_finished > 0) {
+      summary.mean_jct_minutes /= summary.jobs_finished;
+    }
+  }
+  return summaries;
+}
+
+FinishTimeFairness ComputeFinishTimeFairness(const workload::JobTable& jobs,
+                                             const workload::ModelZoo& zoo,
+                                             const cluster::Cluster& cluster,
+                                             UserId user) {
+  // Fastest generation actually present in the cluster.
+  GpuGeneration fastest = GpuGeneration::kK80;
+  for (GpuGeneration gen : cluster::kAllGenerations) {
+    if (cluster.total_gpus(gen) > 0) {
+      fastest = gen;
+    }
+  }
+  FinishTimeFairness result;
+  for (const workload::Job* job : jobs.All()) {
+    if (!job->finished()) {
+      continue;
+    }
+    if (user.valid() && job->user != user) {
+      continue;
+    }
+    const auto& model = zoo.Get(job->model);
+    const double standalone_s =
+        job->total_minibatches / model.GangThroughput(fastest, job->gang_size);
+    GFAIR_CHECK(standalone_s > 0.0);
+    const double rho = ToSeconds(job->finish_time - job->submit_time) / standalone_s;
+    result.finished += 1;
+    result.mean_rho += rho;
+    result.max_rho = std::max(result.max_rho, rho);
+  }
+  if (result.finished > 0) {
+    result.mean_rho /= result.finished;
+  }
+  return result;
+}
+
+JctStats ComputeJct(const workload::JobTable& jobs, UserId user) {
+  PercentileSampler sampler;
+  for (const workload::Job* job : jobs.All()) {
+    if (!job->finished()) {
+      continue;
+    }
+    if (user.valid() && job->user != user) {
+      continue;
+    }
+    sampler.Add(ToMinutes(job->finish_time - job->submit_time));
+  }
+  JctStats stats;
+  stats.finished = static_cast<int>(sampler.count());
+  stats.mean = sampler.Mean();
+  stats.p50 = sampler.Percentile(50);
+  stats.p90 = sampler.Percentile(90);
+  stats.p99 = sampler.Percentile(99);
+  return stats;
+}
+
+double TotalUsefulWork(const workload::JobTable& jobs, const workload::ModelZoo& zoo) {
+  double total = 0.0;
+  for (const workload::Job* job : jobs.All()) {
+    total += UsefulK80GpuHours(*job, zoo);
+  }
+  return total;
+}
+
+double LedgerJobConsistencyGap(const workload::JobTable& jobs,
+                               const workload::UserTable& users,
+                               const sched::FairnessLedger& ledger) {
+  std::vector<double> per_user_job_ms(users.size(), 0.0);
+  for (const workload::Job* job : jobs.All()) {
+    per_user_job_ms[job->user.value()] += job->TotalGpuMs();
+  }
+  double worst = 0.0;
+  for (const auto& user : users.users()) {
+    const double ledger_ms = ledger.GpuMs(user.id, kTimeZero, kTimeNever);
+    worst = std::max(worst, std::abs(ledger_ms - per_user_job_ms[user.id.value()]));
+  }
+  return worst;
+}
+
+cluster::PerGeneration<double> PoolUtilization(const sched::FairnessLedger& ledger,
+                                               const workload::UserTable& users,
+                                               const cluster::Cluster& cluster,
+                                               SimTime from, SimTime to) {
+  cluster::PerGeneration<double> utilization{};
+  GFAIR_CHECK(from < to);
+  for (GpuGeneration gen : cluster::kAllGenerations) {
+    const int pool = cluster.total_gpus(gen);
+    if (pool == 0) {
+      continue;
+    }
+    double held_ms = 0.0;
+    for (const auto& user : users.users()) {
+      held_ms += ledger.GpuMs(user.id, gen, from, to);
+    }
+    utilization[GenerationIndex(gen)] =
+        held_ms / (static_cast<double>(pool) * static_cast<double>(to - from));
+  }
+  return utilization;
+}
+
+}  // namespace gfair::analysis

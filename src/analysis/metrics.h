@@ -1,0 +1,91 @@
+// Experiment metrics: per-user summaries, useful-work accounting, JCTs.
+#ifndef GFAIR_ANALYSIS_METRICS_H_
+#define GFAIR_ANALYSIS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/gpu.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "sched/ledger.h"
+#include "workload/job.h"
+#include "workload/model_zoo.h"
+#include "workload/user.h"
+
+namespace gfair::analysis {
+
+// Useful work of a (possibly partial) job in K80-GPU-hours: mini-batches
+// completed, converted at the model's K80 gang rate and weighted by gang
+// size. Comparable across models, gangs and generations — the currency for
+// cluster-efficiency comparisons.
+double UsefulK80GpuHours(const workload::Job& job, const workload::ModelZoo& zoo);
+
+struct UserSummary {
+  UserId id;
+  std::string name;
+  double tickets = 0.0;
+  double gpu_hours = 0.0;  // GPU time actually held (all generations)
+  cluster::PerGeneration<double> gpu_hours_by_gen{};
+  double useful_k80_gpu_hours = 0.0;
+  int jobs_total = 0;
+  int jobs_finished = 0;
+  double mean_jct_minutes = 0.0;  // over finished jobs
+};
+
+std::vector<UserSummary> SummarizeUsers(const workload::JobTable& jobs,
+                                        const workload::UserTable& users,
+                                        const sched::FairnessLedger& ledger,
+                                        const workload::ModelZoo& zoo, SimTime from,
+                                        SimTime to);
+
+// Sum of useful work over all jobs.
+double TotalUsefulWork(const workload::JobTable& jobs, const workload::ModelZoo& zoo);
+
+// Finish-time fairness (Themis-style rho): a finished job's slowdown
+// relative to running uninterrupted on the cluster's FASTEST generation,
+// i.e. JCT / standalone_fastest_duration. rho == 1 means "as fast as having
+// dedicated top-end GPUs"; under fair sharing with N competing users rho
+// should hover around the contention level, and the MAX over users is the
+// fairness-violation indicator (one user's rho far above the others').
+struct FinishTimeFairness {
+  int finished = 0;
+  double mean_rho = 0.0;
+  double max_rho = 0.0;
+};
+FinishTimeFairness ComputeFinishTimeFairness(const workload::JobTable& jobs,
+                                             const workload::ModelZoo& zoo,
+                                             const cluster::Cluster& cluster,
+                                             UserId user = UserId::Invalid());
+
+// Job-completion-time distribution over finished jobs (optionally one
+// user's), in minutes.
+struct JctStats {
+  int finished = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+JctStats ComputeJct(const workload::JobTable& jobs,
+                    UserId user = UserId::Invalid());
+
+// Cross-checks the two independent GPU-time accountings: the per-job
+// gpu_ms_by_gen counters and the per-user ledger must agree (over all time).
+// Returns the worst absolute per-user discrepancy in GPU-ms; tests assert it
+// is ~0.
+double LedgerJobConsistencyGap(const workload::JobTable& jobs,
+                               const workload::UserTable& users,
+                               const sched::FairnessLedger& ledger);
+
+// Fraction of each pool's capacity-time actually held by jobs over the
+// window ("old-GPU utilization" in E9). Computed from the ledger.
+cluster::PerGeneration<double> PoolUtilization(const sched::FairnessLedger& ledger,
+                                               const workload::UserTable& users,
+                                               const cluster::Cluster& cluster,
+                                               SimTime from, SimTime to);
+
+}  // namespace gfair::analysis
+
+#endif  // GFAIR_ANALYSIS_METRICS_H_

@@ -1,0 +1,84 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace gfair::analysis {
+
+std::vector<TimelineRow> ComputeTimeline(const sched::FairnessLedger& ledger,
+                                         const workload::UserTable& users, SimTime from,
+                                         SimTime to, int buckets) {
+  GFAIR_CHECK(from < to && buckets > 0);
+  std::vector<TimelineRow> rows;
+  const double bucket_ms = static_cast<double>(to - from) / buckets;
+  for (const auto& user : users.users()) {
+    TimelineRow row;
+    row.user = user.id;
+    row.name = user.name;
+    row.gpus.reserve(static_cast<size_t>(buckets));
+    for (int b = 0; b < buckets; ++b) {
+      const SimTime lo = from + static_cast<SimTime>(b * bucket_ms);
+      const SimTime hi = from + static_cast<SimTime>((b + 1) * bucket_ms);
+      const double gpu_ms = ledger.GpuMs(user.id, lo, std::max(hi, lo + 1));
+      row.gpus.push_back(gpu_ms / static_cast<double>(std::max<SimTime>(hi - lo, 1)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderTimeline(const std::vector<TimelineRow>& rows, SimTime from,
+                           SimTime to, double capacity) {
+  if (rows.empty()) {
+    return "";
+  }
+  // Glyph ramp from empty to full.
+  static const char* kRamp[] = {"·", "▁", "▂", "▃",
+                                "▅", "▆", "▇", "█"};
+  constexpr int kRampSize = 8;
+
+  double max_gpus = capacity;
+  if (max_gpus <= 0.0) {
+    for (const auto& row : rows) {
+      for (double value : row.gpus) {
+        max_gpus = std::max(max_gpus, value);
+      }
+    }
+  }
+  if (max_gpus <= 0.0) {
+    max_gpus = 1.0;
+  }
+
+  size_t name_width = 4;
+  for (const auto& row : rows) {
+    name_width = std::max(name_width, row.name.size());
+  }
+
+  std::ostringstream os;
+  // Header with start/end labels.
+  os << std::string(name_width, ' ') << "  " << FormatDuration(from);
+  const size_t buckets = rows[0].gpus.size();
+  const std::string end_label = FormatDuration(to);
+  if (buckets > end_label.size() + FormatDuration(from).size()) {
+    os << std::string(buckets - end_label.size() - FormatDuration(from).size(), ' ')
+       << end_label;
+  }
+  os << '\n';
+  for (const auto& row : rows) {
+    os << row.name << std::string(name_width - row.name.size(), ' ') << "  ";
+    for (double value : row.gpus) {
+      const double fraction = std::clamp(value / max_gpus, 0.0, 1.0);
+      const int level =
+          std::min(kRampSize - 1, static_cast<int>(fraction * (kRampSize - 1) + 0.5));
+      os << kRamp[level];
+    }
+    os << "  (peak " << FormatDouble(*std::max_element(row.gpus.begin(), row.gpus.end()), 1)
+       << " GPUs)\n";
+  }
+  return os.str();
+}
+
+}  // namespace gfair::analysis

@@ -1,0 +1,41 @@
+// ASCII timelines — quick visual verification of allocation behaviour.
+//
+// Renders each user's average GPU allocation per time bucket as a bar of
+// glyphs, normalized to cluster capacity. Experiments use it to eyeball
+// share convergence (E4-style churn) without leaving the terminal:
+//
+//   user      0h        2h        4h
+//   alice     ████████  ████      ████
+//   bob       ·         ████      ████
+#ifndef GFAIR_ANALYSIS_TIMELINE_H_
+#define GFAIR_ANALYSIS_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "sched/ledger.h"
+#include "workload/user.h"
+
+namespace gfair::analysis {
+
+// One row per user: average GPUs held in each bucket of [from, to).
+struct TimelineRow {
+  UserId user;
+  std::string name;
+  std::vector<double> gpus;  // one entry per bucket
+};
+
+std::vector<TimelineRow> ComputeTimeline(const sched::FairnessLedger& ledger,
+                                         const workload::UserTable& users, SimTime from,
+                                         SimTime to, int buckets);
+
+// Renders rows as aligned ASCII art (one glyph column per bucket; glyph
+// depth encodes the user's share of `capacity`).
+std::string RenderTimeline(const std::vector<TimelineRow>& rows, SimTime from,
+                           SimTime to, double capacity = 0.0);
+
+}  // namespace gfair::analysis
+
+#endif  // GFAIR_ANALYSIS_TIMELINE_H_

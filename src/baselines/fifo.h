@@ -1,0 +1,31 @@
+// FifoScheduler — strict arrival-order, run-to-completion baseline.
+//
+// The head of the queue blocks everything behind it until enough GPUs free
+// up (no backfilling): the classic batch-queue behaviour whose unfairness
+// under multi-user load motivates fair-share scheduling.
+#ifndef GFAIR_BASELINES_FIFO_H_
+#define GFAIR_BASELINES_FIFO_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/run_to_completion.h"
+
+namespace gfair::baselines {
+
+class FifoScheduler : public RunToCompletionBase {
+ public:
+  explicit FifoScheduler(const sched::SchedulerEnv& env) : RunToCompletionBase(env) {}
+
+  std::string name() const override { return "FIFO"; }
+
+ protected:
+  std::vector<JobId> DispatchOrder(bool* stop_at_blocked) override {
+    *stop_at_blocked = true;
+    return std::vector<JobId>(queue_.begin(), queue_.end());
+  }
+};
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_FIFO_H_

@@ -1,0 +1,38 @@
+// EfficiencyGreedyScheduler — utilization-first, fairness-blind baseline.
+//
+// Models a Gandiva-style efficiency scheduler stripped of fairness: whenever
+// GPUs free up, pack as many queued jobs as possible (smallest gangs first,
+// FIFO within a size), onto the fastest free GPUs. Utilization is excellent;
+// per-user shares are whatever the packing happens to produce.
+#ifndef GFAIR_BASELINES_GREEDY_H_
+#define GFAIR_BASELINES_GREEDY_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/run_to_completion.h"
+
+namespace gfair::baselines {
+
+class EfficiencyGreedyScheduler : public RunToCompletionBase {
+ public:
+  explicit EfficiencyGreedyScheduler(const sched::SchedulerEnv& env)
+      : RunToCompletionBase(env) {}
+
+  std::string name() const override { return "EfficiencyGreedy"; }
+
+ protected:
+  std::vector<JobId> DispatchOrder(bool* stop_at_blocked) override {
+    *stop_at_blocked = false;  // backfill past blocked gangs
+    std::vector<JobId> order(queue_.begin(), queue_.end());
+    std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+      return env_.jobs.Get(a).gang_size < env_.jobs.Get(b).gang_size;
+    });
+    return order;
+  }
+};
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_GREEDY_H_

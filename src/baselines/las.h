@@ -1,0 +1,52 @@
+// LeastAttainedServiceScheduler — Tiresias-style preemptive LAS baseline.
+//
+// Time-slices each server's GPUs among resident jobs, always preferring the
+// job that has received the LEAST GPU service so far (approximating SRPT
+// without job-size knowledge, as Tiresias does). Excellent JCT for short
+// jobs, no inter-user fairness: attained service is compared per job,
+// regardless of owner.
+#ifndef GFAIR_BASELINES_LAS_H_
+#define GFAIR_BASELINES_LAS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sched/scheduler_iface.h"
+
+namespace gfair::baselines {
+
+struct LasConfig {
+  SimDuration quantum = Minutes(1);
+};
+
+class LeastAttainedServiceScheduler : public sched::IScheduler {
+ public:
+  LeastAttainedServiceScheduler(const sched::SchedulerEnv& env, LasConfig config = {})
+      : env_(env), config_(config),
+        resident_(static_cast<size_t>(env.cluster.num_servers())) {}
+
+  void Start() override;
+  void Submit(JobId id) override;
+  void OnJobFinished(JobId id) override;
+  void OnMigrationDone(JobId) override {}  // LAS never migrates
+  std::string name() const override { return "LAS"; }
+  sched::FairnessLedger& policy_ledger() override { return ledger_; }
+
+ private:
+  void Tick();
+  void ApplyServer(ServerId server, bool allow_preempt);
+  // Resident jobs of `server` in ascending attained-GPU-service order.
+  std::vector<JobId> RankedResidents(ServerId server) const;
+  ServerId ChooseServer(const workload::Job& job) const;
+
+  sched::SchedulerEnv env_;
+  LasConfig config_;
+  sched::FairnessLedger ledger_;
+  std::vector<std::unordered_set<JobId>> resident_;
+};
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_LAS_H_

@@ -1,0 +1,51 @@
+// StaticQuotaScheduler — hard partitioning baseline.
+//
+// Each user receives a fixed, ticket-proportional quota of every generation
+// pool (computed once at Start). A user's jobs run-to-completion within its
+// quota; idle quota of other users is never reclaimed. This is the
+// "dedicated carve-out" operating model the paper argues wastes capacity:
+// fairness holds, work conservation does not.
+#ifndef GFAIR_BASELINES_QUOTA_H_
+#define GFAIR_BASELINES_QUOTA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/run_to_completion.h"
+
+namespace gfair::baselines {
+
+class StaticQuotaScheduler : public RunToCompletionBase {
+ public:
+  explicit StaticQuotaScheduler(const sched::SchedulerEnv& env)
+      : RunToCompletionBase(env) {}
+
+  std::string name() const override { return "StaticQuota"; }
+
+  // Computes per-user quotas from the user table (call after users exist).
+  void Start() override;
+
+  // GPUs of `gen` reserved for `user`.
+  int QuotaFor(UserId user, cluster::GpuGeneration gen) const;
+
+ protected:
+  std::vector<JobId> DispatchOrder(bool* stop_at_blocked) override;
+  bool MayRun(const workload::Job& job) override;
+  ServerId ChooseServer(const workload::Job& job) override;
+  void OnJobStarted(const workload::Job& job) override;
+  void OnJobStopped(const workload::Job& job) override;
+
+ private:
+  struct Usage {
+    cluster::PerGeneration<int> quota{};
+    cluster::PerGeneration<int> in_use{};
+  };
+  std::unordered_map<UserId, Usage> usage_;
+  // Server chosen by ChooseServer for the job being admitted (MayRun decides
+  // per-pool; ChooseServer then restricts to allowed pools).
+};
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_QUOTA_H_

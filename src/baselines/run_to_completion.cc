@@ -1,0 +1,73 @@
+#include "baselines/run_to_completion.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gfair::baselines {
+
+using cluster::GpuGeneration;
+using workload::Job;
+
+void RunToCompletionBase::Submit(JobId id) {
+  const Job& job = env_.jobs.Get(id);
+  GFAIR_CHECK(job.state == workload::JobState::kQueued);
+  queue_.push_back(id);
+  TryDispatch();
+}
+
+void RunToCompletionBase::OnJobFinished(JobId id) {
+  OnJobStopped(env_.jobs.Get(id));
+  TryDispatch();
+}
+
+ServerId RunToCompletionBase::ChooseServer(const Job& job) {
+  const auto& model = env_.zoo.Get(job.model);
+  for (size_t g = cluster::kNumGenerations; g-- > 0;) {
+    const GpuGeneration gen = cluster::kAllGenerations[g];
+    if (!model.FitsGeneration(gen)) {
+      continue;
+    }
+    ServerId best = ServerId::Invalid();
+    int best_free = -1;
+    for (ServerId id : env_.cluster.servers_of(gen)) {
+      const auto& server = env_.cluster.server(id);
+      if (server.num_free() >= job.gang_size && server.num_free() > best_free) {
+        best_free = server.num_free();
+        best = id;
+      }
+    }
+    if (best.valid()) {
+      return best;
+    }
+  }
+  return ServerId::Invalid();
+}
+
+void RunToCompletionBase::TryDispatch() {
+  bool stop_at_blocked = false;
+  const std::vector<JobId> order = DispatchOrder(&stop_at_blocked);
+  for (JobId id : order) {
+    Job& job = env_.jobs.Get(id);
+    GFAIR_CHECK(job.state == workload::JobState::kQueued);
+    if (!MayRun(job)) {
+      if (stop_at_blocked) {
+        break;
+      }
+      continue;
+    }
+    const ServerId server = ChooseServer(job);
+    if (!server.valid()) {
+      if (stop_at_blocked) {
+        break;
+      }
+      continue;
+    }
+    env_.exec.MakeResident(id, server);
+    env_.exec.Resume(id);
+    OnJobStarted(job);
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+  }
+}
+
+}  // namespace gfair::baselines

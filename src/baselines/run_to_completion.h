@@ -1,0 +1,59 @@
+// RunToCompletionBase — shared machinery for non-preemptive baselines.
+//
+// FIFO, static-quota and efficiency-greedy all dispatch queued jobs onto free
+// GPUs and let them run to completion (no time slicing, no migration). They
+// differ only in dispatch order, admission (quota) and server choice, which
+// subclasses override.
+#ifndef GFAIR_BASELINES_RUN_TO_COMPLETION_H_
+#define GFAIR_BASELINES_RUN_TO_COMPLETION_H_
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler_iface.h"
+
+namespace gfair::baselines {
+
+class RunToCompletionBase : public sched::IScheduler {
+ public:
+  explicit RunToCompletionBase(const sched::SchedulerEnv& env) : env_(env) {}
+
+  void Start() override {}
+  void Submit(JobId id) override;
+  void OnJobFinished(JobId id) override;
+  void OnMigrationDone(JobId) override {}  // these policies never migrate
+
+  sched::FairnessLedger& policy_ledger() override { return ledger_; }
+  const sched::FairnessLedger& ledger() const { return ledger_; }
+  size_t queued_jobs() const { return queue_.size(); }
+
+ protected:
+  // Queued jobs in the order dispatch should consider them. `stop_at_blocked`
+  // (out) tells the dispatcher whether to stop at the first job that cannot
+  // start (strict FIFO) or keep backfilling.
+  virtual std::vector<JobId> DispatchOrder(bool* stop_at_blocked) = 0;
+
+  // Admission hook (quota policies veto here). Called before server choice.
+  virtual bool MayRun(const workload::Job& job) {
+    (void)job;
+    return true;
+  }
+
+  // Picks a server with `gang_size` FREE GPUs; Invalid if none. The default
+  // prefers the fastest generation, then the server with most free GPUs.
+  virtual ServerId ChooseServer(const workload::Job& job);
+
+  // Bookkeeping hook when a job starts/finishes (quota accounting).
+  virtual void OnJobStarted(const workload::Job& job) { (void)job; }
+  virtual void OnJobStopped(const workload::Job& job) { (void)job; }
+
+  void TryDispatch();
+
+  sched::SchedulerEnv env_;
+  sched::FairnessLedger ledger_;
+  std::deque<JobId> queue_;
+};
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_RUN_TO_COMPLETION_H_

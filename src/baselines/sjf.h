@@ -1,0 +1,47 @@
+// SjfScheduler — non-preemptive shortest-job-first (oracle baseline).
+//
+// Dispatches the queued job with the least remaining standalone work first
+// (using ground-truth job sizes — an oracle no production scheduler has).
+// Great mean JCT, no fairness: a user with long jobs waits behind everyone
+// else's short ones.
+#ifndef GFAIR_BASELINES_SJF_H_
+#define GFAIR_BASELINES_SJF_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/run_to_completion.h"
+#include "cluster/gpu.h"
+
+namespace gfair::baselines {
+
+class SjfScheduler : public RunToCompletionBase {
+ public:
+  explicit SjfScheduler(const sched::SchedulerEnv& env) : RunToCompletionBase(env) {}
+
+  std::string name() const override { return "SJF"; }
+
+ protected:
+  std::vector<JobId> DispatchOrder(bool* stop_at_blocked) override {
+    *stop_at_blocked = false;
+    std::vector<JobId> order(queue_.begin(), queue_.end());
+    std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+      return StandaloneK80Seconds(a) < StandaloneK80Seconds(b);
+    });
+    return order;
+  }
+
+ private:
+  // Remaining standalone runtime on K80 GPUs — the oracle job size.
+  double StandaloneK80Seconds(JobId id) const {
+    const workload::Job& job = env_.jobs.Get(id);
+    const auto& model = env_.zoo.Get(job.model);
+    return job.remaining_minibatches() /
+           model.GangThroughput(cluster::GpuGeneration::kK80, job.gang_size);
+  }
+};
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_SJF_H_

@@ -1,0 +1,29 @@
+// Config presets turning GandivaFairScheduler into its own ablation
+// baselines: "plain stride" (no gang awareness) and "no trading".
+#ifndef GFAIR_BASELINES_VARIANTS_H_
+#define GFAIR_BASELINES_VARIANTS_H_
+
+#include "sched/gandiva_fair.h"
+
+namespace gfair::baselines {
+
+// Stride scheduling without gang awareness: arrival/backfill order can
+// starve large gangs (experiment E3).
+inline sched::GandivaFairConfig PlainStrideConfig() {
+  sched::GandivaFairConfig config;
+  config.stride.big_job_first = false;
+  config.stride.reserve_blocked_gang = false;
+  config.enable_trading = false;
+  return config;
+}
+
+// Full Gandiva_fair minus the trading engine (ablation for E8/E9/E12).
+inline sched::GandivaFairConfig NoTradingConfig() {
+  sched::GandivaFairConfig config;
+  config.enable_trading = false;
+  return config;
+}
+
+}  // namespace gfair::baselines
+
+#endif  // GFAIR_BASELINES_VARIANTS_H_

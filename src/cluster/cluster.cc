@@ -1,0 +1,98 @@
+#include "cluster/cluster.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gfair::cluster {
+
+int Topology::TotalGpus() const {
+  int total = 0;
+  for (const auto& group : groups) {
+    total += group.num_servers * group.gpus_per_server;
+  }
+  return total;
+}
+
+int Topology::TotalGpus(GpuGeneration gen) const {
+  int total = 0;
+  for (const auto& group : groups) {
+    if (group.generation == gen) {
+      total += group.num_servers * group.gpus_per_server;
+    }
+  }
+  return total;
+}
+
+std::string Topology::Describe() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& group : groups) {
+    if (!first) {
+      os << " + ";
+    }
+    first = false;
+    os << group.num_servers << "x" << group.gpus_per_server << " "
+       << GenerationName(group.generation);
+  }
+  os << " (" << TotalGpus() << " GPUs)";
+  return os.str();
+}
+
+Topology HomogeneousTopology(int num_servers, int gpus_per_server, GpuGeneration gen) {
+  return Topology{{ServerGroup{gen, num_servers, gpus_per_server}}};
+}
+
+Topology PaperScaleTopology() {
+  return Topology{{
+      ServerGroup{GpuGeneration::kK80, 6, 8},    // 48
+      ServerGroup{GpuGeneration::kP40, 5, 8},    // 40
+      ServerGroup{GpuGeneration::kP100, 6, 8},   // 48
+      ServerGroup{GpuGeneration::kV100, 8, 8},   // 64
+  }};
+}
+
+Cluster::Cluster(const Topology& topology) {
+  GFAIR_CHECK(!topology.groups.empty());
+  uint32_t next_id = 0;
+  for (const auto& group : topology.groups) {
+    GFAIR_CHECK(group.num_servers > 0 && group.gpus_per_server > 0);
+    for (int i = 0; i < group.num_servers; ++i) {
+      const ServerId id(next_id++);
+      servers_.emplace_back(id, group.generation, group.gpus_per_server);
+      servers_by_gen_[GenerationIndex(group.generation)].push_back(id);
+      gpus_per_gen_[GenerationIndex(group.generation)] += group.gpus_per_server;
+      total_gpus_ += group.gpus_per_server;
+    }
+  }
+}
+
+bool Cluster::heterogeneous() const {
+  int generations_present = 0;
+  for (int count : gpus_per_gen_) {
+    if (count > 0) {
+      ++generations_present;
+    }
+  }
+  return generations_present > 1;
+}
+
+Server& Cluster::server(ServerId id) {
+  GFAIR_CHECK(id.valid() && id.value() < servers_.size());
+  return servers_[id.value()];
+}
+
+const Server& Cluster::server(ServerId id) const {
+  GFAIR_CHECK(id.valid() && id.value() < servers_.size());
+  return servers_[id.value()];
+}
+
+int Cluster::FreeGpus(GpuGeneration gen) const {
+  int free = 0;
+  for (ServerId id : servers_of(gen)) {
+    free += servers_[id.value()].num_free();
+  }
+  return free;
+}
+
+}  // namespace gfair::cluster

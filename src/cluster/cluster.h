@@ -1,0 +1,79 @@
+// Cluster — the full set of servers, grouped by GPU generation.
+//
+// Built once from a topology description; servers are stable for the life of
+// the run (the paper does not model server failures, and neither do we —
+// failure injection in tests goes through job-level events instead).
+#ifndef GFAIR_CLUSTER_CLUSTER_H_
+#define GFAIR_CLUSTER_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "cluster/server.h"
+#include "common/types.h"
+
+namespace gfair::cluster {
+
+// One homogeneous group of servers in a topology description.
+struct ServerGroup {
+  GpuGeneration generation;
+  int num_servers;
+  int gpus_per_server;
+};
+
+struct Topology {
+  std::vector<ServerGroup> groups;
+
+  int TotalGpus() const;
+  int TotalGpus(GpuGeneration gen) const;
+  std::string Describe() const;
+};
+
+// Convenience topologies used by examples, tests and benches.
+
+// `num_servers` x `gpus_per_server` of one generation.
+Topology HomogeneousTopology(int num_servers, int gpus_per_server,
+                             GpuGeneration gen = GpuGeneration::kV100);
+
+// The default heterogeneous ~200-GPU topology standing in for the paper's
+// testbed: 48 K80 + 40 P40 + 48 P100 + 64 V100 = 200 GPUs.
+Topology PaperScaleTopology();
+
+class Cluster {
+ public:
+  explicit Cluster(const Topology& topology);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  int total_gpus() const { return total_gpus_; }
+  int total_gpus(GpuGeneration gen) const { return gpus_per_gen_[GenerationIndex(gen)]; }
+  // True when the cluster hosts more than one generation.
+  bool heterogeneous() const;
+
+  Server& server(ServerId id);
+  const Server& server(ServerId id) const;
+
+  std::vector<Server>& servers() { return servers_; }
+  const std::vector<Server>& servers() const { return servers_; }
+
+  // Ids of all servers of a generation (stable order).
+  const std::vector<ServerId>& servers_of(GpuGeneration gen) const {
+    return servers_by_gen_[GenerationIndex(gen)];
+  }
+
+  // Total free GPUs of a generation right now.
+  int FreeGpus(GpuGeneration gen) const;
+
+ private:
+  std::vector<Server> servers_;
+  PerGeneration<std::vector<ServerId>> servers_by_gen_;
+  PerGeneration<int> gpus_per_gen_{};
+  int total_gpus_ = 0;
+};
+
+}  // namespace gfair::cluster
+
+#endif  // GFAIR_CLUSTER_CLUSTER_H_

@@ -1,0 +1,48 @@
+#include "cluster/gpu.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace gfair::cluster {
+
+const char* GenerationName(GpuGeneration gen) {
+  switch (gen) {
+    case GpuGeneration::kK80:
+      return "K80";
+    case GpuGeneration::kP40:
+      return "P40";
+    case GpuGeneration::kP100:
+      return "P100";
+    case GpuGeneration::kV100:
+      return "V100";
+  }
+  return "?";
+}
+
+bool ParseGeneration(const std::string& name, GpuGeneration* out) {
+  GFAIR_CHECK(out != nullptr);
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+  for (GpuGeneration gen : kAllGenerations) {
+    if (upper == GenerationName(gen)) {
+      *out = gen;
+      return true;
+    }
+  }
+  return false;
+}
+
+const GpuSpec& SpecFor(GpuGeneration gen) {
+  static const PerGeneration<GpuSpec> kSpecs = {{
+      {GpuGeneration::kK80, 12.0, 4.1},
+      {GpuGeneration::kP40, 24.0, 11.8},
+      {GpuGeneration::kP100, 16.0, 9.3},
+      {GpuGeneration::kV100, 16.0, 14.1},
+  }};
+  return kSpecs[GenerationIndex(gen)];
+}
+
+}  // namespace gfair::cluster

@@ -1,0 +1,48 @@
+// GPU generations and device specifications.
+//
+// The paper's clusters mix four NVIDIA generations (K80, P40, P100, V100).
+// Scheduler logic treats generations opaquely — only the workload model's
+// throughput matrix distinguishes them — but specs here carry nominal
+// memory/compute figures used for sanity checks and reporting.
+#ifndef GFAIR_CLUSTER_GPU_H_
+#define GFAIR_CLUSTER_GPU_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace gfair::cluster {
+
+enum class GpuGeneration : uint8_t { kK80 = 0, kP40 = 1, kP100 = 2, kV100 = 3 };
+
+inline constexpr size_t kNumGenerations = 4;
+
+inline constexpr std::array<GpuGeneration, kNumGenerations> kAllGenerations = {
+    GpuGeneration::kK80, GpuGeneration::kP40, GpuGeneration::kP100, GpuGeneration::kV100};
+
+constexpr size_t GenerationIndex(GpuGeneration gen) { return static_cast<size_t>(gen); }
+
+const char* GenerationName(GpuGeneration gen);
+
+// Parses "K80"/"P40"/"P100"/"V100" (case-insensitive); returns false on
+// unknown names.
+bool ParseGeneration(const std::string& name, GpuGeneration* out);
+
+struct GpuSpec {
+  GpuGeneration generation;
+  double memory_gb;        // device memory
+  double nominal_tflops;   // rough fp32 peak, reporting only
+};
+
+const GpuSpec& SpecFor(GpuGeneration gen);
+
+// Per-generation array keyed by GenerationIndex(); used for shares, counts,
+// and speedup rows throughout the scheduler.
+template <typename T>
+using PerGeneration = std::array<T, kNumGenerations>;
+
+}  // namespace gfair::cluster
+
+#endif  // GFAIR_CLUSTER_GPU_H_

@@ -1,0 +1,51 @@
+#include "cluster/server.h"
+
+namespace gfair::cluster {
+
+Server::Server(ServerId id, GpuGeneration generation, int num_gpus)
+    : id_(id), generation_(generation), occupants_(static_cast<size_t>(num_gpus)),
+      num_free_(num_gpus) {
+  GFAIR_CHECK(num_gpus > 0);
+}
+
+std::vector<int> Server::Allocate(JobId job, int count) {
+  GFAIR_CHECK(job.valid());
+  GFAIR_CHECK(count > 0);
+  GFAIR_CHECK_MSG(CanFit(count), "Allocate() without room");
+  GFAIR_CHECK_MSG(CountHeldBy(job) == 0, "job already holds GPUs on this server");
+  std::vector<int> indices;
+  indices.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < num_gpus() && static_cast<int>(indices.size()) < count; ++i) {
+    if (!occupants_[static_cast<size_t>(i)].valid()) {
+      occupants_[static_cast<size_t>(i)] = job;
+      indices.push_back(i);
+    }
+  }
+  num_free_ -= count;
+  return indices;
+}
+
+int Server::Release(JobId job) {
+  GFAIR_CHECK(job.valid());
+  int released = 0;
+  for (auto& slot : occupants_) {
+    if (slot == job) {
+      slot = JobId::Invalid();
+      ++released;
+    }
+  }
+  num_free_ += released;
+  return released;
+}
+
+int Server::CountHeldBy(JobId job) const {
+  int held = 0;
+  for (JobId slot : occupants_) {
+    if (slot == job) {
+      ++held;
+    }
+  }
+  return held;
+}
+
+}  // namespace gfair::cluster

@@ -1,0 +1,55 @@
+// Server — one machine holding a homogeneous set of GPUs.
+//
+// Servers track which job occupies each GPU slot. A gang must fit entirely on
+// one server (the paper's jobs are single-server gangs; multi-server jobs are
+// out of scope, as in Gandiva_fair's evaluation workloads).
+#ifndef GFAIR_CLUSTER_SERVER_H_
+#define GFAIR_CLUSTER_SERVER_H_
+
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace gfair::cluster {
+
+class Server {
+ public:
+  Server(ServerId id, GpuGeneration generation, int num_gpus);
+
+  ServerId id() const { return id_; }
+  GpuGeneration generation() const { return generation_; }
+  int num_gpus() const { return static_cast<int>(occupants_.size()); }
+  int num_free() const { return num_free_; }
+  int num_busy() const { return num_gpus() - num_free_; }
+
+  // Occupant of local GPU slot `index`; JobId::Invalid() when free.
+  JobId occupant(int index) const {
+    GFAIR_CHECK(index >= 0 && index < num_gpus());
+    return occupants_[static_cast<size_t>(index)];
+  }
+
+  // True when `count` GPUs are free.
+  bool CanFit(int count) const { return count <= num_free_; }
+
+  // Claims `count` free GPU slots for `job`; returns their local indices.
+  // Precondition: CanFit(count) and the job holds no slots here yet.
+  std::vector<int> Allocate(JobId job, int count);
+
+  // Releases every slot held by `job`; returns how many were released.
+  int Release(JobId job);
+
+  // Number of slots currently held by `job`.
+  int CountHeldBy(JobId job) const;
+
+ private:
+  ServerId id_;
+  GpuGeneration generation_;
+  std::vector<JobId> occupants_;
+  int num_free_;
+};
+
+}  // namespace gfair::cluster
+
+#endif  // GFAIR_CLUSTER_SERVER_H_

@@ -1,0 +1,36 @@
+// Lightweight always-on invariant checks.
+//
+// GFAIR_CHECK is enabled in all build types: scheduler invariants guard
+// fairness accounting, and silent corruption there is worse than an abort.
+#ifndef GFAIR_COMMON_CHECK_H_
+#define GFAIR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gfair::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "GFAIR_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace gfair::internal
+
+#define GFAIR_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::gfair::internal::CheckFailed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                  \
+  } while (false)
+
+#define GFAIR_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::gfair::internal::CheckFailed(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)
+
+#endif  // GFAIR_COMMON_CHECK_H_

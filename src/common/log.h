@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design, so the logger keeps no locks.
+// Severity is filtered globally; scheduler components log at Debug for
+// per-quantum decisions and Info for structural events (trades, migrations).
+#ifndef GFAIR_COMMON_LOG_H_
+#define GFAIR_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace gfair {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global minimum severity; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gfair
+
+#define GFAIR_LOG(level)                                        \
+  if (static_cast<int>(::gfair::LogLevel::level) <              \
+      static_cast<int>(::gfair::GetLogLevel())) {               \
+  } else                                                        \
+    ::gfair::internal::LogMessage(::gfair::LogLevel::level).stream()
+
+#define GFAIR_DLOG GFAIR_LOG(kDebug)
+#define GFAIR_ILOG GFAIR_LOG(kInfo)
+#define GFAIR_WLOG GFAIR_LOG(kWarning)
+#define GFAIR_ELOG GFAIR_LOG(kError)
+
+#endif  // GFAIR_COMMON_LOG_H_

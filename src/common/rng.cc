@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gfair {
+
+double Rng::Exponential(double mean) {
+  GFAIR_CHECK(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  GFAIR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    GFAIR_CHECK(w >= 0.0);
+    total += w;
+  }
+  GFAIR_CHECK(total > 0.0);
+  double draw = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // floating-point edge: fall into last bucket
+}
+
+}  // namespace gfair

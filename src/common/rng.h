@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component (workload generator, profiler noise, tie
+// breaking) draws from an explicitly seeded Rng so that experiments are
+// reproducible bit-for-bit. The generator is xoshiro256**, seeded through
+// SplitMix64 as its authors recommend.
+#ifndef GFAIR_COMMON_RNG_H_
+#define GFAIR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gfair {
+
+// SplitMix64 — used for seeding and for cheap stateless hashing.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  // Raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [lo, hi] inclusive. Uses rejection to avoid modulo bias.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    GFAIR_CHECK(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // full 64-bit range
+      return static_cast<int64_t>(Next());
+    }
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t draw;
+    do {
+      draw = Next();
+    } while (draw >= limit);
+    return lo + static_cast<int64_t>(draw % range);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (not rate).
+  double Exponential(double mean);
+
+  // Standard normal via Box–Muller (cached second variate).
+  double Normal(double mean, double stddev);
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma);
+
+  // Index in [0, weights.size()) drawn proportional to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace gfair
+
+#endif  // GFAIR_COMMON_RNG_H_

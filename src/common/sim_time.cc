@@ -1,0 +1,29 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace gfair {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  if (negative) {
+    d = -d;
+  }
+  const int64_t total_ms = d;
+  const int64_t hours = total_ms / kHour;
+  const int64_t minutes = (total_ms % kHour) / kMinute;
+  const double seconds = static_cast<double>(total_ms % kMinute) / kSecond;
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%ldh%02ldm%02.0fs", negative ? "-" : "",
+                  static_cast<long>(hours), static_cast<long>(minutes), seconds);
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%ldm%02.0fs", negative ? "-" : "",
+                  static_cast<long>(minutes), seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.1fs", negative ? "-" : "", seconds);
+  }
+  return buf;
+}
+
+}  // namespace gfair

@@ -1,0 +1,41 @@
+// Simulated time.
+//
+// All simulation time is an integral count of milliseconds since simulation
+// start. Using integers keeps event ordering exact and runs reproducible.
+#ifndef GFAIR_COMMON_SIM_TIME_H_
+#define GFAIR_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace gfair {
+
+// A point in simulated time, in milliseconds. Durations use the same
+// representation; arithmetic between them is the usual affine algebra.
+using SimTime = int64_t;
+using SimDuration = int64_t;
+
+constexpr SimDuration kMillisecond = 1;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr SimTime kTimeZero = 0;
+constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMinutes(SimDuration d) { return static_cast<double>(d) / kMinute; }
+constexpr double ToHours(SimDuration d) { return static_cast<double>(d) / kHour; }
+
+constexpr SimDuration Seconds(double s) { return static_cast<SimDuration>(s * kSecond); }
+constexpr SimDuration Minutes(double m) { return static_cast<SimDuration>(m * kMinute); }
+constexpr SimDuration Hours(double h) { return static_cast<SimDuration>(h * kHour); }
+
+// Renders a duration as "1h02m03s" / "4m05s" / "6.5s" for logs and tables.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace gfair
+
+#endif  // GFAIR_COMMON_SIM_TIME_H_

@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gfair {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSampler::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  GFAIR_CHECK(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double PercentileSampler::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double s : samples_) {
+    total += s;
+  }
+  return total / static_cast<double>(samples_.size());
+}
+
+double JainIndex(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double MaxRelativeDeviation(const std::vector<double>& actual,
+                            const std::vector<double>& ideal) {
+  GFAIR_CHECK(actual.size() == ideal.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (ideal[i] <= 0.0) {
+      continue;
+    }
+    worst = std::max(worst, std::abs(actual[i] - ideal[i]) / ideal[i]);
+  }
+  return worst;
+}
+
+}  // namespace gfair

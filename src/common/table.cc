@@ -1,0 +1,139 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.h"
+
+namespace gfair {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GFAIR_CHECK(!headers_.empty());
+}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  GFAIR_CHECK_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::BeginRow() {
+  if (!rows_.empty()) {
+    GFAIR_CHECK_MSG(rows_.back().size() == headers_.size(),
+                    "previous row incomplete before BeginRow");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  GFAIR_CHECK_MSG(!rows_.empty() && rows_.back().size() < headers_.size(),
+                  "Cell() without room in current row");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(double value, int precision) { return Cell(FormatDouble(value, precision)); }
+
+Table& Table::Cell(int64_t value) { return Cell(std::to_string(value)); }
+
+void Table::Print(std::ostream& os, const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title.empty()) {
+    os << "== " << title << " ==\n";
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += (c == 0 ? "" : ",");
+    out += CsvEscape(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0 ? "" : ",");
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << ToCsv();
+  return static_cast<bool>(file);
+}
+
+void Table::Report(const std::string& title, const std::string& csv_name) const {
+  Print(std::cout, title);
+  std::cout << '\n';
+  const char* want_csv = std::getenv("GFAIR_BENCH_CSV");
+  if (want_csv != nullptr && want_csv[0] != '\0' && want_csv[0] != '0') {
+    const std::string path = csv_name + ".csv";
+    if (!WriteCsv(path)) {
+      std::cerr << "warning: failed to write " << path << '\n';
+    }
+  }
+}
+
+}  // namespace gfair

@@ -1,0 +1,52 @@
+// Table — aligned ASCII table rendering plus CSV export.
+//
+// Every bench binary reports its results through this class so output is
+// uniform and machine-readable (set GFAIR_BENCH_CSV=1 to also write CSV).
+#ifndef GFAIR_COMMON_TABLE_H_
+#define GFAIR_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gfair {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row-building helpers; a row is complete after headers.size() cells.
+  Table& AddRow(std::vector<std::string> cells);
+  // Starts a new row and appends cells one at a time.
+  Table& BeginRow();
+  Table& Cell(const std::string& value);
+  Table& Cell(double value, int precision = 3);
+  Table& Cell(int64_t value);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Renders an aligned ASCII table with a separator under the header.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  std::string ToCsv() const;
+  // Writes CSV to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  // Convenience used by bench binaries: print to stdout and, when the
+  // GFAIR_BENCH_CSV environment variable is set, also write `<name>.csv` in
+  // the current directory.
+  void Report(const std::string& title, const std::string& csv_name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (no trailing-zero trimming).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace gfair
+
+#endif  // GFAIR_COMMON_TABLE_H_

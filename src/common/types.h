@@ -1,0 +1,76 @@
+// Strong identifier types used across the GandivaFair codebase.
+//
+// All entities (users, jobs, servers, GPUs) are identified by small integers,
+// wrapped in distinct types so that a JobId cannot be passed where a UserId is
+// expected. The wrappers are trivially copyable, hashable and totally ordered.
+#ifndef GFAIR_COMMON_TYPES_H_
+#define GFAIR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace gfair {
+
+// CRTP-free strong typedef over an integral value. `Tag` makes each
+// instantiation a distinct type.
+template <typename Tag, typename Rep = uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr StrongId Invalid() { return StrongId(kInvalidValue); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) {
+      return os << "<invalid>";
+    }
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr Rep kInvalidValue = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalidValue;
+};
+
+struct UserIdTag {};
+struct JobIdTag {};
+struct ServerIdTag {};
+struct GpuIdTag {};
+
+using UserId = StrongId<UserIdTag>;
+using JobId = StrongId<JobIdTag>;
+using ServerId = StrongId<ServerIdTag>;
+// Globally unique GPU identifier (server-local index is a plain int).
+using GpuId = StrongId<GpuIdTag>;
+
+// Fair-share tickets. Fractional tickets arise from splitting a user's tickets
+// across jobs and from trading, so the representation is floating point.
+using Tickets = double;
+
+}  // namespace gfair
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<gfair::StrongId<Tag, Rep>> {
+  size_t operator()(gfair::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // GFAIR_COMMON_TYPES_H_

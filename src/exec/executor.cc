@@ -1,0 +1,238 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace gfair::exec {
+
+using cluster::GpuGeneration;
+using workload::Job;
+using workload::JobState;
+
+Executor::Executor(simkit::Simulator& sim, cluster::Cluster& cluster,
+                   const workload::ModelZoo& zoo, workload::JobTable& jobs,
+                   ExecutorConfig config, uint64_t seed)
+    : sim_(sim), cluster_(cluster), zoo_(zoo), jobs_(jobs), config_(config), rng_(seed) {}
+
+SimDuration Executor::SuspendLatency(workload::ModelId model) const {
+  const auto& profile = zoo_.Get(model);
+  return Seconds(config_.suspend_base_s + config_.suspend_per_gb_s * profile.checkpoint_gb);
+}
+
+SimDuration Executor::ResumeLatency(workload::ModelId model) const {
+  const auto& profile = zoo_.Get(model);
+  return Seconds(config_.resume_base_s + config_.resume_per_gb_s * profile.checkpoint_gb);
+}
+
+SimDuration Executor::MigrateLatency(workload::ModelId model) const {
+  const auto& profile = zoo_.Get(model);
+  const double transfer_s = profile.checkpoint_gb / config_.migrate_bw_gbps;
+  return SuspendLatency(model) + Seconds(transfer_s) + ResumeLatency(model);
+}
+
+void Executor::MakeResident(JobId id, ServerId server) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kQueued, "MakeResident requires a queued job");
+  const auto& target = cluster_.server(server);
+  GFAIR_CHECK_MSG(job.gang_size <= target.num_gpus(),
+                  "gang cannot ever fit on this server");
+  GFAIR_CHECK_MSG(zoo_.Get(job.model).FitsGeneration(target.generation()),
+                  "model does not fit this generation's GPU memory");
+  job.server = server;
+  job.state = JobState::kSuspended;
+}
+
+void Executor::EvictResident(JobId id) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK(job.state == JobState::kSuspended);
+  GFAIR_CHECK_MSG(job.completed_minibatches == 0.0,
+                  "cannot evict a job with progress; use Migrate");
+  job.server = ServerId::Invalid();
+  job.state = JobState::kQueued;
+}
+
+double Executor::TrueRate(JobId id, GpuGeneration gen) const {
+  const Job& job = jobs_.Get(id);
+  return zoo_.Get(job.model).GangThroughput(gen, job.gang_size);
+}
+
+void Executor::Resume(JobId id) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kSuspended, "Resume requires a suspended job");
+  cluster::Server& server = cluster_.server(job.server);
+  GFAIR_CHECK_MSG(server.CanFit(job.gang_size), "Resume without free GPUs");
+  server.Allocate(id, job.gang_size);
+
+  RunSegment seg;
+  seg.start = sim_.Now();
+  seg.warmup = ResumeLatency(job.model);
+  seg.gen = server.generation();
+  seg.rate = TrueRate(id, seg.gen);
+  GFAIR_CHECK(seg.rate > 0.0);
+
+  const double remaining = job.remaining_minibatches();
+  GFAIR_CHECK(remaining > 0.0);
+  const SimDuration work_time =
+      static_cast<SimDuration>(std::ceil(remaining / seg.rate * kSecond));
+  seg.finish_event = sim_.At(seg.start + seg.warmup + work_time,
+                             [this, id]() { OnFinishEvent(id); });
+
+  segments_.emplace(id, seg);
+  job.state = JobState::kRunning;
+  job.num_resumes += 1;
+  job.overhead_ms += seg.warmup;
+}
+
+double Executor::SegmentProgress(const RunSegment& seg, SimDuration elapsed) {
+  const SimDuration productive = std::max<SimDuration>(0, elapsed - seg.warmup);
+  return seg.rate * ToSeconds(productive);
+}
+
+void Executor::CloseSegment(Job& job, bool cancel_finish_event) {
+  auto it = segments_.find(job.id);
+  GFAIR_CHECK(it != segments_.end());
+  RunSegment& seg = it->second;
+  const SimTime now = sim_.Now();
+  const SimDuration elapsed = now - seg.start;
+
+  job.completed_minibatches = std::min(
+      job.total_minibatches, job.completed_minibatches + SegmentProgress(seg, elapsed));
+  job.gpu_ms_by_gen[cluster::GenerationIndex(seg.gen)] +=
+      static_cast<double>(elapsed) * job.gang_size;
+
+  if (cancel_finish_event) {
+    sim_.Cancel(seg.finish_event);
+  }
+  if (on_gpu_time_ && elapsed > 0) {
+    on_gpu_time_(job.user, seg.gen, seg.start, now, job.gang_size);
+  }
+
+  cluster_.server(job.server).Release(job.id);
+  segments_.erase(it);
+}
+
+void Executor::Suspend(JobId id) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kRunning, "Suspend requires a running job");
+  CloseSegment(job, /*cancel_finish_event=*/true);
+  job.state = JobState::kSuspended;
+  job.num_suspends += 1;
+  job.overhead_ms += SuspendLatency(job.model);
+  job.checkpointed_minibatches = job.completed_minibatches;
+}
+
+void Executor::InjectCrash(JobId id) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kRunning || job.state == JobState::kSuspended,
+                  "InjectCrash requires a running or suspended job");
+  if (job.state == JobState::kRunning) {
+    // Close the segment normally (GPU time since the checkpoint was really
+    // burned and stays charged), then roll progress back.
+    CloseSegment(job, /*cancel_finish_event=*/true);
+    job.state = JobState::kSuspended;
+  }
+  const double lost = job.completed_minibatches - job.checkpointed_minibatches;
+  GFAIR_CHECK(lost >= -1e-9);
+  job.completed_minibatches = job.checkpointed_minibatches;
+  job.num_crashes += 1;
+  GFAIR_DLOG << "crash: job " << id << " lost " << lost << " mini-batches";
+}
+
+void Executor::OnFinishEvent(JobId id) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK(job.state == JobState::kRunning);
+  CloseSegment(job, /*cancel_finish_event=*/false);
+  // Guard against floating-point shortfall: the event fires at ceil() time.
+  job.completed_minibatches = job.total_minibatches;
+  job.state = JobState::kFinished;
+  job.finish_time = sim_.Now();
+  job.server = ServerId::Invalid();
+  GFAIR_DLOG << "job " << id << " finished at " << FormatDuration(sim_.Now());
+  if (on_finished_) {
+    on_finished_(id);
+  }
+}
+
+void Executor::Migrate(JobId id, ServerId dest) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kSuspended,
+                  "Migrate requires a suspended job (suspend first)");
+  GFAIR_CHECK(dest.valid() && dest != job.server);
+  const cluster::Server& target = cluster_.server(dest);
+  GFAIR_CHECK_MSG(job.gang_size <= target.num_gpus(), "gang cannot fit on destination");
+  GFAIR_CHECK_MSG(zoo_.Get(job.model).FitsGeneration(target.generation()),
+                  "model does not fit destination generation's GPU memory");
+
+  job.state = JobState::kMigrating;
+  // Concurrent checkpoint transfers share the migration network: stretch the
+  // transfer by the contention factor for each migration already in flight.
+  const double stretch =
+      1.0 + config_.migrate_contention * static_cast<double>(migrations_in_flight_);
+  const SimDuration base_latency = MigrateLatency(job.model);
+  const SimDuration fixed = SuspendLatency(job.model) + ResumeLatency(job.model);
+  const SimDuration latency =
+      fixed + static_cast<SimDuration>(static_cast<double>(base_latency - fixed) * stretch);
+  job.overhead_ms += latency;
+  job.num_migrations += 1;
+  job.checkpointed_minibatches = job.completed_minibatches;
+  migrations_in_flight_ += 1;
+  sim_.After(latency, [this, id, dest]() {
+    Job& moved = jobs_.Get(id);
+    GFAIR_CHECK(moved.state == JobState::kMigrating);
+    migrations_in_flight_ -= 1;
+    GFAIR_CHECK(migrations_in_flight_ >= 0);
+    moved.server = dest;
+    moved.state = JobState::kSuspended;
+    if (on_migrated_) {
+      on_migrated_(id);
+    }
+  });
+}
+
+double Executor::SampleObservedRate(JobId id) {
+  auto it = segments_.find(id);
+  GFAIR_CHECK_MSG(it != segments_.end(), "SampleObservedRate requires a running job");
+  const double noise = std::max(0.1, rng_.Normal(1.0, config_.rate_noise));
+  return it->second.rate * noise;
+}
+
+void Executor::SyncAll() {
+  std::vector<JobId> running;
+  running.reserve(segments_.size());
+  for (const auto& [id, seg] : segments_) {
+    running.push_back(id);
+  }
+  for (JobId id : running) {
+    SyncProgress(id);
+  }
+}
+
+void Executor::SyncProgress(JobId id) {
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return;
+  }
+  Job& job = jobs_.Get(id);
+  RunSegment& seg = it->second;
+  const SimTime now = sim_.Now();
+  const SimDuration elapsed = now - seg.start;
+  if (elapsed <= 0) {
+    return;
+  }
+  const double progressed = SegmentProgress(seg, elapsed);
+  job.completed_minibatches =
+      std::min(job.total_minibatches, job.completed_minibatches + progressed);
+  job.gpu_ms_by_gen[cluster::GenerationIndex(seg.gen)] +=
+      static_cast<double>(elapsed) * job.gang_size;
+  if (on_gpu_time_) {
+    on_gpu_time_(job.user, seg.gen, seg.start, now, job.gang_size);
+  }
+  // Restart the segment "now", carrying any unfinished warm-up.
+  seg.warmup = std::max<SimDuration>(0, seg.warmup - elapsed);
+  seg.start = now;
+}
+
+}  // namespace gfair::exec

@@ -1,0 +1,171 @@
+// Executor — simulated DLT job runtime.
+//
+// Stands in for the Gandiva-style per-server runtime the paper relies on:
+// suspend/resume of framework processes and checkpoint-based migration
+// between servers. The scheduler calls the five verbs below; the executor
+// charges simulated time, tracks job progress at the model's per-generation
+// throughput, fires completion callbacks, and accounts GPU time to users.
+//
+// Cost model (documented in DESIGN.md):
+//  * Resume: the first `resume_latency(model)` of a run segment produces no
+//    progress (process restore + GPU warm-up) but occupies the gang — so each
+//    suspend/resume cycle costs real GPU time, which is why the scheduling
+//    quantum must be much larger than the latency.
+//  * Suspend: the checkpoint happens asynchronously to the releasing GPUs
+//    (device state is small relative to host state); modeled as instantaneous
+//    release plus `suspend_latency(model)` charged to the job's overhead.
+//  * Migration: suspend + checkpoint transfer at `migrate_bw_gbps` + resume,
+//    during which the job is unavailable for scheduling.
+#ifndef GFAIR_EXEC_EXECUTOR_H_
+#define GFAIR_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "simkit/simulator.h"
+#include "workload/job.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::exec {
+
+struct ExecutorConfig {
+  // Suspend/resume latency = base + checkpoint_gb * per_gb (seconds).
+  double suspend_base_s = 0.5;
+  double suspend_per_gb_s = 0.2;
+  double resume_base_s = 1.0;
+  double resume_per_gb_s = 0.3;
+  // Checkpoint network transfer bandwidth for migration.
+  double migrate_bw_gbps = 1.0;
+  // Migration network contention: a transfer starting while K others are in
+  // flight takes (1 + K * migrate_contention) times as long — a snapshot
+  // approximation of bandwidth sharing (exact processor sharing would
+  // require re-timing in-flight transfers). 0 disables.
+  double migrate_contention = 0.5;
+  // Multiplicative noise (stddev, fraction of true rate) on observed
+  // throughput samples — what the online profiler has to cope with.
+  double rate_noise = 0.05;
+};
+
+class Executor {
+ public:
+  // Fired when a running job completes its work. The job's GPUs are already
+  // released when this runs.
+  using JobFinishedCallback = std::function<void(JobId)>;
+  // Fired when a migration lands; the job is suspended on its new server.
+  using MigrationDoneCallback = std::function<void(JobId)>;
+  // GPU-time accounting hook: `user` held `gpus` GPUs of `gen` over
+  // [start, end). Fired at the end of every run segment.
+  using AccountingCallback = std::function<void(
+      UserId user, cluster::GpuGeneration gen, SimTime start, SimTime end, int gpus)>;
+
+  Executor(simkit::Simulator& sim, cluster::Cluster& cluster,
+           const workload::ModelZoo& zoo, workload::JobTable& jobs,
+           ExecutorConfig config, uint64_t seed);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  void set_on_job_finished(JobFinishedCallback cb) { on_finished_ = std::move(cb); }
+  void set_on_migration_done(MigrationDoneCallback cb) { on_migrated_ = std::move(cb); }
+  void set_on_gpu_time(AccountingCallback cb) { on_gpu_time_ = std::move(cb); }
+
+  // queued -> suspended: the job becomes resident on `server` (no cost; the
+  // container/image is assumed pre-staged, as in the paper's clusters).
+  void MakeResident(JobId id, ServerId server);
+
+  // suspended -> queued: detach a never-started or suspended job from its
+  // server without migration cost is NOT allowed once it has progress; use
+  // Migrate. Eviction is only for jobs with zero progress (placement undo).
+  void EvictResident(JobId id);
+
+  // suspended -> running: allocates the gang and starts progress after the
+  // resume latency. Precondition: the server has gang_size free GPUs.
+  void Resume(JobId id);
+
+  // running -> suspended: stops progress, releases the gang immediately and
+  // charges suspend latency to the job's overhead account.
+  void Suspend(JobId id);
+
+  // suspended -> migrating -> suspended on `dest` after the migration
+  // latency. The migration-done callback then fires.
+  void Migrate(JobId id, ServerId dest);
+
+  // Failure injection: the job's process dies (OOM, spot preemption, node
+  // fault). Progress rolls back to the last checkpoint — checkpoints are
+  // taken on every suspend/migration, so the exposure is the current run
+  // segment. A running job releases its GPUs (the GPU time burned since the
+  // checkpoint is still charged — that's the cost of the crash) and becomes
+  // suspended on its server, ready to restart from the checkpoint. No-op
+  // state change for already-suspended jobs. Precondition: not finished, not
+  // migrating.
+  void InjectCrash(JobId id);
+
+  bool IsRunning(JobId id) const { return segments_.count(id) > 0; }
+
+  // Ground-truth gang throughput (mini-batches/s) of the job on `gen`.
+  double TrueRate(JobId id, cluster::GpuGeneration gen) const;
+
+  // Noisy observation of the job's current throughput. Precondition: running.
+  // This is what the profiler sees (mini-batch timing jitter).
+  double SampleObservedRate(JobId id);
+
+  // Folds elapsed progress of a running job into completed_minibatches (e.g.
+  // before reading job stats mid-segment). No-op for non-running jobs.
+  // Also flushes the pending GPU-time interval to the accounting callback.
+  void SyncProgress(JobId id);
+
+  // SyncProgress for every running job. Call before reading jobs/ledgers
+  // mid-run — open run segments are otherwise invisible to accounting.
+  void SyncAll();
+
+  // Per-model operation latencies (exposed for benches/tests).
+  // MigrateLatency is the uncontended figure; the actual charge grows with
+  // the number of migrations already in flight (see migrate_contention).
+  SimDuration SuspendLatency(workload::ModelId model) const;
+  SimDuration ResumeLatency(workload::ModelId model) const;
+  SimDuration MigrateLatency(workload::ModelId model) const;
+
+  int migrations_in_flight() const { return migrations_in_flight_; }
+
+  const ExecutorConfig& config() const { return config_; }
+
+ private:
+  // State of one running gang.
+  struct RunSegment {
+    SimTime start;                 // segment start (resume instant)
+    SimDuration warmup;            // no-progress prefix (resume latency)
+    double rate;                   // mini-batches/s once warmed up
+    cluster::GpuGeneration gen;
+    simkit::EventId finish_event;  // pending completion event
+  };
+
+  // Progress accumulated in a segment after `elapsed` of wall time.
+  static double SegmentProgress(const RunSegment& seg, SimDuration elapsed);
+
+  // Ends a run segment: sync progress, charge GPU time, release GPUs.
+  void CloseSegment(workload::Job& job, bool cancel_finish_event);
+
+  void OnFinishEvent(JobId id);
+
+  simkit::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  const workload::ModelZoo& zoo_;
+  workload::JobTable& jobs_;
+  ExecutorConfig config_;
+  Rng rng_;
+
+  std::unordered_map<JobId, RunSegment> segments_;
+  int migrations_in_flight_ = 0;
+
+  JobFinishedCallback on_finished_;
+  MigrationDoneCallback on_migrated_;
+  AccountingCallback on_gpu_time_;
+};
+
+}  // namespace gfair::exec
+
+#endif  // GFAIR_EXEC_EXECUTOR_H_

@@ -1,0 +1,80 @@
+#include "sched/decision_log.h"
+
+#include "common/check.h"
+
+namespace gfair::sched {
+
+const char* DecisionTypeName(DecisionType type) {
+  switch (type) {
+    case DecisionType::kPlace:
+      return "place";
+    case DecisionType::kResume:
+      return "resume";
+    case DecisionType::kSuspend:
+      return "suspend";
+    case DecisionType::kMigrateBalance:
+      return "migrate/balance";
+    case DecisionType::kMigrateConserve:
+      return "migrate/conserve";
+    case DecisionType::kMigrateSteal:
+      return "migrate/steal";
+    case DecisionType::kMigrateProbe:
+      return "migrate/probe";
+    case DecisionType::kMigrateTrade:
+      return "migrate/trade";
+    case DecisionType::kTrade:
+      return "trade";
+  }
+  return "?";
+}
+
+DecisionType DecisionFor(MigrationCause cause) {
+  switch (cause) {
+    case MigrationCause::kBalance:
+      return DecisionType::kMigrateBalance;
+    case MigrationCause::kConserve:
+      return DecisionType::kMigrateConserve;
+    case MigrationCause::kSteal:
+      return DecisionType::kMigrateSteal;
+    case MigrationCause::kProbe:
+      return DecisionType::kMigrateProbe;
+    case MigrationCause::kTrade:
+      return DecisionType::kMigrateTrade;
+  }
+  return DecisionType::kMigrateBalance;
+}
+
+void DecisionLog::Record(SimTime time, DecisionType type, JobId job, ServerId from,
+                         ServerId to) {
+  counts_[static_cast<size_t>(type)] += 1;
+  entries_.push_back(Decision{time, type, job, from, to});
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+}
+
+int64_t DecisionLog::TotalMigrations() const {
+  return Count(DecisionType::kMigrateBalance) + Count(DecisionType::kMigrateConserve) +
+         Count(DecisionType::kMigrateSteal) + Count(DecisionType::kMigrateProbe) +
+         Count(DecisionType::kMigrateTrade);
+}
+
+void DecisionLog::Dump(std::ostream& os, size_t max_entries) const {
+  const size_t start =
+      entries_.size() > max_entries ? entries_.size() - max_entries : 0;
+  for (size_t i = start; i < entries_.size(); ++i) {
+    const Decision& d = entries_[i];
+    os << FormatDuration(d.time) << "  " << DecisionTypeName(d.type);
+    if (d.job.valid()) {
+      os << "  job " << d.job;
+    }
+    if (d.from.valid()) {
+      os << "  " << d.from << " -> " << d.to;
+    } else if (d.to.valid()) {
+      os << "  -> " << d.to;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace gfair::sched

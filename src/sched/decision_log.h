@@ -1,0 +1,83 @@
+// DecisionLog — bounded structured trace of scheduler decisions.
+//
+// Every consequential action (placement, suspend/resume at quantum edges,
+// migrations with their cause, trades) is recorded into a ring buffer with
+// per-type counters. Used for debugging ("why did job 17 move?"), for
+// migration-cause breakdowns in experiment reports, and by tests asserting
+// that a mechanism actually fired.
+#ifndef GFAIR_SCHED_DECISION_LOG_H_
+#define GFAIR_SCHED_DECISION_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace gfair::sched {
+
+enum class DecisionType : uint8_t {
+  kPlace = 0,          // arriving job made resident
+  kResume = 1,         // gang given GPUs
+  kSuspend = 2,        // gang preempted at a quantum edge
+  kMigrateBalance = 3,  // ticket-load balancing move
+  kMigrateConserve = 4,  // work-conservation move (balancer pass 1)
+  kMigrateSteal = 5,   // event-driven work stealing
+  kMigrateProbe = 6,   // profiling probe to an uncovered generation
+  kMigrateTrade = 7,   // residency following traded entitlements
+  kTrade = 8,          // one executed trade
+};
+inline constexpr size_t kNumDecisionTypes = 9;
+
+const char* DecisionTypeName(DecisionType type);
+
+// Causes passed to StartMigration; map 1:1 onto the kMigrate* decisions.
+enum class MigrationCause : uint8_t {
+  kBalance = 0,
+  kConserve = 1,
+  kSteal = 2,
+  kProbe = 3,
+  kTrade = 4,
+};
+
+DecisionType DecisionFor(MigrationCause cause);
+
+struct Decision {
+  SimTime time;
+  DecisionType type;
+  JobId job;            // invalid for kTrade
+  ServerId from;        // invalid where not applicable
+  ServerId to;
+};
+
+class DecisionLog {
+ public:
+  explicit DecisionLog(size_t capacity = 8192) : capacity_(capacity) {}
+
+  void Record(SimTime time, DecisionType type, JobId job,
+              ServerId from = ServerId::Invalid(), ServerId to = ServerId::Invalid());
+
+  // Lifetime count per decision type (not limited by the ring capacity).
+  int64_t Count(DecisionType type) const {
+    return counts_[static_cast<size_t>(type)];
+  }
+  int64_t TotalMigrations() const;
+
+  // The retained tail of the decision stream (most recent last).
+  const std::deque<Decision>& entries() const { return entries_; }
+
+  // Human-readable dump of the retained tail (most recent last).
+  void Dump(std::ostream& os, size_t max_entries = 64) const;
+
+ private:
+  size_t capacity_;
+  std::deque<Decision> entries_;
+  std::array<int64_t, kNumDecisionTypes> counts_{};
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_DECISION_LOG_H_

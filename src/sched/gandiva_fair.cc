@@ -1,0 +1,473 @@
+// Core lifecycle and quantum mechanics of GandivaFairScheduler.
+// Placement/migration live in gandiva_fair_placement.cc; the load-balancing
+// and trading epochs live in gandiva_fair_epochs.cc.
+#include "sched/gandiva_fair.h"
+
+#include "sched/hierarchy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using workload::Job;
+using workload::JobState;
+
+namespace internal_gfair {
+// "Long ago" sentinel for last_migration so fresh jobs pass the interval check.
+constexpr SimTime kLongAgo = -(int64_t{1} << 60);
+// Floor for stride tickets (a user whose pool entitlement was traded away
+// still needs a positive ticket count; residency rebalancing then moves its
+// jobs out of the pool).
+constexpr double kMinTickets = 1e-6;
+}  // namespace internal_gfair
+
+using internal_gfair::kLongAgo;
+using internal_gfair::kMinTickets;
+
+GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
+                                           GandivaFairConfig config)
+    : env_(env), config_(config), trading_(config.trade) {
+  profiles_ = ProfileStore(config_.profile_min_samples);
+  strides_.reserve(static_cast<size_t>(env_.cluster.num_servers()));
+  for (const auto& server : env_.cluster.servers()) {
+    strides_.emplace_back(server.num_gpus(), config_.stride);
+  }
+  last_steal_.assign(static_cast<size_t>(env_.cluster.num_servers()),
+                     -(int64_t{1} << 60));
+  draining_.assign(static_cast<size_t>(env_.cluster.num_servers()), false);
+}
+
+LocalStrideScheduler& GandivaFairScheduler::StrideFor(ServerId server) {
+  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
+  return strides_[server.value()];
+}
+
+const LocalStrideScheduler& GandivaFairScheduler::stride_for(ServerId server) const {
+  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
+  return strides_[server.value()];
+}
+
+GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
+  return env_.cluster.server(server).generation();
+}
+
+GandivaFairScheduler::JobInfo& GandivaFairScheduler::InfoFor(JobId id) {
+  auto it = job_info_.find(id);
+  GFAIR_CHECK_MSG(it != job_info_.end(), "unknown job");
+  return it->second;
+}
+
+void GandivaFairScheduler::Start() {
+  env_.sim.Every(config_.quantum, [this]() { QuantumTick(); });
+  if (config_.enable_load_balancing && env_.cluster.num_servers() > 1) {
+    env_.sim.Every(config_.balance_period, [this]() { BalanceTick(); });
+  }
+  if (config_.enable_trading && env_.cluster.heterogeneous()) {
+    env_.sim.Every(config_.trade_period, [this]() { TradeTick(); });
+  }
+}
+
+void GandivaFairScheduler::Submit(JobId id) {
+  Job& job = env_.jobs.Get(id);
+  GFAIR_CHECK(job.state == JobState::kQueued);
+  if (!ticket_matrix_.HasUser(job.user)) {
+    ticket_matrix_.RegisterUser(job.user, env_.users.Get(job.user).tickets);
+  }
+  user_unfinished_jobs_[job.user] += 1;
+  user_total_demand_[job.user] += job.gang_size;
+  if (user_unfinished_jobs_[job.user] == 1) {
+    ApplyHierarchy();  // active set grew
+  }
+
+  JobInfo info;
+  info.last_migration = kLongAgo;
+  job_info_[id] = info;
+
+  const ServerId dest = ChoosePlacement(job);
+  GFAIR_CHECK_MSG(dest.valid(), "no server can host this gang");
+  decisions_.Record(env_.sim.Now(), DecisionType::kPlace, id, ServerId::Invalid(), dest);
+  env_.exec.MakeResident(id, dest);
+  AttachResident(id, dest);
+  FillIdleGpus(dest);
+}
+
+void GandivaFairScheduler::OnJobFinished(JobId id) {
+  const Job& job = env_.jobs.Get(id);
+  JobInfo& info = InfoFor(id);
+  const ServerId server = info.home;
+  GFAIR_CHECK(server.valid());
+
+  // Account the final partial quantum to the stride pass before removal.
+  LocalStrideScheduler& stride = StrideFor(server);
+  if (stride.Contains(id)) {
+    stride.Charge(id, env_.sim.Now() - info.last_charge);
+  }
+  DetachResident(id);
+
+  auto it = user_unfinished_jobs_.find(job.user);
+  GFAIR_CHECK(it != user_unfinished_jobs_.end() && it->second > 0);
+  it->second -= 1;
+  user_total_demand_[job.user] -= job.gang_size;
+  if (it->second == 0) {
+    ApplyHierarchy();  // active set shrank
+  }
+
+  info.home = ServerId::Invalid();
+  FillIdleGpus(server);
+}
+
+void GandivaFairScheduler::OnMigrationDone(JobId id) {
+  JobInfo& info = InfoFor(id);
+  GFAIR_CHECK(info.migrating);
+  info.migrating = false;
+  AttachResident(id, info.home);
+  FillIdleGpus(info.home);
+}
+
+void GandivaFairScheduler::QuantumTick() {
+  // Flush open run segments first so ledger windows attribute GPU time to
+  // the quantum it was actually consumed in (long uninterrupted runs would
+  // otherwise credit hours of GPU time at their eventual close).
+  env_.exec.SyncAll();
+  for (const auto& server : env_.cluster.servers()) {
+    ChargeRunningOn(server.id());
+    CollectSamples(server.id());
+    ApplyTargetSet(server.id());
+  }
+  if (config_.enable_work_stealing) {
+    for (const auto& server : env_.cluster.servers()) {
+      if (server.num_free() > 0) {
+        TrySteal(server.id());
+      }
+    }
+  }
+}
+
+void GandivaFairScheduler::ChargeRunningOn(ServerId server) {
+  LocalStrideScheduler& stride = StrideFor(server);
+  const SimTime now = env_.sim.Now();
+  for (JobId id : stride.ResidentJobs()) {
+    if (env_.exec.IsRunning(id)) {
+      JobInfo& info = InfoFor(id);
+      stride.Charge(id, now - info.last_charge);
+      info.last_charge = now;
+    }
+  }
+}
+
+void GandivaFairScheduler::CollectSamples(ServerId server) {
+  LocalStrideScheduler& stride = StrideFor(server);
+  const GpuGeneration gen = GenOf(server);
+  for (JobId id : stride.ResidentJobs()) {
+    if (env_.exec.IsRunning(id)) {
+      const Job& job = env_.jobs.Get(id);
+      const double observed = env_.exec.SampleObservedRate(id);
+      profiles_.AddSample(job.model, gen, observed / job.gang_size);
+    }
+  }
+}
+
+void GandivaFairScheduler::ApplyTargetSet(ServerId server) {
+  LocalStrideScheduler& stride = StrideFor(server);
+  const std::vector<JobId> target = stride.SelectForQuantum();
+  const std::unordered_set<JobId> target_set(target.begin(), target.end());
+
+  // Suspend first so the incoming gang's GPUs are free.
+  for (JobId id : stride.ResidentJobs()) {
+    if (env_.exec.IsRunning(id) && target_set.count(id) == 0) {
+      env_.exec.Suspend(id);
+      decisions_.Record(env_.sim.Now(), DecisionType::kSuspend, id, server);
+    }
+  }
+  const SimTime now = env_.sim.Now();
+  for (JobId id : target) {
+    if (!env_.exec.IsRunning(id)) {
+      env_.exec.Resume(id);
+      decisions_.Record(now, DecisionType::kResume, id, ServerId::Invalid(), server);
+      InfoFor(id).last_charge = now;
+    }
+  }
+}
+
+void GandivaFairScheduler::FillIdleGpus(ServerId server) {
+  cluster::Server& host = env_.cluster.server(server);
+  if (host.num_free() == 0) {
+    return;
+  }
+  // Work conservation between quantum ticks: start the best waiting jobs
+  // that fit the currently idle GPUs, without preempting anyone. Unlike the
+  // quantum boundary, GPUs here free up incrementally, so with
+  // reserve_blocked_gang we stop at the first waiting gang that does not fit:
+  // its GPUs accumulate instead of being nibbled away by jobs behind it.
+  LocalStrideScheduler& stride = StrideFor(server);
+  const SimTime now = env_.sim.Now();
+  for (JobId id : stride.SelectForQuantum()) {
+    if (env_.exec.IsRunning(id)) {
+      continue;
+    }
+    const Job& job = env_.jobs.Get(id);
+    if (host.CanFit(job.gang_size)) {
+      env_.exec.Resume(id);
+      decisions_.Record(now, DecisionType::kResume, id, ServerId::Invalid(), server);
+      InfoFor(id).last_charge = now;
+    } else if (config_.stride.reserve_blocked_gang) {
+      break;
+    }
+  }
+  if (host.num_free() > 0 && config_.enable_work_stealing) {
+    TrySteal(server);
+  }
+}
+
+void GandivaFairScheduler::AttachResident(JobId id, ServerId server) {
+  Job& job = env_.jobs.Get(id);
+  JobInfo& info = InfoFor(id);
+  info.home = server;
+  const GpuGeneration gen = GenOf(server);
+  auto& pool_jobs = user_pool_jobs_[job.user][GenerationIndex(gen)];
+  GFAIR_CHECK(pool_jobs.insert(id).second);
+  StrideFor(server).AddJob(id, job.gang_size,
+                           PerJobTickets(job.user, gen, job));
+  RefreshPoolTickets(job.user, gen);
+  ledger_.RecordDemandChange(job.user, gen, env_.sim.Now(), job.gang_size);
+}
+
+void GandivaFairScheduler::DetachResident(JobId id) {
+  Job& job = env_.jobs.Get(id);
+  JobInfo& info = InfoFor(id);
+  GFAIR_CHECK(info.home.valid());
+  const GpuGeneration gen = GenOf(info.home);
+  auto& pool_jobs = user_pool_jobs_[job.user][GenerationIndex(gen)];
+  GFAIR_CHECK(pool_jobs.erase(id) == 1);
+  StrideFor(info.home).RemoveJob(id);
+  RefreshPoolTickets(job.user, gen);
+  ledger_.RecordDemandChange(job.user, gen, env_.sim.Now(), -job.gang_size);
+}
+
+double GandivaFairScheduler::WeightedResidentDemand(UserId user,
+                                                    GpuGeneration gen) const {
+  auto it = user_pool_jobs_.find(user);
+  if (it == user_pool_jobs_.end()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (JobId id : it->second[GenerationIndex(gen)]) {
+    const Job& job = env_.jobs.Get(id);
+    total += job.gang_size * job.weight;
+  }
+  return total;
+}
+
+double GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
+                                           const Job& job) const {
+  // A user's pool tickets are split across its resident jobs proportional to
+  // weight x gang size (equal weighted GPU-time per demanded GPU). An equal
+  // per-job split would let the user's 1-GPU jobs run continuously while its
+  // 8-GPU gang — one job, one share — starved at an eighth of its demand.
+  const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
+  const double share = job.gang_size * job.weight;
+  const double demand = std::max(WeightedResidentDemand(user, gen), share);
+  return pool_tickets * share / demand;
+}
+
+void GandivaFairScheduler::RefreshPoolTickets(UserId user, GpuGeneration gen) {
+  auto it = user_pool_jobs_.find(user);
+  if (it == user_pool_jobs_.end()) {
+    return;
+  }
+  const auto& pool_jobs = it->second[GenerationIndex(gen)];
+  if (pool_jobs.empty()) {
+    return;
+  }
+  for (JobId id : pool_jobs) {
+    const Job& job = env_.jobs.Get(id);
+    StrideFor(job_info_.at(id).home)
+        .SetTickets(id, PerJobTickets(user, gen, job));
+  }
+}
+
+void GandivaFairScheduler::RefreshAllTickets() {
+  for (const auto& [user, pools] : user_pool_jobs_) {
+    for (GpuGeneration gen : cluster::kAllGenerations) {
+      RefreshPoolTickets(user, gen);
+    }
+  }
+}
+
+ClusterSnapshot GandivaFairScheduler::Snapshot() const {
+  ClusterSnapshot snapshot;
+  snapshot.time = env_.sim.Now();
+  for (const auto& server : env_.cluster.servers()) {
+    ServerSnapshot view;
+    view.id = server.id();
+    view.generation = server.generation();
+    view.num_gpus = server.num_gpus();
+    view.busy_gpus = server.num_busy();
+    const auto& stride = stride_for(server.id());
+    view.resident_jobs = static_cast<int>(stride.num_jobs());
+    view.demand_load = stride.DemandLoad() / static_cast<double>(server.num_gpus());
+    view.ticket_load = stride.TicketLoad() / static_cast<double>(server.num_gpus());
+    view.draining = draining_[server.id().value()];
+    snapshot.servers.push_back(view);
+  }
+  for (const auto& user : env_.users.users()) {
+    UserSnapshot view;
+    view.id = user.id;
+    view.name = user.name;
+    auto it = user_unfinished_jobs_.find(user.id);
+    view.unfinished_jobs = it != user_unfinished_jobs_.end() ? it->second : 0;
+    for (GpuGeneration gen : cluster::kAllGenerations) {
+      const size_t g = GenerationIndex(gen);
+      view.entitlement_gpus[g] =
+          ticket_matrix_.HasUser(user.id) ? EntitlementGpus(user.id, gen) : 0.0;
+      view.resident_demand[g] = ResidentDemand(user.id, gen);
+    }
+    snapshot.users.push_back(view);
+  }
+  return snapshot;
+}
+
+bool GandivaFairScheduler::IsDraining(ServerId server) const {
+  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
+  return draining_[server.value()];
+}
+
+void GandivaFairScheduler::DrainServer(ServerId server) {
+  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
+  if (draining_[server.value()]) {
+    return;
+  }
+  draining_[server.value()] = true;
+  GFAIR_ILOG << "draining server " << server;
+  DrainTick();
+}
+
+void GandivaFairScheduler::UndrainServer(ServerId server) {
+  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
+  draining_[server.value()] = false;
+}
+
+void GandivaFairScheduler::DrainTick() {
+  const SimTime now = env_.sim.Now();
+  for (size_t s = 0; s < draining_.size(); ++s) {
+    if (!draining_[s]) {
+      continue;
+    }
+    const ServerId source(static_cast<uint32_t>(s));
+    const cluster::GpuGeneration gen = GenOf(source);
+    // Bounded batch: residents leave over successive balance ticks so the
+    // migration network is not swamped.
+    int budget = config_.max_migrations_per_round;
+    for (JobId id : StrideFor(source).ResidentJobs()) {
+      if (budget <= 0) {
+        break;
+      }
+      const Job& job = env_.jobs.Get(id);
+      // Least-loaded non-draining server of the pool that fits the gang.
+      ServerId dest = ServerId::Invalid();
+      double dest_load = std::numeric_limits<double>::infinity();
+      for (ServerId sid : env_.cluster.servers_of(gen)) {
+        if (sid == source || draining_[sid.value()]) {
+          continue;
+        }
+        const auto& peer = env_.cluster.server(sid);
+        if (peer.num_gpus() < job.gang_size) {
+          continue;
+        }
+        const double load = stride_for(sid).TicketLoad() / peer.num_gpus();
+        if (load < dest_load) {
+          dest_load = load;
+          dest = sid;
+        }
+      }
+      if (!dest.valid()) {
+        GFAIR_WLOG << "drain: no destination for job " << id << " at "
+                   << FormatDuration(now) << "; leaving it in place";
+        continue;
+      }
+      StartMigration(id, dest, MigrationCause::kBalance);
+      --budget;
+    }
+  }
+}
+
+void GandivaFairScheduler::ApplyHierarchy() {
+  if (!config_.enable_hierarchical_sharing) {
+    return;
+  }
+  bool any_grouped = false;
+  for (const auto& user : env_.users.users()) {
+    if (!user.group.empty()) {
+      any_grouped = true;
+      break;
+    }
+  }
+  if (!any_grouped) {
+    return;
+  }
+  const std::vector<UserId> active = ActiveUsers();
+  if (active.empty()) {
+    return;
+  }
+  for (const auto& [user, tickets] : ComputeHierarchicalTickets(env_.users, active)) {
+    // Resets the user's pool row to the new base; the next trading epoch
+    // rebuilds trades on top (activity changes invalidate them anyway).
+    ticket_matrix_.RegisterUser(user, tickets);
+  }
+  RefreshAllTickets();
+}
+
+std::vector<UserId> GandivaFairScheduler::ActiveUsers() const {
+  std::vector<UserId> active;
+  for (const auto& [user, count] : user_unfinished_jobs_) {
+    if (count > 0) {
+      active.push_back(user);
+    }
+  }
+  std::sort(active.begin(), active.end());
+  return active;
+}
+
+double GandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration gen) const {
+  const int pool = env_.cluster.total_gpus(gen);
+  if (pool == 0) {
+    return 0.0;
+  }
+  const std::vector<UserId> active = ActiveUsers();
+  if (active.empty()) {
+    return static_cast<double>(pool);
+  }
+  double total = 0.0;
+  double mine = 0.0;
+  for (UserId v : active) {
+    const double tickets = ticket_matrix_.Get(v, gen);
+    total += tickets;
+    if (v == user) {
+      mine = tickets;
+    }
+  }
+  if (total <= 0.0) {
+    return static_cast<double>(pool) / static_cast<double>(active.size());
+  }
+  return mine / total * static_cast<double>(pool);
+}
+
+double GandivaFairScheduler::ResidentDemand(UserId user, GpuGeneration gen) const {
+  auto it = user_pool_jobs_.find(user);
+  if (it == user_pool_jobs_.end()) {
+    return 0.0;
+  }
+  double demand = 0.0;
+  for (JobId id : it->second[GenerationIndex(gen)]) {
+    demand += env_.jobs.Get(id).gang_size;
+  }
+  return demand;
+}
+
+}  // namespace gfair::sched

@@ -1,0 +1,200 @@
+// GandivaFairScheduler — the paper's scheduler, end to end.
+//
+// Combines, on top of the Executor substrate:
+//   * per-server gang-aware stride schedulers driven by a global quantum tick
+//     (split stride design: central placement, local time slicing);
+//   * ticket-load-aware central placement of arriving jobs;
+//   * migration-based load balancing within each generation pool;
+//   * transparent throughput profiling of running jobs (plus bounded probe
+//     migrations to cover missing generations);
+//   * epoch-based automatic resource trading across generation pools, with
+//     residency rebalancing so jobs follow their user's traded entitlements;
+//   * a FairnessLedger recording per-user GPU time and demand for evaluation.
+#ifndef GFAIR_SCHED_GANDIVA_FAIR_H_
+#define GFAIR_SCHED_GANDIVA_FAIR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/decision_log.h"
+#include "sched/ledger.h"
+#include "sched/profiler.h"
+#include "sched/scheduler_iface.h"
+#include "sched/snapshot.h"
+#include "sched/stride.h"
+#include "sched/ticket_matrix.h"
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+struct GandivaFairConfig {
+  // --- local stride scheduling ---
+  StrideConfig stride;                  // gang-awareness knobs (both on by default)
+  SimDuration quantum = Minutes(1);
+
+  // --- migration-based load balancing ---
+  bool enable_load_balancing = true;
+  SimDuration balance_period = Minutes(5);
+  // Rebalance when (max - min) per-server ticket load exceeds this fraction
+  // of the pool's mean load.
+  double balance_threshold = 0.15;
+  int max_migrations_per_round = 16;
+  // A job is not migrated again within this interval (amortizes cost).
+  SimDuration min_migration_interval = Minutes(10);
+
+  // --- resource trading ---
+  bool enable_trading = true;
+  SimDuration trade_period = Minutes(10);
+  TradeConfig trade;
+  // Residency-rebalancing migrations allowed per trade epoch.
+  int max_trade_migrations = 32;
+
+  // --- profiling ---
+  size_t profile_min_samples = 3;
+  // Probe migrations (to cover missing generations) allowed per trade epoch.
+  int max_probes_per_epoch = 2;
+
+  // --- hierarchical sharing ---
+  // When users carry group labels (User::group), split cluster tickets
+  // group-first: a group's weight (sum of member base tickets) is divided
+  // among its ACTIVE members, so team shares are headcount-independent.
+  // No-op when no user is grouped.
+  bool enable_hierarchical_sharing = true;
+
+  // --- work stealing ---
+  // When a server has idle GPUs and no resident job fits them, pull a
+  // fitting suspended job from an oversubscribed server of the same pool
+  // (event-driven work conservation; at most once per server per quantum).
+  bool enable_work_stealing = true;
+};
+
+class GandivaFairScheduler : public IScheduler {
+ public:
+  GandivaFairScheduler(const SchedulerEnv& env, GandivaFairConfig config);
+
+  void Start() override;
+  void Submit(JobId id) override;
+  void OnJobFinished(JobId id) override;
+  void OnMigrationDone(JobId id) override;
+  std::string name() const override { return "GandivaFair"; }
+  FairnessLedger& policy_ledger() override { return ledger_; }
+
+  // --- introspection (tests, benches, examples) ---
+  FairnessLedger& ledger() { return ledger_; }
+  const FairnessLedger& ledger() const { return ledger_; }
+  const ProfileStore& profiles() const { return profiles_; }
+  ProfileStore& mutable_profiles() { return profiles_; }
+  const TicketMatrix& tickets() const { return ticket_matrix_; }
+  const std::vector<Trade>& executed_trades() const { return executed_trades_; }
+  int64_t migrations_started() const { return migrations_started_; }
+  int64_t steals_started() const { return steals_started_; }
+  // Structured trace of scheduler decisions (placements, suspends/resumes,
+  // migrations by cause, trades).
+  const DecisionLog& decisions() const { return decisions_; }
+  const LocalStrideScheduler& stride_for(ServerId server) const;
+  // User's current entitlement (in GPUs) on a pool, given active users.
+  double EntitlementGpus(UserId user, cluster::GpuGeneration gen) const;
+  // User's resident GPU demand on a pool.
+  double ResidentDemand(UserId user, cluster::GpuGeneration gen) const;
+  const GandivaFairConfig& config() const { return config_; }
+
+  // Structured point-in-time view of servers and users (for operators,
+  // tools and tests).
+  ClusterSnapshot Snapshot() const;
+
+  // --- maintenance ---
+  // Marks a server as draining: no new placements or inbound migrations;
+  // resident jobs are migrated off (a bounded batch per balance tick, plus
+  // an immediate batch now). Safe to call repeatedly.
+  void DrainServer(ServerId server);
+  // Returns a drained server to service.
+  void UndrainServer(ServerId server);
+  bool IsDraining(ServerId server) const;
+
+ private:
+  struct JobInfo {
+    ServerId home = ServerId::Invalid();  // resident/destination server
+    SimTime last_charge = kTimeZero;
+    SimTime last_migration;  // initialized to "long ago"
+    bool migrating = false;
+  };
+
+  LocalStrideScheduler& StrideFor(ServerId server);
+  cluster::GpuGeneration GenOf(ServerId server) const;
+  JobInfo& InfoFor(JobId id);
+
+  // Periodic events.
+  void QuantumTick();
+  void BalanceTick();
+  void TradeTick();
+
+  // Quantum mechanics.
+  void ChargeRunningOn(ServerId server);
+  void ApplyTargetSet(ServerId server);
+  void FillIdleGpus(ServerId server);
+  void CollectSamples(ServerId server);
+
+  // Placement & migration.
+  ServerId ChoosePlacement(const workload::Job& job) const;
+  void StartMigration(JobId id, ServerId dest, MigrationCause cause);
+  // Work stealing: fill `server`'s idle GPUs with a suspended job migrated
+  // from an oversubscribed server of the same pool.
+  void TrySteal(ServerId server);
+  void AttachResident(JobId id, ServerId server);  // stride + counters + ledger
+  void DetachResident(JobId id);                   // inverse (before migrate/finish)
+
+  // Tickets.
+  // Recomputes effective base tickets from the group hierarchy after the
+  // active-user set changes.
+  void ApplyHierarchy();
+  double PerJobTickets(UserId user, cluster::GpuGeneration gen,
+                       const workload::Job& job) const;
+  double WeightedResidentDemand(UserId user, cluster::GpuGeneration gen) const;
+  void RefreshPoolTickets(UserId user, cluster::GpuGeneration gen);
+  void RefreshAllTickets();
+
+  // Drains one bounded batch of jobs off every draining server.
+  void DrainTick();
+
+  // Trading helpers.
+  std::vector<UserId> ActiveUsers() const;
+  bool UserSpeedup(UserId user, cluster::GpuGeneration fast, cluster::GpuGeneration slow,
+                   double* out) const;
+  void RunProbes();
+  void RebalanceResidency(const TradeOutcome& outcome);
+
+  SchedulerEnv env_;
+  GandivaFairConfig config_;
+
+  std::vector<LocalStrideScheduler> strides_;  // one per server, same indexing
+  FairnessLedger ledger_;
+  ProfileStore profiles_;
+  TicketMatrix ticket_matrix_;
+  TradingEngine trading_;
+  std::vector<Trade> executed_trades_;
+
+  std::unordered_map<JobId, JobInfo> job_info_;
+  // Unfinished jobs per user per pool (drives per-job ticket splits).
+  std::unordered_map<UserId, cluster::PerGeneration<std::unordered_set<JobId>>>
+      user_pool_jobs_;
+  std::unordered_map<UserId, int> user_unfinished_jobs_;
+  // Total outstanding GPU demand per user (includes in-flight migrations,
+  // which are resident in no pool set).
+  std::unordered_map<UserId, double> user_total_demand_;
+
+  int64_t migrations_started_ = 0;
+  int64_t probes_started_ = 0;
+  int64_t steals_started_ = 0;
+  DecisionLog decisions_;
+  // Per-server rate limit for stealing (indexed like strides_).
+  std::vector<SimTime> last_steal_;
+  // Servers being drained for maintenance (indexed like strides_).
+  std::vector<bool> draining_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_GANDIVA_FAIR_H_

@@ -1,0 +1,397 @@
+// Load-balancing and trading epochs of GandivaFairScheduler.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using cluster::kAllGenerations;
+using workload::Job;
+
+// ---------------------------------------------------------------------------
+// Load balancing: keep per-server ticket load even within each pool.
+// ---------------------------------------------------------------------------
+
+void GandivaFairScheduler::BalanceTick() {
+  const SimTime now = env_.sim.Now();
+  DrainTick();  // evacuate draining servers first
+  for (GpuGeneration gen : kAllGenerations) {
+    const auto& servers = env_.cluster.servers_of(gen);
+    if (servers.size() < 2) {
+      continue;
+    }
+
+    // Pass 1 — work conservation: a server whose residents demand more GPUs
+    // than it has, next to a server with spare GPUs, wastes capacity that no
+    // amount of local time-slicing can recover. Move waiting (suspended)
+    // jobs from oversubscribed servers onto idle GPUs.
+    std::unordered_map<ServerId, double> pending_demand;  // in-flight arrivals
+    for (int round = 0; round < config_.max_migrations_per_round; ++round) {
+      ServerId src = ServerId::Invalid();
+      ServerId dst = ServerId::Invalid();
+      double worst_overflow = 0.5;  // demand beyond capacity, in GPUs
+      double best_spare = 0.999;    // idle GPUs worth of headroom
+      for (ServerId id : servers) {
+        if (IsDraining(id)) {
+          continue;
+        }
+        const auto& server = env_.cluster.server(id);
+        const double demand = stride_for(id).DemandLoad() + pending_demand[id];
+        const double overflow = demand - server.num_gpus();
+        const double spare = server.num_gpus() - demand;
+        if (overflow > worst_overflow) {
+          worst_overflow = overflow;
+          src = id;
+        }
+        if (spare > best_spare) {
+          best_spare = spare;
+          dst = id;
+        }
+      }
+      if (!src.valid() || !dst.valid()) {
+        break;
+      }
+      // Largest suspended gang that fits the destination's headroom.
+      JobId candidate = JobId::Invalid();
+      int candidate_gang = 0;
+      for (JobId id : StrideFor(src).ResidentJobs()) {
+        if (env_.exec.IsRunning(id)) {
+          continue;
+        }
+        const Job& job = env_.jobs.Get(id);
+        const JobInfo& info = job_info_.at(id);
+        if (now - info.last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        if (job.gang_size <= best_spare + 1e-9 && job.gang_size > candidate_gang) {
+          candidate = id;
+          candidate_gang = job.gang_size;
+        }
+      }
+      if (!candidate.valid()) {
+        break;
+      }
+      pending_demand[dst] += candidate_gang;
+      StartMigration(candidate, dst, MigrationCause::kConserve);
+    }
+
+    // Pass 2 — fairness: even out per-server ticket load so every resident
+    // job's stride share is realizable. Tickets already in flight toward a
+    // destination this round:
+    std::unordered_map<ServerId, double> pending;
+
+    for (int round = 0; round < config_.max_migrations_per_round; ++round) {
+      ServerId max_server = ServerId::Invalid();
+      ServerId min_server = ServerId::Invalid();
+      double max_load = -std::numeric_limits<double>::infinity();
+      double min_load = std::numeric_limits<double>::infinity();
+      double sum_load = 0.0;
+      for (ServerId id : servers) {
+        if (IsDraining(id)) {
+          continue;
+        }
+        const double gpus = env_.cluster.server(id).num_gpus();
+        const double load = (stride_for(id).TicketLoad() + pending[id]) / gpus;
+        sum_load += load;
+        if (load > max_load) {
+          max_load = load;
+          max_server = id;
+        }
+        if (load < min_load) {
+          min_load = load;
+          min_server = id;
+        }
+      }
+      const double avg_load = sum_load / static_cast<double>(servers.size());
+      if (max_load - min_load <= config_.balance_threshold * std::max(avg_load, 1e-9)) {
+        break;
+      }
+
+      // Candidate = resident job on the hottest server whose move shrinks the
+      // gap the most and still leaves the destination cooler than the source
+      // was.
+      const double src_gpus = env_.cluster.server(max_server).num_gpus();
+      const double dst_gpus = env_.cluster.server(min_server).num_gpus();
+      JobId best = JobId::Invalid();
+      double best_gap = max_load - min_load;
+      for (JobId id : StrideFor(max_server).ResidentJobs()) {
+        const Job& job = env_.jobs.Get(id);
+        const JobInfo& info = job_info_.at(id);
+        if (now - info.last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        if (env_.cluster.server(min_server).num_gpus() < job.gang_size) {
+          continue;
+        }
+        const double tickets = stride_for(max_server).TicketsOf(id);
+        const double new_src = max_load - tickets / src_gpus;
+        const double new_dst = min_load + tickets / dst_gpus;
+        if (new_dst >= max_load) {
+          continue;  // would just swap the hot spot
+        }
+        const double gap = std::abs(new_src - new_dst);
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = id;
+        }
+      }
+      if (!best.valid()) {
+        break;
+      }
+      pending[min_server] += stride_for(max_server).TicketsOf(best);
+      StartMigration(best, min_server, MigrationCause::kBalance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trading epoch: probe coverage, recompute trades, reshape tickets, move jobs
+// toward their users' traded entitlements.
+// ---------------------------------------------------------------------------
+
+bool GandivaFairScheduler::UserSpeedup(UserId user, GpuGeneration fast,
+                                       GpuGeneration slow, double* out) const {
+  GFAIR_CHECK(out != nullptr);
+  auto it = user_pool_jobs_.find(user);
+  if (it == user_pool_jobs_.end()) {
+    return false;
+  }
+  // Demand-weighted mean over the user's resident jobs with usable profiles.
+  double weight_sum = 0.0;
+  double weighted = 0.0;
+  for (GpuGeneration gen : kAllGenerations) {
+    for (JobId id : it->second[GenerationIndex(gen)]) {
+      const Job& job = env_.jobs.Get(id);
+      const auto& model = env_.zoo.Get(job.model);
+      if (!model.FitsGeneration(fast) || !model.FitsGeneration(slow)) {
+        continue;  // this job could not move between these pools
+      }
+      double speedup = 0.0;
+      if (profiles_.Speedup(job.model, fast, slow, &speedup)) {
+        weighted += speedup * job.gang_size;
+        weight_sum += job.gang_size;
+      }
+    }
+  }
+  if (weight_sum <= 0.0) {
+    return false;
+  }
+  // Quantize to 0.25 steps: profile noise on the raw mean flips the
+  // lender/borrower matching between epochs, and every flip costs a round of
+  // residency migrations before the new entitlements are realized. Floor
+  // rather than round — the trade rate is the borrower's speedup, so any
+  // upward bias makes borrowers systematically overpay.
+  *out = std::max(1.0, std::floor(weighted / weight_sum * 4.0) / 4.0);
+  return true;
+}
+
+void GandivaFairScheduler::RunProbes() {
+  int budget = config_.max_probes_per_epoch;
+  const SimTime now = env_.sim.Now();
+
+  for (UserId user : ActiveUsers()) {
+    if (budget <= 0) {
+      break;
+    }
+    auto it = user_pool_jobs_.find(user);
+    if (it == user_pool_jobs_.end()) {
+      continue;
+    }
+    // Snapshot: StartMigration mutates the residency sets.
+    std::vector<JobId> resident;
+    for (GpuGeneration gen : kAllGenerations) {
+      for (JobId id : it->second[GenerationIndex(gen)]) {
+        resident.push_back(id);
+      }
+    }
+    bool probed = false;
+    for (JobId id : resident) {
+      if (probed) {
+        break;
+      }
+      const Job& job = env_.jobs.Get(id);
+      const JobInfo& info = job_info_.at(id);
+      if (now - info.last_migration < config_.min_migration_interval) {
+        continue;
+      }
+      const GpuGeneration current = GenOf(info.home);
+      for (GpuGeneration missing : kAllGenerations) {
+        if (missing == current || env_.cluster.total_gpus(missing) == 0) {
+          continue;
+        }
+        if (!env_.zoo.Get(job.model).FitsGeneration(missing)) {
+          continue;  // cannot even load there — nothing to profile
+        }
+        if (profiles_.HasEstimate(job.model, missing)) {
+          continue;
+        }
+        // Cheapest server of the missing generation that can host the gang.
+        ServerId dest = ServerId::Invalid();
+        double dest_load = std::numeric_limits<double>::infinity();
+        for (ServerId sid : env_.cluster.servers_of(missing)) {
+          const auto& server = env_.cluster.server(sid);
+          if (server.num_gpus() < job.gang_size || IsDraining(sid)) {
+            continue;
+          }
+          const double load = stride_for(sid).TicketLoad() / server.num_gpus();
+          if (load < dest_load) {
+            dest_load = load;
+            dest = sid;
+          }
+        }
+        if (dest.valid()) {
+          GFAIR_DLOG << "probe: job " << id << " -> " << cluster::GenerationName(missing);
+          StartMigration(id, dest, MigrationCause::kProbe);
+          ++probes_started_;
+          --budget;
+          probed = true;  // one probe per user per epoch
+          break;
+        }
+      }
+    }
+  }
+}
+
+void GandivaFairScheduler::TradeTick() {
+  if (!config_.enable_trading || !env_.cluster.heterogeneous()) {
+    return;
+  }
+  const std::vector<UserId> active = ActiveUsers();
+  if (active.size() < 2) {
+    // Nobody to trade with: no probes either (a probe strands the lone
+    // user's job on a slower pool with no trade flow to bring it back).
+    ticket_matrix_.ResetToBase();
+    RefreshAllTickets();
+    return;
+  }
+  RunProbes();
+
+  TradeInputs inputs;
+  inputs.active_users = active;
+  for (UserId user : active) {
+    // Matrix base = hierarchy-adjusted effective tickets (== the user's own
+    // tickets when hierarchical sharing is off or the user is ungrouped).
+    inputs.base_tickets[user] = ticket_matrix_.base(user);
+    inputs.total_demand_gpus[user] = user_total_demand_.at(user);
+  }
+  for (GpuGeneration gen : kAllGenerations) {
+    inputs.pool_sizes[GenerationIndex(gen)] = env_.cluster.total_gpus(gen);
+  }
+  inputs.user_speedup = [this](UserId user, GpuGeneration fast, GpuGeneration slow,
+                               double* out) {
+    return UserSpeedup(user, fast, slow, out);
+  };
+
+  const TradeOutcome outcome = trading_.ComputeEpoch(inputs);
+
+  ticket_matrix_.ResetToBase();
+  if (!outcome.trades.empty()) {
+    // Pool tickets become the traded entitlements (stride normalizes within
+    // each pool, so entitlement GPUs double as tickets).
+    for (const auto& [user, entitlement] : outcome.entitlements) {
+      for (GpuGeneration gen : kAllGenerations) {
+        ticket_matrix_.Set(user, gen,
+                           std::max(entitlement[GenerationIndex(gen)], 0.0));
+      }
+    }
+    executed_trades_.insert(executed_trades_.end(), outcome.trades.begin(),
+                            outcome.trades.end());
+    for (size_t i = 0; i < outcome.trades.size(); ++i) {
+      decisions_.Record(env_.sim.Now(), DecisionType::kTrade, JobId::Invalid());
+    }
+  }
+  RefreshAllTickets();
+  if (!outcome.trades.empty()) {
+    RebalanceResidency(outcome);
+  }
+}
+
+void GandivaFairScheduler::RebalanceResidency(const TradeOutcome& outcome) {
+  int budget = config_.max_trade_migrations;
+  const SimTime now = env_.sim.Now();
+
+  for (const auto& [user, entitlement] : outcome.entitlements) {
+    while (budget > 0) {
+      cluster::PerGeneration<double> surplus{};
+      for (GpuGeneration gen : kAllGenerations) {
+        surplus[GenerationIndex(gen)] =
+            entitlement[GenerationIndex(gen)] - ResidentDemand(user, gen);
+      }
+      // Most over-resident pool and most under-used entitlement.
+      size_t over = 0;
+      size_t under = 0;
+      for (size_t g = 1; g < cluster::kNumGenerations; ++g) {
+        if (surplus[g] < surplus[over]) {
+          over = g;
+        }
+        if (surplus[g] > surplus[under]) {
+          under = g;
+        }
+      }
+      // Deadband: entitlements are fractional while residency moves in whole
+      // gangs, so small mismatches are permanent — chasing them would
+      // migrate the same jobs back and forth every epoch.
+      if (surplus[over] > -1.0 || surplus[under] < 1.0) {
+        break;
+      }
+      auto it = user_pool_jobs_.find(user);
+      if (it == user_pool_jobs_.end()) {
+        break;
+      }
+
+      // Smallest gang that the destination surplus still covers.
+      JobId candidate = JobId::Invalid();
+      int candidate_gang = INT32_MAX;
+      for (JobId id : it->second[over]) {
+        const Job& job = env_.jobs.Get(id);
+        const JobInfo& info = job_info_.at(id);
+        if (now - info.last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        if (!env_.zoo.Get(job.model).FitsGeneration(kAllGenerations[under])) {
+          continue;
+        }
+        if (job.gang_size <= surplus[under] && job.gang_size < candidate_gang) {
+          candidate = id;
+          candidate_gang = job.gang_size;
+        }
+      }
+      if (!candidate.valid()) {
+        break;
+      }
+      const GpuGeneration dest_gen = kAllGenerations[under];
+      ServerId dest = ServerId::Invalid();
+      double dest_load = std::numeric_limits<double>::infinity();
+      for (ServerId sid : env_.cluster.servers_of(dest_gen)) {
+        const auto& server = env_.cluster.server(sid);
+        if (server.num_gpus() < candidate_gang || IsDraining(sid)) {
+          continue;
+        }
+        const double load = stride_for(sid).TicketLoad() / server.num_gpus();
+        if (load < dest_load) {
+          dest_load = load;
+          dest = sid;
+        }
+      }
+      if (!dest.valid()) {
+        break;
+      }
+      StartMigration(candidate, dest, MigrationCause::kTrade);
+      --budget;
+    }
+    if (budget <= 0) {
+      break;
+    }
+  }
+}
+
+}  // namespace gfair::sched

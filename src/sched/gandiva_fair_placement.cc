@@ -1,0 +1,176 @@
+// Central placement and migration plumbing for GandivaFairScheduler.
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using workload::Job;
+
+namespace {
+// Entitlement floor when scoring pools so that fully-traded-away pools score
+// astronomically bad instead of dividing by zero.
+constexpr double kEntitlementFloor = 0.01;
+}  // namespace
+
+ServerId GandivaFairScheduler::ChoosePlacement(const Job& job) const {
+  // Pool choice: keep the user's per-pool resident demand proportional to its
+  // per-pool entitlement, preferring faster generations on ties (we iterate
+  // fastest-first and only accept strictly better scores).
+  ServerId best_server = ServerId::Invalid();
+  double best_score = std::numeric_limits<double>::infinity();
+
+  const auto& model = env_.zoo.Get(job.model);
+  for (size_t g = cluster::kNumGenerations; g-- > 0;) {
+    const GpuGeneration gen = cluster::kAllGenerations[g];
+    if (env_.cluster.total_gpus(gen) == 0 || !model.FitsGeneration(gen)) {
+      continue;
+    }
+    // Cheapest server of the pool that can ever host the gang; residency is
+    // oversubscribed (time slicing), so "fits" means physical GPU count.
+    // While the pool has idle capacity, occupancy (resident demand per GPU)
+    // is the signal — idle GPUs must attract work. Once every server is
+    // saturated, ticket load is the signal: a new job's realized share is
+    // its tickets relative to its server's ticket density, so packing by
+    // "fewest jobs" would herd heavy-ticket users together and dilute them.
+    ServerId candidate = ServerId::Invalid();
+    double candidate_demand = std::numeric_limits<double>::infinity();
+    double candidate_tickets = std::numeric_limits<double>::infinity();
+    for (ServerId id : env_.cluster.servers_of(gen)) {
+      const auto& server = env_.cluster.server(id);
+      if (server.num_gpus() < job.gang_size || IsDraining(id)) {
+        continue;
+      }
+      const double gpus = server.num_gpus();
+      // Saturated servers compare equal on occupancy; below saturation the
+      // emptier server wins.
+      const double demand_load =
+          std::min(1.0, stride_for(id).DemandLoad() / gpus);
+      const double ticket_load = stride_for(id).TicketLoad() / gpus;
+      if (demand_load < candidate_demand - 1e-9 ||
+          (demand_load < candidate_demand + 1e-9 && ticket_load < candidate_tickets)) {
+        candidate_demand = demand_load;
+        candidate_tickets = ticket_load;
+        candidate = id;
+      }
+    }
+    if (!candidate.valid()) {
+      continue;
+    }
+    const double entitlement =
+        std::max(EntitlementGpus(job.user, gen), kEntitlementFloor);
+    const double demand = ResidentDemand(job.user, gen) + job.gang_size;
+    const double score = demand / entitlement;
+    if (score < best_score - 1e-12) {
+      best_score = score;
+      best_server = candidate;
+    }
+  }
+  return best_server;
+}
+
+void GandivaFairScheduler::TrySteal(ServerId server) {
+  const SimTime now = env_.sim.Now();
+  GFAIR_CHECK(server.value() < last_steal_.size());
+  if (now - last_steal_[server.value()] < config_.quantum) {
+    return;  // at most one steal per server per quantum
+  }
+  if (IsDraining(server)) {
+    return;  // draining servers must not attract work
+  }
+  const cluster::Server& host = env_.cluster.server(server);
+  const int free = host.num_free();
+  if (free <= 0) {
+    return;
+  }
+  const GpuGeneration gen = host.generation();
+
+  // Most oversubscribed peer holding a suspended job that fits our idle
+  // GPUs. Same-pool peers first; if none, pull queued work up from SLOWER
+  // pools (an upgrade is always throughput-positive given the zoo's
+  // monotone rates), respecting memory feasibility.
+  JobId best = JobId::Invalid();
+  double best_overflow = 0.25;  // require genuine oversubscription
+  auto scan_pool = [&](GpuGeneration pool) {
+    for (ServerId sid : env_.cluster.servers_of(pool)) {
+      if (sid == server) {
+        continue;
+      }
+      const auto& peer = env_.cluster.server(sid);
+      const double overflow =
+          stride_for(sid).DemandLoad() - static_cast<double>(peer.num_gpus());
+      if (overflow <= best_overflow) {
+        continue;
+      }
+      JobId candidate = JobId::Invalid();
+      int candidate_gang = 0;
+      for (JobId id : stride_for(sid).ResidentJobs()) {
+        if (env_.exec.IsRunning(id)) {
+          continue;
+        }
+        const Job& job = env_.jobs.Get(id);
+        if (job.gang_size > free || job.gang_size <= candidate_gang) {
+          continue;
+        }
+        if (!env_.zoo.Get(job.model).FitsGeneration(gen)) {
+          continue;
+        }
+        if (now - job_info_.at(id).last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        candidate = id;
+        candidate_gang = job.gang_size;
+      }
+      if (candidate.valid()) {
+        best = candidate;
+        best_overflow = overflow;
+      }
+    }
+  };
+  scan_pool(gen);
+  if (!best.valid() && ActiveUsers().size() <= 1) {
+    // Cross-pool upgrades are only a pure work-conservation move when a
+    // single user is active; with multiple users, cross-pool allocation
+    // belongs to the trading engine (stealing here would fight its
+    // entitlements and skew shares).
+    for (size_t g = 0; g < cluster::GenerationIndex(gen); ++g) {
+      scan_pool(cluster::kAllGenerations[g]);
+    }
+  }
+  if (!best.valid()) {
+    return;
+  }
+  last_steal_[server.value()] = now;
+  ++steals_started_;
+  GFAIR_DLOG << "steal: job " << best << " -> server " << server;
+  StartMigration(best, server, MigrationCause::kSteal);
+}
+
+void GandivaFairScheduler::StartMigration(JobId id, ServerId dest,
+                                           MigrationCause cause) {
+  JobInfo& info = InfoFor(id);
+  GFAIR_CHECK(!info.migrating);
+  GFAIR_CHECK(dest.valid() && dest != info.home);
+  const ServerId source = info.home;
+  decisions_.Record(env_.sim.Now(), DecisionFor(cause), id, source, dest);
+
+  if (env_.exec.IsRunning(id)) {
+    StrideFor(source).Charge(id, env_.sim.Now() - info.last_charge);
+    env_.exec.Suspend(id);
+  }
+  DetachResident(id);
+  info.migrating = true;
+  info.last_migration = env_.sim.Now();
+  info.home = dest;  // AttachResident uses this when the migration lands
+  ++migrations_started_;
+  env_.exec.Migrate(id, dest);
+  GFAIR_DLOG << "migrating job " << id << " from server " << source << " to " << dest;
+  FillIdleGpus(source);
+}
+
+}  // namespace gfair::sched

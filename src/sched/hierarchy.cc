@@ -1,0 +1,41 @@
+#include "sched/hierarchy.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace gfair::sched {
+
+std::unordered_map<UserId, double> ComputeHierarchicalTickets(
+    const workload::UserTable& users, const std::vector<UserId>& active) {
+  // Group weight = sum of ALL member base tickets (active or not).
+  std::unordered_map<std::string, double> group_weight;
+  for (const auto& user : users.users()) {
+    if (!user.group.empty()) {
+      group_weight[user.group] += user.tickets;
+    }
+  }
+  // Active base tickets per group.
+  std::unordered_map<std::string, double> group_active_tickets;
+  for (UserId id : active) {
+    const auto& user = users.Get(id);
+    if (!user.group.empty()) {
+      group_active_tickets[user.group] += user.tickets;
+    }
+  }
+
+  std::unordered_map<UserId, double> effective;
+  for (UserId id : active) {
+    const auto& user = users.Get(id);
+    if (user.group.empty()) {
+      effective[id] = user.tickets;
+      continue;
+    }
+    const double active_tickets = group_active_tickets.at(user.group);
+    GFAIR_CHECK(active_tickets > 0.0);
+    effective[id] = group_weight.at(user.group) * user.tickets / active_tickets;
+  }
+  return effective;
+}
+
+}  // namespace gfair::sched

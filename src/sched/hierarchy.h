@@ -1,0 +1,31 @@
+// Hierarchical (two-level) fair sharing: group -> user.
+//
+// A group's weight is the sum of ALL its members' base tickets (a static
+// provisioning decision); at any instant that weight is split among the
+// group's ACTIVE members proportional to their base tickets. Consequences:
+//   * a group's share of the cluster does not change as members come and go
+//     (an active member inherits its idle teammates' share);
+//   * between groups, shares stay proportional to provisioned weights.
+// Ungrouped users participate with their own base tickets, unchanged.
+//
+// The paper evaluates per-user fairness; this is the natural extension for
+// organizations with team-level quotas, and it composes with trading because
+// it only redefines the base tickets the trading engine starts from.
+#ifndef GFAIR_SCHED_HIERARCHY_H_
+#define GFAIR_SCHED_HIERARCHY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/user.h"
+
+namespace gfair::sched {
+
+// Effective tickets for each user in `active` (all must exist in `users`).
+std::unordered_map<UserId, double> ComputeHierarchicalTickets(
+    const workload::UserTable& users, const std::vector<UserId>& active);
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_HIERARCHY_H_

@@ -1,0 +1,87 @@
+#include "sched/ledger.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+
+FairnessLedger::PerUser& FairnessLedger::GetOrCreate(UserId user) {
+  GFAIR_CHECK(user.valid());
+  return per_user_[user];
+}
+
+void FairnessLedger::RecordGpuTime(UserId user, GpuGeneration gen, SimTime start,
+                                   SimTime end, int gpus) {
+  GFAIR_CHECK(start <= end && gpus > 0);
+  if (start == end) {
+    return;
+  }
+  auto& record = GetOrCreate(user);
+  record.gpu_ms[GenerationIndex(gen)].Add(end, static_cast<double>(end - start) * gpus);
+}
+
+void FairnessLedger::RecordDemandChange(UserId user, GpuGeneration gen, SimTime time,
+                                        int delta) {
+  auto& record = GetOrCreate(user);
+  double& current = record.current_demand[GenerationIndex(gen)];
+  current += delta;
+  GFAIR_CHECK_MSG(current >= -1e-9, "demand went negative");
+  current = std::max(current, 0.0);
+  record.demand[GenerationIndex(gen)].Record(time, current);
+}
+
+double FairnessLedger::GpuMs(UserId user, GpuGeneration gen, SimTime from,
+                             SimTime to) const {
+  auto it = per_user_.find(user);
+  if (it == per_user_.end()) {
+    return 0.0;
+  }
+  const auto& series = it->second.gpu_ms[GenerationIndex(gen)];
+  return series.TotalUpTo(to) - series.TotalUpTo(from);
+}
+
+double FairnessLedger::GpuMs(UserId user, SimTime from, SimTime to) const {
+  double total = 0.0;
+  for (GpuGeneration gen : cluster::kAllGenerations) {
+    total += GpuMs(user, gen, from, to);
+  }
+  return total;
+}
+
+const simkit::TimeSeries& FairnessLedger::DemandSeries(UserId user,
+                                                       GpuGeneration gen) const {
+  static const simkit::TimeSeries kEmpty;
+  auto it = per_user_.find(user);
+  if (it == per_user_.end()) {
+    return kEmpty;
+  }
+  return it->second.demand[GenerationIndex(gen)];
+}
+
+double FairnessLedger::DemandAt(UserId user, GpuGeneration gen, SimTime time) const {
+  return DemandSeries(user, gen).ValueAt(time, 0.0);
+}
+
+double FairnessLedger::TotalDemandAt(UserId user, SimTime time) const {
+  double total = 0.0;
+  for (GpuGeneration gen : cluster::kAllGenerations) {
+    total += DemandAt(user, gen, time);
+  }
+  return total;
+}
+
+std::vector<UserId> FairnessLedger::KnownUsers() const {
+  std::vector<UserId> users;
+  users.reserve(per_user_.size());
+  for (const auto& [id, record] : per_user_) {
+    users.push_back(id);
+  }
+  std::sort(users.begin(), users.end());
+  return users;
+}
+
+}  // namespace gfair::sched

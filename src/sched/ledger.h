@@ -1,0 +1,64 @@
+// FairnessLedger — cluster-wide GPU-time accounting per user.
+//
+// The ledger is the measurement half of the fairness guarantee: it records
+// which user held how many GPUs of which generation over which interval
+// (fed by the executor's accounting callback), plus each user's outstanding
+// GPU demand over time (fed by the scheduler on submit/finish). Experiments
+// compare achieved GPU time against the ideal fair share computed from the
+// demand series (see analysis/fairshare.h).
+#ifndef GFAIR_SCHED_LEDGER_H_
+#define GFAIR_SCHED_LEDGER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "simkit/timeseries.h"
+
+namespace gfair::sched {
+
+class FairnessLedger {
+ public:
+  // --- recording ---
+
+  // `user` held `gpus` GPUs of `gen` over [start, end).
+  void RecordGpuTime(UserId user, cluster::GpuGeneration gen, SimTime start, SimTime end,
+                     int gpus);
+
+  // `user`'s outstanding demand on pool `gen` changed by `delta` GPUs at
+  // `time` (+gang on becoming resident in the pool, -gang on finish/leave).
+  void RecordDemandChange(UserId user, cluster::GpuGeneration gen, SimTime time, int delta);
+
+  // --- queries ---
+
+  // GPU-milliseconds `user` consumed on `gen` within [from, to).
+  double GpuMs(UserId user, cluster::GpuGeneration gen, SimTime from, SimTime to) const;
+  // Across all generations.
+  double GpuMs(UserId user, SimTime from, SimTime to) const;
+
+  // Piecewise-constant demand (in GPUs) of `user` on pool `gen`.
+  const simkit::TimeSeries& DemandSeries(UserId user, cluster::GpuGeneration gen) const;
+  // Current demand at `time`.
+  double DemandAt(UserId user, cluster::GpuGeneration gen, SimTime time) const;
+  // Summed over generations.
+  double TotalDemandAt(UserId user, SimTime time) const;
+
+  std::vector<UserId> KnownUsers() const;
+
+ private:
+  struct PerUser {
+    cluster::PerGeneration<simkit::CounterSeries> gpu_ms;
+    cluster::PerGeneration<simkit::TimeSeries> demand;
+    cluster::PerGeneration<double> current_demand{};
+  };
+
+  PerUser& GetOrCreate(UserId user);
+
+  std::unordered_map<UserId, PerUser> per_user_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_LEDGER_H_

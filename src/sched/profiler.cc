@@ -1,0 +1,52 @@
+#include "sched/profiler.h"
+
+#include "common/check.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using workload::ModelId;
+
+void ProfileStore::AddSample(ModelId model, GpuGeneration gen, double per_gpu_rate) {
+  GFAIR_CHECK(model.valid());
+  GFAIR_CHECK(per_gpu_rate > 0.0);
+  profiles_[model][GenerationIndex(gen)].Add(per_gpu_rate);
+}
+
+const RunningStats* ProfileStore::Find(ModelId model, GpuGeneration gen) const {
+  auto it = profiles_.find(model);
+  if (it == profiles_.end()) {
+    return nullptr;
+  }
+  return &it->second[GenerationIndex(gen)];
+}
+
+bool ProfileStore::HasEstimate(ModelId model, GpuGeneration gen) const {
+  const RunningStats* stats = Find(model, gen);
+  return stats != nullptr && stats->count() >= min_samples_;
+}
+
+double ProfileStore::EstimatedRate(ModelId model, GpuGeneration gen) const {
+  GFAIR_CHECK_MSG(HasEstimate(model, gen), "no usable estimate");
+  return Find(model, gen)->mean();
+}
+
+size_t ProfileStore::SampleCount(ModelId model, GpuGeneration gen) const {
+  const RunningStats* stats = Find(model, gen);
+  return stats != nullptr ? stats->count() : 0;
+}
+
+bool ProfileStore::Speedup(ModelId model, GpuGeneration fast, GpuGeneration slow,
+                           double* out) const {
+  GFAIR_CHECK(out != nullptr);
+  if (!HasEstimate(model, fast) || !HasEstimate(model, slow)) {
+    return false;
+  }
+  const double slow_rate = EstimatedRate(model, slow);
+  GFAIR_CHECK(slow_rate > 0.0);
+  *out = EstimatedRate(model, fast) / slow_rate;
+  return true;
+}
+
+}  // namespace gfair::sched

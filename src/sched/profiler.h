@@ -1,0 +1,57 @@
+// ProfileStore — online throughput profiles across GPU generations.
+//
+// The scheduler transparently times mini-batches of running jobs (noisy
+// samples from the executor) and accumulates per-(model, generation) rate
+// estimates. Speedup ratios derived from these estimates drive the trading
+// engine.
+//
+// Substitution note (see DESIGN.md): the paper profiles each *job*; jobs in
+// production recur (same model/script resubmitted), so we key profiles by
+// model. Samples are normalized to per-GPU rates (observed gang rate divided
+// by gang size) so multi-GPU samples mix with 1-GPU samples; the residual
+// scaling-efficiency bias cancels in cross-generation ratios when a model's
+// gang mix is similar across pools, and shows up as part of the profiler
+// error measured in experiment E7.
+#ifndef GFAIR_SCHED_PROFILER_H_
+#define GFAIR_SCHED_PROFILER_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "cluster/gpu.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::sched {
+
+class ProfileStore {
+ public:
+  // An estimate is usable once it has at least `min_samples` samples.
+  explicit ProfileStore(size_t min_samples = 3) : min_samples_(min_samples) {}
+
+  // Records one observed per-GPU rate (mini-batches/s) of `model` on `gen`.
+  void AddSample(workload::ModelId model, cluster::GpuGeneration gen, double per_gpu_rate);
+
+  bool HasEstimate(workload::ModelId model, cluster::GpuGeneration gen) const;
+  // Mean per-GPU rate. Precondition: HasEstimate().
+  double EstimatedRate(workload::ModelId model, cluster::GpuGeneration gen) const;
+  size_t SampleCount(workload::ModelId model, cluster::GpuGeneration gen) const;
+
+  // Speedup of `model` on `fast` relative to `slow`. Returns false when
+  // either side lacks an estimate.
+  bool Speedup(workload::ModelId model, cluster::GpuGeneration fast,
+               cluster::GpuGeneration slow, double* out) const;
+
+  size_t min_samples() const { return min_samples_; }
+
+ private:
+  const RunningStats* Find(workload::ModelId model, cluster::GpuGeneration gen) const;
+
+  size_t min_samples_;
+  std::unordered_map<workload::ModelId, cluster::PerGeneration<RunningStats>> profiles_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_PROFILER_H_

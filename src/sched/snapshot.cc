@@ -1,0 +1,57 @@
+#include "sched/snapshot.h"
+
+#include "common/table.h"
+
+namespace gfair::sched {
+
+int ClusterSnapshot::TotalBusyGpus() const {
+  int busy = 0;
+  for (const auto& server : servers) {
+    busy += server.busy_gpus;
+  }
+  return busy;
+}
+
+int ClusterSnapshot::TotalGpus() const {
+  int total = 0;
+  for (const auto& server : servers) {
+    total += server.num_gpus;
+  }
+  return total;
+}
+
+void ClusterSnapshot::Print(std::ostream& os) const {
+  os << "cluster snapshot at " << FormatDuration(time) << ": " << TotalBusyGpus() << "/"
+     << TotalGpus() << " GPUs busy\n";
+
+  Table server_table({"server", "gen", "busy/gpus", "jobs", "demand load",
+                      "ticket load", "state"});
+  for (const auto& server : servers) {
+    server_table.BeginRow()
+        .Cell(std::to_string(server.id.value()))
+        .Cell(cluster::GenerationName(server.generation))
+        .Cell(std::to_string(server.busy_gpus) + "/" + std::to_string(server.num_gpus))
+        .Cell(static_cast<int64_t>(server.resident_jobs))
+        .Cell(server.demand_load, 2)
+        .Cell(server.ticket_load, 3)
+        .Cell(server.draining ? "draining" : "up");
+  }
+  server_table.Print(os, "servers");
+
+  Table user_table({"user", "jobs", "entitlement K80/P40/P100/V100",
+                    "resident K80/P40/P100/V100"});
+  for (const auto& user : users) {
+    auto quad = [](const cluster::PerGeneration<double>& values) {
+      return FormatDouble(values[0], 1) + "/" + FormatDouble(values[1], 1) + "/" +
+             FormatDouble(values[2], 1) + "/" + FormatDouble(values[3], 1);
+    };
+    user_table.BeginRow()
+        .Cell(user.name)
+        .Cell(static_cast<int64_t>(user.unfinished_jobs))
+        .Cell(quad(user.entitlement_gpus))
+        .Cell(quad(user.resident_demand));
+  }
+  user_table.Print(os, "users");
+}
+
+}  // namespace gfair::sched

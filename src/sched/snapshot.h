@@ -1,0 +1,52 @@
+// ClusterSnapshot — a structured point-in-time view of the scheduler state.
+//
+// Operators (and tests) use it to answer "what is the cluster doing right
+// now": per-server occupancy and loads, per-user entitlement vs resident
+// demand per pool. Produced by GandivaFairScheduler::Snapshot().
+#ifndef GFAIR_SCHED_SNAPSHOT_H_
+#define GFAIR_SCHED_SNAPSHOT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace gfair::sched {
+
+struct ServerSnapshot {
+  ServerId id;
+  cluster::GpuGeneration generation;
+  int num_gpus = 0;
+  int busy_gpus = 0;
+  int resident_jobs = 0;
+  double demand_load = 0.0;  // demanded GPUs per physical GPU
+  double ticket_load = 0.0;  // tickets per physical GPU
+  bool draining = false;
+};
+
+struct UserSnapshot {
+  UserId id;
+  std::string name;
+  int unfinished_jobs = 0;
+  cluster::PerGeneration<double> entitlement_gpus{};
+  cluster::PerGeneration<double> resident_demand{};
+};
+
+struct ClusterSnapshot {
+  SimTime time = kTimeZero;
+  std::vector<ServerSnapshot> servers;
+  std::vector<UserSnapshot> users;
+
+  int TotalBusyGpus() const;
+  int TotalGpus() const;
+
+  // Aligned, human-readable rendering of both tables.
+  void Print(std::ostream& os) const;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_SNAPSHOT_H_

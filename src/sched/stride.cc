@@ -1,0 +1,158 @@
+#include "sched/stride.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gfair::sched {
+
+LocalStrideScheduler::LocalStrideScheduler(int num_gpus, StrideConfig config)
+    : num_gpus_(num_gpus), config_(config) {
+  GFAIR_CHECK(num_gpus_ > 0);
+}
+
+void LocalStrideScheduler::AddJob(JobId id, int gang_size, double tickets) {
+  GFAIR_CHECK(id.valid());
+  GFAIR_CHECK_MSG(gang_size >= 1 && gang_size <= num_gpus_, "gang cannot fit this server");
+  GFAIR_CHECK(tickets > 0.0);
+  GFAIR_CHECK_MSG(entries_.count(id) == 0, "job already resident");
+  entries_.emplace(id, Entry{gang_size, tickets, virtual_time_, true});
+}
+
+void LocalStrideScheduler::RemoveJob(JobId id) {
+  const size_t erased = entries_.erase(id);
+  GFAIR_CHECK_MSG(erased == 1, "RemoveJob on unknown job");
+  UpdateVirtualTime();
+}
+
+void LocalStrideScheduler::SetTickets(JobId id, double tickets) {
+  GFAIR_CHECK(tickets > 0.0);
+  auto it = entries_.find(id);
+  GFAIR_CHECK(it != entries_.end());
+  it->second.tickets = tickets;
+}
+
+void LocalStrideScheduler::SetRunnable(JobId id, bool runnable) {
+  auto it = entries_.find(id);
+  GFAIR_CHECK(it != entries_.end());
+  it->second.runnable = runnable;
+  if (runnable) {
+    // Re-entering jobs (e.g. back from a probe) must not have fallen behind
+    // the pack — that would give them a monopolizing credit.
+    it->second.pass = std::max(it->second.pass, virtual_time_);
+  }
+}
+
+const LocalStrideScheduler::Entry& LocalStrideScheduler::GetEntry(JobId id) const {
+  auto it = entries_.find(id);
+  GFAIR_CHECK_MSG(it != entries_.end(), "unknown job");
+  return it->second;
+}
+
+double LocalStrideScheduler::PassOf(JobId id) const { return GetEntry(id).pass; }
+int LocalStrideScheduler::GangOf(JobId id) const { return GetEntry(id).gang_size; }
+double LocalStrideScheduler::TicketsOf(JobId id) const { return GetEntry(id).tickets; }
+
+double LocalStrideScheduler::TicketLoad() const {
+  double total = 0.0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.runnable) {
+      total += entry.tickets;
+    }
+  }
+  return total;
+}
+
+int LocalStrideScheduler::DemandLoad() const {
+  int total = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.runnable) {
+      total += entry.gang_size;
+    }
+  }
+  return total;
+}
+
+std::vector<JobId> LocalStrideScheduler::ResidentJobs() const {
+  std::vector<JobId> jobs;
+  jobs.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    jobs.push_back(id);
+  }
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+void LocalStrideScheduler::UpdateVirtualTime() {
+  double min_pass = std::numeric_limits<double>::infinity();
+  for (const auto& [id, entry] : entries_) {
+    if (entry.runnable) {
+      min_pass = std::min(min_pass, entry.pass);
+    }
+  }
+  if (min_pass != std::numeric_limits<double>::infinity()) {
+    virtual_time_ = std::max(virtual_time_, min_pass);
+  }
+}
+
+std::vector<JobId> LocalStrideScheduler::SelectForQuantum() {
+  UpdateVirtualTime();
+
+  struct Candidate {
+    JobId id;
+    double pass;
+    int gang;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    if (entry.runnable) {
+      candidates.push_back(Candidate{id, entry.pass, entry.gang_size});
+    }
+  }
+
+  const bool big_first = config_.big_job_first;
+  std::sort(candidates.begin(), candidates.end(),
+            [big_first](const Candidate& a, const Candidate& b) {
+              if (a.pass != b.pass) {
+                return a.pass < b.pass;
+              }
+              if (a.gang != b.gang) {
+                return big_first ? a.gang > b.gang : a.gang < b.gang;
+              }
+              return a.id < b.id;
+            });
+
+  std::vector<JobId> selected;
+  int free = num_gpus_;
+  for (const Candidate& candidate : candidates) {
+    if (candidate.gang <= free) {
+      selected.push_back(candidate.id);
+      free -= candidate.gang;
+      if (free == 0) {
+        break;
+      }
+    }
+    // Jobs that do not fit the remaining capacity are skipped (backfill);
+    // their frozen pass keeps them at the head until they fit.
+  }
+  return selected;
+}
+
+void LocalStrideScheduler::Charge(JobId id, SimDuration ms) {
+  GFAIR_CHECK(ms >= 0);
+  auto it = entries_.find(id);
+  GFAIR_CHECK_MSG(it != entries_.end(), "Charge on unknown job");
+  Entry& entry = it->second;
+  entry.pass += static_cast<double>(ms) * entry.gang_size / entry.tickets;
+  // Virtual time advances with delivered service per runnable ticket. This —
+  // not the min-pass floor — is what keeps newcomers from perpetually
+  // entering below a waiting job's frozen pass under high churn: short jobs
+  // arriving and finishing every quantum would otherwise pin the virtual
+  // time while an already-served long job waits forever.
+  const double load = TicketLoad();
+  if (load > 0.0) {
+    virtual_time_ += static_cast<double>(ms) * entry.gang_size / load;
+  }
+}
+
+}  // namespace gfair::sched

@@ -1,0 +1,104 @@
+// LocalStrideScheduler — gang-aware stride scheduling for one server.
+//
+// Classic stride scheduling generalized to GPU gangs, following the paper's
+// split-stride design: the central scheduler decides which jobs are resident
+// on a server; this local scheduler decides, each quantum, which resident
+// jobs hold the server's GPUs.
+//
+//  * Each job has `tickets`; its pass advances by gang_size * Δt / tickets
+//    while it runs, so a k-GPU gang is charged k times faster — GPU-time (not
+//    wall-time) ends up proportional to tickets.
+//  * Selection each quantum walks jobs in increasing pass order and packs
+//    them onto the GPUs, skipping (backfilling past) jobs that do not fit
+//    the remaining capacity. Because every GPU is reassignable at a quantum
+//    boundary, a waiting gang whose pass is strictly minimal always fits and
+//    runs — the fairness guarantee needs no reservation here.
+//  * Two gang-awareness knobs (both on for Gandiva_fair, both off for the
+//    "plain stride" baseline):
+//      - big_job_first: at equal pass, larger gangs are placed first. New
+//        jobs enter at the virtual time, i.e. exactly tied with the
+//        longest-waiting job — under a stream of small arrivals, small-first
+//        tie-breaking starves a big gang forever (experiment E3);
+//      - reserve_blocked_gang: consumed by the facade's mid-quantum
+//        work-conservation path, where GPUs free up incrementally as jobs
+//        finish: stop backfilling behind a blocked head gang so its GPUs can
+//        accumulate instead of being nibbled away by later jobs.
+//  * New jobs start at the scheduler's virtual time (the minimum pass of
+//    resident jobs) so they neither owe history nor get free credit.
+#ifndef GFAIR_SCHED_STRIDE_H_
+#define GFAIR_SCHED_STRIDE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace gfair::sched {
+
+struct StrideConfig {
+  bool big_job_first = true;
+  bool reserve_blocked_gang = true;
+};
+
+class LocalStrideScheduler {
+ public:
+  explicit LocalStrideScheduler(int num_gpus, StrideConfig config = {});
+
+  // Registers a resident job. Its pass starts at the current virtual time.
+  void AddJob(JobId id, int gang_size, double tickets);
+
+  // Unregisters a job (finished or migrated away).
+  void RemoveJob(JobId id);
+
+  // Updates a job's tickets (trading epochs, per-job splits changing).
+  void SetTickets(JobId id, double tickets);
+
+  // Marks a job (not) selectable without unregistering it.
+  void SetRunnable(JobId id, bool runnable);
+
+  bool Contains(JobId id) const { return entries_.count(id) > 0; }
+  size_t num_jobs() const { return entries_.size(); }
+  int num_gpus() const { return num_gpus_; }
+
+  // Sum of tickets over resident runnable jobs — the server's "ticket load"
+  // used by placement and the load balancer.
+  double TicketLoad() const;
+
+  // Total GPUs demanded by resident runnable jobs.
+  int DemandLoad() const;
+
+  // The set of jobs that should hold GPUs for the next quantum.
+  std::vector<JobId> SelectForQuantum();
+
+  // Charges `ms` of wall time on the job's whole gang.
+  void Charge(JobId id, SimDuration ms);
+
+  double PassOf(JobId id) const;
+  int GangOf(JobId id) const;
+  double TicketsOf(JobId id) const;
+  double VirtualTime() const { return virtual_time_; }
+  std::vector<JobId> ResidentJobs() const;
+
+ private:
+  struct Entry {
+    int gang_size;
+    double tickets;
+    double pass;
+    bool runnable;
+  };
+
+  const Entry& GetEntry(JobId id) const;
+  void UpdateVirtualTime();
+
+  int num_gpus_;
+  StrideConfig config_;
+  std::unordered_map<JobId, Entry> entries_;
+  // Monotone floor for newcomer passes; tracks min runnable pass.
+  double virtual_time_ = 0.0;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_STRIDE_H_

@@ -1,0 +1,39 @@
+#include "sched/ticket_matrix.h"
+
+namespace gfair::sched {
+
+void TicketMatrix::RegisterUser(UserId user, Tickets base) {
+  GFAIR_CHECK(user.valid());
+  GFAIR_CHECK(base > 0.0);
+  Row row;
+  row.base = base;
+  row.per_gen.fill(base);
+  rows_[user] = row;
+}
+
+Tickets TicketMatrix::base(UserId user) const {
+  auto it = rows_.find(user);
+  GFAIR_CHECK_MSG(it != rows_.end(), "unknown user");
+  return it->second.base;
+}
+
+Tickets TicketMatrix::Get(UserId user, cluster::GpuGeneration gen) const {
+  auto it = rows_.find(user);
+  GFAIR_CHECK_MSG(it != rows_.end(), "unknown user");
+  return it->second.per_gen[cluster::GenerationIndex(gen)];
+}
+
+void TicketMatrix::Set(UserId user, cluster::GpuGeneration gen, Tickets tickets) {
+  GFAIR_CHECK_MSG(tickets >= 0.0, "tickets cannot go negative");
+  auto it = rows_.find(user);
+  GFAIR_CHECK_MSG(it != rows_.end(), "unknown user");
+  it->second.per_gen[cluster::GenerationIndex(gen)] = tickets;
+}
+
+void TicketMatrix::ResetToBase() {
+  for (auto& [user, row] : rows_) {
+    row.per_gen.fill(row.base);
+  }
+}
+
+}  // namespace gfair::sched

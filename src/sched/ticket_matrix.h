@@ -1,0 +1,55 @@
+// TicketMatrix — per-user, per-generation ticket allocations.
+//
+// Fair share starts from each user's base tickets applied uniformly to every
+// GPU-generation pool; the trading engine then reshapes the matrix each epoch
+// (lend fast-pool tickets, receive slow-pool tickets). Local stride
+// schedulers normalize tickets within a pool, so only ratios matter.
+#ifndef GFAIR_SCHED_TICKET_MATRIX_H_
+#define GFAIR_SCHED_TICKET_MATRIX_H_
+
+#include <unordered_map>
+
+#include "cluster/gpu.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace gfair::sched {
+
+class TicketMatrix {
+ public:
+  // Registers a user with its base tickets (idempotent; re-registering
+  // updates the base and resets that user's row to it).
+  void RegisterUser(UserId user, Tickets base);
+
+  bool HasUser(UserId user) const { return rows_.count(user) > 0; }
+
+  Tickets base(UserId user) const;
+
+  // Tickets of `user` on pool `gen`; CHECK-fails for unknown users.
+  Tickets Get(UserId user, cluster::GpuGeneration gen) const;
+  void Set(UserId user, cluster::GpuGeneration gen, Tickets tickets);
+
+  // Resets every row to its base (start of a trading epoch).
+  void ResetToBase();
+
+  // Sum of tickets on pool `gen` over the given users.
+  template <typename UserRange>
+  Tickets PoolTotal(cluster::GpuGeneration gen, const UserRange& users) const {
+    Tickets total = 0.0;
+    for (UserId user : users) {
+      total += Get(user, gen);
+    }
+    return total;
+  }
+
+ private:
+  struct Row {
+    Tickets base;
+    cluster::PerGeneration<Tickets> per_gen;
+  };
+  std::unordered_map<UserId, Row> rows_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_TICKET_MATRIX_H_

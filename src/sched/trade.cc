@@ -1,0 +1,168 @@
+#include "sched/trade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using cluster::kAllGenerations;
+using cluster::kNumGenerations;
+
+namespace {
+constexpr double kEps = 1e-9;
+
+double MapGet(const std::unordered_map<UserId, double>& map, UserId user) {
+  auto it = map.find(user);
+  GFAIR_CHECK_MSG(it != map.end(), "missing per-user input");
+  return it->second;
+}
+}  // namespace
+
+double TradingEngine::RateFor(double lender_speedup, double borrower_speedup) const {
+  switch (config_.rate_rule) {
+    case TradeConfig::RateRule::kBorrowerSpeedup: {
+      // Never discount below the lender's own speedup (both sides must gain).
+      const double discounted = borrower_speedup * (1.0 - config_.borrower_margin);
+      return std::max(discounted, std::min(borrower_speedup, lender_speedup * 1.01));
+    }
+    case TradeConfig::RateRule::kGeometricMean:
+      return std::sqrt(lender_speedup * borrower_speedup);
+  }
+  return borrower_speedup;
+}
+
+TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
+  TradeOutcome outcome;
+  const auto& users = inputs.active_users;
+  if (users.empty()) {
+    return outcome;
+  }
+  GFAIR_CHECK(inputs.user_speedup != nullptr);
+
+  // 1. Base entitlements: ticket-proportional slice of every pool.
+  double total_tickets = 0.0;
+  for (UserId user : users) {
+    total_tickets += MapGet(inputs.base_tickets, user);
+  }
+  GFAIR_CHECK(total_tickets > 0.0);
+  for (UserId user : users) {
+    const double fraction = MapGet(inputs.base_tickets, user) / total_tickets;
+    cluster::PerGeneration<double> row{};
+    for (GpuGeneration gen : kAllGenerations) {
+      row[GenerationIndex(gen)] = fraction * inputs.pool_sizes[GenerationIndex(gen)];
+    }
+    outcome.entitlements.emplace(user, row);
+  }
+
+  auto entitlement_sum = [&](UserId user) {
+    double total = 0.0;
+    for (double e : outcome.entitlements.at(user)) {
+      total += e;
+    }
+    return total;
+  };
+
+  // 2. Greedy matching per (fast, slow) pool pair, fastest-vs-slowest first.
+  for (size_t f = kNumGenerations; f-- > 0;) {
+    const GpuGeneration fast = kAllGenerations[f];
+    if (inputs.pool_sizes[f] <= 0) {
+      continue;
+    }
+    for (size_t s = 0; s < f; ++s) {
+      const GpuGeneration slow = kAllGenerations[s];
+      if (inputs.pool_sizes[s] <= 0) {
+        continue;
+      }
+
+      // Iterate until no win-win trade remains on this pair.
+      for (int round = 0; round < 64; ++round) {
+        UserId best_lender = UserId::Invalid();
+        UserId best_borrower = UserId::Invalid();
+        double lender_speedup = 0.0;
+        double borrower_speedup = 0.0;
+
+        for (UserId user : users) {
+          double speedup = 0.0;
+          if (!inputs.user_speedup(user, fast, slow, &speedup)) {
+            continue;
+          }
+          const auto& ent = outcome.entitlements.at(user);
+          const double demand = MapGet(inputs.total_demand_gpus, user);
+          // Lender: holds fast entitlement and has spare demand to absorb
+          // slow GPUs beyond its current total entitlement.
+          const double spare_demand = demand - entitlement_sum(user);
+          if (ent[f] > kEps && spare_demand > kEps) {
+            if (!best_lender.valid() || speedup < lender_speedup) {
+              best_lender = user;
+              lender_speedup = speedup;
+            }
+          }
+          // Borrower: wants more fast GPUs than entitled and holds slow
+          // entitlement to pay with.
+          const double fast_unmet = std::min(demand, double(inputs.pool_sizes[f])) - ent[f];
+          if (ent[s] > kEps && fast_unmet > kEps) {
+            if (!best_borrower.valid() || speedup > borrower_speedup) {
+              best_borrower = user;
+              borrower_speedup = speedup;
+            }
+          }
+        }
+
+        if (!best_lender.valid() || !best_borrower.valid() || best_lender == best_borrower) {
+          break;
+        }
+        if (borrower_speedup < lender_speedup * config_.min_speedup_gap) {
+          break;
+        }
+        const double rate = RateFor(lender_speedup, borrower_speedup);
+        GFAIR_CHECK(rate >= 1.0);
+
+        auto& lender_ent = outcome.entitlements.at(best_lender);
+        auto& borrower_ent = outcome.entitlements.at(best_borrower);
+        const double lender_spare =
+            MapGet(inputs.total_demand_gpus, best_lender) - entitlement_sum(best_lender);
+        const double borrower_unmet =
+            std::min(MapGet(inputs.total_demand_gpus, best_borrower),
+                     double(inputs.pool_sizes[f])) -
+            borrower_ent[f];
+
+        // Volume limited by: lender's fast holdings, borrower's unmet fast
+        // demand, borrower's slow holdings (it pays rate x volume), and the
+        // lender's capacity to actually use the slow GPUs it receives.
+        double volume = lender_ent[f];
+        volume = std::min(volume, borrower_unmet);
+        volume = std::min(volume, borrower_ent[s] / rate);
+        // Lending one fast GPU frees one unit of entitlement, receiving
+        // `rate` slow GPUs consumes `rate` units of spare demand; net spare
+        // consumed per fast GPU is (rate - 1).
+        if (rate > 1.0 + kEps) {
+          volume = std::min(volume, lender_spare / (rate - 1.0));
+        }
+        if (volume < config_.min_trade_gpus) {
+          break;
+        }
+
+        lender_ent[f] -= volume;
+        borrower_ent[f] += volume;
+        borrower_ent[s] -= volume * rate;
+        lender_ent[s] += volume * rate;
+
+        outcome.trades.push_back(Trade{best_lender, best_borrower, fast, slow, volume,
+                                       volume * rate, rate, lender_speedup,
+                                       borrower_speedup});
+        GFAIR_ILOG << "trade: user " << best_lender << " lends " << volume << " "
+                   << cluster::GenerationName(fast) << " to user " << best_borrower
+                   << " for " << volume * rate << " " << cluster::GenerationName(slow)
+                   << " (rate " << rate << ")";
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace gfair::sched

@@ -1,0 +1,107 @@
+// TradingEngine — automatic resource trading across GPU generations.
+//
+// Each epoch the engine recomputes, from scratch, how users' fair-share
+// entitlements should be reshaped so that fast GPUs flow to the jobs that
+// benefit most from them — without any user ending up worse off:
+//
+//   * Every active user starts with a ticket-proportional entitlement to
+//     EVERY generation pool.
+//   * For each (fast, slow) pool pair, the user with the LOWEST profiled
+//     speedup that can still use more GPUs lends fast-GPU entitlement to the
+//     user with the HIGHEST speedup, receiving λ slow GPUs per fast GPU.
+//   * With the paper's rate rule λ = (borrower's speedup), the borrower is
+//     exactly compensated (1 fast GPU does the work of λ slow ones for its
+//     jobs) and the lender strictly gains (λ exceeds the lender's own
+//     speedup, so λ slow GPUs beat 1 fast GPU for its jobs). A geometric-mean
+//     rule that splits the surplus between both parties is available for the
+//     ablation study (E12).
+//
+// Trades are pure entitlement arithmetic; recomputing from base entitlements
+// every epoch makes every trade implicitly revocable when demand or profiles
+// change (a user's guaranteed share is never mortgaged beyond one epoch).
+#ifndef GFAIR_SCHED_TRADE_H_
+#define GFAIR_SCHED_TRADE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "common/types.h"
+
+namespace gfair::sched {
+
+struct TradeConfig {
+  // Trade only when borrower speedup exceeds lender speedup by this factor
+  // (guards against profile noise producing churny, near-worthless trades).
+  double min_speedup_gap = 1.4;
+
+  enum class RateRule {
+    kBorrowerSpeedup,  // paper's rule: lender takes the whole surplus
+    kGeometricMean,    // surplus split: λ = sqrt(σ_lender · σ_borrower)
+  };
+  RateRule rate_rule = RateRule::kBorrowerSpeedup;
+
+  // Under kBorrowerSpeedup the borrower trades at exact indifference, so any
+  // friction (profile error, migration latency while jobs follow their
+  // entitlements) turns into a small systematic loss. This margin discounts
+  // the rate — λ = σ_borrower × (1 − margin) — leaving the borrower a buffer
+  // while the lender still gains (the min_speedup_gap check keeps
+  // λ above the lender's own speedup).
+  double borrower_margin = 0.05;
+
+  // Ignore trades moving less than this many fast GPUs.
+  double min_trade_gpus = 0.5;
+};
+
+struct Trade {
+  UserId lender;
+  UserId borrower;
+  cluster::GpuGeneration fast;
+  cluster::GpuGeneration slow;
+  double fast_gpus;   // moved lender -> borrower
+  double slow_gpus;   // moved borrower -> lender (= rate * fast_gpus)
+  double rate;        // λ
+  double lender_speedup;
+  double borrower_speedup;
+};
+
+struct TradeInputs {
+  // Users with outstanding demand; entitlements are computed over these.
+  std::vector<UserId> active_users;
+  // Base fair-share tickets per active user.
+  std::unordered_map<UserId, double> base_tickets;
+  // Total outstanding GPU demand per active user (sum of unfinished gangs).
+  std::unordered_map<UserId, double> total_demand_gpus;
+  // GPUs per generation pool.
+  cluster::PerGeneration<int> pool_sizes{};
+  // Profiled speedup of the user's job mix between two pools; returns false
+  // when profiles are insufficient (no trade involving that user/pair).
+  std::function<bool(UserId, cluster::GpuGeneration fast, cluster::GpuGeneration slow,
+                     double* speedup)>
+      user_speedup;
+};
+
+struct TradeOutcome {
+  std::vector<Trade> trades;
+  // Post-trade entitlement, in GPUs, per active user and pool.
+  std::unordered_map<UserId, cluster::PerGeneration<double>> entitlements;
+};
+
+class TradingEngine {
+ public:
+  explicit TradingEngine(TradeConfig config) : config_(config) {}
+
+  TradeOutcome ComputeEpoch(const TradeInputs& inputs) const;
+
+  const TradeConfig& config() const { return config_; }
+
+ private:
+  double RateFor(double lender_speedup, double borrower_speedup) const;
+
+  TradeConfig config_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_TRADE_H_

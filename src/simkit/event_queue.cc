@@ -1,0 +1,55 @@
+#include "simkit/event_queue.h"
+
+#include <utility>
+
+namespace gfair::simkit {
+
+EventId EventQueue::Push(SimTime when, EventCallback callback) {
+  GFAIR_CHECK(callback != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(callback));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() &&
+         const_cast<EventQueue*>(this)->callbacks_.find(heap_.top().id) ==
+             const_cast<EventQueue*>(this)->callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return kTimeNever;
+  }
+  return heap_.top().time;
+}
+
+EventQueue::PoppedEvent EventQueue::Pop() {
+  DropCancelledHead();
+  GFAIR_CHECK_MSG(!heap_.empty(), "Pop() on empty EventQueue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  GFAIR_CHECK(it != callbacks_.end());
+  PoppedEvent popped{entry.time, entry.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return popped;
+}
+
+}  // namespace gfair::simkit

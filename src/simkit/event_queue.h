@@ -1,0 +1,73 @@
+// EventQueue — the ordered heart of the discrete-event simulator.
+//
+// Events are (time, sequence, callback). Sequence numbers break ties so that
+// two events scheduled for the same instant fire in scheduling order, which
+// keeps runs deterministic. Cancellation is lazy: a cancelled event stays in
+// the heap but is skipped on pop.
+#ifndef GFAIR_SIMKIT_EVENT_QUEUE_H_
+#define GFAIR_SIMKIT_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+
+namespace gfair::simkit {
+
+using EventCallback = std::function<void()>;
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  // Enqueues `callback` to fire at `when`. Returns a handle usable with
+  // Cancel().
+  EventId Push(SimTime when, EventCallback callback);
+
+  // Cancels a pending event. Returns false if the event already fired or was
+  // already cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Timestamp of the earliest live event; kTimeNever when empty.
+  SimTime NextTime() const;
+
+  // Removes and returns the earliest live event. Precondition: !empty().
+  struct PoppedEvent {
+    SimTime time;
+    EventId id;
+    EventCallback callback;
+  };
+  PoppedEvent Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Min-heap on (time, id): earlier time first, then earlier scheduling.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return id > other.id;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  // Heap holds light entries; callbacks live in a side map so cancelled
+  // callbacks release their captures promptly.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, EventCallback> callbacks_;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace gfair::simkit
+
+#endif  // GFAIR_SIMKIT_EVENT_QUEUE_H_

@@ -1,0 +1,76 @@
+#include "simkit/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace gfair::simkit {
+
+EventId Simulator::At(SimTime when, EventCallback callback) {
+  GFAIR_CHECK_MSG(when >= now_, "cannot schedule events in the past");
+  return queue_.Push(when, std::move(callback));
+}
+
+EventId Simulator::After(SimDuration delay, EventCallback callback) {
+  GFAIR_CHECK(delay >= 0);
+  return At(now_ + delay, std::move(callback));
+}
+
+EventId Simulator::Every(SimDuration period, std::function<void()> callback) {
+  GFAIR_CHECK(period > 0);
+  // The repeating chain is identified by the id of its *currently pending*
+  // event. A shared cell tracks that id so Cancel() always hits the live one;
+  // callers hold a stable handle via the cell's first id.
+  //
+  // Simpler approach used here: each firing reschedules itself; cancellation
+  // works because the chain shares a "cancelled" flag checked before running.
+  auto cancelled = std::make_shared<bool>(false);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, callback = std::move(callback), cancelled, tick]() {
+    if (*cancelled) {
+      return;
+    }
+    callback();
+    if (!*cancelled) {
+      queue_.Push(now_ + period, *tick);
+    }
+  };
+  const EventId id = queue_.Push(now_ + period, *tick);
+  repeating_flags_.emplace(id, cancelled);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = repeating_flags_.find(id);
+  if (it != repeating_flags_.end()) {
+    *it->second = true;
+    repeating_flags_.erase(it);
+    queue_.Cancel(id);  // may already have fired; flag handles the rest
+    return true;
+  }
+  return queue_.Cancel(id);
+}
+
+size_t Simulator::RunUntil(SimTime deadline) {
+  stop_requested_ = false;
+  size_t processed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const SimTime next = queue_.NextTime();
+    if (next > deadline) {
+      break;
+    }
+    auto event = queue_.Pop();
+    GFAIR_CHECK(event.time >= now_);
+    now_ = event.time;
+    event.callback();
+    ++processed;
+    ++events_processed_;
+  }
+  if (queue_.empty() || queue_.NextTime() > deadline) {
+    if (deadline != kTimeNever && deadline > now_) {
+      now_ = deadline;
+    }
+  }
+  return processed;
+}
+
+}  // namespace gfair::simkit

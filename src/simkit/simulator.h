@@ -1,0 +1,59 @@
+// Simulator — single-threaded discrete-event simulation driver.
+//
+// Components schedule callbacks at absolute or relative simulated times; the
+// driver pops events in order, advancing the virtual clock. Time never moves
+// backwards, and within one instant events fire in scheduling order.
+#ifndef GFAIR_SIMKIT_SIMULATOR_H_
+#define GFAIR_SIMKIT_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+#include "simkit/event_queue.h"
+
+namespace gfair::simkit {
+
+class Simulator {
+ public:
+  SimTime Now() const { return now_; }
+
+  // Schedules `callback` at absolute time `when` (>= Now()).
+  EventId At(SimTime when, EventCallback callback);
+
+  // Schedules `callback` `delay` from now (delay >= 0).
+  EventId After(SimDuration delay, EventCallback callback);
+
+  // Schedules `callback` every `period`, first firing at Now() + period.
+  // Returns a handle; CancelRepeating stops future firings.
+  EventId Every(SimDuration period, std::function<void()> callback);
+  bool Cancel(EventId id);
+
+  // Runs until the queue drains or the clock would pass `deadline`; the clock
+  // ends at min(deadline, last event time). Returns the number of events
+  // processed.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs until the queue drains completely.
+  size_t Run() { return RunUntil(kTimeNever); }
+
+  // Requests that the run loop stop after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t total_events_processed() const { return events_processed_; }
+
+ private:
+  // Repeating chains share a cancellation flag; see Every() in the .cc file.
+  std::unordered_map<EventId, std::shared_ptr<bool>> repeating_flags_;
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  bool stop_requested_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace gfair::simkit
+
+#endif  // GFAIR_SIMKIT_SIMULATOR_H_

@@ -1,0 +1,79 @@
+#include "simkit/timeseries.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gfair::simkit {
+
+void TimeSeries::Record(SimTime time, double value) {
+  if (!points_.empty()) {
+    GFAIR_CHECK_MSG(time >= points_.back().time, "TimeSeries samples must be ordered");
+    if (points_.back().time == time) {
+      points_.back().value = value;
+      return;
+    }
+  }
+  points_.push_back(Point{time, value});
+}
+
+double TimeSeries::ValueAt(SimTime time, double initial) const {
+  // First point strictly after `time`, then step back one.
+  auto it = std::upper_bound(points_.begin(), points_.end(), time,
+                             [](SimTime t, const Point& p) { return t < p.time; });
+  if (it == points_.begin()) {
+    return initial;
+  }
+  return std::prev(it)->value;
+}
+
+double TimeSeries::IntegralOver(SimTime from, SimTime to, double initial) const {
+  GFAIR_CHECK(from <= to);
+  if (from == to) {
+    return 0.0;
+  }
+  double integral = 0.0;
+  SimTime cursor = from;
+  double current = ValueAt(from, initial);
+  auto it = std::upper_bound(points_.begin(), points_.end(), from,
+                             [](SimTime t, const Point& p) { return t < p.time; });
+  for (; it != points_.end() && it->time < to; ++it) {
+    integral += current * static_cast<double>(it->time - cursor);
+    cursor = it->time;
+    current = it->value;
+  }
+  integral += current * static_cast<double>(to - cursor);
+  return integral;
+}
+
+double TimeSeries::AverageOver(SimTime from, SimTime to, double initial) const {
+  GFAIR_CHECK(from < to);
+  return IntegralOver(from, to, initial) / static_cast<double>(to - from);
+}
+
+void CounterSeries::Add(SimTime time, double delta) {
+  GFAIR_CHECK(points_.empty() || time >= points_.back().time);
+  total_ += delta;
+  if (!points_.empty() && points_.back().time == time) {
+    points_.back().cumulative = total_;
+  } else {
+    points_.push_back(Point{time, total_});
+  }
+}
+
+double CounterSeries::TotalUpTo(SimTime time) const {
+  auto it = std::upper_bound(points_.begin(), points_.end(), time,
+                             [](SimTime t, const Point& p) { return t < p.time; });
+  if (it == points_.begin()) {
+    return 0.0;
+  }
+  return std::prev(it)->cumulative;
+}
+
+double CounterSeries::Rate(SimTime from, SimTime to) const {
+  GFAIR_CHECK(from < to);
+  const double delta = TotalUpTo(to) - TotalUpTo(from);
+  return delta / ToSeconds(to - from);
+}
+
+}  // namespace gfair::simkit

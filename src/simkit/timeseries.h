@@ -1,0 +1,66 @@
+// TimeSeries — piecewise-constant metric recording over simulated time.
+//
+// A TimeSeries records (time, value) samples where each value holds until the
+// next sample. It answers time-weighted integrals and averages over windows,
+// which is exactly what GPU-time accounting needs ("how many GPU-seconds did
+// user U hold between t0 and t1?").
+#ifndef GFAIR_SIMKIT_TIMESERIES_H_
+#define GFAIR_SIMKIT_TIMESERIES_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace gfair::simkit {
+
+class TimeSeries {
+ public:
+  // Records that the metric takes `value` from `time` onward. Times must be
+  // non-decreasing; a sample at the same time overwrites the previous one.
+  void Record(SimTime time, double value);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Value in effect at `time` (last sample at or before it); `initial` if
+  // before the first sample.
+  double ValueAt(SimTime time, double initial = 0.0) const;
+
+  // ∫ value dt over [from, to), in value·milliseconds.
+  double IntegralOver(SimTime from, SimTime to, double initial = 0.0) const;
+
+  // Time-weighted mean over [from, to).
+  double AverageOver(SimTime from, SimTime to, double initial = 0.0) const;
+
+  struct Point {
+    SimTime time;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Monotone counter sampled against simulated time; Rate() gives the average
+// increments-per-second over a window.
+class CounterSeries {
+ public:
+  void Add(SimTime time, double delta = 1.0);
+  double TotalUpTo(SimTime time) const;
+  double Total() const { return total_; }
+  // Average rate (per simulated second) over [from, to).
+  double Rate(SimTime from, SimTime to) const;
+
+ private:
+  struct Point {
+    SimTime time;
+    double cumulative;
+  };
+  std::vector<Point> points_;
+  double total_ = 0.0;
+};
+
+}  // namespace gfair::simkit
+
+#endif  // GFAIR_SIMKIT_TIMESERIES_H_

@@ -1,0 +1,65 @@
+#include "workload/job.h"
+
+namespace gfair::workload {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kSuspended:
+      return "suspended";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kMigrating:
+      return "migrating";
+    case JobState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+Job& JobTable::Create(UserId user, ModelId model, int gang_size, double total_minibatches,
+                      SimTime submit_time) {
+  GFAIR_CHECK(user.valid() && model.valid());
+  GFAIR_CHECK(gang_size >= 1);
+  GFAIR_CHECK(total_minibatches > 0.0);
+  auto job = std::make_unique<Job>();
+  job->id = JobId(static_cast<uint32_t>(jobs_.size()));
+  job->user = user;
+  job->model = model;
+  job->gang_size = gang_size;
+  job->total_minibatches = total_minibatches;
+  job->submit_time = submit_time;
+  jobs_.push_back(std::move(job));
+  return *jobs_.back();
+}
+
+Job& JobTable::Get(JobId id) {
+  GFAIR_CHECK(Contains(id));
+  return *jobs_[id.value()];
+}
+
+const Job& JobTable::Get(JobId id) const {
+  GFAIR_CHECK(Contains(id));
+  return *jobs_[id.value()];
+}
+
+std::vector<Job*> JobTable::All() {
+  std::vector<Job*> out;
+  out.reserve(jobs_.size());
+  for (auto& job : jobs_) {
+    out.push_back(job.get());
+  }
+  return out;
+}
+
+std::vector<const Job*> JobTable::All() const {
+  std::vector<const Job*> out;
+  out.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    out.push_back(job.get());
+  }
+  return out;
+}
+
+}  // namespace gfair::workload

@@ -1,0 +1,102 @@
+// Job — a deep-learning training job (a gang of GPUs training one model).
+//
+// A job is submitted by a user, demands `gang_size` GPUs on a single server
+// (all-or-nothing gang semantics), and finishes after completing
+// `total_minibatches` of work. Work progresses at the model's per-generation
+// throughput; the executor charges progress, the scheduler decides placement
+// and time slicing.
+#ifndef GFAIR_WORKLOAD_JOB_H_
+#define GFAIR_WORKLOAD_JOB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "common/check.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::workload {
+
+enum class JobState : uint8_t {
+  kQueued = 0,     // submitted, not yet resident on any server
+  kSuspended = 1,  // resident on a server, not holding GPUs
+  kRunning = 2,    // holding its gang of GPUs
+  kMigrating = 3,  // checkpoint in flight between servers
+  kFinished = 4,
+};
+
+const char* JobStateName(JobState state);
+
+struct Job {
+  JobId id;
+  UserId user;
+  ModelId model;
+  int gang_size = 1;
+  double total_minibatches = 0.0;
+  SimTime submit_time = kTimeZero;
+  // Intra-user priority: the user's pool tickets are split across its jobs
+  // proportional to weight x gang_size. Does not affect other users' shares.
+  double weight = 1.0;
+
+  // --- runtime state (owned by the executor / scheduler) ---
+  JobState state = JobState::kQueued;
+  // Server the job is resident on (valid in kSuspended/kRunning/kMigrating).
+  ServerId server = ServerId::Invalid();
+  double completed_minibatches = 0.0;
+  SimTime finish_time = kTimeNever;
+
+  // Progress durably captured by the last checkpoint (taken on every
+  // suspend/migration); a crash rolls completed_minibatches back to this.
+  double checkpointed_minibatches = 0.0;
+
+  // --- accounting ---
+  cluster::PerGeneration<double> gpu_ms_by_gen{};  // GPU-milliseconds consumed
+  int num_suspends = 0;
+  int num_resumes = 0;
+  int num_migrations = 0;
+  int num_crashes = 0;
+  SimDuration overhead_ms = 0;  // time lost to suspend/resume/migration
+
+  bool finished() const { return state == JobState::kFinished; }
+  bool resident() const { return server.valid(); }
+  double remaining_minibatches() const {
+    return total_minibatches - completed_minibatches;
+  }
+  // Total GPU-milliseconds across generations.
+  double TotalGpuMs() const {
+    double total = 0.0;
+    for (double v : gpu_ms_by_gen) {
+      total += v;
+    }
+    return total;
+  }
+};
+
+// Owning table of all jobs in a run. Jobs are created through the table so
+// ids are dense and lookups are O(1). Pointers remain valid for the table's
+// lifetime.
+class JobTable {
+ public:
+  Job& Create(UserId user, ModelId model, int gang_size, double total_minibatches,
+              SimTime submit_time);
+
+  Job& Get(JobId id);
+  const Job& Get(JobId id) const;
+  bool Contains(JobId id) const { return id.valid() && id.value() < jobs_.size(); }
+
+  size_t size() const { return jobs_.size(); }
+
+  // Iterates over all jobs (finished included).
+  std::vector<Job*> All();
+  std::vector<const Job*> All() const;
+
+ private:
+  std::vector<std::unique_ptr<Job>> jobs_;
+};
+
+}  // namespace gfair::workload
+
+#endif  // GFAIR_WORKLOAD_JOB_H_

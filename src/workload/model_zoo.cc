@@ -1,0 +1,87 @@
+#include "workload/model_zoo.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gfair::workload {
+
+bool ModelProfile::FitsGeneration(cluster::GpuGeneration gen) const {
+  return memory_per_gpu_gb <= cluster::SpecFor(gen).memory_gb;
+}
+
+double ModelProfile::GangThroughput(cluster::GpuGeneration gen, int gang_size) const {
+  GFAIR_CHECK(gang_size >= 1);
+  const double per_gpu = throughput[cluster::GenerationIndex(gen)];
+  const double efficiency = std::pow(scaling_efficiency, std::log2(gang_size));
+  return static_cast<double>(gang_size) * per_gpu * efficiency;
+}
+
+ModelId ModelZoo::Register(std::string name, cluster::PerGeneration<double> throughput,
+                           double checkpoint_gb, double memory_per_gpu_gb,
+                           double scaling_efficiency) {
+  GFAIR_CHECK(!name.empty());
+  GFAIR_CHECK(checkpoint_gb >= 0.0 && memory_per_gpu_gb > 0.0);
+  GFAIR_CHECK(scaling_efficiency > 0.0 && scaling_efficiency <= 1.0);
+  for (size_t g = 0; g < cluster::kNumGenerations; ++g) {
+    GFAIR_CHECK_MSG(throughput[g] > 0.0, "throughput must be positive");
+    if (g > 0) {
+      GFAIR_CHECK_MSG(throughput[g] >= throughput[g - 1],
+                      "newer generations must not be slower");
+    }
+  }
+  GFAIR_CHECK_MSG(!Contains(name), "duplicate model name");
+  const ModelId id(static_cast<uint32_t>(models_.size()));
+  models_.push_back(ModelProfile{id, std::move(name), throughput, checkpoint_gb,
+                                 memory_per_gpu_gb, scaling_efficiency});
+  return id;
+}
+
+const ModelProfile& ModelZoo::Get(ModelId id) const {
+  GFAIR_CHECK(id.valid() && id.value() < models_.size());
+  return models_[id.value()];
+}
+
+const ModelProfile& ModelZoo::GetByName(const std::string& name) const {
+  for (const auto& model : models_) {
+    if (model.name == name) {
+      return model;
+    }
+  }
+  GFAIR_CHECK_MSG(false, "unknown model name");
+  __builtin_unreachable();
+}
+
+bool ModelZoo::Contains(const std::string& name) const {
+  for (const auto& model : models_) {
+    if (model.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const ModelZoo& ModelZoo::Default() {
+  static const ModelZoo zoo = [] {
+    ModelZoo z;
+    // name                 {K80,   P40,   P100,  V100}  ckptGB memGB eff
+    z.Register("VAE", {{55.0, 58.0, 61.0, 66.0}}, 0.2, 1.0, 0.85);
+    z.Register("SuperResolution", {{22.0, 30.0, 37.0, 48.0}}, 0.4, 2.0, 0.88);
+    z.Register("GRU-LM", {{10.0, 15.0, 19.0, 25.0}}, 1.2, 4.0, 0.90);
+    z.Register("LSTM-LM", {{8.0, 13.0, 17.0, 22.4}}, 1.5, 5.0, 0.90);
+    z.Register("DCGAN", {{16.0, 28.0, 38.0, 50.0}}, 0.6, 3.0, 0.90);
+    z.Register("DeepSpeech2", {{4.0, 8.0, 10.5, 13.6}}, 2.0, 7.0, 0.92);
+    z.Register("ResNet-18", {{6.0, 13.0, 17.0, 23.0}}, 0.5, 4.0, 0.94);
+    z.Register("InceptionV3", {{2.4, 5.5, 7.2, 10.1}}, 1.0, 8.0, 0.94);
+    z.Register("ResNet-50", {{2.0, 5.0, 6.4, 9.2}}, 1.0, 9.0, 0.94);
+    z.Register("Transformer", {{1.5, 3.9, 5.3, 7.8}}, 2.5, 10.0, 0.93);
+    z.Register("ResNeXt-50", {{1.2, 3.4, 4.6, 7.1}}, 1.1, 10.0, 0.94);
+    // A large language model whose 14 GB working set exceeds the K80's 12 GB:
+    // it can only ever run on P40/P100/V100 (memory-feasibility constraint).
+    z.Register("MegaLM", {{0.8, 2.0, 2.6, 3.6}}, 8.0, 14.0, 0.92);
+    return z;
+  }();
+  return zoo;
+}
+
+}  // namespace gfair::workload

@@ -1,0 +1,79 @@
+// ModelZoo — deep-learning training models and their per-generation
+// throughput profiles.
+//
+// This is the calibration table standing in for the paper's measured jobs.
+// Throughputs are mini-batches per second on ONE GPU of each generation; the
+// V100/K80 speedup column spans ~1.2x (VAE) to ~5.9x (ResNeXt-50), matching
+// the "variable marginal utility" spread that motivates resource trading.
+// Absolute rates are representative, not measured; only ratios drive
+// scheduler behaviour.
+#ifndef GFAIR_WORKLOAD_MODEL_ZOO_H_
+#define GFAIR_WORKLOAD_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/gpu.h"
+#include "common/types.h"
+
+namespace gfair::workload {
+
+struct ModelIdTag {};
+using ModelId = StrongId<ModelIdTag>;
+
+struct ModelProfile {
+  ModelId id;
+  std::string name;
+  // Mini-batches/second on a single GPU of each generation.
+  cluster::PerGeneration<double> throughput;
+  // Checkpoint size in GB — drives suspend/resume/migration latency.
+  double checkpoint_gb;
+  // Device memory demand per GPU in GB (placement feasibility check).
+  double memory_per_gpu_gb;
+  // Multi-GPU scaling: total throughput of a k-GPU gang is
+  //   k * throughput[gen] * scaling_efficiency^(log2 k).
+  double scaling_efficiency;
+
+  // Whether this model's per-GPU working set fits a generation's device
+  // memory. Jobs of a model that does not fit a generation can never be
+  // placed, probed, or traded onto that pool.
+  bool FitsGeneration(cluster::GpuGeneration gen) const;
+
+  double SpeedupOver(cluster::GpuGeneration fast, cluster::GpuGeneration slow) const {
+    return throughput[cluster::GenerationIndex(fast)] /
+           throughput[cluster::GenerationIndex(slow)];
+  }
+
+  // Total gang throughput (mini-batches/s) on `gang_size` GPUs of `gen`.
+  double GangThroughput(cluster::GpuGeneration gen, int gang_size) const;
+};
+
+class ModelZoo {
+ public:
+  // The default calibrated zoo (11 models, speedups 1.2x–5.9x V100/K80).
+  static const ModelZoo& Default();
+
+  // Empty zoo for tests that register synthetic models.
+  ModelZoo() = default;
+
+  // Registers a model; `throughput` must be positive and non-decreasing in
+  // generation order (newer GPUs are never slower). Returns its id.
+  ModelId Register(std::string name, cluster::PerGeneration<double> throughput,
+                   double checkpoint_gb, double memory_per_gpu_gb,
+                   double scaling_efficiency = 0.92);
+
+  const ModelProfile& Get(ModelId id) const;
+  // Looks a model up by name; CHECK-fails when absent.
+  const ModelProfile& GetByName(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  size_t size() const { return models_.size(); }
+  const std::vector<ModelProfile>& models() const { return models_; }
+
+ private:
+  std::vector<ModelProfile> models_;
+};
+
+}  // namespace gfair::workload
+
+#endif  // GFAIR_WORKLOAD_MODEL_ZOO_H_

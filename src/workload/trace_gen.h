@@ -1,0 +1,94 @@
+// TraceGenerator — synthetic multi-user DLT workload traces.
+//
+// Stands in for the production traces the paper replays: per-user Poisson
+// arrivals, a heavy-tailed (log-normal) job-duration distribution, a gang
+// size mix dominated by 1-GPU jobs with a tail of 2/4/8-GPU gangs, and a
+// per-user model mix (which is what makes trading interesting — users whose
+// jobs barely speed up on V100s vs users whose jobs speed up a lot).
+#ifndef GFAIR_WORKLOAD_TRACE_GEN_H_
+#define GFAIR_WORKLOAD_TRACE_GEN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "workload/job.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::workload {
+
+// Discrete distribution over gang sizes.
+struct GangSizeDist {
+  // (gang size, weight) pairs; weights need not be normalized.
+  std::vector<std::pair<int, double>> entries;
+
+  // The mix used by the paper-scale experiments: mostly 1-GPU jobs with a
+  // tail of multi-GPU gangs.
+  static GangSizeDist Typical() {
+    return GangSizeDist{{{1, 0.60}, {2, 0.20}, {4, 0.12}, {8, 0.08}}};
+  }
+  static GangSizeDist SingleGpuOnly() { return GangSizeDist{{{1, 1.0}}}; }
+  // Approximates the public Microsoft Philly trace's gang-size distribution
+  // (dominated by 1-GPU jobs, with 4/8-GPU spikes at framework defaults).
+  static GangSizeDist PhillyLike() {
+    return GangSizeDist{{{1, 0.70}, {2, 0.09}, {4, 0.12}, {8, 0.09}}};
+  }
+};
+
+// Everything needed to synthesize one user's job stream.
+struct UserWorkloadSpec {
+  std::string name;
+  Tickets tickets = 1.0;
+  // (model name, weight); empty means uniform over the whole zoo.
+  std::vector<std::pair<std::string, double>> model_mix;
+  // Mean job inter-arrival time. Arrivals are Poisson within [start, stop).
+  SimDuration mean_interarrival = Minutes(20);
+  // Standalone job duration when run uninterrupted on K80 GPUs; log-normal
+  // with this mean and sigma (of the underlying normal).
+  SimDuration mean_duration_k80 = Hours(2);
+  double duration_sigma = 0.8;
+  GangSizeDist gang_sizes = GangSizeDist::Typical();
+  SimTime start = kTimeZero;
+  SimTime stop = Hours(12);
+  // Diurnal load modulation: instantaneous arrival rate is scaled by
+  //   1 + diurnal_amplitude * sin(2*pi * t / diurnal_period)
+  // (0 = flat Poisson). Mimics the day/night cycle of production traces.
+  double diurnal_amplitude = 0.0;
+  SimDuration diurnal_period = Hours(24);
+  // Caps the number of jobs generated for this user; -1 = unlimited.
+  int max_jobs = -1;
+};
+
+// A job to submit at `arrival` (ids are assigned at submission time).
+struct TraceEntry {
+  UserId user;
+  ModelId model;
+  int gang_size;
+  double total_minibatches;
+  SimTime arrival;
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const ModelZoo& zoo, uint64_t seed) : zoo_(zoo), rng_(seed) {}
+
+  // Generates the merged, arrival-ordered trace for all users. `user_ids`
+  // parallels `specs` (ids come from the caller's UserTable).
+  std::vector<TraceEntry> Generate(const std::vector<UserWorkloadSpec>& specs,
+                                   const std::vector<UserId>& user_ids);
+
+  // Converts a standalone K80 duration into mini-batches of work for a gang.
+  static double MinibatchesFor(const ModelProfile& model, int gang_size,
+                               SimDuration duration_on_k80);
+
+ private:
+  const ModelZoo& zoo_;
+  Rng rng_;
+};
+
+}  // namespace gfair::workload
+
+#endif  // GFAIR_WORKLOAD_TRACE_GEN_H_

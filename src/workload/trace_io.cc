@@ -1,0 +1,167 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace gfair::workload {
+
+namespace {
+constexpr char kHeader[] = "arrival_ms,user,model,gang_size,minibatches,weight";
+
+bool ParsePositiveDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value <= 0.0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+}  // namespace
+
+std::string SerializeTrace(const std::vector<TraceFileEntry>& entries,
+                           const UserTable& users, const ModelZoo& zoo) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const auto& file_entry : entries) {
+    const TraceEntry& entry = file_entry.entry;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%.6f,%.4f",
+                  static_cast<long long>(entry.arrival),
+                  users.Get(entry.user).name.c_str(), zoo.Get(entry.model).name.c_str(),
+                  entry.gang_size, entry.total_minibatches, file_entry.weight);
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+std::string SerializeTrace(const std::vector<TraceEntry>& entries,
+                           const UserTable& users, const ModelZoo& zoo) {
+  std::vector<TraceFileEntry> file_entries;
+  file_entries.reserve(entries.size());
+  for (const auto& entry : entries) {
+    file_entries.push_back(TraceFileEntry{entry, 1.0});
+  }
+  return SerializeTrace(file_entries, users, zoo);
+}
+
+bool ParseTrace(const std::string& csv, const ModelZoo& zoo, UserTable* users,
+                std::vector<TraceFileEntry>* out, std::string* error) {
+  GFAIR_CHECK(users != nullptr && out != nullptr && error != nullptr);
+  out->clear();
+  error->clear();
+
+  std::istringstream in(csv);
+  std::string line;
+  size_t line_number = 0;
+  bool saw_header = false;
+
+  auto fail = [&](const std::string& message) {
+    *error = "line " + std::to_string(line_number) + ": " + message;
+    return false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip trailing CR for files written on Windows.
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const std::string trimmed_probe = line;
+    if (trimmed_probe.empty() || trimmed_probe[0] == '#') {
+      continue;
+    }
+    if (!saw_header) {
+      const auto headers = SplitAndTrim(line, ',');
+      if (headers.size() < 5 || headers[0] != "arrival_ms" || headers[1] != "user") {
+        return fail("expected header '" + std::string(kHeader) + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    const auto fields = SplitAndTrim(line, ',');
+    if (fields.size() != 5 && fields.size() != 6) {
+      return fail("expected 5 or 6 fields, got " + std::to_string(fields.size()));
+    }
+
+    TraceFileEntry file_entry;
+    TraceEntry& entry = file_entry.entry;
+
+    char* end = nullptr;
+    const long long arrival = std::strtoll(fields[0].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || arrival < 0) {
+      return fail("bad arrival_ms '" + fields[0] + "'");
+    }
+    entry.arrival = arrival;
+
+    if (fields[1].empty()) {
+      return fail("empty user name");
+    }
+    UserId user = UserId::Invalid();
+    for (const auto& existing : users->users()) {
+      if (existing.name == fields[1]) {
+        user = existing.id;
+        break;
+      }
+    }
+    if (!user.valid()) {
+      user = users->Create(fields[1]).id;
+    }
+    entry.user = user;
+
+    if (!zoo.Contains(fields[2])) {
+      return fail("unknown model '" + fields[2] + "'");
+    }
+    entry.model = zoo.GetByName(fields[2]).id;
+
+    const long long gang = std::strtoll(fields[3].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || gang < 1 || gang > 1024) {
+      return fail("bad gang_size '" + fields[3] + "'");
+    }
+    entry.gang_size = static_cast<int>(gang);
+
+    if (!ParsePositiveDouble(fields[4], &entry.total_minibatches)) {
+      return fail("bad minibatches '" + fields[4] + "'");
+    }
+    if (fields.size() == 6 && !ParsePositiveDouble(fields[5], &file_entry.weight)) {
+      return fail("bad weight '" + fields[5] + "'");
+    }
+    out->push_back(file_entry);
+  }
+  if (!saw_header) {
+    line_number = 1;
+    return fail("empty trace (no header)");
+  }
+  return true;
+}
+
+bool WriteTraceFile(const std::string& path, const std::vector<TraceFileEntry>& entries,
+                    const UserTable& users, const ModelZoo& zoo) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << SerializeTrace(entries, users, zoo);
+  return static_cast<bool>(file);
+}
+
+bool ReadTraceFile(const std::string& path, const ModelZoo& zoo, UserTable* users,
+                   std::vector<TraceFileEntry>* out, std::string* error) {
+  GFAIR_CHECK(error != nullptr);
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseTrace(content.str(), zoo, users, out, error);
+}
+
+}  // namespace gfair::workload

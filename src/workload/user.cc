@@ -1,0 +1,40 @@
+#include "workload/user.h"
+
+namespace gfair::workload {
+
+User& UserTable::Create(std::string name, Tickets tickets) {
+  GFAIR_CHECK(!name.empty());
+  GFAIR_CHECK(tickets > 0.0);
+  User user;
+  user.id = UserId(static_cast<uint32_t>(users_.size()));
+  user.name = std::move(name);
+  user.tickets = tickets;
+  users_.push_back(std::move(user));
+  return users_.back();
+}
+
+User& UserTable::CreateInGroup(std::string name, std::string group, Tickets tickets) {
+  User& user = Create(std::move(name), tickets);
+  user.group = std::move(group);
+  return user;
+}
+
+User& UserTable::Get(UserId id) {
+  GFAIR_CHECK(Contains(id));
+  return users_[id.value()];
+}
+
+const User& UserTable::Get(UserId id) const {
+  GFAIR_CHECK(Contains(id));
+  return users_[id.value()];
+}
+
+Tickets UserTable::TotalTickets() const {
+  Tickets total = 0.0;
+  for (const auto& user : users_) {
+    total += user.tickets;
+  }
+  return total;
+}
+
+}  // namespace gfair::workload

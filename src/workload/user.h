@@ -1,0 +1,46 @@
+// User — a tenant of the cluster holding fair-share tickets.
+#ifndef GFAIR_WORKLOAD_USER_H_
+#define GFAIR_WORKLOAD_USER_H_
+
+#include <string>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace gfair::workload {
+
+struct User {
+  UserId id;
+  std::string name;
+  Tickets tickets = 1.0;
+  // Optional accounting group (team / org). Empty = ungrouped. With
+  // hierarchical sharing enabled, cluster tickets are first split across
+  // groups, then within each group across its ACTIVE users — so one group's
+  // share does not grow with its headcount.
+  std::string group;
+};
+
+class UserTable {
+ public:
+  User& Create(std::string name, Tickets tickets = 1.0);
+  // Creates a user belonging to `group` (see User::group).
+  User& CreateInGroup(std::string name, std::string group, Tickets tickets = 1.0);
+
+  User& Get(UserId id);
+  const User& Get(UserId id) const;
+  bool Contains(UserId id) const { return id.valid() && id.value() < users_.size(); }
+
+  size_t size() const { return users_.size(); }
+  const std::deque<User>& users() const { return users_; }
+
+  Tickets TotalTickets() const;
+
+ private:
+  std::deque<User> users_;
+};
+
+}  // namespace gfair::workload
+
+#endif  // GFAIR_WORKLOAD_USER_H_

@@ -1,0 +1,89 @@
+#include "analysis/fairshare.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair::analysis {
+namespace {
+
+TEST(WaterFillTest, ProportionalWhenUncapped) {
+  const auto alloc = WaterFill(12.0, {1.0, 2.0}, {100.0, 100.0});
+  EXPECT_DOUBLE_EQ(alloc[0], 4.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 8.0);
+}
+
+TEST(WaterFillTest, CapsAtDemandAndRedistributes) {
+  const auto alloc = WaterFill(12.0, {1.0, 1.0}, {2.0, 100.0});
+  EXPECT_DOUBLE_EQ(alloc[0], 2.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 10.0);
+}
+
+TEST(WaterFillTest, ZeroDemandGetsNothing) {
+  const auto alloc = WaterFill(10.0, {5.0, 1.0}, {0.0, 4.0});
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 4.0);
+}
+
+TEST(WaterFillTest, UndersubscribedGivesEveryoneTheirDemand) {
+  const auto alloc = WaterFill(100.0, {1.0, 1.0, 1.0}, {3.0, 5.0, 7.0});
+  EXPECT_DOUBLE_EQ(alloc[0], 3.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 5.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 7.0);
+}
+
+TEST(WaterFillTest, CascadingCaps) {
+  // tickets equal, capacity 9: proportional = 3 each; user0 capped at 1,
+  // excess flows to the others: 1, 4, 4.
+  const auto alloc = WaterFill(9.0, {1.0, 1.0, 1.0}, {1.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(alloc[0], 1.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 4.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 4.0);
+}
+
+TEST(WaterFillTest, NeverExceedsCapacityOrDemand) {
+  const auto alloc = WaterFill(7.0, {1.0, 2.0, 4.0}, {3.0, 3.0, 3.0});
+  double total = 0.0;
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    EXPECT_LE(alloc[i], 3.0 + 1e-9);
+    total += alloc[i];
+  }
+  EXPECT_NEAR(total, 7.0, 1e-9);
+}
+
+TEST(IdealGpuMsTest, IntegratesOverDemandChanges) {
+  simkit::TimeSeries demand_a;
+  simkit::TimeSeries demand_b;
+  demand_a.Record(0, 8.0);
+  demand_b.Record(Minutes(30), 8.0);  // b joins at t=30min
+  const std::vector<UserShareInput> users = {
+      {UserId(0), 1.0, &demand_a},
+      {UserId(1), 1.0, &demand_b},
+  };
+  const auto ideal = IdealGpuMs(8.0, 0, Hours(1), users);
+  // a: 8 GPUs for 30min + 4 GPUs for 30min = 6 GPU-hours.
+  EXPECT_NEAR(ideal[0] / kHour, 6.0, 1e-9);
+  EXPECT_NEAR(ideal[1] / kHour, 2.0, 1e-9);
+}
+
+TEST(IdealGpuMsTest, EmptyUsersAndWindows) {
+  EXPECT_TRUE(IdealGpuMs(8.0, 0, Hours(1), {}).empty());
+  simkit::TimeSeries demand;
+  demand.Record(0, 1.0);
+  const std::vector<UserShareInput> users = {{UserId(0), 1.0, &demand}};
+  EXPECT_DOUBLE_EQ(IdealGpuMs(8.0, Minutes(5), Minutes(5), users)[0], 0.0);
+}
+
+TEST(IdealClusterGpuMsTest, SumsPools) {
+  sched::FairnessLedger ledger;
+  ledger.RecordDemandChange(UserId(0), cluster::GpuGeneration::kK80, 0, 4);
+  ledger.RecordDemandChange(UserId(0), cluster::GpuGeneration::kV100, 0, 4);
+  cluster::Cluster cluster(cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 1, 4},
+      {cluster::GpuGeneration::kV100, 1, 4},
+  }});
+  const auto ideal =
+      IdealClusterGpuMs(cluster, ledger, {UserId(0)}, {1.0}, 0, Hours(1));
+  EXPECT_NEAR(ideal[0] / kHour, 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gfair::analysis

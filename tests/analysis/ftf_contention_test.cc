@@ -1,0 +1,117 @@
+// Tests for finish-time fairness and migration-network contention.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "analysis/metrics.h"
+
+namespace gfair {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+
+TEST(FinishTimeFairnessTest, DedicatedJobHasRhoNearOne) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(3));
+  exp.Run(Hours(4));
+  const auto ftf = analysis::ComputeFinishTimeFairness(exp.jobs(), exp.zoo(),
+                                                       exp.cluster());
+  ASSERT_EQ(ftf.finished, 1);
+  EXPECT_NEAR(ftf.mean_rho, 1.0, 0.05);  // alone on V100s: ~no slowdown
+}
+
+TEST(FinishTimeFairnessTest, ContendedJobsSlowProportionally) {
+  // Two users saturating a server: each job runs at ~half speed -> rho ~2.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 2);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 2; ++i) {
+    exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(2));
+    exp.SubmitAt(kTimeZero, b.id, "DCGAN", 1, Hours(2));
+  }
+  exp.Run(Hours(10));
+  const auto ftf = analysis::ComputeFinishTimeFairness(exp.jobs(), exp.zoo(),
+                                                       exp.cluster());
+  ASSERT_EQ(ftf.finished, 4);
+  EXPECT_NEAR(ftf.mean_rho, 2.0, 0.25);
+  // Fair sharing: no job much worse than the mean.
+  EXPECT_LT(ftf.max_rho, ftf.mean_rho * 1.3);
+}
+
+TEST(FinishTimeFairnessTest, PerUserFilter) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(1));
+  exp.SubmitAt(kTimeZero, b.id, "DCGAN", 1, Hours(1));
+  exp.Run(Hours(4));
+  EXPECT_EQ(analysis::ComputeFinishTimeFairness(exp.jobs(), exp.zoo(), exp.cluster(),
+                                                a.id)
+                .finished,
+            1);
+}
+
+TEST(MigrationContentionTest, ConcurrentMigrationsStretchTransfers) {
+  simkit::Simulator sim;
+  cluster::Cluster cluster(cluster::HomogeneousTopology(2, 8));
+  workload::JobTable jobs;
+  exec::ExecutorConfig exec_config;
+  exec_config.migrate_contention = 1.0;
+  exec::Executor exec(sim, cluster, workload::ModelZoo::Default(), jobs, exec_config, 1);
+
+  const auto& model = workload::ModelZoo::Default().GetByName("Transformer");
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto& job = jobs.Create(UserId(0), model.id, 1, 1e9, 0);
+    exec.MakeResident(job.id, ServerId(0));
+    ids.push_back(job.id);
+  }
+  // Start three migrations back-to-back: in-flight counts 0, 1, 2.
+  for (JobId id : ids) {
+    exec.Migrate(id, ServerId(1));
+  }
+  EXPECT_EQ(exec.migrations_in_flight(), 3);
+  // First pays the uncontended latency; the third pays the transfer 3x.
+  const SimDuration base = exec.MigrateLatency(model.id);
+  EXPECT_EQ(jobs.Get(ids[0]).overhead_ms, base);
+  EXPECT_GT(jobs.Get(ids[2]).overhead_ms, jobs.Get(ids[1]).overhead_ms);
+  EXPECT_GT(jobs.Get(ids[1]).overhead_ms, jobs.Get(ids[0]).overhead_ms);
+
+  sim.Run();
+  EXPECT_EQ(exec.migrations_in_flight(), 0);
+  for (JobId id : ids) {
+    EXPECT_EQ(jobs.Get(id).server, ServerId(1));
+    EXPECT_EQ(jobs.Get(id).state, workload::JobState::kSuspended);
+  }
+}
+
+TEST(MigrationContentionTest, ZeroContentionMatchesBaseLatency) {
+  simkit::Simulator sim;
+  cluster::Cluster cluster(cluster::HomogeneousTopology(2, 4));
+  workload::JobTable jobs;
+  exec::ExecutorConfig exec_config;
+  exec_config.migrate_contention = 0.0;
+  exec::Executor exec(sim, cluster, workload::ModelZoo::Default(), jobs, exec_config, 1);
+  const auto& model = workload::ModelZoo::Default().GetByName("DCGAN");
+  std::vector<JobId> ids;
+  for (int i = 0; i < 2; ++i) {
+    auto& job = jobs.Create(UserId(0), model.id, 1, 1e9, 0);
+    exec.MakeResident(job.id, ServerId(0));
+    exec.Migrate(job.id, ServerId(1));
+    ids.push_back(job.id);
+  }
+  EXPECT_EQ(jobs.Get(ids[0]).overhead_ms, jobs.Get(ids[1]).overhead_ms);
+}
+
+}  // namespace
+}  // namespace gfair

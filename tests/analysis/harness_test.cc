@@ -1,0 +1,115 @@
+// Tests for the Experiment harness itself: phased runs, demand tracking,
+// policy-independent ideal shares, weights, determinism.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+
+namespace gfair::analysis {
+namespace {
+
+TEST(HarnessTest, PhasedRunsAreEquivalentToOneRun) {
+  auto run = [](bool phased) {
+    ExperimentConfig config;
+    config.topology = cluster::HomogeneousTopology(1, 4);
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    exp.UseGandivaFair({});
+    exp.SubmitAt(kTimeZero, a.id, "DCGAN", 2, Hours(1));
+    exp.SubmitAt(Minutes(30), a.id, "DCGAN", 1, Hours(1));
+    if (phased) {
+      for (int m = 10; m <= 240; m += 10) {
+        exp.Run(Minutes(m));
+      }
+    } else {
+      exp.Run(Hours(4));
+    }
+    double total = 0.0;
+    for (const auto* job : exp.jobs().All()) {
+      total += job->completed_minibatches;
+    }
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(true), run(false));
+}
+
+TEST(HarnessTest, DeterministicAcrossInstances) {
+  auto run = [] {
+    ExperimentConfig config;
+    config.topology = cluster::HomogeneousTopology(2, 4);
+    config.seed = 77;
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    auto& b = exp.users().Create("b");
+    exp.UseGandivaFair({});
+    std::vector<workload::UserWorkloadSpec> specs(2);
+    specs[0].name = "a";
+    specs[0].stop = Hours(4);
+    specs[1] = specs[0];
+    specs[1].name = "b";
+    workload::TraceGenerator gen(exp.zoo(), 77);
+    exp.LoadTrace(gen.Generate(specs, {a.id, b.id}));
+    exp.Run(Hours(4));
+    return exp.ledger().GpuMs(a.id, kTimeZero, Hours(4));
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(HarnessTest, DemandSeriesTracksSubmissionsAndCompletions) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  const JobId id = exp.SubmitAt(Minutes(10), a.id, "DCGAN", 4, Minutes(30));
+  exp.Run(Hours(2));
+  const auto& series = exp.demand_series(a.id);
+  EXPECT_DOUBLE_EQ(series.ValueAt(Minutes(5)), 0.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(Minutes(11)), 4.0);
+  const auto& job = exp.jobs().Get(id);
+  ASSERT_TRUE(job.finished());
+  EXPECT_DOUBLE_EQ(series.ValueAt(job.finish_time + 1), 0.0);
+}
+
+TEST(HarnessTest, IdealRespectsTicketsAndDemandCaps) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a", 3.0);
+  auto& b = exp.users().Create("b", 1.0);
+  exp.UseGandivaFair({});
+  // a demands only 2 GPUs (below its 6-GPU share); b demands 8.
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 2, Hours(1000));
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(kTimeZero, b.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(2));
+  const auto ideal = exp.IdealGpuMs(kTimeZero, Hours(2));
+  EXPECT_NEAR(ideal[0] / kHour, 4.0, 1e-6);   // capped at demand: 2 GPUs x 2h
+  EXPECT_NEAR(ideal[1] / kHour, 12.0, 1e-6);  // absorbs the slack: 6 GPUs x 2h
+}
+
+TEST(HarnessTest, PolicySwapKeepsWorkloadSemantics) {
+  for (Policy policy : {Policy::kGandivaFair, Policy::kLas, Policy::kFifo}) {
+    ExperimentConfig config;
+    config.topology = cluster::HomogeneousTopology(1, 4);
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    exp.UsePolicy(policy);
+    const JobId id = exp.SubmitAt(kTimeZero, a.id, "DCGAN", 4, Minutes(20));
+    exp.Run(Hours(2));
+    EXPECT_TRUE(exp.jobs().Get(id).finished()) << PolicyName(policy);
+  }
+}
+
+TEST(HarnessDeathTest, MisuseIsLoud) {
+  ExperimentConfig config;
+  Experiment exp(config);
+  EXPECT_DEATH(exp.Run(Hours(1)), "UsePolicy");
+  auto& a = exp.users().Create("a");
+  EXPECT_DEATH(exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(1)), "UsePolicy");
+  exp.UseGandivaFair({});
+  EXPECT_DEATH(exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(1), /*weight=*/0.0), "");
+}
+
+}  // namespace
+}  // namespace gfair::analysis

@@ -1,0 +1,68 @@
+#include "analysis/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+
+namespace gfair::analysis {
+namespace {
+
+TEST(MetricsTest, UsefulWorkConvertsAtK80Rate) {
+  workload::JobTable jobs;
+  const auto& zoo = workload::ModelZoo::Default();
+  const auto& model = zoo.GetByName("DCGAN");  // 16 mb/s on K80
+  workload::Job& job = jobs.Create(UserId(0), model.id, 1, 16.0 * 3600, 0);
+  job.completed_minibatches = 16.0 * 3600;  // one K80-hour of work
+  EXPECT_NEAR(UsefulK80GpuHours(job, zoo), 1.0, 1e-9);
+  EXPECT_NEAR(TotalUsefulWork(jobs, zoo), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, UsefulWorkWeightsGangSize) {
+  workload::JobTable jobs;
+  const auto& zoo = workload::ModelZoo::Default();
+  const auto& model = zoo.GetByName("DCGAN");
+  const double gang_rate = model.GangThroughput(cluster::GpuGeneration::kK80, 4);
+  workload::Job& job = jobs.Create(UserId(0), model.id, 4, gang_rate * 3600, 0);
+  job.completed_minibatches = gang_rate * 3600;  // one hour on a 4-gang
+  EXPECT_NEAR(UsefulK80GpuHours(job, zoo), 4.0, 1e-9);
+}
+
+TEST(MetricsTest, SummariesFromEndToEndRun) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a", 2.0);
+  exp.users().Create("idle");
+  exp.UseGandivaFair({});
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 2, Minutes(40));
+  exp.Run(Hours(2));
+  const auto summaries =
+      SummarizeUsers(exp.jobs(), exp.users(), exp.ledger(), exp.zoo(), kTimeZero, Hours(2));
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].name, "a");
+  EXPECT_DOUBLE_EQ(summaries[0].tickets, 2.0);
+  EXPECT_EQ(summaries[0].jobs_total, 1);
+  EXPECT_EQ(summaries[0].jobs_finished, 1);
+  EXPECT_GT(summaries[0].gpu_hours, 0.3);
+  EXPECT_GT(summaries[0].mean_jct_minutes, 5.0);
+  EXPECT_DOUBLE_EQ(summaries[1].gpu_hours, 0.0);
+}
+
+TEST(MetricsTest, PoolUtilizationReflectsHeldTime) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 4; ++i) {
+    exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(100));
+  }
+  exp.Run(Hours(2));
+  const auto util = PoolUtilization(exp.ledger(), exp.users(), exp.cluster(), kTimeZero,
+                                    Hours(2));
+  EXPECT_GT(util[cluster::GenerationIndex(cluster::GpuGeneration::kV100)], 0.97);
+  EXPECT_DOUBLE_EQ(util[cluster::GenerationIndex(cluster::GpuGeneration::kK80)], 0.0);
+}
+
+}  // namespace
+}  // namespace gfair::analysis

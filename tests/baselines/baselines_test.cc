@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "baselines/quota.h"
+#include "cluster/cluster.h"
+
+namespace gfair::baselines {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+using analysis::Policy;
+using cluster::GpuGeneration;
+
+TEST(FifoTest, RunsJobsInArrivalOrder) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UsePolicy(Policy::kFifo);
+  const JobId first = exp.SubmitAt(kTimeZero, a.id, "DCGAN", 4, Hours(1));
+  const JobId second = exp.SubmitAt(Minutes(1), a.id, "DCGAN", 4, Hours(1));
+  exp.Run(Hours(3));
+  const auto& job1 = exp.jobs().Get(first);
+  const auto& job2 = exp.jobs().Get(second);
+  ASSERT_TRUE(job1.finished());
+  ASSERT_TRUE(job2.finished());
+  EXPECT_LT(job1.finish_time, job2.finish_time);
+  // Strictly sequential: second starts only after first finishes.
+  EXPECT_GE(job2.finish_time - job1.finish_time, Minutes(15));
+}
+
+TEST(FifoTest, HeadOfLineBlocksBackfill) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UsePolicy(Policy::kFifo);
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 3, Hours(2));     // running, 1 GPU free
+  exp.SubmitAt(Minutes(1), a.id, "DCGAN", 2, Hours(2));    // blocked head
+  const JobId small = exp.SubmitAt(Minutes(2), a.id, "DCGAN", 1, Minutes(10));
+  exp.Run(Minutes(30));
+  // Strict FIFO: the 1-GPU job must NOT start ahead of the blocked 2-GPU job.
+  EXPECT_FALSE(exp.jobs().Get(small).finished());
+  EXPECT_EQ(exp.jobs().Get(small).state, workload::JobState::kQueued);
+}
+
+TEST(GreedyTest, BackfillsPastBlockedGang) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UsePolicy(Policy::kEfficiencyGreedy);
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 3, Hours(2));
+  exp.SubmitAt(Minutes(1), a.id, "DCGAN", 2, Hours(2));
+  const JobId small = exp.SubmitAt(Minutes(2), a.id, "DCGAN", 1, Minutes(10));
+  exp.Run(Minutes(30));
+  EXPECT_TRUE(exp.jobs().Get(small).finished());
+}
+
+TEST(GreedyTest, IsUnfairAcrossUsers) {
+  // Greedy packs small jobs: the many-small-jobs user crowds out the gang
+  // user. This unfairness is what E6 quantifies.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  Experiment exp(config);
+  auto& gang_user = exp.users().Create("gangs");
+  auto& small_user = exp.users().Create("smalls");
+  exp.UsePolicy(Policy::kEfficiencyGreedy);
+  // Smalls arrive first and keep the server full; greedy backfills a new
+  // small whenever one finishes, so the 8-GPU gang never assembles.
+  for (int i = 0; i < 64; ++i) {
+    exp.SubmitAt(kTimeZero, small_user.id, "DCGAN", 1, Hours(8));
+  }
+  exp.SubmitAt(kTimeZero, gang_user.id, "DCGAN", 8, Hours(400));
+  exp.Run(Hours(4));
+  const auto& ledger = exp.scheduler().policy_ledger();
+  const double gang_ms = ledger.GpuMs(gang_user.id, kTimeZero, Hours(4));
+  const double small_ms = ledger.GpuMs(small_user.id, kTimeZero, Hours(4));
+  EXPECT_GT(small_ms, gang_ms * 5.0);
+}
+
+TEST(QuotaTest, QuotasAreTicketProportional) {
+  ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {GpuGeneration::kK80, 1, 8},
+      {GpuGeneration::kV100, 1, 8},
+  }};
+  Experiment exp(config);
+  auto& a = exp.users().Create("a", 1.0);
+  auto& b = exp.users().Create("b", 3.0);
+  exp.UsePolicy(Policy::kStaticQuota);
+  exp.Run(Minutes(1));  // triggers Start()
+  auto* quota = dynamic_cast<StaticQuotaScheduler*>(&exp.scheduler());
+  ASSERT_NE(quota, nullptr);
+  EXPECT_EQ(quota->QuotaFor(a.id, GpuGeneration::kV100), 2);
+  EXPECT_EQ(quota->QuotaFor(b.id, GpuGeneration::kV100), 6);
+  EXPECT_EQ(quota->QuotaFor(a.id, GpuGeneration::kK80), 2);
+}
+
+TEST(QuotaTest, UserCannotExceedQuota) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a", 1.0);
+  exp.users().Create("b", 1.0);  // entitled to half, stays idle
+  exp.UsePolicy(Policy::kStaticQuota);
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(100));
+  }
+  exp.Run(Hours(2));
+  // No work conservation: a is capped at its 4-GPU quota even though b idles.
+  const double a_ms = exp.scheduler().policy_ledger().GpuMs(a.id, kTimeZero, Hours(2));
+  EXPECT_NEAR(a_ms / (4.0 * Hours(2)), 1.0, 0.05);
+}
+
+TEST(QuotaTest, LargestRemainderDistributesAllGpus) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a", 1.0);
+  auto& b = exp.users().Create("b", 1.0);
+  auto& c = exp.users().Create("c", 1.0);
+  exp.UsePolicy(Policy::kStaticQuota);
+  exp.Run(Minutes(1));
+  auto* quota = dynamic_cast<StaticQuotaScheduler*>(&exp.scheduler());
+  const int total = quota->QuotaFor(a.id, GpuGeneration::kV100) +
+                    quota->QuotaFor(b.id, GpuGeneration::kV100) +
+                    quota->QuotaFor(c.id, GpuGeneration::kV100);
+  EXPECT_EQ(total, 8);
+}
+
+TEST(BaselinePoliciesTest, AllPoliciesCompleteAWorkload) {
+  for (Policy policy : {Policy::kFifo, Policy::kStaticQuota, Policy::kEfficiencyGreedy,
+                        Policy::kPlainStride, Policy::kGandivaFairNoTrade}) {
+    ExperimentConfig config;
+    config.topology = cluster::HomogeneousTopology(2, 4);
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    auto& b = exp.users().Create("b");
+    exp.UsePolicy(policy);
+    for (int i = 0; i < 6; ++i) {
+      exp.SubmitAt(Minutes(i), i % 2 == 0 ? a.id : b.id, "DCGAN", 1 + (i % 2),
+                   Minutes(30));
+    }
+    exp.Run(Hours(6));
+    int finished = 0;
+    for (const auto* job : exp.jobs().All()) {
+      finished += job->finished() ? 1 : 0;
+    }
+    EXPECT_EQ(finished, 6) << analysis::PolicyName(policy);
+  }
+}
+
+}  // namespace
+}  // namespace gfair::baselines

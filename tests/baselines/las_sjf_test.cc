@@ -1,0 +1,147 @@
+// Tests for the SJF and LAS baselines and per-job weights.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+
+namespace gfair::baselines {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+using analysis::Policy;
+
+TEST(SjfTest, ShortestJobDispatchedFirst) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 2);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UsePolicy(Policy::kSjf);
+  // Occupy the server so the next two queue up; the shorter must go first.
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 2, Minutes(30));
+  const JobId longer = exp.SubmitAt(Minutes(1), a.id, "DCGAN", 2, Hours(2));
+  const JobId shorter = exp.SubmitAt(Minutes(2), a.id, "DCGAN", 2, Minutes(20));
+  exp.Run(Hours(4));
+  EXPECT_LT(exp.jobs().Get(shorter).finish_time, exp.jobs().Get(longer).finish_time);
+}
+
+TEST(SjfTest, OracleBeatsFifoOnMeanJct) {
+  auto mean_jct = [](Policy policy) {
+    ExperimentConfig config;
+    config.topology = cluster::HomogeneousTopology(1, 4);
+    config.seed = 5;
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    exp.UsePolicy(policy);
+    // A short blocker occupies the server; behind it queue a long job and a
+    // burst of short ones — FIFO runs the long job first, SJF the shorts.
+    exp.SubmitAt(kTimeZero, a.id, "DCGAN", 4, Minutes(30));
+    exp.SubmitAt(Minutes(1), a.id, "DCGAN", 4, Hours(10));
+    for (int i = 0; i < 9; ++i) {
+      exp.SubmitAt(Minutes(2 + i), a.id, "DCGAN", 4, Minutes(20));
+    }
+    exp.Run(Hours(20));
+    double total = 0.0;
+    int finished = 0;
+    for (const auto* job : exp.jobs().All()) {
+      if (job->finished()) {
+        total += ToMinutes(job->finish_time - job->submit_time);
+        ++finished;
+      }
+    }
+    EXPECT_EQ(finished, 11);
+    return total / finished;
+  };
+  EXPECT_LT(mean_jct(Policy::kSjf), 0.5 * mean_jct(Policy::kFifo));
+}
+
+TEST(LasTest, ShortJobsFinishQuicklyUnderLongJobLoad) {
+  // 4 long jobs saturate the server; a newcomer short job has zero attained
+  // service, so LAS runs it promptly — unlike FIFO, which parks it.
+  auto short_jct = [](Policy policy) {
+    ExperimentConfig config;
+    config.topology = cluster::HomogeneousTopology(1, 4);
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    exp.UsePolicy(policy);
+    for (int i = 0; i < 4; ++i) {
+      exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(50));
+    }
+    const JobId late_short = exp.SubmitAt(Hours(1), a.id, "DCGAN", 1, Minutes(30));
+    exp.Run(Hours(30));
+    const auto& job = exp.jobs().Get(late_short);
+    return job.finished() ? ToMinutes(job.finish_time - job.submit_time) : 1e9;
+  };
+  const double las_jct = short_jct(Policy::kLas);
+  const double fifo_jct = short_jct(Policy::kFifo);
+  EXPECT_LT(las_jct, 30.0);        // ~10 min of work + some slicing
+  EXPECT_GT(fifo_jct, 5 * las_jct);
+}
+
+TEST(LasTest, EqualAttainedServiceAtSteadyState) {
+  // Identical infinite jobs: LAS round-robins them, equalizing service.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 2);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UsePolicy(Policy::kLas);
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(500)));
+  }
+  exp.Run(Hours(6));
+  double min_service = 1e18;
+  double max_service = 0.0;
+  for (JobId id : ids) {
+    const double service = exp.jobs().Get(id).TotalGpuMs();
+    min_service = std::min(min_service, service);
+    max_service = std::max(max_service, service);
+  }
+  EXPECT_GT(min_service / max_service, 0.95);
+}
+
+TEST(LasTest, IsUnfairAcrossUsers) {
+  // User A submits a fresh short job every 30 min; user B has 2 long jobs.
+  // LAS always favors the fresh jobs (zero attained service), so A hogs the
+  // server — the fairness failure Gandiva_fair fixes.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 2);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UsePolicy(Policy::kLas);
+  for (int i = 0; i < 16; ++i) {
+    exp.SubmitAt(Minutes(30 * i), a.id, "DCGAN", 2, Hours(1.5));
+  }
+  exp.SubmitAt(kTimeZero, b.id, "DCGAN", 2, Hours(500));
+  exp.Run(Hours(8));
+  const auto& ledger = exp.scheduler().policy_ledger();
+  const double a_ms = ledger.GpuMs(a.id, kTimeZero, Hours(8));
+  const double b_ms = ledger.GpuMs(b.id, kTimeZero, Hours(8));
+  EXPECT_GT(a_ms, 1.5 * b_ms);
+}
+
+TEST(WeightTest, IntraUserWeightsSkewGpuTime) {
+  // Two identical infinite jobs of one user, weights 3:1 — GPU time 3:1,
+  // while another user's share is untouched (weights are intra-user only).
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 2);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  const JobId heavy = exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(500), 3.0);
+  const JobId light = exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(500), 1.0);
+  exp.SubmitAt(kTimeZero, b.id, "DCGAN", 1, Hours(500));
+  exp.SubmitAt(kTimeZero, b.id, "DCGAN", 1, Hours(500));
+  exp.Run(Hours(8));
+  const double heavy_ms = exp.jobs().Get(heavy).TotalGpuMs();
+  const double light_ms = exp.jobs().Get(light).TotalGpuMs();
+  EXPECT_NEAR(heavy_ms / light_ms, 3.0, 0.25);
+  // Inter-user split stays 1:1.
+  const double a_ms = exp.ledger().GpuMs(a.id, kTimeZero, Hours(8));
+  const double b_ms = exp.ledger().GpuMs(b.id, kTimeZero, Hours(8));
+  EXPECT_NEAR(a_ms / b_ms, 1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace gfair::baselines

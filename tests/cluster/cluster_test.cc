@@ -1,0 +1,118 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair::cluster {
+namespace {
+
+TEST(GpuTest, GenerationNamesRoundTrip) {
+  for (GpuGeneration gen : kAllGenerations) {
+    GpuGeneration parsed;
+    ASSERT_TRUE(ParseGeneration(GenerationName(gen), &parsed));
+    EXPECT_EQ(parsed, gen);
+  }
+}
+
+TEST(GpuTest, ParseIsCaseInsensitive) {
+  GpuGeneration gen;
+  ASSERT_TRUE(ParseGeneration("v100", &gen));
+  EXPECT_EQ(gen, GpuGeneration::kV100);
+  EXPECT_FALSE(ParseGeneration("H100", &gen));
+}
+
+TEST(GpuTest, SpecsArePlausible) {
+  for (GpuGeneration gen : kAllGenerations) {
+    const GpuSpec& spec = SpecFor(gen);
+    EXPECT_EQ(spec.generation, gen);
+    EXPECT_GT(spec.memory_gb, 0.0);
+    EXPECT_GT(spec.nominal_tflops, 0.0);
+  }
+}
+
+TEST(ServerTest, AllocateAndRelease) {
+  Server server(ServerId(0), GpuGeneration::kV100, 8);
+  EXPECT_EQ(server.num_free(), 8);
+  const auto slots = server.Allocate(JobId(1), 3);
+  EXPECT_EQ(slots.size(), 3u);
+  EXPECT_EQ(server.num_free(), 5);
+  EXPECT_EQ(server.CountHeldBy(JobId(1)), 3);
+  EXPECT_EQ(server.Release(JobId(1)), 3);
+  EXPECT_EQ(server.num_free(), 8);
+}
+
+TEST(ServerTest, AllocationsDoNotOverlap) {
+  Server server(ServerId(0), GpuGeneration::kK80, 4);
+  server.Allocate(JobId(1), 2);
+  server.Allocate(JobId(2), 2);
+  int owned_by_1 = 0;
+  int owned_by_2 = 0;
+  for (int i = 0; i < 4; ++i) {
+    owned_by_1 += server.occupant(i) == JobId(1) ? 1 : 0;
+    owned_by_2 += server.occupant(i) == JobId(2) ? 1 : 0;
+  }
+  EXPECT_EQ(owned_by_1, 2);
+  EXPECT_EQ(owned_by_2, 2);
+  EXPECT_FALSE(server.CanFit(1));
+}
+
+TEST(ServerTest, ReleaseUnknownJobIsZero) {
+  Server server(ServerId(0), GpuGeneration::kK80, 2);
+  EXPECT_EQ(server.Release(JobId(9)), 0);
+}
+
+TEST(ServerDeathTest, OverAllocateAborts) {
+  Server server(ServerId(0), GpuGeneration::kP40, 2);
+  server.Allocate(JobId(1), 2);
+  EXPECT_DEATH(server.Allocate(JobId(2), 1), "room");
+}
+
+TEST(ServerDeathTest, DoubleAllocateSameJobAborts) {
+  Server server(ServerId(0), GpuGeneration::kP40, 4);
+  server.Allocate(JobId(1), 1);
+  EXPECT_DEATH(server.Allocate(JobId(1), 1), "already holds");
+}
+
+TEST(TopologyTest, CountsGpus) {
+  const Topology topo = PaperScaleTopology();
+  EXPECT_EQ(topo.TotalGpus(), 200);
+  EXPECT_EQ(topo.TotalGpus(GpuGeneration::kK80), 48);
+  EXPECT_EQ(topo.TotalGpus(GpuGeneration::kP40), 40);
+  EXPECT_EQ(topo.TotalGpus(GpuGeneration::kP100), 48);
+  EXPECT_EQ(topo.TotalGpus(GpuGeneration::kV100), 64);
+  EXPECT_NE(topo.Describe().find("200 GPUs"), std::string::npos);
+}
+
+TEST(ClusterTest, BuildsServersByGeneration) {
+  Cluster cluster(PaperScaleTopology());
+  EXPECT_EQ(cluster.num_servers(), 25);
+  EXPECT_EQ(cluster.total_gpus(), 200);
+  EXPECT_TRUE(cluster.heterogeneous());
+  EXPECT_EQ(cluster.servers_of(GpuGeneration::kV100).size(), 8u);
+  for (ServerId id : cluster.servers_of(GpuGeneration::kK80)) {
+    EXPECT_EQ(cluster.server(id).generation(), GpuGeneration::kK80);
+  }
+}
+
+TEST(ClusterTest, HomogeneousIsNotHeterogeneous) {
+  Cluster cluster(HomogeneousTopology(2, 4));
+  EXPECT_FALSE(cluster.heterogeneous());
+  EXPECT_EQ(cluster.total_gpus(), 8);
+  EXPECT_EQ(cluster.total_gpus(GpuGeneration::kK80), 0);
+}
+
+TEST(ClusterTest, FreeGpusTracksAllocations) {
+  Cluster cluster(HomogeneousTopology(2, 4, GpuGeneration::kP100));
+  EXPECT_EQ(cluster.FreeGpus(GpuGeneration::kP100), 8);
+  cluster.server(ServerId(0)).Allocate(JobId(1), 3);
+  EXPECT_EQ(cluster.FreeGpus(GpuGeneration::kP100), 5);
+}
+
+TEST(ClusterTest, ServerIdsAreDense) {
+  Cluster cluster(PaperScaleTopology());
+  for (int i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_EQ(cluster.server(ServerId(i)).id(), ServerId(i));
+  }
+}
+
+}  // namespace
+}  // namespace gfair::cluster

@@ -1,0 +1,62 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair {
+namespace {
+
+// The logger writes to stderr; these tests cover level filtering semantics
+// (the macro must not evaluate its stream when filtered) and level state.
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, FilteredMessagesDoNotEvaluateOperands) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  GFAIR_DLOG << expensive();
+  GFAIR_ILOG << expensive();
+  GFAIR_WLOG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  GFAIR_ELOG << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 0;
+  };
+  GFAIR_ELOG << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LogTest, DebugLevelPassesAll) {
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 0;
+  };
+  GFAIR_DLOG << expensive();
+  GFAIR_ELOG << expensive();
+  EXPECT_EQ(evaluations, 2);
+}
+
+}  // namespace
+}  // namespace gfair

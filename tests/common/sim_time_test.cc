@@ -1,0 +1,37 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair {
+namespace {
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_EQ(Seconds(1.5), 1500);
+  EXPECT_EQ(Minutes(2), 120'000);
+  EXPECT_EQ(Hours(1), 3'600'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMinutes(kHour), 60.0);
+  EXPECT_DOUBLE_EQ(ToHours(kDay), 24.0);
+}
+
+TEST(SimTimeTest, RoundTrip) {
+  EXPECT_DOUBLE_EQ(ToHours(Hours(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(0.001)), 0.001);
+}
+
+TEST(SimTimeTest, FormatDurationSeconds) { EXPECT_EQ(FormatDuration(Seconds(6.5)), "6.5s"); }
+
+TEST(SimTimeTest, FormatDurationMinutes) {
+  EXPECT_EQ(FormatDuration(Minutes(4) + Seconds(5)), "4m05s");
+}
+
+TEST(SimTimeTest, FormatDurationHours) {
+  EXPECT_EQ(FormatDuration(Hours(1) + Minutes(2) + Seconds(3)), "1h02m03s");
+}
+
+TEST(SimTimeTest, FormatDurationNegative) {
+  EXPECT_EQ(FormatDuration(-Seconds(2)), "-2.0s");
+}
+
+}  // namespace
+}  // namespace gfair

@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfair {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(PercentileSamplerTest, ExactPercentiles) {
+  PercentileSampler sampler;
+  for (int i = 1; i <= 100; ++i) {
+    sampler.Add(i);
+  }
+  EXPECT_NEAR(sampler.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(sampler.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(sampler.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(sampler.Percentile(99), 99.01, 0.2);
+}
+
+TEST(PercentileSamplerTest, EmptyReturnsZero) {
+  PercentileSampler sampler;
+  EXPECT_DOUBLE_EQ(sampler.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.Mean(), 0.0);
+}
+
+TEST(PercentileSamplerTest, AddAfterQueryStaysSorted) {
+  PercentileSampler sampler;
+  sampler.Add(3.0);
+  sampler.Add(1.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(0), 1.0);
+  sampler.Add(0.5);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(0), 0.5);
+}
+
+TEST(JainIndexTest, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(JainIndex({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(JainIndexTest, MaximallyUnfair) {
+  EXPECT_NEAR(JainIndex({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainIndexTest, EmptyAndZeroAreFair) {
+  EXPECT_DOUBLE_EQ(JainIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(MaxRelativeDeviationTest, MeasuresWorstUser) {
+  EXPECT_NEAR(MaxRelativeDeviation({9.0, 11.0}, {10.0, 10.0}), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(MaxRelativeDeviation({10.0, 10.0}, {10.0, 10.0}), 0.0);
+}
+
+TEST(MaxRelativeDeviationTest, IgnoresZeroIdeal) {
+  EXPECT_DOUBLE_EQ(MaxRelativeDeviation({5.0, 10.0}, {0.0, 10.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace gfair

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gfair {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os, "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(TableTest, CellBuilderTypes) {
+  Table table({"s", "d", "i"});
+  table.BeginRow().Cell("x").Cell(1.23456, 2).Cell(int64_t{42});
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.rows()[0][1], "1.23");
+  EXPECT_EQ(table.rows()[0][2], "42");
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table table({"a", "b"});
+  table.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderAndRows) {
+  Table table({"x", "y"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "x,y\n1,2\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace gfair

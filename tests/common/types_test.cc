@@ -1,0 +1,50 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace gfair {
+namespace {
+
+TEST(StrongIdTest, DefaultConstructedIsInvalid) {
+  JobId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, JobId::Invalid());
+}
+
+TEST(StrongIdTest, ValueRoundTrips) {
+  UserId id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(JobId(1), JobId(2));
+  EXPECT_GT(JobId(3), JobId(2));
+  EXPECT_LE(JobId(2), JobId(2));
+  EXPECT_NE(JobId(1), JobId(2));
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<JobId, UserId>);
+  static_assert(!std::is_same_v<ServerId, GpuId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<JobId> set;
+  set.insert(JobId(1));
+  set.insert(JobId(1));
+  set.insert(JobId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, StreamsValueOrInvalid) {
+  std::ostringstream os;
+  os << ServerId(7) << " " << ServerId::Invalid();
+  EXPECT_EQ(os.str(), "7 <invalid>");
+}
+
+}  // namespace
+}  // namespace gfair

@@ -1,0 +1,168 @@
+// Failure-injection tests: checkpoint-on-suspend, crash rollback, and
+// end-to-end scheduler resilience under random crashes.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+
+namespace gfair::exec {
+namespace {
+
+using workload::Job;
+using workload::JobState;
+
+class CrashTest : public ::testing::Test {
+ protected:
+  CrashTest()
+      : cluster_(cluster::HomogeneousTopology(1, 4)),
+        exec_(sim_, cluster_, workload::ModelZoo::Default(), jobs_, ExecutorConfig{},
+              1) {}
+
+  Job& MakeJob(double minibatches) {
+    const auto& model = workload::ModelZoo::Default().GetByName("DCGAN");
+    return jobs_.Create(UserId(0), model.id, 1, minibatches, sim_.Now());
+  }
+
+  simkit::Simulator sim_;
+  cluster::Cluster cluster_;
+  workload::JobTable jobs_;
+  Executor exec_;
+};
+
+TEST_F(CrashTest, CrashRollsBackToLastCheckpoint) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(10));
+  exec_.Suspend(job.id);  // checkpoint here
+  const double checkpoint = job.completed_minibatches;
+  EXPECT_GT(checkpoint, 0.0);
+
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(20));
+  exec_.SyncProgress(job.id);
+  EXPECT_GT(job.completed_minibatches, checkpoint);
+
+  exec_.InjectCrash(job.id);
+  EXPECT_EQ(job.state, JobState::kSuspended);
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, checkpoint);
+  EXPECT_EQ(job.num_crashes, 1);
+  // The GPUs are released...
+  EXPECT_EQ(cluster_.server(ServerId(0)).num_free(), 4);
+  // ...but the burned GPU time since the checkpoint stays charged.
+  EXPECT_NEAR(job.TotalGpuMs(), static_cast<double>(Minutes(20)), 1.0);
+}
+
+TEST_F(CrashTest, CrashWithoutCheckpointLosesEverything) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Hours(1));
+  exec_.InjectCrash(job.id);
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, 0.0);
+}
+
+TEST_F(CrashTest, CrashedJobRestartsAndFinishes) {
+  Job& job = MakeJob(16.0 * 600);  // 600s of K80 work... on V100: ~192s
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(1));
+  exec_.InjectCrash(job.id);
+  exec_.Resume(job.id);
+  sim_.Run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, job.total_minibatches);
+}
+
+TEST_F(CrashTest, CrashOnSuspendedJobIsLossless) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(5));
+  exec_.Suspend(job.id);
+  const double checkpoint = job.completed_minibatches;
+  exec_.InjectCrash(job.id);
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, checkpoint);
+  EXPECT_EQ(job.state, JobState::kSuspended);
+}
+
+TEST_F(CrashTest, MigrationCheckpointsProgress) {
+  cluster::Cluster hetero(cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 1, 2},
+      {cluster::GpuGeneration::kV100, 1, 2},
+  }});
+  workload::JobTable jobs;
+  Executor exec(sim_, hetero, workload::ModelZoo::Default(), jobs, ExecutorConfig{}, 2);
+  const auto& model = workload::ModelZoo::Default().GetByName("DCGAN");
+  Job& job = jobs.Create(UserId(0), model.id, 1, 1e9, sim_.Now());
+  exec.MakeResident(job.id, ServerId(0));
+  exec.Resume(job.id);
+  sim_.RunUntil(Minutes(5));
+  exec.Suspend(job.id);
+  exec.Migrate(job.id, ServerId(1));
+  sim_.RunUntil(Minutes(6));
+  ASSERT_EQ(job.state, JobState::kSuspended);
+  EXPECT_DOUBLE_EQ(job.checkpointed_minibatches, job.completed_minibatches);
+}
+
+TEST_F(CrashTest, DeathOnBadStates) {
+  Job& job = MakeJob(16.0);
+  EXPECT_DEATH(exec_.InjectCrash(job.id), "running or suspended");  // still queued
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.Run();
+  ASSERT_TRUE(job.finished());
+  EXPECT_DEATH(exec_.InjectCrash(job.id), "running or suspended");
+}
+
+TEST(CrashIntegrationTest, SchedulerSurvivesRandomCrashes) {
+  // Random crashes every few minutes must not wedge the scheduler: all jobs
+  // eventually finish, crash counts are visible, fairness holds between the
+  // two (identically loaded) users.
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  analysis::Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  std::vector<JobId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(exp.SubmitAt(Minutes(i), i % 2 == 0 ? a.id : b.id, "DCGAN", 1 + i % 2,
+                               Hours(2)));
+  }
+  Rng rng(9);
+  int crashes = 0;
+  for (int step = 1; step <= 240; ++step) {
+    exp.Run(Minutes(step));
+    if (step % 10 == 0) {
+      // Crash a random live job.
+      std::vector<JobId> live;
+      for (JobId id : ids) {
+        const auto& job = exp.jobs().Get(id);
+        if (!job.finished() && job.state != workload::JobState::kMigrating &&
+            job.state != workload::JobState::kQueued) {
+          live.push_back(id);
+        }
+      }
+      if (!live.empty()) {
+        exp.exec().InjectCrash(live[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))]);
+        ++crashes;
+      }
+    }
+  }
+  exp.Run(Hours(24));
+  int finished = 0;
+  int total_crashes = 0;
+  for (JobId id : ids) {
+    finished += exp.jobs().Get(id).finished() ? 1 : 0;
+    total_crashes += exp.jobs().Get(id).num_crashes;
+  }
+  EXPECT_EQ(finished, 6);
+  EXPECT_GT(crashes, 3);
+  EXPECT_EQ(total_crashes, crashes);
+}
+
+}  // namespace
+}  // namespace gfair::exec

@@ -1,0 +1,162 @@
+// Cross-feature integration: hierarchy x trading, drain x trading x crash,
+// weights x gangs x churn — the combinations a production deployment hits.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "analysis/metrics.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+using cluster::GpuGeneration;
+
+TEST(CombinedTest, HierarchyFeedsTradingEntitlements) {
+  // team-fast has two members but only one active; team-slow has one. With
+  // hierarchical sharing the active fast member carries weight 2, so its
+  // post-trade V100 entitlement must exceed what a flat split would give.
+  ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {GpuGeneration::kK80, 2, 8},
+      {GpuGeneration::kV100, 2, 8},
+  }};
+  config.seed = 3;
+  Experiment exp(config);
+  auto& fast_active = exp.users().CreateInGroup("fast-active", "team-fast", 1.0);
+  exp.users().CreateInGroup("fast-idle", "team-fast", 1.0);
+  auto& slow = exp.users().CreateInGroup("slow", "team-slow", 1.0);
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 20; ++i) {
+    exp.SubmitAt(Minutes(i), fast_active.id, "ResNeXt-50", 1, Hours(300));
+    exp.SubmitAt(Minutes(i), slow.id, "VAE", 1, Hours(300));
+  }
+  exp.Run(Hours(5));
+  ASSERT_FALSE(exp.gandiva()->executed_trades().empty());
+  // fast-active's effective tickets are 2 vs slow's 1; after trading it
+  // should hold well over half of the V100 pool.
+  const double fast_v100 = exp.gandiva()->EntitlementGpus(fast_active.id,
+                                                          GpuGeneration::kV100);
+  EXPECT_GT(fast_v100, 10.0);  // > 10 of 16 V100s
+  // Realized allocation follows: the borrower dominates the V100 pool (it
+  // pays with K80 entitlement, so TOTAL GPU time is intentionally smaller).
+  const double fast_v100_ms =
+      exp.ledger().GpuMs(fast_active.id, GpuGeneration::kV100, Hours(1), Hours(5));
+  const double slow_v100_ms =
+      exp.ledger().GpuMs(slow.id, GpuGeneration::kV100, Hours(1), Hours(5));
+  EXPECT_GT(fast_v100_ms, 2.0 * slow_v100_ms);
+}
+
+TEST(CombinedTest, DrainDuringTradingKeepsJobsFeasibleAndServed) {
+  ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {GpuGeneration::kK80, 2, 8},
+      {GpuGeneration::kV100, 2, 8},
+  }};
+  config.seed = 5;
+  Experiment exp(config);
+  auto& low = exp.users().Create("low");
+  auto& high = exp.users().Create("high");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 16; ++i) {
+    exp.SubmitAt(Minutes(i), low.id, "VAE", 1, Hours(300));
+    exp.SubmitAt(Minutes(i), high.id, "MegaLM", 1, Hours(300));  // K80-infeasible
+  }
+  exp.Run(Hours(2));
+  // Drain one V100 server — MegaLM jobs can only go to the other V100 box.
+  const ServerId victim = exp.cluster().servers_of(GpuGeneration::kV100)[0];
+  exp.gandiva()->DrainServer(victim);
+  exp.Run(Hours(4));
+  for (const auto* job : exp.jobs().All()) {
+    if (job->finished() || !job->server.valid()) {
+      continue;
+    }
+    EXPECT_NE(job->server, victim);
+    EXPECT_TRUE(exp.zoo().Get(job->model).FitsGeneration(
+        exp.cluster().server(job->server).generation()));
+  }
+  // high still gets served (on the surviving V100 server).
+  EXPECT_GT(exp.ledger().GpuMs(high.id, Hours(3), Hours(4)), 0.0);
+}
+
+TEST(CombinedTest, CrashStormDuringTradingConvergesAndStaysFair) {
+  ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {GpuGeneration::kK80, 1, 8},
+      {GpuGeneration::kV100, 1, 8},
+  }};
+  config.seed = 11;
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  std::vector<JobId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(exp.SubmitAt(Minutes(i), a.id, "VAE", 1, Hours(300)));
+    ids.push_back(exp.SubmitAt(Minutes(i), b.id, "ResNeXt-50", 1, Hours(300)));
+  }
+  Rng chaos(13);
+  for (int step = 15; step <= 360; step += 15) {
+    exp.Run(Minutes(step));
+    std::vector<JobId> eligible;
+    for (JobId id : ids) {
+      const auto& job = exp.jobs().Get(id);
+      if (job.state == workload::JobState::kRunning ||
+          job.state == workload::JobState::kSuspended) {
+        eligible.push_back(id);
+      }
+    }
+    if (!eligible.empty()) {
+      exp.exec().InjectCrash(eligible[static_cast<size_t>(
+          chaos.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))]);
+    }
+  }
+  exp.Run(Hours(8));
+  // Crashes recorded, cluster still near-fully used, both users served.
+  int crashes = 0;
+  for (JobId id : ids) {
+    crashes += exp.jobs().Get(id).num_crashes;
+  }
+  EXPECT_GT(crashes, 10);
+  const double a_ms = exp.ledger().GpuMs(a.id, Hours(6), Hours(8));
+  const double b_ms = exp.ledger().GpuMs(b.id, Hours(6), Hours(8));
+  EXPECT_GT(a_ms, 0.0);
+  EXPECT_GT(b_ms, 0.0);
+  EXPECT_GT((a_ms + b_ms) / (16.0 * Hours(2)), 0.90);
+}
+
+TEST(CombinedTest, WeightedGangsUnderChurnKeepUserShares) {
+  // One user runs a weighted mix (heavy 4-gang, light singles) while another
+  // churns short jobs; inter-user fairness must hold and the intra-user
+  // weight ratio must be visible.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  config.seed = 17;
+  Experiment exp(config);
+  auto& steady = exp.users().Create("steady");
+  auto& churny = exp.users().Create("churny");
+  exp.UseGandivaFair({});
+  const JobId heavy = exp.SubmitAt(kTimeZero, steady.id, "ResNet-50", 4, Hours(2000),
+                                   /*weight=*/2.0);
+  for (int i = 0; i < 4; ++i) {
+    exp.SubmitAt(kTimeZero, steady.id, "DCGAN", 1, Hours(2000), /*weight=*/1.0);
+  }
+  for (int i = 0; i < 48; ++i) {
+    exp.SubmitAt(Minutes(10 * i), churny.id, "DCGAN", 1, Minutes(60));
+  }
+  exp.Run(Hours(8));
+  const double steady_ms = exp.ledger().GpuMs(steady.id, Hours(2), Hours(8));
+  const double churny_ms = exp.ledger().GpuMs(churny.id, Hours(2), Hours(8));
+  // churny's demand (~2 GPUs average) is below its 4-GPU share; steady mops
+  // up the rest — fairness means churny gets its full demand served.
+  EXPECT_GT(churny_ms / Hours(6), 1.5);
+  EXPECT_GT(steady_ms / Hours(6), 4.0);
+  // Within steady: the weight-2 4-gang gets 2x the GPU time per demanded GPU
+  // of a weight-1 single... i.e. 8x a single job's GPU time.
+  const double heavy_ms = exp.jobs().Get(heavy).TotalGpuMs();
+  EXPECT_GT(heavy_ms, 4.0 * Hours(6) * 0.5);
+}
+
+}  // namespace
+}  // namespace gfair

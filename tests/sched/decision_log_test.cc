@@ -1,0 +1,84 @@
+#include "sched/decision_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/harness.h"
+
+namespace gfair::sched {
+namespace {
+
+TEST(DecisionLogTest, CountsPerType) {
+  DecisionLog log;
+  log.Record(0, DecisionType::kPlace, JobId(1));
+  log.Record(1, DecisionType::kResume, JobId(1));
+  log.Record(2, DecisionType::kSuspend, JobId(1));
+  log.Record(3, DecisionType::kMigrateSteal, JobId(1), ServerId(0), ServerId(1));
+  log.Record(4, DecisionType::kMigrateTrade, JobId(1), ServerId(1), ServerId(0));
+  EXPECT_EQ(log.Count(DecisionType::kPlace), 1);
+  EXPECT_EQ(log.Count(DecisionType::kResume), 1);
+  EXPECT_EQ(log.Count(DecisionType::kMigrateBalance), 0);
+  EXPECT_EQ(log.TotalMigrations(), 2);
+  EXPECT_EQ(log.entries().size(), 5u);
+}
+
+TEST(DecisionLogTest, RingBufferBoundedButCountsUnbounded) {
+  DecisionLog log(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(i, DecisionType::kResume, JobId(static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(log.entries().size(), 4u);
+  EXPECT_EQ(log.Count(DecisionType::kResume), 10);
+  // The retained tail is the most recent entries.
+  EXPECT_EQ(log.entries().front().job, JobId(6));
+  EXPECT_EQ(log.entries().back().job, JobId(9));
+}
+
+TEST(DecisionLogTest, DumpIsHumanReadable) {
+  DecisionLog log;
+  log.Record(Minutes(2), DecisionType::kMigrateProbe, JobId(7), ServerId(1), ServerId(3));
+  std::ostringstream os;
+  log.Dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("migrate/probe"), std::string::npos);
+  EXPECT_NE(text.find("job 7"), std::string::npos);
+  EXPECT_NE(text.find("1 -> 3"), std::string::npos);
+}
+
+TEST(DecisionLogTest, MigrationCauseMapping) {
+  EXPECT_EQ(DecisionFor(MigrationCause::kBalance), DecisionType::kMigrateBalance);
+  EXPECT_EQ(DecisionFor(MigrationCause::kConserve), DecisionType::kMigrateConserve);
+  EXPECT_EQ(DecisionFor(MigrationCause::kSteal), DecisionType::kMigrateSteal);
+  EXPECT_EQ(DecisionFor(MigrationCause::kProbe), DecisionType::kMigrateProbe);
+  EXPECT_EQ(DecisionFor(MigrationCause::kTrade), DecisionType::kMigrateTrade);
+}
+
+TEST(DecisionLogIntegrationTest, SchedulerRecordsItsActions) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 2, 4},
+      {cluster::GpuGeneration::kV100, 2, 4},
+  }};
+  analysis::Experiment exp(config);
+  auto& low = exp.users().Create("low");
+  auto& high = exp.users().Create("high");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 12; ++i) {
+    exp.SubmitAt(Minutes(i), low.id, "VAE", 1, Hours(50));
+    exp.SubmitAt(Minutes(i), high.id, "ResNeXt-50", 1, Hours(50));
+  }
+  exp.Run(Hours(4));
+  const auto& log = exp.gandiva()->decisions();
+  EXPECT_EQ(log.Count(DecisionType::kPlace), 24);
+  EXPECT_GT(log.Count(DecisionType::kResume), 0);
+  EXPECT_GT(log.Count(DecisionType::kSuspend), 0);
+  // Trading fired on this heterogeneous, skewed workload — and its
+  // migrations are attributed to their causes.
+  EXPECT_GT(log.Count(DecisionType::kTrade), 0);
+  EXPECT_GT(log.TotalMigrations(), 0);
+  EXPECT_EQ(log.TotalMigrations(), exp.gandiva()->migrations_started());
+}
+
+}  // namespace
+}  // namespace gfair::sched

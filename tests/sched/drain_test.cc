@@ -1,0 +1,120 @@
+// Tests for server draining (maintenance).
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+
+int ResidentsOn(Experiment& exp, ServerId server) {
+  int residents = 0;
+  for (const auto* job : exp.jobs().All()) {
+    if (!job->finished() && job->server == server) {
+      ++residents;
+    }
+  }
+  return residents;
+}
+
+TEST(DrainTest, ResidentsEvacuateWithinBalanceTicks) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(3, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 9; ++i) {
+    exp.SubmitAt(Seconds(i), a.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Minutes(5));
+  const ServerId victim(0);
+  ASSERT_GT(ResidentsOn(exp, victim), 0);
+
+  exp.gandiva()->DrainServer(victim);
+  EXPECT_TRUE(exp.gandiva()->IsDraining(victim));
+  exp.Run(Minutes(40));  // several balance ticks + migration latencies
+  EXPECT_EQ(ResidentsOn(exp, victim), 0);
+  EXPECT_EQ(exp.cluster().server(victim).num_busy(), 0);
+  // The jobs kept running elsewhere: all 9 still live and mostly running.
+  int running = 0;
+  for (const auto* job : exp.jobs().All()) {
+    running += exp.exec().IsRunning(job->id) ? 1 : 0;
+  }
+  EXPECT_GE(running, 8);  // 8 GPUs left across two servers
+}
+
+TEST(DrainTest, DrainingServerAttractsNoNewJobs) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  exp.Run(Minutes(1));
+  exp.gandiva()->DrainServer(ServerId(0));
+  for (int i = 0; i < 6; ++i) {
+    exp.SubmitAt(Minutes(2 + i), a.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(1));
+  EXPECT_EQ(ResidentsOn(exp, ServerId(0)), 0);
+  EXPECT_EQ(ResidentsOn(exp, ServerId(1)), 6);
+}
+
+TEST(DrainTest, UndrainRestoresService) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  exp.Run(Minutes(1));
+  exp.gandiva()->DrainServer(ServerId(0));
+  exp.Run(Minutes(2));
+  exp.gandiva()->UndrainServer(ServerId(0));
+  EXPECT_FALSE(exp.gandiva()->IsDraining(ServerId(0)));
+  // New demand beyond server 1's capacity spills back onto server 0.
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(Minutes(3), a.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(1));
+  EXPECT_GT(ResidentsOn(exp, ServerId(0)), 0);
+}
+
+TEST(DrainTest, DrainingWholePoolLeavesJobsInPlace) {
+  // Nowhere to evacuate to: jobs stay (with a warning) rather than being
+  // lost, and keep running.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 2, Hours(100));
+  exp.Run(Minutes(2));
+  exp.gandiva()->DrainServer(ServerId(0));
+  exp.Run(Minutes(30));
+  EXPECT_EQ(ResidentsOn(exp, ServerId(0)), 1);
+  EXPECT_TRUE(exp.exec().IsRunning(exp.jobs().All()[0]->id));
+}
+
+TEST(DrainTest, FairnessHoldsDuringDrain) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(4, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 16; ++i) {
+    exp.SubmitAt(Seconds(i), i % 2 == 0 ? a.id : b.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(1));
+  exp.gandiva()->DrainServer(ServerId(0));
+  exp.Run(Hours(3));
+  // 12 GPUs remain for 16 jobs; both users must still split evenly.
+  const double a_ms = exp.ledger().GpuMs(a.id, Hours(1.5), Hours(3));
+  const double b_ms = exp.ledger().GpuMs(b.id, Hours(1.5), Hours(3));
+  EXPECT_NEAR(a_ms / b_ms, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace gfair::sched

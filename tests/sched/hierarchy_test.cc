@@ -1,0 +1,156 @@
+#include "sched/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+
+namespace gfair::sched {
+namespace {
+
+TEST(HierarchyMathTest, UngroupedUsersKeepBaseTickets) {
+  workload::UserTable users;
+  const UserId a = users.Create("a", 2.0).id;
+  const UserId b = users.Create("b", 1.0).id;
+  const auto effective = ComputeHierarchicalTickets(users, {a, b});
+  EXPECT_DOUBLE_EQ(effective.at(a), 2.0);
+  EXPECT_DOUBLE_EQ(effective.at(b), 1.0);
+}
+
+TEST(HierarchyMathTest, ActiveMemberInheritsIdleTeammatesShare) {
+  workload::UserTable users;
+  const UserId a1 = users.CreateInGroup("a1", "team-a", 1.0).id;
+  users.CreateInGroup("a2", "team-a", 1.0);
+  const UserId b1 = users.CreateInGroup("b1", "team-b", 1.0).id;
+  // a2 idle: a1 carries team-a's full weight of 2.
+  const auto effective = ComputeHierarchicalTickets(users, {a1, b1});
+  EXPECT_DOUBLE_EQ(effective.at(a1), 2.0);
+  EXPECT_DOUBLE_EQ(effective.at(b1), 1.0);
+}
+
+TEST(HierarchyMathTest, FullGroupSplitsEvenly) {
+  workload::UserTable users;
+  const UserId a1 = users.CreateInGroup("a1", "team-a", 1.0).id;
+  const UserId a2 = users.CreateInGroup("a2", "team-a", 1.0).id;
+  const UserId b1 = users.CreateInGroup("b1", "team-b", 1.0).id;
+  const auto effective = ComputeHierarchicalTickets(users, {a1, a2, b1});
+  EXPECT_DOUBLE_EQ(effective.at(a1), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(a2), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(b1), 1.0);
+}
+
+TEST(HierarchyMathTest, IntraGroupWeightsRespected) {
+  workload::UserTable users;
+  const UserId a1 = users.CreateInGroup("a1", "team-a", 3.0).id;
+  const UserId a2 = users.CreateInGroup("a2", "team-a", 1.0).id;
+  const auto effective = ComputeHierarchicalTickets(users, {a1, a2});
+  // Group weight 4 split 3:1.
+  EXPECT_DOUBLE_EQ(effective.at(a1), 3.0);
+  EXPECT_DOUBLE_EQ(effective.at(a2), 1.0);
+  // a2 alone: carries the whole group weight.
+  const auto solo = ComputeHierarchicalTickets(users, {a2});
+  EXPECT_DOUBLE_EQ(solo.at(a2), 4.0);
+}
+
+TEST(HierarchyMathTest, MixedGroupedAndUngrouped) {
+  workload::UserTable users;
+  const UserId solo = users.Create("solo", 2.0).id;
+  const UserId a1 = users.CreateInGroup("a1", "team-a", 1.0).id;
+  users.CreateInGroup("a2", "team-a", 3.0);
+  const auto effective = ComputeHierarchicalTickets(users, {solo, a1});
+  EXPECT_DOUBLE_EQ(effective.at(solo), 2.0);
+  EXPECT_DOUBLE_EQ(effective.at(a1), 4.0);  // whole team-a weight
+}
+
+TEST(HierarchyIntegrationTest, GroupShareIndependentOfHeadcount) {
+  // team-a has two active users, team-b one; equal provisioned weight per
+  // member means team-a's weight is 2 and team-b's 1 — so the three active
+  // users split the server 1:1:1 (b1 does NOT get half).
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 6);
+  analysis::Experiment exp(config);
+  auto& a1 = exp.users().CreateInGroup("a1", "team-a", 1.0);
+  auto& a2 = exp.users().CreateInGroup("a2", "team-a", 1.0);
+  auto& b1 = exp.users().CreateInGroup("b1", "team-b", 1.0);
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 6; ++i) {
+    exp.SubmitAt(kTimeZero, a1.id, "DCGAN", 1, Hours(1000));
+    exp.SubmitAt(kTimeZero, a2.id, "DCGAN", 1, Hours(1000));
+    exp.SubmitAt(kTimeZero, b1.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(4));
+  const double a1_ms = exp.ledger().GpuMs(a1.id, Hours(1), Hours(4));
+  const double a2_ms = exp.ledger().GpuMs(a2.id, Hours(1), Hours(4));
+  const double b1_ms = exp.ledger().GpuMs(b1.id, Hours(1), Hours(4));
+  EXPECT_NEAR(a1_ms / b1_ms, 1.0, 0.08);
+  EXPECT_NEAR(a2_ms / b1_ms, 1.0, 0.08);
+}
+
+TEST(HierarchyIntegrationTest, LoneActiveMemberCarriesGroupWeight) {
+  // Same teams, but a2 never submits: a1 inherits team-a's weight of 2 and
+  // gets twice b1's GPU time.
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 6);
+  analysis::Experiment exp(config);
+  auto& a1 = exp.users().CreateInGroup("a1", "team-a", 1.0);
+  exp.users().CreateInGroup("a2", "team-a", 1.0);
+  auto& b1 = exp.users().CreateInGroup("b1", "team-b", 1.0);
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 6; ++i) {
+    exp.SubmitAt(kTimeZero, a1.id, "DCGAN", 1, Hours(1000));
+    exp.SubmitAt(kTimeZero, b1.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(4));
+  const double a1_ms = exp.ledger().GpuMs(a1.id, Hours(1), Hours(4));
+  const double b1_ms = exp.ledger().GpuMs(b1.id, Hours(1), Hours(4));
+  EXPECT_NEAR(a1_ms / b1_ms, 2.0, 0.2);
+}
+
+TEST(HierarchyIntegrationTest, SharesAdaptWhenTeammateJoins) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  analysis::Experiment exp(config);
+  auto& a1 = exp.users().CreateInGroup("a1", "team-a", 1.0);
+  auto& a2 = exp.users().CreateInGroup("a2", "team-a", 1.0);
+  auto& b1 = exp.users().CreateInGroup("b1", "team-b", 2.0);
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(kTimeZero, a1.id, "DCGAN", 1, Hours(1000));
+    exp.SubmitAt(kTimeZero, b1.id, "DCGAN", 1, Hours(1000));
+    exp.SubmitAt(Hours(2), a2.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(4));
+  // Phase 1: a1 carries team-a (weight 2) vs b1 (weight 2) -> 4/4 GPUs.
+  const double a1_phase1 = exp.ledger().GpuMs(a1.id, Hours(1), Hours(2)) / kHour;
+  EXPECT_NEAR(a1_phase1, 4.0, 0.4);
+  // Phase 2: team-a splits into 1+1 vs b1's 2 -> 2/2/4 GPUs.
+  const double a1_phase2 = exp.ledger().GpuMs(a1.id, Hours(3), Hours(4)) / kHour;
+  const double a2_phase2 = exp.ledger().GpuMs(a2.id, Hours(3), Hours(4)) / kHour;
+  const double b1_phase2 = exp.ledger().GpuMs(b1.id, Hours(3), Hours(4)) / kHour;
+  EXPECT_NEAR(a1_phase2, 2.0, 0.3);
+  EXPECT_NEAR(a2_phase2, 2.0, 0.3);
+  EXPECT_NEAR(b1_phase2, 4.0, 0.4);
+}
+
+TEST(HierarchyIntegrationTest, DisabledFlagFallsBackToFlatSharing) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 6);
+  analysis::Experiment exp(config);
+  auto& a1 = exp.users().CreateInGroup("a1", "team-a", 1.0);
+  exp.users().CreateInGroup("a2", "team-a", 1.0);
+  auto& b1 = exp.users().CreateInGroup("b1", "team-b", 1.0);
+  sched::GandivaFairConfig sched_config;
+  sched_config.enable_hierarchical_sharing = false;
+  exp.UseGandivaFair(sched_config);
+  for (int i = 0; i < 6; ++i) {
+    exp.SubmitAt(kTimeZero, a1.id, "DCGAN", 1, Hours(1000));
+    exp.SubmitAt(kTimeZero, b1.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Hours(4));
+  // Flat: a1 and b1 split evenly despite a2's idle provisioned weight.
+  const double a1_ms = exp.ledger().GpuMs(a1.id, Hours(1), Hours(4));
+  const double b1_ms = exp.ledger().GpuMs(b1.id, Hours(1), Hours(4));
+  EXPECT_NEAR(a1_ms / b1_ms, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace gfair::sched

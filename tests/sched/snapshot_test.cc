@@ -1,0 +1,72 @@
+#include "sched/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/harness.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+namespace {
+
+TEST(SnapshotTest, ReflectsLiveState) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 1, 4},
+      {cluster::GpuGeneration::kV100, 1, 4},
+  }};
+  analysis::Experiment exp(config);
+  auto& a = exp.users().Create("alice");
+  exp.UseGandivaFair({});
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 2, Hours(100));
+  exp.Run(Minutes(10));
+
+  const ClusterSnapshot snapshot = exp.gandiva()->Snapshot();
+  EXPECT_EQ(snapshot.time, Minutes(10));
+  ASSERT_EQ(snapshot.servers.size(), 2u);
+  EXPECT_EQ(snapshot.TotalGpus(), 8);
+  EXPECT_EQ(snapshot.TotalBusyGpus(), 2);
+  ASSERT_EQ(snapshot.users.size(), 1u);
+  EXPECT_EQ(snapshot.users[0].name, "alice");
+  EXPECT_EQ(snapshot.users[0].unfinished_jobs, 1);
+  // The single job is resident on exactly one pool with demand 2.
+  double total_resident = 0.0;
+  for (double demand : snapshot.users[0].resident_demand) {
+    total_resident += demand;
+  }
+  EXPECT_DOUBLE_EQ(total_resident, 2.0);
+}
+
+TEST(SnapshotTest, MarksDrainingServers) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  analysis::Experiment exp(config);
+  exp.users().Create("a");
+  exp.UseGandivaFair({});
+  exp.Run(Minutes(1));
+  exp.gandiva()->DrainServer(ServerId(1));
+  const ClusterSnapshot snapshot = exp.gandiva()->Snapshot();
+  EXPECT_FALSE(snapshot.servers[0].draining);
+  EXPECT_TRUE(snapshot.servers[1].draining);
+}
+
+TEST(SnapshotTest, PrintIsHumanReadable) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  analysis::Experiment exp(config);
+  auto& a = exp.users().Create("alice");
+  exp.UseGandivaFair({});
+  exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(10));
+  exp.Run(Minutes(5));
+  std::ostringstream os;
+  exp.gandiva()->Snapshot().Print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cluster snapshot at 5m00s"), std::string::npos);
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  EXPECT_NE(text.find("V100"), std::string::npos);
+  EXPECT_NE(text.find("1/4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfair::sched

@@ -1,0 +1,65 @@
+#include "sched/ticket_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gfair::sched {
+namespace {
+
+using cluster::GpuGeneration;
+
+TEST(TicketMatrixTest, RegisterFillsAllPools) {
+  TicketMatrix matrix;
+  matrix.RegisterUser(UserId(0), 2.5);
+  for (GpuGeneration gen : cluster::kAllGenerations) {
+    EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), gen), 2.5);
+  }
+  EXPECT_DOUBLE_EQ(matrix.base(UserId(0)), 2.5);
+  EXPECT_TRUE(matrix.HasUser(UserId(0)));
+  EXPECT_FALSE(matrix.HasUser(UserId(1)));
+}
+
+TEST(TicketMatrixTest, SetAndResetToBase) {
+  TicketMatrix matrix;
+  matrix.RegisterUser(UserId(0), 1.0);
+  matrix.Set(UserId(0), GpuGeneration::kV100, 0.0);
+  matrix.Set(UserId(0), GpuGeneration::kK80, 5.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kV100), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80), 5.0);
+  matrix.ResetToBase();
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kV100), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80), 1.0);
+}
+
+TEST(TicketMatrixTest, PoolTotalOverUsers) {
+  TicketMatrix matrix;
+  matrix.RegisterUser(UserId(0), 1.0);
+  matrix.RegisterUser(UserId(1), 3.0);
+  matrix.RegisterUser(UserId(2), 5.0);
+  const std::vector<UserId> subset = {UserId(0), UserId(2)};
+  EXPECT_DOUBLE_EQ(matrix.PoolTotal(GpuGeneration::kP100, subset), 6.0);
+}
+
+TEST(TicketMatrixTest, ReRegisterResetsRow) {
+  TicketMatrix matrix;
+  matrix.RegisterUser(UserId(0), 1.0);
+  matrix.Set(UserId(0), GpuGeneration::kK80, 7.0);
+  matrix.RegisterUser(UserId(0), 2.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80), 2.0);
+}
+
+TEST(TicketMatrixDeathTest, UnknownUserAborts) {
+  TicketMatrix matrix;
+  EXPECT_DEATH(matrix.Get(UserId(0), GpuGeneration::kK80), "unknown");
+  EXPECT_DEATH(matrix.Set(UserId(0), GpuGeneration::kK80, 1.0), "unknown");
+}
+
+TEST(TicketMatrixDeathTest, NegativeTicketsAbort) {
+  TicketMatrix matrix;
+  matrix.RegisterUser(UserId(0), 1.0);
+  EXPECT_DEATH(matrix.Set(UserId(0), GpuGeneration::kK80, -1.0), "negative");
+}
+
+}  // namespace
+}  // namespace gfair::sched

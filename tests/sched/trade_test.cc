@@ -1,0 +1,206 @@
+#include "sched/trade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gfair::sched {
+namespace {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+
+constexpr size_t kK80 = static_cast<size_t>(GpuGeneration::kK80);
+constexpr size_t kV100 = static_cast<size_t>(GpuGeneration::kV100);
+
+// Two-user fixture: a low-speedup lender (1.2x) and a high-speedup borrower
+// (6x) sharing 32 K80 + 32 V100.
+TradeInputs TwoUserInputs(double lender_speedup = 1.2, double borrower_speedup = 6.0,
+                          double lender_demand = 64.0, double borrower_demand = 64.0) {
+  TradeInputs inputs;
+  inputs.active_users = {UserId(0), UserId(1)};
+  inputs.base_tickets[UserId(0)] = 1.0;
+  inputs.base_tickets[UserId(1)] = 1.0;
+  inputs.total_demand_gpus[UserId(0)] = lender_demand;
+  inputs.total_demand_gpus[UserId(1)] = borrower_demand;
+  inputs.pool_sizes[kK80] = 32;
+  inputs.pool_sizes[kV100] = 32;
+  inputs.user_speedup = [=](UserId user, GpuGeneration fast, GpuGeneration slow,
+                            double* out) {
+    if (fast != GpuGeneration::kV100 || slow != GpuGeneration::kK80) {
+      return false;
+    }
+    *out = user == UserId(0) ? lender_speedup : borrower_speedup;
+    return true;
+  };
+  return inputs;
+}
+
+// Throughput of a user's entitlement in K80-equivalents given its speedup.
+double ValueOf(const cluster::PerGeneration<double>& ent, double speedup) {
+  return ent[kK80] + speedup * ent[kV100];
+}
+
+TEST(TradeTest, NoUsersNoTrades) {
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome = engine.ComputeEpoch(TradeInputs{});
+  EXPECT_TRUE(outcome.trades.empty());
+  EXPECT_TRUE(outcome.entitlements.empty());
+}
+
+TEST(TradeTest, BaseEntitlementsAreTicketProportional) {
+  TradingEngine engine(TradeConfig{});
+  TradeInputs inputs = TwoUserInputs();
+  inputs.base_tickets[UserId(1)] = 3.0;
+  inputs.user_speedup = [](UserId, GpuGeneration, GpuGeneration, double*) {
+    return false;  // no profiles -> no trades, pure base split
+  };
+  const TradeOutcome outcome = engine.ComputeEpoch(inputs);
+  EXPECT_TRUE(outcome.trades.empty());
+  EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(0))[kV100], 8.0);
+  EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(1))[kV100], 24.0);
+  EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(0))[kK80], 8.0);
+}
+
+TEST(TradeTest, WinWinTradeHappens) {
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  ASSERT_FALSE(outcome.trades.empty());
+  const Trade& trade = outcome.trades[0];
+  EXPECT_EQ(trade.lender, UserId(0));
+  EXPECT_EQ(trade.borrower, UserId(1));
+  EXPECT_EQ(trade.fast, GpuGeneration::kV100);
+  EXPECT_EQ(trade.slow, GpuGeneration::kK80);
+  // Paper's rate rule: lambda = borrower speedup, less the friction margin.
+  EXPECT_DOUBLE_EQ(trade.rate, 6.0 * 0.95);
+  EXPECT_DOUBLE_EQ(trade.slow_gpus, trade.fast_gpus * trade.rate);
+}
+
+TEST(TradeTest, NoUserWorseOff) {
+  // The fairness guarantee: post-trade entitlement value (in each user's own
+  // K80-equivalents) must be >= pre-trade value.
+  TradingEngine engine(TradeConfig{});
+  const TradeInputs inputs = TwoUserInputs();
+  const TradeOutcome outcome = engine.ComputeEpoch(inputs);
+  ASSERT_FALSE(outcome.trades.empty());
+  // Pre-trade: 16 K80 + 16 V100 each.
+  const double lender_before = 16.0 + 1.2 * 16.0;
+  const double borrower_before = 16.0 + 6.0 * 16.0;
+  const double lender_after = ValueOf(outcome.entitlements.at(UserId(0)), 1.2);
+  const double borrower_after = ValueOf(outcome.entitlements.at(UserId(1)), 6.0);
+  EXPECT_GE(lender_after, lender_before - 1e-9);
+  EXPECT_GE(borrower_after, borrower_before - 1e-9);
+  // And the lender strictly gains under the borrower-speedup rate rule.
+  EXPECT_GT(lender_after, lender_before + 1.0);
+}
+
+TEST(TradeTest, AggregateThroughputIncreases) {
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  const double before = (16.0 + 1.2 * 16.0) + (16.0 + 6.0 * 16.0);
+  const double after = ValueOf(outcome.entitlements.at(UserId(0)), 1.2) +
+                       ValueOf(outcome.entitlements.at(UserId(1)), 6.0);
+  EXPECT_GT(after, before);
+}
+
+TEST(TradeTest, EntitlementsConserveEachPool) {
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  for (size_t g : {kK80, kV100}) {
+    double total = 0.0;
+    for (const auto& [user, ent] : outcome.entitlements) {
+      EXPECT_GE(ent[g], -1e-9);
+      total += ent[g];
+    }
+    EXPECT_NEAR(total, 32.0, 1e-9);
+  }
+}
+
+TEST(TradeTest, NoTradeWithoutSpeedupGap) {
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome =
+      engine.ComputeEpoch(TwoUserInputs(/*lender=*/3.0, /*borrower=*/3.2));
+  EXPECT_TRUE(outcome.trades.empty());  // 3.2 < 3.0 * 1.15
+}
+
+TEST(TradeTest, NoTradeWithoutLenderSpareDemand) {
+  // Lender demand 20 < its entitlement 32: extra slow GPUs are useless to it,
+  // so it should not lend.
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome =
+      engine.ComputeEpoch(TwoUserInputs(1.2, 6.0, /*lender_demand=*/20.0));
+  EXPECT_TRUE(outcome.trades.empty());
+}
+
+TEST(TradeTest, NoTradeWithoutBorrowerFastDemand) {
+  // Borrower demand 10 < its fast entitlement 16: it has no unmet fast need.
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome =
+      engine.ComputeEpoch(TwoUserInputs(1.2, 6.0, 64.0, /*borrower_demand=*/10.0));
+  EXPECT_TRUE(outcome.trades.empty());
+}
+
+TEST(TradeTest, VolumeCappedByBorrowerSlowHoldings) {
+  // Borrower pays rate x volume slow GPUs; it only holds 16.
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  double borrower_k80 = outcome.entitlements.at(UserId(1))[kK80];
+  EXPECT_GE(borrower_k80, -1e-9);
+}
+
+TEST(TradeTest, GeometricMeanRateSplitsSurplus) {
+  TradeConfig config;
+  config.rate_rule = TradeConfig::RateRule::kGeometricMean;
+  TradingEngine engine(config);
+  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs(1.5, 6.0));
+  ASSERT_FALSE(outcome.trades.empty());
+  EXPECT_NEAR(outcome.trades[0].rate, std::sqrt(1.5 * 6.0), 1e-9);
+  // Both parties strictly gain under the geometric rule.
+  const double lender_after = ValueOf(outcome.entitlements.at(UserId(0)), 1.5);
+  const double borrower_after = ValueOf(outcome.entitlements.at(UserId(1)), 6.0);
+  EXPECT_GT(lender_after, 16.0 + 1.5 * 16.0);
+  EXPECT_GT(borrower_after, 16.0 + 6.0 * 16.0);
+}
+
+TEST(TradeTest, MinTradeVolumeFiltersDust) {
+  TradeConfig config;
+  config.min_trade_gpus = 100.0;  // absurdly high
+  TradingEngine engine(config);
+  EXPECT_TRUE(engine.ComputeEpoch(TwoUserInputs()).trades.empty());
+}
+
+TEST(TradeTest, ThreeUsersBestPairTradesFirst) {
+  TradeInputs inputs;
+  inputs.active_users = {UserId(0), UserId(1), UserId(2)};
+  for (UserId user : inputs.active_users) {
+    inputs.base_tickets[user] = 1.0;
+    inputs.total_demand_gpus[user] = 90.0;
+  }
+  inputs.pool_sizes[kK80] = 30;
+  inputs.pool_sizes[kV100] = 30;
+  inputs.user_speedup = [](UserId user, GpuGeneration fast, GpuGeneration slow,
+                           double* out) {
+    if (fast != GpuGeneration::kV100 || slow != GpuGeneration::kK80) {
+      return false;
+    }
+    const double speedups[] = {1.2, 3.0, 6.0};
+    *out = speedups[user.value()];
+    return true;
+  };
+  TradingEngine engine(TradeConfig{});
+  const TradeOutcome outcome = engine.ComputeEpoch(inputs);
+  ASSERT_FALSE(outcome.trades.empty());
+  // The extreme pair (0 lends to 2) must trade first.
+  EXPECT_EQ(outcome.trades[0].lender, UserId(0));
+  EXPECT_EQ(outcome.trades[0].borrower, UserId(2));
+}
+
+TEST(TradeTest, EmptyPoolPairSkipped) {
+  TradeInputs inputs = TwoUserInputs();
+  inputs.pool_sizes[kK80] = 0;  // only V100 exists: no pair to trade across
+  TradingEngine engine(TradeConfig{});
+  EXPECT_TRUE(engine.ComputeEpoch(inputs).trades.empty());
+}
+
+}  // namespace
+}  // namespace gfair::sched

@@ -1,0 +1,82 @@
+#include "simkit/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gfair::simkit {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(30, [&] { order.push_back(3); });
+  queue.Push(10, [&] { order.push_back(1); });
+  queue.Push(20, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    queue.Pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFiresInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Push(42, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.Pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeTracksEarliestLive) {
+  EventQueue queue;
+  EXPECT_EQ(queue.NextTime(), kTimeNever);
+  const EventId early = queue.Push(5, [] {});
+  queue.Push(9, [] {});
+  EXPECT_EQ(queue.NextTime(), 5);
+  queue.Cancel(early);
+  EXPECT_EQ(queue.NextTime(), 9);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Push(1, [&] { fired = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.Push(1, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterPopFails) {
+  EventQueue queue;
+  const EventId id = queue.Push(1, [] {});
+  queue.Pop();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, SizeCountsLiveOnly) {
+  EventQueue queue;
+  const EventId a = queue.Push(1, [] {});
+  queue.Push(2, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueDeathTest, PopEmptyAborts) {
+  EventQueue queue;
+  EXPECT_DEATH(queue.Pop(), "empty");
+}
+
+}  // namespace
+}  // namespace gfair::simkit

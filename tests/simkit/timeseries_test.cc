@@ -1,0 +1,87 @@
+#include "simkit/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair::simkit {
+namespace {
+
+TEST(TimeSeriesTest, ValueAtStepsThroughSamples) {
+  TimeSeries series;
+  series.Record(10, 1.0);
+  series.Record(20, 3.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(5, -1.0), -1.0);  // before first sample
+  EXPECT_DOUBLE_EQ(series.ValueAt(10), 1.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(15), 1.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(20), 3.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(1000), 3.0);
+}
+
+TEST(TimeSeriesTest, SameTimeOverwrites) {
+  TimeSeries series;
+  series.Record(10, 1.0);
+  series.Record(10, 2.0);
+  EXPECT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.ValueAt(10), 2.0);
+}
+
+TEST(TimeSeriesTest, IntegralPiecewise) {
+  TimeSeries series;
+  series.Record(0, 2.0);
+  series.Record(10, 4.0);
+  // [0,10): 2*10 = 20; [10,20): 4*10 = 40.
+  EXPECT_DOUBLE_EQ(series.IntegralOver(0, 20), 60.0);
+  EXPECT_DOUBLE_EQ(series.IntegralOver(5, 15), 2.0 * 5 + 4.0 * 5);
+}
+
+TEST(TimeSeriesTest, IntegralBeforeFirstSampleUsesInitial) {
+  TimeSeries series;
+  series.Record(10, 5.0);
+  EXPECT_DOUBLE_EQ(series.IntegralOver(0, 10, 1.0), 10.0);
+}
+
+TEST(TimeSeriesTest, EmptyWindowIntegralIsZero) {
+  TimeSeries series;
+  series.Record(0, 7.0);
+  EXPECT_DOUBLE_EQ(series.IntegralOver(5, 5), 0.0);
+}
+
+TEST(TimeSeriesTest, AverageOver) {
+  TimeSeries series;
+  series.Record(0, 0.0);
+  series.Record(10, 10.0);
+  EXPECT_DOUBLE_EQ(series.AverageOver(0, 20), 5.0);
+}
+
+TEST(CounterSeriesTest, TotalsAndWindows) {
+  CounterSeries counter;
+  counter.Add(kSecond, 2.0);
+  counter.Add(3 * kSecond, 4.0);
+  EXPECT_DOUBLE_EQ(counter.Total(), 6.0);
+  EXPECT_DOUBLE_EQ(counter.TotalUpTo(kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(counter.TotalUpTo(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(counter.TotalUpTo(10 * kSecond), 6.0);
+  EXPECT_DOUBLE_EQ(counter.TotalUpTo(0), 0.0);
+}
+
+TEST(CounterSeriesTest, RatePerSecond) {
+  CounterSeries counter;
+  counter.Add(kSecond, 10.0);
+  counter.Add(2 * kSecond, 10.0);
+  EXPECT_DOUBLE_EQ(counter.Rate(0, 4 * kSecond), 5.0);
+}
+
+TEST(CounterSeriesTest, SameTimeAccumulates) {
+  CounterSeries counter;
+  counter.Add(5, 1.0);
+  counter.Add(5, 2.0);
+  EXPECT_DOUBLE_EQ(counter.TotalUpTo(5), 3.0);
+}
+
+TEST(TimeSeriesDeathTest, OutOfOrderRecordAborts) {
+  TimeSeries series;
+  series.Record(10, 1.0);
+  EXPECT_DEATH(series.Record(5, 2.0), "ordered");
+}
+
+}  // namespace
+}  // namespace gfair::simkit

@@ -1,0 +1,87 @@
+#include "workload/job.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/user.h"
+
+namespace gfair::workload {
+namespace {
+
+TEST(JobTableTest, CreateAssignsDenseIds) {
+  JobTable table;
+  const Job& a = table.Create(UserId(0), ModelId(0), 1, 100.0, 0);
+  const Job& b = table.Create(UserId(0), ModelId(1), 2, 200.0, 5);
+  EXPECT_EQ(a.id, JobId(0));
+  EXPECT_EQ(b.id, JobId(1));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(JobTableTest, GetReturnsSameObject) {
+  JobTable table;
+  Job& job = table.Create(UserId(1), ModelId(2), 4, 50.0, 10);
+  job.completed_minibatches = 25.0;
+  EXPECT_DOUBLE_EQ(table.Get(job.id).completed_minibatches, 25.0);
+  EXPECT_DOUBLE_EQ(table.Get(job.id).remaining_minibatches(), 25.0);
+}
+
+TEST(JobTableTest, PointersStableAcrossGrowth) {
+  JobTable table;
+  Job& first = table.Create(UserId(0), ModelId(0), 1, 1.0, 0);
+  for (int i = 0; i < 1000; ++i) {
+    table.Create(UserId(0), ModelId(0), 1, 1.0, 0);
+  }
+  EXPECT_EQ(first.id, JobId(0));  // reference still valid
+}
+
+TEST(JobTest, InitialState) {
+  JobTable table;
+  const Job& job = table.Create(UserId(0), ModelId(0), 1, 100.0, 7);
+  EXPECT_EQ(job.state, JobState::kQueued);
+  EXPECT_FALSE(job.finished());
+  EXPECT_FALSE(job.resident());
+  EXPECT_EQ(job.submit_time, 7);
+  EXPECT_DOUBLE_EQ(job.TotalGpuMs(), 0.0);
+}
+
+TEST(JobTest, StateNames) {
+  EXPECT_STREQ(JobStateName(JobState::kQueued), "queued");
+  EXPECT_STREQ(JobStateName(JobState::kRunning), "running");
+  EXPECT_STREQ(JobStateName(JobState::kSuspended), "suspended");
+  EXPECT_STREQ(JobStateName(JobState::kMigrating), "migrating");
+  EXPECT_STREQ(JobStateName(JobState::kFinished), "finished");
+}
+
+TEST(JobTableDeathTest, InvalidLookupsAbort) {
+  JobTable table;
+  EXPECT_DEATH(table.Get(JobId(0)), "");
+  EXPECT_DEATH(table.Create(UserId(0), ModelId(0), 0, 100.0, 0), "");
+  EXPECT_DEATH(table.Create(UserId(0), ModelId(0), 1, 0.0, 0), "");
+}
+
+TEST(UserTableTest, CreateAndTotals) {
+  UserTable table;
+  const User& alice = table.Create("alice", 2.0);
+  const User& bob = table.Create("bob");
+  EXPECT_EQ(alice.id, UserId(0));
+  EXPECT_EQ(bob.id, UserId(1));
+  EXPECT_DOUBLE_EQ(table.TotalTickets(), 3.0);
+  EXPECT_EQ(table.Get(alice.id).name, "alice");
+}
+
+TEST(UserTableTest, ReferencesStableAcrossGrowth) {
+  UserTable table;
+  const User& first = table.Create("first");
+  for (int i = 0; i < 100; ++i) {
+    table.Create("user" + std::to_string(i));
+  }
+  EXPECT_EQ(first.name, "first");
+}
+
+TEST(UserTableDeathTest, RejectsBadTickets) {
+  UserTable table;
+  EXPECT_DEATH(table.Create("x", 0.0), "");
+  EXPECT_DEATH(table.Create("", 1.0), "");
+}
+
+}  // namespace
+}  // namespace gfair::workload

@@ -1,0 +1,126 @@
+// Memory-feasibility constraint: jobs whose models do not fit a generation's
+// device memory are never placed, migrated, probed, or traded there.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::workload {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+using cluster::GpuGeneration;
+
+TEST(MemoryFeasibilityTest, ZooKnowsWhatFitsWhere) {
+  const auto& zoo = ModelZoo::Default();
+  const auto& mega = zoo.GetByName("MegaLM");  // 14 GB
+  EXPECT_FALSE(mega.FitsGeneration(GpuGeneration::kK80));   // 12 GB
+  EXPECT_TRUE(mega.FitsGeneration(GpuGeneration::kP40));    // 24 GB
+  EXPECT_TRUE(mega.FitsGeneration(GpuGeneration::kP100));   // 16 GB
+  EXPECT_TRUE(mega.FitsGeneration(GpuGeneration::kV100));   // 16 GB
+  const auto& small = zoo.GetByName("VAE");
+  for (GpuGeneration gen : cluster::kAllGenerations) {
+    EXPECT_TRUE(small.FitsGeneration(gen));
+  }
+}
+
+TEST(MemoryFeasibilityTest, PlacementAvoidsInfeasiblePools) {
+  ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {GpuGeneration::kK80, 2, 8},
+      {GpuGeneration::kV100, 1, 8},
+  }};
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  // 12 MegaLM jobs oversubscribe the single V100 server; none may spill
+  // onto the (plentiful, idle) K80s.
+  for (int i = 0; i < 12; ++i) {
+    exp.SubmitAt(Minutes(i), a.id, "MegaLM", 1, Hours(100));
+  }
+  exp.Run(Hours(3));
+  for (const auto* job : exp.jobs().All()) {
+    if (job->finished() || job->state == JobState::kMigrating) {
+      continue;
+    }
+    ASSERT_TRUE(job->server.valid());
+    EXPECT_EQ(exp.cluster().server(job->server).generation(), GpuGeneration::kV100);
+  }
+  // And the V100 server is fully used despite the pressure.
+  EXPECT_EQ(exp.cluster().FreeGpus(GpuGeneration::kV100), 0);
+}
+
+TEST(MemoryFeasibilityTest, BaselinesRespectFeasibilityToo) {
+  for (analysis::Policy policy :
+       {analysis::Policy::kFifo, analysis::Policy::kEfficiencyGreedy,
+        analysis::Policy::kSjf, analysis::Policy::kLas,
+        analysis::Policy::kStaticQuota}) {
+    ExperimentConfig config;
+    config.topology = cluster::Topology{{
+        {GpuGeneration::kK80, 1, 8},
+        {GpuGeneration::kV100, 1, 8},
+    }};
+    Experiment exp(config);
+    auto& a = exp.users().Create("a");
+    exp.UsePolicy(policy);
+    const JobId id = exp.SubmitAt(kTimeZero, a.id, "MegaLM", 2, Minutes(30));
+    exp.Run(Hours(4));
+    const auto& job = exp.jobs().Get(id);
+    EXPECT_TRUE(job.finished()) << analysis::PolicyName(policy);
+    EXPECT_GT(job.gpu_ms_by_gen[cluster::GenerationIndex(GpuGeneration::kV100)], 0.0)
+        << analysis::PolicyName(policy);
+    EXPECT_DOUBLE_EQ(job.gpu_ms_by_gen[cluster::GenerationIndex(GpuGeneration::kK80)],
+                     0.0)
+        << analysis::PolicyName(policy);
+  }
+}
+
+TEST(MemoryFeasibilityTest, TradingNeverStrandsInfeasibleJobs) {
+  // The MegaLM user would love fast GPUs (3.6x if K80 were possible), but it
+  // cannot USE K80s — the trading engine must not lend away its V100 share
+  // in exchange for K80s it cannot consume, and after hours of trading every
+  // MegaLM job must still be on a feasible pool.
+  ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {GpuGeneration::kK80, 2, 8},
+      {GpuGeneration::kV100, 2, 8},
+  }};
+  config.seed = 7;
+  Experiment exp(config);
+  auto& mega = exp.users().Create("mega");
+  auto& vae = exp.users().Create("vae");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 16; ++i) {
+    exp.SubmitAt(Minutes(i), mega.id, "MegaLM", 1, Hours(200));
+    exp.SubmitAt(Minutes(i), vae.id, "VAE", 1, Hours(200));
+  }
+  exp.Run(Hours(6));
+  const auto& zoo = exp.zoo();
+  for (const auto* job : exp.jobs().All()) {
+    if (job->finished() || !job->server.valid()) {
+      continue;
+    }
+    EXPECT_TRUE(zoo.Get(job->model).FitsGeneration(
+        exp.cluster().server(job->server).generation()))
+        << "job " << job->id.value() << " stranded on infeasible pool";
+  }
+  // mega's GPU time must all be on feasible pools.
+  EXPECT_DOUBLE_EQ(
+      exp.ledger().GpuMs(mega.id, GpuGeneration::kK80, kTimeZero, Hours(6)), 0.0);
+  EXPECT_GT(exp.ledger().GpuMs(mega.id, kTimeZero, Hours(6)), 0.0);
+}
+
+TEST(MemoryFeasibilityDeathTest, ExecutorRejectsInfeasiblePlacement) {
+  simkit::Simulator sim;
+  cluster::Cluster cluster(cluster::HomogeneousTopology(1, 4, GpuGeneration::kK80));
+  JobTable jobs;
+  exec::Executor exec(sim, cluster, ModelZoo::Default(), jobs, exec::ExecutorConfig{},
+                      1);
+  auto& job = jobs.Create(UserId(0), ModelZoo::Default().GetByName("MegaLM").id, 1,
+                          100.0, 0);
+  EXPECT_DEATH(exec.MakeResident(job.id, ServerId(0)), "memory");
+}
+
+}  // namespace
+}  // namespace gfair::workload

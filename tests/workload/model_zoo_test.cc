@@ -1,0 +1,85 @@
+#include "workload/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair::workload {
+namespace {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+
+TEST(ModelZooTest, DefaultZooHasModels) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  EXPECT_GE(zoo.size(), 10u);
+  EXPECT_TRUE(zoo.Contains("VAE"));
+  EXPECT_TRUE(zoo.Contains("ResNeXt-50"));
+}
+
+TEST(ModelZooTest, SpeedupSpreadMatchesPaperMotivation) {
+  // The paper's motivation: V100/K80 speedups range from ~1.2x to ~6x.
+  const ModelZoo& zoo = ModelZoo::Default();
+  double min_speedup = 1e9;
+  double max_speedup = 0.0;
+  for (const auto& model : zoo.models()) {
+    const double s = model.SpeedupOver(GpuGeneration::kV100, GpuGeneration::kK80);
+    min_speedup = std::min(min_speedup, s);
+    max_speedup = std::max(max_speedup, s);
+  }
+  EXPECT_LT(min_speedup, 1.3);
+  EXPECT_GT(max_speedup, 5.0);
+}
+
+TEST(ModelZooTest, ThroughputMonotoneInGeneration) {
+  for (const auto& model : ModelZoo::Default().models()) {
+    for (size_t g = 1; g < cluster::kNumGenerations; ++g) {
+      EXPECT_GE(model.throughput[g], model.throughput[g - 1]) << model.name;
+    }
+  }
+}
+
+TEST(ModelZooTest, GangThroughputSubLinearScaling) {
+  const auto& model = ModelZoo::Default().GetByName("ResNet-50");
+  const double one = model.GangThroughput(GpuGeneration::kV100, 1);
+  const double eight = model.GangThroughput(GpuGeneration::kV100, 8);
+  EXPECT_GT(eight, one);           // more GPUs help...
+  EXPECT_LT(eight, 8.0 * one);     // ...but not perfectly
+  EXPECT_GT(eight, 5.0 * one);     // and not absurdly badly
+}
+
+TEST(ModelZooTest, GangOfOneIsBaseRate) {
+  const auto& model = ModelZoo::Default().GetByName("VAE");
+  EXPECT_DOUBLE_EQ(model.GangThroughput(GpuGeneration::kK80, 1),
+                   model.throughput[GenerationIndex(GpuGeneration::kK80)]);
+}
+
+TEST(ModelZooTest, GetByIdMatchesRegistrationOrder) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  for (const auto& model : zoo.models()) {
+    EXPECT_EQ(zoo.Get(model.id).name, model.name);
+  }
+}
+
+TEST(ModelZooTest, RegisterCustomModel) {
+  ModelZoo zoo;
+  const ModelId id = zoo.Register("toy", {{1.0, 2.0, 3.0, 4.0}}, 0.5, 2.0);
+  EXPECT_EQ(zoo.Get(id).name, "toy");
+  EXPECT_DOUBLE_EQ(zoo.Get(id).SpeedupOver(GpuGeneration::kV100, GpuGeneration::kK80), 4.0);
+}
+
+TEST(ModelZooDeathTest, RejectsNonMonotoneThroughput) {
+  ModelZoo zoo;
+  EXPECT_DEATH(zoo.Register("bad", {{2.0, 1.0, 3.0, 4.0}}, 0.5, 2.0), "slower");
+}
+
+TEST(ModelZooDeathTest, RejectsDuplicateNames) {
+  ModelZoo zoo;
+  zoo.Register("dup", {{1.0, 1.0, 1.0, 1.0}}, 0.5, 2.0);
+  EXPECT_DEATH(zoo.Register("dup", {{1.0, 1.0, 1.0, 1.0}}, 0.5, 2.0), "duplicate");
+}
+
+TEST(ModelZooDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(ModelZoo::Default().GetByName("no-such-model"), "unknown");
+}
+
+}  // namespace
+}  // namespace gfair::workload

@@ -1,0 +1,173 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+namespace gfair::workload {
+namespace {
+
+TEST(TraceIoTest, RoundTrip) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  const UserId alice = users.Create("alice", 2.0).id;
+  const UserId bob = users.Create("bob").id;
+
+  std::vector<TraceFileEntry> original;
+  original.push_back({TraceEntry{alice, zoo.GetByName("VAE").id, 2, 1234.5, Minutes(5)},
+                      1.0});
+  original.push_back(
+      {TraceEntry{bob, zoo.GetByName("ResNet-50").id, 8, 99.25, Hours(2)}, 3.0});
+
+  const std::string csv = SerializeTrace(original, users, zoo);
+
+  UserTable parsed_users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(csv, zoo, &parsed_users, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed_users.Get(parsed[0].entry.user).name, "alice");
+  EXPECT_EQ(parsed_users.Get(parsed[1].entry.user).name, "bob");
+  EXPECT_EQ(parsed[0].entry.model, zoo.GetByName("VAE").id);
+  EXPECT_EQ(parsed[0].entry.gang_size, 2);
+  EXPECT_NEAR(parsed[0].entry.total_minibatches, 1234.5, 1e-6);
+  EXPECT_EQ(parsed[0].entry.arrival, Minutes(5));
+  EXPECT_NEAR(parsed[1].weight, 3.0, 1e-6);
+}
+
+TEST(TraceIoTest, ReusesExistingUsers) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  const UserId existing = users.Create("alice", 5.0).id;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(
+      "arrival_ms,user,model,gang_size,minibatches\n0,alice,VAE,1,10\n", zoo, &users,
+      &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].entry.user, existing);
+  EXPECT_EQ(users.size(), 1u);
+  EXPECT_DOUBLE_EQ(users.Get(existing).tickets, 5.0);  // tickets untouched
+}
+
+TEST(TraceIoTest, SkipsCommentsAndBlankLines) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  const std::string csv =
+      "# a comment\n"
+      "arrival_ms,user,model,gang_size,minibatches,weight\n"
+      "\n"
+      "0,a,VAE,1,10,1\n"
+      "# trailing comment\n";
+  ASSERT_TRUE(ParseTrace(csv, zoo, &users, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(TraceIoTest, HandlesWindowsLineEndings) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(
+      "arrival_ms,user,model,gang_size,minibatches\r\n5,a,VAE,1,10\r\n", zoo, &users,
+      &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].entry.arrival, 5);
+}
+
+TEST(TraceIoTest, ErrorsCarryLineNumbers) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+
+  EXPECT_FALSE(ParseTrace("arrival_ms,user,model,gang_size,minibatches\n0,a,NoSuchModel,1,10\n",
+                          zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("NoSuchModel"), std::string::npos);
+
+  EXPECT_FALSE(ParseTrace("arrival_ms,user,model,gang_size,minibatches\n-5,a,VAE,1,10\n",
+                          zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("arrival"), std::string::npos);
+
+  EXPECT_FALSE(ParseTrace("arrival_ms,user,model,gang_size,minibatches\n0,a,VAE,0,10\n",
+                          zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("gang_size"), std::string::npos);
+
+  EXPECT_FALSE(ParseTrace("arrival_ms,user,model,gang_size,minibatches\n0,a,VAE,1,-1\n",
+                          zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("minibatches"), std::string::npos);
+
+  EXPECT_FALSE(ParseTrace("bad,header\n", zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+
+  EXPECT_FALSE(ParseTrace("", zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST(TraceIoTest, WrongFieldCountRejected) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseTrace("arrival_ms,user,model,gang_size,minibatches\n0,a,VAE,1\n",
+                          zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("fields"), std::string::npos);
+}
+
+TEST(TraceIoTest, GeneratorTraceSerializes) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  const UserId a = users.Create("a").id;
+  std::vector<UserWorkloadSpec> specs(1);
+  specs[0].name = "a";
+  specs[0].max_jobs = 20;
+  specs[0].stop = Hours(100);
+  TraceGenerator gen(zoo, 3);
+  const auto trace = gen.Generate(specs, {a});
+  const std::string csv = SerializeTrace(trace, users, zoo);
+
+  UserTable users2;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(csv, zoo, &users2, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].entry.arrival, trace[i].arrival);
+    EXPECT_EQ(parsed[i].entry.model, trace[i].model);
+    EXPECT_EQ(parsed[i].entry.gang_size, trace[i].gang_size);
+    EXPECT_NEAR(parsed[i].entry.total_minibatches, trace[i].total_minibatches, 1e-3);
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  const UserId a = users.Create("a").id;
+  std::vector<TraceFileEntry> entries = {
+      {TraceEntry{a, zoo.GetByName("DCGAN").id, 4, 500.0, 0}, 2.0}};
+  const std::string path = ::testing::TempDir() + "/gfair_trace_test.csv";
+  ASSERT_TRUE(WriteTraceFile(path, entries, users, zoo));
+
+  UserTable users2;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ReadTraceFile(path, zoo, &users2, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].entry.gang_size, 4);
+  EXPECT_NEAR(parsed[0].weight, 2.0, 1e-6);
+}
+
+TEST(TraceIoTest, MissingFileReportsError) {
+  UserTable users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTraceFile("/no/such/file.csv", workload::ModelZoo::Default(), &users,
+                             &parsed, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfair::workload

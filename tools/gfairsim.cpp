@@ -1,0 +1,495 @@
+// gfairsim — command-line cluster-scheduling simulator.
+//
+// Runs any of the bundled policies over a synthetic multi-user workload or a
+// CSV job trace on an arbitrary (possibly heterogeneous) topology, and
+// reports per-user fairness and efficiency metrics. With --compare, replays
+// the identical workload under every policy and prints a side-by-side
+// summary (the E6 methodology, on your own workload).
+//
+// Examples:
+//   gfairsim --topology hetero200 --hours 12
+//            --user "vae-lab:1:10:4:VAE=3;SuperResolution=1"
+//            --user "vision:2:10:4:ResNeXt-50=2;ResNet-50=1"    (one command line)
+//   gfairsim --trace jobs.csv --policy fifo --hours 8
+//   gfairsim --user "a:1:5:2" --save-trace out.csv --hours 4
+//   gfairsim --compare --hours 8 --gangs philly
+//
+// Flags:
+//   --topology   hetero200 | homog200 | "NxMxGEN[,NxMxGEN...]"   (default hetero200)
+//   --policy     gandiva_fair | no_trade | plain_stride | fifo | quota |
+//                greedy | sjf | las                              (default gandiva_fair)
+//   --compare    run ALL policies on the same workload
+//   --hours N    simulated horizon                               (default 12)
+//   --seed N     RNG seed                                        (default 42)
+//   --user SPEC  repeatable; SPEC = name:tickets:interarrival_min:duration_h
+//                [:model=w;model=w...]   (models default: whole zoo)
+//   --group NAME=user1;user2   assign users to a fair-share group (repeatable)
+//   --gangs typical|philly|single   gang-size mix for generated jobs
+//   --diurnal A      sinusoidal day/night arrival modulation, 0<=A<1 (default 0)
+//   --trace F    load jobs from CSV (see workload/trace_io.h) instead of --user
+//   --save-trace F   write the generated trace as CSV and continue
+//   --quantum-s N    scheduling quantum                          (default 60)
+//   --no-trading / --no-balancing / --no-stealing   disable mechanisms
+//   --trade-rate borrower|geometric                              (default borrower)
+//   --csv PREFIX     also write result tables as PREFIX_*.csv
+//   --dump-decisions F   write the scheduler's decision-log tail to a file
+//   --snapshot       print the end-of-run cluster snapshot (GandivaFair only)
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/harness.h"
+#include "analysis/metrics.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/trace_io.h"
+
+using namespace gfair;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "gfairsim: %s (use --help)\n", message.c_str());
+  return 1;
+}
+
+void PrintHelp() {
+  std::printf(
+      "gfairsim — GPU-cluster fair-share scheduling simulator (GandivaFair)\n\n"
+      "  --topology hetero200|homog200|NxMxGEN[,..]  cluster shape\n"
+      "  --policy gandiva_fair|no_trade|plain_stride|fifo|quota|greedy|sjf|las\n"
+      "  --compare                 run all policies on the same workload\n"
+      "  --hours N --seed N --quantum-s N\n"
+      "  --user \"name:tickets:interarrival_min:duration_h[:model=w;..]\"  (repeatable)\n"
+      "  --group \"team=alice;bob\"  hierarchical fair-share groups (repeatable)\n"
+      "  --gangs typical|philly|single --diurnal A\n"
+      "  --trace file.csv | --save-trace file.csv\n"
+      "  --no-trading --no-balancing --no-stealing --trade-rate borrower|geometric\n"
+      "  --csv PREFIX --dump-decisions FILE\n");
+}
+
+std::optional<cluster::Topology> ParseTopology(const std::string& spec) {
+  if (spec.empty() || spec == "hetero200") {
+    return cluster::PaperScaleTopology();
+  }
+  if (spec == "homog200") {
+    return cluster::HomogeneousTopology(25, 8);
+  }
+  cluster::Topology topology;
+  for (const std::string& group : SplitAndTrim(spec, ',')) {
+    const auto parts = SplitAndTrim(group, 'x');
+    if (parts.size() != 3) {
+      return std::nullopt;
+    }
+    cluster::GpuGeneration gen;
+    if (!cluster::ParseGeneration(parts[2], &gen)) {
+      return std::nullopt;
+    }
+    const int servers = std::atoi(parts[0].c_str());
+    const int gpus = std::atoi(parts[1].c_str());
+    if (servers <= 0 || gpus <= 0) {
+      return std::nullopt;
+    }
+    topology.groups.push_back(cluster::ServerGroup{gen, servers, gpus});
+  }
+  if (topology.groups.empty()) {
+    return std::nullopt;
+  }
+  return topology;
+}
+
+std::optional<analysis::Policy> ParsePolicy(const std::string& name) {
+  if (name.empty() || name == "gandiva_fair") {
+    return analysis::Policy::kGandivaFair;
+  }
+  if (name == "no_trade") {
+    return analysis::Policy::kGandivaFairNoTrade;
+  }
+  if (name == "plain_stride") {
+    return analysis::Policy::kPlainStride;
+  }
+  if (name == "fifo") {
+    return analysis::Policy::kFifo;
+  }
+  if (name == "quota") {
+    return analysis::Policy::kStaticQuota;
+  }
+  if (name == "greedy") {
+    return analysis::Policy::kEfficiencyGreedy;
+  }
+  if (name == "sjf") {
+    return analysis::Policy::kSjf;
+  }
+  if (name == "las") {
+    return analysis::Policy::kLas;
+  }
+  return std::nullopt;
+}
+
+// "name:tickets:interarrival_min:duration_h[:model=w;model=w]"
+std::optional<workload::UserWorkloadSpec> ParseUserSpec(const std::string& spec,
+                                                        SimTime horizon) {
+  const auto parts = SplitAndTrim(spec, ':');
+  if (parts.size() < 4 || parts.size() > 5 || parts[0].empty()) {
+    return std::nullopt;
+  }
+  workload::UserWorkloadSpec user;
+  user.name = parts[0];
+  user.tickets = std::atof(parts[1].c_str());
+  const double interarrival_min = std::atof(parts[2].c_str());
+  const double duration_h = std::atof(parts[3].c_str());
+  if (user.tickets <= 0 || interarrival_min <= 0 || duration_h <= 0) {
+    return std::nullopt;
+  }
+  user.mean_interarrival = Minutes(interarrival_min);
+  user.mean_duration_k80 = Hours(duration_h);
+  user.stop = horizon;
+  if (parts.size() == 5 && !parts[4].empty()) {
+    for (const std::string& model_weight : SplitAndTrim(parts[4], ';')) {
+      const auto kv = SplitAndTrim(model_weight, '=');
+      if (kv.empty() || kv[0].empty()) {
+        return std::nullopt;
+      }
+      const double weight = kv.size() > 1 ? std::atof(kv[1].c_str()) : 1.0;
+      if (weight <= 0 || !workload::ModelZoo::Default().Contains(kv[0])) {
+        return std::nullopt;
+      }
+      user.model_mix.push_back({kv[0], weight});
+    }
+  }
+  return user;
+}
+
+// The workload, decoupled from any single Experiment so --compare can replay
+// it: user definitions in id order plus the job entries referencing those
+// ids.
+struct Workload {
+  struct UserDef {
+    std::string name;
+    double tickets;
+    std::string group;
+  };
+  std::vector<UserDef> users;
+  std::vector<workload::TraceFileEntry> entries;
+};
+
+struct RunResult {
+  std::string policy;
+  std::vector<analysis::UserSummary> summaries;
+  std::vector<double> ideal_hours;
+  double jain = 1.0;
+  double total_gpu_hours = 0.0;
+  double utilization = 0.0;
+  int jobs_finished = 0;
+  analysis::JctStats jct;
+  analysis::FinishTimeFairness ftf;
+  int64_t migrations = 0;
+  size_t trades = 0;
+};
+
+RunResult RunOne(analysis::Policy policy, const Workload& workload,
+                 const cluster::Topology& topology, uint64_t seed, SimTime horizon,
+                 const sched::GandivaFairConfig& sched_config,
+                 const std::string& decisions_path = "", bool print_snapshot = false) {
+  analysis::ExperimentConfig config;
+  config.topology = topology;
+  config.seed = seed;
+  analysis::Experiment exp(config);
+  for (const auto& def : workload.users) {
+    if (def.group.empty()) {
+      exp.users().Create(def.name, def.tickets);
+    } else {
+      exp.users().CreateInGroup(def.name, def.group, def.tickets);
+    }
+  }
+  exp.UsePolicy(policy, &sched_config);
+  for (const auto& file_entry : workload.entries) {
+    exp.SubmitWorkAt(file_entry.entry.arrival, file_entry.entry.user,
+                     file_entry.entry.model, file_entry.entry.gang_size,
+                     file_entry.entry.total_minibatches, file_entry.weight);
+  }
+  exp.Run(horizon);
+
+  RunResult result;
+  result.policy = analysis::PolicyName(policy);
+  result.summaries = analysis::SummarizeUsers(exp.jobs(), exp.users(), exp.ledger(),
+                                              exp.zoo(), kTimeZero, horizon);
+  const auto ideal = exp.IdealGpuMs(kTimeZero, horizon);
+  std::vector<double> ratios;
+  for (size_t i = 0; i < result.summaries.size(); ++i) {
+    result.ideal_hours.push_back(ideal[i] / kHour);
+    if (ideal[i] > 0) {
+      ratios.push_back(result.summaries[i].gpu_hours / (ideal[i] / kHour));
+    }
+    result.total_gpu_hours += result.summaries[i].gpu_hours;
+    result.jobs_finished += result.summaries[i].jobs_finished;
+  }
+  result.jain = JainIndex(ratios);
+  result.utilization =
+      result.total_gpu_hours / (exp.cluster().total_gpus() * ToHours(horizon));
+  result.jct = analysis::ComputeJct(exp.jobs());
+  result.ftf = analysis::ComputeFinishTimeFairness(exp.jobs(), exp.zoo(), exp.cluster());
+  if (auto* gandiva = exp.gandiva()) {
+    result.migrations = gandiva->migrations_started();
+    result.trades = gandiva->executed_trades().size();
+    if (print_snapshot) {
+      gandiva->Snapshot().Print(std::cout);
+    }
+    if (!decisions_path.empty()) {
+      std::ofstream file(decisions_path);
+      if (file) {
+        const auto& log = gandiva->decisions();
+        file << "# decision counts\n";
+        for (size_t t = 0; t < sched::kNumDecisionTypes; ++t) {
+          const auto type = static_cast<sched::DecisionType>(t);
+          file << sched::DecisionTypeName(type) << ": " << log.Count(type) << '\n';
+        }
+        file << "# most recent decisions\n";
+        log.Dump(file, 2048);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.Has("help") || args.Has("h")) {
+    PrintHelp();
+    return 0;
+  }
+
+  const auto topology = ParseTopology(args.GetString("topology"));
+  if (!topology) {
+    return Fail("bad --topology");
+  }
+  const auto policy = ParsePolicy(args.GetString("policy"));
+  if (!policy) {
+    return Fail("unknown --policy");
+  }
+  const bool compare = args.GetBool("compare");
+  const double hours = args.GetDouble("hours", 12.0);
+  if (hours <= 0 || hours > 24 * 365) {
+    return Fail("--hours out of range");
+  }
+  const SimTime horizon = Hours(hours);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  workload::GangSizeDist gangs = workload::GangSizeDist::Typical();
+  const std::string gang_mix = args.GetString("gangs", "typical");
+  if (gang_mix == "philly") {
+    gangs = workload::GangSizeDist::PhillyLike();
+  } else if (gang_mix == "single") {
+    gangs = workload::GangSizeDist::SingleGpuOnly();
+  } else if (gang_mix != "typical") {
+    return Fail("bad --gangs");
+  }
+
+  // --- build the workload, decoupled from any experiment ---
+  Workload workload;
+  const auto& zoo = workload::ModelZoo::Default();
+  if (args.Has("trace")) {
+    workload::UserTable scratch;
+    std::string error;
+    if (!workload::ReadTraceFile(args.GetString("trace"), zoo, &scratch,
+                                 &workload.entries, &error)) {
+      return Fail("trace: " + error);
+    }
+    for (const auto& user : scratch.users()) {
+      workload.users.push_back({user.name, user.tickets, user.group});
+    }
+  } else {
+    const double diurnal = args.GetDouble("diurnal", 0.0);
+    if (diurnal < 0.0 || diurnal >= 1.0) {
+      return Fail("--diurnal must be in [0, 1)");
+    }
+    std::vector<workload::UserWorkloadSpec> specs;
+    for (const std::string& spec : args.GetAll("user")) {
+      auto parsed = ParseUserSpec(spec, horizon);
+      if (!parsed) {
+        return Fail("bad --user spec '" + spec + "'");
+      }
+      parsed->gang_sizes = gangs;
+      parsed->diurnal_amplitude = diurnal;
+      specs.push_back(std::move(*parsed));
+    }
+    if (specs.empty()) {
+      for (int u = 0; u < 4; ++u) {
+        workload::UserWorkloadSpec spec;
+        spec.name = "user" + std::to_string(u);
+        spec.stop = horizon;
+        spec.gang_sizes = gangs;
+        spec.diurnal_amplitude = diurnal;
+        specs.push_back(std::move(spec));
+      }
+    }
+    std::vector<UserId> ids;
+    for (const auto& spec : specs) {
+      workload.users.push_back({spec.name, spec.tickets, ""});
+      ids.push_back(UserId(static_cast<uint32_t>(ids.size())));
+    }
+    workload::TraceGenerator generator(zoo, seed);
+    for (const auto& entry : generator.Generate(specs, ids)) {
+      workload.entries.push_back(workload::TraceFileEntry{entry, 1.0});
+    }
+  }
+  if (workload.entries.empty()) {
+    return Fail("workload is empty");
+  }
+  // Gangs must fit on a single server of some pool.
+  int max_server_gpus = 0;
+  for (const auto& group : topology->groups) {
+    max_server_gpus = std::max(max_server_gpus, group.gpus_per_server);
+  }
+  for (const auto& file_entry : workload.entries) {
+    if (file_entry.entry.gang_size > max_server_gpus) {
+      return Fail("job with gang_size " + std::to_string(file_entry.entry.gang_size) +
+                  " cannot fit any server (max " + std::to_string(max_server_gpus) +
+                  " GPUs); enlarge servers or restrict --gangs");
+    }
+    const auto& model = zoo.Get(file_entry.entry.model);
+    bool feasible = false;
+    for (const auto& group : topology->groups) {
+      if (model.FitsGeneration(group.generation) &&
+          group.gpus_per_server >= file_entry.entry.gang_size) {
+        feasible = true;
+        break;
+      }
+    }
+    if (!feasible) {
+      return Fail("model '" + model.name + "' does not fit any pool's GPU memory " +
+                  "on this topology");
+    }
+  }
+
+  // --group team=alice;bob
+  for (const std::string& group_spec : args.GetAll("group")) {
+    const auto kv = SplitAndTrim(group_spec, '=');
+    if (kv.size() != 2 || kv[0].empty()) {
+      return Fail("bad --group spec '" + group_spec + "'");
+    }
+    for (const std::string& member : SplitAndTrim(kv[1], ';')) {
+      bool found = false;
+      for (auto& def : workload.users) {
+        if (def.name == member) {
+          def.group = kv[0];
+          found = true;
+        }
+      }
+      if (!found) {
+        return Fail("--group member '" + member + "' is not a user");
+      }
+    }
+  }
+
+  if (args.Has("save-trace")) {
+    workload::UserTable scratch;
+    for (const auto& def : workload.users) {
+      scratch.Create(def.name, def.tickets);
+    }
+    if (!workload::WriteTraceFile(args.GetString("save-trace"), workload.entries,
+                                  scratch, zoo)) {
+      return Fail("cannot write --save-trace file");
+    }
+    std::printf("wrote %zu jobs to %s\n", workload.entries.size(),
+                args.GetString("save-trace").c_str());
+  }
+
+  // --- policy configuration ---
+  sched::GandivaFairConfig sched_config;
+  sched_config.quantum = Seconds(args.GetDouble("quantum-s", 60.0));
+  sched_config.enable_trading = !args.GetBool("no-trading");
+  sched_config.enable_load_balancing = !args.GetBool("no-balancing");
+  sched_config.enable_work_stealing = !args.GetBool("no-stealing");
+  if (args.GetString("trade-rate") == "geometric") {
+    sched_config.trade.rate_rule = sched::TradeConfig::RateRule::kGeometricMean;
+  }
+  const std::string decisions_path = args.GetString("dump-decisions");
+  const bool want_snapshot = args.GetBool("snapshot");
+
+  const auto unconsumed = args.UnconsumedFlags();
+  if (!unconsumed.empty()) {
+    return Fail("unknown flag --" + unconsumed.front());
+  }
+
+  std::printf("gfairsim: %s, %zu jobs from %zu users, %.1f h horizon\n",
+              topology->Describe().c_str(), workload.entries.size(),
+              workload.users.size(), hours);
+
+  if (compare) {
+    Table summary({"policy", "Jain", "total GPU-h", "utilization", "jobs done",
+                   "JCT p50/p90 (min)", "mean FTF rho", "migrations", "trades"});
+    for (analysis::Policy each :
+         {analysis::Policy::kGandivaFair, analysis::Policy::kGandivaFairNoTrade,
+          analysis::Policy::kFifo, analysis::Policy::kStaticQuota,
+          analysis::Policy::kEfficiencyGreedy, analysis::Policy::kSjf,
+          analysis::Policy::kLas}) {
+      const RunResult result =
+          RunOne(each, workload, *topology, seed, horizon, sched_config);
+      summary.BeginRow()
+          .Cell(result.policy)
+          .Cell(result.jain, 4)
+          .Cell(result.total_gpu_hours, 0)
+          .Cell(result.utilization, 3)
+          .Cell(static_cast<int64_t>(result.jobs_finished))
+          .Cell(FormatDouble(result.jct.p50, 0) + "/" + FormatDouble(result.jct.p90, 0))
+          .Cell(result.ftf.mean_rho, 2)
+          .Cell(result.migrations)
+          .Cell(static_cast<int64_t>(result.trades));
+    }
+    summary.Print(std::cout, "policy comparison (identical workload)");
+    if (args.Has("csv")) {
+      summary.WriteCsv(args.GetString("csv") + "_compare.csv");
+    }
+    return 0;
+  }
+
+  const RunResult result = RunOne(*policy, workload, *topology, seed, horizon,
+                                  sched_config, decisions_path, want_snapshot);
+  Table per_user({"user", "tickets", "GPU-h", "ideal GPU-h", "achieved/ideal",
+                  "useful work", "jobs", "done", "mean JCT (min)"});
+  for (size_t i = 0; i < result.summaries.size(); ++i) {
+    const auto& s = result.summaries[i];
+    const double ideal = result.ideal_hours[i];
+    per_user.BeginRow()
+        .Cell(s.name)
+        .Cell(s.tickets, 1)
+        .Cell(s.gpu_hours, 1)
+        .Cell(ideal, 1)
+        .Cell(ideal > 0 ? s.gpu_hours / ideal : 1.0, 3)
+        .Cell(s.useful_k80_gpu_hours, 1)
+        .Cell(static_cast<int64_t>(s.jobs_total))
+        .Cell(static_cast<int64_t>(s.jobs_finished))
+        .Cell(s.mean_jct_minutes, 1);
+  }
+  per_user.Print(std::cout, std::string("per-user results — ") + result.policy);
+  std::cout << '\n';
+
+  Table summary({"metric", "value"});
+  summary.AddRow({"Jain index (achieved/ideal)", FormatDouble(result.jain, 4)});
+  summary.AddRow({"total GPU-hours", FormatDouble(result.total_gpu_hours, 1)});
+  summary.AddRow({"cluster utilization", FormatDouble(result.utilization, 3)});
+  summary.AddRow({"jobs finished", std::to_string(result.jobs_finished)});
+  summary.AddRow({"JCT p50/p90/p99 (min)", FormatDouble(result.jct.p50, 0) + "/" +
+                                               FormatDouble(result.jct.p90, 0) + "/" +
+                                               FormatDouble(result.jct.p99, 0)});
+  summary.AddRow({"mean finish-time-fairness rho", FormatDouble(result.ftf.mean_rho, 2)});
+  summary.AddRow({"migrations", std::to_string(result.migrations)});
+  summary.AddRow({"trades", std::to_string(result.trades)});
+  summary.Print(std::cout, "summary");
+
+  if (args.Has("csv")) {
+    const std::string prefix = args.GetString("csv");
+    per_user.WriteCsv(prefix + "_users.csv");
+    summary.WriteCsv(prefix + "_summary.csv");
+  }
+  return 0;
+}
