@@ -52,7 +52,13 @@ void BM_ClusterQuantumTick(benchmark::State& state) {
   }
   state.SetLabel(std::to_string(num_servers * 8) + " GPUs");
 }
-BENCHMARK(BM_ClusterQuantumTick)->Arg(1)->Arg(4)->Arg(25)->Arg(64)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClusterQuantumTick)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(25)
+    ->Arg(64)
+    ->Arg(250)  // 2000 GPUs: scale point well past the paper's 200-GPU cluster
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TradeEpoch(benchmark::State& state) {
   const int num_users = static_cast<int>(state.range(0));

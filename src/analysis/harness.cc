@@ -108,6 +108,22 @@ void Experiment::UseGandivaFair(sched::GandivaFairConfig config) {
   UsePolicy(Policy::kGandivaFair, &config);
 }
 
+void Experiment::UseCustomScheduler(
+    const std::function<std::unique_ptr<sched::IScheduler>(const sched::SchedulerEnv&)>&
+        factory) {
+  sched::SchedulerEnv env{sim_, cluster_, *zoo_, jobs_, users_, *exec_};
+  gandiva_ = nullptr;
+  scheduler_ = factory(env);
+  GFAIR_CHECK_MSG(scheduler_ != nullptr, "custom scheduler factory returned null");
+  gandiva_ = dynamic_cast<sched::GandivaFairScheduler*>(scheduler_.get());
+  sched::WireCallbacks(*exec_, *scheduler_);
+  exec_->set_on_job_finished([this](JobId id) {
+    const workload::Job& job = jobs_.Get(id);
+    RecordDemand(job.user, sim_.Now(), -job.gang_size);
+    scheduler_->OnJobFinished(id);
+  });
+}
+
 sched::IScheduler& Experiment::scheduler() {
   GFAIR_CHECK_MSG(scheduler_ != nullptr, "UsePolicy() before scheduler()");
   return *scheduler_;

@@ -12,6 +12,7 @@
 #ifndef GFAIR_ANALYSIS_HARNESS_H_
 #define GFAIR_ANALYSIS_HARNESS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -64,6 +65,11 @@ class Experiment {
   // the preset (pass nullptr for defaults).
   void UsePolicy(Policy policy, const sched::GandivaFairConfig* config = nullptr);
   void UseGandivaFair(sched::GandivaFairConfig config);
+  // Installs a caller-built policy (tests comparing scheduler implementations
+  // head-to-head). The factory receives the experiment's environment.
+  void UseCustomScheduler(
+      const std::function<std::unique_ptr<sched::IScheduler>(const sched::SchedulerEnv&)>&
+          factory);
 
   // Schedules one job submission: standalone duration is the uninterrupted
   // K80 runtime; work is derived from the model's K80 gang throughput.

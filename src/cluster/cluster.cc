@@ -77,16 +77,6 @@ bool Cluster::heterogeneous() const {
   return generations_present > 1;
 }
 
-Server& Cluster::server(ServerId id) {
-  GFAIR_CHECK(id.valid() && id.value() < servers_.size());
-  return servers_[id.value()];
-}
-
-const Server& Cluster::server(ServerId id) const {
-  GFAIR_CHECK(id.valid() && id.value() < servers_.size());
-  return servers_[id.value()];
-}
-
 int Cluster::FreeGpus(GpuGeneration gen) const {
   int free = 0;
   for (ServerId id : servers_of(gen)) {

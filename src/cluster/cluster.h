@@ -53,8 +53,15 @@ class Cluster {
   // True when the cluster hosts more than one generation.
   bool heterogeneous() const;
 
-  Server& server(ServerId id);
-  const Server& server(ServerId id) const;
+  // Defined inline: server lookups run hundreds of times per quantum tick.
+  Server& server(ServerId id) {
+    GFAIR_CHECK(id.valid() && id.value() < servers_.size());
+    return servers_[id.value()];
+  }
+  const Server& server(ServerId id) const {
+    GFAIR_CHECK(id.valid() && id.value() < servers_.size());
+    return servers_[id.value()];
+  }
 
   std::vector<Server>& servers() { return servers_; }
   const std::vector<Server>& servers() const { return servers_; }

@@ -8,21 +8,25 @@ Server::Server(ServerId id, GpuGeneration generation, int num_gpus)
   GFAIR_CHECK(num_gpus > 0);
 }
 
-std::vector<int> Server::Allocate(JobId job, int count) {
+int Server::Allocate(JobId job, int count) {
   GFAIR_CHECK(job.valid());
   GFAIR_CHECK(count > 0);
   GFAIR_CHECK_MSG(CanFit(count), "Allocate() without room");
-  GFAIR_CHECK_MSG(CountHeldBy(job) == 0, "job already holds GPUs on this server");
-  std::vector<int> indices;
-  indices.reserve(static_cast<size_t>(count));
-  for (int i = 0; i < num_gpus() && static_cast<int>(indices.size()) < count; ++i) {
-    if (!occupants_[static_cast<size_t>(i)].valid()) {
-      occupants_[static_cast<size_t>(i)] = job;
-      indices.push_back(i);
+  // Single walk claims free slots and checks the job holds none (CountHeldBy
+  // up front would walk the slots a second time on the per-quantum path).
+  int claimed = 0;
+  int already_held = 0;
+  for (JobId& slot : occupants_) {
+    if (slot == job) {
+      ++already_held;
+    } else if (!slot.valid() && claimed < count) {
+      slot = job;
+      ++claimed;
     }
   }
+  GFAIR_CHECK_MSG(already_held == 0, "job already holds GPUs on this server");
   num_free_ -= count;
-  return indices;
+  return claimed;
 }
 
 int Server::Release(JobId job) {

@@ -33,9 +33,12 @@ class Server {
   // True when `count` GPUs are free.
   bool CanFit(int count) const { return count <= num_free_; }
 
-  // Claims `count` free GPU slots for `job`; returns their local indices.
-  // Precondition: CanFit(count) and the job holds no slots here yet.
-  std::vector<int> Allocate(JobId job, int count);
+  // Claims `count` free GPU slots for `job` (lowest free indices first);
+  // returns how many were claimed, always `count`. Inspect `occupant()` for
+  // the slot assignment. Precondition: CanFit(count) and the job holds no
+  // slots here yet. Allocation runs on the per-quantum resume path, so it
+  // must not allocate heap memory.
+  int Allocate(JobId job, int count);
 
   // Releases every slot held by `job`; returns how many were released.
   int Release(JobId job);

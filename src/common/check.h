@@ -33,4 +33,19 @@ namespace gfair::internal {
     }                                                                  \
   } while (false)
 
+// Debug-only invariant checks (compiled out under NDEBUG). Used where the
+// check itself is too expensive for release builds — e.g. verifying an
+// incrementally-maintained aggregate against a full recompute.
+#ifndef NDEBUG
+#define GFAIR_DCHECK(expr) GFAIR_CHECK(expr)
+#define GFAIR_DCHECK_MSG(expr, msg) GFAIR_CHECK_MSG(expr, msg)
+#else
+#define GFAIR_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#define GFAIR_DCHECK_MSG(expr, msg) \
+  do {                              \
+  } while (false)
+#endif
+
 #endif  // GFAIR_COMMON_CHECK_H_

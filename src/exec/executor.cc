@@ -66,11 +66,15 @@ void Executor::Resume(JobId id) {
   GFAIR_CHECK_MSG(server.CanFit(job.gang_size), "Resume without free GPUs");
   server.Allocate(id, job.gang_size);
 
+  // One profile lookup serves both the warm-up latency and the true rate
+  // (ResumeLatency + TrueRate would fetch it twice on the per-quantum path).
+  const auto& profile = zoo_.Get(job.model);
   RunSegment seg;
   seg.start = sim_.Now();
-  seg.warmup = ResumeLatency(job.model);
+  seg.warmup =
+      Seconds(config_.resume_base_s + config_.resume_per_gb_s * profile.checkpoint_gb);
   seg.gen = server.generation();
-  seg.rate = TrueRate(id, seg.gen);
+  seg.rate = profile.GangThroughput(seg.gen, job.gang_size);
   GFAIR_CHECK(seg.rate > 0.0);
 
   const double remaining = job.remaining_minibatches();
@@ -80,7 +84,13 @@ void Executor::Resume(JobId id) {
   seg.finish_event = sim_.At(seg.start + seg.warmup + work_time,
                              [this, id]() { OnFinishEvent(id); });
 
-  segments_.emplace(id, seg);
+  if (id.value() >= segments_.size()) {
+    segments_.resize(id.value() + 1);
+  }
+  seg.active = true;
+  seg.running_pos = static_cast<uint32_t>(running_list_.size());
+  running_list_.push_back(id);
+  segments_[id.value()] = seg;
   job.state = JobState::kRunning;
   job.num_resumes += 1;
   job.overhead_ms += seg.warmup;
@@ -91,10 +101,13 @@ double Executor::SegmentProgress(const RunSegment& seg, SimDuration elapsed) {
   return seg.rate * ToSeconds(productive);
 }
 
+Executor::RunSegment& Executor::SegmentOf(JobId id) {
+  GFAIR_CHECK_MSG(IsRunning(id), "job has no active run segment");
+  return segments_[id.value()];
+}
+
 void Executor::CloseSegment(Job& job, bool cancel_finish_event) {
-  auto it = segments_.find(job.id);
-  GFAIR_CHECK(it != segments_.end());
-  RunSegment& seg = it->second;
+  RunSegment& seg = SegmentOf(job.id);
   const SimTime now = sim_.Now();
   const SimDuration elapsed = now - seg.start;
 
@@ -111,7 +124,11 @@ void Executor::CloseSegment(Job& job, bool cancel_finish_event) {
   }
 
   cluster_.server(job.server).Release(job.id);
-  segments_.erase(it);
+  const JobId moved = running_list_.back();
+  running_list_[seg.running_pos] = moved;
+  segments_[moved.value()].running_pos = seg.running_pos;
+  running_list_.pop_back();
+  seg.active = false;
 }
 
 void Executor::Suspend(JobId id) {
@@ -193,30 +210,26 @@ void Executor::Migrate(JobId id, ServerId dest) {
 }
 
 double Executor::SampleObservedRate(JobId id) {
-  auto it = segments_.find(id);
-  GFAIR_CHECK_MSG(it != segments_.end(), "SampleObservedRate requires a running job");
+  GFAIR_CHECK_MSG(IsRunning(id), "SampleObservedRate requires a running job");
   const double noise = std::max(0.1, rng_.Normal(1.0, config_.rate_noise));
-  return it->second.rate * noise;
+  return segments_[id.value()].rate * noise;
 }
 
 void Executor::SyncAll() {
-  std::vector<JobId> running;
-  running.reserve(segments_.size());
-  for (const auto& [id, seg] : segments_) {
-    running.push_back(id);
-  }
-  for (JobId id : running) {
+  // Snapshot first: an accounting callback could in principle suspend a job
+  // and mutate running_list_ under the iteration.
+  sync_scratch_.assign(running_list_.begin(), running_list_.end());
+  for (JobId id : sync_scratch_) {
     SyncProgress(id);
   }
 }
 
 void Executor::SyncProgress(JobId id) {
-  auto it = segments_.find(id);
-  if (it == segments_.end()) {
+  if (!IsRunning(id)) {
     return;
   }
   Job& job = jobs_.Get(id);
-  RunSegment& seg = it->second;
+  RunSegment& seg = segments_[id.value()];
   const SimTime now = sim_.Now();
   const SimDuration elapsed = now - seg.start;
   if (elapsed <= 0) {

@@ -19,8 +19,9 @@
 #ifndef GFAIR_EXEC_EXECUTOR_H_
 #define GFAIR_EXEC_EXECUTOR_H_
 
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
@@ -104,7 +105,9 @@ class Executor {
   // migrating.
   void InjectCrash(JobId id);
 
-  bool IsRunning(JobId id) const { return segments_.count(id) > 0; }
+  bool IsRunning(JobId id) const {
+    return id.value() < segments_.size() && segments_[id.value()].active;
+  }
 
   // Ground-truth gang throughput (mini-batches/s) of the job on `gen`.
   double TrueRate(JobId id, cluster::GpuGeneration gen) const;
@@ -134,14 +137,20 @@ class Executor {
   const ExecutorConfig& config() const { return config_; }
 
  private:
-  // State of one running gang.
+  // State of one running gang. Slots live in a dense vector indexed by job
+  // id — IsRunning and segment lookup are on the scheduler's per-quantum hot
+  // path for every resident job, where a hash probe per call dominates.
   struct RunSegment {
     SimTime start;                 // segment start (resume instant)
     SimDuration warmup;            // no-progress prefix (resume latency)
     double rate;                   // mini-batches/s once warmed up
     cluster::GpuGeneration gen;
     simkit::EventId finish_event;  // pending completion event
+    bool active = false;           // this job currently holds GPUs
+    uint32_t running_pos = 0;      // index into running_list_ while active
   };
+
+  RunSegment& SegmentOf(JobId id);
 
   // Progress accumulated in a segment after `elapsed` of wall time.
   static double SegmentProgress(const RunSegment& seg, SimDuration elapsed);
@@ -158,7 +167,9 @@ class Executor {
   ExecutorConfig config_;
   Rng rng_;
 
-  std::unordered_map<JobId, RunSegment> segments_;
+  std::vector<RunSegment> segments_;  // indexed by job id; see RunSegment
+  std::vector<JobId> running_list_;   // ids of active segments (swap-erase)
+  std::vector<JobId> sync_scratch_;   // reused snapshot buffer for SyncAll
   int migrations_in_flight_ = 0;
 
   JobFinishedCallback on_finished_;

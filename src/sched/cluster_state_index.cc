@@ -1,0 +1,131 @@
+#include "sched/cluster_state_index.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace gfair::sched {
+
+ClusterStateIndex::ClusterStateIndex(const cluster::Cluster& cluster,
+                                     const StrideConfig& stride_config)
+    : cluster_(cluster) {
+  const size_t n = static_cast<size_t>(cluster.num_servers());
+  strides_.reserve(n);
+  load_key_.assign(n, 0.0);
+  pos_dirty_.assign(n, false);
+  dirty_list_.reserve(n);
+  draining_.assign(n, false);
+  for (const auto& server : cluster.servers()) {
+    strides_.emplace_back(server.num_gpus(), stride_config);
+    pools_by_load_[cluster::GenerationIndex(server.generation())].emplace(0.0,
+                                                                          server.id());
+  }
+}
+
+LocalStrideScheduler& ClusterStateIndex::stride(ServerId server) {
+  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
+  return strides_[server.value()];
+}
+
+const LocalStrideScheduler& ClusterStateIndex::stride(ServerId server) const {
+  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
+  return strides_[server.value()];
+}
+
+double ClusterStateIndex::NormTicketLoad(ServerId server) const {
+  return stride(server).TicketLoad() /
+         static_cast<double>(cluster_.server(server).num_gpus());
+}
+
+void ClusterStateIndex::MarkDirty(ServerId server) {
+  const size_t s = server.value();
+  if (!pos_dirty_[s]) {
+    pos_dirty_[s] = true;
+    dirty_list_.push_back(server);
+  }
+}
+
+void ClusterStateIndex::Flush() const {
+  for (ServerId server : dirty_list_) {
+    Reposition(server);
+    pos_dirty_[server.value()] = false;
+  }
+  dirty_list_.clear();
+}
+
+void ClusterStateIndex::Reposition(ServerId server) const {
+  const size_t s = server.value();
+  const double key = NormTicketLoad(server);
+  if (key == load_key_[s]) {
+    return;
+  }
+  auto& pool = pools_by_load_[cluster::GenerationIndex(cluster_.server(server).generation())];
+  const size_t erased = pool.erase({load_key_[s], server});
+  GFAIR_CHECK_MSG(erased == 1, "server missing from its pool ordering");
+  load_key_[s] = key;
+  pool.emplace(key, server);
+}
+
+void ClusterStateIndex::AddJob(ServerId server, JobId id, int gang_size, double tickets) {
+  stride(server).AddJob(id, gang_size, tickets);
+  MarkDirty(server);
+}
+
+void ClusterStateIndex::RemoveJob(ServerId server, JobId id) {
+  stride(server).RemoveJob(id);
+  MarkDirty(server);
+}
+
+void ClusterStateIndex::SetTickets(ServerId server, JobId id, double tickets) {
+  stride(server).SetTickets(id, tickets);
+  MarkDirty(server);
+}
+
+void ClusterStateIndex::SetDraining(ServerId server, bool draining) {
+  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
+  if (draining_[server.value()] != draining) {
+    num_draining_ += draining ? 1 : -1;
+  }
+  draining_[server.value()] = draining;
+}
+
+bool ClusterStateIndex::draining(ServerId server) const {
+  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
+  return draining_[server.value()];
+}
+
+ServerId ClusterStateIndex::LeastLoadedServer(cluster::GpuGeneration gen, int min_gpus,
+                                              ServerId exclude) const {
+  Flush();
+#ifndef NDEBUG
+  // The ordered set must agree with a from-scratch linear scan ("first
+  // strictly smaller load wins", the pre-index selection rule).
+  ServerId scan_best = ServerId::Invalid();
+  double scan_load = std::numeric_limits<double>::infinity();
+  for (ServerId sid : cluster_.servers_of(gen)) {
+    if (sid == exclude || draining_[sid.value()] ||
+        cluster_.server(sid).num_gpus() < min_gpus) {
+      continue;
+    }
+    const double load = NormTicketLoad(sid);
+    if (load < scan_load) {
+      scan_load = load;
+      scan_best = sid;
+    }
+  }
+#endif
+  ServerId best = ServerId::Invalid();
+  for (const auto& [load, sid] : pools_by_load_[cluster::GenerationIndex(gen)]) {
+    if (sid == exclude || draining_[sid.value()] ||
+        cluster_.server(sid).num_gpus() < min_gpus) {
+      continue;
+    }
+    best = sid;
+    break;
+  }
+  GFAIR_DCHECK_MSG(best == scan_best,
+                   "pool ordering disagrees with linear least-loaded scan");
+  return best;
+}
+
+}  // namespace gfair::sched

@@ -1,0 +1,98 @@
+// ClusterStateIndex — incrementally-maintained per-server scheduler state.
+//
+// The shared state layer every GandivaFair subsystem operates on. It owns the
+// per-server LocalStrideScheduler instances (whose ticket/demand loads are
+// themselves cached, see stride.h), the per-server draining flags, and — the
+// piece that makes cluster-wide queries cheap — one ordered set per GPU
+// generation of that pool's servers keyed by normalized ticket load
+// (tickets per physical GPU), plus ServerId as the tie-breaker.
+//
+// Invariants:
+//  * By the time any ordered-set query runs, a server's position in its
+//    pool's set reflects stride(s).TicketLoad() / num_gpus(s). Mutations that
+//    can change a ticket load go through AddJob/RemoveJob/SetTickets here,
+//    which mark the server's position dirty; queries flush dirty positions
+//    first. Deferring the reposition keeps ticket refreshes O(1) per job —
+//    an eager reposition would recompute the server's whole ticket load on
+//    every SetTickets, re-creating the quadratic refresh this index removes.
+//    stride() gives raw access only for operations that cannot change loads
+//    (Charge, SelectForQuantum, reads).
+//  * Ties in the ordered set resolve to the lower ServerId. Because
+//    Cluster::servers_of() lists ids in ascending order, a "first strictly
+//    smaller wins" linear scan and a walk of this set agree on the winner —
+//    which keeps index-backed least-loaded queries decision-identical to the
+//    pre-index linear scans.
+#ifndef GFAIR_SCHED_CLUSTER_STATE_INDEX_H_
+#define GFAIR_SCHED_CLUSTER_STATE_INDEX_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/types.h"
+#include "sched/stride.h"
+
+namespace gfair::sched {
+
+class ClusterStateIndex {
+ public:
+  ClusterStateIndex(const cluster::Cluster& cluster, const StrideConfig& stride_config);
+
+  // --- per-server stride access ---
+  // Raw access for load-neutral operations (Charge, SelectForQuantum, reads).
+  LocalStrideScheduler& stride(ServerId server);
+  const LocalStrideScheduler& stride(ServerId server) const;
+
+  // --- load-changing mutations (keep the pool ordering fresh) ---
+  void AddJob(ServerId server, JobId id, int gang_size, double tickets);
+  void RemoveJob(ServerId server, JobId id);
+  void SetTickets(ServerId server, JobId id, double tickets);
+
+  // --- draining ---
+  void SetDraining(ServerId server, bool draining);
+  bool draining(ServerId server) const;
+  // True when any server is currently draining (lets periodic drain batches
+  // short-circuit).
+  bool AnyDraining() const { return num_draining_ > 0; }
+
+  // --- queries ---
+  // Normalized ticket load (tickets per physical GPU) — O(1) amortized.
+  double NormTicketLoad(ServerId server) const;
+
+  // Least-normalized-ticket-load server of `gen` with at least `min_gpus`
+  // GPUs, not draining, and not `exclude`. O(log n) plus filtered prefix.
+  // Invalid when no server qualifies.
+  ServerId LeastLoadedServer(cluster::GpuGeneration gen, int min_gpus,
+                             ServerId exclude = ServerId::Invalid()) const;
+
+  // The pool's (normalized load, server) pairs in ascending order.
+  using PoolByLoad = std::set<std::pair<double, ServerId>>;
+  const PoolByLoad& pool_by_load(cluster::GpuGeneration gen) const {
+    Flush();
+    return pools_by_load_[cluster::GenerationIndex(gen)];
+  }
+
+  size_t num_servers() const { return strides_.size(); }
+
+ private:
+  void MarkDirty(ServerId server);
+  // Repositions every dirty server in its pool's ordered set.
+  void Flush() const;
+  void Reposition(ServerId server) const;
+
+  const cluster::Cluster& cluster_;
+  std::vector<LocalStrideScheduler> strides_;  // indexed by ServerId value
+  std::vector<bool> draining_;
+  int num_draining_ = 0;
+
+  // Lazily-maintained pool orderings (see header comment).
+  mutable std::vector<double> load_key_;  // key currently in the pool set
+  mutable std::vector<bool> pos_dirty_;
+  mutable std::vector<ServerId> dirty_list_;
+  mutable cluster::PerGeneration<PoolByLoad> pools_by_load_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_CLUSTER_STATE_INDEX_H_

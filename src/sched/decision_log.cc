@@ -44,15 +44,6 @@ DecisionType DecisionFor(MigrationCause cause) {
   return DecisionType::kMigrateBalance;
 }
 
-void DecisionLog::Record(SimTime time, DecisionType type, JobId job, ServerId from,
-                         ServerId to) {
-  counts_[static_cast<size_t>(type)] += 1;
-  entries_.push_back(Decision{time, type, job, from, to});
-  while (entries_.size() > capacity_) {
-    entries_.pop_front();
-  }
-}
-
 int64_t DecisionLog::TotalMigrations() const {
   return Count(DecisionType::kMigrateBalance) + Count(DecisionType::kMigrateConserve) +
          Count(DecisionType::kMigrateSteal) + Count(DecisionType::kMigrateProbe) +
@@ -60,10 +51,9 @@ int64_t DecisionLog::TotalMigrations() const {
 }
 
 void DecisionLog::Dump(std::ostream& os, size_t max_entries) const {
-  const size_t start =
-      entries_.size() > max_entries ? entries_.size() - max_entries : 0;
-  for (size_t i = start; i < entries_.size(); ++i) {
-    const Decision& d = entries_[i];
+  const size_t start = ring_.size() > max_entries ? ring_.size() - max_entries : 0;
+  for (size_t i = start; i < ring_.size(); ++i) {
+    const Decision& d = EntryAt(i);
     os << FormatDuration(d.time) << "  " << DecisionTypeName(d.type);
     if (d.job.valid()) {
       os << "  job " << d.job;

@@ -9,10 +9,12 @@
 #define GFAIR_SCHED_DECISION_LOG_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <iterator>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "common/types.h"
@@ -57,8 +59,22 @@ class DecisionLog {
  public:
   explicit DecisionLog(size_t capacity = 8192) : capacity_(capacity) {}
 
+  // Record runs on every suspend/resume at every quantum edge — hot path.
+  // The ring slot write replaces an earlier std::deque whose block churn
+  // showed up in cluster-scale tick profiles.
   void Record(SimTime time, DecisionType type, JobId job,
-              ServerId from = ServerId::Invalid(), ServerId to = ServerId::Invalid());
+              ServerId from = ServerId::Invalid(), ServerId to = ServerId::Invalid()) {
+    counts_[static_cast<size_t>(type)] += 1;
+    if (capacity_ == 0) {
+      return;
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back(Decision{time, type, job, from, to});
+    } else {
+      ring_[head_] = Decision{time, type, job, from, to};
+      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    }
+  }
 
   // Lifetime count per decision type (not limited by the ring capacity).
   int64_t Count(DecisionType type) const {
@@ -66,15 +82,67 @@ class DecisionLog {
   }
   int64_t TotalMigrations() const;
 
-  // The retained tail of the decision stream (most recent last).
-  const std::deque<Decision>& entries() const { return entries_; }
+  // Read-only view of the retained tail of the decision stream, oldest
+  // first (index 0) to most recent last. Iterable, sized, and indexable like
+  // a container; invalidated by the next Record().
+  class EntriesView {
+   public:
+    class const_iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = Decision;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const Decision*;
+      using reference = const Decision&;
+
+      const_iterator(const DecisionLog* log, size_t pos) : log_(log), pos_(pos) {}
+      reference operator*() const { return log_->EntryAt(pos_); }
+      pointer operator->() const { return &log_->EntryAt(pos_); }
+      const_iterator& operator++() {
+        ++pos_;
+        return *this;
+      }
+      const_iterator operator++(int) {
+        const_iterator old = *this;
+        ++pos_;
+        return old;
+      }
+      bool operator==(const const_iterator& other) const { return pos_ == other.pos_; }
+      bool operator!=(const const_iterator& other) const { return pos_ != other.pos_; }
+
+     private:
+      const DecisionLog* log_;
+      size_t pos_;
+    };
+
+    explicit EntriesView(const DecisionLog* log) : log_(log) {}
+    size_t size() const { return log_->ring_.size(); }
+    bool empty() const { return log_->ring_.empty(); }
+    const Decision& operator[](size_t i) const { return log_->EntryAt(i); }
+    const Decision& front() const { return log_->EntryAt(0); }
+    const Decision& back() const { return log_->EntryAt(size() - 1); }
+    const_iterator begin() const { return const_iterator(log_, 0); }
+    const_iterator end() const { return const_iterator(log_, size()); }
+
+   private:
+    const DecisionLog* log_;
+  };
+
+  EntriesView entries() const { return EntriesView(this); }
 
   // Human-readable dump of the retained tail (most recent last).
   void Dump(std::ostream& os, size_t max_entries = 64) const;
 
  private:
+  // `i`-th oldest retained decision.
+  const Decision& EntryAt(size_t i) const {
+    const size_t pos = head_ + i;
+    return ring_[pos < ring_.size() ? pos : pos - ring_.size()];
+  }
+
   size_t capacity_;
-  std::deque<Decision> entries_;
+  std::vector<Decision> ring_;  // grows to capacity_, then wraps
+  size_t head_ = 0;             // index of the oldest entry once wrapped
   std::array<int64_t, kNumDecisionTypes> counts_{};
 };
 

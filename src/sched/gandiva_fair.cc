@@ -1,15 +1,15 @@
-// Core lifecycle and quantum mechanics of GandivaFairScheduler.
-// Placement/migration live in gandiva_fair_placement.cc; the load-balancing
-// and trading epochs live in gandiva_fair_epochs.cc.
+// GandivaFairScheduler facade: event-driven core (submit/finish/migration
+// callbacks, quantum tick) plus the ISchedulerHost services. Placement and
+// stealing live in PlacementEngine, balancing/drains in LoadBalancer, and
+// profiling/trading in TradeCoordinator; all of them operate on the shared
+// ClusterStateIndex and ResidencyIndex.
 #include "sched/gandiva_fair.h"
 
-#include "sched/hierarchy.h"
-
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "sched/hierarchy.h"
 
 namespace gfair::sched {
 
@@ -19,57 +19,35 @@ using workload::Job;
 using workload::JobState;
 
 namespace internal_gfair {
-// "Long ago" sentinel for last_migration so fresh jobs pass the interval check.
-constexpr SimTime kLongAgo = -(int64_t{1} << 60);
 // Floor for stride tickets (a user whose pool entitlement was traded away
 // still needs a positive ticket count; residency rebalancing then moves its
 // jobs out of the pool).
 constexpr double kMinTickets = 1e-6;
 }  // namespace internal_gfair
 
-using internal_gfair::kLongAgo;
 using internal_gfair::kMinTickets;
 
 GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
                                            GandivaFairConfig config)
-    : env_(env), config_(config), trading_(config.trade) {
-  profiles_ = ProfileStore(config_.profile_min_samples);
-  strides_.reserve(static_cast<size_t>(env_.cluster.num_servers()));
-  for (const auto& server : env_.cluster.servers()) {
-    strides_.emplace_back(server.num_gpus(), config_.stride);
-  }
-  last_steal_.assign(static_cast<size_t>(env_.cluster.num_servers()),
-                     -(int64_t{1} << 60));
-  draining_.assign(static_cast<size_t>(env_.cluster.num_servers()), false);
-}
-
-LocalStrideScheduler& GandivaFairScheduler::StrideFor(ServerId server) {
-  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
-  return strides_[server.value()];
-}
-
-const LocalStrideScheduler& GandivaFairScheduler::stride_for(ServerId server) const {
-  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
-  return strides_[server.value()];
-}
+    : env_(env),
+      config_(config),
+      index_(env_.cluster, config_.stride),
+      residency_(env_.jobs),
+      placement_(env_, config_, index_, residency_, *this),
+      balancer_(env_, config_, index_, residency_, *this),
+      trader_(env_, config_, index_, residency_, ticket_matrix_, decisions_, *this) {}
 
 GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
   return env_.cluster.server(server).generation();
 }
 
-GandivaFairScheduler::JobInfo& GandivaFairScheduler::InfoFor(JobId id) {
-  auto it = job_info_.find(id);
-  GFAIR_CHECK_MSG(it != job_info_.end(), "unknown job");
-  return it->second;
-}
-
 void GandivaFairScheduler::Start() {
   env_.sim.Every(config_.quantum, [this]() { QuantumTick(); });
   if (config_.enable_load_balancing && env_.cluster.num_servers() > 1) {
-    env_.sim.Every(config_.balance_period, [this]() { BalanceTick(); });
+    env_.sim.Every(config_.balance_period, [this]() { balancer_.Balance(); });
   }
   if (config_.enable_trading && env_.cluster.heterogeneous()) {
-    env_.sim.Every(config_.trade_period, [this]() { TradeTick(); });
+    env_.sim.Every(config_.trade_period, [this]() { trader_.TradeEpoch(); });
   }
 }
 
@@ -79,17 +57,11 @@ void GandivaFairScheduler::Submit(JobId id) {
   if (!ticket_matrix_.HasUser(job.user)) {
     ticket_matrix_.RegisterUser(job.user, env_.users.Get(job.user).tickets);
   }
-  user_unfinished_jobs_[job.user] += 1;
-  user_total_demand_[job.user] += job.gang_size;
-  if (user_unfinished_jobs_[job.user] == 1) {
+  if (residency_.RegisterJob(id, job.user, job.gang_size)) {
     ApplyHierarchy();  // active set grew
   }
 
-  JobInfo info;
-  info.last_migration = kLongAgo;
-  job_info_[id] = info;
-
-  const ServerId dest = ChoosePlacement(job);
+  const ServerId dest = placement_.ChoosePlacement(job);
   GFAIR_CHECK_MSG(dest.valid(), "no server can host this gang");
   decisions_.Record(env_.sim.Now(), DecisionType::kPlace, id, ServerId::Invalid(), dest);
   env_.exec.MakeResident(id, dest);
@@ -99,31 +71,25 @@ void GandivaFairScheduler::Submit(JobId id) {
 
 void GandivaFairScheduler::OnJobFinished(JobId id) {
   const Job& job = env_.jobs.Get(id);
-  JobInfo& info = InfoFor(id);
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
   const ServerId server = info.home;
   GFAIR_CHECK(server.valid());
 
   // Account the final partial quantum to the stride pass before removal.
-  LocalStrideScheduler& stride = StrideFor(server);
+  LocalStrideScheduler& stride = index_.stride(server);
   if (stride.Contains(id)) {
     stride.Charge(id, env_.sim.Now() - info.last_charge);
   }
   DetachResident(id);
 
-  auto it = user_unfinished_jobs_.find(job.user);
-  GFAIR_CHECK(it != user_unfinished_jobs_.end() && it->second > 0);
-  it->second -= 1;
-  user_total_demand_[job.user] -= job.gang_size;
-  if (it->second == 0) {
+  if (residency_.DeregisterJob(id, job.user, job.gang_size)) {
     ApplyHierarchy();  // active set shrank
   }
-
-  info.home = ServerId::Invalid();
   FillIdleGpus(server);
 }
 
 void GandivaFairScheduler::OnMigrationDone(JobId id) {
-  JobInfo& info = InfoFor(id);
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
   GFAIR_CHECK(info.migrating);
   info.migrating = false;
   AttachResident(id, info.home);
@@ -137,50 +103,53 @@ void GandivaFairScheduler::QuantumTick() {
   env_.exec.SyncAll();
   for (const auto& server : env_.cluster.servers()) {
     ChargeRunningOn(server.id());
-    CollectSamples(server.id());
+    trader_.CollectSamples(server.id());
     ApplyTargetSet(server.id());
   }
   if (config_.enable_work_stealing) {
     for (const auto& server : env_.cluster.servers()) {
       if (server.num_free() > 0) {
-        TrySteal(server.id());
+        placement_.TrySteal(server.id());
       }
     }
   }
 }
 
 void GandivaFairScheduler::ChargeRunningOn(ServerId server) {
-  LocalStrideScheduler& stride = StrideFor(server);
+  LocalStrideScheduler& stride = index_.stride(server);
   const SimTime now = env_.sim.Now();
   for (JobId id : stride.ResidentJobs()) {
     if (env_.exec.IsRunning(id)) {
-      JobInfo& info = InfoFor(id);
+      ResidencyIndex::JobInfo& info = residency_.Info(id);
       stride.Charge(id, now - info.last_charge);
       info.last_charge = now;
     }
   }
 }
 
-void GandivaFairScheduler::CollectSamples(ServerId server) {
-  LocalStrideScheduler& stride = StrideFor(server);
-  const GpuGeneration gen = GenOf(server);
-  for (JobId id : stride.ResidentJobs()) {
-    if (env_.exec.IsRunning(id)) {
-      const Job& job = env_.jobs.Get(id);
-      const double observed = env_.exec.SampleObservedRate(id);
-      profiles_.AddSample(job.model, gen, observed / job.gang_size);
-    }
-  }
-}
-
 void GandivaFairScheduler::ApplyTargetSet(ServerId server) {
-  LocalStrideScheduler& stride = StrideFor(server);
-  const std::vector<JobId> target = stride.SelectForQuantum();
-  const std::unordered_set<JobId> target_set(target.begin(), target.end());
+  LocalStrideScheduler& stride = index_.stride(server);
+  // Safe to hold by reference: nothing below re-enters this stride instance.
+  const std::vector<JobId>& target = stride.SelectForQuantum();
+  // Membership test via an epoch-stamped per-job array: the target set is
+  // rebuilt on every server every quantum, and at that rate both hash sets
+  // and sorted scratch buffers cost more than an O(1) stamp per job.
+  ++target_epoch_;
+  // Job ids are dense, so the table size bounds every id; sizing it once
+  // keeps the per-job resize branch out of the stamp and lookup loops.
+  if (env_.jobs.size() > target_stamp_.size()) {
+    target_stamp_.resize(env_.jobs.size(), 0);
+  }
+  for (JobId id : target) {
+    target_stamp_[id.value()] = target_epoch_;
+  }
+  const auto in_target = [this](JobId id) {
+    return target_stamp_[id.value()] == target_epoch_;
+  };
 
   // Suspend first so the incoming gang's GPUs are free.
   for (JobId id : stride.ResidentJobs()) {
-    if (env_.exec.IsRunning(id) && target_set.count(id) == 0) {
+    if (env_.exec.IsRunning(id) && !in_target(id)) {
       env_.exec.Suspend(id);
       decisions_.Record(env_.sim.Now(), DecisionType::kSuspend, id, server);
     }
@@ -190,7 +159,7 @@ void GandivaFairScheduler::ApplyTargetSet(ServerId server) {
     if (!env_.exec.IsRunning(id)) {
       env_.exec.Resume(id);
       decisions_.Record(now, DecisionType::kResume, id, ServerId::Invalid(), server);
-      InfoFor(id).last_charge = now;
+      residency_.Info(id).last_charge = now;
     }
   }
 }
@@ -205,7 +174,7 @@ void GandivaFairScheduler::FillIdleGpus(ServerId server) {
   // quantum boundary, GPUs here free up incrementally, so with
   // reserve_blocked_gang we stop at the first waiting gang that does not fit:
   // its GPUs accumulate instead of being nibbled away by jobs behind it.
-  LocalStrideScheduler& stride = StrideFor(server);
+  LocalStrideScheduler& stride = index_.stride(server);
   const SimTime now = env_.sim.Now();
   for (JobId id : stride.SelectForQuantum()) {
     if (env_.exec.IsRunning(id)) {
@@ -215,53 +184,57 @@ void GandivaFairScheduler::FillIdleGpus(ServerId server) {
     if (host.CanFit(job.gang_size)) {
       env_.exec.Resume(id);
       decisions_.Record(now, DecisionType::kResume, id, ServerId::Invalid(), server);
-      InfoFor(id).last_charge = now;
+      residency_.Info(id).last_charge = now;
     } else if (config_.stride.reserve_blocked_gang) {
       break;
     }
   }
   if (host.num_free() > 0 && config_.enable_work_stealing) {
-    TrySteal(server);
+    placement_.TrySteal(server);
   }
 }
 
 void GandivaFairScheduler::AttachResident(JobId id, ServerId server) {
   Job& job = env_.jobs.Get(id);
-  JobInfo& info = InfoFor(id);
-  info.home = server;
+  residency_.Info(id).home = server;
   const GpuGeneration gen = GenOf(server);
-  auto& pool_jobs = user_pool_jobs_[job.user][GenerationIndex(gen)];
-  GFAIR_CHECK(pool_jobs.insert(id).second);
-  StrideFor(server).AddJob(id, job.gang_size,
-                           PerJobTickets(job.user, gen, job));
+  residency_.Attach(job.user, gen, id);
+  index_.AddJob(server, id, job.gang_size, PerJobTickets(job.user, gen, job));
   RefreshPoolTickets(job.user, gen);
   ledger_.RecordDemandChange(job.user, gen, env_.sim.Now(), job.gang_size);
 }
 
 void GandivaFairScheduler::DetachResident(JobId id) {
   Job& job = env_.jobs.Get(id);
-  JobInfo& info = InfoFor(id);
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
   GFAIR_CHECK(info.home.valid());
   const GpuGeneration gen = GenOf(info.home);
-  auto& pool_jobs = user_pool_jobs_[job.user][GenerationIndex(gen)];
-  GFAIR_CHECK(pool_jobs.erase(id) == 1);
-  StrideFor(info.home).RemoveJob(id);
+  residency_.Detach(job.user, gen, id);
+  index_.RemoveJob(info.home, id);
   RefreshPoolTickets(job.user, gen);
   ledger_.RecordDemandChange(job.user, gen, env_.sim.Now(), -job.gang_size);
 }
 
-double GandivaFairScheduler::WeightedResidentDemand(UserId user,
-                                                    GpuGeneration gen) const {
-  auto it = user_pool_jobs_.find(user);
-  if (it == user_pool_jobs_.end()) {
-    return 0.0;
+void GandivaFairScheduler::StartMigration(JobId id, ServerId dest,
+                                          MigrationCause cause) {
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
+  GFAIR_CHECK(!info.migrating);
+  GFAIR_CHECK(dest.valid() && dest != info.home);
+  const ServerId source = info.home;
+  decisions_.Record(env_.sim.Now(), DecisionFor(cause), id, source, dest);
+
+  if (env_.exec.IsRunning(id)) {
+    index_.stride(source).Charge(id, env_.sim.Now() - info.last_charge);
+    env_.exec.Suspend(id);
   }
-  double total = 0.0;
-  for (JobId id : it->second[GenerationIndex(gen)]) {
-    const Job& job = env_.jobs.Get(id);
-    total += job.gang_size * job.weight;
-  }
-  return total;
+  DetachResident(id);
+  info.migrating = true;
+  info.last_migration = env_.sim.Now();
+  info.home = dest;  // AttachResident uses this when the migration lands
+  ++migrations_started_;
+  env_.exec.Migrate(id, dest);
+  GFAIR_DLOG << "migrating job " << id << " from server " << source << " to " << dest;
+  FillIdleGpus(source);
 }
 
 double GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
@@ -272,28 +245,19 @@ double GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
   // 8-GPU gang — one job, one share — starved at an eighth of its demand.
   const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
   const double share = job.gang_size * job.weight;
-  const double demand = std::max(WeightedResidentDemand(user, gen), share);
+  const double demand = std::max(residency_.WeightedResidentDemand(user, gen), share);
   return pool_tickets * share / demand;
 }
 
 void GandivaFairScheduler::RefreshPoolTickets(UserId user, GpuGeneration gen) {
-  auto it = user_pool_jobs_.find(user);
-  if (it == user_pool_jobs_.end()) {
-    return;
-  }
-  const auto& pool_jobs = it->second[GenerationIndex(gen)];
-  if (pool_jobs.empty()) {
-    return;
-  }
-  for (JobId id : pool_jobs) {
+  for (JobId id : residency_.PoolJobs(user, gen)) {
     const Job& job = env_.jobs.Get(id);
-    StrideFor(job_info_.at(id).home)
-        .SetTickets(id, PerJobTickets(user, gen, job));
+    index_.SetTickets(residency_.Info(id).home, id, PerJobTickets(user, gen, job));
   }
 }
 
 void GandivaFairScheduler::RefreshAllTickets() {
-  for (const auto& [user, pools] : user_pool_jobs_) {
+  for (UserId user : residency_.active_users()) {
     for (GpuGeneration gen : cluster::kAllGenerations) {
       RefreshPoolTickets(user, gen);
     }
@@ -309,19 +273,18 @@ ClusterSnapshot GandivaFairScheduler::Snapshot() const {
     view.generation = server.generation();
     view.num_gpus = server.num_gpus();
     view.busy_gpus = server.num_busy();
-    const auto& stride = stride_for(server.id());
+    const auto& stride = index_.stride(server.id());
     view.resident_jobs = static_cast<int>(stride.num_jobs());
     view.demand_load = stride.DemandLoad() / static_cast<double>(server.num_gpus());
     view.ticket_load = stride.TicketLoad() / static_cast<double>(server.num_gpus());
-    view.draining = draining_[server.id().value()];
+    view.draining = index_.draining(server.id());
     snapshot.servers.push_back(view);
   }
   for (const auto& user : env_.users.users()) {
     UserSnapshot view;
     view.id = user.id;
     view.name = user.name;
-    auto it = user_unfinished_jobs_.find(user.id);
-    view.unfinished_jobs = it != user_unfinished_jobs_.end() ? it->second : 0;
+    view.unfinished_jobs = residency_.UnfinishedJobs(user.id);
     for (GpuGeneration gen : cluster::kAllGenerations) {
       const size_t g = GenerationIndex(gen);
       view.entitlement_gpus[g] =
@@ -333,68 +296,17 @@ ClusterSnapshot GandivaFairScheduler::Snapshot() const {
   return snapshot;
 }
 
-bool GandivaFairScheduler::IsDraining(ServerId server) const {
-  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
-  return draining_[server.value()];
-}
-
 void GandivaFairScheduler::DrainServer(ServerId server) {
-  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
-  if (draining_[server.value()]) {
+  if (index_.draining(server)) {
     return;
   }
-  draining_[server.value()] = true;
+  index_.SetDraining(server, true);
   GFAIR_ILOG << "draining server " << server;
-  DrainTick();
+  balancer_.DrainBatch();
 }
 
 void GandivaFairScheduler::UndrainServer(ServerId server) {
-  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
-  draining_[server.value()] = false;
-}
-
-void GandivaFairScheduler::DrainTick() {
-  const SimTime now = env_.sim.Now();
-  for (size_t s = 0; s < draining_.size(); ++s) {
-    if (!draining_[s]) {
-      continue;
-    }
-    const ServerId source(static_cast<uint32_t>(s));
-    const cluster::GpuGeneration gen = GenOf(source);
-    // Bounded batch: residents leave over successive balance ticks so the
-    // migration network is not swamped.
-    int budget = config_.max_migrations_per_round;
-    for (JobId id : StrideFor(source).ResidentJobs()) {
-      if (budget <= 0) {
-        break;
-      }
-      const Job& job = env_.jobs.Get(id);
-      // Least-loaded non-draining server of the pool that fits the gang.
-      ServerId dest = ServerId::Invalid();
-      double dest_load = std::numeric_limits<double>::infinity();
-      for (ServerId sid : env_.cluster.servers_of(gen)) {
-        if (sid == source || draining_[sid.value()]) {
-          continue;
-        }
-        const auto& peer = env_.cluster.server(sid);
-        if (peer.num_gpus() < job.gang_size) {
-          continue;
-        }
-        const double load = stride_for(sid).TicketLoad() / peer.num_gpus();
-        if (load < dest_load) {
-          dest_load = load;
-          dest = sid;
-        }
-      }
-      if (!dest.valid()) {
-        GFAIR_WLOG << "drain: no destination for job " << id << " at "
-                   << FormatDuration(now) << "; leaving it in place";
-        continue;
-      }
-      StartMigration(id, dest, MigrationCause::kBalance);
-      --budget;
-    }
-  }
+  index_.SetDraining(server, false);
 }
 
 void GandivaFairScheduler::ApplyHierarchy() {
@@ -411,7 +323,7 @@ void GandivaFairScheduler::ApplyHierarchy() {
   if (!any_grouped) {
     return;
   }
-  const std::vector<UserId> active = ActiveUsers();
+  const std::vector<UserId> active = residency_.ActiveUsers();
   if (active.empty()) {
     return;
   }
@@ -423,23 +335,12 @@ void GandivaFairScheduler::ApplyHierarchy() {
   RefreshAllTickets();
 }
 
-std::vector<UserId> GandivaFairScheduler::ActiveUsers() const {
-  std::vector<UserId> active;
-  for (const auto& [user, count] : user_unfinished_jobs_) {
-    if (count > 0) {
-      active.push_back(user);
-    }
-  }
-  std::sort(active.begin(), active.end());
-  return active;
-}
-
 double GandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration gen) const {
   const int pool = env_.cluster.total_gpus(gen);
   if (pool == 0) {
     return 0.0;
   }
-  const std::vector<UserId> active = ActiveUsers();
+  const std::set<UserId>& active = residency_.active_users();
   if (active.empty()) {
     return static_cast<double>(pool);
   }
@@ -456,18 +357,6 @@ double GandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration gen) con
     return static_cast<double>(pool) / static_cast<double>(active.size());
   }
   return mine / total * static_cast<double>(pool);
-}
-
-double GandivaFairScheduler::ResidentDemand(UserId user, GpuGeneration gen) const {
-  auto it = user_pool_jobs_.find(user);
-  if (it == user_pool_jobs_.end()) {
-    return 0.0;
-  }
-  double demand = 0.0;
-  for (JobId id : it->second[GenerationIndex(gen)]) {
-    demand += env_.jobs.Get(id).gang_size;
-  }
-  return demand;
 }
 
 }  // namespace gfair::sched

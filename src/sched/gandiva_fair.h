@@ -1,5 +1,19 @@
 // GandivaFairScheduler — the paper's scheduler, end to end.
 //
+// A facade over four subsystems that share two incrementally-maintained
+// indices:
+//
+//   ClusterStateIndex   per-server stride schedulers + cached ticket/demand
+//                       loads + per-pool servers ordered by normalized load
+//   ResidencyIndex      per-job bookkeeping + per-user per-pool resident
+//                       job sets and demand aggregates
+//   PlacementEngine     central placement of arrivals + work stealing
+//   LoadBalancer        periodic balancing passes + drain batches
+//   TradeCoordinator    profiling, probe migrations, trading epochs
+//
+// The facade implements the event-driven core (submit/finish/migration
+// callbacks, the quantum tick) and the cross-cutting services the subsystems
+// consume via ISchedulerHost (StartMigration, entitlements, ticket refresh).
 // Combines, on top of the Executor substrate:
 //   * per-server gang-aware stride schedulers driven by a global quantum tick
 //     (split stride design: central placement, local time slicing);
@@ -13,20 +27,23 @@
 #ifndef GFAIR_SCHED_GANDIVA_FAIR_H_
 #define GFAIR_SCHED_GANDIVA_FAIR_H_
 
-#include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sched/cluster_state_index.h"
 #include "sched/decision_log.h"
 #include "sched/ledger.h"
+#include "sched/placement_engine.h"
+#include "sched/load_balancer.h"
 #include "sched/profiler.h"
+#include "sched/residency_index.h"
+#include "sched/scheduler_host.h"
 #include "sched/scheduler_iface.h"
 #include "sched/snapshot.h"
 #include "sched/stride.h"
 #include "sched/ticket_matrix.h"
 #include "sched/trade.h"
+#include "sched/trade_coordinator.h"
 
 namespace gfair::sched {
 
@@ -71,7 +88,7 @@ struct GandivaFairConfig {
   bool enable_work_stealing = true;
 };
 
-class GandivaFairScheduler : public IScheduler {
+class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
  public:
   GandivaFairScheduler(const SchedulerEnv& env, GandivaFairConfig config);
 
@@ -85,21 +102,27 @@ class GandivaFairScheduler : public IScheduler {
   // --- introspection (tests, benches, examples) ---
   FairnessLedger& ledger() { return ledger_; }
   const FairnessLedger& ledger() const { return ledger_; }
-  const ProfileStore& profiles() const { return profiles_; }
-  ProfileStore& mutable_profiles() { return profiles_; }
+  const ProfileStore& profiles() const { return trader_.profiles(); }
+  ProfileStore& mutable_profiles() { return trader_.mutable_profiles(); }
   const TicketMatrix& tickets() const { return ticket_matrix_; }
-  const std::vector<Trade>& executed_trades() const { return executed_trades_; }
+  const std::vector<Trade>& executed_trades() const { return trader_.executed_trades(); }
   int64_t migrations_started() const { return migrations_started_; }
-  int64_t steals_started() const { return steals_started_; }
+  int64_t steals_started() const { return placement_.steals_started(); }
   // Structured trace of scheduler decisions (placements, suspends/resumes,
   // migrations by cause, trades).
   const DecisionLog& decisions() const { return decisions_; }
-  const LocalStrideScheduler& stride_for(ServerId server) const;
+  const LocalStrideScheduler& stride_for(ServerId server) const {
+    return index_.stride(server);
+  }
   // User's current entitlement (in GPUs) on a pool, given active users.
-  double EntitlementGpus(UserId user, cluster::GpuGeneration gen) const;
+  double EntitlementGpus(UserId user, cluster::GpuGeneration gen) const override;
   // User's resident GPU demand on a pool.
-  double ResidentDemand(UserId user, cluster::GpuGeneration gen) const;
+  double ResidentDemand(UserId user, cluster::GpuGeneration gen) const {
+    return residency_.ResidentDemand(user, gen);
+  }
   const GandivaFairConfig& config() const { return config_; }
+  const ClusterStateIndex& cluster_index() const { return index_; }
+  const ResidencyIndex& residency() const { return residency_; }
 
   // Structured point-in-time view of servers and users (for operators,
   // tools and tests).
@@ -112,39 +135,26 @@ class GandivaFairScheduler : public IScheduler {
   void DrainServer(ServerId server);
   // Returns a drained server to service.
   void UndrainServer(ServerId server);
-  bool IsDraining(ServerId server) const;
+  bool IsDraining(ServerId server) const { return index_.draining(server); }
 
  private:
-  struct JobInfo {
-    ServerId home = ServerId::Invalid();  // resident/destination server
-    SimTime last_charge = kTimeZero;
-    SimTime last_migration;  // initialized to "long ago"
-    bool migrating = false;
-  };
+  // --- ISchedulerHost (services the subsystems call back into) ---
+  void StartMigration(JobId id, ServerId dest, MigrationCause cause) override;
+  void RefreshAllTickets() override;
 
-  LocalStrideScheduler& StrideFor(ServerId server);
   cluster::GpuGeneration GenOf(ServerId server) const;
-  JobInfo& InfoFor(JobId id);
 
   // Periodic events.
   void QuantumTick();
-  void BalanceTick();
-  void TradeTick();
 
   // Quantum mechanics.
   void ChargeRunningOn(ServerId server);
   void ApplyTargetSet(ServerId server);
   void FillIdleGpus(ServerId server);
-  void CollectSamples(ServerId server);
 
-  // Placement & migration.
-  ServerId ChoosePlacement(const workload::Job& job) const;
-  void StartMigration(JobId id, ServerId dest, MigrationCause cause);
-  // Work stealing: fill `server`'s idle GPUs with a suspended job migrated
-  // from an oversubscribed server of the same pool.
-  void TrySteal(ServerId server);
-  void AttachResident(JobId id, ServerId server);  // stride + counters + ledger
-  void DetachResident(JobId id);                   // inverse (before migrate/finish)
+  // Residency transitions (stride + residency + ledger, in lockstep).
+  void AttachResident(JobId id, ServerId server);
+  void DetachResident(JobId id);  // inverse (before migrate/finish)
 
   // Tickets.
   // Recomputes effective base tickets from the group hierarchy after the
@@ -152,47 +162,31 @@ class GandivaFairScheduler : public IScheduler {
   void ApplyHierarchy();
   double PerJobTickets(UserId user, cluster::GpuGeneration gen,
                        const workload::Job& job) const;
-  double WeightedResidentDemand(UserId user, cluster::GpuGeneration gen) const;
   void RefreshPoolTickets(UserId user, cluster::GpuGeneration gen);
-  void RefreshAllTickets();
-
-  // Drains one bounded batch of jobs off every draining server.
-  void DrainTick();
-
-  // Trading helpers.
-  std::vector<UserId> ActiveUsers() const;
-  bool UserSpeedup(UserId user, cluster::GpuGeneration fast, cluster::GpuGeneration slow,
-                   double* out) const;
-  void RunProbes();
-  void RebalanceResidency(const TradeOutcome& outcome);
 
   SchedulerEnv env_;
   GandivaFairConfig config_;
 
-  std::vector<LocalStrideScheduler> strides_;  // one per server, same indexing
   FairnessLedger ledger_;
-  ProfileStore profiles_;
   TicketMatrix ticket_matrix_;
-  TradingEngine trading_;
-  std::vector<Trade> executed_trades_;
-
-  std::unordered_map<JobId, JobInfo> job_info_;
-  // Unfinished jobs per user per pool (drives per-job ticket splits).
-  std::unordered_map<UserId, cluster::PerGeneration<std::unordered_set<JobId>>>
-      user_pool_jobs_;
-  std::unordered_map<UserId, int> user_unfinished_jobs_;
-  // Total outstanding GPU demand per user (includes in-flight migrations,
-  // which are resident in no pool set).
-  std::unordered_map<UserId, double> user_total_demand_;
-
-  int64_t migrations_started_ = 0;
-  int64_t probes_started_ = 0;
-  int64_t steals_started_ = 0;
   DecisionLog decisions_;
-  // Per-server rate limit for stealing (indexed like strides_).
-  std::vector<SimTime> last_steal_;
-  // Servers being drained for maintenance (indexed like strides_).
-  std::vector<bool> draining_;
+  int64_t migrations_started_ = 0;
+
+  // Shared state indices (declared before the subsystems that reference them).
+  ClusterStateIndex index_;
+  ResidencyIndex residency_;
+
+  // Subsystems.
+  PlacementEngine placement_;
+  LoadBalancer balancer_;
+  TradeCoordinator trader_;
+
+  // Scratch for ApplyTargetSet (reused across calls to avoid per-quantum
+  // allocation and hashing).
+  // Per-job membership stamps for ApplyTargetSet (indexed by job id): a job
+  // is in the current target set iff its stamp equals target_epoch_.
+  std::vector<uint64_t> target_stamp_;
+  uint64_t target_epoch_ = 0;
 };
 
 }  // namespace gfair::sched

@@ -11,7 +11,19 @@ using cluster::GpuGeneration;
 
 FairnessLedger::PerUser& FairnessLedger::GetOrCreate(UserId user) {
   GFAIR_CHECK(user.valid());
-  return per_user_[user];
+  if (user.value() >= per_user_.size()) {
+    per_user_.resize(user.value() + 1);
+    known_.resize(user.value() + 1, false);
+  }
+  known_[user.value()] = true;
+  return per_user_[user.value()];
+}
+
+const FairnessLedger::PerUser* FairnessLedger::Find(UserId user) const {
+  if (!user.valid() || user.value() >= per_user_.size() || !known_[user.value()]) {
+    return nullptr;
+  }
+  return &per_user_[user.value()];
 }
 
 void FairnessLedger::RecordGpuTime(UserId user, GpuGeneration gen, SimTime start,
@@ -36,11 +48,11 @@ void FairnessLedger::RecordDemandChange(UserId user, GpuGeneration gen, SimTime 
 
 double FairnessLedger::GpuMs(UserId user, GpuGeneration gen, SimTime from,
                              SimTime to) const {
-  auto it = per_user_.find(user);
-  if (it == per_user_.end()) {
+  const PerUser* record = Find(user);
+  if (record == nullptr) {
     return 0.0;
   }
-  const auto& series = it->second.gpu_ms[GenerationIndex(gen)];
+  const auto& series = record->gpu_ms[GenerationIndex(gen)];
   return series.TotalUpTo(to) - series.TotalUpTo(from);
 }
 
@@ -55,11 +67,11 @@ double FairnessLedger::GpuMs(UserId user, SimTime from, SimTime to) const {
 const simkit::TimeSeries& FairnessLedger::DemandSeries(UserId user,
                                                        GpuGeneration gen) const {
   static const simkit::TimeSeries kEmpty;
-  auto it = per_user_.find(user);
-  if (it == per_user_.end()) {
+  const PerUser* record = Find(user);
+  if (record == nullptr) {
     return kEmpty;
   }
-  return it->second.demand[GenerationIndex(gen)];
+  return record->demand[GenerationIndex(gen)];
 }
 
 double FairnessLedger::DemandAt(UserId user, GpuGeneration gen, SimTime time) const {
@@ -77,10 +89,11 @@ double FairnessLedger::TotalDemandAt(UserId user, SimTime time) const {
 std::vector<UserId> FairnessLedger::KnownUsers() const {
   std::vector<UserId> users;
   users.reserve(per_user_.size());
-  for (const auto& [id, record] : per_user_) {
-    users.push_back(id);
+  for (uint32_t u = 0; u < per_user_.size(); ++u) {
+    if (known_[u]) {
+      users.push_back(UserId(u));
+    }
   }
-  std::sort(users.begin(), users.end());
   return users;
 }
 

@@ -9,7 +9,6 @@
 #ifndef GFAIR_SCHED_LEDGER_H_
 #define GFAIR_SCHED_LEDGER_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/gpu.h"
@@ -55,8 +54,14 @@ class FairnessLedger {
   };
 
   PerUser& GetOrCreate(UserId user);
+  const PerUser* Find(UserId user) const;
 
-  std::unordered_map<UserId, PerUser> per_user_;
+  // Indexed by user id (user ids are dense). `known_[u]` marks slots a
+  // record was ever written to; RecordGpuTime runs once per charged gang
+  // every quantum — hot path, so lookups must not hash. Do not hold the
+  // GetOrCreate() reference across another GetOrCreate (it may resize).
+  std::vector<PerUser> per_user_;
+  std::vector<bool> known_;
 };
 
 }  // namespace gfair::sched

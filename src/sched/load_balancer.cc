@@ -1,0 +1,192 @@
+#include "sched/load_balancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+
+using cluster::GpuGeneration;
+using cluster::kAllGenerations;
+using workload::Job;
+
+LoadBalancer::LoadBalancer(const SchedulerEnv& env, const GandivaFairConfig& config,
+                           ClusterStateIndex& index, ResidencyIndex& residency,
+                           ISchedulerHost& host)
+    : env_(env), config_(config), index_(index), residency_(residency), host_(host) {}
+
+void LoadBalancer::Balance() {
+  const SimTime now = env_.sim.Now();
+  DrainBatch();  // evacuate draining servers first
+  for (GpuGeneration gen : kAllGenerations) {
+    const auto& servers = env_.cluster.servers_of(gen);
+    if (servers.size() < 2) {
+      continue;
+    }
+
+    // Pass 1 — work conservation: a server whose residents demand more GPUs
+    // than it has, next to a server with spare GPUs, wastes capacity that no
+    // amount of local time-slicing can recover. Move waiting (suspended)
+    // jobs from oversubscribed servers onto idle GPUs. The scan stays linear
+    // (pending demand from this round's in-flight moves has no home in the
+    // load index) but every load read is O(1) cached.
+    std::unordered_map<ServerId, double> pending_demand;  // in-flight arrivals
+    for (int round = 0; round < config_.max_migrations_per_round; ++round) {
+      ServerId src = ServerId::Invalid();
+      ServerId dst = ServerId::Invalid();
+      double worst_overflow = 0.5;  // demand beyond capacity, in GPUs
+      double best_spare = 0.999;    // idle GPUs worth of headroom
+      for (ServerId id : servers) {
+        if (index_.draining(id)) {
+          continue;
+        }
+        const auto& server = env_.cluster.server(id);
+        const double demand = index_.stride(id).DemandLoad() + pending_demand[id];
+        const double overflow = demand - server.num_gpus();
+        const double spare = server.num_gpus() - demand;
+        if (overflow > worst_overflow) {
+          worst_overflow = overflow;
+          src = id;
+        }
+        if (spare > best_spare) {
+          best_spare = spare;
+          dst = id;
+        }
+      }
+      if (!src.valid() || !dst.valid()) {
+        break;
+      }
+      // Largest suspended gang that fits the destination's headroom.
+      JobId candidate = JobId::Invalid();
+      int candidate_gang = 0;
+      for (JobId id : index_.stride(src).ResidentJobs()) {
+        if (env_.exec.IsRunning(id)) {
+          continue;
+        }
+        const Job& job = env_.jobs.Get(id);
+        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        if (job.gang_size <= best_spare + 1e-9 && job.gang_size > candidate_gang) {
+          candidate = id;
+          candidate_gang = job.gang_size;
+        }
+      }
+      if (!candidate.valid()) {
+        break;
+      }
+      pending_demand[dst] += candidate_gang;
+      host_.StartMigration(candidate, dst, MigrationCause::kConserve);
+    }
+
+    // Pass 2 — fairness: even out per-server ticket load so every resident
+    // job's stride share is realizable. Tickets already in flight toward a
+    // destination this round:
+    std::unordered_map<ServerId, double> pending;
+
+    for (int round = 0; round < config_.max_migrations_per_round; ++round) {
+      ServerId max_server = ServerId::Invalid();
+      ServerId min_server = ServerId::Invalid();
+      double max_load = -std::numeric_limits<double>::infinity();
+      double min_load = std::numeric_limits<double>::infinity();
+      double sum_load = 0.0;
+      for (ServerId id : servers) {
+        if (index_.draining(id)) {
+          continue;
+        }
+        const double gpus = env_.cluster.server(id).num_gpus();
+        const double load = (index_.stride(id).TicketLoad() + pending[id]) / gpus;
+        sum_load += load;
+        if (load > max_load) {
+          max_load = load;
+          max_server = id;
+        }
+        if (load < min_load) {
+          min_load = load;
+          min_server = id;
+        }
+      }
+      const double avg_load = sum_load / static_cast<double>(servers.size());
+      if (max_load - min_load <= config_.balance_threshold * std::max(avg_load, 1e-9)) {
+        break;
+      }
+
+      // Candidate = resident job on the hottest server whose move shrinks the
+      // gap the most and still leaves the destination cooler than the source
+      // was.
+      const double src_gpus = env_.cluster.server(max_server).num_gpus();
+      const double dst_gpus = env_.cluster.server(min_server).num_gpus();
+      JobId best = JobId::Invalid();
+      double best_gap = max_load - min_load;
+      for (JobId id : index_.stride(max_server).ResidentJobs()) {
+        const Job& job = env_.jobs.Get(id);
+        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        if (env_.cluster.server(min_server).num_gpus() < job.gang_size) {
+          continue;
+        }
+        const double tickets = index_.stride(max_server).TicketsOf(id);
+        const double new_src = max_load - tickets / src_gpus;
+        const double new_dst = min_load + tickets / dst_gpus;
+        if (new_dst >= max_load) {
+          continue;  // would just swap the hot spot
+        }
+        const double gap = std::abs(new_src - new_dst);
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = id;
+        }
+      }
+      if (!best.valid()) {
+        break;
+      }
+      pending[min_server] += index_.stride(max_server).TicketsOf(best);
+      host_.StartMigration(best, min_server, MigrationCause::kBalance);
+    }
+  }
+}
+
+void LoadBalancer::DrainBatch() {
+  if (!index_.AnyDraining()) {
+    return;
+  }
+  const SimTime now = env_.sim.Now();
+  for (size_t s = 0; s < index_.num_servers(); ++s) {
+    const ServerId source(static_cast<uint32_t>(s));
+    if (!index_.draining(source)) {
+      continue;
+    }
+    const cluster::GpuGeneration gen = env_.cluster.server(source).generation();
+    // Bounded batch: residents leave over successive balance ticks so the
+    // migration network is not swamped.
+    int budget = config_.max_migrations_per_round;
+    // Copy: StartMigration below removes jobs from this stride scheduler,
+    // invalidating its cached resident vector.
+    const std::vector<JobId> resident = index_.stride(source).ResidentJobs();
+    for (JobId id : resident) {
+      if (budget <= 0) {
+        break;
+      }
+      const Job& job = env_.jobs.Get(id);
+      // Least-loaded non-draining server of the pool that fits the gang —
+      // one ordered-set walk instead of a full pool scan.
+      const ServerId dest = index_.LeastLoadedServer(gen, job.gang_size, source);
+      if (!dest.valid()) {
+        GFAIR_WLOG << "drain: no destination for job " << id << " at "
+                   << FormatDuration(now) << "; leaving it in place";
+        continue;
+      }
+      host_.StartMigration(id, dest, MigrationCause::kBalance);
+      --budget;
+    }
+  }
+}
+
+}  // namespace gfair::sched

@@ -1,4 +1,5 @@
-// Central placement and migration plumbing for GandivaFairScheduler.
+#include "sched/placement_engine.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -8,7 +9,6 @@
 
 namespace gfair::sched {
 
-using cluster::GenerationIndex;
 using cluster::GpuGeneration;
 using workload::Job;
 
@@ -18,7 +18,15 @@ namespace {
 constexpr double kEntitlementFloor = 0.01;
 }  // namespace
 
-ServerId GandivaFairScheduler::ChoosePlacement(const Job& job) const {
+PlacementEngine::PlacementEngine(const SchedulerEnv& env, const GandivaFairConfig& config,
+                                 ClusterStateIndex& index, ResidencyIndex& residency,
+                                 ISchedulerHost& host)
+    : env_(env), config_(config), index_(index), residency_(residency), host_(host) {
+  last_steal_.assign(static_cast<size_t>(env_.cluster.num_servers()),
+                     -(int64_t{1} << 60));
+}
+
+ServerId PlacementEngine::ChoosePlacement(const Job& job) const {
   // Pool choice: keep the user's per-pool resident demand proportional to its
   // per-pool entitlement, preferring faster generations on ties (we iterate
   // fastest-first and only accept strictly better scores).
@@ -38,20 +46,22 @@ ServerId GandivaFairScheduler::ChoosePlacement(const Job& job) const {
     // saturated, ticket load is the signal: a new job's realized share is
     // its tickets relative to its server's ticket density, so packing by
     // "fewest jobs" would herd heavy-ticket users together and dilute them.
+    // The scan stays linear in the pool size (the two-key epsilon comparison
+    // has no total order to index on), but each load read is O(1) now.
     ServerId candidate = ServerId::Invalid();
     double candidate_demand = std::numeric_limits<double>::infinity();
     double candidate_tickets = std::numeric_limits<double>::infinity();
     for (ServerId id : env_.cluster.servers_of(gen)) {
       const auto& server = env_.cluster.server(id);
-      if (server.num_gpus() < job.gang_size || IsDraining(id)) {
+      if (server.num_gpus() < job.gang_size || index_.draining(id)) {
         continue;
       }
       const double gpus = server.num_gpus();
       // Saturated servers compare equal on occupancy; below saturation the
       // emptier server wins.
       const double demand_load =
-          std::min(1.0, stride_for(id).DemandLoad() / gpus);
-      const double ticket_load = stride_for(id).TicketLoad() / gpus;
+          std::min(1.0, index_.stride(id).DemandLoad() / gpus);
+      const double ticket_load = index_.stride(id).TicketLoad() / gpus;
       if (demand_load < candidate_demand - 1e-9 ||
           (demand_load < candidate_demand + 1e-9 && ticket_load < candidate_tickets)) {
         candidate_demand = demand_load;
@@ -63,8 +73,8 @@ ServerId GandivaFairScheduler::ChoosePlacement(const Job& job) const {
       continue;
     }
     const double entitlement =
-        std::max(EntitlementGpus(job.user, gen), kEntitlementFloor);
-    const double demand = ResidentDemand(job.user, gen) + job.gang_size;
+        std::max(host_.EntitlementGpus(job.user, gen), kEntitlementFloor);
+    const double demand = residency_.ResidentDemand(job.user, gen) + job.gang_size;
     const double score = demand / entitlement;
     if (score < best_score - 1e-12) {
       best_score = score;
@@ -74,21 +84,21 @@ ServerId GandivaFairScheduler::ChoosePlacement(const Job& job) const {
   return best_server;
 }
 
-void GandivaFairScheduler::TrySteal(ServerId server) {
+void PlacementEngine::TrySteal(ServerId server) {
   const SimTime now = env_.sim.Now();
   GFAIR_CHECK(server.value() < last_steal_.size());
   if (now - last_steal_[server.value()] < config_.quantum) {
     return;  // at most one steal per server per quantum
   }
-  if (IsDraining(server)) {
+  if (index_.draining(server)) {
     return;  // draining servers must not attract work
   }
-  const cluster::Server& host = env_.cluster.server(server);
-  const int free = host.num_free();
+  const cluster::Server& host_server = env_.cluster.server(server);
+  const int free = host_server.num_free();
   if (free <= 0) {
     return;
   }
-  const GpuGeneration gen = host.generation();
+  const GpuGeneration gen = host_server.generation();
 
   // Most oversubscribed peer holding a suspended job that fits our idle
   // GPUs. Same-pool peers first; if none, pull queued work up from SLOWER
@@ -103,13 +113,13 @@ void GandivaFairScheduler::TrySteal(ServerId server) {
       }
       const auto& peer = env_.cluster.server(sid);
       const double overflow =
-          stride_for(sid).DemandLoad() - static_cast<double>(peer.num_gpus());
+          index_.stride(sid).DemandLoad() - static_cast<double>(peer.num_gpus());
       if (overflow <= best_overflow) {
         continue;
       }
       JobId candidate = JobId::Invalid();
       int candidate_gang = 0;
-      for (JobId id : stride_for(sid).ResidentJobs()) {
+      for (JobId id : index_.stride(sid).ResidentJobs()) {
         if (env_.exec.IsRunning(id)) {
           continue;
         }
@@ -120,7 +130,7 @@ void GandivaFairScheduler::TrySteal(ServerId server) {
         if (!env_.zoo.Get(job.model).FitsGeneration(gen)) {
           continue;
         }
-        if (now - job_info_.at(id).last_migration < config_.min_migration_interval) {
+        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
           continue;
         }
         candidate = id;
@@ -133,7 +143,7 @@ void GandivaFairScheduler::TrySteal(ServerId server) {
     }
   };
   scan_pool(gen);
-  if (!best.valid() && ActiveUsers().size() <= 1) {
+  if (!best.valid() && residency_.active_users().size() <= 1) {
     // Cross-pool upgrades are only a pure work-conservation move when a
     // single user is active; with multiple users, cross-pool allocation
     // belongs to the trading engine (stealing here would fight its
@@ -148,29 +158,7 @@ void GandivaFairScheduler::TrySteal(ServerId server) {
   last_steal_[server.value()] = now;
   ++steals_started_;
   GFAIR_DLOG << "steal: job " << best << " -> server " << server;
-  StartMigration(best, server, MigrationCause::kSteal);
-}
-
-void GandivaFairScheduler::StartMigration(JobId id, ServerId dest,
-                                           MigrationCause cause) {
-  JobInfo& info = InfoFor(id);
-  GFAIR_CHECK(!info.migrating);
-  GFAIR_CHECK(dest.valid() && dest != info.home);
-  const ServerId source = info.home;
-  decisions_.Record(env_.sim.Now(), DecisionFor(cause), id, source, dest);
-
-  if (env_.exec.IsRunning(id)) {
-    StrideFor(source).Charge(id, env_.sim.Now() - info.last_charge);
-    env_.exec.Suspend(id);
-  }
-  DetachResident(id);
-  info.migrating = true;
-  info.last_migration = env_.sim.Now();
-  info.home = dest;  // AttachResident uses this when the migration lands
-  ++migrations_started_;
-  env_.exec.Migrate(id, dest);
-  GFAIR_DLOG << "migrating job " << id << " from server " << source << " to " << dest;
-  FillIdleGpus(source);
+  host_.StartMigration(best, server, MigrationCause::kSteal);
 }
 
 }  // namespace gfair::sched

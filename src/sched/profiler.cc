@@ -11,15 +11,17 @@ using workload::ModelId;
 void ProfileStore::AddSample(ModelId model, GpuGeneration gen, double per_gpu_rate) {
   GFAIR_CHECK(model.valid());
   GFAIR_CHECK(per_gpu_rate > 0.0);
-  profiles_[model][GenerationIndex(gen)].Add(per_gpu_rate);
+  if (model.value() >= profiles_.size()) {
+    profiles_.resize(model.value() + 1);
+  }
+  profiles_[model.value()][GenerationIndex(gen)].Add(per_gpu_rate);
 }
 
 const RunningStats* ProfileStore::Find(ModelId model, GpuGeneration gen) const {
-  auto it = profiles_.find(model);
-  if (it == profiles_.end()) {
+  if (!model.valid() || model.value() >= profiles_.size()) {
     return nullptr;
   }
-  return &it->second[GenerationIndex(gen)];
+  return &profiles_[model.value()][GenerationIndex(gen)];
 }
 
 bool ProfileStore::HasEstimate(ModelId model, GpuGeneration gen) const {

@@ -16,7 +16,7 @@
 #define GFAIR_SCHED_PROFILER_H_
 
 #include <cstddef>
-#include <unordered_map>
+#include <vector>
 
 #include "cluster/gpu.h"
 #include "common/stats.h"
@@ -49,7 +49,11 @@ class ProfileStore {
   const RunningStats* Find(workload::ModelId model, cluster::GpuGeneration gen) const;
 
   size_t min_samples_;
-  std::unordered_map<workload::ModelId, cluster::PerGeneration<RunningStats>> profiles_;
+  // Indexed by model id (model ids are dense, assigned by ModelZoo). A
+  // default-constructed RunningStats (zero samples) is indistinguishable from
+  // an absent profile, so no separate presence flag is needed. AddSample runs
+  // once per collected throughput sample every quantum — hot path.
+  std::vector<cluster::PerGeneration<RunningStats>> profiles_;
 };
 
 }  // namespace gfair::sched

@@ -1,0 +1,38 @@
+// ISchedulerHost — the facade services shared by the GandivaFair subsystems.
+//
+// PlacementEngine, LoadBalancer and TradeCoordinator all need a small set of
+// cross-cutting operations that belong to the facade because they touch
+// several subsystems at once: starting a migration (decision log + residency
+// + executor + work conservation at the source), the entitlement computation
+// (ticket matrix x active users), and the per-job ticket refresh. Depending
+// on this narrow interface instead of the facade keeps the subsystems
+// acyclic and unit-testable against a stub.
+#ifndef GFAIR_SCHED_SCHEDULER_HOST_H_
+#define GFAIR_SCHED_SCHEDULER_HOST_H_
+
+#include "cluster/gpu.h"
+#include "common/types.h"
+#include "sched/decision_log.h"
+
+namespace gfair::sched {
+
+class ISchedulerHost {
+ public:
+  virtual ~ISchedulerHost() = default;
+
+  // Suspends (if running), detaches, and ships `id` to `dest`, recording the
+  // decision under `cause`. Precondition: not already migrating, dest valid
+  // and different from the current home.
+  virtual void StartMigration(JobId id, ServerId dest, MigrationCause cause) = 0;
+
+  // User's current entitlement (in GPUs) on a pool, given active users.
+  virtual double EntitlementGpus(UserId user, cluster::GpuGeneration gen) const = 0;
+
+  // Recomputes every resident job's stride tickets from the ticket matrix
+  // (after a trading epoch reshaped pool tickets).
+  virtual void RefreshAllTickets() = 0;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_SCHEDULER_HOST_H_

@@ -1,6 +1,7 @@
 #include "sched/stride.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace gfair::sched {
@@ -10,30 +11,65 @@ LocalStrideScheduler::LocalStrideScheduler(int num_gpus, StrideConfig config)
   GFAIR_CHECK(num_gpus_ > 0);
 }
 
+void LocalStrideScheduler::InvalidateAggregates(bool membership_changed) {
+  ticket_load_dirty_ = true;
+  if (membership_changed) {
+    resident_dirty_ = true;
+  }
+}
+
 void LocalStrideScheduler::AddJob(JobId id, int gang_size, double tickets) {
   GFAIR_CHECK(id.valid());
   GFAIR_CHECK_MSG(gang_size >= 1 && gang_size <= num_gpus_, "gang cannot fit this server");
   GFAIR_CHECK(tickets > 0.0);
-  GFAIR_CHECK_MSG(entries_.count(id) == 0, "job already resident");
-  entries_.emplace(id, Entry{gang_size, tickets, virtual_time_, true});
+  GFAIR_CHECK_MSG(FindEntry(id) == entries_.end(), "job already resident");
+  entries_.emplace_back(id, Entry{gang_size, tickets, virtual_time_, true});
+  if (id.value() >= index_of_.size()) {
+    index_of_.resize(id.value() + 1, 0);
+  }
+  index_of_[id.value()] = static_cast<uint32_t>(entries_.size());
+  ticket_load_shadow_ += tickets;
+  demand_load_ += gang_size;
+  InvalidateAggregates(/*membership_changed=*/true);
 }
 
 void LocalStrideScheduler::RemoveJob(JobId id) {
-  const size_t erased = entries_.erase(id);
-  GFAIR_CHECK_MSG(erased == 1, "RemoveJob on unknown job");
+  auto it = FindEntry(id);
+  GFAIR_CHECK_MSG(it != entries_.end(), "RemoveJob on unknown job");
+  if (it->second.runnable) {
+    ticket_load_shadow_ -= it->second.tickets;
+    demand_load_ -= it->second.gang_size;
+  }
+  const size_t pos = static_cast<size_t>(it - entries_.begin());
+  entries_.erase(it);
+  index_of_[id.value()] = 0;
+  for (size_t i = pos; i < entries_.size(); ++i) {
+    index_of_[entries_[i].first.value()] = static_cast<uint32_t>(i + 1);
+  }
+  InvalidateAggregates(/*membership_changed=*/true);
   UpdateVirtualTime();
 }
 
 void LocalStrideScheduler::SetTickets(JobId id, double tickets) {
   GFAIR_CHECK(tickets > 0.0);
-  auto it = entries_.find(id);
+  auto it = FindEntry(id);
   GFAIR_CHECK(it != entries_.end());
+  if (it->second.runnable) {
+    ticket_load_shadow_ += tickets - it->second.tickets;
+  }
   it->second.tickets = tickets;
+  InvalidateAggregates(/*membership_changed=*/false);
 }
 
 void LocalStrideScheduler::SetRunnable(JobId id, bool runnable) {
-  auto it = entries_.find(id);
+  auto it = FindEntry(id);
   GFAIR_CHECK(it != entries_.end());
+  if (it->second.runnable != runnable) {
+    const double sign = runnable ? 1.0 : -1.0;
+    ticket_load_shadow_ += sign * it->second.tickets;
+    demand_load_ += (runnable ? 1 : -1) * it->second.gang_size;
+    InvalidateAggregates(/*membership_changed=*/false);
+  }
   it->second.runnable = runnable;
   if (runnable) {
     // Re-entering jobs (e.g. back from a probe) must not have fallen behind
@@ -43,7 +79,7 @@ void LocalStrideScheduler::SetRunnable(JobId id, bool runnable) {
 }
 
 const LocalStrideScheduler::Entry& LocalStrideScheduler::GetEntry(JobId id) const {
-  auto it = entries_.find(id);
+  auto it = FindEntry(id);
   GFAIR_CHECK_MSG(it != entries_.end(), "unknown job");
   return it->second;
 }
@@ -53,33 +89,49 @@ int LocalStrideScheduler::GangOf(JobId id) const { return GetEntry(id).gang_size
 double LocalStrideScheduler::TicketsOf(JobId id) const { return GetEntry(id).tickets; }
 
 double LocalStrideScheduler::TicketLoad() const {
-  double total = 0.0;
-  for (const auto& [id, entry] : entries_) {
-    if (entry.runnable) {
-      total += entry.tickets;
+  if (ticket_load_dirty_) {
+    double total = 0.0;
+    for (const auto& [id, entry] : entries_) {
+      if (entry.runnable) {
+        total += entry.tickets;
+      }
     }
+    // The incremental shadow accumulates rounding error the recompute does
+    // not; it must still track the true sum to within float noise.
+    GFAIR_DCHECK_MSG(
+        std::abs(total - ticket_load_shadow_) <= 1e-6 * std::max(1.0, std::abs(total)),
+        "incremental ticket-load sum drifted from full recompute");
+    ticket_load_cache_ = total;
+    ticket_load_dirty_ = false;
   }
-  return total;
+  return ticket_load_cache_;
 }
 
 int LocalStrideScheduler::DemandLoad() const {
+#ifndef NDEBUG
   int total = 0;
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
       total += entry.gang_size;
     }
   }
-  return total;
+  GFAIR_DCHECK_MSG(total == demand_load_,
+                   "incremental demand-load sum drifted from full recompute");
+#endif
+  return demand_load_;
 }
 
-std::vector<JobId> LocalStrideScheduler::ResidentJobs() const {
-  std::vector<JobId> jobs;
-  jobs.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) {
-    jobs.push_back(id);
+const std::vector<JobId>& LocalStrideScheduler::ResidentJobs() const {
+  if (resident_dirty_) {
+    resident_cache_.clear();
+    resident_cache_.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) {
+      resident_cache_.push_back(id);
+    }
+    std::sort(resident_cache_.begin(), resident_cache_.end());
+    resident_dirty_ = false;
   }
-  std::sort(jobs.begin(), jobs.end());
-  return jobs;
+  return resident_cache_;
 }
 
 void LocalStrideScheduler::UpdateVirtualTime() {
@@ -94,39 +146,43 @@ void LocalStrideScheduler::UpdateVirtualTime() {
   }
 }
 
-std::vector<JobId> LocalStrideScheduler::SelectForQuantum() {
-  UpdateVirtualTime();
-
-  struct Candidate {
-    JobId id;
-    double pass;
-    int gang;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(entries_.size());
+const std::vector<JobId>& LocalStrideScheduler::SelectForQuantum() {
+  // Single walk: advance the virtual time (same update UpdateVirtualTime
+  // performs) and collect runnable candidates. Selection reads entry.pass,
+  // not virtual_time_, so folding the two walks together is behavior-neutral.
+  candidate_scratch_.clear();
+  candidate_scratch_.reserve(entries_.size());
+  const bool big_first = config_.big_job_first;
+  double min_pass = std::numeric_limits<double>::infinity();
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
-      candidates.push_back(Candidate{id, entry.pass, entry.gang_size});
+      min_pass = std::min(min_pass, entry.pass);
+      const uint64_t gang_key =
+          big_first ? ~static_cast<uint64_t>(static_cast<uint32_t>(entry.gang_size))
+                    : static_cast<uint64_t>(static_cast<uint32_t>(entry.gang_size));
+      candidate_scratch_.push_back(
+          Candidate{entry.pass, (gang_key << 32) | id.value(), entry.gang_size});
     }
   }
+  if (min_pass != std::numeric_limits<double>::infinity()) {
+    virtual_time_ = std::max(virtual_time_, min_pass);
+  }
 
-  const bool big_first = config_.big_job_first;
-  std::sort(candidates.begin(), candidates.end(),
-            [big_first](const Candidate& a, const Candidate& b) {
+  // Orders by (pass, gang big/small-first, id) — the tie-break lives in the
+  // packed `tie` key.
+  std::sort(candidate_scratch_.begin(), candidate_scratch_.end(),
+            [](const Candidate& a, const Candidate& b) {
               if (a.pass != b.pass) {
                 return a.pass < b.pass;
               }
-              if (a.gang != b.gang) {
-                return big_first ? a.gang > b.gang : a.gang < b.gang;
-              }
-              return a.id < b.id;
+              return a.tie < b.tie;
             });
 
-  std::vector<JobId> selected;
+  selected_scratch_.clear();
   int free = num_gpus_;
-  for (const Candidate& candidate : candidates) {
+  for (const Candidate& candidate : candidate_scratch_) {
     if (candidate.gang <= free) {
-      selected.push_back(candidate.id);
+      selected_scratch_.push_back(JobId(static_cast<uint32_t>(candidate.tie)));
       free -= candidate.gang;
       if (free == 0) {
         break;
@@ -135,12 +191,12 @@ std::vector<JobId> LocalStrideScheduler::SelectForQuantum() {
     // Jobs that do not fit the remaining capacity are skipped (backfill);
     // their frozen pass keeps them at the head until they fit.
   }
-  return selected;
+  return selected_scratch_;
 }
 
 void LocalStrideScheduler::Charge(JobId id, SimDuration ms) {
   GFAIR_CHECK(ms >= 0);
-  auto it = entries_.find(id);
+  auto it = FindEntry(id);
   GFAIR_CHECK_MSG(it != entries_.end(), "Charge on unknown job");
   Entry& entry = it->second;
   entry.pass += static_cast<double>(ms) * entry.gang_size / entry.tickets;

@@ -25,10 +25,26 @@
 //        accumulate instead of being nibbled away by later jobs.
 //  * New jobs start at the scheduler's virtual time (the minimum pass of
 //    resident jobs) so they neither owe history nor get free credit.
+//
+// Aggregates (ticket load, demand load, the sorted resident set) are cached:
+// they are invalidated by the membership/ticket mutations and recomputed at
+// most once per mutation instead of on every read. Charging a quantum —
+// which reads TicketLoad() once per charged job — is therefore O(jobs) per
+// server instead of O(jobs²). The recompute walks `entries_` in container
+// order — insertion order, stable across platforms — so cached reads are
+// bit-identical to uncached ones; an incrementally maintained shadow sum is
+// asserted against the recompute in debug builds.
+//
+// Entries live in a flat insertion-ordered vector rather than a hash map:
+// per-server job counts are small (tens), so a linear scan over contiguous
+// memory beats hashing on every lookup, and iteration (selection, the
+// aggregate recomputes) is a cache-line walk. This container is on the
+// cluster-wide per-quantum hot path.
 #ifndef GFAIR_SCHED_STRIDE_H_
 #define GFAIR_SCHED_STRIDE_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -58,19 +74,23 @@ class LocalStrideScheduler {
   // Marks a job (not) selectable without unregistering it.
   void SetRunnable(JobId id, bool runnable);
 
-  bool Contains(JobId id) const { return entries_.count(id) > 0; }
+  bool Contains(JobId id) const { return FindEntry(id) != entries_.end(); }
   size_t num_jobs() const { return entries_.size(); }
   int num_gpus() const { return num_gpus_; }
 
   // Sum of tickets over resident runnable jobs — the server's "ticket load"
-  // used by placement and the load balancer.
+  // used by placement and the load balancer. O(1) amortized (cached; see
+  // file comment).
   double TicketLoad() const;
 
-  // Total GPUs demanded by resident runnable jobs.
+  // Total GPUs demanded by resident runnable jobs. O(1) (maintained
+  // incrementally; integer arithmetic, so exact).
   int DemandLoad() const;
 
-  // The set of jobs that should hold GPUs for the next quantum.
-  std::vector<JobId> SelectForQuantum();
+  // The set of jobs that should hold GPUs for the next quantum. Returns a
+  // reference to an internal buffer that the next SelectForQuantum() call on
+  // this instance overwrites — copy it to hold across calls.
+  const std::vector<JobId>& SelectForQuantum();
 
   // Charges `ms` of wall time on the job's whole gang.
   void Charge(JobId id, SimDuration ms);
@@ -79,7 +99,11 @@ class LocalStrideScheduler {
   int GangOf(JobId id) const;
   double TicketsOf(JobId id) const;
   double VirtualTime() const { return virtual_time_; }
-  std::vector<JobId> ResidentJobs() const;
+
+  // Resident jobs sorted by id. Returns a reference to a cached vector that
+  // is invalidated by AddJob/RemoveJob — callers that migrate or remove jobs
+  // while iterating must take a copy first.
+  const std::vector<JobId>& ResidentJobs() const;
 
  private:
   struct Entry {
@@ -88,15 +112,61 @@ class LocalStrideScheduler {
     double pass;
     bool runnable;
   };
+  using EntryList = std::vector<std::pair<JobId, Entry>>;
+
+  // O(1) via index_of_; Charge/SetRunnable/SetTickets run per job per
+  // quantum, so lookups must not scan.
+  EntryList::iterator FindEntry(JobId id) {
+    if (id.valid() && id.value() < index_of_.size() && index_of_[id.value()] != 0) {
+      return entries_.begin() + (index_of_[id.value()] - 1);
+    }
+    return entries_.end();
+  }
+  EntryList::const_iterator FindEntry(JobId id) const {
+    if (id.valid() && id.value() < index_of_.size() && index_of_[id.value()] != 0) {
+      return entries_.begin() + (index_of_[id.value()] - 1);
+    }
+    return entries_.end();
+  }
 
   const Entry& GetEntry(JobId id) const;
   void UpdateVirtualTime();
+  // A membership or ticket mutation changed the aggregates.
+  void InvalidateAggregates(bool membership_changed);
 
   int num_gpus_;
   StrideConfig config_;
-  std::unordered_map<JobId, Entry> entries_;
+  EntryList entries_;
+  // Dense job-id → position+1 in entries_ (0 = absent); sized by the largest
+  // job id ever resident here. Kept in sync by AddJob/RemoveJob.
+  std::vector<uint32_t> index_of_;
   // Monotone floor for newcomer passes; tracks min runnable pass.
   double virtual_time_ = 0.0;
+
+  // --- cached aggregates ---
+  // Authoritative ticket load: lazily recomputed in entries_ order so the
+  // value matches an uncached recompute bit-for-bit.
+  mutable double ticket_load_cache_ = 0.0;
+  mutable bool ticket_load_dirty_ = false;  // empty scheduler sums to 0
+  // Shadow incremental sum, asserted against the recompute in debug builds.
+  double ticket_load_shadow_ = 0.0;
+  // Runnable demand is a sum of small ints — incremental updates are exact.
+  int demand_load_ = 0;
+  mutable std::vector<JobId> resident_cache_;
+  mutable bool resident_dirty_ = false;
+
+  // --- selection scratch (reused across SelectForQuantum calls) ---
+  // `tie` packs the (gang, id) tie-break into one integer — gang key in the
+  // high half (inverted when big_job_first so bigger gangs order first), id
+  // in the low half — so the sort comparator is two flat compares instead of
+  // a three-level branch chain.
+  struct Candidate {
+    double pass;
+    uint64_t tie;
+    int gang;
+  };
+  std::vector<Candidate> candidate_scratch_;
+  std::vector<JobId> selected_scratch_;
 };
 
 }  // namespace gfair::sched

@@ -1,0 +1,246 @@
+#include "sched/trade_coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using cluster::kAllGenerations;
+using workload::Job;
+
+TradeCoordinator::TradeCoordinator(const SchedulerEnv& env,
+                                   const GandivaFairConfig& config,
+                                   ClusterStateIndex& index, ResidencyIndex& residency,
+                                   TicketMatrix& tickets, DecisionLog& decisions,
+                                   ISchedulerHost& host)
+    : env_(env),
+      config_(config),
+      index_(index),
+      residency_(residency),
+      ticket_matrix_(tickets),
+      decisions_(decisions),
+      host_(host),
+      trading_(config.trade) {
+  profiles_ = ProfileStore(config_.profile_min_samples);
+}
+
+void TradeCoordinator::CollectSamples(ServerId server) {
+  const LocalStrideScheduler& stride = index_.stride(server);
+  const GpuGeneration gen = env_.cluster.server(server).generation();
+  for (JobId id : stride.ResidentJobs()) {
+    if (env_.exec.IsRunning(id)) {
+      const Job& job = env_.jobs.Get(id);
+      const double observed = env_.exec.SampleObservedRate(id);
+      profiles_.AddSample(job.model, gen, observed / job.gang_size);
+    }
+  }
+}
+
+bool TradeCoordinator::UserSpeedup(UserId user, GpuGeneration fast,
+                                   GpuGeneration slow, double* out) const {
+  GFAIR_CHECK(out != nullptr);
+  // Demand-weighted mean over the user's resident jobs with usable profiles.
+  double weight_sum = 0.0;
+  double weighted = 0.0;
+  for (GpuGeneration gen : kAllGenerations) {
+    for (JobId id : residency_.PoolJobs(user, gen)) {
+      const Job& job = env_.jobs.Get(id);
+      const auto& model = env_.zoo.Get(job.model);
+      if (!model.FitsGeneration(fast) || !model.FitsGeneration(slow)) {
+        continue;  // this job could not move between these pools
+      }
+      double speedup = 0.0;
+      if (profiles_.Speedup(job.model, fast, slow, &speedup)) {
+        weighted += speedup * job.gang_size;
+        weight_sum += job.gang_size;
+      }
+    }
+  }
+  if (weight_sum <= 0.0) {
+    return false;
+  }
+  // Quantize to 0.25 steps: profile noise on the raw mean flips the
+  // lender/borrower matching between epochs, and every flip costs a round of
+  // residency migrations before the new entitlements are realized. Floor
+  // rather than round — the trade rate is the borrower's speedup, so any
+  // upward bias makes borrowers systematically overpay.
+  *out = std::max(1.0, std::floor(weighted / weight_sum * 4.0) / 4.0);
+  return true;
+}
+
+void TradeCoordinator::RunProbes() {
+  int budget = config_.max_probes_per_epoch;
+  const SimTime now = env_.sim.Now();
+
+  for (UserId user : residency_.active_users()) {
+    if (budget <= 0) {
+      break;
+    }
+    // Snapshot: StartMigration mutates the residency sets.
+    std::vector<JobId> resident;
+    for (GpuGeneration gen : kAllGenerations) {
+      for (JobId id : residency_.PoolJobs(user, gen)) {
+        resident.push_back(id);
+      }
+    }
+    bool probed = false;
+    for (JobId id : resident) {
+      if (probed) {
+        break;
+      }
+      const Job& job = env_.jobs.Get(id);
+      const ResidencyIndex::JobInfo& info = residency_.Info(id);
+      if (now - info.last_migration < config_.min_migration_interval) {
+        continue;
+      }
+      const GpuGeneration current = env_.cluster.server(info.home).generation();
+      for (GpuGeneration missing : kAllGenerations) {
+        if (missing == current || env_.cluster.total_gpus(missing) == 0) {
+          continue;
+        }
+        if (!env_.zoo.Get(job.model).FitsGeneration(missing)) {
+          continue;  // cannot even load there — nothing to profile
+        }
+        if (profiles_.HasEstimate(job.model, missing)) {
+          continue;
+        }
+        // Cheapest server of the missing generation that can host the gang.
+        const ServerId dest = index_.LeastLoadedServer(missing, job.gang_size);
+        if (dest.valid()) {
+          GFAIR_DLOG << "probe: job " << id << " -> " << cluster::GenerationName(missing);
+          host_.StartMigration(id, dest, MigrationCause::kProbe);
+          ++probes_started_;
+          --budget;
+          probed = true;  // one probe per user per epoch
+          break;
+        }
+      }
+    }
+  }
+}
+
+void TradeCoordinator::TradeEpoch() {
+  if (!config_.enable_trading || !env_.cluster.heterogeneous()) {
+    return;
+  }
+  const std::vector<UserId> active = residency_.ActiveUsers();
+  if (active.size() < 2) {
+    // Nobody to trade with: no probes either (a probe strands the lone
+    // user's job on a slower pool with no trade flow to bring it back).
+    ticket_matrix_.ResetToBase();
+    host_.RefreshAllTickets();
+    return;
+  }
+  RunProbes();
+
+  TradeInputs inputs;
+  inputs.active_users = active;
+  for (UserId user : active) {
+    // Matrix base = hierarchy-adjusted effective tickets (== the user's own
+    // tickets when hierarchical sharing is off or the user is ungrouped).
+    inputs.base_tickets[user] = ticket_matrix_.base(user);
+    inputs.total_demand_gpus[user] = residency_.TotalDemand(user);
+  }
+  for (GpuGeneration gen : kAllGenerations) {
+    inputs.pool_sizes[GenerationIndex(gen)] = env_.cluster.total_gpus(gen);
+  }
+  inputs.user_speedup = [this](UserId user, GpuGeneration fast, GpuGeneration slow,
+                               double* out) {
+    return UserSpeedup(user, fast, slow, out);
+  };
+
+  const TradeOutcome outcome = trading_.ComputeEpoch(inputs);
+
+  ticket_matrix_.ResetToBase();
+  if (!outcome.trades.empty()) {
+    // Pool tickets become the traded entitlements (stride normalizes within
+    // each pool, so entitlement GPUs double as tickets).
+    for (const auto& [user, entitlement] : outcome.entitlements) {
+      for (GpuGeneration gen : kAllGenerations) {
+        ticket_matrix_.Set(user, gen,
+                           std::max(entitlement[GenerationIndex(gen)], 0.0));
+      }
+    }
+    executed_trades_.insert(executed_trades_.end(), outcome.trades.begin(),
+                            outcome.trades.end());
+    for (size_t i = 0; i < outcome.trades.size(); ++i) {
+      decisions_.Record(env_.sim.Now(), DecisionType::kTrade, JobId::Invalid());
+    }
+  }
+  host_.RefreshAllTickets();
+  if (!outcome.trades.empty()) {
+    RebalanceResidency(outcome);
+  }
+}
+
+void TradeCoordinator::RebalanceResidency(const TradeOutcome& outcome) {
+  int budget = config_.max_trade_migrations;
+  const SimTime now = env_.sim.Now();
+
+  for (const auto& [user, entitlement] : outcome.entitlements) {
+    while (budget > 0) {
+      cluster::PerGeneration<double> surplus{};
+      for (GpuGeneration gen : kAllGenerations) {
+        surplus[GenerationIndex(gen)] =
+            entitlement[GenerationIndex(gen)] - residency_.ResidentDemand(user, gen);
+      }
+      // Most over-resident pool and most under-used entitlement.
+      size_t over = 0;
+      size_t under = 0;
+      for (size_t g = 1; g < cluster::kNumGenerations; ++g) {
+        if (surplus[g] < surplus[over]) {
+          over = g;
+        }
+        if (surplus[g] > surplus[under]) {
+          under = g;
+        }
+      }
+      // Deadband: entitlements are fractional while residency moves in whole
+      // gangs, so small mismatches are permanent — chasing them would
+      // migrate the same jobs back and forth every epoch.
+      if (surplus[over] > -1.0 || surplus[under] < 1.0) {
+        break;
+      }
+
+      // Smallest gang that the destination surplus still covers.
+      JobId candidate = JobId::Invalid();
+      int candidate_gang = INT32_MAX;
+      for (JobId id : residency_.PoolJobs(user, kAllGenerations[over])) {
+        const Job& job = env_.jobs.Get(id);
+        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+          continue;
+        }
+        if (!env_.zoo.Get(job.model).FitsGeneration(kAllGenerations[under])) {
+          continue;
+        }
+        if (job.gang_size <= surplus[under] && job.gang_size < candidate_gang) {
+          candidate = id;
+          candidate_gang = job.gang_size;
+        }
+      }
+      if (!candidate.valid()) {
+        break;
+      }
+      const GpuGeneration dest_gen = kAllGenerations[under];
+      const ServerId dest = index_.LeastLoadedServer(dest_gen, candidate_gang);
+      if (!dest.valid()) {
+        break;
+      }
+      host_.StartMigration(candidate, dest, MigrationCause::kTrade);
+      --budget;
+    }
+    if (budget <= 0) {
+      break;
+    }
+  }
+}
+
+}  // namespace gfair::sched

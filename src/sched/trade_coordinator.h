@@ -1,0 +1,74 @@
+// TradeCoordinator — profiling, probe migrations and the trading epoch.
+//
+// Owns the ProfileStore (fed transparently from running jobs every quantum),
+// the TradingEngine, and the executed-trade history. Every trade period it
+// covers missing profiles with bounded probe migrations, recomputes the
+// epoch's trades from demand-weighted user speedups, reshapes the ticket
+// matrix to the traded entitlements, and rebalances residency so jobs follow
+// their user's entitlements. Server loads come from the ClusterStateIndex,
+// residency and demand from the ResidencyIndex; migrations and the ticket
+// refresh go through the host.
+#ifndef GFAIR_SCHED_TRADE_COORDINATOR_H_
+#define GFAIR_SCHED_TRADE_COORDINATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/cluster_state_index.h"
+#include "sched/decision_log.h"
+#include "sched/profiler.h"
+#include "sched/residency_index.h"
+#include "sched/scheduler_host.h"
+#include "sched/scheduler_iface.h"
+#include "sched/ticket_matrix.h"
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+struct GandivaFairConfig;
+
+class TradeCoordinator {
+ public:
+  TradeCoordinator(const SchedulerEnv& env, const GandivaFairConfig& config,
+                   ClusterStateIndex& index, ResidencyIndex& residency,
+                   TicketMatrix& tickets, DecisionLog& decisions,
+                   ISchedulerHost& host);
+
+  // Profiling: one observed-rate sample per running job on `server`.
+  void CollectSamples(ServerId server);
+
+  // One trading epoch (probes, trade computation, ticket reshape, residency
+  // rebalancing).
+  void TradeEpoch();
+
+  const ProfileStore& profiles() const { return profiles_; }
+  ProfileStore& mutable_profiles() { return profiles_; }
+  const std::vector<Trade>& executed_trades() const { return executed_trades_; }
+  int64_t probes_started() const { return probes_started_; }
+
+ private:
+  // Demand-weighted mean speedup of the user's profiled resident jobs.
+  bool UserSpeedup(UserId user, cluster::GpuGeneration fast,
+                   cluster::GpuGeneration slow, double* out) const;
+  // Bounded probe migrations to cover generations with no profile estimate.
+  void RunProbes();
+  // Moves jobs toward their users' traded entitlements.
+  void RebalanceResidency(const TradeOutcome& outcome);
+
+  const SchedulerEnv& env_;
+  const GandivaFairConfig& config_;
+  ClusterStateIndex& index_;
+  ResidencyIndex& residency_;
+  TicketMatrix& ticket_matrix_;
+  DecisionLog& decisions_;
+  ISchedulerHost& host_;
+
+  ProfileStore profiles_;
+  TradingEngine trading_;
+  std::vector<Trade> executed_trades_;
+  int64_t probes_started_ = 0;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_TRADE_COORDINATOR_H_

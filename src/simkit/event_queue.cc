@@ -1,33 +1,134 @@
 #include "simkit/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace gfair::simkit {
 
+void EventQueue::CallbackTable::Insert(EventId id, EventCallback callback) {
+  size_t mask;
+  if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+    mask = Grow();
+  } else {
+    mask = slots_.size() - 1;
+  }
+  size_t pos = Home(id, mask);
+  while (slots_[pos].id != 0) {
+    pos = (pos + 1) & mask;
+  }
+  slots_[pos].id = id;
+  slots_[pos].callback = std::move(callback);
+  ++size_;
+}
+
+size_t EventQueue::CallbackTable::Grow() {
+  const size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  const size_t mask = new_cap - 1;
+  for (Slot& slot : old) {
+    if (slot.id != 0) {
+      size_t pos = Home(slot.id, mask);
+      while (slots_[pos].id != 0) {
+        pos = (pos + 1) & mask;
+      }
+      slots_[pos].id = slot.id;
+      slots_[pos].callback = std::move(slot.callback);
+    }
+  }
+  return mask;
+}
+
+size_t EventQueue::CallbackTable::FindSlot(EventId id) const {
+  if (slots_.empty()) {
+    return kNpos;
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t pos = Home(id, mask);
+  while (slots_[pos].id != 0) {
+    if (slots_[pos].id == id) {
+      return pos;
+    }
+    pos = (pos + 1) & mask;
+  }
+  return kNpos;
+}
+
+void EventQueue::CallbackTable::EraseSlot(size_t pos) {
+  const size_t mask = slots_.size() - 1;
+  size_t hole = pos;
+  size_t next = (hole + 1) & mask;
+  // Backward-shift: pull each following cluster member whose probe path
+  // crosses the hole, so lookups stay tombstone-free.
+  while (slots_[next].id != 0) {
+    const size_t home = Home(slots_[next].id, mask);
+    if (((next - home) & mask) >= ((next - hole) & mask)) {
+      slots_[hole].id = slots_[next].id;
+      slots_[hole].callback = std::move(slots_[next].callback);
+      hole = next;
+    }
+    next = (next + 1) & mask;
+  }
+  slots_[hole].id = 0;
+  slots_[hole].callback = nullptr;
+  --size_;
+}
+
+EventCallback EventQueue::CallbackTable::Take(EventId id) {
+  const size_t pos = FindSlot(id);
+  GFAIR_CHECK_MSG(pos != kNpos, "Take() of absent event");
+  EventCallback callback = std::move(slots_[pos].callback);
+  EraseSlot(pos);
+  return callback;
+}
+
+bool EventQueue::CallbackTable::Erase(EventId id) {
+  const size_t pos = FindSlot(id);
+  if (pos == kNpos) {
+    return false;
+  }
+  EraseSlot(pos);
+  return true;
+}
+
+bool EventQueue::CallbackTable::Contains(EventId id) const {
+  return FindSlot(id) != kNpos;
+}
+
 EventId EventQueue::Push(SimTime when, EventCallback callback) {
   GFAIR_CHECK(callback != nullptr);
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(callback));
+  heap_.push_back(Entry{when, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  callbacks_.Insert(id, std::move(callback));
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  if (!callbacks_.Erase(id)) {
     return false;
   }
-  callbacks_.erase(it);
   --live_count_;
+  // ~5:1 tombstone slack: a lower ratio (e.g. 1:1) makes steady cancel
+  // workloads recompact every couple of quanta, and the O(heap) passes start
+  // to show up in tick profiles; memory stays bounded by the live count.
+  if (heap_.size() > 6 * live_count_ + 64) {
+    Compact();
+  }
   return true;
 }
 
+void EventQueue::Compact() {
+  std::erase_if(heap_,
+                [this](const Entry& entry) { return !callbacks_.Contains(entry.id); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+}
+
 void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() &&
-         const_cast<EventQueue*>(this)->callbacks_.find(heap_.top().id) ==
-             const_cast<EventQueue*>(this)->callbacks_.end()) {
-    heap_.pop();
+  while (!heap_.empty() && !callbacks_.Contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+    heap_.pop_back();
   }
 }
 
@@ -36,18 +137,16 @@ SimTime EventQueue::NextTime() const {
   if (heap_.empty()) {
     return kTimeNever;
   }
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::PoppedEvent EventQueue::Pop() {
   DropCancelledHead();
   GFAIR_CHECK_MSG(!heap_.empty(), "Pop() on empty EventQueue");
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(entry.id);
-  GFAIR_CHECK(it != callbacks_.end());
-  PoppedEvent popped{entry.time, entry.id, std::move(it->second)};
-  callbacks_.erase(it);
+  const Entry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  heap_.pop_back();
+  PoppedEvent popped{entry.time, entry.id, callbacks_.Take(entry.id)};
   --live_count_;
   return popped;
 }

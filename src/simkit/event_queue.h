@@ -3,14 +3,17 @@
 // Events are (time, sequence, callback). Sequence numbers break ties so that
 // two events scheduled for the same instant fire in scheduling order, which
 // keeps runs deterministic. Cancellation is lazy: a cancelled event stays in
-// the heap but is skipped on pop.
+// the heap and is skipped on pop — but when tombstones outnumber live events
+// ~5:1 the heap is compacted in one O(n) pass, so workloads that cancel far-future
+// events at a steady rate (every suspend cancels the job's completion event)
+// keep the heap proportional to the live event count instead of growing
+// without bound. Compaction never changes pop order: the heap's (time, id)
+// key is a strict total order.
 #ifndef GFAIR_SIMKIT_EVENT_QUEUE_H_
 #define GFAIR_SIMKIT_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -58,12 +61,52 @@ class EventQueue {
     }
   };
 
-  void DropCancelledHead() const;
+  // Open-addressing hash table from live EventId to its callback. Push and
+  // Cancel run once per executor resume/suspend every quantum, so the table
+  // avoids the per-event node allocation of std::unordered_map: slots live
+  // in one flat array (id 0 = empty; real ids start at 1), probing is
+  // linear, and erase backward-shifts the following cluster so lookups never
+  // need tombstones. Ids are sequential, so the home slot multiplies by an
+  // odd 64-bit constant first — mapping ids directly would lay a burst of
+  // pushes out contiguously, and backward-shift erase walks to the end of a
+  // cluster, turning each cancel O(cluster length).
+  class CallbackTable {
+   public:
+    void Insert(EventId id, EventCallback callback);
+    // Moves the callback out and erases the slot. Precondition: Contains(id).
+    EventCallback Take(EventId id);
+    bool Erase(EventId id);  // false when absent
+    bool Contains(EventId id) const;
+    size_t size() const { return size_; }
 
-  // Heap holds light entries; callbacks live in a side map so cancelled
+   private:
+    struct Slot {
+      EventId id = 0;
+      EventCallback callback;
+    };
+
+    size_t Grow();  // doubles capacity, rehashes; returns new mask
+    size_t FindSlot(EventId id) const;  // index of id's slot, or npos
+    void EraseSlot(size_t pos);
+    static size_t Home(EventId id, size_t mask) {
+      return static_cast<size_t>(id * 0x9E3779B97F4A7C15ULL) & mask;
+    }
+
+    static constexpr size_t kNpos = static_cast<size_t>(-1);
+    std::vector<Slot> slots_;  // power-of-two size (lazily initialized)
+    size_t size_ = 0;
+  };
+
+  void DropCancelledHead() const;
+  // Rebuilds the heap keeping only live entries. O(heap size); amortized
+  // O(1) per cancel since it only runs once tombstones exceed live entries.
+  void Compact();
+
+  // Min-heap over a flat vector (std::push_heap/pop_heap with greater<>) so
+  // it can be compacted in place; callbacks live in a side table so cancelled
   // callbacks release their captures promptly.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<EventId, EventCallback> callbacks_;
+  mutable std::vector<Entry> heap_;
+  CallbackTable callbacks_;
   EventId next_id_ = 1;
   size_t live_count_ = 0;
 };

@@ -17,35 +17,37 @@ EventId Simulator::After(SimDuration delay, EventCallback callback) {
 
 EventId Simulator::Every(SimDuration period, std::function<void()> callback) {
   GFAIR_CHECK(period > 0);
-  // The repeating chain is identified by the id of its *currently pending*
-  // event. A shared cell tracks that id so Cancel() always hits the live one;
-  // callers hold a stable handle via the cell's first id.
-  //
-  // Simpler approach used here: each firing reschedules itself; cancellation
-  // works because the chain shares a "cancelled" flag checked before running.
-  auto cancelled = std::make_shared<bool>(false);
+  // Each firing reschedules itself under a fresh event id; the shared chain
+  // cell records that live id on every re-push so Cancel() — keyed by the
+  // first id, the caller's stable handle — can remove the pending event from
+  // the queue. The cancelled flag additionally guards the (re-entrant) case
+  // where the chain is cancelled from inside its own callback.
+  auto chain = std::make_shared<RepeatingChain>();
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, callback = std::move(callback), cancelled, tick]() {
-    if (*cancelled) {
+  *tick = [this, period, callback = std::move(callback), chain, tick]() {
+    if (chain->cancelled) {
       return;
     }
     callback();
-    if (!*cancelled) {
-      queue_.Push(now_ + period, *tick);
+    if (!chain->cancelled) {
+      chain->live = queue_.Push(now_ + period, *tick);
     }
   };
-  const EventId id = queue_.Push(now_ + period, *tick);
-  repeating_flags_.emplace(id, cancelled);
-  return id;
+  chain->live = queue_.Push(now_ + period, *tick);
+  repeating_chains_.emplace_back(chain->live, chain);
+  return chain->live;
 }
 
 bool Simulator::Cancel(EventId id) {
-  auto it = repeating_flags_.find(id);
-  if (it != repeating_flags_.end()) {
-    *it->second = true;
-    repeating_flags_.erase(it);
-    queue_.Cancel(id);  // may already have fired; flag handles the rest
-    return true;
+  for (auto it = repeating_chains_.begin(); it != repeating_chains_.end(); ++it) {
+    if (it->first == id) {
+      it->second->cancelled = true;
+      // The live id is the chain's current pending event — the original
+      // handle only until the first firing, a fresh id afterwards.
+      queue_.Cancel(it->second->live);
+      repeating_chains_.erase(it);
+      return true;
+    }
   }
   return queue_.Cancel(id);
 }

@@ -9,7 +9,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "simkit/event_queue.h"
@@ -27,7 +28,8 @@ class Simulator {
   EventId After(SimDuration delay, EventCallback callback);
 
   // Schedules `callback` every `period`, first firing at Now() + period.
-  // Returns a handle; CancelRepeating stops future firings.
+  // Returns a stable handle for the whole repeating chain; Cancel(handle)
+  // stops future firings no matter how many times the chain already fired.
   EventId Every(SimDuration period, std::function<void()> callback);
   bool Cancel(EventId id);
 
@@ -46,8 +48,18 @@ class Simulator {
   uint64_t total_events_processed() const { return events_processed_; }
 
  private:
-  // Repeating chains share a cancellation flag; see Every() in the .cc file.
-  std::unordered_map<EventId, std::shared_ptr<bool>> repeating_flags_;
+  // A repeating chain re-pushes itself under a fresh event id on every
+  // firing. The shared cell tracks the chain's currently pending event id so
+  // Cancel() — keyed by the chain's first id — can remove the live event from
+  // the queue instead of leaving a stale callback behind.
+  struct RepeatingChain {
+    bool cancelled = false;
+    EventId live;
+  };
+  // A handful of chains exist at a time (periodic scheduler timers), but
+  // one-shot cancels consult this on the per-quantum path first — a linear
+  // scan beats hashing at this size.
+  std::vector<std::pair<EventId, std::shared_ptr<RepeatingChain>>> repeating_chains_;
   EventQueue queue_;
   SimTime now_ = kTimeZero;
   bool stop_requested_ = false;

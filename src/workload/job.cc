@@ -34,16 +34,6 @@ Job& JobTable::Create(UserId user, ModelId model, int gang_size, double total_mi
   return *jobs_.back();
 }
 
-Job& JobTable::Get(JobId id) {
-  GFAIR_CHECK(Contains(id));
-  return *jobs_[id.value()];
-}
-
-const Job& JobTable::Get(JobId id) const {
-  GFAIR_CHECK(Contains(id));
-  return *jobs_[id.value()];
-}
-
 std::vector<Job*> JobTable::All() {
   std::vector<Job*> out;
   out.reserve(jobs_.size());

@@ -83,8 +83,16 @@ class JobTable {
   Job& Create(UserId user, ModelId model, int gang_size, double total_minibatches,
               SimTime submit_time);
 
-  Job& Get(JobId id);
-  const Job& Get(JobId id) const;
+  // Defined inline: the executor and scheduler look jobs up on every
+  // suspend/resume/charge each quantum.
+  Job& Get(JobId id) {
+    GFAIR_CHECK(Contains(id));
+    return *jobs_[id.value()];
+  }
+  const Job& Get(JobId id) const {
+    GFAIR_CHECK(Contains(id));
+    return *jobs_[id.value()];
+  }
   bool Contains(JobId id) const { return id.valid() && id.value() < jobs_.size(); }
 
   size_t size() const { return jobs_.size(); }

@@ -37,11 +37,6 @@ ModelId ModelZoo::Register(std::string name, cluster::PerGeneration<double> thro
   return id;
 }
 
-const ModelProfile& ModelZoo::Get(ModelId id) const {
-  GFAIR_CHECK(id.valid() && id.value() < models_.size());
-  return models_[id.value()];
-}
-
 const ModelProfile& ModelZoo::GetByName(const std::string& name) const {
   for (const auto& model : models_) {
     if (model.name == name) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/gpu.h"
+#include "common/check.h"
 #include "common/types.h"
 
 namespace gfair::workload {
@@ -62,7 +63,11 @@ class ModelZoo {
                    double checkpoint_gb, double memory_per_gpu_gb,
                    double scaling_efficiency = 0.92);
 
-  const ModelProfile& Get(ModelId id) const;
+  // Defined inline: latency/rate lookups run on every suspend/resume.
+  const ModelProfile& Get(ModelId id) const {
+    GFAIR_CHECK(id.valid() && id.value() < models_.size());
+    return models_[id.value()];
+  }
   // Looks a model up by name; CHECK-fails when absent.
   const ModelProfile& GetByName(const std::string& name) const;
   bool Contains(const std::string& name) const;

@@ -32,8 +32,7 @@ TEST(GpuTest, SpecsArePlausible) {
 TEST(ServerTest, AllocateAndRelease) {
   Server server(ServerId(0), GpuGeneration::kV100, 8);
   EXPECT_EQ(server.num_free(), 8);
-  const auto slots = server.Allocate(JobId(1), 3);
-  EXPECT_EQ(slots.size(), 3u);
+  EXPECT_EQ(server.Allocate(JobId(1), 3), 3);
   EXPECT_EQ(server.num_free(), 5);
   EXPECT_EQ(server.CountHeldBy(JobId(1)), 3);
   EXPECT_EQ(server.Release(JobId(1)), 3);

@@ -97,6 +97,36 @@ TEST(DrainTest, DrainingWholePoolLeavesJobsInPlace) {
   EXPECT_TRUE(exp.exec().IsRunning(exp.jobs().All()[0]->id));
 }
 
+TEST(DrainTest, WorkStealingNeverTargetsDrainingServer) {
+  // A draining server's idle GPUs are permanent steal bait: its residents
+  // leave, the rest of the pool stays oversubscribed, and every quantum the
+  // stealer sees free GPUs next to overflowing peers. The draining guard in
+  // TrySteal must hold for the whole drain, or evacuation livelocks (jobs
+  // stolen back onto the server being emptied).
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(3, 4);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 20; ++i) {
+    exp.SubmitAt(Seconds(i), a.id, "DCGAN", 1, Hours(1000));
+  }
+  exp.Run(Minutes(5));
+  const ServerId victim(0);
+  const SimTime drain_start = exp.sim().Now();
+  exp.gandiva()->DrainServer(victim);
+  exp.Run(Hours(2));
+
+  // The drain completed even though the pool remained oversubscribed...
+  EXPECT_EQ(ResidentsOn(exp, victim), 0);
+  // ...and no steal ever landed on the draining server.
+  for (const Decision& d : exp.gandiva()->decisions().entries()) {
+    if (d.type == DecisionType::kMigrateSteal && d.time >= drain_start) {
+      EXPECT_NE(d.to, victim) << "steal targeted a draining server at " << d.time;
+    }
+  }
+}
+
 TEST(DrainTest, FairnessHoldsDuringDrain) {
   ExperimentConfig config;
   config.topology = cluster::HomogeneousTopology(4, 4);

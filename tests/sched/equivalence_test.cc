@@ -1,0 +1,173 @@
+// Decision-log equivalence: the refactored subsystem-based scheduler must
+// make exactly the decisions the pre-refactor monolith made. Both
+// implementations run in-process on the same fixed-seed scenarios and their
+// DecisionLog streams are compared entry by entry (plus lifetime counters
+// and job completion times). Running the frozen oracle live — instead of
+// golden files — keeps the comparison valid across platforms whose hash
+// containers iterate in different orders, since both schedulers share them.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "analysis/harness.h"
+#include "legacy_gandiva_fair.h"
+#include "sched/gandiva_fair.h"
+
+namespace gfair::sched {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+
+struct RunResult {
+  std::vector<Decision> entries;
+  std::array<int64_t, kNumDecisionTypes> counts{};
+  int64_t migrations = 0;
+  int64_t steals = 0;
+  std::vector<SimTime> finish_times;  // indexed by job id; kTimeZero if unfinished
+};
+
+// Runs `scenario(exp, sched)` with a scheduler of type SchedT and collects
+// its decision stream. The scenario must be fully deterministic.
+template <typename SchedT, typename Scenario>
+RunResult RunWith(const ExperimentConfig& config, const GandivaFairConfig& gf_config,
+                  Scenario&& scenario) {
+  Experiment exp(config);
+  SchedT* sched = nullptr;
+  exp.UseCustomScheduler([&](const SchedulerEnv& env) {
+    auto owned = std::make_unique<SchedT>(env, gf_config);
+    sched = owned.get();
+    return owned;
+  });
+  scenario(exp, *sched);
+
+  RunResult result;
+  result.entries.assign(sched->decisions().entries().begin(),
+                        sched->decisions().entries().end());
+  for (size_t t = 0; t < kNumDecisionTypes; ++t) {
+    result.counts[t] = sched->decisions().Count(static_cast<DecisionType>(t));
+  }
+  result.migrations = sched->migrations_started();
+  result.steals = sched->steals_started();
+  for (const auto* job : exp.jobs().All()) {
+    result.finish_times.push_back(job->finished() ? job->finish_time : kTimeZero);
+  }
+  return result;
+}
+
+void ExpectIdentical(const RunResult& legacy, const RunResult& refactored) {
+  for (size_t t = 0; t < kNumDecisionTypes; ++t) {
+    EXPECT_EQ(legacy.counts[t], refactored.counts[t])
+        << "decision count diverged for "
+        << DecisionTypeName(static_cast<DecisionType>(t));
+  }
+  EXPECT_EQ(legacy.migrations, refactored.migrations);
+  EXPECT_EQ(legacy.steals, refactored.steals);
+
+  ASSERT_EQ(legacy.entries.size(), refactored.entries.size());
+  for (size_t i = 0; i < legacy.entries.size(); ++i) {
+    const Decision& a = legacy.entries[i];
+    const Decision& b = refactored.entries[i];
+    ASSERT_TRUE(a.time == b.time && a.type == b.type && a.job == b.job &&
+                a.from == b.from && a.to == b.to)
+        << "decision " << i << " diverged: legacy {t=" << a.time << " "
+        << DecisionTypeName(a.type) << " job=" << a.job << " from=" << a.from
+        << " to=" << a.to << "} vs refactored {t=" << b.time << " "
+        << DecisionTypeName(b.type) << " job=" << b.job << " from=" << b.from
+        << " to=" << b.to << "}";
+  }
+
+  ASSERT_EQ(legacy.finish_times.size(), refactored.finish_times.size());
+  for (size_t i = 0; i < legacy.finish_times.size(); ++i) {
+    EXPECT_EQ(legacy.finish_times[i], refactored.finish_times[i])
+        << "finish time diverged for job " << i;
+  }
+}
+
+// E6-style homogeneous scenario: 25x8 V100s, four users with uneven weights
+// and gang sizes, arrivals staggered so placements see evolving loads, a
+// mid-run drain/undrain cycle, and enough churn (finite jobs) to exercise
+// stealing, both balancer passes, and the hierarchy refresh.
+template <typename ExpT, typename SchedT>
+void HomogeneousScenario(ExpT& exp, SchedT& sched) {
+  auto& a = exp.users().Create("a", 2.0);
+  auto& b = exp.users().Create("b", 1.0);
+  auto& c = exp.users().CreateInGroup("c", "team", 1.0);
+  auto& d = exp.users().CreateInGroup("d", "team", 1.0);
+
+  const char* models[] = {"DCGAN", "ResNet-50", "GRU-LM", "Transformer"};
+  const int gangs[] = {1, 2, 4, 8, 1, 2, 1, 4};
+  const UserId users[] = {a.id, b.id, c.id, d.id};
+  for (int i = 0; i < 56; ++i) {
+    exp.SubmitAt(Minutes(2 * i), users[i % 4], models[i % 4], gangs[i % 8],
+                 Hours(2 + (i % 5)));
+  }
+  exp.Run(Hours(1));
+  sched.DrainServer(ServerId(3));
+  sched.DrainServer(ServerId(17));
+  exp.Run(Hours(2));
+  sched.UndrainServer(ServerId(3));
+  sched.UndrainServer(ServerId(17));
+  for (int i = 0; i < 24; ++i) {
+    exp.SubmitAt(Hours(2) + Minutes(7 * i), users[(i + 1) % 4], models[(i + 2) % 4],
+                 gangs[i % 8], Hours(1 + (i % 3)));
+  }
+  exp.Run(Hours(6));
+}
+
+// Heterogeneous paper-scale scenario: trading epochs, probe migrations and
+// residency rebalancing all fire (different users concentrated on different
+// generations with different model speedup profiles).
+template <typename ExpT, typename SchedT>
+void HeterogeneousScenario(ExpT& exp, SchedT& /*sched*/) {
+  auto& a = exp.users().Create("a", 1.0);
+  auto& b = exp.users().Create("b", 1.0);
+  auto& c = exp.users().Create("c", 2.0);
+
+  // User a: steep generation speedups (wants fast pools). User b: shallow
+  // speedups (happy to lend fast capacity). Both hold long-lived demand so
+  // trades persist across epochs; user c adds finite-job churn. Total demand
+  // oversubscribes the 200-GPU cluster so pool tickets actually contend.
+  for (int i = 0; i < 40; ++i) {
+    exp.SubmitAt(Minutes(3 * i), a.id, "ResNeXt-50", 1 + (i % 4), Hours(500));
+    exp.SubmitAt(Minutes(3 * i + 1), b.id, "VAE", 1 + (i % 2), Hours(500));
+  }
+  for (int i = 0; i < 20; ++i) {
+    exp.SubmitAt(Minutes(5 * i + 2), c.id, "Transformer", 2 * (1 + (i % 2)),
+                 Hours(4 + (i % 3)));
+  }
+  exp.Run(Hours(6));
+}
+
+TEST(EquivalenceTest, HomogeneousDecisionStreamMatchesLegacy) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(25, 8);
+  const GandivaFairConfig gf;
+  const RunResult legacy = RunWith<LegacyGandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { HomogeneousScenario(exp, s); });
+  const RunResult refactored = RunWith<GandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { HomogeneousScenario(exp, s); });
+  // The scenario must actually exercise the mechanisms under test.
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kPlace)], 0);
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kSuspend)], 0);
+  EXPECT_GT(legacy.migrations, 0);
+  ExpectIdentical(legacy, refactored);
+}
+
+TEST(EquivalenceTest, HeterogeneousTradingDecisionStreamMatchesLegacy) {
+  ExperimentConfig config;
+  config.topology = cluster::PaperScaleTopology();
+  const GandivaFairConfig gf;
+  const RunResult legacy = RunWith<LegacyGandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { HeterogeneousScenario(exp, s); });
+  const RunResult refactored = RunWith<GandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { HeterogeneousScenario(exp, s); });
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kTrade)], 0);
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kMigrateProbe)], 0);
+  ExpectIdentical(legacy, refactored);
+}
+
+}  // namespace
+}  // namespace gfair::sched

@@ -223,6 +223,61 @@ TEST(StrideTest, VirtualTimeMonotone) {
   EXPECT_GE(stride.PassOf(JobId(1)), vt);
 }
 
+TEST(StrideTest, CachedLoadsTrackMutations) {
+  // TicketLoad/DemandLoad are cached; every mutation class must invalidate
+  // (or incrementally update) them. In debug builds the cached ticket load is
+  // additionally asserted against an incremental shadow sum on every read.
+  LocalStrideScheduler stride(8);
+  stride.AddJob(JobId(0), 2, 1.5);
+  stride.AddJob(JobId(1), 4, 2.5);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 4.0);
+  EXPECT_EQ(stride.DemandLoad(), 6);
+
+  stride.SetTickets(JobId(0), 3.5);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 6.0);
+
+  stride.SetRunnable(JobId(1), false);  // non-runnable jobs leave both loads
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 3.5);
+  EXPECT_EQ(stride.DemandLoad(), 2);
+  stride.SetRunnable(JobId(1), true);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 6.0);
+  EXPECT_EQ(stride.DemandLoad(), 6);
+
+  stride.RemoveJob(JobId(0));
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 2.5);
+  EXPECT_EQ(stride.DemandLoad(), 4);
+  stride.RemoveJob(JobId(1));
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 0.0);
+  EXPECT_EQ(stride.DemandLoad(), 0);
+
+  // Charging mutates passes only — loads must be unaffected (and readable
+  // between charges without a recompute).
+  stride.AddJob(JobId(2), 3, 1.25);
+  const double before = stride.TicketLoad();
+  stride.Charge(JobId(2), 1000);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad(), before);
+  EXPECT_EQ(stride.DemandLoad(), 3);
+}
+
+TEST(StrideTest, ResidentJobsCachedViewStaysSortedAndFresh) {
+  LocalStrideScheduler stride(8);
+  stride.AddJob(JobId(5), 1, 1.0);
+  stride.AddJob(JobId(1), 1, 1.0);
+  stride.AddJob(JobId(9), 1, 1.0);
+  const std::vector<JobId> expected{JobId(1), JobId(5), JobId(9)};
+  EXPECT_EQ(stride.ResidentJobs(), expected);
+  // Repeated reads return the same cached vector (no rebuild).
+  const std::vector<JobId>* first = &stride.ResidentJobs();
+  EXPECT_EQ(first, &stride.ResidentJobs());
+
+  stride.RemoveJob(JobId(5));
+  const std::vector<JobId> after{JobId(1), JobId(9)};
+  EXPECT_EQ(stride.ResidentJobs(), after);
+  stride.AddJob(JobId(0), 2, 1.0);
+  const std::vector<JobId> again{JobId(0), JobId(1), JobId(9)};
+  EXPECT_EQ(stride.ResidentJobs(), again);
+}
+
 TEST(StrideDeathTest, InvalidOperations) {
   LocalStrideScheduler stride(4);
   EXPECT_DEATH(stride.AddJob(JobId(0), 5, 1.0), "fit");

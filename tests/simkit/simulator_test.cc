@@ -71,6 +71,39 @@ TEST(SimulatorTest, CancelRepeatingStopsChain) {
   EXPECT_EQ(fires, 2);
 }
 
+TEST(SimulatorTest, CancelAfterFiringRemovesPendingEvent) {
+  // A repeating chain re-pushes itself under fresh event ids; cancelling by
+  // the original handle after firings must remove the chain's live pending
+  // event from the queue, not just tombstone it — otherwise every cancelled
+  // chain leaves a dead event behind and Run() never drains.
+  Simulator sim;
+  int fires = 0;
+  const EventId id = sim.Every(10, [&] { ++fires; });
+  sim.RunUntil(25);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);  // the chain's next firing at t=30
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Run();  // drains immediately: no stale callback left
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.Now(), 25);
+}
+
+TEST(SimulatorTest, CancelRepeatingFromInsideCallback) {
+  Simulator sim;
+  int fires = 0;
+  EventId id{};
+  id = sim.Every(10, [&] {
+    ++fires;
+    if (fires == 3) {
+      EXPECT_TRUE(sim.Cancel(id));
+    }
+  });
+  sim.RunUntil(200);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(SimulatorTest, CancelOneShot) {
   Simulator sim;
   bool fired = false;
