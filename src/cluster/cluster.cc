@@ -65,6 +65,18 @@ Cluster::Cluster(const Topology& topology) {
       total_gpus_ += group.gpus_per_server;
     }
   }
+  up_gpus_per_gen_ = gpus_per_gen_;
+  up_gpus_ = total_gpus_;
+  num_up_servers_ = num_servers();
+}
+
+void Cluster::SetServerUp(ServerId id, bool up) {
+  Server& target = server(id);
+  target.set_up(up);  // CHECKs against redundant transitions
+  const int delta = up ? target.num_gpus() : -target.num_gpus();
+  up_gpus_per_gen_[GenerationIndex(target.generation())] += delta;
+  up_gpus_ += delta;
+  num_up_servers_ += up ? 1 : -1;
 }
 
 bool Cluster::heterogeneous() const {

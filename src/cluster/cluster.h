@@ -1,8 +1,10 @@
 // Cluster — the full set of servers, grouped by GPU generation.
 //
-// Built once from a topology description; servers are stable for the life of
-// the run (the paper does not model server failures, and neither do we —
-// failure injection in tests goes through job-level events instead).
+// Built once from a topology description; the server *set* is stable for the
+// life of the run, but individual servers can go down and come back
+// (SetServerUp), modeling whole-node failures on the paper's 200-GPU
+// testbed. The cluster keeps O(1) per-generation up-capacity counters so
+// entitlement math can shrink pools to surviving capacity without scanning.
 #ifndef GFAIR_CLUSTER_CLUSTER_H_
 #define GFAIR_CLUSTER_CLUSTER_H_
 
@@ -50,6 +52,16 @@ class Cluster {
   int num_servers() const { return static_cast<int>(servers_.size()); }
   int total_gpus() const { return total_gpus_; }
   int total_gpus(GpuGeneration gen) const { return gpus_per_gen_[GenerationIndex(gen)]; }
+
+  // --- availability ---
+  // Flips a server's up/down flag, maintaining the up-capacity counters.
+  // Only the Executor's FailServer/RecoverServer should call this: taking a
+  // server down has evacuation mechanics that live there.
+  void SetServerUp(ServerId id, bool up);
+  int num_up_servers() const { return num_up_servers_; }
+  // GPUs on up servers (== total_gpus when nothing is down). O(1).
+  int up_gpus() const { return up_gpus_; }
+  int up_gpus(GpuGeneration gen) const { return up_gpus_per_gen_[GenerationIndex(gen)]; }
   // True when the cluster hosts more than one generation.
   bool heterogeneous() const;
 
@@ -78,7 +90,10 @@ class Cluster {
   std::vector<Server> servers_;
   PerGeneration<std::vector<ServerId>> servers_by_gen_;
   PerGeneration<int> gpus_per_gen_{};
+  PerGeneration<int> up_gpus_per_gen_{};
   int total_gpus_ = 0;
+  int up_gpus_ = 0;
+  int num_up_servers_ = 0;
 };
 
 }  // namespace gfair::cluster

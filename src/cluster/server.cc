@@ -11,6 +11,7 @@ Server::Server(ServerId id, GpuGeneration generation, int num_gpus)
 int Server::Allocate(JobId job, int count) {
   GFAIR_CHECK(job.valid());
   GFAIR_CHECK(count > 0);
+  GFAIR_CHECK_MSG(up_, "Allocate() on a down server");
   GFAIR_CHECK_MSG(CanFit(count), "Allocate() without room");
   // Single walk claims free slots and checks the job holds none (CountHeldBy
   // up front would walk the slots a second time on the per-quantum path).
@@ -50,6 +51,11 @@ int Server::CountHeldBy(JobId job) const {
     }
   }
   return held;
+}
+
+void Server::set_up(bool up) {
+  GFAIR_CHECK_MSG(up_ != up, "server already in the requested state");
+  up_ = up;
 }
 
 }  // namespace gfair::cluster

@@ -3,6 +3,12 @@
 // Servers track which job occupies each GPU slot. A gang must fit entirely on
 // one server (the paper's jobs are single-server gangs; multi-server jobs are
 // out of scope, as in Gandiva_fair's evaluation workloads).
+//
+// A server is also the unit of failure: the up/down flag models whole-node
+// loss (power, NIC, host OS). The flag itself carries no mechanics — the
+// Executor evacuates jobs when it takes a server down, and the scheduler's
+// ClusterStateIndex mirrors the flag so placement never targets a down
+// server. Allocation on a down server is a programming error.
 #ifndef GFAIR_CLUSTER_SERVER_H_
 #define GFAIR_CLUSTER_SERVER_H_
 
@@ -23,6 +29,7 @@ class Server {
   int num_gpus() const { return static_cast<int>(occupants_.size()); }
   int num_free() const { return num_free_; }
   int num_busy() const { return num_gpus() - num_free_; }
+  bool up() const { return up_; }
 
   // Occupant of local GPU slot `index`; JobId::Invalid() when free.
   JobId occupant(int index) const {
@@ -46,11 +53,19 @@ class Server {
   // Number of slots currently held by `job`.
   int CountHeldBy(JobId job) const;
 
+  // Flips the availability flag. Go through Cluster::SetServerUp (which keeps
+  // the per-generation up-capacity counters in sync) rather than calling this
+  // directly. Going down does not release slots — the Executor marks the
+  // server down first and then evacuates, so lost gangs are accounted while
+  // the machine is already unplaceable.
+  void set_up(bool up);
+
  private:
   ServerId id_;
   GpuGeneration generation_;
   std::vector<JobId> occupants_;
   int num_free_;
+  bool up_ = true;
 };
 
 }  // namespace gfair::cluster

@@ -15,7 +15,13 @@ using workload::JobState;
 Executor::Executor(simkit::Simulator& sim, cluster::Cluster& cluster,
                    const workload::ModelZoo& zoo, workload::JobTable& jobs,
                    ExecutorConfig config, uint64_t seed)
-    : sim_(sim), cluster_(cluster), zoo_(zoo), jobs_(jobs), config_(config), rng_(seed) {}
+    : sim_(sim),
+      cluster_(cluster),
+      zoo_(zoo),
+      jobs_(jobs),
+      config_(config),
+      rng_(seed),
+      fault_rng_(seed ^ 0x9E3779B97F4A7C15ULL) {}
 
 SimDuration Executor::SuspendLatency(workload::ModelId model) const {
   const auto& profile = zoo_.Get(model);
@@ -37,6 +43,7 @@ void Executor::MakeResident(JobId id, ServerId server) {
   Job& job = jobs_.Get(id);
   GFAIR_CHECK_MSG(job.state == JobState::kQueued, "MakeResident requires a queued job");
   const auto& target = cluster_.server(server);
+  GFAIR_CHECK_MSG(target.up(), "MakeResident on a down server");
   GFAIR_CHECK_MSG(job.gang_size <= target.num_gpus(),
                   "gang cannot ever fit on this server");
   GFAIR_CHECK_MSG(zoo_.Get(job.model).FitsGeneration(target.generation()),
@@ -63,6 +70,7 @@ void Executor::Resume(JobId id) {
   Job& job = jobs_.Get(id);
   GFAIR_CHECK_MSG(job.state == JobState::kSuspended, "Resume requires a suspended job");
   cluster::Server& server = cluster_.server(job.server);
+  GFAIR_CHECK_MSG(server.up(), "Resume on a down server");
   GFAIR_CHECK_MSG(server.CanFit(job.gang_size), "Resume without free GPUs");
   server.Allocate(id, job.gang_size);
 
@@ -179,6 +187,7 @@ void Executor::Migrate(JobId id, ServerId dest) {
                   "Migrate requires a suspended job (suspend first)");
   GFAIR_CHECK(dest.valid() && dest != job.server);
   const cluster::Server& target = cluster_.server(dest);
+  GFAIR_CHECK_MSG(target.up(), "Migrate to a down server");
   GFAIR_CHECK_MSG(job.gang_size <= target.num_gpus(), "gang cannot fit on destination");
   GFAIR_CHECK_MSG(zoo_.Get(job.model).FitsGeneration(target.generation()),
                   "model does not fit destination generation's GPU memory");
@@ -196,17 +205,109 @@ void Executor::Migrate(JobId id, ServerId dest) {
   job.num_migrations += 1;
   job.checkpointed_minibatches = job.completed_minibatches;
   migrations_in_flight_ += 1;
-  sim_.After(latency, [this, id, dest]() {
-    Job& moved = jobs_.Get(id);
-    GFAIR_CHECK(moved.state == JobState::kMigrating);
-    migrations_in_flight_ -= 1;
-    GFAIR_CHECK(migrations_in_flight_ >= 0);
+  sim_.After(latency, [this, id, dest]() { FinishMigration(id, dest); });
+}
+
+void Executor::FinishMigration(JobId id, ServerId dest) {
+  Job& moved = jobs_.Get(id);
+  GFAIR_CHECK(moved.state == JobState::kMigrating);
+  migrations_in_flight_ -= 1;
+  GFAIR_CHECK(migrations_in_flight_ >= 0);
+
+  // A transfer can fail at landing: the destination died while the
+  // checkpoint was in flight, or the transfer itself flaked. The prob-zero
+  // short-circuit also skips the RNG draw, keeping failure-free runs
+  // bit-identical to the pre-fault-plane executor.
+  const bool dest_down = !cluster_.server(dest).up();
+  const bool flaked = config_.migrate_failure_prob > 0.0 &&
+                      fault_rng_.Bernoulli(config_.migrate_failure_prob);
+  if (!dest_down && !flaked) {
     moved.server = dest;
     moved.state = JobState::kSuspended;
     if (on_migrated_) {
       on_migrated_(id);
     }
-  });
+    return;
+  }
+
+  moved.num_migration_failures += 1;
+  migration_failures_ += 1;
+  // The checkpoint is durable, so the job falls back to its source — unless
+  // the source died too while the transfer was in flight, which orphans it.
+  if (moved.server.valid() && cluster_.server(moved.server).up()) {
+    moved.state = JobState::kSuspended;
+    GFAIR_DLOG << "migration of job " << id << " to server " << dest
+               << " failed; back on server " << moved.server;
+    if (on_migration_failed_) {
+      on_migration_failed_(id, dest);
+    }
+  } else {
+    GFAIR_DLOG << "migration of job " << id << " to server " << dest
+               << " failed with the source down too; orphaned";
+    moved.state = JobState::kSuspended;  // OrphanJob's expected entry state
+    OrphanJob(moved);
+    if (on_orphaned_) {
+      on_orphaned_(id);
+    }
+  }
+}
+
+void Executor::OrphanJob(Job& job) {
+  const bool was_running = job.state == JobState::kRunning;
+  if (was_running) {
+    // Close the segment normally: the GPU time burned since the last
+    // checkpoint was really consumed and stays charged.
+    CloseSegment(job, /*cancel_finish_event=*/true);
+    // The process died with the node — that is a crash, on top of the
+    // orphaning.
+    job.num_crashes += 1;
+  }
+  job.completed_minibatches = job.checkpointed_minibatches;
+  job.state = JobState::kQueued;
+  job.server = ServerId::Invalid();
+  job.num_orphanings += 1;
+  jobs_orphaned_ += 1;
+}
+
+void Executor::FailServer(ServerId id) {
+  cluster::Server& server = cluster_.server(id);
+  GFAIR_CHECK_MSG(server.up(), "FailServer on a server that is already down");
+  cluster_.SetServerUp(id, false);
+  server_failures_ += 1;
+  GFAIR_DLOG << "server " << id << " failed at " << FormatDuration(sim_.Now());
+
+  // Evacuate executor state for every resident job BEFORE any scheduler
+  // callback runs: the callbacks then observe a consistent world (server
+  // down, victims queued). Jobs mid-migration keep flying — their checkpoint
+  // is already in durable storage (see FinishMigration for inbound ones).
+  std::vector<JobId> victims;
+  for (Job* job : jobs_.All()) {
+    if (job->server == id && (job->state == JobState::kRunning ||
+                              job->state == JobState::kSuspended)) {
+      OrphanJob(*job);
+      victims.push_back(job->id);
+    }
+  }
+  GFAIR_CHECK_MSG(server.num_busy() == 0, "down server still holds GPUs");
+
+  if (on_server_down_) {
+    on_server_down_(id);
+  }
+  for (JobId victim : victims) {
+    if (on_orphaned_) {
+      on_orphaned_(victim);
+    }
+  }
+}
+
+void Executor::RecoverServer(ServerId id) {
+  GFAIR_CHECK_MSG(!cluster_.server(id).up(), "RecoverServer on an up server");
+  cluster_.SetServerUp(id, true);
+  server_recoveries_ += 1;
+  GFAIR_DLOG << "server " << id << " recovered at " << FormatDuration(sim_.Now());
+  if (on_server_up_) {
+    on_server_up_(id);
+  }
 }
 
 double Executor::SampleObservedRate(JobId id) {

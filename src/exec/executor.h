@@ -15,7 +15,16 @@
 //    (device state is small relative to host state); modeled as instantaneous
 //    release plus `suspend_latency(model)` charged to the job's overhead.
 //  * Migration: suspend + checkpoint transfer at `migrate_bw_gbps` + resume,
-//    during which the job is unavailable for scheduling.
+//    during which the job is unavailable for scheduling. A transfer can fail
+//    at landing (flaky network, destination died mid-flight); the job then
+//    falls back, suspended, to its source server — retry policy is the
+//    scheduler's business, not the executor's.
+//
+// Failure model (documented in DESIGN.md): FailServer models whole-node
+// loss. Checkpoints live in durable (remote) storage, so a dead server costs
+// each resident job only the progress since its last checkpoint; the jobs
+// become orphans (kQueued, no server) and the scheduler is told through the
+// orphan/server-down callbacks so it can re-place them.
 #ifndef GFAIR_EXEC_EXECUTOR_H_
 #define GFAIR_EXEC_EXECUTOR_H_
 
@@ -49,6 +58,12 @@ struct ExecutorConfig {
   // Multiplicative noise (stddev, fraction of true rate) on observed
   // throughput samples — what the online profiler has to cope with.
   double rate_noise = 0.05;
+  // Probability that a checkpoint transfer fails at landing (the job bounces
+  // back to its source server, suspended). Drawn from a dedicated fault RNG
+  // so enabling failures does not perturb the profiler noise stream. 0
+  // disables — and skips the draw entirely, keeping failure-free runs
+  // bit-identical to builds without the fault plane.
+  double migrate_failure_prob = 0.0;
 };
 
 class Executor {
@@ -58,6 +73,14 @@ class Executor {
   using JobFinishedCallback = std::function<void(JobId)>;
   // Fired when a migration lands; the job is suspended on its new server.
   using MigrationDoneCallback = std::function<void(JobId)>;
+  // Fired when a checkpoint transfer fails; the job is back, suspended, on
+  // its source server. `dest` is the destination that was not reached.
+  using MigrationFailedCallback = std::function<void(JobId, ServerId dest)>;
+  // Fired when a job loses its server (node failure): progress is rolled
+  // back to the last checkpoint and the job is kQueued with no server.
+  using JobOrphanedCallback = std::function<void(JobId)>;
+  // Server availability transitions (FailServer/RecoverServer).
+  using ServerEventCallback = std::function<void(ServerId)>;
   // GPU-time accounting hook: `user` held `gpus` GPUs of `gen` over
   // [start, end). Fired at the end of every run segment.
   using AccountingCallback = std::function<void(
@@ -72,6 +95,12 @@ class Executor {
 
   void set_on_job_finished(JobFinishedCallback cb) { on_finished_ = std::move(cb); }
   void set_on_migration_done(MigrationDoneCallback cb) { on_migrated_ = std::move(cb); }
+  void set_on_migration_failed(MigrationFailedCallback cb) {
+    on_migration_failed_ = std::move(cb);
+  }
+  void set_on_job_orphaned(JobOrphanedCallback cb) { on_orphaned_ = std::move(cb); }
+  void set_on_server_down(ServerEventCallback cb) { on_server_down_ = std::move(cb); }
+  void set_on_server_up(ServerEventCallback cb) { on_server_up_ = std::move(cb); }
   void set_on_gpu_time(AccountingCallback cb) { on_gpu_time_ = std::move(cb); }
 
   // queued -> suspended: the job becomes resident on `server` (no cost; the
@@ -105,6 +134,22 @@ class Executor {
   // migrating.
   void InjectCrash(JobId id);
 
+  // Whole-node failure: marks the server down (placement must stop targeting
+  // it), then evacuates every resident job — running segments are closed
+  // (their burned GPU time stays charged), progress rolls back to the last
+  // checkpoint, and the victims become orphans (kQueued, no server). Fires
+  // the server-down callback first, then one orphan callback per victim, so
+  // a scheduler re-places orphans against a world that already excludes the
+  // dead server. Jobs mid-migration are NOT orphaned here: the checkpoint is
+  // already in durable storage, so an outbound transfer still lands at its
+  // destination, and an inbound transfer fails at landing (see Migrate).
+  // Precondition: the server is up.
+  void FailServer(ServerId id);
+
+  // Brings a failed server back, empty; fires the server-up callback.
+  // Precondition: the server is down.
+  void RecoverServer(ServerId id);
+
   bool IsRunning(JobId id) const {
     return id.value() < segments_.size() && segments_[id.value()].active;
   }
@@ -134,6 +179,12 @@ class Executor {
 
   int migrations_in_flight() const { return migrations_in_flight_; }
 
+  // Lifetime fault counters (benches and tests).
+  int64_t server_failures() const { return server_failures_; }
+  int64_t server_recoveries() const { return server_recoveries_; }
+  int64_t migration_failures() const { return migration_failures_; }
+  int64_t jobs_orphaned() const { return jobs_orphaned_; }
+
   const ExecutorConfig& config() const { return config_; }
 
  private:
@@ -160,20 +211,41 @@ class Executor {
 
   void OnFinishEvent(JobId id);
 
+  // A checkpoint transfer reached its scheduled landing time: success, or
+  // fall back to the source, or orphan when both ends are gone.
+  void FinishMigration(JobId id, ServerId dest);
+
+  // Shared orphan mechanics for FailServer and FinishMigration: close the
+  // segment if running, roll back to the checkpoint, queue the job. Does NOT
+  // fire the orphan callback — callers sequence that themselves.
+  void OrphanJob(workload::Job& job);
+
   simkit::Simulator& sim_;
   cluster::Cluster& cluster_;
   const workload::ModelZoo& zoo_;
   workload::JobTable& jobs_;
   ExecutorConfig config_;
   Rng rng_;
+  // Separate stream for transfer-failure draws: seeded independently of
+  // rng_ so enabling migrate_failure_prob leaves profiler noise unchanged.
+  Rng fault_rng_;
 
   std::vector<RunSegment> segments_;  // indexed by job id; see RunSegment
   std::vector<JobId> running_list_;   // ids of active segments (swap-erase)
   std::vector<JobId> sync_scratch_;   // reused snapshot buffer for SyncAll
   int migrations_in_flight_ = 0;
 
+  int64_t server_failures_ = 0;
+  int64_t server_recoveries_ = 0;
+  int64_t migration_failures_ = 0;
+  int64_t jobs_orphaned_ = 0;
+
   JobFinishedCallback on_finished_;
   MigrationDoneCallback on_migrated_;
+  MigrationFailedCallback on_migration_failed_;
+  JobOrphanedCallback on_orphaned_;
+  ServerEventCallback on_server_down_;
+  ServerEventCallback on_server_up_;
   AccountingCallback on_gpu_time_;
 };
 

@@ -1,0 +1,96 @@
+#include "exec/fault_injector.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace gfair::exec {
+
+FaultInjector::FaultInjector(simkit::Simulator& sim, cluster::Cluster& cluster,
+                             Executor& exec, FaultInjectorConfig config)
+    : sim_(sim), cluster_(cluster), exec_(exec), config_(config), rng_(config.seed) {
+  GFAIR_CHECK(config_.server_mttr > 0);
+  up_gpus_.Record(sim_.Now(), cluster_.up_gpus());
+}
+
+bool FaultInjector::WouldEmptyPool(ServerId id) const {
+  const auto gen = cluster_.server(id).generation();
+  return cluster_.up_gpus(gen) <= cluster_.server(id).num_gpus();
+}
+
+void FaultInjector::Fail(ServerId id, bool scripted) {
+  if (!cluster_.server(id).up()) {
+    GFAIR_DLOG << "fault injector: server " << id << " already down; skipping";
+    return;
+  }
+  if (config_.spare_last_in_pool && WouldEmptyPool(id)) {
+    failures_suppressed_ += 1;
+    GFAIR_DLOG << "fault injector: sparing server " << id
+               << " (last up server of its pool)";
+    if (!scripted && churning_) {
+      ArmFailure(id);  // re-arm with a fresh draw; the pool may refill
+    }
+    return;
+  }
+  exec_.FailServer(id);
+  failures_injected_ += 1;
+  up_gpus_.Record(sim_.Now(), cluster_.up_gpus());
+  if (!scripted && churning_) {
+    ArmRecovery(id);
+  }
+}
+
+void FaultInjector::Recover(ServerId id, bool scripted) {
+  if (cluster_.server(id).up()) {
+    GFAIR_DLOG << "fault injector: server " << id << " already up; skipping";
+    return;
+  }
+  exec_.RecoverServer(id);
+  recoveries_injected_ += 1;
+  up_gpus_.Record(sim_.Now(), cluster_.up_gpus());
+  if (!scripted && churning_) {
+    ArmFailure(id);
+  }
+}
+
+void FaultInjector::FailAt(SimTime when, ServerId id) {
+  sim_.At(when, [this, id]() { Fail(id, /*scripted=*/true); });
+}
+
+void FaultInjector::RecoverAt(SimTime when, ServerId id) {
+  sim_.At(when, [this, id]() { Recover(id, /*scripted=*/true); });
+}
+
+void FaultInjector::ArmFailure(ServerId id) {
+  const SimDuration wait =
+      Seconds(rng_.Exponential(ToSeconds(config_.server_mtbf)));
+  sim_.After(wait, [this, id]() {
+    if (churning_) {
+      Fail(id, /*scripted=*/false);
+    }
+  });
+}
+
+void FaultInjector::ArmRecovery(ServerId id) {
+  const SimDuration wait =
+      Seconds(rng_.Exponential(ToSeconds(config_.server_mttr)));
+  // Recovery fires even after Stop(): a stopped injector drains the cluster
+  // back to fully up instead of stranding down servers.
+  sim_.After(wait, [this, id]() {
+    Recover(id, /*scripted=*/false);
+    // Recover() only re-arms the failure cycle while churning; after Stop()
+    // the chain ends here.
+  });
+}
+
+void FaultInjector::Start() {
+  GFAIR_CHECK_MSG(config_.server_mtbf > 0, "Start() needs server_mtbf > 0");
+  GFAIR_CHECK_MSG(!churning_, "fault injector already started");
+  churning_ = true;
+  for (const auto& server : cluster_.servers()) {
+    ArmFailure(server.id());
+  }
+}
+
+void FaultInjector::Stop() { churning_ = false; }
+
+}  // namespace gfair::exec

@@ -1,0 +1,101 @@
+// FaultInjector — drives server down/up events against the Executor.
+//
+// Two modes, freely mixable:
+//  * Scripted: FailAt/RecoverAt schedule exact transitions — what tests use
+//    to pin failure semantics at known instants.
+//  * Random churn: Start() gives every server an independent
+//    fail-after-Exp(MTBF) / recover-after-Exp(MTTR) renewal cycle — what the
+//    availability experiment (E14) uses to model node-level faults on the
+//    paper's testbed.
+//
+// The injector only *decides* when servers fail; the mechanics (evacuating
+// jobs, firing scheduler callbacks) live in Executor::FailServer /
+// RecoverServer. It also records the cluster's up-GPU capacity as a
+// TimeSeries after every transition, so experiments can compare delivered
+// GPU time against the time-averaged surviving capacity.
+#ifndef GFAIR_EXEC_FAULT_INJECTOR_H_
+#define GFAIR_EXEC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "exec/executor.h"
+#include "simkit/simulator.h"
+#include "simkit/timeseries.h"
+
+namespace gfair::exec {
+
+struct FaultInjectorConfig {
+  // Mean time between failures of ONE server (exponential). 0 disables
+  // random churn; scripted FailAt/RecoverAt still work.
+  SimDuration server_mtbf = 0;
+  // Mean time to repair a failed server (exponential).
+  SimDuration server_mttr = Minutes(20);
+  // Seed for the fault process (independent of workload/executor streams).
+  uint64_t seed = 2020;
+  // Never take down the last up server of a generation pool: a gang that
+  // only fits that generation would otherwise be unplaceable for the whole
+  // repair window, which models operator behavior (staggered maintenance),
+  // not a fault process worth studying. A suppressed failure is re-armed
+  // with a fresh MTBF draw.
+  bool spare_last_in_pool = true;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(simkit::Simulator& sim, cluster::Cluster& cluster, Executor& exec,
+                FaultInjectorConfig config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Scripted transitions at absolute times. A scripted failure on an
+  // already-down server (or recovery of an up one) is skipped with a log
+  // line rather than CHECK-failing — scripts and churn may race.
+  void FailAt(SimTime when, ServerId id);
+  void RecoverAt(SimTime when, ServerId id);
+
+  // Arms the random churn cycle on every server. Requires server_mtbf > 0.
+  void Start();
+  // Stops injecting new failures. Servers already down still recover —
+  // draining to a fully-up cluster, which is what end-of-run assertions
+  // ("every job eventually finishes") need.
+  void Stop();
+
+  // Piecewise-constant count of GPUs on up servers over time (first sample
+  // at construction). AverageOver on this divided by total_gpus() is the
+  // surviving-capacity ratio for a window.
+  const simkit::TimeSeries& up_gpu_series() const { return up_gpus_; }
+
+  int64_t failures_injected() const { return failures_injected_; }
+  int64_t recoveries_injected() const { return recoveries_injected_; }
+  int64_t failures_suppressed() const { return failures_suppressed_; }
+
+ private:
+  // True when taking `id` down would leave its generation pool without any
+  // up server.
+  bool WouldEmptyPool(ServerId id) const;
+
+  void Fail(ServerId id, bool scripted);
+  void Recover(ServerId id, bool scripted);
+  void ArmFailure(ServerId id);
+  void ArmRecovery(ServerId id);
+
+  simkit::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  Executor& exec_;
+  FaultInjectorConfig config_;
+  Rng rng_;
+  simkit::TimeSeries up_gpus_;
+  bool churning_ = false;
+
+  int64_t failures_injected_ = 0;
+  int64_t recoveries_injected_ = 0;
+  int64_t failures_suppressed_ = 0;
+};
+
+}  // namespace gfair::exec
+
+#endif  // GFAIR_EXEC_FAULT_INJECTOR_H_

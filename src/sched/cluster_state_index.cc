@@ -15,6 +15,7 @@ ClusterStateIndex::ClusterStateIndex(const cluster::Cluster& cluster,
   pos_dirty_.assign(n, false);
   dirty_list_.reserve(n);
   draining_.assign(n, false);
+  down_.assign(n, false);
   for (const auto& server : cluster.servers()) {
     strides_.emplace_back(server.num_gpus(), stride_config);
     pools_by_load_[cluster::GenerationIndex(server.generation())].emplace(0.0,
@@ -94,6 +95,19 @@ bool ClusterStateIndex::draining(ServerId server) const {
   return draining_[server.value()];
 }
 
+void ClusterStateIndex::SetDown(ServerId server, bool down) {
+  GFAIR_CHECK(server.valid() && server.value() < down_.size());
+  if (down_[server.value()] != down) {
+    num_down_ += down ? 1 : -1;
+  }
+  down_[server.value()] = down;
+}
+
+bool ClusterStateIndex::down(ServerId server) const {
+  GFAIR_CHECK(server.valid() && server.value() < down_.size());
+  return down_[server.value()];
+}
+
 ServerId ClusterStateIndex::LeastLoadedServer(cluster::GpuGeneration gen, int min_gpus,
                                               ServerId exclude) const {
   Flush();
@@ -103,7 +117,7 @@ ServerId ClusterStateIndex::LeastLoadedServer(cluster::GpuGeneration gen, int mi
   ServerId scan_best = ServerId::Invalid();
   double scan_load = std::numeric_limits<double>::infinity();
   for (ServerId sid : cluster_.servers_of(gen)) {
-    if (sid == exclude || draining_[sid.value()] ||
+    if (sid == exclude || draining_[sid.value()] || down_[sid.value()] ||
         cluster_.server(sid).num_gpus() < min_gpus) {
       continue;
     }
@@ -116,7 +130,7 @@ ServerId ClusterStateIndex::LeastLoadedServer(cluster::GpuGeneration gen, int mi
 #endif
   ServerId best = ServerId::Invalid();
   for (const auto& [load, sid] : pools_by_load_[cluster::GenerationIndex(gen)]) {
-    if (sid == exclude || draining_[sid.value()] ||
+    if (sid == exclude || draining_[sid.value()] || down_[sid.value()] ||
         cluster_.server(sid).num_gpus() < min_gpus) {
       continue;
     }

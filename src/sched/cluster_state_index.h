@@ -56,6 +56,15 @@ class ClusterStateIndex {
   // short-circuit).
   bool AnyDraining() const { return num_draining_ > 0; }
 
+  // --- availability ---
+  // Mirror of the cluster's up/down flag, set by the facade's server-down/up
+  // handlers. A down server is invisible to LeastLoadedServer; its stride
+  // state stays intact only transiently (the orphan callbacks that follow a
+  // failure detach every resident job).
+  void SetDown(ServerId server, bool down);
+  bool down(ServerId server) const;
+  bool AnyDown() const { return num_down_ > 0; }
+
   // --- queries ---
   // Normalized ticket load (tickets per physical GPU) — O(1) amortized.
   double NormTicketLoad(ServerId server) const;
@@ -85,6 +94,8 @@ class ClusterStateIndex {
   std::vector<LocalStrideScheduler> strides_;  // indexed by ServerId value
   std::vector<bool> draining_;
   int num_draining_ = 0;
+  std::vector<bool> down_;
+  int num_down_ = 0;
 
   // Lazily-maintained pool orderings (see header comment).
   mutable std::vector<double> load_key_;  // key currently in the pool set

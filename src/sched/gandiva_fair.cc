@@ -62,7 +62,15 @@ void GandivaFairScheduler::Submit(JobId id) {
   }
 
   const ServerId dest = placement_.ChoosePlacement(job);
-  GFAIR_CHECK_MSG(dest.valid(), "no server can host this gang");
+  if (!dest.valid()) {
+    // An outage can leave every server that fits this gang down; park the
+    // job with the orphans and retry as servers recover. With all servers
+    // up, an unplaceable gang is a configuration error, as before.
+    GFAIR_CHECK_MSG(index_.AnyDown(), "no server can host this gang");
+    GFAIR_WLOG << "submit: no up server for job " << id << "; parked";
+    pending_orphans_.push_back(id);
+    return;
+  }
   decisions_.Record(env_.sim.Now(), DecisionType::kPlace, id, ServerId::Invalid(), dest);
   env_.exec.MakeResident(id, dest);
   AttachResident(id, dest);
@@ -92,8 +100,131 @@ void GandivaFairScheduler::OnMigrationDone(JobId id) {
   ResidencyIndex::JobInfo& info = residency_.Info(id);
   GFAIR_CHECK(info.migrating);
   info.migrating = false;
+  RetryOf(id).attempts = 0;  // a landed transfer ends the retry sequence
   AttachResident(id, info.home);
   FillIdleGpus(info.home);
+}
+
+void GandivaFairScheduler::OnMigrationFailed(JobId id, ServerId dest) {
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
+  GFAIR_CHECK(info.migrating);
+  info.migrating = false;
+  // The executor bounced the job back, suspended, to its source server
+  // (which is still `job.server` — migration never updated it). Re-attach
+  // there; the detach already happened at StartMigration.
+  const Job& job = env_.jobs.Get(id);
+  GFAIR_CHECK(job.server.valid());
+  AttachResident(id, job.server);
+  FillIdleGpus(job.server);
+
+  RetryState& retry = RetryOf(id);
+  retry.attempts += 1;
+  if (retry.attempts > config_.migration_max_retries) {
+    // Terminal fallback: the job stays at its source. Reset the counter so
+    // a later, unrelated migration starts a fresh retry budget.
+    GFAIR_WLOG << "migration of job " << id << " failed "
+               << retry.attempts << " times; staying on server " << job.server;
+    retry.attempts = 0;
+    return;
+  }
+  const SimDuration backoff =
+      config_.migration_retry_backoff << (retry.attempts - 1);
+  retry.scheduled = true;
+  const GpuGeneration gen = GenOf(dest);
+  ++migration_retries_started_;
+  env_.sim.After(backoff, [this, id, gen]() { RetryMigration(id, gen); });
+}
+
+void GandivaFairScheduler::RetryMigration(JobId id, GpuGeneration gen) {
+  RetryState& retry = RetryOf(id);
+  retry.scheduled = false;
+  const Job& job = env_.jobs.Get(id);
+  // The world may have moved on during the backoff: the job can have
+  // finished, been orphaned (kQueued), or been sent migrating again by a
+  // balance pass. In all those cases the retry sequence is over.
+  if (job.state != JobState::kSuspended && job.state != JobState::kRunning) {
+    retry.attempts = 0;
+    return;
+  }
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
+  GFAIR_CHECK(!info.migrating);
+  // Re-target: the original destination may still be down, so pick the
+  // least-loaded up server of the same pool.
+  const ServerId dest = index_.LeastLoadedServer(gen, job.gang_size, info.home);
+  if (!dest.valid() || !env_.zoo.Get(job.model).FitsGeneration(gen)) {
+    retry.attempts = 0;  // no viable destination; stay at the source
+    return;
+  }
+  StartMigration(id, dest, retry.cause);
+}
+
+void GandivaFairScheduler::OnJobOrphaned(JobId id) {
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
+  if (info.migrating) {
+    // Orphaned at a failed landing with the source dead too: the job was
+    // already detached at StartMigration, so only the in-flight marker (and
+    // any retry budget) needs clearing before re-placement.
+    info.migrating = false;
+  } else {
+    // Resident victim of a server failure. Parallel to OnJobFinished:
+    // account the final partial quantum, then detach from the dead server.
+    const ServerId server = info.home;
+    GFAIR_CHECK(server.valid());
+    LocalStrideScheduler& stride = index_.stride(server);
+    if (stride.Contains(id)) {
+      stride.Charge(id, env_.sim.Now() - info.last_charge);
+    }
+    DetachResident(id);
+  }
+  RetryOf(id).attempts = 0;  // orphaning voids any in-progress retry budget
+  ReplaceOrphan(id);
+}
+
+void GandivaFairScheduler::ReplaceOrphan(JobId id) {
+  const Job& job = env_.jobs.Get(id);
+  GFAIR_CHECK(job.state == JobState::kQueued);
+  const ServerId dest = placement_.ChoosePlacement(job);
+  if (!dest.valid()) {
+    GFAIR_WLOG << "orphan " << id << " has no up server; parked";
+    pending_orphans_.push_back(id);
+    return;
+  }
+  decisions_.Record(env_.sim.Now(), DecisionType::kPlace, id, ServerId::Invalid(), dest);
+  env_.exec.MakeResident(id, dest);
+  AttachResident(id, dest);
+  ++orphans_replaced_;
+  FillIdleGpus(dest);
+}
+
+void GandivaFairScheduler::RetryPendingOrphans() {
+  if (pending_orphans_.empty()) {
+    return;
+  }
+  std::vector<JobId> parked;
+  parked.swap(pending_orphans_);  // ReplaceOrphan re-parks what still fails
+  for (JobId id : parked) {
+    ReplaceOrphan(id);
+  }
+}
+
+void GandivaFairScheduler::OnServerDown(ServerId id) {
+  index_.SetDown(id, true);
+  GFAIR_ILOG << "server " << id << " down ("
+             << env_.cluster.num_up_servers() << " up)";
+}
+
+void GandivaFairScheduler::OnServerUp(ServerId id) {
+  index_.SetDown(id, false);
+  GFAIR_ILOG << "server " << id << " back up ("
+             << env_.cluster.num_up_servers() << " up)";
+  RetryPendingOrphans();
+}
+
+GandivaFairScheduler::RetryState& GandivaFairScheduler::RetryOf(JobId id) {
+  if (id.value() >= retry_.size()) {
+    retry_.resize(id.value() + 1);
+  }
+  return retry_[id.value()];
 }
 
 void GandivaFairScheduler::QuantumTick() {
@@ -102,17 +233,21 @@ void GandivaFairScheduler::QuantumTick() {
   // otherwise credit hours of GPU time at their eventual close).
   env_.exec.SyncAll();
   for (const auto& server : env_.cluster.servers()) {
+    if (!server.up()) {
+      continue;
+    }
     ChargeRunningOn(server.id());
     trader_.CollectSamples(server.id());
     ApplyTargetSet(server.id());
   }
   if (config_.enable_work_stealing) {
     for (const auto& server : env_.cluster.servers()) {
-      if (server.num_free() > 0) {
+      if (server.up() && server.num_free() > 0) {
         placement_.TrySteal(server.id());
       }
     }
   }
+  RetryPendingOrphans();
 }
 
 void GandivaFairScheduler::ChargeRunningOn(ServerId server) {
@@ -166,7 +301,7 @@ void GandivaFairScheduler::ApplyTargetSet(ServerId server) {
 
 void GandivaFairScheduler::FillIdleGpus(ServerId server) {
   cluster::Server& host = env_.cluster.server(server);
-  if (host.num_free() == 0) {
+  if (!host.up() || host.num_free() == 0) {
     return;
   }
   // Work conservation between quantum ticks: start the best waiting jobs
@@ -231,6 +366,7 @@ void GandivaFairScheduler::StartMigration(JobId id, ServerId dest,
   info.migrating = true;
   info.last_migration = env_.sim.Now();
   info.home = dest;  // AttachResident uses this when the migration lands
+  RetryOf(id).cause = cause;  // a failed landing retries under the same cause
   ++migrations_started_;
   env_.exec.Migrate(id, dest);
   GFAIR_DLOG << "migrating job " << id << " from server " << source << " to " << dest;
@@ -278,6 +414,7 @@ ClusterSnapshot GandivaFairScheduler::Snapshot() const {
     view.demand_load = stride.DemandLoad() / static_cast<double>(server.num_gpus());
     view.ticket_load = stride.TicketLoad() / static_cast<double>(server.num_gpus());
     view.draining = index_.draining(server.id());
+    view.down = index_.down(server.id());
     snapshot.servers.push_back(view);
   }
   for (const auto& user : env_.users.users()) {
@@ -336,7 +473,9 @@ void GandivaFairScheduler::ApplyHierarchy() {
 }
 
 double GandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration gen) const {
-  const int pool = env_.cluster.total_gpus(gen);
+  // Entitlements divide SURVIVING capacity: a down server's GPUs cannot be
+  // promised to anyone (identical to total_gpus when nothing is down).
+  const int pool = env_.cluster.up_gpus(gen);
   if (pool == 0) {
     return 0.0;
   }

@@ -86,6 +86,15 @@ struct GandivaFairConfig {
   // fitting suspended job from an oversubscribed server of the same pool
   // (event-driven work conservation; at most once per server per quantum).
   bool enable_work_stealing = true;
+
+  // --- fault tolerance ---
+  // Bounded retry for failed checkpoint transfers: attempt k waits
+  // migration_retry_backoff * 2^(k-1), then re-targets the least-loaded up
+  // server of the original destination pool. After migration_max_retries
+  // failed attempts the job simply stays at its source (the next balance
+  // pass or trade epoch may move it again) — it is never left migrating.
+  int migration_max_retries = 3;
+  SimDuration migration_retry_backoff = Seconds(30);
 };
 
 class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
@@ -96,6 +105,10 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   void Submit(JobId id) override;
   void OnJobFinished(JobId id) override;
   void OnMigrationDone(JobId id) override;
+  void OnJobOrphaned(JobId id) override;
+  void OnMigrationFailed(JobId id, ServerId dest) override;
+  void OnServerDown(ServerId id) override;
+  void OnServerUp(ServerId id) override;
   std::string name() const override { return "GandivaFair"; }
   FairnessLedger& policy_ledger() override { return ledger_; }
 
@@ -108,6 +121,11 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   const std::vector<Trade>& executed_trades() const { return trader_.executed_trades(); }
   int64_t migrations_started() const { return migrations_started_; }
   int64_t steals_started() const { return placement_.steals_started(); }
+  int64_t orphans_replaced() const { return orphans_replaced_; }
+  int64_t migration_retries_started() const { return migration_retries_started_; }
+  // Orphans currently waiting for an up server (retried every quantum tick
+  // and on each recovery).
+  size_t pending_orphan_count() const { return pending_orphans_.size(); }
   // Structured trace of scheduler decisions (placements, suspends/resumes,
   // migrations by cause, trades).
   const DecisionLog& decisions() const { return decisions_; }
@@ -141,6 +159,7 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // --- ISchedulerHost (services the subsystems call back into) ---
   void StartMigration(JobId id, ServerId dest, MigrationCause cause) override;
   void RefreshAllTickets() override;
+  void ReplaceOrphan(JobId id) override;
 
   cluster::GpuGeneration GenOf(ServerId server) const;
 
@@ -155,6 +174,21 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // Residency transitions (stride + residency + ledger, in lockstep).
   void AttachResident(JobId id, ServerId server);
   void DetachResident(JobId id);  // inverse (before migrate/finish)
+
+  // Fault handling.
+  // Per-job migration-retry bookkeeping, indexed by (dense) job id.
+  struct RetryState {
+    int attempts = 0;          // consecutive failed transfer attempts
+    bool scheduled = false;    // a backoff timer is pending for this job
+    MigrationCause cause = MigrationCause::kBalance;  // cause of the attempt
+  };
+  RetryState& RetryOf(JobId id);
+  // Fires when a backoff timer expires: re-target the least-loaded up server
+  // of `gen` and re-start the migration, unless the world moved on (job
+  // finished, migrating again, or orphaned meanwhile).
+  void RetryMigration(JobId id, cluster::GpuGeneration gen);
+  // Re-attempts placement of every parked orphan.
+  void RetryPendingOrphans();
 
   // Tickets.
   // Recomputes effective base tickets from the group hierarchy after the
@@ -171,6 +205,13 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   TicketMatrix ticket_matrix_;
   DecisionLog decisions_;
   int64_t migrations_started_ = 0;
+  int64_t orphans_replaced_ = 0;
+  int64_t migration_retries_started_ = 0;
+
+  // Orphans (and arrivals during an outage) with no up server to take them;
+  // never dropped — retried every quantum and on each server recovery.
+  std::vector<JobId> pending_orphans_;
+  std::vector<RetryState> retry_;  // indexed by job id, lazily grown
 
   // Shared state indices (declared before the subsystems that reference them).
   ClusterStateIndex index_;

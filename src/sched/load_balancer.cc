@@ -43,7 +43,7 @@ void LoadBalancer::Balance() {
       double worst_overflow = 0.5;  // demand beyond capacity, in GPUs
       double best_spare = 0.999;    // idle GPUs worth of headroom
       for (ServerId id : servers) {
-        if (index_.draining(id)) {
+        if (index_.draining(id) || index_.down(id)) {
           continue;
         }
         const auto& server = env_.cluster.server(id);
@@ -97,7 +97,7 @@ void LoadBalancer::Balance() {
       double min_load = std::numeric_limits<double>::infinity();
       double sum_load = 0.0;
       for (ServerId id : servers) {
-        if (index_.draining(id)) {
+        if (index_.draining(id) || index_.down(id)) {
           continue;
         }
         const double gpus = env_.cluster.server(id).num_gpus();

@@ -53,7 +53,8 @@ ServerId PlacementEngine::ChoosePlacement(const Job& job) const {
     double candidate_tickets = std::numeric_limits<double>::infinity();
     for (ServerId id : env_.cluster.servers_of(gen)) {
       const auto& server = env_.cluster.server(id);
-      if (server.num_gpus() < job.gang_size || index_.draining(id)) {
+      if (server.num_gpus() < job.gang_size || index_.draining(id) ||
+          index_.down(id)) {
         continue;
       }
       const double gpus = server.num_gpus();
@@ -90,8 +91,8 @@ void PlacementEngine::TrySteal(ServerId server) {
   if (now - last_steal_[server.value()] < config_.quantum) {
     return;  // at most one steal per server per quantum
   }
-  if (index_.draining(server)) {
-    return;  // draining servers must not attract work
+  if (index_.draining(server) || index_.down(server)) {
+    return;  // draining and down servers must not attract work
   }
   const cluster::Server& host_server = env_.cluster.server(server);
   const int free = host_server.num_free();
@@ -108,7 +109,11 @@ void PlacementEngine::TrySteal(ServerId server) {
   double best_overflow = 0.25;  // require genuine oversubscription
   auto scan_pool = [&](GpuGeneration pool) {
     for (ServerId sid : env_.cluster.servers_of(pool)) {
-      if (sid == server) {
+      // Down peers are skipped not just because their load is stale: between
+      // the server-down callback and the per-victim orphan callbacks, a dead
+      // server's stride still lists jobs that the executor already queued —
+      // stealing one would Migrate a non-suspended job.
+      if (sid == server || index_.down(sid)) {
         continue;
       }
       const auto& peer = env_.cluster.server(sid);

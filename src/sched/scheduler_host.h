@@ -31,6 +31,11 @@ class ISchedulerHost {
   // Recomputes every resident job's stride tickets from the ticket matrix
   // (after a trading epoch reshaped pool tickets).
   virtual void RefreshAllTickets() = 0;
+
+  // Re-places a job that lost its server (state kQueued, no server). If no
+  // up server can take the gang right now, the host parks the job and keeps
+  // retrying — an orphan is never dropped.
+  virtual void ReplaceOrphan(JobId id) = 0;
 };
 
 }  // namespace gfair::sched

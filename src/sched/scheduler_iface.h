@@ -45,6 +45,14 @@ class IScheduler {
   virtual void OnJobFinished(JobId id) = 0;
   virtual void OnMigrationDone(JobId id) = 0;
 
+  // Fault-plane notifications. Default no-ops: baselines that predate the
+  // fault plane (and the frozen legacy monolith) ignore failures — harnesses
+  // simply never inject faults against them.
+  virtual void OnJobOrphaned(JobId /*id*/) {}
+  virtual void OnMigrationFailed(JobId /*id*/, ServerId /*dest*/) {}
+  virtual void OnServerDown(ServerId /*id*/) {}
+  virtual void OnServerUp(ServerId /*id*/) {}
+
   virtual std::string name() const = 0;
 
   // Every policy carries a ledger so experiments can compare per-user GPU
@@ -56,6 +64,11 @@ class IScheduler {
 inline void WireCallbacks(exec::Executor& exec, IScheduler& policy) {
   exec.set_on_job_finished([&policy](JobId id) { policy.OnJobFinished(id); });
   exec.set_on_migration_done([&policy](JobId id) { policy.OnMigrationDone(id); });
+  exec.set_on_job_orphaned([&policy](JobId id) { policy.OnJobOrphaned(id); });
+  exec.set_on_migration_failed(
+      [&policy](JobId id, ServerId dest) { policy.OnMigrationFailed(id, dest); });
+  exec.set_on_server_down([&policy](ServerId id) { policy.OnServerDown(id); });
+  exec.set_on_server_up([&policy](ServerId id) { policy.OnServerUp(id); });
   exec.set_on_gpu_time([&policy](UserId user, cluster::GpuGeneration gen, SimTime start,
                                  SimTime end, int gpus) {
     policy.policy_ledger().RecordGpuTime(user, gen, start, end, gpus);

@@ -25,6 +25,7 @@ struct ServerSnapshot {
   double demand_load = 0.0;  // demanded GPUs per physical GPU
   double ticket_load = 0.0;  // tickets per physical GPU
   bool draining = false;
+  bool down = false;  // failed server (see Cluster::SetServerUp)
 };
 
 struct UserSnapshot {

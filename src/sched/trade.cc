@@ -116,7 +116,17 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
         if (!best_lender.valid() || !best_borrower.valid() || best_lender == best_borrower) {
           break;
         }
-        if (borrower_speedup < lender_speedup * config_.min_speedup_gap) {
+        // Both sides must gain: the rate the borrower pays is at least
+        // lender_speedup (the lender's breakeven), so a pairing where the
+        // borrower's own speedup does not exceed it cannot leave the
+        // borrower better off — RateFor would clamp the rate to the
+        // borrower's entire speedup (or past it, at/below lender breakeven),
+        // making the trade pointless for one side. This can happen even with
+        // the min_speedup_gap check when the gap is configured permissively
+        // (< 1), because lenders and borrowers are picked from different
+        // eligibility sets.
+        if (borrower_speedup <= lender_speedup ||
+            borrower_speedup < lender_speedup * config_.min_speedup_gap) {
           break;
         }
         const double rate = RateFor(lender_speedup, borrower_speedup);

@@ -150,7 +150,9 @@ void TradeCoordinator::TradeEpoch() {
     inputs.total_demand_gpus[user] = residency_.TotalDemand(user);
   }
   for (GpuGeneration gen : kAllGenerations) {
-    inputs.pool_sizes[GenerationIndex(gen)] = env_.cluster.total_gpus(gen);
+    // Trade over surviving capacity only: GPUs on down servers are not
+    // anyone's to lend (identical to total_gpus when nothing is down).
+    inputs.pool_sizes[GenerationIndex(gen)] = env_.cluster.up_gpus(gen);
   }
   inputs.user_speedup = [this](UserId user, GpuGeneration fast, GpuGeneration slow,
                                double* out) {

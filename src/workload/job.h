@@ -58,6 +58,11 @@ struct Job {
   int num_resumes = 0;
   int num_migrations = 0;
   int num_crashes = 0;
+  // Checkpoint transfers that failed to land (flaky network or destination
+  // died mid-flight); each one bounces the job back to its source server.
+  int num_migration_failures = 0;
+  // Times the job lost its server (node failure) and went back to kQueued.
+  int num_orphanings = 0;
   SimDuration overhead_ms = 0;  // time lost to suspend/resume/migration
 
   bool finished() const { return state == JobState::kFinished; }

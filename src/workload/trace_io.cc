@@ -1,9 +1,11 @@
 #include "workload/trace_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
 #include "common/flags.h"
@@ -16,11 +18,20 @@ constexpr char kHeader[] = "arrival_ms,user,model,gang_size,minibatches,weight";
 bool ParsePositiveDouble(const std::string& text, double* out) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == nullptr || *end != '\0' || value <= 0.0) {
+  // strtod accepts "nan" and "inf" spellings; "nan" even passes a `<= 0`
+  // test (all comparisons are false), and inf minibatches would make a job
+  // that never finishes. Require a finite positive value.
+  if (end == nullptr || *end != '\0' || !std::isfinite(value) || value <= 0.0) {
     return false;
   }
   *out = value;
   return true;
+}
+
+// Names are CSV fields without quoting support, so a delimiter or line break
+// inside one would silently shift every later column at parse time.
+bool NameIsSerializable(const std::string& name) {
+  return name.find_first_of(",\r\n") == std::string::npos;
 }
 }  // namespace
 
@@ -30,12 +41,31 @@ std::string SerializeTrace(const std::vector<TraceFileEntry>& entries,
   out << kHeader << '\n';
   for (const auto& file_entry : entries) {
     const TraceEntry& entry = file_entry.entry;
+    const std::string& user_name = users.Get(entry.user).name;
+    const std::string& model_name = zoo.Get(entry.model).name;
+    GFAIR_CHECK_MSG(NameIsSerializable(user_name),
+                    "user name contains a CSV delimiter or line break");
+    GFAIR_CHECK_MSG(NameIsSerializable(model_name),
+                    "model name contains a CSV delimiter or line break");
     char line[256];
-    std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%.6f,%.4f",
-                  static_cast<long long>(entry.arrival),
-                  users.Get(entry.user).name.c_str(), zoo.Get(entry.model).name.c_str(),
-                  entry.gang_size, entry.total_minibatches, file_entry.weight);
-    out << line << '\n';
+    const int written =
+        std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%.6f,%.4f",
+                      static_cast<long long>(entry.arrival), user_name.c_str(),
+                      model_name.c_str(), entry.gang_size, entry.total_minibatches,
+                      file_entry.weight);
+    GFAIR_CHECK(written >= 0);
+    if (static_cast<size_t>(written) < sizeof(line)) {
+      out << line << '\n';
+    } else {
+      // Row longer than the stack buffer (very long names): redo into a
+      // right-sized heap buffer instead of silently truncating the row.
+      std::vector<char> big(static_cast<size_t>(written) + 1);
+      std::snprintf(big.data(), big.size(), "%lld,%s,%s,%d,%.6f,%.4f",
+                    static_cast<long long>(entry.arrival), user_name.c_str(),
+                    model_name.c_str(), entry.gang_size, entry.total_minibatches,
+                    file_entry.weight);
+      out << big.data() << '\n';
+    }
   }
   return out.str();
 }

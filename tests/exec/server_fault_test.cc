@@ -1,0 +1,310 @@
+// Server-failure tests: orphaning semantics of FailServer/RecoverServer,
+// migration transfers racing with node loss (source, destination, both), and
+// crashes during the resume warm-up window.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/fault_injector.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::exec {
+namespace {
+
+using workload::Job;
+using workload::JobState;
+
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  ServerFaultTest()
+      : cluster_(cluster::HomogeneousTopology(2, 4)),
+        exec_(sim_, cluster_, workload::ModelZoo::Default(), jobs_, ExecutorConfig{},
+              1) {}
+
+  Job& MakeJob(double minibatches, int gang_size = 1) {
+    const auto& model = workload::ModelZoo::Default().GetByName("DCGAN");
+    return jobs_.Create(UserId(0), model.id, gang_size, minibatches, sim_.Now());
+  }
+
+  simkit::Simulator sim_;
+  cluster::Cluster cluster_;
+  workload::JobTable jobs_;
+  Executor exec_;
+};
+
+TEST_F(ServerFaultTest, FailServerOrphansRunningJob) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(10));
+  exec_.Suspend(job.id);  // checkpoint
+  const double checkpoint = job.completed_minibatches;
+  ASSERT_GT(checkpoint, 0.0);
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(20));
+
+  exec_.FailServer(ServerId(0));
+
+  EXPECT_EQ(job.state, JobState::kQueued);
+  EXPECT_FALSE(job.server.valid());
+  // Rolled back to the checkpoint; the run segment died with the node.
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, checkpoint);
+  EXPECT_EQ(job.num_crashes, 1);
+  EXPECT_EQ(job.num_orphanings, 1);
+  // The burned GPU time up to the failure instant stays charged.
+  EXPECT_NEAR(job.TotalGpuMs(), static_cast<double>(Minutes(20)), 1.0);
+  // Cluster capacity accounting reflects the loss.
+  EXPECT_FALSE(cluster_.server(ServerId(0)).up());
+  EXPECT_EQ(cluster_.up_gpus(), 4);
+  EXPECT_EQ(cluster_.num_up_servers(), 1);
+  EXPECT_EQ(exec_.server_failures(), 1);
+  EXPECT_EQ(exec_.jobs_orphaned(), 1);
+}
+
+TEST_F(ServerFaultTest, SuspendedVictimLosesNothing) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(10));
+  exec_.Suspend(job.id);
+  const double checkpoint = job.completed_minibatches;
+
+  exec_.FailServer(ServerId(0));
+
+  EXPECT_EQ(job.state, JobState::kQueued);
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, checkpoint);
+  // A suspended job has no process to crash; only the orphaning is counted.
+  EXPECT_EQ(job.num_crashes, 0);
+  EXPECT_EQ(job.num_orphanings, 1);
+}
+
+TEST_F(ServerFaultTest, ServerDownFiresBeforeOrphanCallbacks) {
+  Job& a = MakeJob(1e9);
+  Job& b = MakeJob(1e9);
+  exec_.MakeResident(a.id, ServerId(0));
+  exec_.MakeResident(b.id, ServerId(0));
+  exec_.Resume(a.id);
+  sim_.RunUntil(Minutes(1));
+
+  std::vector<std::string> events;
+  exec_.set_on_server_down([&](ServerId id) {
+    events.push_back("down:" + std::to_string(id.value()));
+    // By the time the scheduler hears about the failure, every victim must
+    // already be evacuated — re-placement sees a consistent world.
+    EXPECT_EQ(a.state, JobState::kQueued);
+    EXPECT_EQ(b.state, JobState::kQueued);
+  });
+  exec_.set_on_job_orphaned(
+      [&](JobId id) { events.push_back("orphan:" + std::to_string(id.value())); });
+
+  exec_.FailServer(ServerId(0));
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "down:0");
+  EXPECT_EQ(events[1], "orphan:" + std::to_string(a.id.value()));
+  EXPECT_EQ(events[2], "orphan:" + std::to_string(b.id.value()));
+}
+
+TEST_F(ServerFaultTest, RecoveredServerHostsJobsAgain) {
+  Job& job = MakeJob(16.0 * 60);
+  exec_.FailServer(ServerId(0));
+
+  ServerId recovered = ServerId::Invalid();
+  exec_.set_on_server_up([&](ServerId id) { recovered = id; });
+  exec_.RecoverServer(ServerId(0));
+  EXPECT_EQ(recovered, ServerId(0));
+  EXPECT_TRUE(cluster_.server(ServerId(0)).up());
+  EXPECT_EQ(cluster_.up_gpus(), 8);
+  EXPECT_EQ(exec_.server_recoveries(), 1);
+
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.Run();
+  EXPECT_TRUE(job.finished());
+}
+
+TEST_F(ServerFaultTest, DeathOnVerbsAgainstDownServer) {
+  Job& job = MakeJob(1e9);
+  Job& resident = MakeJob(1e9);
+  exec_.MakeResident(resident.id, ServerId(1));
+  exec_.FailServer(ServerId(0));
+
+  EXPECT_DEATH(exec_.MakeResident(job.id, ServerId(0)), "down server");
+  EXPECT_DEATH(exec_.Migrate(resident.id, ServerId(0)), "down server");
+  EXPECT_DEATH(exec_.FailServer(ServerId(0)), "already down");
+  EXPECT_DEATH(exec_.RecoverServer(ServerId(1)), "up server");
+}
+
+TEST_F(ServerFaultTest, OutboundMigrationSurvivesSourceFailure) {
+  // The checkpoint is already in durable storage when the source dies, so an
+  // outbound transfer still lands at its destination.
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(5));
+  exec_.Suspend(job.id);
+  exec_.Migrate(job.id, ServerId(1));
+  ASSERT_EQ(job.state, JobState::kMigrating);
+
+  exec_.FailServer(ServerId(0));
+  EXPECT_EQ(job.state, JobState::kMigrating);  // not orphaned by the sweep
+  EXPECT_EQ(job.num_orphanings, 0);
+
+  sim_.RunUntil(Minutes(10));
+  EXPECT_EQ(job.state, JobState::kSuspended);
+  EXPECT_EQ(job.server, ServerId(1));
+  EXPECT_EQ(job.num_migration_failures, 0);
+}
+
+TEST_F(ServerFaultTest, InboundMigrationFailsWhenDestinationDies) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(5));
+  exec_.Suspend(job.id);
+  const double checkpoint = job.completed_minibatches;
+  exec_.Migrate(job.id, ServerId(1));
+
+  JobId failed = JobId::Invalid();
+  ServerId failed_dest = ServerId::Invalid();
+  exec_.set_on_migration_failed([&](JobId id, ServerId dest) {
+    failed = id;
+    failed_dest = dest;
+  });
+
+  exec_.FailServer(ServerId(1));
+  sim_.RunUntil(Minutes(10));
+
+  // The transfer bounced: back on the source, suspended, nothing lost.
+  EXPECT_EQ(job.state, JobState::kSuspended);
+  EXPECT_EQ(job.server, ServerId(0));
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, checkpoint);
+  EXPECT_EQ(job.num_migration_failures, 1);
+  EXPECT_EQ(exec_.migration_failures(), 1);
+  EXPECT_EQ(failed, job.id);
+  EXPECT_EQ(failed_dest, ServerId(1));
+  EXPECT_EQ(job.num_orphanings, 0);
+}
+
+TEST_F(ServerFaultTest, MigrationWithBothEndsDownOrphans) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(5));
+  exec_.Suspend(job.id);
+  exec_.Migrate(job.id, ServerId(1));
+
+  JobId orphaned = JobId::Invalid();
+  exec_.set_on_job_orphaned([&](JobId id) { orphaned = id; });
+
+  exec_.FailServer(ServerId(1));
+  exec_.FailServer(ServerId(0));
+  sim_.RunUntil(Minutes(10));
+
+  EXPECT_EQ(job.state, JobState::kQueued);
+  EXPECT_FALSE(job.server.valid());
+  EXPECT_EQ(job.num_migration_failures, 1);
+  EXPECT_EQ(job.num_orphanings, 1);
+  EXPECT_EQ(job.num_crashes, 0);  // it was checkpointed, nothing burned
+  EXPECT_EQ(orphaned, job.id);
+}
+
+TEST_F(ServerFaultTest, FlakyTransferBouncesToSource) {
+  ExecutorConfig config;
+  config.migrate_failure_prob = 1.0;
+  Executor flaky(sim_, cluster_, workload::ModelZoo::Default(), jobs_, config, 1);
+  Job& job = MakeJob(1e9);
+  flaky.MakeResident(job.id, ServerId(0));
+  flaky.Resume(job.id);
+  sim_.RunUntil(Minutes(5));
+  flaky.Suspend(job.id);
+  flaky.Migrate(job.id, ServerId(1));
+  sim_.RunUntil(Minutes(10));
+
+  EXPECT_EQ(job.state, JobState::kSuspended);
+  EXPECT_EQ(job.server, ServerId(0));  // both servers up; pure network flake
+  EXPECT_EQ(job.num_migration_failures, 1);
+  EXPECT_EQ(flaky.migrations_in_flight(), 0);
+}
+
+TEST_F(ServerFaultTest, CrashDuringWarmupLosesNoProgress) {
+  // A crash inside the no-progress resume window must roll back cleanly —
+  // the segment has burned GPU time but produced nothing.
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Seconds(1));  // DCGAN resume latency is > 1s
+  exec_.InjectCrash(job.id);
+  EXPECT_EQ(job.state, JobState::kSuspended);
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, 0.0);
+  EXPECT_EQ(job.num_crashes, 1);
+  EXPECT_NEAR(job.TotalGpuMs(), static_cast<double>(Seconds(1)), 1.0);
+}
+
+TEST_F(ServerFaultTest, ServerFailureDuringWarmupOrphansCleanly) {
+  Job& job = MakeJob(1e9);
+  exec_.MakeResident(job.id, ServerId(0));
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(10));
+  exec_.Suspend(job.id);
+  const double checkpoint = job.completed_minibatches;
+  exec_.Resume(job.id);
+  sim_.RunUntil(Minutes(10) + Seconds(1));  // still warming up
+
+  exec_.FailServer(ServerId(0));
+  EXPECT_EQ(job.state, JobState::kQueued);
+  EXPECT_DOUBLE_EQ(job.completed_minibatches, checkpoint);
+  EXPECT_EQ(job.num_crashes, 1);
+  EXPECT_EQ(cluster_.server(ServerId(0)).num_busy(), 0);
+}
+
+TEST(FaultInjectorTest, ScriptedFailureAndRecovery) {
+  simkit::Simulator sim;
+  cluster::Cluster cluster(cluster::HomogeneousTopology(3, 4));
+  workload::JobTable jobs;
+  Executor exec(sim, cluster, workload::ModelZoo::Default(), jobs, ExecutorConfig{}, 1);
+  FaultInjector injector(sim, cluster, exec, FaultInjectorConfig{});
+
+  injector.FailAt(Minutes(10), ServerId(1));
+  injector.RecoverAt(Minutes(30), ServerId(1));
+  sim.RunUntil(Minutes(20));
+  EXPECT_FALSE(cluster.server(ServerId(1)).up());
+  EXPECT_EQ(injector.failures_injected(), 1);
+  sim.RunUntil(Hours(1));
+  EXPECT_TRUE(cluster.server(ServerId(1)).up());
+  EXPECT_EQ(injector.recoveries_injected(), 1);
+
+  // The capacity series integrates the outage exactly: 8/12 GPUs for 20 of
+  // the first 60 minutes.
+  const double avg = injector.up_gpu_series().AverageOver(kTimeZero, Hours(1));
+  EXPECT_NEAR(avg, (12.0 * 40 + 8.0 * 20) / 60.0, 1e-9);
+}
+
+TEST(FaultInjectorTest, ChurnSparesLastServerOfPool) {
+  simkit::Simulator sim;
+  cluster::Cluster cluster(cluster::HomogeneousTopology(2, 4));
+  workload::JobTable jobs;
+  Executor exec(sim, cluster, workload::ModelZoo::Default(), jobs, ExecutorConfig{}, 1);
+  FaultInjectorConfig config;
+  config.server_mtbf = Minutes(30);  // aggressive churn
+  config.server_mttr = Minutes(60);  // slow repair: failures overlap often
+  FaultInjector injector(sim, cluster, exec, config);
+  injector.Start();
+
+  // With only two servers and MTTR >> MTBF the guard is exercised
+  // constantly; at least one server must be up at every transition.
+  sim.RunUntil(Hours(24));
+  for (const auto& point : injector.up_gpu_series().points()) {
+    EXPECT_GE(point.value, 4.0);
+  }
+  EXPECT_GT(injector.failures_injected(), 5);
+  EXPECT_GT(injector.failures_suppressed(), 0);
+
+  injector.Stop();
+  sim.RunUntil(Hours(30));  // pending recoveries drain
+  EXPECT_EQ(cluster.num_up_servers(), 2);
+}
+
+}  // namespace
+}  // namespace gfair::exec

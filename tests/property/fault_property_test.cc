@@ -1,0 +1,89 @@
+// Fault-plane property test: GandivaFair under sustained server churn AND
+// flaky checkpoint transfers must never lose or wedge a job. Once the churn
+// stops and the cluster heals, every submitted job finishes.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "exec/fault_injector.h"
+
+namespace gfair {
+namespace {
+
+using workload::JobState;
+
+class FaultChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultChurnProperty, NoJobLostOrWedgedUnderChurn) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 2, 4},
+      {cluster::GpuGeneration::kV100, 2, 4},
+  }};
+  config.exec.migrate_failure_prob = 0.3;  // one in three transfers flakes
+  config.seed = GetParam();
+  analysis::Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  const UserId bob = exp.users().Create("bob").id;
+  exp.UseGandivaFair({});
+
+  Rng rng(GetParam());
+  const char* models[] = {"DCGAN", "VAE", "ResNet-50"};
+  for (int i = 0; i < 10; ++i) {
+    exp.SubmitAt(Minutes(rng.UniformInt(0, 120)), i % 2 == 0 ? alice : bob,
+                 models[i % 3], static_cast<int>(1 << rng.UniformInt(0, 2)),
+                 Minutes(rng.UniformInt(30, 90)));
+  }
+  exp.Run(Seconds(1));
+
+  exec::FaultInjectorConfig faults;
+  faults.server_mtbf = Hours(2);  // aggressive: ~2 failures/hour across 4 servers
+  faults.server_mttr = Minutes(20);
+  faults.seed = GetParam() * 31 + 7;
+  exec::FaultInjector injector(exp.sim(), exp.cluster(), exp.exec(), faults);
+  injector.Start();
+
+  // Step through six hours of churn, checking liveness invariants at every
+  // step: valid job states, no resurrecting progress, down servers hold no
+  // GPUs, and capacity accounting stays exact.
+  for (SimTime t = Minutes(10); t <= Hours(6); t += Minutes(10)) {
+    exp.Run(t);
+    int up_gpus = 0;
+    for (const auto& server : exp.cluster().servers()) {
+      if (!server.up()) {
+        ASSERT_EQ(server.num_busy(), 0) << "down server still holds GPUs";
+      } else {
+        up_gpus += server.num_gpus();
+      }
+    }
+    ASSERT_EQ(up_gpus, exp.cluster().up_gpus());
+    for (const auto* job : exp.jobs().All()) {
+      ASSERT_GE(job->completed_minibatches, job->checkpointed_minibatches - 1e-6);
+      if (job->state == JobState::kRunning || job->state == JobState::kSuspended) {
+        ASSERT_TRUE(job->server.valid());
+        ASSERT_TRUE(exp.cluster().server(job->server).up());
+      }
+    }
+  }
+  ASSERT_GT(injector.failures_injected(), 0) << "churn never fired; test is vacuous";
+
+  // Stop injecting; pending repairs still complete, so the cluster heals and
+  // everything parked or retried must drain.
+  injector.Stop();
+  exp.Run(Hours(16));
+
+  EXPECT_EQ(exp.cluster().num_up_servers(), 4);
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+  int64_t orphanings = 0;
+  for (const auto* job : exp.jobs().All()) {
+    EXPECT_EQ(job->state, JobState::kFinished)
+        << "job " << job->id << " stuck after the cluster healed (seed "
+        << GetParam() << ")";
+    orphanings += job->num_orphanings;
+  }
+  EXPECT_EQ(orphanings, exp.exec().jobs_orphaned());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChurnProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace gfair

@@ -3,8 +3,8 @@
 //    entitlements, no user worse off, rate bounds;
 //  * LocalStrideScheduler under random add/remove/retarget churn — selection
 //    feasibility, pass monotonicity, load accounting;
-//  * Executor under random verb sequences — state machine legality and
-//    occupancy consistency.
+//  * Executor under random verb sequences interleaved with server
+//    failures/recoveries — state machine legality and occupancy consistency.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -196,6 +196,21 @@ TEST_P(ExecutorFuzz, StateMachineAndOccupancyStayConsistent) {
 
   for (int step = 0; step < 3'000; ++step) {
     sim.RunUntil(sim.Now() + Seconds(rng.UniformInt(1, 120)));
+
+    // Occasionally flip a server's availability: failure evacuates its jobs,
+    // recovery makes it a target again. Both must preserve every invariant
+    // below, whatever verbs the rest of the walk interleaves.
+    if (rng.Bernoulli(0.02)) {
+      const auto& servers = cluster.servers();
+      const auto& victim = servers[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1))];
+      if (victim.up()) {
+        exec.FailServer(victim.id());
+      } else {
+        exec.RecoverServer(victim.id());
+      }
+    }
+
     const JobId id = ids[static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(ids.size()) - 1))];
     auto& job = jobs.Get(id);
@@ -204,7 +219,7 @@ TEST_P(ExecutorFuzz, StateMachineAndOccupancyStayConsistent) {
         const auto& servers = cluster.servers();
         const auto& target = servers[static_cast<size_t>(
             rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1))];
-        if (target.num_gpus() >= job.gang_size &&
+        if (target.up() && target.num_gpus() >= job.gang_size &&
             zoo.Get(job.model).FitsGeneration(target.generation())) {
           exec.MakeResident(id, target.id());
         }
@@ -212,9 +227,10 @@ TEST_P(ExecutorFuzz, StateMachineAndOccupancyStayConsistent) {
       }
       case workload::JobState::kSuspended:
         if (rng.Bernoulli(0.2)) {
-          // Migrate to a random other server that can host the gang.
+          // Migrate to a random other up server that can host the gang.
           for (const auto& server : cluster.servers()) {
-            if (server.id() != job.server && server.num_gpus() >= job.gang_size &&
+            if (server.up() && server.id() != job.server &&
+                server.num_gpus() >= job.gang_size &&
                 zoo.Get(job.model).FitsGeneration(server.generation())) {
               exec.Migrate(id, server.id());
               break;
@@ -242,6 +258,9 @@ TEST_P(ExecutorFuzz, StateMachineAndOccupancyStayConsistent) {
     // jobs running there; progress bounded.
     int busy_total = 0;
     for (const auto& server : cluster.servers()) {
+      if (!server.up()) {
+        ASSERT_EQ(server.num_busy(), 0) << "down server still holds GPUs";
+      }
       busy_total += server.num_busy();
     }
     int running_total = 0;

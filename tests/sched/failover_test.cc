@@ -1,0 +1,187 @@
+// Failover tests: GandivaFair's reaction to server loss — orphan re-placement,
+// arrivals during an outage, recovery reuse, and the migration retry/backoff
+// ladder with its terminal fallback.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/harness.h"
+
+namespace gfair::sched {
+namespace {
+
+using analysis::Experiment;
+using analysis::ExperimentConfig;
+using workload::JobState;
+
+TEST(FailoverTest, OrphansAreReplacedAndFinish) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  const UserId bob = exp.users().Create("bob").id;
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 4; ++i) {
+    exp.SubmitAt(Minutes(i), i % 2 == 0 ? alice : bob, "DCGAN", 1, Hours(4));
+  }
+  exp.Run(Minutes(10));
+  // Fail whichever server is actually hosting work (placement may have
+  // packed one side); the other one is the survivor.
+  ServerId victim = ServerId(0);
+  if (exp.cluster().server(victim).num_busy() == 0) {
+    victim = ServerId(1);
+  }
+  const ServerId survivor = victim == ServerId(0) ? ServerId(1) : ServerId(0);
+  ASSERT_GT(exp.cluster().server(victim).num_busy(), 0);
+
+  exp.exec().FailServer(victim);
+  EXPECT_GE(exp.exec().jobs_orphaned(), 1);
+  // Re-placement happens synchronously inside the orphan callback when the
+  // surviving server has room (4 GPUs for 4 single-GPU jobs).
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+  EXPECT_GE(exp.gandiva()->orphans_replaced(), 1);
+  for (const auto* job : exp.jobs().All()) {
+    if (!job->finished()) {
+      EXPECT_EQ(job->server, survivor);
+    }
+  }
+
+  exp.Run(Hours(8));
+  for (const auto* job : exp.jobs().All()) {
+    EXPECT_TRUE(job->finished()) << "job " << job->id << " lost after failover";
+  }
+  // The dead server never came back: nothing may have been placed or
+  // migrated onto it after the failure.
+  EXPECT_FALSE(exp.cluster().server(victim).up());
+  EXPECT_EQ(exp.cluster().server(victim).num_busy(), 0);
+}
+
+TEST(FailoverTest, ArrivalDuringTotalOutageWaitsForRecovery) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 4);
+  Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  exp.UseGandivaFair({});
+  exp.Run(Seconds(1));
+
+  exp.exec().FailServer(ServerId(0));
+  const JobId id = exp.SubmitAt(Minutes(1), alice, "DCGAN", 1, Minutes(30));
+  exp.Run(Minutes(10));
+  // Nowhere to go: parked, not dropped, not crashed.
+  EXPECT_EQ(exp.jobs().Get(id).state, JobState::kQueued);
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 1u);
+
+  exp.exec().RecoverServer(ServerId(0));
+  // Recovery re-places the parked job immediately.
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+  EXPECT_EQ(exp.jobs().Get(id).server, ServerId(0));
+  exp.Run(Hours(4));
+  EXPECT_TRUE(exp.jobs().Get(id).finished());
+}
+
+TEST(FailoverTest, DecisionsAvoidDownServerUntilRecovery) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  exp.UseGandivaFair({});
+  exp.Run(Seconds(1));
+  exp.exec().FailServer(ServerId(0));
+
+  for (int i = 0; i < 3; ++i) {
+    exp.SubmitAt(Minutes(1 + i), alice, "DCGAN", 1, Hours(8));
+  }
+  exp.Run(Hours(1));
+  for (const Decision& decision : exp.gandiva()->decisions().entries()) {
+    EXPECT_NE(decision.to, ServerId(0))
+        << DecisionTypeName(decision.type) << " targeted the down server";
+  }
+
+  // After recovery the server is a placement target again: the next arrival
+  // must land there (it is idle, the survivor holds three jobs).
+  exp.exec().RecoverServer(ServerId(0));
+  const JobId late = exp.SubmitAt(exp.sim().Now() + Minutes(1), alice, "DCGAN", 1,
+                                  Hours(1));
+  exp.Run(exp.sim().Now() + Minutes(2));
+  EXPECT_EQ(exp.jobs().Get(late).server, ServerId(0));
+}
+
+TEST(FailoverTest, MigrationRetriesBackOffThenGiveUp) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  config.exec.migrate_failure_prob = 1.0;  // every transfer flakes
+  Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+
+  GandivaFairConfig sched;
+  sched.enable_load_balancing = false;  // no periodic re-drain: isolate retries
+  sched.enable_trading = false;
+  sched.enable_work_stealing = false;
+  sched.migration_max_retries = 3;
+  sched.migration_retry_backoff = Seconds(30);
+  exp.UseGandivaFair(sched);
+
+  const JobId id = exp.SubmitAt(kTimeZero, alice, "DCGAN", 1, Hours(12));
+  exp.Run(Minutes(15));
+  const ServerId source = exp.jobs().Get(id).server;
+  ASSERT_TRUE(source.valid());
+
+  // Observe every transfer failure, then forward to the scheduler as the
+  // normal wiring would.
+  std::vector<SimTime> failures;
+  exp.exec().set_on_migration_failed([&](JobId job, ServerId dest) {
+    failures.push_back(exp.sim().Now());
+    exp.gandiva()->OnMigrationFailed(job, dest);
+  });
+
+  exp.gandiva()->DrainServer(source);  // forces one migration attempt
+  exp.Run(Minutes(45));
+
+  // Initial attempt + 3 retries, then the terminal fallback keeps the job at
+  // its source — never wedged in kMigrating.
+  ASSERT_EQ(failures.size(), 4u);
+  EXPECT_EQ(exp.jobs().Get(id).num_migration_failures, 4);
+  EXPECT_EQ(exp.gandiva()->migration_retries_started(), 3);
+  EXPECT_EQ(exp.jobs().Get(id).server, source);
+  EXPECT_NE(exp.jobs().Get(id).state, JobState::kMigrating);
+
+  // Exponential ladder: each retry waits at least twice the previous backoff
+  // (30s, 60s, 120s) plus the transfer latency itself.
+  const SimDuration gap1 = failures[1] - failures[0];
+  const SimDuration gap2 = failures[2] - failures[1];
+  const SimDuration gap3 = failures[3] - failures[2];
+  EXPECT_GE(gap1, Seconds(30));
+  EXPECT_GE(gap2, Seconds(60));
+  EXPECT_GE(gap3, Seconds(120));
+
+  exp.Run(Hours(6));
+  EXPECT_TRUE(exp.jobs().Get(id).finished());
+}
+
+TEST(FailoverTest, FairnessSurvivesSingleServerLoss) {
+  // Two equal-ticket users saturating a 4-server pool; one server dies
+  // mid-run. Delivered GPU time must stay near-equal between the users.
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(4, 4);
+  Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  const UserId bob = exp.users().Create("bob").id;
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(Minutes(i), i % 2 == 0 ? alice : bob, "DCGAN", 2, Hours(8));
+  }
+  exp.Run(Hours(1));
+  exp.exec().FailServer(ServerId(2));
+  exp.Run(Hours(3));
+
+  const auto& ledger = exp.gandiva()->ledger();
+  const double a = ledger.GpuMs(alice, kTimeZero, Hours(3));
+  const double b = ledger.GpuMs(bob, kTimeZero, Hours(3));
+  ASSERT_GT(a, 0.0);
+  ASSERT_GT(b, 0.0);
+  EXPECT_NEAR(a / b, 1.0, 0.05);
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gfair::sched

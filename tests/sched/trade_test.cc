@@ -76,6 +76,40 @@ TEST(TradeTest, WinWinTradeHappens) {
   EXPECT_DOUBLE_EQ(trade.slow_gpus, trade.fast_gpus * trade.rate);
 }
 
+TEST(TradeTest, NoTradeWhenLenderSpeedupMeetsBorrowers) {
+  // With a permissive min_speedup_gap (< 1) the gap check alone no longer
+  // rejects pairings where the borrower's speedup is at or below the
+  // lender's. RateFor would clamp such a trade's rate to (or past) the
+  // borrower's entire speedup — at or below the lender's breakeven — so one
+  // side cannot gain; ComputeEpoch must skip the pairing entirely.
+  TradeConfig config;
+  config.min_speedup_gap = 0.5;
+  TradingEngine engine(config);
+
+  // Identical speedups: zero surplus to split, no trade. Without the guard
+  // the engine would strike a trade at rate == both speedups, leaving the
+  // borrower exactly flat — pointless churn.
+  const TradeOutcome identical = engine.ComputeEpoch(TwoUserInputs(2.0, 2.0));
+  EXPECT_TRUE(identical.trades.empty());
+
+  // Roles come from the speedup ordering, not the argument order: when the
+  // "lender" argument has the higher speedup (3.0 vs 2.0) the engine swaps
+  // the pair and still finds a genuine win-win trade.
+  const TradeOutcome swapped = engine.ComputeEpoch(TwoUserInputs(3.0, 2.0));
+  ASSERT_FALSE(swapped.trades.empty());
+  EXPECT_EQ(swapped.trades[0].lender, UserId(1));
+  EXPECT_EQ(swapped.trades[0].borrower, UserId(0));
+  EXPECT_GT(swapped.trades[0].rate, 2.0);
+  EXPECT_LE(swapped.trades[0].rate, 3.0);
+
+  // Sanity: the same permissive config still trades when there is a genuine
+  // surplus, and at a rate strictly between the two speedups.
+  const TradeOutcome genuine = engine.ComputeEpoch(TwoUserInputs(1.2, 6.0));
+  ASSERT_FALSE(genuine.trades.empty());
+  EXPECT_GT(genuine.trades[0].rate, 1.2);
+  EXPECT_LE(genuine.trades[0].rate, 6.0);
+}
+
 TEST(TradeTest, NoUserWorseOff) {
   // The fairness guarantee: post-trade entitlement value (in each user's own
   // K80-equivalents) must be >= pre-trade value.

@@ -160,6 +160,74 @@ TEST(TraceIoTest, FileRoundTrip) {
   EXPECT_NEAR(parsed[0].weight, 2.0, 1e-6);
 }
 
+TEST(TraceIoTest, NonFiniteNumbersRejected) {
+  // strtod happily parses "nan" and "inf" — and nan even slips past a
+  // `value <= 0` check because every comparison against nan is false. A nan
+  // minibatch count would poison every progress comparison downstream.
+  const ModelZoo& zoo = ModelZoo::Default();
+  const char* bad_minibatches[] = {"nan",  "NaN",  "inf",       "INF",
+                                   "-inf", "nan(0x1)", "infinity"};
+  for (const char* value : bad_minibatches) {
+    UserTable users;
+    std::vector<TraceFileEntry> parsed;
+    std::string error;
+    const std::string csv = std::string("arrival_ms,user,model,gang_size,minibatches\n") +
+                            "0,a,VAE,1," + value + "\n";
+    EXPECT_FALSE(ParseTrace(csv, zoo, &users, &parsed, &error)) << value;
+    EXPECT_NE(error.find("minibatches"), std::string::npos) << error;
+  }
+
+  UserTable users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  EXPECT_FALSE(
+      ParseTrace("arrival_ms,user,model,gang_size,minibatches,weight\n0,a,VAE,1,10,nan\n",
+                 zoo, &users, &parsed, &error));
+  EXPECT_NE(error.find("weight"), std::string::npos) << error;
+}
+
+TEST(TraceIoTest, LongNamesRoundTrip) {
+  // A row longer than SerializeTrace's 256-byte stack buffer used to be
+  // silently truncated mid-field.
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  const std::string long_name(300, 'u');
+  const UserId user = users.Create(long_name).id;
+  const std::vector<TraceFileEntry> entries = {
+      {TraceEntry{user, zoo.GetByName("ResNet-50").id, 8, 1234.5, Minutes(3)}, 2.5}};
+
+  const std::string csv = SerializeTrace(entries, users, zoo);
+
+  UserTable parsed_users;
+  std::vector<TraceFileEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseTrace(csv, zoo, &parsed_users, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed_users.Get(parsed[0].entry.user).name, long_name);
+  EXPECT_EQ(parsed[0].entry.model, zoo.GetByName("ResNet-50").id);
+  EXPECT_EQ(parsed[0].entry.gang_size, 8);
+  EXPECT_NEAR(parsed[0].entry.total_minibatches, 1234.5, 1e-6);
+  EXPECT_NEAR(parsed[0].weight, 2.5, 1e-6);
+}
+
+TEST(TraceIoTest, DelimiterInNameDies) {
+  // The format has no quoting, so a user name carrying the delimiter (or a
+  // line break) would shift every later column on parse. Serialization must
+  // refuse rather than emit a trace that parses into garbage.
+  const ModelZoo& zoo = ModelZoo::Default();
+  UserTable users;
+  const UserId sneaky = users.Create("alice,bob").id;
+  const std::vector<TraceFileEntry> entries = {
+      {TraceEntry{sneaky, zoo.GetByName("VAE").id, 1, 10.0, 0}, 1.0}};
+  EXPECT_DEATH(SerializeTrace(entries, users, zoo), "delimiter");
+
+  UserTable users2;
+  const UserId multiline = users2.Create("eve\nmallory").id;
+  const std::vector<TraceFileEntry> entries2 = {
+      {TraceEntry{multiline, zoo.GetByName("VAE").id, 1, 10.0, 0}, 1.0}};
+  EXPECT_DEATH(SerializeTrace(entries2, users2, zoo), "delimiter");
+}
+
 TEST(TraceIoTest, MissingFileReportsError) {
   UserTable users;
   std::vector<TraceFileEntry> parsed;
