@@ -1,11 +1,35 @@
-// E11 — Scheduler decision latency (google-benchmark).
+// E11 — Scheduler decision latency (google-benchmark + CI smoke mode).
 // Wall-clock cost of the scheduler's hot operations as the cluster scales:
 // local stride selection, a full cluster quantum tick, and a trading epoch.
 // The paper's claim is that split-stride scheduling keeps per-decision cost
 // trivially small at 200-GPU scale.
+//
+// Cluster ticks come in two flavors:
+//   * flip — 2x oversubscribed with identical jobs, so stride time-slices
+//     every GPU every quantum: the worst case, dominated by the mandatory
+//     suspend/resume actuation;
+//   * steady — demand exactly covers capacity, so after warm-up no schedule
+//     changes: the quantum pipeline's dirty-set skip proves every server
+//     unchanged and per-quantum cost collapses to pass charging + sampling.
+//
+// Smoke mode (env-driven, replaces google-benchmark):
+//   GFAIR_E11_WRITE_BASELINE=path  measure per-quantum medians, write the
+//                                  flat-JSON baseline, exit 0.
+//   GFAIR_E11_SMOKE=1              measure the same points; with
+//   GFAIR_E11_BASELINE=path        compare p50s against the baseline and
+//                                  exit non-zero on a regression beyond
+//   GFAIR_E11_THRESHOLD            (fractional, default 0.25).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "analysis/harness.h"
+#include "bench/scenarios.h"
 #include "sched/stride.h"
 #include "sched/trade.h"
 
@@ -32,23 +56,33 @@ void BM_StrideSelectForQuantum(benchmark::State& state) {
 }
 BENCHMARK(BM_StrideSelectForQuantum)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
-// One full quantum tick across the whole cluster, 2x oversubscribed.
-void BM_ClusterQuantumTick(benchmark::State& state) {
-  const int num_servers = static_cast<int>(state.range(0));
+// A homogeneous cluster of 8-GPU servers running identical infinite 1-GPU
+// jobs, `jobs_per_server` per server, warmed up past its first quanta.
+std::unique_ptr<analysis::Experiment> MakeTickCluster(int num_servers,
+                                                      int jobs_per_server) {
   analysis::ExperimentConfig config;
   config.topology = cluster::HomogeneousTopology(num_servers, 8);
-  analysis::Experiment exp(config);
-  auto& a = exp.users().Create("a");
-  auto& b = exp.users().Create("b");
-  exp.UseGandivaFair({});
-  for (int i = 0; i < num_servers * 16; ++i) {
-    exp.SubmitAt(kTimeZero, i % 2 == 0 ? a.id : b.id, "DCGAN", 1, Hours(100000));
+  auto exp = std::make_unique<analysis::Experiment>(config);
+  auto& a = exp->users().Create("a");
+  auto& b = exp->users().Create("b");
+  exp->UseGandivaFair({});
+  for (int i = 0; i < num_servers * jobs_per_server; ++i) {
+    exp->SubmitAt(kTimeZero, i % 2 == 0 ? a.id : b.id, "DCGAN", 1,
+                  Hours(100000));
   }
-  exp.Run(Minutes(2));
-  SimTime now = exp.sim().Now();
+  exp->Run(Minutes(2));
+  return exp;
+}
+
+// One full quantum tick across the whole cluster, 2x oversubscribed: every
+// server flips its whole GPU complement every quantum.
+void BM_ClusterQuantumTick(benchmark::State& state) {
+  const int num_servers = static_cast<int>(state.range(0));
+  auto exp = MakeTickCluster(num_servers, /*jobs_per_server=*/16);
+  SimTime now = exp->sim().Now();
   for (auto _ : state) {
     now += Minutes(1);
-    exp.Run(now);  // exactly one quantum tick (plus its suspend/resume churn)
+    exp->Run(now);  // exactly one quantum tick (plus its suspend/resume churn)
   }
   state.SetLabel(std::to_string(num_servers * 8) + " GPUs");
 }
@@ -58,6 +92,24 @@ BENCHMARK(BM_ClusterQuantumTick)
     ->Arg(25)
     ->Arg(64)
     ->Arg(250)  // 2000 GPUs: scale point well past the paper's 200-GPU cluster
+    ->Unit(benchmark::kMicrosecond);
+
+// Steady state: demand == capacity, so after warm-up nothing changes and the
+// planner's dirty-set skip elides every server's selection and diff.
+void BM_ClusterQuantumTickSteady(benchmark::State& state) {
+  const int num_servers = static_cast<int>(state.range(0));
+  auto exp = MakeTickCluster(num_servers, /*jobs_per_server=*/8);
+  SimTime now = exp->sim().Now();
+  for (auto _ : state) {
+    now += Minutes(1);
+    exp->Run(now);
+  }
+  state.SetLabel(std::to_string(num_servers * 8) + " GPUs, zero churn");
+}
+BENCHMARK(BM_ClusterQuantumTickSteady)
+    ->Arg(25)
+    ->Arg(64)
+    ->Arg(250)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_TradeEpoch(benchmark::State& state) {
@@ -116,6 +168,113 @@ void BM_PaperScaleSimHour(benchmark::State& state) {
 }
 BENCHMARK(BM_PaperScaleSimHour)->Unit(benchmark::kMillisecond);
 
+// --- CI smoke mode ---
+
+// Per-quantum wall-clock latency over `quanta` ticks (after a settling
+// prefix), sampled with the shared PercentileSampler.
+PercentileSampler MeasureTickLatency(int num_servers, int jobs_per_server,
+                                     int quanta) {
+  auto exp = MakeTickCluster(num_servers, jobs_per_server);
+  SimTime now = exp->sim().Now();
+  for (int q = 0; q < 16; ++q) {  // settle stride state + allocator pools
+    now += Minutes(1);
+    exp->Run(now);
+  }
+  PercentileSampler sampler;
+  for (int q = 0; q < quanta; ++q) {
+    now += Minutes(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    exp->Run(now);
+    const auto t1 = std::chrono::steady_clock::now();
+    sampler.Add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+        1000.0);
+  }
+  return sampler;
+}
+
+int RunSmoke() {
+  const char* write_path = std::getenv("GFAIR_E11_WRITE_BASELINE");
+  const char* baseline_path = std::getenv("GFAIR_E11_BASELINE");
+  const char* threshold_env = std::getenv("GFAIR_E11_THRESHOLD");
+  const double threshold = threshold_env ? std::atof(threshold_env) : 0.25;
+
+  struct Point {
+    const char* key;
+    int servers;
+    int jobs_per_server;
+  };
+  const std::vector<Point> points = {
+      {"flip_25", 25, 16},    {"flip_64", 64, 16},   {"flip_250", 250, 16},
+      {"steady_64", 64, 8},   {"steady_250", 250, 8},
+  };
+
+  std::vector<std::pair<std::string, double>> recorded;
+  for (const Point& point : points) {
+    const auto sampler =
+        MeasureTickLatency(point.servers, point.jobs_per_server, 300);
+    const bench::LatencySummary summary = bench::Summarize(sampler);
+    std::cout << "E11 smoke " << point.key << ": p50 " << summary.p50
+              << " us, p95 " << summary.p95 << " us, mean " << summary.mean
+              << " us over " << summary.count << " quanta\n";
+    recorded.emplace_back(std::string("tick_us_p50_") + point.key, summary.p50);
+    recorded.emplace_back(std::string("tick_us_p95_") + point.key, summary.p95);
+  }
+
+  if (write_path != nullptr) {
+    bench::WriteFlatJson(write_path, recorded);
+    std::cout << "E11 baseline written to " << write_path << "\n";
+    return 0;
+  }
+  if (baseline_path == nullptr) {
+    return 0;  // measure-only smoke
+  }
+  std::vector<std::pair<std::string, double>> baseline;
+  if (!bench::ReadFlatJson(baseline_path, &baseline)) {
+    std::cerr << "E11 smoke: cannot read baseline " << baseline_path << "\n";
+    return 1;
+  }
+  // Gate on medians only; p95s ride along in the baseline for forensics.
+  int violations = 0;
+  for (const auto& [key, old_value] : baseline) {
+    if (key.rfind("tick_us_p50_", 0) != 0) {
+      continue;
+    }
+    double new_value = -1.0;
+    for (const auto& [new_key, value] : recorded) {
+      if (new_key == key) {
+        new_value = value;
+      }
+    }
+    if (new_value < 0.0) {
+      std::cerr << "E11 REGRESSION CHECK: baseline key " << key
+                << " no longer measured\n";
+      violations += 1;
+    } else if (new_value > old_value * (1.0 + threshold)) {
+      std::cerr << "E11 REGRESSION: " << key << " " << old_value << " us -> "
+                << new_value << " us (>" << threshold * 100.0 << "%)\n";
+      violations += 1;
+    }
+  }
+  if (violations == 0) {
+    std::cout << "E11 smoke: per-quantum medians within " << threshold * 100.0
+              << "% of baseline\n";
+  }
+  return violations > 0 ? 1 : 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (std::getenv("GFAIR_E11_SMOKE") != nullptr ||
+      std::getenv("GFAIR_E11_WRITE_BASELINE") != nullptr) {
+    return RunSmoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -91,33 +91,12 @@ AvailabilityOutcome RunOne(double down_fraction, SimTime horizon, uint64_t seed)
     outcome.delivered_gpu_hours += ledger.GpuMs(user, kTimeZero, horizon) / kHour;
   }
 
-  {
-    const auto ideal = exp.IdealGpuMs(kTimeZero, horizon);
-    std::vector<double> ratios;
-    for (size_t i = 0; i < user_ids.size(); ++i) {
-      if (ideal[i] > static_cast<double>(Minutes(1))) {
-        ratios.push_back(ledger.GpuMs(user_ids[i], kTimeZero, horizon) / ideal[i]);
-      }
-    }
-    outcome.full_run_jain = JainIndex(ratios);
-  }
-
-  // Worst-hour fairness: Jain over achieved/ideal per user, one window per
-  // hour (skipping the warm-up hour and windows with under two active users
-  // where the index is trivially 1).
-  for (SimTime from = Hours(1); from + Hours(1) <= horizon; from += Hours(1)) {
-    const SimTime to = from + Hours(1);
-    const auto ideal = exp.IdealGpuMs(from, to);
-    std::vector<double> ratios;
-    for (size_t i = 0; i < user_ids.size(); ++i) {
-      if (ideal[i] > static_cast<double>(Minutes(1))) {
-        ratios.push_back(ledger.GpuMs(user_ids[i], from, to) / ideal[i]);
-      }
-    }
-    if (ratios.size() >= 2) {
-      outcome.min_hourly_jain = std::min(outcome.min_hourly_jain, JainIndex(ratios));
-    }
-  }
+  // Run-level and worst-hour fairness over achieved/ideal (shared helper;
+  // the warm-up hour and trivial windows are skipped).
+  const FairnessOverTime fairness =
+      MeasureFairnessOverTime(exp, user_ids, horizon);
+  outcome.full_run_jain = fairness.full_jain;
+  outcome.min_hourly_jain = fairness.min_window_jain;
 
   outcome.failures = injector.failures_injected();
   outcome.orphaned = exp.exec().jobs_orphaned();

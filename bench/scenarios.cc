@@ -1,5 +1,8 @@
 #include "bench/scenarios.h"
 
+#include <algorithm>
+#include <fstream>
+
 #include "common/check.h"
 
 namespace gfair::bench {
@@ -106,6 +109,89 @@ std::vector<workload::UserWorkloadSpec> ClusterUserSpecs(SimTime horizon,
     specs.push_back(std::move(spec));
   }
   return specs;
+}
+
+namespace {
+
+// Achieved/ideal ratios over [from, to) for the users whose ideal share is
+// meaningful (above one GPU-minute — below that the ratio is noise).
+std::vector<double> AchievedOverIdeal(analysis::Experiment& exp,
+                                      const std::vector<UserId>& users,
+                                      SimTime from, SimTime to) {
+  const auto ideal = exp.IdealGpuMs(from, to);
+  std::vector<double> ratios;
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (ideal[i] > static_cast<double>(Minutes(1))) {
+      ratios.push_back(exp.ledger().GpuMs(users[i], from, to) / ideal[i]);
+    }
+  }
+  return ratios;
+}
+
+}  // namespace
+
+FairnessOverTime MeasureFairnessOverTime(analysis::Experiment& exp,
+                                         const std::vector<UserId>& users,
+                                         SimTime horizon, SimDuration window) {
+  GFAIR_CHECK(window > 0);
+  FairnessOverTime result;
+  result.full_jain = JainIndex(AchievedOverIdeal(exp, users, kTimeZero, horizon));
+  for (SimTime from = window; from + window <= horizon; from += window) {
+    const auto ratios = AchievedOverIdeal(exp, users, from, from + window);
+    if (ratios.size() >= 2) {
+      result.min_window_jain = std::min(result.min_window_jain, JainIndex(ratios));
+    }
+  }
+  return result;
+}
+
+LatencySummary Summarize(const PercentileSampler& sampler) {
+  LatencySummary summary;
+  summary.p50 = sampler.Percentile(50.0);
+  summary.p95 = sampler.Percentile(95.0);
+  summary.mean = sampler.Mean();
+  summary.count = sampler.count();
+  return summary;
+}
+
+void WriteFlatJson(const std::string& path,
+                   const std::vector<std::pair<std::string, double>>& values) {
+  std::ofstream out(path);
+  GFAIR_CHECK_MSG(out.good(), "cannot open baseline file for writing");
+  out << "{\n";
+  for (size_t i = 0; i < values.size(); ++i) {
+    out << "  \"" << values[i].first << "\": " << values[i].second
+        << (i + 1 < values.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+bool ReadFlatJson(const std::string& path,
+                  std::vector<std::pair<std::string, double>>* values) {
+  values->clear();
+  std::ifstream in(path);
+  if (!in.good()) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t open = line.find('"');
+    if (open == std::string::npos) {
+      continue;  // braces / blank lines
+    }
+    const size_t close = line.find('"', open + 1);
+    const size_t colon = line.find(':', close);
+    if (close == std::string::npos || colon == std::string::npos) {
+      return false;
+    }
+    try {
+      values->emplace_back(line.substr(open + 1, close - open - 1),
+                           std::stod(line.substr(colon + 1)));
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace gfair::bench

@@ -49,6 +49,39 @@ void AppendUserRows(Table& table, const RunOutcome& outcome);
 std::vector<workload::UserWorkloadSpec> ClusterUserSpecs(SimTime horizon,
                                                          double load_scale = 1.0);
 
+// --- shared report helpers (E11/E14 and friends) ---
+
+// Jain fairness over achieved/ideal GPU time, for the whole run and for the
+// worst fixed-size window. Windows start at `window` (the warm-up window is
+// skipped); users whose ideal share of a window is under one GPU-minute are
+// filtered, and windows with fewer than two surviving ratios (where the
+// index is trivially 1) are ignored.
+struct FairnessOverTime {
+  double full_jain = 1.0;        // over [kTimeZero, horizon)
+  double min_window_jain = 1.0;  // worst window
+};
+FairnessOverTime MeasureFairnessOverTime(analysis::Experiment& exp,
+                                         const std::vector<UserId>& users,
+                                         SimTime horizon,
+                                         SimDuration window = Hours(1));
+
+// Percentile summary of a sampler (units follow the samples).
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+};
+LatencySummary Summarize(const PercentileSampler& sampler);
+
+// Flat one-level JSON object of numeric values ({"key": 1.5, ...}) — the
+// interchange format for CI benchmark baselines. ReadFlatJson accepts only
+// what WriteFlatJson emits and returns false on any parse or I/O error.
+void WriteFlatJson(const std::string& path,
+                   const std::vector<std::pair<std::string, double>>& values);
+bool ReadFlatJson(const std::string& path,
+                  std::vector<std::pair<std::string, double>>* values);
+
 }  // namespace gfair::bench
 
 #endif  // GFAIR_BENCH_SCENARIOS_H_

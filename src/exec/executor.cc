@@ -149,6 +149,17 @@ void Executor::Suspend(JobId id) {
   job.checkpointed_minibatches = job.completed_minibatches;
 }
 
+void Executor::ApplyDelta(const ScheduleOp* ops, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const ScheduleOp& op = ops[i];
+    if (op.resume) {
+      Resume(op.job);
+    } else {
+      Suspend(op.job);
+    }
+  }
+}
+
 void Executor::InjectCrash(JobId id) {
   Job& job = jobs_.Get(id);
   GFAIR_CHECK_MSG(job.state == JobState::kRunning || job.state == JobState::kSuspended,

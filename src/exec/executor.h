@@ -34,6 +34,7 @@
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "exec/schedule_op.h"
 #include "common/sim_time.h"
 #include "common/types.h"
 #include "simkit/simulator.h"
@@ -119,6 +120,16 @@ class Executor {
   // running -> suspended: stops progress, releases the gang immediately and
   // charges suspend latency to the job's overhead account.
   void Suspend(JobId id);
+
+  // Applies a batched schedule change: each op is a Suspend (resume=false)
+  // or Resume (resume=true), executed strictly in list order — the producer
+  // (sched::PlanDiffer) orders suspends before the resumes that need their
+  // GPUs. Batched calls at quantum edges (the scheduler applies one slice
+  // per diffed server) replace the per-job call storm.
+  void ApplyDelta(const ScheduleOp* ops, size_t count);
+  void ApplyDelta(const std::vector<ScheduleOp>& ops) {
+    ApplyDelta(ops.data(), ops.size());
+  }
 
   // suspended -> migrating -> suspended on `dest` after the migration
   // latency. The migration-done callback then fires.

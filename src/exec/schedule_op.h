@@ -1,0 +1,25 @@
+// ScheduleOp — one verb of a batched schedule change.
+//
+// The quantum pipeline (sched::PlanDiffer) compiles a SchedulePlan down to a
+// flat list of these; Executor::ApplyDelta consumes the list in order. Kept
+// in exec (below sched in the layering) so both the differ that produces
+// deltas and the executor that applies them can name the type.
+#ifndef GFAIR_EXEC_SCHEDULE_OP_H_
+#define GFAIR_EXEC_SCHEDULE_OP_H_
+
+#include "common/types.h"
+
+namespace gfair::exec {
+
+struct ScheduleOp {
+  JobId job;
+  // Suspends: the server the job runs on. Resumes: the server whose GPUs it
+  // takes (its home). Informational for the executor (which tracks homes
+  // itself) but load-bearing for decision recording and delta validation.
+  ServerId server;
+  bool resume;
+};
+
+}  // namespace gfair::exec
+
+#endif  // GFAIR_EXEC_SCHEDULE_OP_H_

@@ -16,21 +16,12 @@ ClusterStateIndex::ClusterStateIndex(const cluster::Cluster& cluster,
   dirty_list_.reserve(n);
   draining_.assign(n, false);
   down_.assign(n, false);
+  plan_dirty_.assign(n, 1);  // every server must be planned on the first tick
   for (const auto& server : cluster.servers()) {
     strides_.emplace_back(server.num_gpus(), stride_config);
     pools_by_load_[cluster::GenerationIndex(server.generation())].emplace(0.0,
                                                                           server.id());
   }
-}
-
-LocalStrideScheduler& ClusterStateIndex::stride(ServerId server) {
-  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
-  return strides_[server.value()];
-}
-
-const LocalStrideScheduler& ClusterStateIndex::stride(ServerId server) const {
-  GFAIR_CHECK(server.valid() && server.value() < strides_.size());
-  return strides_[server.value()];
 }
 
 double ClusterStateIndex::NormTicketLoad(ServerId server) const {
@@ -70,16 +61,25 @@ void ClusterStateIndex::Reposition(ServerId server) const {
 void ClusterStateIndex::AddJob(ServerId server, JobId id, int gang_size, double tickets) {
   stride(server).AddJob(id, gang_size, tickets);
   MarkDirty(server);
+  MarkPlanDirty(server);
 }
 
 void ClusterStateIndex::RemoveJob(ServerId server, JobId id) {
   stride(server).RemoveJob(id);
   MarkDirty(server);
+  MarkPlanDirty(server);
 }
 
 void ClusterStateIndex::SetTickets(ServerId server, JobId id, double tickets) {
   stride(server).SetTickets(id, tickets);
   MarkDirty(server);
+  MarkPlanDirty(server);
+}
+
+void ClusterStateIndex::SetRunnable(ServerId server, JobId id, bool runnable) {
+  stride(server).SetRunnable(id, runnable);
+  MarkDirty(server);
+  MarkPlanDirty(server);
 }
 
 void ClusterStateIndex::SetDraining(ServerId server, bool draining) {
@@ -90,22 +90,13 @@ void ClusterStateIndex::SetDraining(ServerId server, bool draining) {
   draining_[server.value()] = draining;
 }
 
-bool ClusterStateIndex::draining(ServerId server) const {
-  GFAIR_CHECK(server.valid() && server.value() < draining_.size());
-  return draining_[server.value()];
-}
-
 void ClusterStateIndex::SetDown(ServerId server, bool down) {
   GFAIR_CHECK(server.valid() && server.value() < down_.size());
   if (down_[server.value()] != down) {
     num_down_ += down ? 1 : -1;
+    MarkPlanDirty(server);
   }
   down_[server.value()] = down;
-}
-
-bool ClusterStateIndex::down(ServerId server) const {
-  GFAIR_CHECK(server.valid() && server.value() < down_.size());
-  return down_[server.value()];
 }
 
 ServerId ClusterStateIndex::LeastLoadedServer(cluster::GpuGeneration gen, int min_gpus,

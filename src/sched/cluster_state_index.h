@@ -25,11 +25,13 @@
 #ifndef GFAIR_SCHED_CLUSTER_STATE_INDEX_H_
 #define GFAIR_SCHED_CLUSTER_STATE_INDEX_H_
 
+#include <cstdint>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/check.h"
 #include "common/types.h"
 #include "sched/stride.h"
 
@@ -40,18 +42,31 @@ class ClusterStateIndex {
   ClusterStateIndex(const cluster::Cluster& cluster, const StrideConfig& stride_config);
 
   // --- per-server stride access ---
-  // Raw access for load-neutral operations (Charge, SelectForQuantum, reads).
-  LocalStrideScheduler& stride(ServerId server);
-  const LocalStrideScheduler& stride(ServerId server) const;
+  // Raw access for load-neutral operations (Charge, PlanQuantum, reads).
+  // Inline: these run once or more per job per quantum.
+  LocalStrideScheduler& stride(ServerId server) {
+    GFAIR_CHECK(server.valid() && server.value() < strides_.size());
+    return strides_[server.value()];
+  }
+  const LocalStrideScheduler& stride(ServerId server) const {
+    GFAIR_CHECK(server.valid() && server.value() < strides_.size());
+    return strides_[server.value()];
+  }
 
   // --- load-changing mutations (keep the pool ordering fresh) ---
   void AddJob(ServerId server, JobId id, int gang_size, double tickets);
   void RemoveJob(ServerId server, JobId id);
   void SetTickets(ServerId server, JobId id, double tickets);
+  // Runnable toggles change ticket/demand loads and the selectable set, so
+  // they go through the index too (pool reposition + plan dirty).
+  void SetRunnable(ServerId server, JobId id, bool runnable);
 
   // --- draining ---
   void SetDraining(ServerId server, bool draining);
-  bool draining(ServerId server) const;
+  bool draining(ServerId server) const {
+    GFAIR_CHECK(server.valid() && server.value() < draining_.size());
+    return draining_[server.value()];
+  }
   // True when any server is currently draining (lets periodic drain batches
   // short-circuit).
   bool AnyDraining() const { return num_draining_ > 0; }
@@ -62,8 +77,28 @@ class ClusterStateIndex {
   // state stays intact only transiently (the orphan callbacks that follow a
   // failure detach every resident job).
   void SetDown(ServerId server, bool down);
-  bool down(ServerId server) const;
+  bool down(ServerId server) const {
+    GFAIR_CHECK(server.valid() && server.value() < down_.size());
+    return down_[server.value()];
+  }
   bool AnyDown() const { return num_down_ > 0; }
+
+  // --- plan dirty-set (consumed by QuantumPlanner) ---
+  // A server is plan-dirty when its selectable set may have changed since the
+  // facade last accepted a plan for it: job arrival/completion/migration
+  // (AddJob/RemoveJob), ticket changes, runnable toggles, and up/down
+  // transitions all mark it. The flag is one half of the planner's skip
+  // condition — see QuantumPlanner for the invariant and the other half.
+  bool plan_dirty(ServerId server) const {
+    GFAIR_CHECK(server.valid() && server.value() < plan_dirty_.size());
+    return plan_dirty_[server.value()] != 0;
+  }
+  // The facade clears the flag when it commits a plan for the server (the
+  // planner itself is pure and touches nothing).
+  void ClearPlanDirty(ServerId server) {
+    GFAIR_CHECK(server.valid() && server.value() < plan_dirty_.size());
+    plan_dirty_[server.value()] = 0;
+  }
 
   // --- queries ---
   // Normalized ticket load (tickets per physical GPU) — O(1) amortized.
@@ -86,6 +121,7 @@ class ClusterStateIndex {
 
  private:
   void MarkDirty(ServerId server);
+  void MarkPlanDirty(ServerId server) { plan_dirty_[server.value()] = 1; }
   // Repositions every dirty server in its pool's ordered set.
   void Flush() const;
   void Reposition(ServerId server) const;
@@ -96,6 +132,8 @@ class ClusterStateIndex {
   int num_draining_ = 0;
   std::vector<bool> down_;
   int num_down_ = 0;
+  // uint8_t, not vector<bool>: read once per server per quantum.
+  std::vector<uint8_t> plan_dirty_;
 
   // Lazily-maintained pool orderings (see header comment).
   mutable std::vector<double> load_key_;  // key currently in the pool set

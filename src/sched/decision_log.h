@@ -66,6 +66,7 @@ class DecisionLog {
               ServerId from = ServerId::Invalid(), ServerId to = ServerId::Invalid()) {
     counts_[static_cast<size_t>(type)] += 1;
     if (capacity_ == 0) {
+      dropped_ += 1;  // count-only mode retains nothing
       return;
     }
     if (ring_.size() < capacity_) {
@@ -73,6 +74,7 @@ class DecisionLog {
     } else {
       ring_[head_] = Decision{time, type, job, from, to};
       head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+      dropped_ += 1;
     }
   }
 
@@ -81,6 +83,14 @@ class DecisionLog {
     return counts_[static_cast<size_t>(type)];
   }
   int64_t TotalMigrations() const;
+
+  // Ring-buffer cap and overflow accounting. `capacity() == 0` keeps only
+  // the counters (count-only mode for long E13/E14 runs); otherwise the
+  // oldest entry is overwritten once the ring is full, and every such
+  // eviction is counted — a non-zero dropped_entries() tells a consumer the
+  // retained tail is not the whole stream.
+  size_t capacity() const { return capacity_; }
+  int64_t dropped_entries() const { return dropped_; }
 
   // Read-only view of the retained tail of the decision stream, oldest
   // first (index 0) to most recent last. Iterable, sized, and indexable like
@@ -143,6 +153,7 @@ class DecisionLog {
   size_t capacity_;
   std::vector<Decision> ring_;  // grows to capacity_, then wraps
   size_t head_ = 0;             // index of the oldest entry once wrapped
+  int64_t dropped_ = 0;         // entries overwritten after the ring filled
   std::array<int64_t, kNumDecisionTypes> counts_{};
 };
 

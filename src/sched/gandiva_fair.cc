@@ -35,7 +35,9 @@ GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
       residency_(env_.jobs),
       placement_(env_, config_, index_, residency_, *this),
       balancer_(env_, config_, index_, residency_, *this),
-      trader_(env_, config_, index_, residency_, ticket_matrix_, decisions_, *this) {}
+      trader_(env_, config_, index_, residency_, ticket_matrix_, decisions_, *this),
+      planner_(env_.cluster, index_),
+      differ_(env_.jobs, env_.exec, index_) {}
 
 GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
   return env_.cluster.server(server).generation();
@@ -111,7 +113,7 @@ void GandivaFairScheduler::OnMigrationFailed(JobId id, ServerId dest) {
   info.migrating = false;
   // The executor bounced the job back, suspended, to its source server
   // (which is still `job.server` — migration never updated it). Re-attach
-  // there; the detach already happened at StartMigration.
+  // there; the detach already happened at ExecuteMigration.
   const Job& job = env_.jobs.Get(id);
   GFAIR_CHECK(job.server.valid());
   AttachResident(id, job.server);
@@ -155,14 +157,14 @@ void GandivaFairScheduler::RetryMigration(JobId id, GpuGeneration gen) {
     retry.attempts = 0;  // no viable destination; stay at the source
     return;
   }
-  StartMigration(id, dest, retry.cause);
+  EmitMigration(id, dest, retry.cause);
 }
 
 void GandivaFairScheduler::OnJobOrphaned(JobId id) {
   ResidencyIndex::JobInfo& info = residency_.Info(id);
   if (info.migrating) {
     // Orphaned at a failed landing with the source dead too: the job was
-    // already detached at StartMigration, so only the in-flight marker (and
+    // already detached at ExecuteMigration, so only the in-flight marker (and
     // any retry budget) needs clearing before re-placement.
     info.migrating = false;
   } else {
@@ -232,14 +234,42 @@ void GandivaFairScheduler::QuantumTick() {
   // the quantum it was actually consumed in (long uninterrupted runs would
   // otherwise credit hours of GPU time at their eventual close).
   env_.exec.SyncAll();
+
+  // One pass over the servers, fusing the pipeline's per-server stages —
+  // charge + sample, plan (or skip), commit (virtual-time floor + dirty
+  // clear), diff, apply — while that server's entries, heap and run
+  // segments are cache-hot (the sample walk just touched the very job and
+  // segment state the apply slice mutates). Charge + sample is obligatory
+  // on every up server, skipped or not: stride passes must account the
+  // elapsed quantum and the profiler sees one sample per running job either
+  // way. Servers' job sets are disjoint and suspend/resume draw no RNG, so
+  // the fused loop emits exactly the plan and delta of the phase-at-a-time
+  // composition (planner_.PlanTick → commit → differ_.Diff →
+  // exec.ApplyDelta, which tests still exercise) — stream-for-stream the
+  // decisions, RNG draws and profiler updates are identical. The executor
+  // sees one batched ApplyDelta per diffed server; delta_ accumulates the
+  // whole quantum's ops for introspection.
+  plan_.Clear();
+  delta_.Clear();
   for (const auto& server : env_.cluster.servers()) {
     if (!server.up()) {
       continue;
     }
-    ChargeRunningOn(server.id());
-    trader_.CollectSamples(server.id());
-    ApplyTargetSet(server.id());
+    const ServerId id = server.id();
+    ChargeAndSample(id);
+    LocalStrideScheduler& stride = index_.stride(id);
+    if (planner_.PlanServerOrSkip(id, &plan_)) {
+      const SchedulePlan::ServerTarget& target = plan_.servers.back();
+      stride.AdvanceVirtualTime(target.min_runnable_pass);
+      index_.ClearPlanDirty(id);
+      const size_t ops_begin = delta_.ops.size();
+      differ_.DiffServer(plan_, target, &delta_);
+      ApplyDeltaSlice(ops_begin);
+    } else {
+      stride.AdvanceVirtualTime(plan_.skipped_vt.back().second);
+    }
   }
+
   if (config_.enable_work_stealing) {
     for (const auto& server : env_.cluster.servers()) {
       if (server.up() && server.num_free() > 0) {
@@ -250,51 +280,37 @@ void GandivaFairScheduler::QuantumTick() {
   RetryPendingOrphans();
 }
 
-void GandivaFairScheduler::ChargeRunningOn(ServerId server) {
+void GandivaFairScheduler::ChargeAndSample(ServerId server) {
   LocalStrideScheduler& stride = index_.stride(server);
+  const GpuGeneration gen = GenOf(server);
   const SimTime now = env_.sim.Now();
   for (JobId id : stride.ResidentJobs()) {
     if (env_.exec.IsRunning(id)) {
       ResidencyIndex::JobInfo& info = residency_.Info(id);
       stride.Charge(id, now - info.last_charge);
       info.last_charge = now;
+      const Job& job = env_.jobs.Get(id);
+      trader_.RecordSample(job.model, gen, env_.exec.SampleObservedRate(id),
+                           job.gang_size);
     }
   }
 }
 
-void GandivaFairScheduler::ApplyTargetSet(ServerId server) {
-  LocalStrideScheduler& stride = index_.stride(server);
-  // Safe to hold by reference: nothing below re-enters this stride instance.
-  const std::vector<JobId>& target = stride.SelectForQuantum();
-  // Membership test via an epoch-stamped per-job array: the target set is
-  // rebuilt on every server every quantum, and at that rate both hash sets
-  // and sorted scratch buffers cost more than an O(1) stamp per job.
-  ++target_epoch_;
-  // Job ids are dense, so the table size bounds every id; sizing it once
-  // keeps the per-job resize branch out of the stamp and lookup loops.
-  if (env_.jobs.size() > target_stamp_.size()) {
-    target_stamp_.resize(env_.jobs.size(), 0);
+void GandivaFairScheduler::ApplyDeltaSlice(size_t ops_begin) {
+  const size_t ops_end = delta_.ops.size();
+  if (ops_begin == ops_end) {
+    return;
   }
-  for (JobId id : target) {
-    target_stamp_[id.value()] = target_epoch_;
-  }
-  const auto in_target = [this](JobId id) {
-    return target_stamp_[id.value()] == target_epoch_;
-  };
-
-  // Suspend first so the incoming gang's GPUs are free.
-  for (JobId id : stride.ResidentJobs()) {
-    if (env_.exec.IsRunning(id) && !in_target(id)) {
-      env_.exec.Suspend(id);
-      decisions_.Record(env_.sim.Now(), DecisionType::kSuspend, id, server);
-    }
-  }
+  env_.exec.ApplyDelta(delta_.ops.data() + ops_begin, ops_end - ops_begin);
   const SimTime now = env_.sim.Now();
-  for (JobId id : target) {
-    if (!env_.exec.IsRunning(id)) {
-      env_.exec.Resume(id);
-      decisions_.Record(now, DecisionType::kResume, id, ServerId::Invalid(), server);
-      residency_.Info(id).last_charge = now;
+  for (size_t i = ops_begin; i < ops_end; ++i) {
+    const exec::ScheduleOp& op = delta_.ops[i];
+    if (op.resume) {
+      decisions_.Record(now, DecisionType::kResume, op.job, ServerId::Invalid(),
+                        op.server);
+      residency_.Info(op.job).last_charge = now;
+    } else {
+      decisions_.Record(now, DecisionType::kSuspend, op.job, op.server);
     }
   }
 }
@@ -350,8 +366,18 @@ void GandivaFairScheduler::DetachResident(JobId id) {
   ledger_.RecordDemandChange(job.user, gen, env_.sim.Now(), -job.gang_size);
 }
 
-void GandivaFairScheduler::StartMigration(JobId id, ServerId dest,
-                                          MigrationCause cause) {
+void GandivaFairScheduler::EmitMigration(JobId id, ServerId dest,
+                                         MigrationCause cause) {
+  // Every placement-changing intent funnels through the SchedulePlan before
+  // reaching the executor (one record of what was decided this quantum), but
+  // is executed eagerly: balancing/trading rounds later in the same pass
+  // must read the post-migration residency.
+  plan_.migrations.push_back(MigrationDirective{id, dest, cause});
+  ExecuteMigration(id, dest, cause);
+}
+
+void GandivaFairScheduler::ExecuteMigration(JobId id, ServerId dest,
+                                            MigrationCause cause) {
   ResidencyIndex::JobInfo& info = residency_.Info(id);
   GFAIR_CHECK(!info.migrating);
   GFAIR_CHECK(dest.valid() && dest != info.home);
@@ -386,9 +412,21 @@ double GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
 }
 
 void GandivaFairScheduler::RefreshPoolTickets(UserId user, GpuGeneration gen) {
-  for (JobId id : residency_.PoolJobs(user, gen)) {
+  const auto& pool_jobs = residency_.PoolJobs(user, gen);
+  if (pool_jobs.empty()) {
+    return;
+  }
+  // The matrix lookup and the pool demand are loop-invariant — hoisted out
+  // of the per-job formula, which otherwise dominates attach/detach cost for
+  // users with many resident jobs. The per-job expression stays bit-identical
+  // to PerJobTickets.
+  const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
+  const double pool_demand = residency_.WeightedResidentDemand(user, gen);
+  for (JobId id : pool_jobs) {
     const Job& job = env_.jobs.Get(id);
-    index_.SetTickets(residency_.Info(id).home, id, PerJobTickets(user, gen, job));
+    const double share = job.gang_size * job.weight;
+    index_.SetTickets(residency_.Info(id).home, id,
+                      pool_tickets * share / std::max(pool_demand, share));
   }
 }
 

@@ -1,19 +1,31 @@
 // GandivaFairScheduler — the paper's scheduler, end to end.
 //
-// A facade over four subsystems that share two incrementally-maintained
+// A facade over the subsystems that share two incrementally-maintained
 // indices:
 //
 //   ClusterStateIndex   per-server stride schedulers + cached ticket/demand
 //                       loads + per-pool servers ordered by normalized load
+//                       + the per-server plan-dirty set
 //   ResidencyIndex      per-job bookkeeping + per-user per-pool resident
 //                       job sets and demand aggregates
+//   QuantumPlanner      pure per-quantum planning (state -> SchedulePlan)
+//   PlanDiffer          plan -> minimal ScheduleDelta of executor verbs
 //   PlacementEngine     central placement of arrivals + work stealing
 //   LoadBalancer        periodic balancing passes + drain batches
 //   TradeCoordinator    profiling, probe migrations, trading epochs
 //
 // The facade implements the event-driven core (submit/finish/migration
-// callbacks, the quantum tick) and the cross-cutting services the subsystems
-// consume via ISchedulerHost (StartMigration, entitlements, ticket refresh).
+// callbacks) and the cross-cutting services the subsystems consume via
+// ISchedulerHost (EmitMigration, entitlements, ticket refresh). The quantum
+// tick itself is a pipeline over the planner/differ value types, fused into
+// one pass per server for cache locality (servers are independent, so the
+// fused loop emits exactly the phase-at-a-time plan and delta):
+//
+//   per server: charge + sample  ->  plan or skip  ->  commit (vt, dirty)
+//               ->  diff  ->  Executor::ApplyDelta (the server's batch)
+//               ->  record decisions
+//
+// (see docs/ARCHITECTURE.md "The quantum tick" for the full walk-through).
 // Combines, on top of the Executor substrate:
 //   * per-server gang-aware stride schedulers driven by a global quantum tick
 //     (split stride design: central placement, local time slicing);
@@ -34,9 +46,12 @@
 #include "sched/decision_log.h"
 #include "sched/ledger.h"
 #include "sched/placement_engine.h"
+#include "sched/plan_differ.h"
 #include "sched/load_balancer.h"
 #include "sched/profiler.h"
+#include "sched/quantum_planner.h"
 #include "sched/residency_index.h"
+#include "sched/schedule_plan.h"
 #include "sched/scheduler_host.h"
 #include "sched/scheduler_iface.h"
 #include "sched/snapshot.h"
@@ -157,7 +172,7 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
 
  private:
   // --- ISchedulerHost (services the subsystems call back into) ---
-  void StartMigration(JobId id, ServerId dest, MigrationCause cause) override;
+  void EmitMigration(JobId id, ServerId dest, MigrationCause cause) override;
   void RefreshAllTickets() override;
   void ReplaceOrphan(JobId id) override;
 
@@ -166,10 +181,19 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // Periodic events.
   void QuantumTick();
 
-  // Quantum mechanics.
-  void ChargeRunningOn(ServerId server);
-  void ApplyTargetSet(ServerId server);
+  // Quantum pipeline stages (see class comment).
+  // Stride pass charging + profiler feeding for one up server, fused into a
+  // single resident walk (both touch exactly the running jobs).
+  void ChargeAndSample(ServerId server);
+  // Applies delta_.ops[ops_begin..end) — one diffed server's batch — then
+  // records the decisions and resets resumed jobs' charge clocks.
+  void ApplyDeltaSlice(size_t ops_begin);
+
+  // Mid-quantum work conservation (arrivals/finishes/landed migrations).
   void FillIdleGpus(ServerId server);
+
+  // The shared migration path EmitMigration funnels into.
+  void ExecuteMigration(JobId id, ServerId dest, MigrationCause cause);
 
   // Residency transitions (stride + residency + ledger, in lockstep).
   void AttachResident(JobId id, ServerId server);
@@ -222,12 +246,20 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   LoadBalancer balancer_;
   TradeCoordinator trader_;
 
-  // Scratch for ApplyTargetSet (reused across calls to avoid per-quantum
-  // allocation and hashing).
-  // Per-job membership stamps for ApplyTargetSet (indexed by job id): a job
-  // is in the current target set iff its stamp equals target_epoch_.
-  std::vector<uint64_t> target_stamp_;
-  uint64_t target_epoch_ = 0;
+  // Quantum pipeline stages + their value-type scratch (plan_/delta_ are
+  // cleared and refilled in place each quantum; steady-state ticks allocate
+  // nothing). plan_.migrations additionally collects the directives emitted
+  // by balancer/trader/stealing since the last tick.
+  QuantumPlanner planner_;
+  PlanDiffer differ_;
+  SchedulePlan plan_;
+  ScheduleDelta delta_;
+
+ public:
+  // The last quantum's plan and delta (introspection for tests/tools; valid
+  // until the next tick).
+  const SchedulePlan& last_plan() const { return plan_; }
+  const ScheduleDelta& last_delta() const { return delta_; }
 };
 
 }  // namespace gfair::sched

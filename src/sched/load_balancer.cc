@@ -82,7 +82,7 @@ void LoadBalancer::Balance() {
         break;
       }
       pending_demand[dst] += candidate_gang;
-      host_.StartMigration(candidate, dst, MigrationCause::kConserve);
+      host_.EmitMigration(candidate, dst, MigrationCause::kConserve);
     }
 
     // Pass 2 — fairness: even out per-server ticket load so every resident
@@ -148,7 +148,7 @@ void LoadBalancer::Balance() {
         break;
       }
       pending[min_server] += index_.stride(max_server).TicketsOf(best);
-      host_.StartMigration(best, min_server, MigrationCause::kBalance);
+      host_.EmitMigration(best, min_server, MigrationCause::kBalance);
     }
   }
 }
@@ -167,7 +167,7 @@ void LoadBalancer::DrainBatch() {
     // Bounded batch: residents leave over successive balance ticks so the
     // migration network is not swamped.
     int budget = config_.max_migrations_per_round;
-    // Copy: StartMigration below removes jobs from this stride scheduler,
+    // Copy: EmitMigration below removes jobs from this stride scheduler,
     // invalidating its cached resident vector.
     const std::vector<JobId> resident = index_.stride(source).ResidentJobs();
     for (JobId id : resident) {
@@ -183,7 +183,7 @@ void LoadBalancer::DrainBatch() {
                    << FormatDuration(now) << "; leaving it in place";
         continue;
       }
-      host_.StartMigration(id, dest, MigrationCause::kBalance);
+      host_.EmitMigration(id, dest, MigrationCause::kBalance);
       --budget;
     }
   }

@@ -163,7 +163,7 @@ void PlacementEngine::TrySteal(ServerId server) {
   last_steal_[server.value()] = now;
   ++steals_started_;
   GFAIR_DLOG << "steal: job " << best << " -> server " << server;
-  host_.StartMigration(best, server, MigrationCause::kSteal);
+  host_.EmitMigration(best, server, MigrationCause::kSteal);
 }
 
 }  // namespace gfair::sched

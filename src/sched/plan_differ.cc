@@ -1,0 +1,37 @@
+#include "sched/plan_differ.h"
+
+namespace gfair::sched {
+
+void PlanDiffer::DiffServer(const SchedulePlan& plan,
+                            const SchedulePlan::ServerTarget& target,
+                            ScheduleDelta* delta) {
+  ++target_epoch_;
+  if (jobs_.size() > target_stamp_.size()) {
+    target_stamp_.resize(jobs_.size(), 0);
+  }
+  for (uint32_t i = target.target_begin; i < target.target_end; ++i) {
+    target_stamp_[plan.target_jobs[i].value()] = target_epoch_;
+  }
+
+  // Suspends first so the incoming gang's GPUs are free.
+  const ServerId server = target.server;
+  for (JobId id : index_.stride(server).ResidentJobs()) {
+    if (exec_.IsRunning(id) && target_stamp_[id.value()] != target_epoch_) {
+      delta->ops.push_back(exec::ScheduleOp{id, server, /*resume=*/false});
+    }
+  }
+  for (uint32_t i = target.target_begin; i < target.target_end; ++i) {
+    const JobId id = plan.target_jobs[i];
+    if (!exec_.IsRunning(id)) {
+      delta->ops.push_back(exec::ScheduleOp{id, server, /*resume=*/true});
+    }
+  }
+}
+
+void PlanDiffer::Diff(const SchedulePlan& plan, ScheduleDelta* delta) {
+  for (const SchedulePlan::ServerTarget& target : plan.servers) {
+    DiffServer(plan, target, delta);
+  }
+}
+
+}  // namespace gfair::sched

@@ -1,0 +1,59 @@
+// PlanDiffer — compiles a SchedulePlan into a minimal ScheduleDelta.
+//
+// Pure with respect to cluster state: reads the executor's running set and
+// the strides' resident lists, writes only the output delta (and its own
+// membership-stamp scratch). For each planned server it emits
+//
+//   1. suspends — resident, running, not in the target (resident-id order);
+//   2. resumes  — in the target, not running (target/selection order);
+//
+// in that order, so a resumed gang's GPUs are freed by the suspends that
+// precede it on the same server; servers appear in plan (ascending id)
+// order. Jobs both running and targeted produce no op — the delta is the
+// difference, not the schedule.
+//
+// Target membership is tested with an epoch-stamped per-job array: target
+// sets are rebuilt for every planned server every quantum, and at that rate
+// hash sets or sorted scratch cost more than an O(1) stamp per job.
+#ifndef GFAIR_SCHED_PLAN_DIFFER_H_
+#define GFAIR_SCHED_PLAN_DIFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/executor.h"
+#include "sched/cluster_state_index.h"
+#include "sched/schedule_plan.h"
+
+namespace gfair::sched {
+
+class PlanDiffer {
+ public:
+  PlanDiffer(const workload::JobTable& jobs, const exec::Executor& exec,
+             const ClusterStateIndex& index)
+      : jobs_(jobs), exec_(exec), index_(index) {}
+
+  // Appends ops for every planned server of `plan` to `delta` (which the
+  // caller clears between quanta).
+  void Diff(const SchedulePlan& plan, ScheduleDelta* delta);
+
+  // Diffs one server's target span (exposed for the mid-quantum paths).
+  void DiffServer(const SchedulePlan& plan,
+                  const SchedulePlan::ServerTarget& target, ScheduleDelta* delta);
+
+ private:
+  const workload::JobTable& jobs_;
+  const exec::Executor& exec_;
+  const ClusterStateIndex& index_;
+
+  // Per-job membership stamps: a job is in the current target iff its stamp
+  // equals target_epoch_ (job ids are dense; the table is sized once per
+  // diff, keeping the resize branch out of the per-job loops).
+  std::vector<uint64_t> target_stamp_;
+  uint64_t target_epoch_ = 0;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_PLAN_DIFFER_H_

@@ -1,0 +1,41 @@
+#include "sched/quantum_planner.h"
+
+namespace gfair::sched {
+
+void QuantumPlanner::PlanServer(ServerId server, SchedulePlan* plan) const {
+  const LocalStrideScheduler& stride = index_.stride(server);
+  SchedulePlan::ServerTarget target;
+  target.server = server;
+  target.target_begin = static_cast<uint32_t>(plan->target_jobs.size());
+  stride.PlanQuantum(&select_scratch_, &target.min_runnable_pass);
+  plan->target_jobs.insert(plan->target_jobs.end(), select_scratch_.begin(),
+                           select_scratch_.end());
+  target.target_end = static_cast<uint32_t>(plan->target_jobs.size());
+  plan->servers.push_back(target);
+}
+
+bool QuantumPlanner::PlanServerOrSkip(ServerId id, SchedulePlan* plan) const {
+  const LocalStrideScheduler& stride = index_.stride(id);
+  if (!index_.plan_dirty(id) &&
+      cluster_.server(id).num_busy() == stride.DemandLoad()) {
+    // Provably unchanged (see header); only the virtual-time floor is due.
+    // Scan, not heap peek: after the quantum's charge every resident's heap
+    // key is stale, so fixing the heap costs a re-key per job while the
+    // entry array is one hot contiguous read.
+    plan->skipped_vt.emplace_back(id, stride.MinRunnablePassScan());
+    return false;
+  }
+  PlanServer(id, plan);
+  return true;
+}
+
+void QuantumPlanner::PlanTick(SchedulePlan* plan) const {
+  plan->Clear();
+  for (const auto& server : cluster_.servers()) {
+    if (server.up()) {
+      PlanServerOrSkip(server.id(), plan);
+    }
+  }
+}
+
+}  // namespace gfair::sched

@@ -2,11 +2,11 @@
 //
 // PlacementEngine, LoadBalancer and TradeCoordinator all need a small set of
 // cross-cutting operations that belong to the facade because they touch
-// several subsystems at once: starting a migration (decision log + residency
-// + executor + work conservation at the source), the entitlement computation
-// (ticket matrix x active users), and the per-job ticket refresh. Depending
-// on this narrow interface instead of the facade keeps the subsystems
-// acyclic and unit-testable against a stub.
+// several subsystems at once: emitting a migration (schedule plan + decision
+// log + residency + executor + work conservation at the source), the
+// entitlement computation (ticket matrix x active users), and the per-job
+// ticket refresh. Depending on this narrow interface instead of the facade
+// keeps the subsystems acyclic and unit-testable against a stub.
 #ifndef GFAIR_SCHED_SCHEDULER_HOST_H_
 #define GFAIR_SCHED_SCHEDULER_HOST_H_
 
@@ -20,10 +20,13 @@ class ISchedulerHost {
  public:
   virtual ~ISchedulerHost() = default;
 
-  // Suspends (if running), detaches, and ships `id` to `dest`, recording the
-  // decision under `cause`. Precondition: not already migrating, dest valid
-  // and different from the current home.
-  virtual void StartMigration(JobId id, ServerId dest, MigrationCause cause) = 0;
+  // Emits a migration directive (job `id` to `dest` under `cause`) into the
+  // facade's current SchedulePlan, which applies it through the shared
+  // migration path: record the decision, suspend if running, detach, ship.
+  // Applied eagerly — later decisions in the same balancing/trading pass
+  // read the post-migration residency. Precondition: not already migrating,
+  // dest valid and different from the current home.
+  virtual void EmitMigration(JobId id, ServerId dest, MigrationCause cause) = 0;
 
   // User's current entitlement (in GPUs) on a pool, given active users.
   virtual double EntitlementGpus(UserId user, cluster::GpuGeneration gen) const = 0;

@@ -6,6 +6,10 @@
 
 namespace gfair::sched {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 LocalStrideScheduler::LocalStrideScheduler(int num_gpus, StrideConfig config)
     : num_gpus_(num_gpus), config_(config) {
   GFAIR_CHECK(num_gpus_ > 0);
@@ -26,11 +30,15 @@ void LocalStrideScheduler::AddJob(JobId id, int gang_size, double tickets) {
   entries_.emplace_back(id, Entry{gang_size, tickets, virtual_time_, true});
   if (id.value() >= index_of_.size()) {
     index_of_.resize(id.value() + 1, 0);
+    heap_gen_.resize(id.value() + 1, 0);
   }
   index_of_[id.value()] = static_cast<uint32_t>(entries_.size());
   ticket_load_shadow_ += tickets;
   demand_load_ += gang_size;
   InvalidateAggregates(/*membership_changed=*/true);
+  // No generation bump needed: a previous residency's items (if any) died at
+  // its RemoveJob, so no live item carries the current generation.
+  HeapPushJob(id, entries_.back().second);
 }
 
 void LocalStrideScheduler::RemoveJob(JobId id) {
@@ -47,6 +55,7 @@ void LocalStrideScheduler::RemoveJob(JobId id) {
     index_of_[entries_[i].first.value()] = static_cast<uint32_t>(i + 1);
   }
   InvalidateAggregates(/*membership_changed=*/true);
+  HeapInvalidate(id);
   UpdateVirtualTime();
 }
 
@@ -64,7 +73,8 @@ void LocalStrideScheduler::SetTickets(JobId id, double tickets) {
 void LocalStrideScheduler::SetRunnable(JobId id, bool runnable) {
   auto it = FindEntry(id);
   GFAIR_CHECK(it != entries_.end());
-  if (it->second.runnable != runnable) {
+  const bool was_runnable = it->second.runnable;
+  if (was_runnable != runnable) {
     const double sign = runnable ? 1.0 : -1.0;
     ticket_load_shadow_ += sign * it->second.tickets;
     demand_load_ += (runnable ? 1 : -1) * it->second.gang_size;
@@ -73,8 +83,17 @@ void LocalStrideScheduler::SetRunnable(JobId id, bool runnable) {
   it->second.runnable = runnable;
   if (runnable) {
     // Re-entering jobs (e.g. back from a probe) must not have fallen behind
-    // the pack — that would give them a monopolizing credit.
+    // the pack — that would give them a monopolizing credit. (Raising the
+    // pass of an already-runnable job leaves its heap item stale-low, which
+    // the lazy re-key repairs at the next selection.)
     it->second.pass = std::max(it->second.pass, virtual_time_);
+    if (!was_runnable) {
+      // The runnable→false transition bumped the generation, so no live item
+      // carries the current one — push without another bump.
+      HeapPushJob(id, it->second);
+    }
+  } else if (was_runnable) {
+    HeapInvalidate(id);
   }
 }
 
@@ -88,23 +107,20 @@ double LocalStrideScheduler::PassOf(JobId id) const { return GetEntry(id).pass; 
 int LocalStrideScheduler::GangOf(JobId id) const { return GetEntry(id).gang_size; }
 double LocalStrideScheduler::TicketsOf(JobId id) const { return GetEntry(id).tickets; }
 
-double LocalStrideScheduler::TicketLoad() const {
-  if (ticket_load_dirty_) {
-    double total = 0.0;
-    for (const auto& [id, entry] : entries_) {
-      if (entry.runnable) {
-        total += entry.tickets;
-      }
+void LocalStrideScheduler::RecomputeTicketLoad() const {
+  double total = 0.0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.runnable) {
+      total += entry.tickets;
     }
-    // The incremental shadow accumulates rounding error the recompute does
-    // not; it must still track the true sum to within float noise.
-    GFAIR_DCHECK_MSG(
-        std::abs(total - ticket_load_shadow_) <= 1e-6 * std::max(1.0, std::abs(total)),
-        "incremental ticket-load sum drifted from full recompute");
-    ticket_load_cache_ = total;
-    ticket_load_dirty_ = false;
   }
-  return ticket_load_cache_;
+  // The incremental shadow accumulates rounding error the recompute does
+  // not; it must still track the true sum to within float noise.
+  GFAIR_DCHECK_MSG(
+      std::abs(total - ticket_load_shadow_) <= 1e-6 * std::max(1.0, std::abs(total)),
+      "incremental ticket-load sum drifted from full recompute");
+  ticket_load_cache_ = total;
+  ticket_load_dirty_ = false;
 }
 
 int LocalStrideScheduler::DemandLoad() const {
@@ -134,81 +150,301 @@ const std::vector<JobId>& LocalStrideScheduler::ResidentJobs() const {
   return resident_cache_;
 }
 
-void LocalStrideScheduler::UpdateVirtualTime() {
-  double min_pass = std::numeric_limits<double>::infinity();
+void LocalStrideScheduler::HeapSiftUp(size_t pos) const {
+  const HeapItem item = heap_[pos];
+  const HeapItemAfter after;
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!after(heap_[parent], item)) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = item;
+}
+
+void LocalStrideScheduler::HeapSiftDown(size_t pos) const {
+  const size_t n = heap_.size();
+  const HeapItem item = heap_[pos];
+  const HeapItemAfter after;
+  for (;;) {
+    size_t child = 2 * pos + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && after(heap_[child], heap_[child + 1])) {
+      child += 1;
+    }
+    if (!after(item, heap_[child])) {
+      break;
+    }
+    heap_[pos] = heap_[child];
+    pos = child;
+  }
+  heap_[pos] = item;
+}
+
+void LocalStrideScheduler::HeapPopTop() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    HeapSiftDown(0);
+  }
+}
+
+void LocalStrideScheduler::HeapPushJob(JobId id, const Entry& entry) const {
+  heap_.push_back(
+      HeapItem{entry.pass, TieOf(id, entry.gang_size), heap_gen_[id.value()]});
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void LocalStrideScheduler::FixHeapTop() const {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    const uint32_t raw_id = static_cast<uint32_t>(top.tie);
+    const uint32_t pos = raw_id < index_of_.size() ? index_of_[raw_id] : 0;
+    // A matching generation implies the entry exists and is runnable: both
+    // removal and the runnable→false transition bump the generation.
+    if (pos != 0 && heap_gen_[raw_id] == top.gen) {
+      const Entry& entry = entries_[pos - 1].second;
+      if (entry.pass == top.pass) {
+        return;  // live and current → the true minimum (keys only increase)
+      }
+      // Stale key: the job was charged (or pass-floored) since the push.
+      // Stored keys lower-bound true keys, so re-keying the top in place and
+      // sifting down keeps extraction order identical to a full sort.
+      GFAIR_DCHECK(entry.pass > top.pass);
+      heap_.front().pass = entry.pass;
+      HeapSiftDown(0);
+      continue;
+    }
+    // Tombstone (removed or made non-runnable since the push).
+    HeapPopTop();
+  }
+}
+
+void LocalStrideScheduler::MaybeCompactHeap() const {
+  // Tombstones accumulate one per removal/runnable-toggle; rebuild when they
+  // clearly dominate so heap operations stay O(log live).
+  if (heap_.size() > 2 * entries_.size() + 64) {
+    RebuildHeap();
+  }
+}
+
+void LocalStrideScheduler::RebuildHeap() const {
+  heap_.clear();
+  heap_.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
-      min_pass = std::min(min_pass, entry.pass);
+      heap_.push_back(
+          HeapItem{entry.pass, TieOf(id, entry.gang_size), heap_gen_[id.value()]});
     }
   }
-  if (min_pass != std::numeric_limits<double>::infinity()) {
+  std::make_heap(heap_.begin(), heap_.end(), HeapItemAfter{});
+}
+
+double LocalStrideScheduler::MinRunnablePass() const {
+  FixHeapTop();
+  return heap_.empty() ? kInf : heap_.front().pass;
+}
+
+void LocalStrideScheduler::UpdateVirtualTime() {
+  const double min_pass = MinRunnablePass();
+#ifndef NDEBUG
+  double check = kInf;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.runnable) {
+      check = std::min(check, entry.pass);
+    }
+  }
+  GFAIR_DCHECK_MSG(check == min_pass, "heap min-pass drifted from entry scan");
+#endif
+  if (min_pass != kInf) {
     virtual_time_ = std::max(virtual_time_, min_pass);
   }
 }
 
-const std::vector<JobId>& LocalStrideScheduler::SelectForQuantum() {
-  // Single walk: advance the virtual time (same update UpdateVirtualTime
-  // performs) and collect runnable candidates. Selection reads entry.pass,
-  // not virtual_time_, so folding the two walks together is behavior-neutral.
-  candidate_scratch_.clear();
-  candidate_scratch_.reserve(entries_.size());
-  const bool big_first = config_.big_job_first;
-  double min_pass = std::numeric_limits<double>::infinity();
+namespace {
+// Below this many resident jobs, one contiguous sort of the runnable entries
+// beats the heap walk's pop / re-key / re-push cycle — under total churn
+// every selected candidate costs several scattered sifts, while sorting a
+// few cache lines is nearly free. The heap takes over where the sort's
+// O(n log n) on mostly-unchanged keys starts to dominate (it walks only the
+// candidates selection actually examines).
+constexpr size_t kSortSelectMaxJobs = 64;
+}  // namespace
+
+void LocalStrideScheduler::SelectBySort(std::vector<JobId>* out,
+                                        double* min_runnable_pass) const {
+  popped_scratch_.clear();
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
-      min_pass = std::min(min_pass, entry.pass);
-      const uint64_t gang_key =
-          big_first ? ~static_cast<uint64_t>(static_cast<uint32_t>(entry.gang_size))
-                    : static_cast<uint64_t>(static_cast<uint32_t>(entry.gang_size));
-      candidate_scratch_.push_back(
-          Candidate{entry.pass, (gang_key << 32) | id.value(), entry.gang_size});
+      popped_scratch_.push_back(
+          HeapItem{entry.pass, TieOf(id, entry.gang_size), 0});
     }
   }
-  if (min_pass != std::numeric_limits<double>::infinity()) {
-    virtual_time_ = std::max(virtual_time_, min_pass);
-  }
-
-  // Orders by (pass, gang big/small-first, id) — the tie-break lives in the
-  // packed `tie` key.
-  std::sort(candidate_scratch_.begin(), candidate_scratch_.end(),
-            [](const Candidate& a, const Candidate& b) {
+  std::sort(popped_scratch_.begin(), popped_scratch_.end(),
+            [](const HeapItem& a, const HeapItem& b) {
               if (a.pass != b.pass) {
                 return a.pass < b.pass;
               }
               return a.tie < b.tie;
             });
-
-  selected_scratch_.clear();
+  *min_runnable_pass =
+      popped_scratch_.empty() ? kInf : popped_scratch_.front().pass;
   int free = num_gpus_;
-  for (const Candidate& candidate : candidate_scratch_) {
-    if (candidate.gang <= free) {
-      selected_scratch_.push_back(JobId(static_cast<uint32_t>(candidate.tie)));
-      free -= candidate.gang;
-      if (free == 0) {
-        break;
-      }
+  for (const HeapItem& c : popped_scratch_) {
+    if (free == 0) {
+      break;
+    }
+    const uint32_t gang_bits = static_cast<uint32_t>(c.tie >> 32);
+    const int gang =
+        static_cast<int>(config_.big_job_first ? ~gang_bits : gang_bits);
+    if (gang <= free) {
+      out->push_back(JobId(static_cast<uint32_t>(c.tie)));
+      free -= gang;
+    }
+  }
+}
+
+void LocalStrideScheduler::PlanQuantum(std::vector<JobId>* out,
+                                       double* min_runnable_pass) const {
+  out->clear();
+  // Adaptive selection: tiny candidate sets sort, larger ones walk the
+  // incremental heap. The sort path never touches the heap — that is legal
+  // because stored heap keys only ever lower-bound true passes, so leaving
+  // them stale cannot reorder a later heap-driven extraction.
+  if (entries_.size() <= kSortSelectMaxJobs) {
+    SelectBySort(out, min_runnable_pass);
+    return;
+  }
+  popped_scratch_.clear();
+  double min_pass = kInf;
+  int free = num_gpus_;
+  // Pop live candidates in (pass, tie) order, packing each one that fits the
+  // remaining capacity and backfilling past those that do not — identical to
+  // walking a fully sorted candidate list. Stop once the server is packed:
+  // items left in the heap are exactly the candidates a sort-based walk
+  // would never have examined. The FixHeapTop logic is inlined into the loop
+  // (this is the innermost per-quantum loop cluster-wide).
+  while (free > 0 && !heap_.empty()) {
+    HeapItem& top = heap_.front();
+    const uint32_t raw_id = static_cast<uint32_t>(top.tie);
+    const uint32_t pos = raw_id < index_of_.size() ? index_of_[raw_id] : 0;
+    // A matching generation implies the entry exists and is runnable: both
+    // removal and the runnable→false transition bump the generation.
+    if (pos == 0 || heap_gen_[raw_id] != top.gen) {
+      HeapPopTop();  // tombstone
+      continue;
+    }
+    const double true_pass = entries_[pos - 1].second.pass;
+    if (true_pass != top.pass) {
+      // Stale key (charged or pass-floored since the push). Stored keys
+      // lower-bound true keys, so re-keying the top in place and sifting
+      // down keeps extraction order identical to a full sort.
+      GFAIR_DCHECK(true_pass > top.pass);
+      top.pass = true_pass;
+      HeapSiftDown(0);
+      continue;
+    }
+    const HeapItem item = top;
+    if (min_pass == kInf) {
+      min_pass = item.pass;  // first live top = min pass over runnable jobs
+    }
+    HeapPopTop();
+    popped_scratch_.push_back(item);
+    // The gang rides in the tie key's high half (inverted when
+    // big_job_first) — recovering it there spares the entries_ load.
+    const uint32_t gang_bits = static_cast<uint32_t>(item.tie >> 32);
+    const int gang =
+        static_cast<int>(config_.big_job_first ? ~gang_bits : gang_bits);
+    GFAIR_DCHECK(gang == entries_[pos - 1].second.gang_size);
+    if (gang <= free) {
+      out->push_back(JobId(raw_id));
+      free -= gang;
     }
     // Jobs that do not fit the remaining capacity are skipped (backfill);
     // their frozen pass keeps them at the head until they fit.
   }
-  return selected_scratch_;
+  if (min_pass == kInf) {
+    // Packed instantly (free hit 0 before any pop) or only tombstones seen so
+    // far: the min may still be sitting in the heap.
+    min_pass = MinRunnablePass();
+  }
+  // Examined candidates (selected or backfilled past) stay scheduled — put
+  // their items back; they carry current passes, so they re-enter live. When
+  // most of the heap was popped (total churn), one Floyd rebuild beats
+  // per-item sift-ups, which all climb to the root (the popped items are
+  // exactly the minimum keys).
+  if (!popped_scratch_.empty()) {
+    if (popped_scratch_.size() >= heap_.size()) {
+      heap_.insert(heap_.end(), popped_scratch_.begin(), popped_scratch_.end());
+      std::make_heap(heap_.begin(), heap_.end(), HeapItemAfter{});
+    } else {
+      for (const HeapItem& item : popped_scratch_) {
+        heap_.push_back(item);
+        HeapSiftUp(heap_.size() - 1);
+      }
+    }
+  }
+  *min_runnable_pass = min_pass;
+
+#ifndef NDEBUG
+  // Debug cross-check: the heap-driven walk must match a from-scratch sort of
+  // the runnable entries (the pre-heap implementation).
+  {
+    struct Candidate {
+      double pass;
+      uint64_t tie;
+      int gang;
+    };
+    std::vector<Candidate> candidates;
+    double check_min = kInf;
+    for (const auto& [id, entry] : entries_) {
+      if (entry.runnable) {
+        check_min = std::min(check_min, entry.pass);
+        candidates.push_back(
+            Candidate{entry.pass, TieOf(id, entry.gang_size), entry.gang_size});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.pass != b.pass) {
+                  return a.pass < b.pass;
+                }
+                return a.tie < b.tie;
+              });
+    std::vector<JobId> check_out;
+    int check_free = num_gpus_;
+    for (const Candidate& candidate : candidates) {
+      if (candidate.gang <= check_free) {
+        check_out.push_back(JobId(static_cast<uint32_t>(candidate.tie)));
+        check_free -= candidate.gang;
+        if (check_free == 0) {
+          break;
+        }
+      }
+    }
+    GFAIR_DCHECK_MSG(check_min == min_pass,
+                     "heap min-pass drifted from sorted recompute");
+    GFAIR_DCHECK_MSG(check_out == *out,
+                     "heap selection drifted from sorted recompute");
+  }
+#endif
 }
 
-void LocalStrideScheduler::Charge(JobId id, SimDuration ms) {
-  GFAIR_CHECK(ms >= 0);
-  auto it = FindEntry(id);
-  GFAIR_CHECK_MSG(it != entries_.end(), "Charge on unknown job");
-  Entry& entry = it->second;
-  entry.pass += static_cast<double>(ms) * entry.gang_size / entry.tickets;
-  // Virtual time advances with delivered service per runnable ticket. This —
-  // not the min-pass floor — is what keeps newcomers from perpetually
-  // entering below a waiting job's frozen pass under high churn: short jobs
-  // arriving and finishing every quantum would otherwise pin the virtual
-  // time while an already-served long job waits forever.
-  const double load = TicketLoad();
-  if (load > 0.0) {
-    virtual_time_ += static_cast<double>(ms) * entry.gang_size / load;
+void LocalStrideScheduler::AdvanceVirtualTime(double min_runnable_pass) {
+  if (min_runnable_pass != kInf) {
+    virtual_time_ = std::max(virtual_time_, min_runnable_pass);
   }
+}
+
+const std::vector<JobId>& LocalStrideScheduler::SelectForQuantum() {
+  double min_pass = kInf;
+  PlanQuantum(&selected_scratch_, &min_pass);
+  AdvanceVirtualTime(min_pass);
+  return selected_scratch_;
 }
 
 }  // namespace gfair::sched

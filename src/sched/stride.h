@@ -26,6 +26,20 @@
 //  * New jobs start at the scheduler's virtual time (the minimum pass of
 //    resident jobs) so they neither owe history nor get free credit.
 //
+// Selection order comes from an incrementally maintained min-heap keyed on
+// (pass, gang tie-break, id) instead of a per-quantum sort of every resident
+// job. The heap uses lazy re-keying: Charge only bumps the entry's pass (the
+// hot path touches no heap memory); a heap item whose stored pass no longer
+// matches is re-pushed with the current pass when it surfaces at the top.
+// Because passes only ever increase, a stored key is always a lower bound on
+// the true key, so the first top whose stored pass is current is the true
+// minimum — extraction order is bit-identical to sorting by the same
+// (pass, tie) total order, which is strict (ids are unique). Removal and
+// runnable toggles invalidate items by bumping a per-job generation stamp;
+// tombstones are dropped at pop time and the heap is rebuilt when they
+// outnumber live entries. Cost per quantum is O(k log n) for k charged +
+// selected jobs rather than O(n log n) for n residents.
+//
 // Aggregates (ticket load, demand load, the sorted resident set) are cached:
 // they are invalidated by the membership/ticket mutations and recomputed at
 // most once per mutation instead of on every read. Charging a quantum —
@@ -44,6 +58,7 @@
 #define GFAIR_SCHED_STRIDE_H_
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -69,6 +84,7 @@ class LocalStrideScheduler {
   void RemoveJob(JobId id);
 
   // Updates a job's tickets (trading epochs, per-job splits changing).
+  // Tickets do not enter the selection key, so the heap needs no rebuild.
   void SetTickets(JobId id, double tickets);
 
   // Marks a job (not) selectable without unregistering it.
@@ -80,20 +96,72 @@ class LocalStrideScheduler {
 
   // Sum of tickets over resident runnable jobs — the server's "ticket load"
   // used by placement and the load balancer. O(1) amortized (cached; see
-  // file comment).
-  double TicketLoad() const;
+  // file comment). Inline: read once per charged job per quantum.
+  double TicketLoad() const {
+    if (ticket_load_dirty_) {
+      RecomputeTicketLoad();
+    }
+    return ticket_load_cache_;
+  }
 
   // Total GPUs demanded by resident runnable jobs. O(1) (maintained
   // incrementally; integer arithmetic, so exact).
   int DemandLoad() const;
 
-  // The set of jobs that should hold GPUs for the next quantum. Returns a
-  // reference to an internal buffer that the next SelectForQuantum() call on
-  // this instance overwrites — copy it to hold across calls.
+  // --- quantum planning (pure) vs commit (state change) ---
+  //
+  // PlanQuantum computes the set of jobs that should hold GPUs for the next
+  // quantum without changing scheduler state: logically const (the lazy heap
+  // re-keying it performs is cache maintenance, not behavior). It also
+  // reports the minimum pass over runnable jobs (+inf when none), which the
+  // caller feeds back through AdvanceVirtualTime — the same virtual-time
+  // floor update the legacy combined call performed. Splitting the two is
+  // what lets a pure planner run over a read-only snapshot and commit later.
+  //
+  // `out` is overwritten, in selection order.
+  void PlanQuantum(std::vector<JobId>* out, double* min_runnable_pass) const;
+  // Floors the virtual time at `min_runnable_pass` (no-op for +inf).
+  void AdvanceVirtualTime(double min_runnable_pass);
+  // Minimum pass over runnable residents, +inf when none. O(stale heap tops).
+  double MinRunnablePass() const;
+  // Same value via one contiguous scan of the entries, leaving the heap
+  // alone. Cheaper than the heap peek exactly when most keys are stale —
+  // e.g. on a dirty-skip'd server, where every resident was just charged and
+  // the entry array is still cache-hot from the charge walk.
+  double MinRunnablePassScan() const {
+    double min_pass = std::numeric_limits<double>::infinity();
+    for (const auto& [id, entry] : entries_) {
+      if (entry.runnable && entry.pass < min_pass) {
+        min_pass = entry.pass;
+      }
+    }
+    return min_pass;
+  }
+
+  // The set of jobs that should hold GPUs for the next quantum; advances the
+  // virtual time as a side effect (PlanQuantum + AdvanceVirtualTime).
+  // Returns a reference to an internal buffer that the next call on this
+  // instance overwrites — copy it to hold across calls.
   const std::vector<JobId>& SelectForQuantum();
 
-  // Charges `ms` of wall time on the job's whole gang.
-  void Charge(JobId id, SimDuration ms);
+  // Charges `ms` of wall time on the job's whole gang. Touches no heap
+  // memory — the stale key is lazily re-pushed at the next selection.
+  void Charge(JobId id, SimDuration ms) {
+    GFAIR_CHECK(ms >= 0);
+    auto it = FindEntry(id);
+    GFAIR_CHECK_MSG(it != entries_.end(), "Charge on unknown job");
+    Entry& entry = it->second;
+    entry.pass += static_cast<double>(ms) * entry.gang_size / entry.tickets;
+    // Virtual time advances with delivered service per runnable ticket. This —
+    // not the min-pass floor — is what keeps newcomers from perpetually
+    // entering below a waiting job's frozen pass under high churn: short jobs
+    // arriving and finishing every quantum would otherwise pin the virtual
+    // time while an already-served long job waits forever.
+    const double load = TicketLoad();
+    if (load > 0.0) {
+      virtual_time_ += static_cast<double>(ms) * entry.gang_size / load;
+    }
+  }
 
   double PassOf(JobId id) const;
   int GangOf(JobId id) const;
@@ -114,6 +182,29 @@ class LocalStrideScheduler {
   };
   using EntryList = std::vector<std::pair<JobId, Entry>>;
 
+  // One selection-heap item. `tie` packs the (gang, id) tie-break into one
+  // integer — gang key in the high half (inverted when big_job_first so
+  // bigger gangs order first), id in the low half — so the heap comparator
+  // is two flat compares instead of a three-level branch chain. `gen` stamps
+  // the item against heap_gen_: a mismatch marks a tombstone (job removed or
+  // runnable-toggled since the push).
+  struct HeapItem {
+    double pass;
+    uint64_t tie;
+    uint32_t gen;
+  };
+  // "a comes after b" in the min-(pass, tie) order. A functor, not a free
+  // function: the sift loops run a few million times per simulated hour and a
+  // function-pointer comparator would block inlining the two compares.
+  struct HeapItemAfter {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.pass != b.pass) {
+        return a.pass > b.pass;
+      }
+      return a.tie > b.tie;
+    }
+  };
+
   // O(1) via index_of_; Charge/SetRunnable/SetTickets run per job per
   // quantum, so lookups must not scan.
   EntryList::iterator FindEntry(JobId id) {
@@ -133,6 +224,38 @@ class LocalStrideScheduler {
   void UpdateVirtualTime();
   // A membership or ticket mutation changed the aggregates.
   void InvalidateAggregates(bool membership_changed);
+  void RecomputeTicketLoad() const;
+
+  // --- selection heap (see file comment) ---
+  uint64_t TieOf(JobId id, int gang_size) const {
+    const uint64_t gang_key =
+        config_.big_job_first
+            ? ~static_cast<uint64_t>(static_cast<uint32_t>(gang_size))
+            : static_cast<uint64_t>(static_cast<uint32_t>(gang_size));
+    return (gang_key << 32) | id.value();
+  }
+  // Hand-rolled sift primitives (std::push_heap/pop_heap cannot express the
+  // one-sided re-key FixHeapTop needs: a grown root key only ever sifts down).
+  void HeapSiftUp(size_t pos) const;
+  void HeapSiftDown(size_t pos) const;
+  // Removes the top item (replace with last, sift down).
+  void HeapPopTop() const;
+  // Pushes a live heap item for `id` with its current pass. The caller must
+  // have bumped heap_gen_[id] if the previous item has to die.
+  void HeapPushJob(JobId id, const Entry& entry) const;
+  // Invalidates any live heap item for `id` (tombstone).
+  void HeapInvalidate(JobId id) {
+    heap_gen_[id.value()] += 1;
+    MaybeCompactHeap();
+  }
+  // Drops tombstones and re-keys stale items until the top is live and
+  // current (the true minimum), or the heap is empty. Logically const.
+  void FixHeapTop() const;
+  // Small-n selection: sort the runnable entries outright (see
+  // kSortSelectMaxJobs in stride.cc); leaves the heap untouched.
+  void SelectBySort(std::vector<JobId>* out, double* min_runnable_pass) const;
+  void MaybeCompactHeap() const;
+  void RebuildHeap() const;
 
   int num_gpus_;
   StrideConfig config_;
@@ -140,8 +263,18 @@ class LocalStrideScheduler {
   // Dense job-id → position+1 in entries_ (0 = absent); sized by the largest
   // job id ever resident here. Kept in sync by AddJob/RemoveJob.
   std::vector<uint32_t> index_of_;
+  // Dense job-id → generation stamp for heap items (see HeapItem::gen).
+  std::vector<uint32_t> heap_gen_;
   // Monotone floor for newcomer passes; tracks min runnable pass.
   double virtual_time_ = 0.0;
+
+  // Min-heap over live runnable entries, ordered by (pass, tie). Invariant:
+  // every runnable entry has exactly one live item (gen matches); its stored
+  // pass is a lower bound on the entry's current pass. Mutable: re-keying
+  // and tombstone removal are cache maintenance performed inside const
+  // planning.
+  mutable std::vector<HeapItem> heap_;
+  mutable std::vector<HeapItem> popped_scratch_;  // PlanQuantum re-push buffer
 
   // --- cached aggregates ---
   // Authoritative ticket load: lazily recomputed in entries_ order so the
@@ -155,17 +288,7 @@ class LocalStrideScheduler {
   mutable std::vector<JobId> resident_cache_;
   mutable bool resident_dirty_ = false;
 
-  // --- selection scratch (reused across SelectForQuantum calls) ---
-  // `tie` packs the (gang, id) tie-break into one integer — gang key in the
-  // high half (inverted when big_job_first so bigger gangs order first), id
-  // in the low half — so the sort comparator is two flat compares instead of
-  // a three-level branch chain.
-  struct Candidate {
-    double pass;
-    uint64_t tie;
-    int gang;
-  };
-  std::vector<Candidate> candidate_scratch_;
+  // Selection scratch (reused across SelectForQuantum calls).
   std::vector<JobId> selected_scratch_;
 };
 

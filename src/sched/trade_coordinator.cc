@@ -32,18 +32,6 @@ TradeCoordinator::TradeCoordinator(const SchedulerEnv& env,
   profiles_ = ProfileStore(config_.profile_min_samples);
 }
 
-void TradeCoordinator::CollectSamples(ServerId server) {
-  const LocalStrideScheduler& stride = index_.stride(server);
-  const GpuGeneration gen = env_.cluster.server(server).generation();
-  for (JobId id : stride.ResidentJobs()) {
-    if (env_.exec.IsRunning(id)) {
-      const Job& job = env_.jobs.Get(id);
-      const double observed = env_.exec.SampleObservedRate(id);
-      profiles_.AddSample(job.model, gen, observed / job.gang_size);
-    }
-  }
-}
-
 bool TradeCoordinator::UserSpeedup(UserId user, GpuGeneration fast,
                                    GpuGeneration slow, double* out) const {
   GFAIR_CHECK(out != nullptr);
@@ -84,7 +72,7 @@ void TradeCoordinator::RunProbes() {
     if (budget <= 0) {
       break;
     }
-    // Snapshot: StartMigration mutates the residency sets.
+    // Snapshot: EmitMigration mutates the residency sets.
     std::vector<JobId> resident;
     for (GpuGeneration gen : kAllGenerations) {
       for (JobId id : residency_.PoolJobs(user, gen)) {
@@ -116,7 +104,7 @@ void TradeCoordinator::RunProbes() {
         const ServerId dest = index_.LeastLoadedServer(missing, job.gang_size);
         if (dest.valid()) {
           GFAIR_DLOG << "probe: job " << id << " -> " << cluster::GenerationName(missing);
-          host_.StartMigration(id, dest, MigrationCause::kProbe);
+          host_.EmitMigration(id, dest, MigrationCause::kProbe);
           ++probes_started_;
           --budget;
           probed = true;  // one probe per user per epoch
@@ -236,7 +224,7 @@ void TradeCoordinator::RebalanceResidency(const TradeOutcome& outcome) {
       if (!dest.valid()) {
         break;
       }
-      host_.StartMigration(candidate, dest, MigrationCause::kTrade);
+      host_.EmitMigration(candidate, dest, MigrationCause::kTrade);
       --budget;
     }
     if (budget <= 0) {

@@ -34,8 +34,13 @@ class TradeCoordinator {
                    TicketMatrix& tickets, DecisionLog& decisions,
                    ISchedulerHost& host);
 
-  // Profiling: one observed-rate sample per running job on `server`.
-  void CollectSamples(ServerId server);
+  // Profiling: one observed-rate sample for a running job (the facade's
+  // fused charge+sample loop feeds this every quantum). `observed_rate` is
+  // the whole-gang rate; the store keeps per-GPU rates.
+  void RecordSample(workload::ModelId model, cluster::GpuGeneration gen,
+                    double observed_rate, int gang_size) {
+    profiles_.AddSample(model, gen, observed_rate / gang_size);
+  }
 
   // One trading epoch (probes, trade computation, ticket reshape, residency
   // rebalancing).

@@ -35,6 +35,32 @@ TEST(DecisionLogTest, RingBufferBoundedButCountsUnbounded) {
   EXPECT_EQ(log.entries().back().job, JobId(9));
 }
 
+TEST(DecisionLogTest, DroppedEntriesCountEvictions) {
+  DecisionLog log(/*capacity=*/4);
+  for (int i = 0; i < 4; ++i) {
+    log.Record(i, DecisionType::kResume, JobId(static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(log.dropped_entries(), 0);  // ring not yet full: nothing lost
+  for (int i = 4; i < 10; ++i) {
+    log.Record(i, DecisionType::kResume, JobId(static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.dropped_entries(), 6);  // one eviction per wrap-around write
+  EXPECT_EQ(log.entries().size(), 4u);
+}
+
+TEST(DecisionLogTest, CountOnlyModeKeepsCountersAndReportsDrops) {
+  DecisionLog log(/*capacity=*/0);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(i, DecisionType::kSuspend, JobId(static_cast<uint32_t>(i)));
+  }
+  EXPECT_TRUE(log.entries().empty());
+  EXPECT_EQ(log.Count(DecisionType::kSuspend), 5);
+  // Nothing is retained, so every record counts as dropped: a consumer can
+  // tell the (empty) tail is not the whole stream.
+  EXPECT_EQ(log.dropped_entries(), 5);
+}
+
 TEST(DecisionLogTest, DumpIsHumanReadable) {
   DecisionLog log;
   log.Record(Minutes(2), DecisionType::kMigrateProbe, JobId(7), ServerId(1), ServerId(3));

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "analysis/harness.h"
+#include "bench/scenarios.h"
 #include "legacy_gandiva_fair.h"
 #include "sched/gandiva_fair.h"
+#include "workload/trace_gen.h"
 
 namespace gfair::sched {
 namespace {
@@ -84,6 +86,26 @@ void ExpectIdentical(const RunResult& legacy, const RunResult& refactored) {
     EXPECT_EQ(legacy.finish_times[i], refactored.finish_times[i])
         << "finish time diverged for job " << i;
   }
+}
+
+// E2-style single-server scenario: one 8-GPU V100 server, three users with
+// 1:1:2 tickets, and a gang mix (one 8-gang, two 4-gangs, eight 1-GPU jobs)
+// chosen so the stride scheduler must time-slice across gang boundaries.
+// Everything the quantum pipeline does here flows through one stride
+// instance, so any selection/tie-break drift shows up immediately.
+template <typename ExpT, typename SchedT>
+void SingleServerScenario(ExpT& exp, SchedT& /*sched*/) {
+  auto& a = exp.users().Create("a", 1.0);
+  auto& b = exp.users().Create("b", 1.0);
+  auto& c = exp.users().Create("c", 2.0);
+  exp.SubmitAt(kTimeZero, a.id, "Transformer", 8, Hours(6));
+  exp.SubmitAt(Minutes(1), b.id, "ResNet-50", 4, Hours(5));
+  exp.SubmitAt(Minutes(2), c.id, "ResNet-50", 4, Hours(5));
+  for (int i = 0; i < 8; ++i) {
+    exp.SubmitAt(Minutes(3 + i), (i % 2 == 0 ? a : b).id, "DCGAN", 1,
+                 Hours(2 + (i % 3)));
+  }
+  exp.Run(Hours(8));
 }
 
 // E6-style homogeneous scenario: 25x8 V100s, four users with uneven weights
@@ -167,6 +189,149 @@ TEST(EquivalenceTest, HeterogeneousTradingDecisionStreamMatchesLegacy) {
   EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kTrade)], 0);
   EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kMigrateProbe)], 0);
   ExpectIdentical(legacy, refactored);
+}
+
+TEST(EquivalenceTest, SingleServerDecisionStreamMatchesLegacy) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(1, 8);
+  const GandivaFairConfig gf;
+  const RunResult legacy = RunWith<LegacyGandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { SingleServerScenario(exp, s); });
+  const RunResult refactored = RunWith<GandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { SingleServerScenario(exp, s); });
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kSuspend)], 0);
+  ExpectIdentical(legacy, refactored);
+}
+
+// Fault-free E14 configuration: the paper-scale heterogeneous cluster under
+// the generated 8-user trace (same specs, generator and seed as the
+// availability bench, minus the fault injector). This is the widest surface
+// the pipeline refactor touches — trace-driven arrivals and finishes,
+// trading, balancing and stealing all interleaved with quantum ticks.
+template <typename ExpT, typename SchedT>
+void TraceDrivenScenario(ExpT& exp, SchedT& /*sched*/) {
+  const SimTime horizon = Hours(6);
+  const auto specs = bench::ClusterUserSpecs(horizon, /*load_scale=*/2.5);
+  std::vector<UserId> user_ids;
+  for (const auto& spec : specs) {
+    user_ids.push_back(exp.users().Create(spec.name, spec.tickets).id);
+  }
+  workload::TraceGenerator gen(exp.zoo(), /*seed=*/2020);
+  exp.LoadTrace(gen.Generate(specs, user_ids));
+  exp.Run(horizon);
+}
+
+TEST(EquivalenceTest, TraceDrivenPaperScaleDecisionStreamMatchesLegacy) {
+  ExperimentConfig config;
+  config.topology = cluster::PaperScaleTopology();
+  config.seed = 2020;
+  const GandivaFairConfig gf;
+  const RunResult legacy = RunWith<LegacyGandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { TraceDrivenScenario(exp, s); });
+  const RunResult refactored = RunWith<GandivaFairScheduler>(
+      config, gf, [](auto& exp, auto& s) { TraceDrivenScenario(exp, s); });
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kPlace)], 0);
+  EXPECT_GT(legacy.counts[static_cast<size_t>(DecisionType::kSuspend)], 0);
+  ExpectIdentical(legacy, refactored);
+}
+
+// Pipeline safety property: within every per-server slice of a
+// ScheduleDelta, suspends come strictly before resumes, and replaying the
+// slice against the server's pre-tick occupancy never resumes a gang onto
+// GPUs its own suspends have not yet freed. Verified live over an
+// oversubscribed mixed-gang cluster where every quantum flips the schedule.
+// Balancing/stealing are disabled so occupancy only changes at quantum
+// edges and the pre-tick snapshot stays exact.
+TEST(QuantumPipelineProperty, DeltaNeverResumesOntoUnfreedGpus) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(4, 8);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  GandivaFairConfig gf;
+  gf.enable_load_balancing = false;
+  gf.enable_work_stealing = false;
+  exp.UseGandivaFair(gf);
+  const int gangs[] = {1, 1, 2, 4, 8, 2, 1, 1};
+  for (int i = 0; i < 40; ++i) {  // ~2x oversubscription, infinite jobs
+    exp.SubmitAt(kTimeZero, (i % 2 == 0 ? a : b).id, "DCGAN", gangs[i % 8],
+                 Hours(100000));
+  }
+  exp.Run(Minutes(2));
+
+  const GandivaFairScheduler* sched = exp.gandiva();
+  SimTime now = exp.sim().Now();
+  int64_t resumes_checked = 0;
+  for (int q = 0; q < 50; ++q) {
+    std::vector<int> busy_before;
+    for (const auto& server : exp.cluster().servers()) {
+      busy_before.push_back(server.num_busy());
+    }
+    now += Minutes(1);
+    exp.Run(now);  // exactly one quantum tick
+
+    const ScheduleDelta& delta = sched->last_delta();
+    size_t i = 0;
+    ServerId prev_server = ServerId::Invalid();
+    while (i < delta.ops.size()) {
+      const ServerId server = delta.ops[i].server;
+      if (prev_server.valid()) {
+        ASSERT_LT(prev_server.value(), server.value())
+            << "per-server slices out of plan order";
+      }
+      prev_server = server;
+      const cluster::Server& host = exp.cluster().server(server);
+      int free = host.num_gpus() - busy_before[server.value()];
+      bool seen_resume = false;
+      for (; i < delta.ops.size() && delta.ops[i].server == server; ++i) {
+        const exec::ScheduleOp& op = delta.ops[i];
+        const int gang = exp.jobs().Get(op.job).gang_size;
+        if (op.resume) {
+          seen_resume = true;
+          ASSERT_GE(free, gang)
+              << "resume of job " << op.job << " on server " << server
+              << " before its GPUs were freed";
+          free -= gang;
+          resumes_checked += 1;
+        } else {
+          ASSERT_FALSE(seen_resume)
+              << "suspend after a resume in server " << server << "'s slice";
+          free += gang;
+        }
+      }
+      ASSERT_GE(free, 0);
+    }
+    // Oversubscribed flip: every server must actually have been planned.
+    EXPECT_EQ(sched->last_plan().servers.size(), 4u);
+    EXPECT_TRUE(sched->last_plan().skipped_vt.empty());
+  }
+  EXPECT_GT(resumes_checked, 0);
+}
+
+// Steady-state counterpart: once demand exactly covers capacity and nothing
+// changes, the planner's dirty-set skip must prove every server unchanged —
+// no planned servers, no ops, only virtual-time floors.
+TEST(QuantumPipelineProperty, SteadyStateSkipsEveryServer) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(4, 8);
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b");
+  exp.UseGandivaFair({});
+  for (int i = 0; i < 32; ++i) {  // demand == capacity
+    exp.SubmitAt(kTimeZero, (i % 2 == 0 ? a : b).id, "DCGAN", 1, Hours(100000));
+  }
+  exp.Run(Minutes(2));
+
+  const GandivaFairScheduler* sched = exp.gandiva();
+  SimTime now = exp.sim().Now();
+  for (int q = 0; q < 20; ++q) {
+    now += Minutes(1);
+    exp.Run(now);
+    EXPECT_TRUE(sched->last_plan().servers.empty());
+    EXPECT_EQ(sched->last_plan().skipped_vt.size(), 4u);
+    EXPECT_TRUE(sched->last_delta().empty());
+  }
 }
 
 }  // namespace
