@@ -1,0 +1,61 @@
+// Sorted snapshots of unordered containers — the sanctioned route for
+// iterating a hash container on a decision path.
+//
+// std::unordered_map / unordered_set iteration order is a function of the
+// hash seed, bucket count, and insertion history — it varies across stdlibs,
+// platforms, and even runs. Any scheduler decision derived from a loop over
+// a hash container (which job to probe, which user rebalances first, the
+// summation order of a float accumulator) is therefore nondeterministic: the
+// #1 reproducibility hazard for the experiment suite. gfair_lint bans raw
+// range-for over unordered containers in src/sched/ decision paths; these
+// helpers are the escape hatch it recognizes.
+//
+// The cost is one O(n log n) snapshot per loop, on paths that run per trade
+// epoch / ticket refresh (minutes of simulated time), not per quantum — the
+// per-quantum hot paths iterate flat vectors already.
+#ifndef GFAIR_COMMON_SORTED_H_
+#define GFAIR_COMMON_SORTED_H_
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gfair::common {
+
+// Keys of an unordered set/map, ascending. Requires operator< on the key
+// (StrongId types qualify).
+template <typename Container>
+std::vector<typename Container::key_type> SortedKeys(const Container& container) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(container.size());
+  for (const auto& item : container) {
+    if constexpr (std::is_same_v<typename Container::key_type,
+                                 typename Container::value_type>) {
+      keys.push_back(item);  // set: the element is the key
+    } else {
+      keys.push_back(item.first);  // map: take the key
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// (key, mapped) pairs of an unordered map, ascending by key. Values are
+// copied — intended for the small maps on trade/refresh paths.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedItems(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>> items;
+  items.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    items.emplace_back(key, value);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace gfair::common
+
+#endif  // GFAIR_COMMON_SORTED_H_

@@ -67,7 +67,9 @@ double JainIndex(const std::vector<double>& values) {
     sum += v;
     sum_sq += v * v;
   }
-  if (sum_sq == 0.0) {
+  // Exact-zero guard against 0/0, not a tolerance check: sum_sq is a sum of
+  // squares and is 0.0 iff every input is exactly 0.0.
+  if (sum_sq == 0.0) {  // gfair-lint: allow(float-eq)
     return 1.0;
   }
   return sum * sum / (static_cast<double>(values.size()) * sum_sq);

@@ -9,6 +9,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/sorted.h"
+#include "sched/cluster_state_view.h"
 #include "sched/hierarchy.h"
 
 namespace gfair::sched {
@@ -36,8 +38,9 @@ GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
       placement_(env_, config_, index_, residency_, *this),
       balancer_(env_, config_, index_, residency_, *this),
       trader_(env_, config_, index_, residency_, ticket_matrix_, decisions_, *this),
-      planner_(env_.cluster, index_),
-      differ_(env_.jobs, env_.exec, index_) {}
+      planner_(ClusterStateView(env_.cluster, index_)),
+      differ_(env_.jobs, env_.exec, ClusterStateView(env_.cluster, index_)),
+      checker_(env_, *this) {}
 
 GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
   return env_.cluster.server(server).generation();
@@ -278,6 +281,15 @@ void GandivaFairScheduler::QuantumTick() {
     }
   }
   RetryPendingOrphans();
+
+#ifndef NDEBUG
+  // Post-quantum invariant sweep (Debug/sanitizer builds): the cluster must
+  // be in a consistent state at every quantum boundary, not just at the end
+  // of a run. Release builds skip it — the sweep walks every server and job.
+  for (const std::string& violation : checker_.Check()) {
+    GFAIR_CHECK_MSG(false, violation.c_str());
+  }
+#endif
 }
 
 void GandivaFairScheduler::ChargeAndSample(ServerId server) {
@@ -422,7 +434,9 @@ void GandivaFairScheduler::RefreshPoolTickets(UserId user, GpuGeneration gen) {
   // to PerJobTickets.
   const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
   const double pool_demand = residency_.WeightedResidentDemand(user, gen);
-  for (JobId id : pool_jobs) {
+  // Sorted: SetTickets on distinct jobs commute, so this is for lint
+  // uniformity (every PoolJobs walk is sorted), not correctness.
+  for (JobId id : common::SortedKeys(pool_jobs)) {
     const Job& job = env_.jobs.Get(id);
     const double share = job.gang_size * job.weight;
     index_.SetTickets(residency_.Info(id).home, id,
@@ -502,7 +516,11 @@ void GandivaFairScheduler::ApplyHierarchy() {
   if (active.empty()) {
     return;
   }
-  for (const auto& [user, tickets] : ComputeHierarchicalTickets(env_.users, active)) {
+  // Sorted for determinism (the result is an unordered_map); RegisterUser on
+  // distinct users commutes, but a fixed order keeps row insertion identical
+  // across platforms.
+  for (const auto& [user, tickets] :
+       common::SortedItems(ComputeHierarchicalTickets(env_.users, active))) {
     // Resets the user's pool row to the new base; the next trading epoch
     // rebuilds trades on top (activity changes invalidate them anyway).
     ticket_matrix_.RegisterUser(user, tickets);

@@ -44,6 +44,7 @@
 
 #include "sched/cluster_state_index.h"
 #include "sched/decision_log.h"
+#include "sched/invariant_checker.h"
 #include "sched/ledger.h"
 #include "sched/placement_engine.h"
 #include "sched/plan_differ.h"
@@ -157,6 +158,12 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   const ClusterStateIndex& cluster_index() const { return index_; }
   const ResidencyIndex& residency() const { return residency_; }
 
+  // Runs every registered cluster-wide invariant (see invariant_checker.h)
+  // and returns the violations — empty when the state is consistent. Called
+  // automatically after every quantum in Debug builds; exposed so property
+  // and fault tests can sweep at arbitrary points.
+  std::vector<std::string> CheckInvariants() { return checker_.Check(); }
+
   // Structured point-in-time view of servers and users (for operators,
   // tools and tests).
   ClusterSnapshot Snapshot() const;
@@ -254,6 +261,10 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   PlanDiffer differ_;
   SchedulePlan plan_;
   ScheduleDelta delta_;
+
+  // Post-quantum cluster-wide invariant sweep (declared last: reads the
+  // subsystems above through `*this` but never mutates them).
+  InvariantChecker checker_;
 
  public:
   // The last quantum's plan and delta (introspection for tests/tools; valid

@@ -15,7 +15,7 @@ void PlanDiffer::DiffServer(const SchedulePlan& plan,
 
   // Suspends first so the incoming gang's GPUs are free.
   const ServerId server = target.server;
-  for (JobId id : index_.stride(server).ResidentJobs()) {
+  for (JobId id : view_.stride(server).ResidentJobs()) {
     if (exec_.IsRunning(id) && target_stamp_[id.value()] != target_epoch_) {
       delta->ops.push_back(exec::ScheduleOp{id, server, /*resume=*/false});
     }

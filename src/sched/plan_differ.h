@@ -23,16 +23,18 @@
 
 #include "common/types.h"
 #include "exec/executor.h"
-#include "sched/cluster_state_index.h"
+#include "sched/cluster_state_view.h"
 #include "sched/schedule_plan.h"
 
 namespace gfair::sched {
 
 class PlanDiffer {
  public:
+  // Like the planner, the differ reads stride state only through the
+  // deep-const ClusterStateView — diffing can never mutate the index.
   PlanDiffer(const workload::JobTable& jobs, const exec::Executor& exec,
-             const ClusterStateIndex& index)
-      : jobs_(jobs), exec_(exec), index_(index) {}
+             ClusterStateView view)
+      : jobs_(jobs), exec_(exec), view_(view) {}
 
   // Appends ops for every planned server of `plan` to `delta` (which the
   // caller clears between quanta).
@@ -45,7 +47,7 @@ class PlanDiffer {
  private:
   const workload::JobTable& jobs_;
   const exec::Executor& exec_;
-  const ClusterStateIndex& index_;
+  const ClusterStateView view_;
 
   // Per-job membership stamps: a job is in the current target iff its stamp
   // equals target_epoch_ (job ids are dense; the table is sized once per

@@ -3,7 +3,7 @@
 namespace gfair::sched {
 
 void QuantumPlanner::PlanServer(ServerId server, SchedulePlan* plan) const {
-  const LocalStrideScheduler& stride = index_.stride(server);
+  const LocalStrideScheduler& stride = view_.stride(server);
   SchedulePlan::ServerTarget target;
   target.server = server;
   target.target_begin = static_cast<uint32_t>(plan->target_jobs.size());
@@ -15,9 +15,9 @@ void QuantumPlanner::PlanServer(ServerId server, SchedulePlan* plan) const {
 }
 
 bool QuantumPlanner::PlanServerOrSkip(ServerId id, SchedulePlan* plan) const {
-  const LocalStrideScheduler& stride = index_.stride(id);
-  if (!index_.plan_dirty(id) &&
-      cluster_.server(id).num_busy() == stride.DemandLoad()) {
+  const LocalStrideScheduler& stride = view_.stride(id);
+  if (!view_.plan_dirty(id) &&
+      view_.server(id).num_busy() == stride.DemandLoad()) {
     // Provably unchanged (see header); only the virtual-time floor is due.
     // Scan, not heap peek: after the quantum's charge every resident's heap
     // key is stale, so fixing the heap costs a re-key per job while the
@@ -31,9 +31,9 @@ bool QuantumPlanner::PlanServerOrSkip(ServerId id, SchedulePlan* plan) const {
 
 void QuantumPlanner::PlanTick(SchedulePlan* plan) const {
   plan->Clear();
-  for (const auto& server : cluster_.servers()) {
+  for (const auto& server : view_.servers()) {
     if (server.up()) {
-      PlanServerOrSkip(server.id(), plan);
+      (void)PlanServerOrSkip(server.id(), plan);
     }
   }
 }

@@ -40,17 +40,18 @@
 
 #include <vector>
 
-#include "cluster/cluster.h"
 #include "common/types.h"
-#include "sched/cluster_state_index.h"
+#include "sched/cluster_state_view.h"
 #include "sched/schedule_plan.h"
 
 namespace gfair::sched {
 
 class QuantumPlanner {
  public:
-  QuantumPlanner(const cluster::Cluster& cluster, const ClusterStateIndex& index)
-      : cluster_(cluster), index_(index) {}
+  // The planner sees cluster + stride state only through the deep-const
+  // ClusterStateView: a mutation from planning code is a compile error, not
+  // a convention (the old comment-only contract).
+  explicit QuantumPlanner(ClusterStateView view) : view_(view) {}
 
   // Plans every up server (ascending id), skipping provably-unchanged ones.
   // Overwrites `plan`.
@@ -62,14 +63,16 @@ class QuantumPlanner {
   // planning into its per-server tick loop while the server's stride state
   // is cache-hot; servers are planned independently, so per-server calls in
   // ascending id order build exactly PlanTick's plan. Precondition: up.
-  bool PlanServerOrSkip(ServerId server, SchedulePlan* plan) const;
+  // [[nodiscard]]: the caller owes the commit step (virtual-time advance +
+  // dirty clear) only for planned servers, so the planned/skipped outcome
+  // must not be dropped.
+  [[nodiscard]] bool PlanServerOrSkip(ServerId server, SchedulePlan* plan) const;
 
   // Plans one server into `plan` (no skip check). Precondition: up.
   void PlanServer(ServerId server, SchedulePlan* plan) const;
 
  private:
-  const cluster::Cluster& cluster_;
-  const ClusterStateIndex& index_;
+  const ClusterStateView view_;
   mutable std::vector<JobId> select_scratch_;
 };
 

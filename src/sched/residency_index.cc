@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/sorted.h"
 
 namespace gfair::sched {
 
@@ -79,11 +80,13 @@ double ResidencyIndex::ResidentDemand(UserId user, cluster::GpuGeneration gen) c
   }
   const size_t g = cluster::GenerationIndex(gen);
 #ifndef NDEBUG
+  // Debug cross-check summing small ints (exact in double, so the order of
+  // the unordered walk and the == compare are both sound here).
   double recompute = 0.0;
-  for (JobId id : it->second.jobs[g]) {
+  for (JobId id : it->second.jobs[g]) {  // gfair-lint: allow(unordered-iter)
     recompute += jobs_.Get(id).gang_size;
   }
-  GFAIR_DCHECK_MSG(recompute == it->second.resident_demand[g],
+  GFAIR_DCHECK_MSG(recompute == it->second.resident_demand[g],  // gfair-lint: allow(float-eq)
                    "incremental resident demand drifted from full recompute");
 #endif
   return it->second.resident_demand[g];
@@ -98,11 +101,13 @@ double ResidencyIndex::WeightedResidentDemand(UserId user,
   const size_t g = cluster::GenerationIndex(gen);
   const UserPools& pools = it->second;
   if (pools.weighted_dirty[g]) {
-    // Recomputed in set-iteration order — exactly the summation the
-    // recompute-on-read implementation performed, so cached reads are
-    // bit-identical to uncached ones.
+    // Recomputed in SORTED job-id order: this is a float accumulation that
+    // feeds per-job tickets, so its summation order must not depend on the
+    // hash set's platform-specific iteration order. (Any fixed order works;
+    // sorted makes cached reads bit-identical to uncached ones AND across
+    // platforms. The frozen legacy oracle sums in the same order.)
     double total = 0.0;
-    for (JobId id : pools.jobs[g]) {
+    for (JobId id : common::SortedKeys(pools.jobs[g])) {
       const workload::Job& job = jobs_.Get(id);
       total += job.gang_size * job.weight;
     }

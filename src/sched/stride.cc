@@ -106,6 +106,7 @@ const LocalStrideScheduler::Entry& LocalStrideScheduler::GetEntry(JobId id) cons
 double LocalStrideScheduler::PassOf(JobId id) const { return GetEntry(id).pass; }
 int LocalStrideScheduler::GangOf(JobId id) const { return GetEntry(id).gang_size; }
 double LocalStrideScheduler::TicketsOf(JobId id) const { return GetEntry(id).tickets; }
+bool LocalStrideScheduler::RunnableOf(JobId id) const { return GetEntry(id).runnable; }
 
 void LocalStrideScheduler::RecomputeTicketLoad() const {
   double total = 0.0;

@@ -123,12 +123,12 @@ class LocalStrideScheduler {
   // Floors the virtual time at `min_runnable_pass` (no-op for +inf).
   void AdvanceVirtualTime(double min_runnable_pass);
   // Minimum pass over runnable residents, +inf when none. O(stale heap tops).
-  double MinRunnablePass() const;
+  [[nodiscard]] double MinRunnablePass() const;
   // Same value via one contiguous scan of the entries, leaving the heap
   // alone. Cheaper than the heap peek exactly when most keys are stale —
   // e.g. on a dirty-skip'd server, where every resident was just charged and
   // the entry array is still cache-hot from the charge walk.
-  double MinRunnablePassScan() const {
+  [[nodiscard]] double MinRunnablePassScan() const {
     double min_pass = std::numeric_limits<double>::infinity();
     for (const auto& [id, entry] : entries_) {
       if (entry.runnable && entry.pass < min_pass) {
@@ -142,7 +142,7 @@ class LocalStrideScheduler {
   // virtual time as a side effect (PlanQuantum + AdvanceVirtualTime).
   // Returns a reference to an internal buffer that the next call on this
   // instance overwrites — copy it to hold across calls.
-  const std::vector<JobId>& SelectForQuantum();
+  [[nodiscard]] const std::vector<JobId>& SelectForQuantum();
 
   // Charges `ms` of wall time on the job's whole gang. Touches no heap
   // memory — the stale key is lazily re-pushed at the next selection.
@@ -166,12 +166,15 @@ class LocalStrideScheduler {
   double PassOf(JobId id) const;
   int GangOf(JobId id) const;
   double TicketsOf(JobId id) const;
+  // Whether the job is currently selectable (see SetRunnable). Precondition:
+  // resident here.
+  bool RunnableOf(JobId id) const;
   double VirtualTime() const { return virtual_time_; }
 
   // Resident jobs sorted by id. Returns a reference to a cached vector that
   // is invalidated by AddJob/RemoveJob — callers that migrate or remove jobs
   // while iterating must take a copy first.
-  const std::vector<JobId>& ResidentJobs() const;
+  [[nodiscard]] const std::vector<JobId>& ResidentJobs() const;
 
  private:
   struct Entry {

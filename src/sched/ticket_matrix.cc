@@ -31,7 +31,8 @@ void TicketMatrix::Set(UserId user, cluster::GpuGeneration gen, Tickets tickets)
 }
 
 void TicketMatrix::ResetToBase() {
-  for (auto& [user, row] : rows_) {
+  // Per-row reset on distinct keys: order-independent by construction.
+  for (auto& [user, row] : rows_) {  // gfair-lint: allow(unordered-iter)
     row.per_gen.fill(row.base);
   }
 }

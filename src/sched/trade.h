@@ -92,7 +92,7 @@ class TradingEngine {
  public:
   explicit TradingEngine(TradeConfig config) : config_(config) {}
 
-  TradeOutcome ComputeEpoch(const TradeInputs& inputs) const;
+  [[nodiscard]] TradeOutcome ComputeEpoch(const TradeInputs& inputs) const;
 
   const TradeConfig& config() const { return config_; }
 

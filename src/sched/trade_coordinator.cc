@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/sorted.h"
 #include "sched/gandiva_fair.h"
 
 namespace gfair::sched {
@@ -36,10 +37,13 @@ bool TradeCoordinator::UserSpeedup(UserId user, GpuGeneration fast,
                                    GpuGeneration slow, double* out) const {
   GFAIR_CHECK(out != nullptr);
   // Demand-weighted mean over the user's resident jobs with usable profiles.
+  // Sorted order: the accumulation is floating-point, so summation order
+  // reaches the quantized speedup — hash-set order would make the
+  // lender/borrower matching platform-dependent.
   double weight_sum = 0.0;
   double weighted = 0.0;
   for (GpuGeneration gen : kAllGenerations) {
-    for (JobId id : residency_.PoolJobs(user, gen)) {
+    for (JobId id : common::SortedKeys(residency_.PoolJobs(user, gen))) {
       const Job& job = env_.jobs.Get(id);
       const auto& model = env_.zoo.Get(job.model);
       if (!model.FitsGeneration(fast) || !model.FitsGeneration(slow)) {
@@ -72,10 +76,12 @@ void TradeCoordinator::RunProbes() {
     if (budget <= 0) {
       break;
     }
-    // Snapshot: EmitMigration mutates the residency sets.
+    // Snapshot: EmitMigration mutates the residency sets. Sorted within each
+    // pool so WHICH job gets the probe migration does not depend on hash
+    // order.
     std::vector<JobId> resident;
     for (GpuGeneration gen : kAllGenerations) {
-      for (JobId id : residency_.PoolJobs(user, gen)) {
+      for (JobId id : common::SortedKeys(residency_.PoolJobs(user, gen))) {
         resident.push_back(id);
       }
     }
@@ -152,8 +158,10 @@ void TradeCoordinator::TradeEpoch() {
   ticket_matrix_.ResetToBase();
   if (!outcome.trades.empty()) {
     // Pool tickets become the traded entitlements (stride normalizes within
-    // each pool, so entitlement GPUs double as tickets).
-    for (const auto& [user, entitlement] : outcome.entitlements) {
+    // each pool, so entitlement GPUs double as tickets). Sets on distinct
+    // users commute, but sorted order keeps the loop lint-clean and any
+    // future logging deterministic.
+    for (const auto& [user, entitlement] : common::SortedItems(outcome.entitlements)) {
       for (GpuGeneration gen : kAllGenerations) {
         ticket_matrix_.Set(user, gen,
                            std::max(entitlement[GenerationIndex(gen)], 0.0));
@@ -175,7 +183,10 @@ void TradeCoordinator::RebalanceResidency(const TradeOutcome& outcome) {
   int budget = config_.max_trade_migrations;
   const SimTime now = env_.sim.Now();
 
-  for (const auto& [user, entitlement] : outcome.entitlements) {
+  // Sorted by user: the migration budget is consumed in user order, so WHICH
+  // user's rebalance gets cut off when the budget runs out must not depend
+  // on hash order.
+  for (const auto& [user, entitlement] : common::SortedItems(outcome.entitlements)) {
     while (budget > 0) {
       cluster::PerGeneration<double> surplus{};
       for (GpuGeneration gen : kAllGenerations) {
@@ -200,10 +211,12 @@ void TradeCoordinator::RebalanceResidency(const TradeOutcome& outcome) {
         break;
       }
 
-      // Smallest gang that the destination surplus still covers.
+      // Smallest gang that the destination surplus still covers. Sorted:
+      // the smallest-gang tie now breaks to the lowest job id instead of
+      // whichever the hash order visited first.
       JobId candidate = JobId::Invalid();
       int candidate_gang = INT32_MAX;
-      for (JobId id : residency_.PoolJobs(user, kAllGenerations[over])) {
+      for (JobId id : common::SortedKeys(residency_.PoolJobs(user, kAllGenerations[over]))) {
         const Job& job = env_.jobs.Get(id);
         if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
           continue;

@@ -1,0 +1,18 @@
+// Negative-compile proof for the ClusterStateView purity contract: this
+// translation unit MUST NOT compile. ctest runs the compiler over it with
+// -fsyntax-only and WILL_FAIL — if this file ever starts compiling, the
+// deep-const view has grown a mutation path and the build goes red.
+//
+// Keep exactly one violation per function so a future error message points
+// at the specific leak.
+#include "sched/cluster_state_view.h"
+
+namespace gfair::sched {
+
+void MutateStrideThroughView(const ClusterStateView& view) {
+  // The planner's temptation: "just fix up the stride while planning".
+  // stride() returns const LocalStrideScheduler&; AddJob is non-const.
+  view.stride(ServerId(0)).AddJob(JobId(1), /*gang_size=*/1, /*tickets=*/1.0);
+}
+
+}  // namespace gfair::sched

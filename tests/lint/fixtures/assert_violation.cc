@@ -1,0 +1,9 @@
+// gfair-lint-fixture: src/exec/guard.cc
+// Seeded violation for the assert rule: bare assert() vanishes under NDEBUG.
+#include <cassert>
+
+void Guard(int n) {
+  assert(n > 0);  // EXPECT-LINT: assert
+  // static_assert is a different token and stays legal:
+  static_assert(sizeof(int) >= 4, "ok");
+}

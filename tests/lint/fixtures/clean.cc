@@ -1,0 +1,29 @@
+// gfair-lint-fixture: src/sched/clean_example.cc
+// A file with zero expected violations: banned tokens appear only in prose,
+// string literals, or sanctioned forms, and none of them may fire.
+//
+// Prose mentions: rand(), time(nullptr), std::cout, assert(x), const_cast,
+// steady_clock, and iterating an unordered_map — all inert in comments.
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sorted.h"
+
+inline const char* kBanner = "rand() time() std::cout assert(x) == 0.5";
+
+struct Shares {
+  std::unordered_map<int, int> by_user_;
+};
+
+inline int SumSorted(const Shares& shares) {
+  int total = 0;
+  for (int user : gfair::common::SortedKeys(shares.by_user_)) {
+    total += user;
+  }
+  // Lookups (not iteration) into unordered containers are fine:
+  total += shares.by_user_.count(0) > 0 ? shares.by_user_.at(0) : 0;
+  // Integer equality is fine:
+  GFAIR_CHECK(total >= 0);
+  return total == 0 ? 1 : total;
+}

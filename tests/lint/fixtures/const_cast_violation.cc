@@ -1,0 +1,10 @@
+// gfair-lint-fixture: src/sched/sneaky.cc
+// Seeded violation for the const-cast rule: casting away const defeats the
+// deep-const ClusterStateView contract.
+struct View {
+  const int* data;
+};
+
+int* Mutable(const View& view) {
+  return const_cast<int*>(view.data);  // EXPECT-LINT: const-cast
+}

@@ -1,0 +1,26 @@
+// gfair-lint-fixture: src/analysis/ratio.cc
+// Seeded violations for the float-eq rule: exact comparison against a float
+// literal is almost always a rounding bug.
+bool Converged(double err) {
+  return err == 0.0;  // EXPECT-LINT: float-eq
+}
+
+bool Different(double a) {
+  return a != 1.5;  // EXPECT-LINT: float-eq
+}
+
+bool TinyExp(double x) {
+  return x == 1e-6;  // EXPECT-LINT: float-eq
+}
+
+// Integer comparison: no float literal, no violation.
+bool IsZero(int n) { return n == 0; }
+
+// Iterator comparison with a float literal in the OTHER ternary arm: the
+// ':' boundary keeps the window out of the arm, no violation.
+double Lookup(bool found, double value) { return found != false ? value : 0.5; }
+
+// Sentinel compare, exact by construction, justified inline: allowed.
+bool IsUnset(double sentinel) {
+  return sentinel == -1.0;  // gfair-lint: allow(float-eq) -- sentinel, never computed
+}

@@ -1,0 +1,11 @@
+// gfair-lint-fixture: src/sched/rogue_subsystem.h
+// Seeded violations for the layering rule: sched/ reaches simkit/ only via
+// the sanctioned gateways (scheduler_iface.h and ledger.h).
+#include "simkit/event_queue.h"  // EXPECT-LINT: layering
+#include "simkit/simulator.h"  // EXPECT-LINT: layering
+
+// Non-simkit includes are unconstrained:
+#include "common/check.h"
+
+// A comment mentioning #include "simkit/simulator.h" must not fire (the rule
+// only parses preprocessor directive lines).

@@ -1,0 +1,15 @@
+// gfair-lint-fixture: src/workload/noise.cc
+// Seeded violations for the raw-rand rule: unseeded or global generators
+// break bit-for-bit reproducibility.
+#include <cstdlib>
+#include <random>
+
+int Draw() {
+  std::random_device entropy;  // EXPECT-LINT: raw-rand
+  std::mt19937 gen(entropy());  // EXPECT-LINT: raw-rand
+  return static_cast<int>(gen()) + rand();  // EXPECT-LINT: raw-rand
+}
+
+// The word "brand" or "operand" must not fire (whole-token matching), and
+// neither must rand() inside this comment or the string "rand()" below.
+inline const char* kLabel = "rand() is banned";

@@ -1,0 +1,13 @@
+// gfair-lint-fixture: src/sched/debug_dump.cc
+// Seeded violations for the stdio rule: library code must not own a stream.
+#include <cstdio>
+#include <iostream>
+
+void Dump(int n) {
+  std::cout << n << '\n';  // EXPECT-LINT: stdio
+  printf("%d\n", n);  // EXPECT-LINT: stdio
+  std::fprintf(stderr, "%d\n", n);  // EXPECT-LINT: stdio
+  // String formatting (not output) is fine — snprintf is a different token:
+  char buf[16];
+  (void)std::snprintf(buf, sizeof(buf), "%d", n);
+}

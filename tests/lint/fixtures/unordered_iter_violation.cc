@@ -1,0 +1,41 @@
+// gfair-lint-fixture: src/sched/pool_walk.cc
+// Seeded violations for the unordered-iter rule: decision paths must not
+// depend on hash-table iteration order.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Pools {
+  // Element case: an ordered container OF unordered sets — indexing into it
+  // yields the unordered object.
+  std::vector<std::unordered_set<int>> per_gen;
+};
+
+double Sum(const std::unordered_map<int, double>& weights, const Pools& pools) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // EXPECT-LINT: unordered-iter
+    total += w;
+  }
+  for (int id : pools.per_gen[0]) {  // EXPECT-LINT: unordered-iter
+    total += id;
+  }
+  // Routed through the sanctioned helpers: order is fixed, no violation.
+  for (int id : gfair::common::SortedKeys(weights)) {
+    total += id;
+  }
+  for (int id : gfair::common::SortedKeys(pools.per_gen[1])) {
+    total += id;
+  }
+  // A lookup into the map yields a scalar; iterating something else near it
+  // is fine (the container itself is not the range).
+  std::vector<double> copies(4, weights.at(0));
+  for (double c : copies) {
+    total += c;
+  }
+  // Provably order-independent body, justified inline: allowed.
+  double floor = 0.0;
+  for (const auto& [id, w] : weights) {  // gfair-lint: allow(unordered-iter)
+    floor = w > floor ? w : floor;  // max() commutes
+  }
+  return total + floor;
+}

@@ -1,0 +1,15 @@
+// gfair-lint-fixture: src/simkit/probe.cc
+// Seeded violations for the wall-clock rule: reading real time makes a run a
+// function of the machine, not of (trace, seed).
+#include <chrono>
+#include <ctime>
+
+long NowNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // EXPECT-LINT: wall-clock
+}
+
+long NowSeconds() {
+  return time(nullptr);  // EXPECT-LINT: wall-clock
+}
+
+// Prose mentions of steady_clock or "time(...)" in comments must not fire.

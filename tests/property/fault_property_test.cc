@@ -11,6 +11,15 @@ namespace {
 
 using workload::JobState;
 
+std::string Joined(const std::vector<std::string>& violations) {
+  std::string all;
+  for (const auto& v : violations) {
+    all += v;
+    all += "; ";
+  }
+  return all;
+}
+
 class FaultChurnProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FaultChurnProperty, NoJobLostOrWedgedUnderChurn) {
@@ -47,6 +56,12 @@ TEST_P(FaultChurnProperty, NoJobLostOrWedgedUnderChurn) {
   // GPUs, and capacity accounting stays exact.
   for (SimTime t = Minutes(10); t <= Hours(6); t += Minutes(10)) {
     exp.Run(t);
+    // The registered cluster-wide invariants (gang residency, entitlement
+    // conservation, pass monotonicity, delta ordering, down-holds-nothing)
+    // must hold at every churn step, not just quantum boundaries.
+    const auto violations = exp.gandiva()->CheckInvariants();
+    EXPECT_TRUE(violations.empty()) << "at t=" << t << " (seed " << GetParam()
+                                    << "): " << Joined(violations);
     int up_gpus = 0;
     for (const auto& server : exp.cluster().servers()) {
       if (!server.up()) {
@@ -73,6 +88,8 @@ TEST_P(FaultChurnProperty, NoJobLostOrWedgedUnderChurn) {
 
   EXPECT_EQ(exp.cluster().num_up_servers(), 4);
   EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+  const auto healed = exp.gandiva()->CheckInvariants();
+  EXPECT_TRUE(healed.empty()) << Joined(healed);
   int64_t orphanings = 0;
   for (const auto* job : exp.jobs().All()) {
     EXPECT_EQ(job->state, JobState::kFinished)

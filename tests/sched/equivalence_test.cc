@@ -3,8 +3,10 @@
 // implementations run in-process on the same fixed-seed scenarios and their
 // DecisionLog streams are compared entry by entry (plus lifetime counters
 // and job completion times). Running the frozen oracle live — instead of
-// golden files — keeps the comparison valid across platforms whose hash
-// containers iterate in different orders, since both schedulers share them.
+// golden files — keeps the comparison robust; and since the determinism fix
+// both sides now iterate their residency hash sets in sorted order on every
+// decision path (see common/sorted.h), so the streams are additionally
+// stable across platforms and stdlib hash implementations.
 #include <gtest/gtest.h>
 
 #include <array>

@@ -4,6 +4,14 @@
 // DecisionLog sequence on a fixed-seed scenario. Do not modify the behavior
 // of this class; it intentionally preserves the old O(jobs^2) recompute-on-
 // demand structure (minus the removed ResidentJobs()-by-value API).
+//
+// One sanctioned behavior change since freezing: loops over the per-user
+// unordered residency sets that feed decisions (weighted-demand float sums,
+// probe snapshots, rebalance candidate scans, entitlement application order)
+// iterate in SORTED order, mirroring the determinism fix in the production
+// scheduler — both sides previously leaned on identical hash-iteration
+// order, which made the equivalence suite pass while leaving every decision
+// platform-dependent. The sorted order is now the specified behavior.
 #include "legacy_gandiva_fair.h"
 
 #include "sched/hierarchy.h"
@@ -13,6 +21,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/sorted.h"
 
 namespace gfair::sched {
 
@@ -260,7 +269,8 @@ double LegacyGandivaFairScheduler::WeightedResidentDemand(UserId user,
     return 0.0;
   }
   double total = 0.0;
-  for (JobId id : it->second[GenerationIndex(gen)]) {
+  // Sorted: float accumulation feeding tickets (mirrors ResidencyIndex).
+  for (JobId id : common::SortedKeys(it->second[GenerationIndex(gen)])) {
     const Job& job = env_.jobs.Get(id);
     total += job.gang_size * job.weight;
   }
@@ -421,7 +431,9 @@ void LegacyGandivaFairScheduler::ApplyHierarchy() {
   if (active.empty()) {
     return;
   }
-  for (const auto& [user, tickets] : ComputeHierarchicalTickets(env_.users, active)) {
+  // Mirrors the refactored scheduler: sorted for deterministic row insertion.
+  for (const auto& [user, tickets] :
+       common::SortedItems(ComputeHierarchicalTickets(env_.users, active))) {
     // Resets the user's pool row to the new base; the next trading epoch
     // rebuilds trades on top (activity changes invalidate them anyway).
     ticket_matrix_.RegisterUser(user, tickets);
@@ -822,7 +834,8 @@ bool LegacyGandivaFairScheduler::UserSpeedup(UserId user, GpuGeneration fast,
   double weight_sum = 0.0;
   double weighted = 0.0;
   for (GpuGeneration gen : kAllGenerations) {
-    for (JobId id : it->second[GenerationIndex(gen)]) {
+    // Sorted: float accumulation (mirrors TradeCoordinator::UserSpeedup).
+    for (JobId id : common::SortedKeys(it->second[GenerationIndex(gen)])) {
       const Job& job = env_.jobs.Get(id);
       const auto& model = env_.zoo.Get(job.model);
       if (!model.FitsGeneration(fast) || !model.FitsGeneration(slow)) {
@@ -859,10 +872,11 @@ void LegacyGandivaFairScheduler::RunProbes() {
     if (it == user_pool_jobs_.end()) {
       continue;
     }
-    // Snapshot: StartMigration mutates the residency sets.
+    // Snapshot: StartMigration mutates the residency sets. Sorted within
+    // each pool (mirrors TradeCoordinator::RunProbes).
     std::vector<JobId> resident;
     for (GpuGeneration gen : kAllGenerations) {
-      for (JobId id : it->second[GenerationIndex(gen)]) {
+      for (JobId id : common::SortedKeys(it->second[GenerationIndex(gen)])) {
         resident.push_back(id);
       }
     }
@@ -972,7 +986,8 @@ void LegacyGandivaFairScheduler::RebalanceResidency(const TradeOutcome& outcome)
   int budget = config_.max_trade_migrations;
   const SimTime now = env_.sim.Now();
 
-  for (const auto& [user, entitlement] : outcome.entitlements) {
+  // Sorted by user (mirrors TradeCoordinator::RebalanceResidency).
+  for (const auto& [user, entitlement] : common::SortedItems(outcome.entitlements)) {
     while (budget > 0) {
       cluster::PerGeneration<double> surplus{};
       for (GpuGeneration gen : kAllGenerations) {
@@ -1001,10 +1016,11 @@ void LegacyGandivaFairScheduler::RebalanceResidency(const TradeOutcome& outcome)
         break;
       }
 
-      // Smallest gang that the destination surplus still covers.
+      // Smallest gang that the destination surplus still covers. Sorted:
+      // ties break to the lowest job id (mirrors the production scheduler).
       JobId candidate = JobId::Invalid();
       int candidate_gang = INT32_MAX;
-      for (JobId id : it->second[over]) {
+      for (JobId id : common::SortedKeys(it->second[over])) {
         const Job& job = env_.jobs.Get(id);
         const JobInfo& info = job_info_.at(id);
         if (now - info.last_migration < config_.min_migration_interval) {

@@ -81,7 +81,7 @@ TEST(StrideTest, NewJobEntersAtVirtualTime) {
   LocalStrideScheduler stride(1);
   stride.AddJob(JobId(0), 1, 1.0);
   for (int i = 0; i < 10; ++i) {
-    stride.SelectForQuantum();
+    (void)stride.SelectForQuantum();
     stride.Charge(JobId(0), 1000);
   }
   stride.AddJob(JobId(1), 1, 1.0);
@@ -179,7 +179,7 @@ TEST(StrideTest, ReenteringJobPassIsFloored) {
   stride.AddJob(JobId(1), 1, 1.0);
   stride.SetRunnable(JobId(0), false);
   for (int i = 0; i < 10; ++i) {
-    stride.SelectForQuantum();
+    (void)stride.SelectForQuantum();
     stride.Charge(JobId(1), 1000);
   }
   stride.SetRunnable(JobId(0), true);
@@ -214,9 +214,9 @@ TEST(StrideTest, TicketAndDemandLoads) {
 TEST(StrideTest, VirtualTimeMonotone) {
   LocalStrideScheduler stride(1);
   stride.AddJob(JobId(0), 1, 1.0);
-  stride.SelectForQuantum();
+  (void)stride.SelectForQuantum();
   stride.Charge(JobId(0), 5000);
-  stride.SelectForQuantum();
+  (void)stride.SelectForQuantum();
   const double vt = stride.VirtualTime();
   stride.RemoveJob(JobId(0));
   stride.AddJob(JobId(1), 1, 1.0);

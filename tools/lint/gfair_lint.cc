@@ -1,0 +1,1044 @@
+// gfair_lint — determinism & purity linter for the gfair tree.
+//
+// A dependency-free token/line-level checker (no libclang) that walks src/,
+// bench/ and tools/ and enforces the repo's reproducibility contract:
+// simulated time only, seeded randomness only, no iteration-order-dependent
+// decisions, no exact float comparison, sanctioned logging sinks, and the
+// sched -> simkit layering gateways. docs/STATIC_ANALYSIS.md is the rule
+// catalog; this file is the implementation.
+//
+// Modes:
+//   gfair_lint --root <repo-root>              scan the tree; exit 1 on violations
+//   gfair_lint --root <root> --expect <f>...   self-test: violations in the given
+//                                              fixture files must exactly match
+//                                              their "EXPECT-LINT: <rule>" comments
+//   gfair_lint --list-rules                    print the rule catalog
+//
+// Suppression, most-precise first:
+//   * inline:  trailing "// gfair-lint: allow(<rule>)" on the offending line
+//              (with a justification in prose next to it);
+//   * file:    a per-rule suppression list below, for files whose whole point
+//              is the banned construct (e.g. the wall-clock latency bench).
+//
+// Fixture files may declare the tree location they emulate with a first-line
+// "// gfair-lint-fixture: src/sched/example.cc" so path-scoped rules apply.
+//
+// The linter works on comment- and string-stripped lines, so banned tokens in
+// prose or literals never fire. It is deliberately conservative: it knows the
+// names declared with unordered types anywhere in the scanned set (including
+// functions returning them, and ordered containers *of* unordered ones) and
+// flags range-for statements in src/sched/ whose range expression uses such a
+// name without going through common::SortedKeys / SortedItems.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Small string utilities.
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+// Positions of whole-word occurrences of `word` in `line`.
+std::vector<size_t> FindWord(const std::string& line, const std::string& word) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    const size_t end = pos + word.size();
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      out.push_back(pos);
+    }
+    pos = end;
+  }
+  return out;
+}
+
+bool HasWord(const std::string& line, const std::string& word) {
+  return !FindWord(line, word).empty();
+}
+
+// Whole-word `word` immediately followed (mod spaces) by '(' — a call.
+bool HasCall(const std::string& line, const std::string& word) {
+  for (size_t pos : FindWord(line, word)) {
+    size_t i = pos + word.size();
+    while (i < line.size() && IsSpace(line[i])) ++i;
+    if (i < line.size() && line[i] == '(') {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Source model: raw lines + comment/string-stripped lines.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string display;            // path as reported in diagnostics
+  std::string rel;                // repo-relative logical path ('/'-separated)
+  std::vector<std::string> raw;   // verbatim lines
+  std::vector<std::string> code;  // comments and literal contents blanked
+};
+
+// Blanks comments and the contents of string/char literals (quote characters
+// included), preserving line lengths so columns stay meaningful. Handles
+// block comments spanning lines and digit separators (1'000).
+std::vector<std::string> StripCommentsAndLiterals(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    bool in_string = false;
+    bool in_char = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block) {
+        if (c == '*' && next == '/') {
+          in_block = false;
+          ++i;
+        }
+      } else if (in_string) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (in_char) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+        }
+      } else if (c == '/' && next == '/') {
+        break;  // rest of the line is a comment
+      } else if (c == '/' && next == '*') {
+        in_block = true;
+        ++i;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '\'') {
+        // A quote between digits is a separator (1'000), not a char literal.
+        const bool separator = i > 0 && IsDigit(line[i - 1]) && IsDigit(next);
+        if (separator) {
+          code[i] = '\'';
+        } else {
+          in_char = true;
+        }
+      } else {
+        code[i] = c;
+      }
+    }
+    // Strings and char literals do not continue across lines in this tree.
+    in_string = false;
+    in_char = false;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool LoadFile(const fs::path& path, const std::string& rel, SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  out->display = path.generic_string();
+  out->rel = rel;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    out->raw.push_back(line);
+  }
+  out->code = StripCommentsAndLiterals(out->raw);
+  // Fixtures declare the tree location they emulate on their first line.
+  if (!out->raw.empty()) {
+    const std::string kTag = "gfair-lint-fixture:";
+    const size_t pos = out->raw[0].find(kTag);
+    if (pos != std::string::npos) {
+      out->rel = Trim(out->raw[0].substr(pos + kTag.size()));
+    }
+  }
+  return true;
+}
+
+// Inline suppressions: "// gfair-lint: allow(rule-a, rule-b)" on the line.
+std::set<std::string> AllowedRules(const std::string& raw_line) {
+  std::set<std::string> allowed;
+  const std::string kTag = "gfair-lint: allow(";
+  size_t pos = raw_line.find(kTag);
+  while (pos != std::string::npos) {
+    const size_t open = pos + kTag.size();
+    const size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string inside = raw_line.substr(open, close - open);
+    size_t start = 0;
+    while (start <= inside.size()) {
+      size_t comma = inside.find(',', start);
+      if (comma == std::string::npos) {
+        comma = inside.size();
+      }
+      const std::string rule = Trim(inside.substr(start, comma - start));
+      if (!rule.empty()) {
+        allowed.insert(rule);
+      }
+      start = comma + 1;
+    }
+    pos = raw_line.find(kTag, close);
+  }
+  return allowed;
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog.
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  std::string name;
+  std::string scope;  // human description of where the rule applies
+  std::string what;   // one-line description of the defect
+  std::string fix;    // the --fix-style explain message
+  std::vector<std::string> suppressed_files;  // repo-relative, rule-wide
+};
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule> kRules = {
+      {"wall-clock", "src/, bench/, tools/ (except src/common/sim_time.*)",
+       "wall-clock read; simulations must be a pure function of (trace, seed)",
+       "use SimTime from common/sim_time.h (the simulator's clock); if a tool "
+       "genuinely measures real elapsed time, add it to the wall-clock "
+       "suppression list in tools/lint/gfair_lint.cc with a justification",
+       {"bench/bench_e11_sched_latency.cc"}},
+      {"raw-rand", "src/, bench/, tools/ (except src/common/rng.*)",
+       "unseeded/global randomness; every draw must come from an explicitly "
+       "seeded common Rng",
+       "construct a gfair::Rng with an explicit seed (common/rng.h) and draw "
+       "from it; never rand()/std::random_device/std::mt19937 directly",
+       {}},
+      {"unordered-iter", "src/sched/ decision paths",
+       "range-for over an unordered container: iteration order is a function "
+       "of hash seed and allocation history, so decisions depend on it",
+       "iterate common::SortedKeys(...) or common::SortedItems(...) from "
+       "src/common/sorted.h; if the loop body is provably order-independent, "
+       "append '// gfair-lint: allow(unordered-iter)' with the argument",
+       {}},
+      {"float-eq", "src/, bench/, tools/",
+       "floating-point == / != against a literal compares exact bit patterns",
+       "compare with an explicit tolerance (std::abs(a - b) <= eps); if the "
+       "value is exact by construction (a sentinel, a never-written default), "
+       "append '// gfair-lint: allow(float-eq)' with the argument",
+       {}},
+      {"assert", "src/, bench/, tools/",
+       "bare assert() vanishes under NDEBUG and bypasses the repo's "
+       "check-failure reporting",
+       "use GFAIR_CHECK / GFAIR_CHECK_MSG (always on) or GFAIR_DCHECK "
+       "(debug-only) from common/check.h",
+       {}},
+      {"stdio", "src/ (bench/ and tools/ are user-facing and may print)",
+       "direct stdout/stderr write from library code",
+       "log through GFAIR_LOG/GFAIR_WLOG (common/log.h) or emit tables via "
+       "common/table.h; library code must not own a stream",
+       {"src/common/table.cc", "src/common/log.cc", "src/common/check.h"}},
+      {"layering", "src/sched/",
+       "sched/ includes simkit/ outside the sanctioned gateways",
+       "reach the simulator via sched/scheduler_iface.h (SchedulerEnv) and "
+       "time series via sched/ledger.h; new gateways need a row in the "
+       "kLayeringGateways table here and a docs/STATIC_ANALYSIS.md entry",
+       {}},
+      {"const-cast", "src/",
+       "const_cast undermines the deep-const view contract "
+       "(sched/cluster_state_view.h): read paths must be unable to mutate",
+       "plumb non-const access explicitly through the owning type, or change "
+       "the API so the writer receives a mutable reference",
+       {}},
+  };
+  return kRules;
+}
+
+const Rule* FindRule(const std::string& name) {
+  for (const Rule& rule : Rules()) {
+    if (rule.name == name) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+// sched file -> simkit header it may include. Everything else goes through
+// these two gateways (see docs/ARCHITECTURE.md, "Layering").
+const std::vector<std::pair<std::string, std::string>> kLayeringGateways = {
+    {"src/sched/scheduler_iface.h", "simkit/simulator.h"},
+    {"src/sched/ledger.h", "simkit/timeseries.h"},
+};
+
+struct Violation {
+  std::string rule;
+  std::string file;  // display path
+  std::string rel;
+  int line = 0;      // 1-based
+  std::string snippet;
+};
+
+// Emits unless the line carries an inline allow or the file is on the rule's
+// suppression list.
+class Emitter {
+ public:
+  explicit Emitter(std::vector<Violation>* out) : out_(out) {}
+
+  void Emit(const Rule& rule, const SourceFile& file, size_t line_index) {
+    for (const std::string& suppressed : rule.suppressed_files) {
+      if (file.rel == suppressed) {
+        return;
+      }
+    }
+    if (line_index < file.raw.size() &&
+        AllowedRules(file.raw[line_index]).count(rule.name) > 0) {
+      return;
+    }
+    Violation v;
+    v.rule = rule.name;
+    v.file = file.display;
+    v.rel = file.rel;
+    v.line = static_cast<int>(line_index) + 1;
+    v.snippet = line_index < file.raw.size() ? Trim(file.raw[line_index]) : "";
+    out_->push_back(std::move(v));
+  }
+
+ private:
+  std::vector<Violation>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Path scoping.
+// ---------------------------------------------------------------------------
+
+bool InLintedTree(const std::string& rel) {
+  return StartsWith(rel, "src/") || StartsWith(rel, "bench/") ||
+         StartsWith(rel, "tools/");
+}
+
+bool IsSimTimeImpl(const std::string& rel) {
+  return rel == "src/common/sim_time.h" || rel == "src/common/sim_time.cc";
+}
+
+bool IsRngImpl(const std::string& rel) {
+  return rel == "src/common/rng.h" || rel == "src/common/rng.cc";
+}
+
+// ---------------------------------------------------------------------------
+// Simple token rules.
+// ---------------------------------------------------------------------------
+
+void CheckWallClock(const SourceFile& f, Emitter* emit) {
+  if (!InLintedTree(f.rel) || IsSimTimeImpl(f.rel)) {
+    return;
+  }
+  const Rule& rule = *FindRule("wall-clock");
+  static const std::vector<std::string> kTypes = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get"};
+  static const std::vector<std::string> kCalls = {"time", "clock"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    bool hit = false;
+    for (const std::string& t : kTypes) {
+      hit = hit || HasWord(f.code[i], t);
+    }
+    for (const std::string& c : kCalls) {
+      hit = hit || HasCall(f.code[i], c);
+    }
+    if (hit) {
+      emit->Emit(rule, f, i);
+    }
+  }
+}
+
+void CheckRawRand(const SourceFile& f, Emitter* emit) {
+  if (!InLintedTree(f.rel) || IsRngImpl(f.rel)) {
+    return;
+  }
+  const Rule& rule = *FindRule("raw-rand");
+  static const std::vector<std::string> kTypes = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand",
+      "default_random_engine"};
+  static const std::vector<std::string> kCalls = {"rand", "srand", "rand_r",
+                                                  "drand48"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    bool hit = false;
+    for (const std::string& t : kTypes) {
+      hit = hit || HasWord(f.code[i], t);
+    }
+    for (const std::string& c : kCalls) {
+      hit = hit || HasCall(f.code[i], c);
+    }
+    if (hit) {
+      emit->Emit(rule, f, i);
+    }
+  }
+}
+
+void CheckAssert(const SourceFile& f, Emitter* emit) {
+  if (!InLintedTree(f.rel)) {
+    return;
+  }
+  const Rule& rule = *FindRule("assert");
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    // Whole-word match: static_assert is a different token and stays legal.
+    if (HasCall(f.code[i], "assert")) {
+      emit->Emit(rule, f, i);
+    }
+  }
+}
+
+void CheckStdio(const SourceFile& f, Emitter* emit) {
+  if (!StartsWith(f.rel, "src/")) {
+    return;
+  }
+  const Rule& rule = *FindRule("stdio");
+  static const std::vector<std::string> kStreams = {"cout", "cerr"};
+  static const std::vector<std::string> kCalls = {"printf", "fprintf", "puts",
+                                                  "fputs", "putchar"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    bool hit = false;
+    for (const std::string& s : kStreams) {
+      hit = hit || HasWord(f.code[i], s);
+    }
+    for (const std::string& c : kCalls) {
+      hit = hit || HasCall(f.code[i], c);  // snprintf is a different token
+    }
+    if (hit) {
+      emit->Emit(rule, f, i);
+    }
+  }
+}
+
+void CheckConstCast(const SourceFile& f, Emitter* emit) {
+  if (!StartsWith(f.rel, "src/")) {
+    return;
+  }
+  const Rule& rule = *FindRule("const-cast");
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    if (HasWord(f.code[i], "const_cast")) {
+      emit->Emit(rule, f, i);
+    }
+  }
+}
+
+void CheckLayering(const SourceFile& f, Emitter* emit) {
+  if (!StartsWith(f.rel, "src/sched/")) {
+    return;
+  }
+  const Rule& rule = *FindRule("layering");
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    // Includes must be parsed from raw lines (the stripper blanks the quoted
+    // path); only directive lines count, so prose mentions never fire.
+    const std::string line = Trim(f.raw[i]);
+    if (line.empty() || line[0] != '#' ||
+        line.find("include") == std::string::npos) {
+      continue;
+    }
+    const size_t open = line.find('"');
+    if (open == std::string::npos) {
+      continue;
+    }
+    const size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    const std::string inc = line.substr(open + 1, close - open - 1);
+    if (!StartsWith(inc, "simkit/")) {
+      continue;
+    }
+    bool sanctioned = false;
+    for (const auto& [file, header] : kLayeringGateways) {
+      sanctioned = sanctioned || (f.rel == file && inc == header);
+    }
+    if (!sanctioned) {
+      emit->Emit(rule, f, i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// float-eq: == / != with a floating-point literal operand.
+// ---------------------------------------------------------------------------
+
+// True if the window contains a standalone floating-point literal
+// (1.0, .5, 2e-6, 1.5f). Hex and identifier-adjacent digits are excluded.
+bool HasFloatLiteral(const std::string& window) {
+  for (size_t i = 0; i < window.size(); ++i) {
+    const bool starts_number =
+        IsDigit(window[i]) ||
+        (window[i] == '.' && i + 1 < window.size() && IsDigit(window[i + 1]));
+    if (!starts_number || (i > 0 && IsIdentChar(window[i - 1])) ||
+        (i > 0 && window[i - 1] == '.')) {
+      continue;
+    }
+    if (window[i] == '0' && i + 1 < window.size() &&
+        (window[i + 1] == 'x' || window[i + 1] == 'X')) {
+      while (i < window.size() && IsIdentChar(window[i])) ++i;
+      continue;
+    }
+    bool has_dot = false;
+    bool has_exp = false;
+    size_t j = i;
+    while (j < window.size()) {
+      const char c = window[j];
+      if (IsDigit(c)) {
+        ++j;
+      } else if (c == '.' && !has_dot && !has_exp) {
+        has_dot = true;
+        ++j;
+      } else if ((c == 'e' || c == 'E') && !has_exp && j + 1 < window.size() &&
+                 (IsDigit(window[j + 1]) || window[j + 1] == '+' ||
+                  window[j + 1] == '-')) {
+        has_exp = true;
+        j += (window[j + 1] == '+' || window[j + 1] == '-') ? 2 : 1;
+      } else if ((c == 'f' || c == 'F') && (has_dot || has_exp)) {
+        ++j;
+        break;
+      } else {
+        break;
+      }
+    }
+    if (has_dot || has_exp) {
+      return true;
+    }
+    i = j;
+  }
+  return false;
+}
+
+// The operand window around an operator: up to the nearest expression
+// boundary (; , { } && || and the arms of ?:), capped at 80 chars. Parens
+// stay inside so member chains and call results are still searched.
+std::string OperandWindow(const std::string& line, size_t begin, size_t end,
+                          bool backwards) {
+  const size_t cap = 80;
+  const auto boundary = [&line](size_t i) {
+    const char c = line[i];
+    if (c == ';' || c == ',' || c == '{' || c == '}' || c == '?') {
+      return true;
+    }
+    if ((c == '&' || c == '|') &&
+        ((i + 1 < line.size() && line[i + 1] == c) || (i > 0 && line[i - 1] == c))) {
+      return true;
+    }
+    // A lone ':' separates ternary arms; '::' is a scope qualifier.
+    if (c == ':' && (i == 0 || line[i - 1] != ':') &&
+        (i + 1 >= line.size() || line[i + 1] != ':')) {
+      return true;
+    }
+    return false;
+  };
+  std::string window;
+  if (backwards) {
+    size_t i = begin;
+    while (i > 0 && begin - i < cap) {
+      if (boundary(i - 1)) break;
+      window.insert(window.begin(), line[i - 1]);
+      --i;
+    }
+  } else {
+    for (size_t i = end; i < line.size() && i - end < cap; ++i) {
+      if (boundary(i)) break;
+      window.push_back(line[i]);
+    }
+  }
+  return window;
+}
+
+void CheckFloatEq(const SourceFile& f, Emitter* emit) {
+  if (!InLintedTree(f.rel)) {
+    return;
+  }
+  const Rule& rule = *FindRule("float-eq");
+  for (size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    bool hit = false;
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+      bool is_op = false;
+      if (line[i] == '=' && line[i + 1] == '=') {
+        const char prev = i > 0 ? line[i - 1] : '\0';
+        const char after = i + 2 < line.size() ? line[i + 2] : '\0';
+        is_op = std::string("=<>!+-*/%&|^").find(prev) == std::string::npos &&
+                after != '=';
+      } else if (line[i] == '!' && line[i + 1] == '=') {
+        is_op = (i + 2 >= line.size() || line[i + 2] != '=');
+      }
+      if (!is_op) {
+        continue;
+      }
+      if (HasFloatLiteral(OperandWindow(line, i, i + 2, /*backwards=*/true)) ||
+          HasFloatLiteral(OperandWindow(line, i, i + 2, /*backwards=*/false))) {
+        hit = true;
+      }
+      ++i;  // step past the second operator character
+    }
+    if (hit) {
+      emit->Emit(rule, f, li);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter: two passes.
+//
+// Pass A (over every scanned file) collects names declared with an unordered
+// type: members, locals, parameters, and functions returning one. A name is
+// "direct" when unordered_map/set is the outermost template
+// (std::unordered_map<K,V> m) and "element" when it is nested inside another
+// container (PerGeneration<std::unordered_set<J>> jobs) — there the elements,
+// reached via jobs[g] or jobs.at(g), are the unordered objects.
+//
+// Pass B flags range-for statements in src/sched/ whose range expression
+// uses a direct name bare (not .member / [i] / ->), or an element name
+// immediately indexed ([...] or .at(...)), unless the expression is routed
+// through common::SortedKeys / SortedItems.
+// ---------------------------------------------------------------------------
+
+// Angle-bracket depth delta of `c` at position i, with shift/arrow guards.
+int AngleDelta(const std::string& s, size_t i) {
+  const char c = s[i];
+  if (c == '<') {
+    // "<<" is a shift in expression context; template args never produce it.
+    const bool shift = (i + 1 < s.size() && s[i + 1] == '<') ||
+                       (i > 0 && s[i - 1] == '<');
+    return shift ? 0 : 1;
+  }
+  if (c == '>') {
+    if (i > 0 && s[i - 1] == '-') {
+      return 0;  // ->
+    }
+    return -1;  // ">>" closes two template levels (C++11)
+  }
+  return 0;
+}
+
+// Reads the last component of a qualified identifier starting at `i`
+// (skipping leading space/&/*/> debris); empty when none is found.
+std::string ReadDeclaredName(const std::string& s, size_t i) {
+  while (i < s.size() && (IsSpace(s[i]) || s[i] == '>' || s[i] == '&' ||
+                          s[i] == '*')) {
+    ++i;
+  }
+  std::string last;
+  while (i < s.size()) {
+    if (IsIdentChar(s[i])) {
+      size_t j = i;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      const std::string word = s.substr(i, j - i);
+      if (word == "const") {
+        i = j;
+        while (i < s.size() && IsSpace(s[i])) ++i;
+        continue;
+      }
+      last = word;
+      i = j;
+      if (i + 1 < s.size() && s[i] == ':' && s[i + 1] == ':') {
+        i += 2;
+        continue;
+      }
+    }
+    break;
+  }
+  return last;
+}
+
+// name -> true when the name holds a container OF unordered containers.
+using UnorderedNames = std::map<std::string, bool>;
+
+void CollectUnorderedNames(const SourceFile& f, UnorderedNames* names) {
+  static const std::vector<std::string> kTokens = {"unordered_map",
+                                                   "unordered_set"};
+  for (size_t li = 0; li < f.code.size(); ++li) {
+    for (const std::string& token : kTokens) {
+      for (size_t pos : FindWord(f.code[li], token)) {
+        const std::string& line = f.code[li];
+        // Nesting: any unmatched '<' before the token means the unordered
+        // container is an element type of an outer container.
+        int depth = 0;
+        for (size_t i = 0; i < pos; ++i) {
+          depth = std::max(0, depth + AngleDelta(line, i));
+        }
+        const bool element = depth > 0;
+        // Balance the unordered container's own template arguments, joining
+        // a few continuation lines when the declaration wraps.
+        std::string joined = line.substr(pos + token.size());
+        for (size_t extra = 1; extra <= 3 && li + extra < f.code.size(); ++extra) {
+          joined += ' ';
+          joined += f.code[li + extra];
+        }
+        size_t i = 0;
+        while (i < joined.size() && IsSpace(joined[i])) ++i;
+        if (i >= joined.size() || joined[i] != '<') {
+          continue;  // bare mention (e.g. a using-declaration), no args
+        }
+        int tdepth = 0;
+        for (; i < joined.size(); ++i) {
+          tdepth += AngleDelta(joined, i);
+          if (tdepth == 0) {
+            ++i;
+            break;
+          }
+        }
+        const std::string name = ReadDeclaredName(joined, i);
+        if (!name.empty()) {
+          auto [it, inserted] = names->emplace(name, element);
+          if (!inserted) {
+            it->second = it->second || element;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Extracts the parenthesized head of a `for` starting at (li, pos); returns
+// the range expression after the top-level ':' (empty for classic fors or
+// when unbalanced). `head_lines` caps how far a wrapped head is followed.
+std::string RangeForExpr(const SourceFile& f, size_t li, size_t pos) {
+  std::string joined;
+  const size_t head_lines = 6;
+  for (size_t extra = 0; extra < head_lines && li + extra < f.code.size(); ++extra) {
+    joined += extra == 0 ? f.code[li].substr(pos) : f.code[li + extra];
+    joined += ' ';
+  }
+  const size_t open = joined.find('(');
+  if (open == std::string::npos) {
+    return "";
+  }
+  int depth = 0;
+  size_t close = std::string::npos;
+  for (size_t i = open; i < joined.size(); ++i) {
+    if (joined[i] == '(') ++depth;
+    if (joined[i] == ')' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
+  if (close == std::string::npos) {
+    return "";
+  }
+  const std::string head = joined.substr(open + 1, close - open - 1);
+  size_t colon = std::string::npos;
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i] == ';') {
+      return "";  // classic for
+    }
+    if (head[i] == ':') {
+      if (i + 1 < head.size() && head[i + 1] == ':') {
+        ++i;
+        continue;
+      }
+      if (i > 0 && head[i - 1] == ':') {
+        continue;
+      }
+      colon = i;
+      break;
+    }
+  }
+  if (colon == std::string::npos) {
+    return "";
+  }
+  return head.substr(colon + 1);
+}
+
+void CheckUnorderedIter(const SourceFile& f, const UnorderedNames& names,
+                        Emitter* emit) {
+  if (!StartsWith(f.rel, "src/sched/")) {
+    return;
+  }
+  const Rule& rule = *FindRule("unordered-iter");
+  for (size_t li = 0; li < f.code.size(); ++li) {
+    for (size_t pos : FindWord(f.code[li], "for")) {
+      const std::string range = RangeForExpr(f, li, pos);
+      if (range.empty() || HasWord(range, "SortedKeys") ||
+          HasWord(range, "SortedItems")) {
+        continue;
+      }
+      bool hit = false;
+      for (const auto& [name, element] : names) {
+        for (size_t npos : FindWord(range, name)) {
+          size_t after = npos + name.size();
+          while (after < range.size() && IsSpace(range[after])) ++after;
+          const char c = after < range.size() ? range[after] : '\0';
+          if (element) {
+            // The elements are unordered: flag jobs[g] and jobs.at(g).
+            hit = hit || c == '[' ||
+                  (c == '.' && range.compare(after, 4, ".at(") == 0);
+          } else {
+            // The container itself is unordered: flag bare uses; a lookup
+            // (.at/.find/[]/->) yields some other, possibly ordered, object.
+            const bool lookup =
+                c == '.' || c == '[' ||
+                (c == '-' && after + 1 < range.size() && range[after + 1] == '>');
+            hit = hit || !lookup;
+          }
+        }
+      }
+      if (hit) {
+        emit->Emit(rule, f, li);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+void RunAllRules(const SourceFile& f, const UnorderedNames& names,
+                 Emitter* emit) {
+  CheckWallClock(f, emit);
+  CheckRawRand(f, emit);
+  CheckAssert(f, emit);
+  CheckStdio(f, emit);
+  CheckConstCast(f, emit);
+  CheckLayering(f, emit);
+  CheckFloatEq(f, emit);
+  CheckUnorderedIter(f, names, emit);
+}
+
+bool HasLintedExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+void PrintViolation(const Violation& v) {
+  const Rule* rule = FindRule(v.rule);
+  std::cout << v.rel << ":" << v.line << ": [" << v.rule << "] "
+            << (rule != nullptr ? rule->what : "") << "\n";
+  if (!v.snippet.empty()) {
+    std::cout << "    > " << v.snippet << "\n";
+  }
+  if (rule != nullptr) {
+    std::cout << "    fix: " << rule->fix << "\n";
+  }
+}
+
+void ListRules() {
+  for (const Rule& rule : Rules()) {
+    std::cout << rule.name << "\n  scope: " << rule.scope
+              << "\n  what:  " << rule.what << "\n  fix:   " << rule.fix << "\n";
+    if (!rule.suppressed_files.empty()) {
+      std::cout << "  suppressed files:\n";
+      for (const std::string& file : rule.suppressed_files) {
+        std::cout << "    - " << file << "\n";
+      }
+    }
+    std::cout << "\n";
+  }
+}
+
+// Expected (line, rule) pairs from "EXPECT-LINT: rule-a, rule-b" comments.
+std::set<std::pair<int, std::string>> ExpectedViolations(const SourceFile& f) {
+  std::set<std::pair<int, std::string>> expected;
+  const std::string kTag = "EXPECT-LINT:";
+  for (size_t li = 0; li < f.raw.size(); ++li) {
+    const size_t pos = f.raw[li].find(kTag);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::string rest = f.raw[li].substr(pos + kTag.size());
+    const size_t close = rest.find("*/");
+    if (close != std::string::npos) {
+      rest = rest.substr(0, close);
+    }
+    std::string word;
+    for (size_t i = 0; i <= rest.size(); ++i) {
+      const char c = i < rest.size() ? rest[i] : ',';
+      if (IsIdentChar(c) || c == '-') {
+        word.push_back(c);
+      } else if (!word.empty()) {
+        if (FindRule(word) == nullptr) {
+          std::cout << f.display << ":" << li + 1
+                    << ": EXPECT-LINT names unknown rule '" << word << "'\n";
+        } else {
+          expected.emplace(static_cast<int>(li) + 1, word);
+        }
+        word.clear();
+      }
+    }
+  }
+  return expected;
+}
+
+int RunExpectMode(const std::vector<SourceFile>& files,
+                  const UnorderedNames& names) {
+  int failures = 0;
+  for (const SourceFile& f : files) {
+    std::vector<Violation> got;
+    Emitter emit(&got);
+    RunAllRules(f, names, &emit);
+    std::set<std::pair<int, std::string>> actual;
+    for (const Violation& v : got) {
+      actual.emplace(v.line, v.rule);
+    }
+    const std::set<std::pair<int, std::string>> expected = ExpectedViolations(f);
+    for (const auto& [line, rule] : expected) {
+      if (actual.count({line, rule}) == 0) {
+        std::cout << f.display << ":" << line << ": self-test MISSED expected ["
+                  << rule << "] violation\n";
+        ++failures;
+      }
+    }
+    for (const auto& [line, rule] : actual) {
+      if (expected.count({line, rule}) == 0) {
+        std::cout << f.display << ":" << line << ": self-test UNEXPECTED ["
+                  << rule << "] violation\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "gfair_lint self-test: " << files.size()
+              << " fixture file(s) matched their EXPECT-LINT annotations\n";
+    return 0;
+  }
+  std::cout << "gfair_lint self-test: " << failures << " mismatch(es)\n";
+  return 1;
+}
+
+int Usage() {
+  std::cout << "usage: gfair_lint [--root <repo-root>] [--expect <fixture>...]\n"
+               "       gfair_lint --list-rules\n"
+               "Scans src/, bench/ and tools/ under the root; exits nonzero on\n"
+               "violations. --expect runs the self-test over fixture files whose\n"
+               "EXPECT-LINT comments state exactly which rules must fire.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool expect_mode = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--expect") {
+      expect_mode = true;
+    } else if (arg == "--list-rules") {
+      ListRules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cout << "unknown flag: " << arg << "\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  const fs::path root_path(root);
+  std::vector<SourceFile> files;
+  if (expect_mode || !paths.empty()) {
+    for (const std::string& p : paths) {
+      SourceFile f;
+      std::error_code ec;
+      const fs::path rel = fs::relative(p, root_path, ec);
+      const std::string rel_str =
+          ec || rel.empty() ? fs::path(p).filename().generic_string()
+                            : rel.generic_string();
+      if (!LoadFile(p, rel_str, &f)) {
+        std::cout << "gfair_lint: cannot read " << p << "\n";
+        return 2;
+      }
+      files.push_back(std::move(f));
+    }
+  } else {
+    for (const char* dir : {"src", "bench", "tools"}) {
+      const fs::path base = root_path / dir;
+      if (!fs::exists(base)) {
+        continue;
+      }
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && HasLintedExtension(entry.path())) {
+          found.push_back(entry.path());
+        }
+      }
+      // Directory iteration order is filesystem-dependent; report stably.
+      std::sort(found.begin(), found.end());
+      for (const fs::path& p : found) {
+        SourceFile f;
+        std::error_code ec;
+        const std::string rel = fs::relative(p, root_path, ec).generic_string();
+        if (!LoadFile(p, rel, &f)) {
+          std::cout << "gfair_lint: cannot read " << p << "\n";
+          return 2;
+        }
+        files.push_back(std::move(f));
+      }
+    }
+    if (files.empty()) {
+      std::cout << "gfair_lint: nothing to scan under " << root << "\n";
+      return 2;
+    }
+  }
+
+  UnorderedNames names;
+  for (const SourceFile& f : files) {
+    CollectUnorderedNames(f, &names);
+  }
+
+  if (expect_mode) {
+    return RunExpectMode(files, names);
+  }
+
+  std::vector<Violation> violations;
+  Emitter emit(&violations);
+  for (const SourceFile& f : files) {
+    RunAllRules(f, names, &emit);
+  }
+  for (const Violation& v : violations) {
+    PrintViolation(v);
+  }
+  if (violations.empty()) {
+    std::cout << "gfair_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "gfair_lint: " << violations.size() << " violation(s) in "
+            << files.size() << " scanned files\n";
+  return 1;
+}
