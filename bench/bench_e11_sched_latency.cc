@@ -127,11 +127,11 @@ void BM_TradeEpoch(benchmark::State& state) {
     speedup = rng.Uniform(1.1, 6.0);
   }
   inputs.user_speedup = [&speedups](UserId user, cluster::GpuGeneration fast,
-                                    cluster::GpuGeneration slow, double* out) {
+                                    cluster::GpuGeneration slow, gfair::Speedup* out) {
     const double base = speedups[user.value()];
     const double span = static_cast<double>(cluster::GenerationIndex(fast)) -
                         static_cast<double>(cluster::GenerationIndex(slow));
-    *out = 1.0 + (base - 1.0) * span / 3.0;
+    *out = gfair::Speedup::FromRatio(1.0 + (base - 1.0) * span / 3.0);
     return true;
   };
   sched::TradingEngine engine(sched::TradeConfig{});

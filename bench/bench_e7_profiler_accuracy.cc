@@ -44,10 +44,10 @@ int main() {
   for (const auto& model : exp.zoo().models()) {
     const double truth =
         model.SpeedupOver(cluster::GpuGeneration::kV100, cluster::GpuGeneration::kK80);
-    double learned = 0.0;
+    Speedup learned;
     const bool has = profiles.Speedup(model.id, cluster::GpuGeneration::kV100,
                                       cluster::GpuGeneration::kK80, &learned);
-    const double error = has ? std::abs(learned - truth) / truth * 100.0 : 0.0;
+    const double error = has ? std::abs(learned.raw() - truth) / truth * 100.0 : 0.0;
     if (has) {
       ++covered;
       worst_error = std::max(worst_error, error);
@@ -55,7 +55,7 @@ int main() {
     table.BeginRow()
         .Cell(model.name)
         .Cell(truth, 2)
-        .Cell(has ? FormatDouble(learned, 2) : "--")
+        .Cell(has ? FormatDouble(learned.raw(), 2) : "--")
         .Cell(has ? FormatDouble(error, 1) : "--")
         .Cell(static_cast<int64_t>(
             profiles.SampleCount(model.id, cluster::GpuGeneration::kK80)))
@@ -100,14 +100,14 @@ int main() {
     double max_error = 0.0;
     int count = 0;
     for (const auto& model : sweep_exp.zoo().models()) {
-      double learned = 0.0;
+      Speedup learned;
       if (!store.Speedup(model.id, cluster::GpuGeneration::kV100,
                          cluster::GpuGeneration::kK80, &learned)) {
         continue;
       }
       const double truth = model.SpeedupOver(cluster::GpuGeneration::kV100,
                                              cluster::GpuGeneration::kK80);
-      const double error = std::abs(learned - truth) / truth * 100.0;
+      const double error = std::abs(learned.raw() - truth) / truth * 100.0;
       sum_error += error;
       max_error = std::max(max_error, error);
       ++count;

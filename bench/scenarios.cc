@@ -21,7 +21,7 @@ RunOutcome RunScenario(analysis::Policy policy, const cluster::Topology& topolog
   for (const auto& spec : specs) {
     const auto& user = exp.users().Create(spec.name, spec.tickets);
     user_ids.push_back(user.id);
-    tickets.push_back(spec.tickets);
+    tickets.push_back(spec.tickets.raw());
   }
   exp.UsePolicy(policy, config);
 

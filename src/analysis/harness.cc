@@ -137,7 +137,8 @@ std::vector<double> Experiment::IdealGpuMs(SimTime from, SimTime to) const {
   std::vector<UserShareInput> inputs;
   inputs.reserve(users_.size());
   for (const auto& user : users_.users()) {
-    inputs.push_back(UserShareInput{user.id, user.tickets, &demand_series(user.id)});
+    inputs.push_back(
+        UserShareInput{user.id, user.tickets.raw(), &demand_series(user.id)});
   }
   return analysis::IdealGpuMs(cluster_.total_gpus(), from, to, inputs);
 }

@@ -29,7 +29,7 @@ std::vector<UserSummary> SummarizeUsers(const workload::JobTable& jobs,
     UserSummary summary;
     summary.id = user.id;
     summary.name = user.name;
-    summary.tickets = user.tickets;
+    summary.tickets = user.tickets.raw();  // report table boundary
     for (GpuGeneration gen : cluster::kAllGenerations) {
       const double ms = ledger.GpuMs(user.id, gen, from, to);
       summary.gpu_hours_by_gen[GenerationIndex(gen)] = ms / kHour;

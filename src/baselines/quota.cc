@@ -13,7 +13,7 @@ using workload::Job;
 void StaticQuotaScheduler::Start() {
   const auto& users = env_.users.users();
   GFAIR_CHECK_MSG(!users.empty(), "StaticQuota needs the user table populated");
-  const double total_tickets = env_.users.TotalTickets();
+  const Tickets total_tickets = env_.users.TotalTickets();
 
   for (GpuGeneration gen : cluster::kAllGenerations) {
     const int pool = env_.cluster.total_gpus(gen);
@@ -26,7 +26,7 @@ void StaticQuotaScheduler::Start() {
     std::vector<std::pair<double, UserId>> remainders;
     int assigned = 0;
     for (const auto& user : users) {
-      const double exact = user.tickets / total_tickets * pool;
+      const double exact = user.tickets / total_tickets * pool;  // share ratio x pool GPUs
       const int floor_share = static_cast<int>(exact);
       usage_[user.id].quota[GenerationIndex(gen)] = floor_share;
       assigned += floor_share;

@@ -29,9 +29,19 @@ constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSec
 constexpr double ToMinutes(SimDuration d) { return static_cast<double>(d) / kMinute; }
 constexpr double ToHours(SimDuration d) { return static_cast<double>(d) / kHour; }
 
-constexpr SimDuration Seconds(double s) { return static_cast<SimDuration>(s * kSecond); }
-constexpr SimDuration Minutes(double m) { return static_cast<SimDuration>(m * kMinute); }
-constexpr SimDuration Hours(double h) { return static_cast<SimDuration>(h * kHour); }
+namespace internal_time {
+// Round half away from zero (llround semantics; std::llround itself is not
+// constexpr until C++23). The old truncation silently shaved a millisecond
+// off any product that lands just below an integer — Seconds(0.9999) was
+// 999ms where the caller almost certainly meant 1000.
+constexpr SimDuration RoundToDuration(double v) {
+  return static_cast<SimDuration>(v < 0.0 ? v - 0.5 : v + 0.5);
+}
+}  // namespace internal_time
+
+constexpr SimDuration Seconds(double s) { return internal_time::RoundToDuration(s * kSecond); }
+constexpr SimDuration Minutes(double m) { return internal_time::RoundToDuration(m * kMinute); }
+constexpr SimDuration Hours(double h) { return internal_time::RoundToDuration(h * kHour); }
 
 // Renders a duration as "1h02m03s" / "4m05s" / "6.5s" for logs and tables.
 std::string FormatDuration(SimDuration d);

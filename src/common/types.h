@@ -11,6 +11,8 @@
 #include <limits>
 #include <ostream>
 
+#include "common/units.h"
+
 namespace gfair {
 
 // CRTP-free strong typedef over an integral value. `Tag` makes each
@@ -58,9 +60,8 @@ using ServerId = StrongId<ServerIdTag>;
 // Globally unique GPU identifier (server-local index is a plain int).
 using GpuId = StrongId<GpuIdTag>;
 
-// Fair-share tickets. Fractional tickets arise from splitting a user's tickets
-// across jobs and from trading, so the representation is floating point.
-using Tickets = double;
+// Fair-share `Tickets` (historically a bare double alias here) now lives in
+// common/units.h with the rest of the strong unit types.
 
 }  // namespace gfair
 

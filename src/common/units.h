@@ -1,0 +1,283 @@
+// Strong unit types for the fairness math.
+//
+// The scheduler's core claims (ticket-proportional GPU time, stride pass
+// monotonicity, trade pricing via speedup ratios) are arithmetic over five
+// distinct physical quantities that were all spelled `double`:
+//
+//   Tickets    — fair-share weight (fractional via splitting and trading)
+//   Pass       — a job's stride-scheduler position in virtual time
+//   Stride     — a pass increment (charged GPU-ms, per gang GPU, per ticket)
+//   Speedup    — dimensionless throughput ratio between two GPU generations
+//   PerGpuRate — profiled per-GPU throughput (mini-batches per second)
+//   GpuSeconds — delivered GPU time (GPU-count x wall seconds)
+//
+// Each wrapper is a constexpr, trivially-copyable tag over the same double
+// representation (zero ABI / codegen change) exposing only the physically
+// meaningful operators: Pass + Stride -> Pass, Tickets / Tickets -> share
+// ratio, Speedup minted only from a rate ratio. Cross-tag assignment,
+// construction and comparison do not compile — proven by the static_assert
+// harness in tests/common/units_test.cc and the WILL_FAIL negative-compile
+// ctests under tests/lint/.
+//
+// Tickets alone converts implicitly from double: ticket counts are
+// user-facing configuration (`users.Create("a", 2.0)`) and appear as
+// literals throughout traces, benches and tests. The conversion is one-way —
+// no unit type converts back to double except through an explicit `.raw()`,
+// which the `unit-unwrap-outside-boundary` lint rule confines to
+// serialization/display boundaries inside src/sched/.
+#ifndef GFAIR_COMMON_UNITS_H_
+#define GFAIR_COMMON_UNITS_H_
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace gfair {
+
+// Fair-share tickets. Fractional tickets arise from splitting a user's
+// tickets across jobs and from trading. Implicitly constructible from double
+// (see header comment); never implicitly converts back.
+class Tickets {
+ public:
+  constexpr Tickets() = default;
+  constexpr Tickets(double count) : v_(count) {}  // NOLINT(google-explicit-constructor)
+
+  constexpr double raw() const { return v_; }
+
+  constexpr Tickets& operator+=(Tickets o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Tickets& operator-=(Tickets o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  friend constexpr Tickets operator+(Tickets a, Tickets b) { return Tickets(a.v_ + b.v_); }
+  friend constexpr Tickets operator-(Tickets a, Tickets b) { return Tickets(a.v_ - b.v_); }
+  friend constexpr Tickets operator-(Tickets t) { return Tickets(-t.v_); }
+  // Scaling by a dimensionless factor (demand weighting, thresholds).
+  friend constexpr Tickets operator*(Tickets t, double s) { return Tickets(t.v_ * s); }
+  friend constexpr Tickets operator*(double s, Tickets t) { return Tickets(s * t.v_); }
+  friend constexpr Tickets operator/(Tickets t, double s) { return Tickets(t.v_ / s); }
+  // Share ratio: the only way two ticket quantities produce a bare double.
+  friend constexpr double operator/(Tickets a, Tickets b) { return a.v_ / b.v_; }
+
+  friend constexpr bool operator==(Tickets a, Tickets b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Tickets a, Tickets b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Tickets a, Tickets b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(Tickets a, Tickets b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(Tickets a, Tickets b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(Tickets a, Tickets b) { return a.v_ >= b.v_; }
+
+  friend constexpr Tickets Abs(Tickets t) { return Tickets(t.v_ < 0.0 ? -t.v_ : t.v_); }
+
+  // The share-reweighting primitive: (a * b) / c evaluated in exactly that
+  // order. Spelled as one named operation because a * (b / c) rounds
+  // differently, and decision-path arithmetic must stay bit-stable across
+  // refactors (the frozen-oracle equivalence suite compares decisions).
+  friend constexpr Tickets MulDiv(Tickets a, Tickets b, Tickets c) {
+    return Tickets(a.v_ * b.v_ / c.v_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Tickets t) { return os << t.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class Pass;
+
+// A pass increment: charged GPU-milliseconds per gang GPU per ticket. Only
+// a Pass can absorb one.
+class Stride {
+ public:
+  constexpr Stride() = default;
+  constexpr explicit Stride(double v) : v_(v) {}
+
+  // The advance produced by charging `charged_ms` of GPU time to a gang of
+  // `gang_size` GPUs holding `tickets` — the one place stride-scheduler
+  // arithmetic crosses from (time, tickets) into pass space. Keeps the
+  // historical evaluation order (ms * gang, then / tickets) bit-exactly.
+  static constexpr Stride FromService(double charged_ms, double gang_size, Tickets tickets) {
+    return Stride(charged_ms * gang_size / tickets.raw());
+  }
+
+  constexpr double raw() const { return v_; }
+
+  friend constexpr bool operator==(Stride a, Stride b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Stride a, Stride b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Stride a, Stride b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(Stride a, Stride b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(Stride a, Stride b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(Stride a, Stride b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Stride s) { return os << s.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// A job's stride-scheduler position in virtual time. Advances only by
+// Stride increments; ordered against other passes (and nothing else).
+class Pass {
+ public:
+  constexpr Pass() = default;
+  constexpr explicit Pass(double v) : v_(v) {}
+
+  // Sentinel for "no runnable job" (min over an empty set).
+  static constexpr Pass Infinity() { return Pass(std::numeric_limits<double>::infinity()); }
+
+  constexpr double raw() const { return v_; }
+
+  constexpr Pass& operator+=(Stride s) {
+    v_ += s.raw();
+    return *this;
+  }
+  friend constexpr Pass operator+(Pass p, Stride s) { return Pass(p.v_ + s.raw()); }
+  // Tolerance arithmetic (monotonicity checks against an epsilon stride).
+  friend constexpr Pass operator-(Pass p, Stride s) { return Pass(p.v_ - s.raw()); }
+  // Pass difference is a stride (how far one job ran ahead of another).
+  friend constexpr Stride operator-(Pass a, Pass b) { return Stride(a.v_ - b.v_); }
+
+  friend constexpr bool operator==(Pass a, Pass b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Pass a, Pass b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Pass a, Pass b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(Pass a, Pass b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(Pass a, Pass b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(Pass a, Pass b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Pass p) { return os << p.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Profiled per-GPU throughput of a model on a generation (mini-batches/s).
+class PerGpuRate {
+ public:
+  constexpr PerGpuRate() = default;
+  constexpr explicit PerGpuRate(double v) : v_(v) {}
+
+  // Normalizes an observed whole-gang rate to per-GPU.
+  static constexpr PerGpuRate FromGangRate(double observed_rate, double gang_size) {
+    return PerGpuRate(observed_rate / gang_size);
+  }
+
+  constexpr double raw() const { return v_; }
+
+  friend constexpr bool operator==(PerGpuRate a, PerGpuRate b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(PerGpuRate a, PerGpuRate b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(PerGpuRate a, PerGpuRate b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(PerGpuRate a, PerGpuRate b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(PerGpuRate a, PerGpuRate b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(PerGpuRate a, PerGpuRate b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, PerGpuRate r) { return os << r.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// Throughput ratio between two GPU generations for some job mix. Mintable
+// only from a rate ratio (FromRates) or an explicitly named ratio boundary
+// (FromRatio) — there is no constructor from double, so a raw share or
+// tickets value cannot silently become a trade price, and 1/speedup
+// inversions do not compile (no double-by-Speedup division). Conversions of
+// GPU quantities across a trade use the named FastToSlow / SlowToFast
+// helpers below, which keep the direction visible at the call site.
+class Speedup {
+ public:
+  constexpr Speedup() = default;
+
+  static constexpr Speedup FromRates(PerGpuRate fast, PerGpuRate slow) {
+    return Speedup(fast.raw() / slow.raw());
+  }
+  // Named escape hatch for ratios computed outside rate space (quantized
+  // means, test fixtures). Greppable on purpose.
+  static constexpr Speedup FromRatio(double ratio) { return Speedup(ratio); }
+  static constexpr Speedup Unit() { return Speedup(1.0); }
+
+  constexpr double raw() const { return v_; }
+
+  // Weighted accumulation (demand-weighted user speedups) and dimensionless
+  // scaling (borrower margin, breakeven slack).
+  constexpr Speedup& operator+=(Speedup o) {
+    v_ += o.v_;
+    return *this;
+  }
+  friend constexpr Speedup operator+(Speedup a, Speedup b) { return Speedup(a.v_ + b.v_); }
+  friend constexpr Speedup operator*(Speedup s, double k) { return Speedup(s.v_ * k); }
+  friend constexpr Speedup operator/(Speedup s, double k) { return Speedup(s.v_ / k); }
+
+  friend constexpr bool operator==(Speedup a, Speedup b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Speedup a, Speedup b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Speedup a, Speedup b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(Speedup a, Speedup b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(Speedup a, Speedup b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(Speedup a, Speedup b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Speedup s) { return os << s.v_; }
+
+ private:
+  constexpr explicit Speedup(double v) : v_(v) {}
+  double v_ = 0.0;
+};
+
+// Converting GPU quantities across a trade priced at rate lambda: one fast
+// GPU is worth lambda slow GPUs.
+constexpr double FastToSlow(double fast_gpus, Speedup rate) { return fast_gpus * rate.raw(); }
+constexpr double SlowToFast(double slow_gpus, Speedup rate) { return slow_gpus / rate.raw(); }
+
+// Geometric-mean pricing (the even-surplus-split rate rule).
+inline Speedup GeometricMean(Speedup a, Speedup b) {
+  return Speedup::FromRatio(std::sqrt(a.raw() * b.raw()));
+}
+
+// Floors a speedup to a grid of `steps` per unit (profiling-noise clamp:
+// flooring can only under-price the borrower, never over-charge the lender).
+inline Speedup FloorQuantize(Speedup s, double steps) {
+  return Speedup::FromRatio(std::floor(s.raw() * steps) / steps);
+}
+
+// Delivered GPU time: GPU-count x seconds. Minted from the ledger's
+// millisecond series at the query boundary.
+class GpuSeconds {
+ public:
+  constexpr GpuSeconds() = default;
+  constexpr explicit GpuSeconds(double seconds) : v_(seconds) {}
+
+  static constexpr GpuSeconds FromMillis(double gpu_ms) { return GpuSeconds(gpu_ms / 1000.0); }
+
+  constexpr double raw() const { return v_; }
+
+  constexpr GpuSeconds& operator+=(GpuSeconds o) {
+    v_ += o.v_;
+    return *this;
+  }
+  friend constexpr GpuSeconds operator+(GpuSeconds a, GpuSeconds b) {
+    return GpuSeconds(a.v_ + b.v_);
+  }
+  friend constexpr GpuSeconds operator-(GpuSeconds a, GpuSeconds b) {
+    return GpuSeconds(a.v_ - b.v_);
+  }
+  friend constexpr GpuSeconds operator*(GpuSeconds t, double s) { return GpuSeconds(t.v_ * s); }
+  friend constexpr GpuSeconds operator*(double s, GpuSeconds t) { return GpuSeconds(s * t.v_); }
+  // Delivery ratio (achieved / ideal): the only double-producing division.
+  friend constexpr double operator/(GpuSeconds a, GpuSeconds b) { return a.v_ / b.v_; }
+
+  friend constexpr bool operator==(GpuSeconds a, GpuSeconds b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(GpuSeconds a, GpuSeconds b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(GpuSeconds a, GpuSeconds b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(GpuSeconds a, GpuSeconds b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(GpuSeconds a, GpuSeconds b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(GpuSeconds a, GpuSeconds b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, GpuSeconds t) { return os << t.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+}  // namespace gfair
+
+#endif  // GFAIR_COMMON_UNITS_H_

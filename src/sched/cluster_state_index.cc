@@ -25,8 +25,9 @@ ClusterStateIndex::ClusterStateIndex(const cluster::Cluster& cluster,
 }
 
 double ClusterStateIndex::NormTicketLoad(ServerId server) const {
-  return stride(server).TicketLoad() /
-         static_cast<double>(cluster_.server(server).num_gpus());
+  // Unwrap at the ordering-key boundary: the pool sets are keyed by double.
+  return (stride(server).TicketLoad() /
+          static_cast<double>(cluster_.server(server).num_gpus())).raw();  // gfair-lint: allow(unit-unwrap-outside-boundary)
 }
 
 void ClusterStateIndex::MarkDirty(ServerId server) {
@@ -58,7 +59,7 @@ void ClusterStateIndex::Reposition(ServerId server) const {
   pool.emplace(key, server);
 }
 
-void ClusterStateIndex::AddJob(ServerId server, JobId id, int gang_size, double tickets) {
+void ClusterStateIndex::AddJob(ServerId server, JobId id, int gang_size, Tickets tickets) {
   stride(server).AddJob(id, gang_size, tickets);
   MarkDirty(server);
   MarkPlanDirty(server);
@@ -70,7 +71,7 @@ void ClusterStateIndex::RemoveJob(ServerId server, JobId id) {
   MarkPlanDirty(server);
 }
 
-void ClusterStateIndex::SetTickets(ServerId server, JobId id, double tickets) {
+void ClusterStateIndex::SetTickets(ServerId server, JobId id, Tickets tickets) {
   stride(server).SetTickets(id, tickets);
   MarkDirty(server);
   MarkPlanDirty(server);

@@ -54,9 +54,9 @@ class ClusterStateIndex {
   }
 
   // --- load-changing mutations (keep the pool ordering fresh) ---
-  void AddJob(ServerId server, JobId id, int gang_size, double tickets);
+  void AddJob(ServerId server, JobId id, int gang_size, Tickets tickets);
   void RemoveJob(ServerId server, JobId id);
-  void SetTickets(ServerId server, JobId id, double tickets);
+  void SetTickets(ServerId server, JobId id, Tickets tickets);
   // Runnable toggles change ticket/demand loads and the selectable set, so
   // they go through the index too (pool reposition + plan dirty).
   void SetRunnable(ServerId server, JobId id, bool runnable);
@@ -101,8 +101,10 @@ class ClusterStateIndex {
   }
 
   // --- queries ---
-  // Normalized ticket load (tickets per physical GPU) — O(1) amortized.
-  double NormTicketLoad(ServerId server) const;
+  // Normalized ticket load (tickets per physical GPU) — O(1) amortized. A
+  // bare double on purpose: it is the pool ordering key (PoolByLoad below),
+  // not a fairness quantity.
+  double NormTicketLoad(ServerId server) const;  // gfair-lint: allow(raw-double-in-sched-api)
 
   // Least-normalized-ticket-load server of `gen` with at least `min_gpus`
   // GPUs, not draining, and not `exclude`. O(log n) plus filtered prefix.

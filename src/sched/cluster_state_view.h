@@ -56,7 +56,8 @@ class ClusterStateView {
   bool down(ServerId server) const { return index_->down(server); }
 
   // --- load queries ---
-  double NormTicketLoad(ServerId server) const {
+  // Dimensionless ordering key (see ClusterStateIndex::NormTicketLoad).
+  double NormTicketLoad(ServerId server) const {  // gfair-lint: allow(raw-double-in-sched-api)
     return index_->NormTicketLoad(server);
   }
   ServerId LeastLoadedServer(cluster::GpuGeneration gen, int min_gpus,

@@ -53,6 +53,7 @@ struct Decision {
   JobId job;            // invalid for kTrade
   ServerId from;        // invalid where not applicable
   ServerId to;
+  Speedup rate;         // executed rate λ for kTrade; default elsewhere
 };
 
 class DecisionLog {
@@ -64,18 +65,13 @@ class DecisionLog {
   // showed up in cluster-scale tick profiles.
   void Record(SimTime time, DecisionType type, JobId job,
               ServerId from = ServerId::Invalid(), ServerId to = ServerId::Invalid()) {
-    counts_[static_cast<size_t>(type)] += 1;
-    if (capacity_ == 0) {
-      dropped_ += 1;  // count-only mode retains nothing
-      return;
-    }
-    if (ring_.size() < capacity_) {
-      ring_.push_back(Decision{time, type, job, from, to});
-    } else {
-      ring_[head_] = Decision{time, type, job, from, to};
-      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
-      dropped_ += 1;
-    }
+    Push(Decision{time, type, job, from, to, Speedup()});
+  }
+
+  // One executed trade, carrying its rate (λ) as a typed field.
+  void RecordTrade(SimTime time, Speedup rate) {
+    Push(Decision{time, DecisionType::kTrade, JobId::Invalid(), ServerId::Invalid(),
+                  ServerId::Invalid(), rate});
   }
 
   // Lifetime count per decision type (not limited by the ring capacity).
@@ -144,6 +140,21 @@ class DecisionLog {
   void Dump(std::ostream& os, size_t max_entries = 64) const;
 
  private:
+  void Push(const Decision& decision) {
+    counts_[static_cast<size_t>(decision.type)] += 1;
+    if (capacity_ == 0) {
+      dropped_ += 1;  // count-only mode retains nothing
+      return;
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back(decision);
+    } else {
+      ring_[head_] = decision;
+      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+      dropped_ += 1;
+    }
+  }
+
   // `i`-th oldest retained decision.
   const Decision& EntryAt(size_t i) const {
     const size_t pos = head_ + i;

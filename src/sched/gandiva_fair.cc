@@ -24,7 +24,7 @@ namespace internal_gfair {
 // Floor for stride tickets (a user whose pool entitlement was traded away
 // still needs a positive ticket count; residency rebalancing then moves its
 // jobs out of the pool).
-constexpr double kMinTickets = 1e-6;
+constexpr Tickets kMinTickets = 1e-6;
 }  // namespace internal_gfair
 
 using internal_gfair::kMinTickets;
@@ -302,8 +302,9 @@ void GandivaFairScheduler::ChargeAndSample(ServerId server) {
       stride.Charge(id, now - info.last_charge);
       info.last_charge = now;
       const Job& job = env_.jobs.Get(id);
-      trader_.RecordSample(job.model, gen, env_.exec.SampleObservedRate(id),
-                           job.gang_size);
+      trader_.RecordSample(job.model, gen,
+                           PerGpuRate::FromGangRate(env_.exec.SampleObservedRate(id),
+                                                    job.gang_size));
     }
   }
 }
@@ -411,13 +412,13 @@ void GandivaFairScheduler::ExecuteMigration(JobId id, ServerId dest,
   FillIdleGpus(source);
 }
 
-double GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
-                                           const Job& job) const {
+Tickets GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
+                                            const Job& job) const {
   // A user's pool tickets are split across its resident jobs proportional to
   // weight x gang size (equal weighted GPU-time per demanded GPU). An equal
   // per-job split would let the user's 1-GPU jobs run continuously while its
   // 8-GPU gang — one job, one share — starved at an eighth of its demand.
-  const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
+  const Tickets pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
   const double share = job.gang_size * job.weight;
   const double demand = std::max(residency_.WeightedResidentDemand(user, gen), share);
   return pool_tickets * share / demand;
@@ -432,7 +433,7 @@ void GandivaFairScheduler::RefreshPoolTickets(UserId user, GpuGeneration gen) {
   // of the per-job formula, which otherwise dominates attach/detach cost for
   // users with many resident jobs. The per-job expression stays bit-identical
   // to PerJobTickets.
-  const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
+  const Tickets pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
   const double pool_demand = residency_.WeightedResidentDemand(user, gen);
   // Sorted: SetTickets on distinct jobs commute, so this is for lint
   // uniformity (every PoolJobs walk is sorted), not correctness.
@@ -464,7 +465,8 @@ ClusterSnapshot GandivaFairScheduler::Snapshot() const {
     const auto& stride = index_.stride(server.id());
     view.resident_jobs = static_cast<int>(stride.num_jobs());
     view.demand_load = stride.DemandLoad() / static_cast<double>(server.num_gpus());
-    view.ticket_load = stride.TicketLoad() / static_cast<double>(server.num_gpus());
+    // Snapshot rows are display values; unwrap at the serialization boundary.
+    view.ticket_load = (stride.TicketLoad() / static_cast<double>(server.num_gpus())).raw();  // gfair-lint: allow(unit-unwrap-outside-boundary)
     view.draining = index_.draining(server.id());
     view.down = index_.down(server.id());
     snapshot.servers.push_back(view);
@@ -539,10 +541,10 @@ double GandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration gen) con
   if (active.empty()) {
     return static_cast<double>(pool);
   }
-  double total = 0.0;
-  double mine = 0.0;
+  Tickets total = 0.0;
+  Tickets mine = 0.0;
   for (UserId v : active) {
-    const double tickets = ticket_matrix_.Get(v, gen);
+    const Tickets tickets = ticket_matrix_.Get(v, gen);
     total += tickets;
     if (v == user) {
       mine = tickets;
@@ -551,6 +553,7 @@ double GandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration gen) con
   if (total <= 0.0) {
     return static_cast<double>(pool) / static_cast<double>(active.size());
   }
+  // Share ratio (Tickets / Tickets) scales the pool's physical GPU count.
   return mine / total * static_cast<double>(pool);
 }
 

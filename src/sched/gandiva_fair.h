@@ -225,8 +225,8 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // Recomputes effective base tickets from the group hierarchy after the
   // active-user set changes.
   void ApplyHierarchy();
-  double PerJobTickets(UserId user, cluster::GpuGeneration gen,
-                       const workload::Job& job) const;
+  Tickets PerJobTickets(UserId user, cluster::GpuGeneration gen,
+                        const workload::Job& job) const;
   void RefreshPoolTickets(UserId user, cluster::GpuGeneration gen);
 
   SchedulerEnv env_;

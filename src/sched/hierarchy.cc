@@ -6,17 +6,17 @@
 
 namespace gfair::sched {
 
-std::unordered_map<UserId, double> ComputeHierarchicalTickets(
+std::unordered_map<UserId, Tickets> ComputeHierarchicalTickets(
     const workload::UserTable& users, const std::vector<UserId>& active) {
   // Group weight = sum of ALL member base tickets (active or not).
-  std::unordered_map<std::string, double> group_weight;
+  std::unordered_map<std::string, Tickets> group_weight;
   for (const auto& user : users.users()) {
     if (!user.group.empty()) {
       group_weight[user.group] += user.tickets;
     }
   }
   // Active base tickets per group.
-  std::unordered_map<std::string, double> group_active_tickets;
+  std::unordered_map<std::string, Tickets> group_active_tickets;
   for (UserId id : active) {
     const auto& user = users.Get(id);
     if (!user.group.empty()) {
@@ -24,16 +24,16 @@ std::unordered_map<UserId, double> ComputeHierarchicalTickets(
     }
   }
 
-  std::unordered_map<UserId, double> effective;
+  std::unordered_map<UserId, Tickets> effective;
   for (UserId id : active) {
     const auto& user = users.Get(id);
     if (user.group.empty()) {
       effective[id] = user.tickets;
       continue;
     }
-    const double active_tickets = group_active_tickets.at(user.group);
+    const Tickets active_tickets = group_active_tickets.at(user.group);
     GFAIR_CHECK(active_tickets > 0.0);
-    effective[id] = group_weight.at(user.group) * user.tickets / active_tickets;
+    effective[id] = MulDiv(group_weight.at(user.group), user.tickets, active_tickets);
   }
   return effective;
 }

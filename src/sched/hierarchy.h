@@ -23,7 +23,7 @@
 namespace gfair::sched {
 
 // Effective tickets for each user in `active` (all must exist in `users`).
-std::unordered_map<UserId, double> ComputeHierarchicalTickets(
+std::unordered_map<UserId, Tickets> ComputeHierarchicalTickets(
     const workload::UserTable& users, const std::vector<UserId>& active);
 
 }  // namespace gfair::sched

@@ -16,7 +16,7 @@ namespace {
 // Entitlements are ratios of sums of doubles; conservation holds to rounding.
 constexpr double kEntitlementEps = 1e-6;
 // Passes are monotone by construction; allow only representation noise.
-constexpr double kPassEps = 1e-9;
+constexpr Stride kPassEps(1e-9);
 
 std::string Describe(const char* what, JobId job, ServerId server) {
   std::ostringstream os;
@@ -32,6 +32,7 @@ const std::vector<InvariantChecker::Registration>& InvariantChecker::Registry() 
       {"pass-monotonicity", &InvariantChecker::CheckPassMonotonicity},
       {"delta-ordering", &InvariantChecker::CheckDeltaOrdering},
       {"down-holds-nothing", &InvariantChecker::CheckDownServersHoldNothing},
+      {"gpu-time-conservation", &InvariantChecker::CheckGpuTimeConservation},
   };
   return kRegistry;
 }
@@ -59,7 +60,7 @@ std::vector<std::string> InvariantChecker::Check() {
   if (last_pass_.size() < env_.jobs.size()) {
     last_pass_.resize(env_.jobs.size());
   }
-  last_vt_.resize(index.num_servers(), 0.0);
+  last_vt_.resize(index.num_servers());
   for (const auto& server : env_.cluster.servers()) {
     const LocalStrideScheduler& stride = index.stride(server.id());
     last_vt_[server.id().value()] = stride.VirtualTime();
@@ -69,7 +70,7 @@ std::vector<std::string> InvariantChecker::Check() {
   }
   // Jobs no longer resident anywhere lose their baseline.
   for (size_t i = 0; i < env_.jobs.size(); ++i) {
-    const workload::Job& job = env_.jobs.Get(JobId(i));
+    const workload::Job& job = env_.jobs.Get(JobId(static_cast<uint32_t>(i)));
     if (!job.resident() || job.state == workload::JobState::kMigrating) {
       last_pass_[i] = JobBaseline{};
     }
@@ -198,6 +199,38 @@ void InvariantChecker::CheckDeltaOrdering(std::vector<std::string>* out) const {
   }
 }
 
+// The ledger never credits more GPU time than physically exists: summed over
+// users, delivered GPU time in the window since the previous check is at
+// most (total physical GPUs) x (elapsed wall time). Runs entirely in
+// GpuSeconds — the unit layer's runtime enforcement companion to the
+// compile-time checks in common/units.h.
+void InvariantChecker::CheckGpuTimeConservation(std::vector<std::string>* out) const {
+  if (!has_baseline_) {
+    return;
+  }
+  const SimTime now = env_.sim.Now();
+  if (now <= last_check_) {
+    return;
+  }
+  const FairnessLedger& ledger = sched_.ledger();
+  GpuSeconds delivered;
+  for (UserId user : ledger.KnownUsers()) {
+    delivered += ledger.GpuTime(user, last_check_, now);
+  }
+  const GpuSeconds capacity = GpuSeconds::FromMillis(
+      static_cast<double>(env_.cluster.total_gpus()) *
+      static_cast<double>(now - last_check_));
+  // Per-segment accounting is exact integer-ms arithmetic widened to double;
+  // leave only representation noise, scaled to the window.
+  const GpuSeconds tolerance = GpuSeconds(1e-9) + capacity * 1e-12;
+  if (delivered > capacity + tolerance) {
+    std::ostringstream os;
+    os << "ledger credited " << delivered << " GPU-seconds but capacity over the window is "
+       << capacity;
+    out->push_back(os.str());
+  }
+}
+
 // A down server holds no GPUs, hosts no stride residents, and is no
 // non-migrating job's home (orphan handling detached everything).
 void InvariantChecker::CheckDownServersHoldNothing(
@@ -217,7 +250,7 @@ void InvariantChecker::CheckDownServersHoldNothing(
     }
   }
   for (size_t i = 0; i < env_.jobs.size(); ++i) {
-    const workload::Job& job = env_.jobs.Get(JobId(i));
+    const workload::Job& job = env_.jobs.Get(JobId(static_cast<uint32_t>(i)));
     if (job.finished() || !job.resident() ||
         job.state == workload::JobState::kMigrating) {
       continue;  // a migration target that died mid-flight bounces on landing

@@ -72,6 +72,7 @@ class InvariantChecker {
   void CheckPassMonotonicity(std::vector<std::string>* out) const;
   void CheckDeltaOrdering(std::vector<std::string>* out) const;
   void CheckDownServersHoldNothing(std::vector<std::string>* out) const;
+  void CheckGpuTimeConservation(std::vector<std::string>* out) const;
 
   const SchedulerEnv& env_;
   const GandivaFairScheduler& sched_;
@@ -79,10 +80,10 @@ class InvariantChecker {
   // --- pass-monotonicity baseline (previous Check() call) ---
   struct JobBaseline {
     ServerId server = ServerId::Invalid();
-    double pass = 0.0;
+    Pass pass;
   };
   std::vector<JobBaseline> last_pass_;  // indexed by job id
-  std::vector<double> last_vt_;         // indexed by server id
+  std::vector<Pass> last_vt_;           // indexed by server id
   SimTime last_check_ = kTimeZero;
   bool has_baseline_ = false;
 };

@@ -64,6 +64,15 @@ double FairnessLedger::GpuMs(UserId user, SimTime from, SimTime to) const {
   return total;
 }
 
+GpuSeconds FairnessLedger::GpuTime(UserId user, GpuGeneration gen, SimTime from,
+                                   SimTime to) const {
+  return GpuSeconds::FromMillis(GpuMs(user, gen, from, to));
+}
+
+GpuSeconds FairnessLedger::GpuTime(UserId user, SimTime from, SimTime to) const {
+  return GpuSeconds::FromMillis(GpuMs(user, from, to));
+}
+
 const simkit::TimeSeries& FairnessLedger::DemandSeries(UserId user,
                                                        GpuGeneration gen) const {
   static const simkit::TimeSeries kEmpty;

@@ -32,10 +32,16 @@ class FairnessLedger {
 
   // --- queries ---
 
-  // GPU-milliseconds `user` consumed on `gen` within [from, to).
-  double GpuMs(UserId user, cluster::GpuGeneration gen, SimTime from, SimTime to) const;
+  // GPU-milliseconds `user` consumed on `gen` within [from, to). Raw double
+  // on purpose: the ms-based series feed analysis/bench table math directly.
+  double GpuMs(UserId user, cluster::GpuGeneration gen, SimTime from, SimTime to) const;  // gfair-lint: allow(raw-double-in-sched-api)
   // Across all generations.
-  double GpuMs(UserId user, SimTime from, SimTime to) const;
+  double GpuMs(UserId user, SimTime from, SimTime to) const;  // gfair-lint: allow(raw-double-in-sched-api)
+
+  // Typed equivalents of the GpuMs queries, minted at the unit boundary —
+  // what unit-space consumers (invariant checks) should use.
+  GpuSeconds GpuTime(UserId user, cluster::GpuGeneration gen, SimTime from, SimTime to) const;
+  GpuSeconds GpuTime(UserId user, SimTime from, SimTime to) const;
 
   // Piecewise-constant demand (in GPUs) of `user` on pool `gen`.
   const simkit::TimeSeries& DemandSeries(UserId user, cluster::GpuGeneration gen) const;

@@ -87,21 +87,22 @@ void LoadBalancer::Balance() {
 
     // Pass 2 — fairness: even out per-server ticket load so every resident
     // job's stride share is realizable. Tickets already in flight toward a
-    // destination this round:
-    std::unordered_map<ServerId, double> pending;
+    // destination this round. Loads stay in ticket space (per-GPU normalized
+    // by a dimensionless GPU count), so the whole pass is unit-typed.
+    std::unordered_map<ServerId, Tickets> pending;
 
     for (int round = 0; round < config_.max_migrations_per_round; ++round) {
       ServerId max_server = ServerId::Invalid();
       ServerId min_server = ServerId::Invalid();
-      double max_load = -std::numeric_limits<double>::infinity();
-      double min_load = std::numeric_limits<double>::infinity();
-      double sum_load = 0.0;
+      Tickets max_load = -std::numeric_limits<double>::infinity();
+      Tickets min_load = std::numeric_limits<double>::infinity();
+      Tickets sum_load = 0.0;
       for (ServerId id : servers) {
         if (index_.draining(id) || index_.down(id)) {
           continue;
         }
         const double gpus = env_.cluster.server(id).num_gpus();
-        const double load = (index_.stride(id).TicketLoad() + pending[id]) / gpus;
+        const Tickets load = (index_.stride(id).TicketLoad() + pending[id]) / gpus;
         sum_load += load;
         if (load > max_load) {
           max_load = load;
@@ -112,8 +113,8 @@ void LoadBalancer::Balance() {
           min_server = id;
         }
       }
-      const double avg_load = sum_load / static_cast<double>(servers.size());
-      if (max_load - min_load <= config_.balance_threshold * std::max(avg_load, 1e-9)) {
+      const Tickets avg_load = sum_load / static_cast<double>(servers.size());
+      if (max_load - min_load <= config_.balance_threshold * std::max(avg_load, Tickets(1e-9))) {
         break;
       }
 
@@ -123,7 +124,7 @@ void LoadBalancer::Balance() {
       const double src_gpus = env_.cluster.server(max_server).num_gpus();
       const double dst_gpus = env_.cluster.server(min_server).num_gpus();
       JobId best = JobId::Invalid();
-      double best_gap = max_load - min_load;
+      Tickets best_gap = max_load - min_load;
       for (JobId id : index_.stride(max_server).ResidentJobs()) {
         const Job& job = env_.jobs.Get(id);
         if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
@@ -132,13 +133,13 @@ void LoadBalancer::Balance() {
         if (env_.cluster.server(min_server).num_gpus() < job.gang_size) {
           continue;
         }
-        const double tickets = index_.stride(max_server).TicketsOf(id);
-        const double new_src = max_load - tickets / src_gpus;
-        const double new_dst = min_load + tickets / dst_gpus;
+        const Tickets tickets = index_.stride(max_server).TicketsOf(id);
+        const Tickets new_src = max_load - tickets / src_gpus;
+        const Tickets new_dst = min_load + tickets / dst_gpus;
         if (new_dst >= max_load) {
           continue;  // would just swap the hot spot
         }
-        const double gap = std::abs(new_src - new_dst);
+        const Tickets gap = Abs(new_src - new_dst);
         if (gap < best_gap) {
           best_gap = gap;
           best = id;

@@ -50,7 +50,7 @@ ServerId PlacementEngine::ChoosePlacement(const Job& job) const {
     // has no total order to index on), but each load read is O(1) now.
     ServerId candidate = ServerId::Invalid();
     double candidate_demand = std::numeric_limits<double>::infinity();
-    double candidate_tickets = std::numeric_limits<double>::infinity();
+    Tickets candidate_tickets = std::numeric_limits<double>::infinity();
     for (ServerId id : env_.cluster.servers_of(gen)) {
       const auto& server = env_.cluster.server(id);
       if (server.num_gpus() < job.gang_size || index_.draining(id) ||
@@ -62,7 +62,7 @@ ServerId PlacementEngine::ChoosePlacement(const Job& job) const {
       // emptier server wins.
       const double demand_load =
           std::min(1.0, index_.stride(id).DemandLoad() / gpus);
-      const double ticket_load = index_.stride(id).TicketLoad() / gpus;
+      const Tickets ticket_load = index_.stride(id).TicketLoad() / gpus;
       if (demand_load < candidate_demand - 1e-9 ||
           (demand_load < candidate_demand + 1e-9 && ticket_load < candidate_tickets)) {
         candidate_demand = demand_load;

@@ -8,13 +8,15 @@ using cluster::GenerationIndex;
 using cluster::GpuGeneration;
 using workload::ModelId;
 
-void ProfileStore::AddSample(ModelId model, GpuGeneration gen, double per_gpu_rate) {
+void ProfileStore::AddSample(ModelId model, GpuGeneration gen, PerGpuRate per_gpu_rate) {
   GFAIR_CHECK(model.valid());
-  GFAIR_CHECK(per_gpu_rate > 0.0);
+  GFAIR_CHECK(per_gpu_rate.raw() > 0.0);  // gfair-lint: allow(unit-unwrap-outside-boundary)
   if (model.value() >= profiles_.size()) {
     profiles_.resize(model.value() + 1);
   }
-  profiles_[model.value()][GenerationIndex(gen)].Add(per_gpu_rate);
+  // RunningStats accumulates dimensionless doubles; this is the stats
+  // boundary for rate samples.
+  profiles_[model.value()][GenerationIndex(gen)].Add(per_gpu_rate.raw());  // gfair-lint: allow(unit-unwrap-outside-boundary)
 }
 
 const RunningStats* ProfileStore::Find(ModelId model, GpuGeneration gen) const {
@@ -29,9 +31,9 @@ bool ProfileStore::HasEstimate(ModelId model, GpuGeneration gen) const {
   return stats != nullptr && stats->count() >= min_samples_;
 }
 
-double ProfileStore::EstimatedRate(ModelId model, GpuGeneration gen) const {
+PerGpuRate ProfileStore::EstimatedRate(ModelId model, GpuGeneration gen) const {
   GFAIR_CHECK_MSG(HasEstimate(model, gen), "no usable estimate");
-  return Find(model, gen)->mean();
+  return PerGpuRate(Find(model, gen)->mean());
 }
 
 size_t ProfileStore::SampleCount(ModelId model, GpuGeneration gen) const {
@@ -40,14 +42,14 @@ size_t ProfileStore::SampleCount(ModelId model, GpuGeneration gen) const {
 }
 
 bool ProfileStore::Speedup(ModelId model, GpuGeneration fast, GpuGeneration slow,
-                           double* out) const {
+                           gfair::Speedup* out) const {
   GFAIR_CHECK(out != nullptr);
   if (!HasEstimate(model, fast) || !HasEstimate(model, slow)) {
     return false;
   }
-  const double slow_rate = EstimatedRate(model, slow);
-  GFAIR_CHECK(slow_rate > 0.0);
-  *out = EstimatedRate(model, fast) / slow_rate;
+  const PerGpuRate slow_rate = EstimatedRate(model, slow);
+  GFAIR_CHECK(slow_rate.raw() > 0.0);  // gfair-lint: allow(unit-unwrap-outside-boundary)
+  *out = gfair::Speedup::FromRates(EstimatedRate(model, fast), slow_rate);
   return true;
 }
 

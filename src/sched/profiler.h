@@ -31,17 +31,18 @@ class ProfileStore {
   explicit ProfileStore(size_t min_samples = 3) : min_samples_(min_samples) {}
 
   // Records one observed per-GPU rate (mini-batches/s) of `model` on `gen`.
-  void AddSample(workload::ModelId model, cluster::GpuGeneration gen, double per_gpu_rate);
+  void AddSample(workload::ModelId model, cluster::GpuGeneration gen, PerGpuRate per_gpu_rate);
 
   bool HasEstimate(workload::ModelId model, cluster::GpuGeneration gen) const;
   // Mean per-GPU rate. Precondition: HasEstimate().
-  double EstimatedRate(workload::ModelId model, cluster::GpuGeneration gen) const;
+  PerGpuRate EstimatedRate(workload::ModelId model, cluster::GpuGeneration gen) const;
   size_t SampleCount(workload::ModelId model, cluster::GpuGeneration gen) const;
 
   // Speedup of `model` on `fast` relative to `slow`. Returns false when
-  // either side lacks an estimate.
+  // either side lacks an estimate. (The type is qualified because the member
+  // function name shadows gfair::Speedup inside the class scope.)
   bool Speedup(workload::ModelId model, cluster::GpuGeneration fast,
-               cluster::GpuGeneration slow, double* out) const;
+               cluster::GpuGeneration slow, gfair::Speedup* out) const;
 
   size_t min_samples() const { return min_samples_; }
 

@@ -51,7 +51,7 @@ struct SchedulePlan {
     uint32_t target_end = 0;
     // Minimum pass over the server's runnable residents (+inf when none):
     // the virtual-time floor the facade commits when it accepts the plan.
-    double min_runnable_pass = 0.0;
+    Pass min_runnable_pass;
   };
 
   std::vector<JobId> target_jobs;       // flat pool backing all spans
@@ -59,7 +59,7 @@ struct SchedulePlan {
   // Servers the planner skipped because their schedule provably cannot have
   // changed (see QuantumPlanner); they still owe a virtual-time advance,
   // carried here as (server, min runnable pass).
-  std::vector<std::pair<ServerId, double>> skipped_vt;
+  std::vector<std::pair<ServerId, Pass>> skipped_vt;
   std::vector<MigrationDirective> migrations;
 
   void Clear() {

@@ -23,7 +23,7 @@ struct ServerSnapshot {
   int busy_gpus = 0;
   int resident_jobs = 0;
   double demand_load = 0.0;  // demanded GPUs per physical GPU
-  double ticket_load = 0.0;  // tickets per physical GPU
+  double ticket_load = 0.0;  // display-only tickets per physical GPU  // gfair-lint: allow(raw-double-in-sched-api)
   bool draining = false;
   bool down = false;  // failed server (see Cluster::SetServerUp)
 };

@@ -7,7 +7,7 @@
 namespace gfair::sched {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr Pass kInf = Pass::Infinity();
 }  // namespace
 
 LocalStrideScheduler::LocalStrideScheduler(int num_gpus, StrideConfig config)
@@ -22,7 +22,7 @@ void LocalStrideScheduler::InvalidateAggregates(bool membership_changed) {
   }
 }
 
-void LocalStrideScheduler::AddJob(JobId id, int gang_size, double tickets) {
+void LocalStrideScheduler::AddJob(JobId id, int gang_size, Tickets tickets) {
   GFAIR_CHECK(id.valid());
   GFAIR_CHECK_MSG(gang_size >= 1 && gang_size <= num_gpus_, "gang cannot fit this server");
   GFAIR_CHECK(tickets > 0.0);
@@ -59,7 +59,7 @@ void LocalStrideScheduler::RemoveJob(JobId id) {
   UpdateVirtualTime();
 }
 
-void LocalStrideScheduler::SetTickets(JobId id, double tickets) {
+void LocalStrideScheduler::SetTickets(JobId id, Tickets tickets) {
   GFAIR_CHECK(tickets > 0.0);
   auto it = FindEntry(id);
   GFAIR_CHECK(it != entries_.end());
@@ -103,13 +103,13 @@ const LocalStrideScheduler::Entry& LocalStrideScheduler::GetEntry(JobId id) cons
   return it->second;
 }
 
-double LocalStrideScheduler::PassOf(JobId id) const { return GetEntry(id).pass; }
+Pass LocalStrideScheduler::PassOf(JobId id) const { return GetEntry(id).pass; }
 int LocalStrideScheduler::GangOf(JobId id) const { return GetEntry(id).gang_size; }
-double LocalStrideScheduler::TicketsOf(JobId id) const { return GetEntry(id).tickets; }
+Tickets LocalStrideScheduler::TicketsOf(JobId id) const { return GetEntry(id).tickets; }
 bool LocalStrideScheduler::RunnableOf(JobId id) const { return GetEntry(id).runnable; }
 
 void LocalStrideScheduler::RecomputeTicketLoad() const {
-  double total = 0.0;
+  Tickets total = 0.0;
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
       total += entry.tickets;
@@ -118,7 +118,7 @@ void LocalStrideScheduler::RecomputeTicketLoad() const {
   // The incremental shadow accumulates rounding error the recompute does
   // not; it must still track the true sum to within float noise.
   GFAIR_DCHECK_MSG(
-      std::abs(total - ticket_load_shadow_) <= 1e-6 * std::max(1.0, std::abs(total)),
+      Abs(total - ticket_load_shadow_) <= 1e-6 * std::max(Tickets(1.0), Abs(total)),
       "incremental ticket-load sum drifted from full recompute");
   ticket_load_cache_ = total;
   ticket_load_dirty_ = false;
@@ -245,15 +245,15 @@ void LocalStrideScheduler::RebuildHeap() const {
   std::make_heap(heap_.begin(), heap_.end(), HeapItemAfter{});
 }
 
-double LocalStrideScheduler::MinRunnablePass() const {
+Pass LocalStrideScheduler::MinRunnablePass() const {
   FixHeapTop();
   return heap_.empty() ? kInf : heap_.front().pass;
 }
 
 void LocalStrideScheduler::UpdateVirtualTime() {
-  const double min_pass = MinRunnablePass();
+  const Pass min_pass = MinRunnablePass();
 #ifndef NDEBUG
-  double check = kInf;
+  Pass check = kInf;
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
       check = std::min(check, entry.pass);
@@ -277,7 +277,7 @@ constexpr size_t kSortSelectMaxJobs = 64;
 }  // namespace
 
 void LocalStrideScheduler::SelectBySort(std::vector<JobId>* out,
-                                        double* min_runnable_pass) const {
+                                        Pass* min_runnable_pass) const {
   popped_scratch_.clear();
   for (const auto& [id, entry] : entries_) {
     if (entry.runnable) {
@@ -310,7 +310,7 @@ void LocalStrideScheduler::SelectBySort(std::vector<JobId>* out,
 }
 
 void LocalStrideScheduler::PlanQuantum(std::vector<JobId>* out,
-                                       double* min_runnable_pass) const {
+                                       Pass* min_runnable_pass) const {
   out->clear();
   // Adaptive selection: tiny candidate sets sort, larger ones walk the
   // incremental heap. The sort path never touches the heap — that is legal
@@ -321,7 +321,7 @@ void LocalStrideScheduler::PlanQuantum(std::vector<JobId>* out,
     return;
   }
   popped_scratch_.clear();
-  double min_pass = kInf;
+  Pass min_pass = kInf;
   int free = num_gpus_;
   // Pop live candidates in (pass, tie) order, packing each one that fits the
   // remaining capacity and backfilling past those that do not — identical to
@@ -339,7 +339,7 @@ void LocalStrideScheduler::PlanQuantum(std::vector<JobId>* out,
       HeapPopTop();  // tombstone
       continue;
     }
-    const double true_pass = entries_[pos - 1].second.pass;
+    const Pass true_pass = entries_[pos - 1].second.pass;
     if (true_pass != top.pass) {
       // Stale key (charged or pass-floored since the push). Stored keys
       // lower-bound true keys, so re-keying the top in place and sifting
@@ -396,12 +396,12 @@ void LocalStrideScheduler::PlanQuantum(std::vector<JobId>* out,
   // the runnable entries (the pre-heap implementation).
   {
     struct Candidate {
-      double pass;
+      Pass pass;
       uint64_t tie;
       int gang;
     };
     std::vector<Candidate> candidates;
-    double check_min = kInf;
+    Pass check_min = kInf;
     for (const auto& [id, entry] : entries_) {
       if (entry.runnable) {
         check_min = std::min(check_min, entry.pass);
@@ -435,14 +435,14 @@ void LocalStrideScheduler::PlanQuantum(std::vector<JobId>* out,
 #endif
 }
 
-void LocalStrideScheduler::AdvanceVirtualTime(double min_runnable_pass) {
+void LocalStrideScheduler::AdvanceVirtualTime(Pass min_runnable_pass) {
   if (min_runnable_pass != kInf) {
     virtual_time_ = std::max(virtual_time_, min_runnable_pass);
   }
 }
 
 const std::vector<JobId>& LocalStrideScheduler::SelectForQuantum() {
-  double min_pass = kInf;
+  Pass min_pass = kInf;
   PlanQuantum(&selected_scratch_, &min_pass);
   AdvanceVirtualTime(min_pass);
   return selected_scratch_;

@@ -78,14 +78,14 @@ class LocalStrideScheduler {
   explicit LocalStrideScheduler(int num_gpus, StrideConfig config = {});
 
   // Registers a resident job. Its pass starts at the current virtual time.
-  void AddJob(JobId id, int gang_size, double tickets);
+  void AddJob(JobId id, int gang_size, Tickets tickets);
 
   // Unregisters a job (finished or migrated away).
   void RemoveJob(JobId id);
 
   // Updates a job's tickets (trading epochs, per-job splits changing).
   // Tickets do not enter the selection key, so the heap needs no rebuild.
-  void SetTickets(JobId id, double tickets);
+  void SetTickets(JobId id, Tickets tickets);
 
   // Marks a job (not) selectable without unregistering it.
   void SetRunnable(JobId id, bool runnable);
@@ -97,7 +97,7 @@ class LocalStrideScheduler {
   // Sum of tickets over resident runnable jobs — the server's "ticket load"
   // used by placement and the load balancer. O(1) amortized (cached; see
   // file comment). Inline: read once per charged job per quantum.
-  double TicketLoad() const {
+  Tickets TicketLoad() const {
     if (ticket_load_dirty_) {
       RecomputeTicketLoad();
     }
@@ -119,17 +119,17 @@ class LocalStrideScheduler {
   // what lets a pure planner run over a read-only snapshot and commit later.
   //
   // `out` is overwritten, in selection order.
-  void PlanQuantum(std::vector<JobId>* out, double* min_runnable_pass) const;
+  void PlanQuantum(std::vector<JobId>* out, Pass* min_runnable_pass) const;
   // Floors the virtual time at `min_runnable_pass` (no-op for +inf).
-  void AdvanceVirtualTime(double min_runnable_pass);
+  void AdvanceVirtualTime(Pass min_runnable_pass);
   // Minimum pass over runnable residents, +inf when none. O(stale heap tops).
-  [[nodiscard]] double MinRunnablePass() const;
+  [[nodiscard]] Pass MinRunnablePass() const;
   // Same value via one contiguous scan of the entries, leaving the heap
   // alone. Cheaper than the heap peek exactly when most keys are stale —
   // e.g. on a dirty-skip'd server, where every resident was just charged and
   // the entry array is still cache-hot from the charge walk.
-  [[nodiscard]] double MinRunnablePassScan() const {
-    double min_pass = std::numeric_limits<double>::infinity();
+  [[nodiscard]] Pass MinRunnablePassScan() const {
+    Pass min_pass = Pass::Infinity();
     for (const auto& [id, entry] : entries_) {
       if (entry.runnable && entry.pass < min_pass) {
         min_pass = entry.pass;
@@ -151,25 +151,25 @@ class LocalStrideScheduler {
     auto it = FindEntry(id);
     GFAIR_CHECK_MSG(it != entries_.end(), "Charge on unknown job");
     Entry& entry = it->second;
-    entry.pass += static_cast<double>(ms) * entry.gang_size / entry.tickets;
+    entry.pass += Stride::FromService(static_cast<double>(ms), entry.gang_size, entry.tickets);
     // Virtual time advances with delivered service per runnable ticket. This —
     // not the min-pass floor — is what keeps newcomers from perpetually
     // entering below a waiting job's frozen pass under high churn: short jobs
     // arriving and finishing every quantum would otherwise pin the virtual
     // time while an already-served long job waits forever.
-    const double load = TicketLoad();
+    const Tickets load = TicketLoad();
     if (load > 0.0) {
-      virtual_time_ += static_cast<double>(ms) * entry.gang_size / load;
+      virtual_time_ += Stride::FromService(static_cast<double>(ms), entry.gang_size, load);
     }
   }
 
-  double PassOf(JobId id) const;
+  Pass PassOf(JobId id) const;
   int GangOf(JobId id) const;
-  double TicketsOf(JobId id) const;
+  Tickets TicketsOf(JobId id) const;
   // Whether the job is currently selectable (see SetRunnable). Precondition:
   // resident here.
   bool RunnableOf(JobId id) const;
-  double VirtualTime() const { return virtual_time_; }
+  Pass VirtualTime() const { return virtual_time_; }
 
   // Resident jobs sorted by id. Returns a reference to a cached vector that
   // is invalidated by AddJob/RemoveJob — callers that migrate or remove jobs
@@ -179,8 +179,8 @@ class LocalStrideScheduler {
  private:
   struct Entry {
     int gang_size;
-    double tickets;
-    double pass;
+    Tickets tickets;
+    Pass pass;
     bool runnable;
   };
   using EntryList = std::vector<std::pair<JobId, Entry>>;
@@ -192,7 +192,7 @@ class LocalStrideScheduler {
   // the item against heap_gen_: a mismatch marks a tombstone (job removed or
   // runnable-toggled since the push).
   struct HeapItem {
-    double pass;
+    Pass pass;
     uint64_t tie;
     uint32_t gen;
   };
@@ -256,7 +256,7 @@ class LocalStrideScheduler {
   void FixHeapTop() const;
   // Small-n selection: sort the runnable entries outright (see
   // kSortSelectMaxJobs in stride.cc); leaves the heap untouched.
-  void SelectBySort(std::vector<JobId>* out, double* min_runnable_pass) const;
+  void SelectBySort(std::vector<JobId>* out, Pass* min_runnable_pass) const;
   void MaybeCompactHeap() const;
   void RebuildHeap() const;
 
@@ -269,7 +269,7 @@ class LocalStrideScheduler {
   // Dense job-id → generation stamp for heap items (see HeapItem::gen).
   std::vector<uint32_t> heap_gen_;
   // Monotone floor for newcomer passes; tracks min runnable pass.
-  double virtual_time_ = 0.0;
+  Pass virtual_time_;
 
   // Min-heap over live runnable entries, ordered by (pass, tie). Invariant:
   // every runnable entry has exactly one live item (gen matches); its stored
@@ -282,10 +282,10 @@ class LocalStrideScheduler {
   // --- cached aggregates ---
   // Authoritative ticket load: lazily recomputed in entries_ order so the
   // value matches an uncached recompute bit-for-bit.
-  mutable double ticket_load_cache_ = 0.0;
+  mutable Tickets ticket_load_cache_;
   mutable bool ticket_load_dirty_ = false;  // empty scheduler sums to 0
   // Shadow incremental sum, asserted against the recompute in debug builds.
-  double ticket_load_shadow_ = 0.0;
+  Tickets ticket_load_shadow_;
   // Runnable demand is a sum of small ints — incremental updates are exact.
   int demand_load_ = 0;
   mutable std::vector<JobId> resident_cache_;

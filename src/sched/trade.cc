@@ -16,22 +16,23 @@ using cluster::kNumGenerations;
 namespace {
 constexpr double kEps = 1e-9;
 
-double MapGet(const std::unordered_map<UserId, double>& map, UserId user) {
+template <typename T>
+T MapGet(const std::unordered_map<UserId, T>& map, UserId user) {
   auto it = map.find(user);
   GFAIR_CHECK_MSG(it != map.end(), "missing per-user input");
   return it->second;
 }
 }  // namespace
 
-double TradingEngine::RateFor(double lender_speedup, double borrower_speedup) const {
+Speedup TradingEngine::RateFor(Speedup lender_speedup, Speedup borrower_speedup) const {
   switch (config_.rate_rule) {
     case TradeConfig::RateRule::kBorrowerSpeedup: {
       // Never discount below the lender's own speedup (both sides must gain).
-      const double discounted = borrower_speedup * (1.0 - config_.borrower_margin);
+      const Speedup discounted = borrower_speedup * (1.0 - config_.borrower_margin);
       return std::max(discounted, std::min(borrower_speedup, lender_speedup * 1.01));
     }
     case TradeConfig::RateRule::kGeometricMean:
-      return std::sqrt(lender_speedup * borrower_speedup);
+      return GeometricMean(lender_speedup, borrower_speedup);
   }
   return borrower_speedup;
 }
@@ -45,7 +46,7 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
   GFAIR_CHECK(inputs.user_speedup != nullptr);
 
   // 1. Base entitlements: ticket-proportional slice of every pool.
-  double total_tickets = 0.0;
+  Tickets total_tickets = 0.0;
   for (UserId user : users) {
     total_tickets += MapGet(inputs.base_tickets, user);
   }
@@ -83,11 +84,11 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
       for (int round = 0; round < 64; ++round) {
         UserId best_lender = UserId::Invalid();
         UserId best_borrower = UserId::Invalid();
-        double lender_speedup = 0.0;
-        double borrower_speedup = 0.0;
+        Speedup lender_speedup;
+        Speedup borrower_speedup;
 
         for (UserId user : users) {
-          double speedup = 0.0;
+          Speedup speedup;
           if (!inputs.user_speedup(user, fast, slow, &speedup)) {
             continue;
           }
@@ -129,8 +130,8 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
             borrower_speedup < lender_speedup * config_.min_speedup_gap) {
           break;
         }
-        const double rate = RateFor(lender_speedup, borrower_speedup);
-        GFAIR_CHECK(rate >= 1.0);
+        const Speedup rate = RateFor(lender_speedup, borrower_speedup);
+        GFAIR_CHECK(rate >= Speedup::Unit());
 
         auto& lender_ent = outcome.entitlements.at(best_lender);
         auto& borrower_ent = outcome.entitlements.at(best_borrower);
@@ -146,12 +147,12 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
         // lender's capacity to actually use the slow GPUs it receives.
         double volume = lender_ent[f];
         volume = std::min(volume, borrower_unmet);
-        volume = std::min(volume, borrower_ent[s] / rate);
+        volume = std::min(volume, SlowToFast(borrower_ent[s], rate));
         // Lending one fast GPU frees one unit of entitlement, receiving
         // `rate` slow GPUs consumes `rate` units of spare demand; net spare
-        // consumed per fast GPU is (rate - 1).
-        if (rate > 1.0 + kEps) {
-          volume = std::min(volume, lender_spare / (rate - 1.0));
+        // consumed per fast GPU is (rate - 1), a dimensionless surplus.
+        if (rate > Speedup::FromRatio(1.0 + kEps)) {
+          volume = std::min(volume, lender_spare / (rate.raw() - 1.0));  // gfair-lint: allow(unit-unwrap-outside-boundary)
         }
         if (volume < config_.min_trade_gpus) {
           break;
@@ -159,15 +160,15 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
 
         lender_ent[f] -= volume;
         borrower_ent[f] += volume;
-        borrower_ent[s] -= volume * rate;
-        lender_ent[s] += volume * rate;
+        borrower_ent[s] -= FastToSlow(volume, rate);
+        lender_ent[s] += FastToSlow(volume, rate);
 
         outcome.trades.push_back(Trade{best_lender, best_borrower, fast, slow, volume,
-                                       volume * rate, rate, lender_speedup,
+                                       FastToSlow(volume, rate), rate, lender_speedup,
                                        borrower_speedup});
         GFAIR_ILOG << "trade: user " << best_lender << " lends " << volume << " "
                    << cluster::GenerationName(fast) << " to user " << best_borrower
-                   << " for " << volume * rate << " " << cluster::GenerationName(slow)
+                   << " for " << FastToSlow(volume, rate) << " " << cluster::GenerationName(slow)
                    << " (rate " << rate << ")";
       }
     }

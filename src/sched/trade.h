@@ -34,7 +34,8 @@ namespace gfair::sched {
 struct TradeConfig {
   // Trade only when borrower speedup exceeds lender speedup by this factor
   // (guards against profile noise producing churny, near-worthless trades).
-  double min_speedup_gap = 1.4;
+  // Dimensionless multiplier on the lender's speedup, not itself a speedup.
+  double min_speedup_gap = 1.4;  // gfair-lint: allow(raw-double-in-sched-api)
 
   enum class RateRule {
     kBorrowerSpeedup,  // paper's rule: lender takes the whole surplus
@@ -61,16 +62,16 @@ struct Trade {
   cluster::GpuGeneration slow;
   double fast_gpus;   // moved lender -> borrower
   double slow_gpus;   // moved borrower -> lender (= rate * fast_gpus)
-  double rate;        // λ
-  double lender_speedup;
-  double borrower_speedup;
+  Speedup rate;       // λ
+  Speedup lender_speedup;
+  Speedup borrower_speedup;
 };
 
 struct TradeInputs {
   // Users with outstanding demand; entitlements are computed over these.
   std::vector<UserId> active_users;
   // Base fair-share tickets per active user.
-  std::unordered_map<UserId, double> base_tickets;
+  std::unordered_map<UserId, Tickets> base_tickets;
   // Total outstanding GPU demand per active user (sum of unfinished gangs).
   std::unordered_map<UserId, double> total_demand_gpus;
   // GPUs per generation pool.
@@ -78,7 +79,7 @@ struct TradeInputs {
   // Profiled speedup of the user's job mix between two pools; returns false
   // when profiles are insufficient (no trade involving that user/pair).
   std::function<bool(UserId, cluster::GpuGeneration fast, cluster::GpuGeneration slow,
-                     double* speedup)>
+                     Speedup* speedup)>
       user_speedup;
 };
 
@@ -97,7 +98,7 @@ class TradingEngine {
   const TradeConfig& config() const { return config_; }
 
  private:
-  double RateFor(double lender_speedup, double borrower_speedup) const;
+  Speedup RateFor(Speedup lender_speedup, Speedup borrower_speedup) const;
 
   TradeConfig config_;
 };

@@ -34,14 +34,14 @@ TradeCoordinator::TradeCoordinator(const SchedulerEnv& env,
 }
 
 bool TradeCoordinator::UserSpeedup(UserId user, GpuGeneration fast,
-                                   GpuGeneration slow, double* out) const {
+                                   GpuGeneration slow, Speedup* out) const {
   GFAIR_CHECK(out != nullptr);
   // Demand-weighted mean over the user's resident jobs with usable profiles.
   // Sorted order: the accumulation is floating-point, so summation order
   // reaches the quantized speedup — hash-set order would make the
   // lender/borrower matching platform-dependent.
   double weight_sum = 0.0;
-  double weighted = 0.0;
+  Speedup weighted;
   for (GpuGeneration gen : kAllGenerations) {
     for (JobId id : common::SortedKeys(residency_.PoolJobs(user, gen))) {
       const Job& job = env_.jobs.Get(id);
@@ -49,7 +49,7 @@ bool TradeCoordinator::UserSpeedup(UserId user, GpuGeneration fast,
       if (!model.FitsGeneration(fast) || !model.FitsGeneration(slow)) {
         continue;  // this job could not move between these pools
       }
-      double speedup = 0.0;
+      Speedup speedup;
       if (profiles_.Speedup(job.model, fast, slow, &speedup)) {
         weighted += speedup * job.gang_size;
         weight_sum += job.gang_size;
@@ -64,7 +64,7 @@ bool TradeCoordinator::UserSpeedup(UserId user, GpuGeneration fast,
   // residency migrations before the new entitlements are realized. Floor
   // rather than round — the trade rate is the borrower's speedup, so any
   // upward bias makes borrowers systematically overpay.
-  *out = std::max(1.0, std::floor(weighted / weight_sum * 4.0) / 4.0);
+  *out = std::max(Speedup::Unit(), FloorQuantize(weighted / weight_sum, 4.0));
   return true;
 }
 
@@ -149,7 +149,7 @@ void TradeCoordinator::TradeEpoch() {
     inputs.pool_sizes[GenerationIndex(gen)] = env_.cluster.up_gpus(gen);
   }
   inputs.user_speedup = [this](UserId user, GpuGeneration fast, GpuGeneration slow,
-                               double* out) {
+                               Speedup* out) {
     return UserSpeedup(user, fast, slow, out);
   };
 
@@ -170,7 +170,7 @@ void TradeCoordinator::TradeEpoch() {
     executed_trades_.insert(executed_trades_.end(), outcome.trades.begin(),
                             outcome.trades.end());
     for (size_t i = 0; i < outcome.trades.size(); ++i) {
-      decisions_.Record(env_.sim.Now(), DecisionType::kTrade, JobId::Invalid());
+      decisions_.RecordTrade(env_.sim.Now(), outcome.trades[i].rate);
     }
   }
   host_.RefreshAllTickets();

@@ -35,11 +35,11 @@ class TradeCoordinator {
                    ISchedulerHost& host);
 
   // Profiling: one observed-rate sample for a running job (the facade's
-  // fused charge+sample loop feeds this every quantum). `observed_rate` is
-  // the whole-gang rate; the store keeps per-GPU rates.
+  // fused charge+sample loop feeds this every quantum, normalizing the
+  // whole-gang rate with PerGpuRate::FromGangRate at the executor boundary).
   void RecordSample(workload::ModelId model, cluster::GpuGeneration gen,
-                    double observed_rate, int gang_size) {
-    profiles_.AddSample(model, gen, observed_rate / gang_size);
+                    PerGpuRate per_gpu_rate) {
+    profiles_.AddSample(model, gen, per_gpu_rate);
   }
 
   // One trading epoch (probes, trade computation, ticket reshape, residency
@@ -54,7 +54,7 @@ class TradeCoordinator {
  private:
   // Demand-weighted mean speedup of the user's profiled resident jobs.
   bool UserSpeedup(UserId user, cluster::GpuGeneration fast,
-                   cluster::GpuGeneration slow, double* out) const;
+                   cluster::GpuGeneration slow, Speedup* out) const;
   // Bounded probe migrations to cover generations with no profile estimate.
   void RunProbes();
   // Moves jobs toward their users' traded entitlements.

@@ -19,6 +19,25 @@ TEST(SimTimeTest, RoundTrip) {
   EXPECT_DOUBLE_EQ(ToSeconds(Seconds(0.001)), 0.001);
 }
 
+TEST(SimTimeTest, RoundsToNearestMillisecond) {
+  // The helpers round (llround semantics) rather than truncate toward zero:
+  // a value a hair under the boundary means the boundary, not 1ms less.
+  EXPECT_EQ(Seconds(0.9999), 1000);
+  EXPECT_EQ(Seconds(0.0004), 0);
+  EXPECT_EQ(Seconds(0.0006), 1);
+  EXPECT_EQ(Minutes(0.9999999), 60'000);
+  EXPECT_EQ(Hours(0.9999999), 3'600'000);
+  // Half away from zero, symmetrically for negative durations.
+  EXPECT_EQ(Seconds(0.0005), 1);
+  EXPECT_EQ(Seconds(-0.0005), -1);
+  EXPECT_EQ(Seconds(-0.9999), -1000);
+  // Exact products are untouched (the pre-rounding behavior for every
+  // existing call site in the tree).
+  EXPECT_EQ(Hours(6.25), 22'500'000);
+  EXPECT_EQ(Hours(3.125), 11'250'000);
+  EXPECT_EQ(Seconds(1.5), 1500);
+}
+
 TEST(SimTimeTest, FormatDurationSeconds) { EXPECT_EQ(FormatDuration(Seconds(6.5)), "6.5s"); }
 
 TEST(SimTimeTest, FormatDurationMinutes) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace gfair {
@@ -38,6 +41,32 @@ TEST(StrongIdTest, Hashable) {
   set.insert(JobId(1));
   set.insert(JobId(2));
   EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, InvalidRoundTripsThroughHashContainers) {
+  // Invalid() is a legitimate key (e.g. "no home server" sentinels); it must
+  // hash and compare like any other value, distinct from every valid id.
+  std::unordered_set<ServerId> set;
+  set.insert(ServerId::Invalid());
+  set.insert(ServerId::Invalid());
+  set.insert(ServerId(0));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.count(ServerId::Invalid()), 1u);
+
+  std::unordered_map<JobId, int> map;
+  map[JobId::Invalid()] = 7;
+  EXPECT_EQ(map.at(JobId::Invalid()), 7);
+  EXPECT_EQ(map.count(JobId(3)), 0u);
+}
+
+TEST(StrongIdTest, OrderingAtInvalidBoundary) {
+  // kInvalidValue is numeric_limits<Rep>::max(), so Invalid() sorts strictly
+  // after every valid id — code that orders ids may rely on that.
+  EXPECT_LT(JobId(0), JobId::Invalid());
+  EXPECT_LT(JobId(std::numeric_limits<uint32_t>::max() - 1), JobId::Invalid());
+  EXPECT_LE(JobId::Invalid(), JobId::Invalid());
+  EXPECT_GT(JobId::Invalid(), JobId(123));
+  EXPECT_FALSE(JobId::Invalid() < JobId::Invalid());
 }
 
 TEST(StrongIdTest, StreamsValueOrInvalid) {

@@ -1,0 +1,181 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <type_traits>
+
+namespace gfair {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time harness: the deleted/never-declared cross-tag operations.
+// Each assert here has a negative-compile twin under tests/lint/ proving the
+// same property as a hard build failure (WILL_FAIL ctests).
+// ---------------------------------------------------------------------------
+
+// Same representation, zero overhead: the wrappers must stay layout- and
+// copy-identical to the doubles they replace.
+static_assert(sizeof(Tickets) == sizeof(double));
+static_assert(sizeof(Pass) == sizeof(double));
+static_assert(sizeof(Stride) == sizeof(double));
+static_assert(sizeof(Speedup) == sizeof(double));
+static_assert(sizeof(PerGpuRate) == sizeof(double));
+static_assert(sizeof(GpuSeconds) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Tickets>);
+static_assert(std::is_trivially_copyable_v<Pass>);
+static_assert(std::is_trivially_copyable_v<Stride>);
+static_assert(std::is_trivially_copyable_v<Speedup>);
+static_assert(std::is_trivially_copyable_v<PerGpuRate>);
+static_assert(std::is_trivially_copyable_v<GpuSeconds>);
+
+// No cross-tag construction or assignment: a tickets-for-pass swap is a
+// compile error, not a silent fairness corruption.
+static_assert(!std::is_constructible_v<Pass, Tickets>);
+static_assert(!std::is_constructible_v<Tickets, Pass>);
+static_assert(!std::is_constructible_v<Pass, Stride>);
+static_assert(!std::is_constructible_v<Stride, Tickets>);
+static_assert(!std::is_constructible_v<Speedup, Stride>);
+static_assert(!std::is_constructible_v<Stride, Speedup>);
+static_assert(!std::is_constructible_v<GpuSeconds, Tickets>);
+static_assert(!std::is_assignable_v<Pass&, Tickets>);
+static_assert(!std::is_assignable_v<Tickets&, Pass>);
+static_assert(!std::is_assignable_v<Stride&, Speedup>);
+static_assert(!std::is_assignable_v<GpuSeconds&, Pass>);
+
+// No unit type silently decays back to double; only Tickets converts *from*
+// double (user-facing counts), and Speedup cannot be minted from a bare
+// double at all — factories only.
+static_assert(!std::is_convertible_v<Pass, double>);
+static_assert(!std::is_convertible_v<Tickets, double>);
+static_assert(!std::is_convertible_v<Speedup, double>);
+static_assert(!std::is_convertible_v<GpuSeconds, double>);
+static_assert(!std::is_constructible_v<Speedup, double>);
+static_assert(std::is_convertible_v<double, Tickets>);
+static_assert(!std::is_convertible_v<double, Pass>);
+static_assert(!std::is_convertible_v<double, Stride>);
+static_assert(!std::is_convertible_v<double, GpuSeconds>);
+
+// Detection idiom for the absent mixed-tag operators.
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept Comparable = requires(A a, B b) { a < b; };
+template <typename A, typename B>
+concept Divisible = requires(A a, B b) { a / b; };
+template <typename A, typename B>
+concept Multiplicable = requires(A a, B b) { a* b; };
+
+// Pass advances only by Stride; two passes do not add.
+static_assert(Addable<Pass, Stride>);
+static_assert(!Addable<Pass, Pass>);
+static_assert(!Addable<Pass, Tickets>);
+static_assert(!Addable<Stride, Stride>);
+// No cross-tag ordering.
+static_assert(!Comparable<Pass, Stride>);
+static_assert(!Comparable<Pass, Tickets>);
+static_assert(!Comparable<Tickets, Speedup>);
+static_assert(!Comparable<GpuSeconds, Pass>);
+// Speedup never mixes with Stride, and a bare double cannot divide by a
+// Speedup (the classic ratio inversion) — use SlowToFast, which names the
+// direction.
+static_assert(!Multiplicable<Speedup, Stride>);
+static_assert(!Addable<Speedup, Stride>);
+static_assert(!Divisible<double, Speedup>);
+static_assert(!Divisible<Speedup, Speedup>);
+// Share ratio and delivery ratio are the sanctioned double-producing
+// divisions.
+static_assert(std::is_same_v<decltype(Tickets(1.0) / Tickets(2.0)), double>);
+static_assert(std::is_same_v<decltype(GpuSeconds(1.0) / GpuSeconds(2.0)), double>);
+static_assert(std::is_same_v<decltype(Pass() - Pass()), Stride>);
+
+// ---------------------------------------------------------------------------
+// Runtime behavior: the wrappers must reproduce plain double arithmetic
+// bit-for-bit (the equivalence suite depends on it).
+// ---------------------------------------------------------------------------
+
+TEST(UnitsTest, TicketsArithmetic) {
+  Tickets t = 2.0;
+  t += Tickets(0.5);
+  EXPECT_DOUBLE_EQ(t.raw(), 2.5);
+  EXPECT_DOUBLE_EQ((t * 2.0).raw(), 5.0);
+  EXPECT_DOUBLE_EQ((t / 2.0).raw(), 1.25);
+  EXPECT_DOUBLE_EQ(t / Tickets(5.0), 0.5);  // share ratio
+  EXPECT_DOUBLE_EQ(Abs(Tickets(-3.0)).raw(), 3.0);
+  EXPECT_LT(Tickets(1.0), Tickets(2.0));
+  EXPECT_EQ(std::max(Tickets(1.0), Tickets(2.0)), Tickets(2.0));
+}
+
+TEST(UnitsTest, PassAdvancesByStride) {
+  Pass p(100.0);
+  // Exactly the stride Charge expression: ms * gang / tickets.
+  const Stride s = Stride::FromService(60'000.0, 2, Tickets(4.0));
+  EXPECT_DOUBLE_EQ(s.raw(), 60'000.0 * 2 / 4.0);
+  p += s;
+  EXPECT_DOUBLE_EQ(p.raw(), 100.0 + 30'000.0);
+  EXPECT_DOUBLE_EQ((p - Pass(100.0)).raw(), 30'000.0);
+  EXPECT_LT(Pass(1.0), Pass::Infinity());
+  EXPECT_EQ(std::max(Pass(3.0), Pass(7.0)), Pass(7.0));
+}
+
+TEST(UnitsTest, PassInfinityIsAbsorbing) {
+  const Pass inf = Pass::Infinity();
+  EXPECT_TRUE(inf == Pass::Infinity());
+  EXPECT_FALSE(inf < Pass::Infinity());
+  EXPECT_GT(inf, Pass(1e300));
+}
+
+TEST(UnitsTest, SpeedupFromRates) {
+  const Speedup s = Speedup::FromRates(PerGpuRate(10.0), PerGpuRate(2.0));
+  EXPECT_DOUBLE_EQ(s.raw(), 5.0);
+  EXPECT_GT(s, Speedup::Unit());
+  // Margin discounting and breakeven slack are dimensionless scalings.
+  EXPECT_DOUBLE_EQ((s * 0.95).raw(), 4.75);
+  // Trade-volume conversion at rate lambda.
+  EXPECT_DOUBLE_EQ(FastToSlow(2.0, s), 10.0);
+  EXPECT_DOUBLE_EQ(SlowToFast(10.0, s), 2.0);
+}
+
+TEST(UnitsTest, SpeedupWeightedMeanAndQuantize) {
+  // The TradeCoordinator::UserSpeedup pipeline: gang-weighted mean, floored
+  // to quarter steps, never below 1x.
+  Speedup weighted;
+  weighted += Speedup::FromRatio(2.0) * 3.0;
+  weighted += Speedup::FromRatio(4.0) * 1.0;
+  const Speedup mean = weighted / 4.0;
+  EXPECT_DOUBLE_EQ(mean.raw(), 2.5);
+  EXPECT_EQ(FloorQuantize(Speedup::FromRatio(2.6), 4.0), Speedup::FromRatio(2.5));
+  EXPECT_EQ(std::max(Speedup::Unit(), FloorQuantize(Speedup::FromRatio(0.3), 4.0)),
+            Speedup::Unit());
+}
+
+TEST(UnitsTest, SpeedupGeometricMean) {
+  const Speedup geo = GeometricMean(Speedup::FromRatio(1.5), Speedup::FromRatio(6.0));
+  EXPECT_NEAR(geo.raw(), 3.0, 1e-12);
+}
+
+TEST(UnitsTest, PerGpuRateFromGangRate) {
+  const PerGpuRate r = PerGpuRate::FromGangRate(40.0, 8);
+  EXPECT_DOUBLE_EQ(r.raw(), 5.0);
+}
+
+TEST(UnitsTest, GpuSecondsConversionAndRatio) {
+  GpuSeconds total = GpuSeconds::FromMillis(90'000.0);
+  EXPECT_DOUBLE_EQ(total.raw(), 90.0);
+  total += GpuSeconds(10.0);
+  EXPECT_DOUBLE_EQ(total.raw(), 100.0);
+  EXPECT_DOUBLE_EQ(total / GpuSeconds(200.0), 0.5);
+  EXPECT_LT(GpuSeconds(1.0), GpuSeconds(2.0));
+  EXPECT_DOUBLE_EQ((total * 2.0).raw(), 200.0);
+}
+
+TEST(UnitsTest, StreamsRawValue) {
+  std::ostringstream os;
+  os << Tickets(2.5) << " " << Pass(1.5) << " " << Speedup::FromRatio(3.0) << " "
+     << GpuSeconds(4.5);
+  EXPECT_EQ(os.str(), "2.5 1.5 3 4.5");
+}
+
+}  // namespace
+}  // namespace gfair

@@ -1,0 +1,25 @@
+// gfair-lint-fixture: src/sched/example.h
+// Seeded violations for the raw-double-in-sched-api rule: a sched header
+// declaring a dimensioned quantity (tickets, pass, stride, speedup, rate,
+// gpu-time) as a bare double forfeits the compile-time unit checks that
+// common/units.h provides.
+struct Example {
+  double TicketLoad() const;  // EXPECT-LINT: raw-double-in-sched-api
+  void SetTickets(double tickets);  // EXPECT-LINT: raw-double-in-sched-api
+  double PassOf(int job) const;  // EXPECT-LINT: raw-double-in-sched-api
+  void AddSample(double per_gpu_rate);  // EXPECT-LINT: raw-double-in-sched-api
+  double NormTicketLoad() const;  // EXPECT-LINT: raw-double-in-sched-api
+  double GpuMs() const;  // EXPECT-LINT: raw-double-in-sched-api
+
+  // Segment matching, not substring matching: "migrate" does not hit on the
+  // embedded "rate", and "bypass" does not hit on "pass".
+  double migrate_fraction = 0.25;
+  double bypass_threshold = 0.5;
+
+  // Uses of double (casts, template arguments) are not declarations.
+  int Scaled() const { return static_cast<int>(static_cast<double>(pass_ms()) * 2); }
+  long pass_ms() const;
+
+  // A genuinely dimensionless value keeps double with a justified allow.
+  double speedup_quantization = 0.25;  // gfair-lint: allow(raw-double-in-sched-api) -- step count, not a speedup
+};

@@ -1,0 +1,27 @@
+// gfair-lint-fixture: src/sched/example.cc
+// Seeded violations for the unit-unwrap-outside-boundary rule: .raw() inside
+// scheduler logic strips the unit tag and reintroduces the silent mix-ups
+// (tickets into a pass, inverted speedup ratios) that common/units.h exists
+// to reject at compile time.
+namespace gfair::sched {
+
+double LeakTickets(const Tickets& tickets) {
+  return tickets.raw() * 2.0;  // EXPECT-LINT: unit-unwrap-outside-boundary
+}
+
+double LeakThroughCall(const LocalStrideScheduler& stride) {
+  return stride.TicketLoad().raw();  // EXPECT-LINT: unit-unwrap-outside-boundary
+}
+
+// A member that happens to be named raw on a non-unit type still trips the
+// token scan — the fix is renaming, not suppressing.
+double LeakChained(const Wrapper& w) {
+  return w.inner().raw() + 1.0;  // EXPECT-LINT: unit-unwrap-outside-boundary
+}
+
+// Serialization/display boundaries carry a justified inline allow.
+void Snapshot(const Tickets& tickets, Row* row) {
+  row->Cell(tickets.raw());  // gfair-lint: allow(unit-unwrap-outside-boundary) -- report table boundary
+}
+
+}  // namespace gfair::sched

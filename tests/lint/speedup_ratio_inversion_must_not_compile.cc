@@ -1,0 +1,25 @@
+// Negative-compile proof for the unit-type layer: this translation unit MUST
+// NOT compile. ctest runs the compiler over it with -fsyntax-only and
+// WILL_FAIL — if it ever starts compiling, Speedup has grown an operation
+// that silently inverts or cross-breeds the fast/slow rate ratio.
+//
+// Keep exactly one violation per function so a future error message points
+// at the specific leak. The positive side (every operation that MUST work)
+// lives in tests/common/units_test.cc.
+#include "common/units.h"
+
+namespace gfair {
+
+double InvertSpeedupBare(Speedup s) {
+  // 1.0 / speedup flips lender and borrower; the only sanctioned inversions
+  // are Speedup::FromRates(slow, fast) and SlowToFast(demand, s).
+  return 1.0 / s;
+}
+
+Speedup CrossBreedWithStride(Speedup s, Stride st) {
+  // A speedup scales GPU *counts* (FastToSlow/SlowToFast), never the stride
+  // domain: pass arithmetic is ticket-weighted service, not rate ratios.
+  return s * st;
+}
+
+}  // namespace gfair

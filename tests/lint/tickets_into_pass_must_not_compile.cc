@@ -1,0 +1,22 @@
+// Negative-compile proof for the unit-type layer: this translation unit MUST
+// NOT compile. ctest runs the compiler over it with -fsyntax-only and
+// WILL_FAIL — if it ever starts compiling, common/units.h has grown an
+// implicit conversion that lets ticket counts flow into the pass/stride
+// domain, which is exactly the class of bug the strong types exist to stop.
+//
+// Keep exactly one violation per function so a future error message points
+// at the specific leak. The positive side (every operation that MUST work)
+// lives in tests/common/units_test.cc.
+#include "common/units.h"
+
+namespace gfair {
+
+Pass TicketsIntoPass() {
+  // Tickets converts from double for ergonomic construction, but must never
+  // convert onward into Pass: a job's priority currency is not a position on
+  // the virtual-time axis.
+  Pass p = Tickets(3.0);
+  return p;
+}
+
+}  // namespace gfair

@@ -52,8 +52,8 @@ TEST_P(TradeFuzz, InvariantsHoldForRandomPopulations) {
       return std::pow(base, static_cast<double>(cluster::GenerationIndex(gen)) / 3.0);
     };
     inputs.user_speedup = [&rate_of](UserId user, cluster::GpuGeneration fast,
-                                     cluster::GpuGeneration slow, double* out) {
-      *out = rate_of(user, fast) / rate_of(user, slow);
+                                     cluster::GpuGeneration slow, Speedup* out) {
+      *out = Speedup::FromRatio(rate_of(user, fast) / rate_of(user, slow));
       return true;
     };
 
@@ -75,19 +75,19 @@ TEST_P(TradeFuzz, InvariantsHoldForRandomPopulations) {
     // No user's entitlement value (own-speedup weighted) drops below base.
     double total_tickets = 0.0;
     for (UserId user : inputs.active_users) {
-      total_tickets += inputs.base_tickets[user];
+      total_tickets += inputs.base_tickets[user].raw();
     }
     for (UserId user : inputs.active_users) {
-      const double fraction = inputs.base_tickets[user] / total_tickets;
+      const double fraction = inputs.base_tickets[user].raw() / total_tickets;
       double base_value = 0.0;
       double post_value = 0.0;
       const auto& ent = outcome.entitlements.at(user);
       for (size_t g = 0; g < cluster::kNumGenerations; ++g) {
-        double speedup_vs_k80 = 1.0;
+        Speedup speedup_vs_k80 = Speedup::Unit();
         inputs.user_speedup(user, cluster::kAllGenerations[g], cluster::GpuGeneration::kK80,
                             &speedup_vs_k80);
-        base_value += fraction * inputs.pool_sizes[g] * speedup_vs_k80;
-        post_value += ent[g] * speedup_vs_k80;
+        base_value += fraction * inputs.pool_sizes[g] * speedup_vs_k80.raw();
+        post_value += ent[g] * speedup_vs_k80.raw();
       }
       ASSERT_GE(post_value, base_value - 1e-6)
           << "user " << user << " lost entitlement value (seed " << GetParam()
@@ -95,10 +95,10 @@ TEST_P(TradeFuzz, InvariantsHoldForRandomPopulations) {
     }
     // Rates bounded by the participants' speedups.
     for (const auto& trade : outcome.trades) {
-      ASSERT_GE(trade.rate, 1.0);
-      ASSERT_LE(trade.rate, trade.borrower_speedup + 1e-9);
+      ASSERT_GE(trade.rate.raw(), 1.0);
+      ASSERT_LE(trade.rate.raw(), trade.borrower_speedup.raw() + 1e-9);
       ASSERT_GT(trade.fast_gpus, 0.0);
-      ASSERT_NEAR(trade.slow_gpus, trade.fast_gpus * trade.rate, 1e-9);
+      ASSERT_NEAR(trade.slow_gpus, trade.fast_gpus * trade.rate.raw(), 1e-9);
     }
   }
 }
@@ -125,9 +125,9 @@ TEST_P(StrideFuzz, SelectionAlwaysFeasibleAndPassesMonotone) {
       const JobId id(next_id++);
       stride.AddJob(id, gang, rng.Uniform(0.01, 4.0));
       resident.push_back(id);
-      last_pass[id.value()] = stride.PassOf(id);
+      last_pass[id.value()] = stride.PassOf(id).raw();
       // Newcomers never enter below the virtual time.
-      ASSERT_GE(stride.PassOf(id), stride.VirtualTime() - 1e-9);
+      ASSERT_GE(stride.PassOf(id), stride.VirtualTime() - Stride(1e-9));
     } else if (op == 3 && resident.size() > 1) {  // remove random
       const size_t victim =
           static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(resident.size()) - 1));
@@ -153,7 +153,7 @@ TEST_P(StrideFuzz, SelectionAlwaysFeasibleAndPassesMonotone) {
     }
     // Pass monotonicity: charges never decrease a job's pass.
     for (JobId id : resident) {
-      const double pass = stride.PassOf(id);
+      const double pass = stride.PassOf(id).raw();
       auto it = last_pass.find(id.value());
       if (it != last_pass.end()) {
         ASSERT_GE(pass, it->second - 1e-9);

@@ -91,11 +91,11 @@ TEST_P(TradeInvariants, NoUserWorseOffAndPoolsConserved) {
   inputs.pool_sizes[kK80] = 24;
   inputs.pool_sizes[kV100] = 24;
   inputs.user_speedup = [&param](UserId user, cluster::GpuGeneration fast,
-                                 cluster::GpuGeneration slow, double* out) {
+                                 cluster::GpuGeneration slow, Speedup* out) {
     if (fast != cluster::GpuGeneration::kV100 || slow != cluster::GpuGeneration::kK80) {
       return false;
     }
-    *out = user == UserId(0) ? param.speedup_a : param.speedup_b;
+    *out = Speedup::FromRatio(user == UserId(0) ? param.speedup_a : param.speedup_b);
     return true;
   };
 

@@ -28,8 +28,8 @@ TEST(TicketSplitTest, GangProportionalWithinUser) {
   }
   exp.Run(Minutes(2));
   const auto& stride = exp.gandiva()->stride_for(ServerId(0));
-  const double gang_tickets = stride.TicketsOf(gang);
-  const double single_tickets = stride.TicketsOf(single);
+  const double gang_tickets = stride.TicketsOf(gang).raw();
+  const double single_tickets = stride.TicketsOf(single).raw();
   EXPECT_NEAR(gang_tickets / single_tickets, 4.0, 1e-9);
   EXPECT_NEAR(gang_tickets + 4 * single_tickets, 1.0, 1e-9);
 }
@@ -181,7 +181,7 @@ TEST(TradeEpochTest, TradesRevokedWhenBorrowerLeaves) {
   exp.Run(Hours(8));
   // rex's jobs are long gone; vae must hold full base tickets everywhere.
   const auto& tickets = exp.gandiva()->tickets();
-  EXPECT_DOUBLE_EQ(tickets.Get(vae.id, GpuGeneration::kV100), 1.0);
+  EXPECT_DOUBLE_EQ(tickets.Get(vae.id, GpuGeneration::kV100).raw(), 1.0);
   // And vae's full demand (8 one-GPU jobs) is served (work conservation).
   const double vae_ms = exp.ledger().GpuMs(vae.id, Hours(6), Hours(8));
   EXPECT_GT(vae_ms / (8.0 * Hours(2)), 0.95);
@@ -201,17 +201,17 @@ TEST(BorrowerMarginTest, RateDiscountedButAboveLenderSpeedup) {
   inputs.pool_sizes[cluster::GenerationIndex(GpuGeneration::kK80)] = 32;
   inputs.pool_sizes[cluster::GenerationIndex(GpuGeneration::kV100)] = 32;
   inputs.user_speedup = [](UserId user, GpuGeneration fast, GpuGeneration slow,
-                           double* out) {
+                           Speedup* out) {
     if (fast != GpuGeneration::kV100 || slow != GpuGeneration::kK80) {
       return false;
     }
-    *out = user == UserId(0) ? 1.2 : 6.0;
+    *out = Speedup::FromRatio(user == UserId(0) ? 1.2 : 6.0);
     return true;
   };
   const auto outcome = engine.ComputeEpoch(inputs);
   ASSERT_FALSE(outcome.trades.empty());
-  EXPECT_DOUBLE_EQ(outcome.trades[0].rate, 6.0 * 0.9);
-  EXPECT_GT(outcome.trades[0].rate, 1.2);
+  EXPECT_DOUBLE_EQ(outcome.trades[0].rate.raw(), 6.0 * 0.9);
+  EXPECT_GT(outcome.trades[0].rate.raw(), 1.2);
 }
 
 }  // namespace

@@ -175,7 +175,7 @@ TEST(GandivaFairTest, ProfilerLearnsRatesOnHomeGeneration) {
   const auto model = zoo.GetByName("DCGAN").id;
   const auto& profiles = exp.gandiva()->profiles();
   ASSERT_TRUE(profiles.HasEstimate(model, GpuGeneration::kV100));
-  EXPECT_NEAR(profiles.EstimatedRate(model, GpuGeneration::kV100), 50.0, 2.5);
+  EXPECT_NEAR(profiles.EstimatedRate(model, GpuGeneration::kV100).raw(), 50.0, 2.5);
 }
 
 TEST(GandivaFairTest, TradingImprovesLenderWithoutHurtingBorrower) {

@@ -12,8 +12,8 @@ TEST(HierarchyMathTest, UngroupedUsersKeepBaseTickets) {
   const UserId a = users.Create("a", 2.0).id;
   const UserId b = users.Create("b", 1.0).id;
   const auto effective = ComputeHierarchicalTickets(users, {a, b});
-  EXPECT_DOUBLE_EQ(effective.at(a), 2.0);
-  EXPECT_DOUBLE_EQ(effective.at(b), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(a).raw(), 2.0);
+  EXPECT_DOUBLE_EQ(effective.at(b).raw(), 1.0);
 }
 
 TEST(HierarchyMathTest, ActiveMemberInheritsIdleTeammatesShare) {
@@ -23,8 +23,8 @@ TEST(HierarchyMathTest, ActiveMemberInheritsIdleTeammatesShare) {
   const UserId b1 = users.CreateInGroup("b1", "team-b", 1.0).id;
   // a2 idle: a1 carries team-a's full weight of 2.
   const auto effective = ComputeHierarchicalTickets(users, {a1, b1});
-  EXPECT_DOUBLE_EQ(effective.at(a1), 2.0);
-  EXPECT_DOUBLE_EQ(effective.at(b1), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(a1).raw(), 2.0);
+  EXPECT_DOUBLE_EQ(effective.at(b1).raw(), 1.0);
 }
 
 TEST(HierarchyMathTest, FullGroupSplitsEvenly) {
@@ -33,9 +33,9 @@ TEST(HierarchyMathTest, FullGroupSplitsEvenly) {
   const UserId a2 = users.CreateInGroup("a2", "team-a", 1.0).id;
   const UserId b1 = users.CreateInGroup("b1", "team-b", 1.0).id;
   const auto effective = ComputeHierarchicalTickets(users, {a1, a2, b1});
-  EXPECT_DOUBLE_EQ(effective.at(a1), 1.0);
-  EXPECT_DOUBLE_EQ(effective.at(a2), 1.0);
-  EXPECT_DOUBLE_EQ(effective.at(b1), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(a1).raw(), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(a2).raw(), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(b1).raw(), 1.0);
 }
 
 TEST(HierarchyMathTest, IntraGroupWeightsRespected) {
@@ -44,11 +44,11 @@ TEST(HierarchyMathTest, IntraGroupWeightsRespected) {
   const UserId a2 = users.CreateInGroup("a2", "team-a", 1.0).id;
   const auto effective = ComputeHierarchicalTickets(users, {a1, a2});
   // Group weight 4 split 3:1.
-  EXPECT_DOUBLE_EQ(effective.at(a1), 3.0);
-  EXPECT_DOUBLE_EQ(effective.at(a2), 1.0);
+  EXPECT_DOUBLE_EQ(effective.at(a1).raw(), 3.0);
+  EXPECT_DOUBLE_EQ(effective.at(a2).raw(), 1.0);
   // a2 alone: carries the whole group weight.
   const auto solo = ComputeHierarchicalTickets(users, {a2});
-  EXPECT_DOUBLE_EQ(solo.at(a2), 4.0);
+  EXPECT_DOUBLE_EQ(solo.at(a2).raw(), 4.0);
 }
 
 TEST(HierarchyMathTest, MixedGroupedAndUngrouped) {
@@ -57,8 +57,8 @@ TEST(HierarchyMathTest, MixedGroupedAndUngrouped) {
   const UserId a1 = users.CreateInGroup("a1", "team-a", 1.0).id;
   users.CreateInGroup("a2", "team-a", 3.0);
   const auto effective = ComputeHierarchicalTickets(users, {solo, a1});
-  EXPECT_DOUBLE_EQ(effective.at(solo), 2.0);
-  EXPECT_DOUBLE_EQ(effective.at(a1), 4.0);  // whole team-a weight
+  EXPECT_DOUBLE_EQ(effective.at(solo).raw(), 2.0);
+  EXPECT_DOUBLE_EQ(effective.at(a1).raw(), 4.0);  // whole team-a weight
 }
 
 TEST(HierarchyIntegrationTest, GroupShareIndependentOfHeadcount) {

@@ -47,12 +47,13 @@ Experiment MakeBusyCluster() {
 
 TEST(InvariantCheckerTest, RegistryListsAllInvariants) {
   const std::vector<std::string> names = InvariantChecker::RegisteredNames();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_EQ(names[0], "gang-residency");
   EXPECT_EQ(names[1], "entitlement-conservation");
   EXPECT_EQ(names[2], "pass-monotonicity");
   EXPECT_EQ(names[3], "delta-ordering");
   EXPECT_EQ(names[4], "down-holds-nothing");
+  EXPECT_EQ(names[5], "gpu-time-conservation");
 }
 
 TEST(InvariantCheckerTest, CleanThroughoutOversubscribedRun) {

@@ -180,7 +180,8 @@ void LegacyGandivaFairScheduler::CollectSamples(ServerId server) {
     if (env_.exec.IsRunning(id)) {
       const Job& job = env_.jobs.Get(id);
       const double observed = env_.exec.SampleObservedRate(id);
-      profiles_.AddSample(job.model, gen, observed / job.gang_size);
+      profiles_.AddSample(job.model, gen,
+                          PerGpuRate::FromGangRate(observed, job.gang_size));
     }
   }
 }
@@ -283,7 +284,8 @@ double LegacyGandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,
   // weight x gang size (equal weighted GPU-time per demanded GPU). An equal
   // per-job split would let the user's 1-GPU jobs run continuously while its
   // 8-GPU gang — one job, one share — starved at an eighth of its demand.
-  const double pool_tickets = std::max(ticket_matrix_.Get(user, gen), kMinTickets);
+  const double pool_tickets =
+      std::max(ticket_matrix_.Get(user, gen).raw(), kMinTickets);
   const double share = job.gang_size * job.weight;
   const double demand = std::max(WeightedResidentDemand(user, gen), share);
   return pool_tickets * share / demand;
@@ -325,7 +327,8 @@ ClusterSnapshot LegacyGandivaFairScheduler::Snapshot() const {
     const auto& stride = stride_for(server.id());
     view.resident_jobs = static_cast<int>(stride.num_jobs());
     view.demand_load = stride.DemandLoad() / static_cast<double>(server.num_gpus());
-    view.ticket_load = stride.TicketLoad() / static_cast<double>(server.num_gpus());
+    view.ticket_load =
+        stride.TicketLoad().raw() / static_cast<double>(server.num_gpus());
     view.draining = draining_[server.id().value()];
     snapshot.servers.push_back(view);
   }
@@ -396,7 +399,7 @@ void LegacyGandivaFairScheduler::DrainTick() {
         if (peer.num_gpus() < job.gang_size) {
           continue;
         }
-        const double load = stride_for(sid).TicketLoad() / peer.num_gpus();
+        const double load = stride_for(sid).TicketLoad().raw() / peer.num_gpus();
         if (load < dest_load) {
           dest_load = load;
           dest = sid;
@@ -464,7 +467,7 @@ double LegacyGandivaFairScheduler::EntitlementGpus(UserId user, GpuGeneration ge
   double total = 0.0;
   double mine = 0.0;
   for (UserId v : active) {
-    const double tickets = ticket_matrix_.Get(v, gen);
+    const double tickets = ticket_matrix_.Get(v, gen).raw();
     total += tickets;
     if (v == user) {
       mine = tickets;
@@ -541,7 +544,7 @@ ServerId LegacyGandivaFairScheduler::ChoosePlacement(const Job& job) const {
       // emptier server wins.
       const double demand_load =
           std::min(1.0, stride_for(id).DemandLoad() / gpus);
-      const double ticket_load = stride_for(id).TicketLoad() / gpus;
+      const double ticket_load = stride_for(id).TicketLoad().raw() / gpus;
       if (demand_load < candidate_demand - 1e-9 ||
           (demand_load < candidate_demand + 1e-9 && ticket_load < candidate_tickets)) {
         candidate_demand = demand_load;
@@ -765,7 +768,7 @@ void LegacyGandivaFairScheduler::BalanceTick() {
           continue;
         }
         const double gpus = env_.cluster.server(id).num_gpus();
-        const double load = (stride_for(id).TicketLoad() + pending[id]) / gpus;
+        const double load = (stride_for(id).TicketLoad().raw() + pending[id]) / gpus;
         sum_load += load;
         if (load > max_load) {
           max_load = load;
@@ -797,7 +800,7 @@ void LegacyGandivaFairScheduler::BalanceTick() {
         if (env_.cluster.server(min_server).num_gpus() < job.gang_size) {
           continue;
         }
-        const double tickets = stride_for(max_server).TicketsOf(id);
+        const double tickets = stride_for(max_server).TicketsOf(id).raw();
         const double new_src = max_load - tickets / src_gpus;
         const double new_dst = min_load + tickets / dst_gpus;
         if (new_dst >= max_load) {
@@ -812,7 +815,7 @@ void LegacyGandivaFairScheduler::BalanceTick() {
       if (!best.valid()) {
         break;
       }
-      pending[min_server] += stride_for(max_server).TicketsOf(best);
+      pending[min_server] += stride_for(max_server).TicketsOf(best).raw();
       StartMigration(best, min_server, MigrationCause::kBalance);
     }
   }
@@ -841,9 +844,9 @@ bool LegacyGandivaFairScheduler::UserSpeedup(UserId user, GpuGeneration fast,
       if (!model.FitsGeneration(fast) || !model.FitsGeneration(slow)) {
         continue;  // this job could not move between these pools
       }
-      double speedup = 0.0;
+      gfair::Speedup speedup;
       if (profiles_.Speedup(job.model, fast, slow, &speedup)) {
-        weighted += speedup * job.gang_size;
+        weighted += speedup.raw() * job.gang_size;
         weight_sum += job.gang_size;
       }
     }
@@ -909,7 +912,7 @@ void LegacyGandivaFairScheduler::RunProbes() {
           if (server.num_gpus() < job.gang_size || IsDraining(sid)) {
             continue;
           }
-          const double load = stride_for(sid).TicketLoad() / server.num_gpus();
+          const double load = stride_for(sid).TicketLoad().raw() / server.num_gpus();
           if (load < dest_load) {
             dest_load = load;
             dest = sid;
@@ -954,8 +957,13 @@ void LegacyGandivaFairScheduler::TradeTick() {
     inputs.pool_sizes[GenerationIndex(gen)] = env_.cluster.total_gpus(gen);
   }
   inputs.user_speedup = [this](UserId user, GpuGeneration fast, GpuGeneration slow,
-                               double* out) {
-    return UserSpeedup(user, fast, slow, out);
+                               Speedup* out) {
+    double raw = 0.0;
+    if (!UserSpeedup(user, fast, slow, &raw)) {
+      return false;
+    }
+    *out = Speedup::FromRatio(raw);
+    return true;
   };
 
   const TradeOutcome outcome = trading_.ComputeEpoch(inputs);
@@ -1045,7 +1053,7 @@ void LegacyGandivaFairScheduler::RebalanceResidency(const TradeOutcome& outcome)
         if (server.num_gpus() < candidate_gang || IsDraining(sid)) {
           continue;
         }
-        const double load = stride_for(sid).TicketLoad() / server.num_gpus();
+        const double load = stride_for(sid).TicketLoad().raw() / server.num_gpus();
         if (load < dest_load) {
           dest_load = load;
           dest = sid;

@@ -13,32 +13,32 @@ using workload::ModelId;
 TEST(ProfilerTest, NoEstimateUntilMinSamples) {
   ProfileStore store(/*min_samples=*/3);
   const ModelId model(0);
-  store.AddSample(model, GpuGeneration::kK80, 2.0);
-  store.AddSample(model, GpuGeneration::kK80, 2.0);
+  store.AddSample(model, GpuGeneration::kK80, PerGpuRate(2.0));
+  store.AddSample(model, GpuGeneration::kK80, PerGpuRate(2.0));
   EXPECT_FALSE(store.HasEstimate(model, GpuGeneration::kK80));
-  store.AddSample(model, GpuGeneration::kK80, 2.0);
+  store.AddSample(model, GpuGeneration::kK80, PerGpuRate(2.0));
   EXPECT_TRUE(store.HasEstimate(model, GpuGeneration::kK80));
-  EXPECT_DOUBLE_EQ(store.EstimatedRate(model, GpuGeneration::kK80), 2.0);
+  EXPECT_DOUBLE_EQ(store.EstimatedRate(model, GpuGeneration::kK80).raw(), 2.0);
 }
 
 TEST(ProfilerTest, EstimateIsMeanOfSamples) {
   ProfileStore store(2);
   const ModelId model(1);
-  store.AddSample(model, GpuGeneration::kV100, 8.0);
-  store.AddSample(model, GpuGeneration::kV100, 12.0);
-  EXPECT_DOUBLE_EQ(store.EstimatedRate(model, GpuGeneration::kV100), 10.0);
+  store.AddSample(model, GpuGeneration::kV100, PerGpuRate(8.0));
+  store.AddSample(model, GpuGeneration::kV100, PerGpuRate(12.0));
+  EXPECT_DOUBLE_EQ(store.EstimatedRate(model, GpuGeneration::kV100).raw(), 10.0);
   EXPECT_EQ(store.SampleCount(model, GpuGeneration::kV100), 2u);
 }
 
 TEST(ProfilerTest, SpeedupRequiresBothSides) {
   ProfileStore store(1);
   const ModelId model(0);
-  double speedup = 0.0;
-  store.AddSample(model, GpuGeneration::kV100, 10.0);
+  gfair::Speedup speedup;
+  store.AddSample(model, GpuGeneration::kV100, PerGpuRate(10.0));
   EXPECT_FALSE(store.Speedup(model, GpuGeneration::kV100, GpuGeneration::kK80, &speedup));
-  store.AddSample(model, GpuGeneration::kK80, 2.0);
+  store.AddSample(model, GpuGeneration::kK80, PerGpuRate(2.0));
   ASSERT_TRUE(store.Speedup(model, GpuGeneration::kV100, GpuGeneration::kK80, &speedup));
-  EXPECT_DOUBLE_EQ(speedup, 5.0);
+  EXPECT_DOUBLE_EQ(speedup.raw(), 5.0);
 }
 
 TEST(ProfilerTest, UnknownModelHasNothing) {
@@ -55,23 +55,23 @@ TEST(ProfilerTest, NoisySamplesConvergeToTruth) {
   const ModelId model(0);
   const double truth = 16.0;
   for (int i = 0; i < 200; ++i) {
-    store.AddSample(model, GpuGeneration::kP40, truth * rng.Normal(1.0, 0.05));
+    store.AddSample(model, GpuGeneration::kP40, PerGpuRate(truth * rng.Normal(1.0, 0.05)));
   }
-  EXPECT_NEAR(store.EstimatedRate(model, GpuGeneration::kP40), truth, truth * 0.02);
+  EXPECT_NEAR(store.EstimatedRate(model, GpuGeneration::kP40).raw(), truth, truth * 0.02);
 }
 
 TEST(ProfilerTest, ModelsAreIndependent) {
   ProfileStore store(1);
-  store.AddSample(ModelId(0), GpuGeneration::kK80, 1.0);
-  store.AddSample(ModelId(1), GpuGeneration::kK80, 9.0);
-  EXPECT_DOUBLE_EQ(store.EstimatedRate(ModelId(0), GpuGeneration::kK80), 1.0);
-  EXPECT_DOUBLE_EQ(store.EstimatedRate(ModelId(1), GpuGeneration::kK80), 9.0);
+  store.AddSample(ModelId(0), GpuGeneration::kK80, PerGpuRate(1.0));
+  store.AddSample(ModelId(1), GpuGeneration::kK80, PerGpuRate(9.0));
+  EXPECT_DOUBLE_EQ(store.EstimatedRate(ModelId(0), GpuGeneration::kK80).raw(), 1.0);
+  EXPECT_DOUBLE_EQ(store.EstimatedRate(ModelId(1), GpuGeneration::kK80).raw(), 9.0);
 }
 
 TEST(ProfilerDeathTest, RejectsBadSamples) {
   ProfileStore store(1);
-  EXPECT_DEATH(store.AddSample(ModelId(0), GpuGeneration::kK80, 0.0), "");
-  EXPECT_DEATH(store.EstimatedRate(ModelId(0), GpuGeneration::kK80), "estimate");
+  EXPECT_DEATH(store.AddSample(ModelId(0), GpuGeneration::kK80, PerGpuRate(0.0)), "");
+  EXPECT_DEATH(store.EstimatedRate(ModelId(0), GpuGeneration::kK80).raw(), "estimate");
 }
 
 }  // namespace

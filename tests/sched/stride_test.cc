@@ -34,8 +34,8 @@ TEST(StrideTest, ChargeScalesWithGangAndTickets) {
   stride.AddJob(JobId(1), 1, 1.0);
   stride.Charge(JobId(0), 100);  // pass += 4*100/2 = 200
   stride.Charge(JobId(1), 100);  // pass += 1*100/1 = 100
-  EXPECT_DOUBLE_EQ(stride.PassOf(JobId(0)), 200.0);
-  EXPECT_DOUBLE_EQ(stride.PassOf(JobId(1)), 100.0);
+  EXPECT_DOUBLE_EQ(stride.PassOf(JobId(0)).raw(), 200.0);
+  EXPECT_DOUBLE_EQ(stride.PassOf(JobId(1)).raw(), 100.0);
 }
 
 TEST(StrideTest, GpuTimeProportionalToTickets) {
@@ -87,7 +87,7 @@ TEST(StrideTest, NewJobEntersAtVirtualTime) {
   stride.AddJob(JobId(1), 1, 1.0);
   // Newcomer must not owe history: pass = virtual time (job 0's pass floor),
   // not 0 — but also must not leap ahead.
-  EXPECT_GT(stride.PassOf(JobId(1)), 0.0);
+  EXPECT_GT(stride.PassOf(JobId(1)).raw(), 0.0);
   EXPECT_LE(stride.PassOf(JobId(1)), stride.PassOf(JobId(0)));
 }
 
@@ -169,7 +169,7 @@ TEST(StrideTest, NonRunnableJobsAreSkipped) {
   const auto selected = stride.SelectForQuantum();
   ASSERT_EQ(selected.size(), 1u);
   EXPECT_EQ(selected[0], JobId(1));
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 1.0);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 1.0);
   EXPECT_EQ(stride.DemandLoad(), 1);
 }
 
@@ -184,7 +184,7 @@ TEST(StrideTest, ReenteringJobPassIsFloored) {
   }
   stride.SetRunnable(JobId(0), true);
   // Job 0 must not monopolize: its pass was floored to the virtual time.
-  EXPECT_GE(stride.PassOf(JobId(0)), stride.VirtualTime() - 1e-9);
+  EXPECT_GE(stride.PassOf(JobId(0)), stride.VirtualTime() - Stride(1e-9));
 }
 
 TEST(StrideTest, SetTicketsChangesFutureShares) {
@@ -205,10 +205,10 @@ TEST(StrideTest, TicketAndDemandLoads) {
   LocalStrideScheduler stride(8);
   stride.AddJob(JobId(0), 4, 2.5);
   stride.AddJob(JobId(1), 2, 0.5);
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 3.0);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 3.0);
   EXPECT_EQ(stride.DemandLoad(), 6);
   stride.RemoveJob(JobId(0));
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 0.5);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 0.5);
 }
 
 TEST(StrideTest, VirtualTimeMonotone) {
@@ -217,7 +217,7 @@ TEST(StrideTest, VirtualTimeMonotone) {
   (void)stride.SelectForQuantum();
   stride.Charge(JobId(0), 5000);
   (void)stride.SelectForQuantum();
-  const double vt = stride.VirtualTime();
+  const Pass vt = stride.VirtualTime();
   stride.RemoveJob(JobId(0));
   stride.AddJob(JobId(1), 1, 1.0);
   EXPECT_GE(stride.PassOf(JobId(1)), vt);
@@ -230,32 +230,32 @@ TEST(StrideTest, CachedLoadsTrackMutations) {
   LocalStrideScheduler stride(8);
   stride.AddJob(JobId(0), 2, 1.5);
   stride.AddJob(JobId(1), 4, 2.5);
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 4.0);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 4.0);
   EXPECT_EQ(stride.DemandLoad(), 6);
 
   stride.SetTickets(JobId(0), 3.5);
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 6.0);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 6.0);
 
   stride.SetRunnable(JobId(1), false);  // non-runnable jobs leave both loads
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 3.5);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 3.5);
   EXPECT_EQ(stride.DemandLoad(), 2);
   stride.SetRunnable(JobId(1), true);
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 6.0);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 6.0);
   EXPECT_EQ(stride.DemandLoad(), 6);
 
   stride.RemoveJob(JobId(0));
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 2.5);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 2.5);
   EXPECT_EQ(stride.DemandLoad(), 4);
   stride.RemoveJob(JobId(1));
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), 0.0);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), 0.0);
   EXPECT_EQ(stride.DemandLoad(), 0);
 
   // Charging mutates passes only — loads must be unaffected (and readable
   // between charges without a recompute).
   stride.AddJob(JobId(2), 3, 1.25);
-  const double before = stride.TicketLoad();
+  const Tickets before = stride.TicketLoad();
   stride.Charge(JobId(2), 1000);
-  EXPECT_DOUBLE_EQ(stride.TicketLoad(), before);
+  EXPECT_DOUBLE_EQ(stride.TicketLoad().raw(), before.raw());
   EXPECT_EQ(stride.DemandLoad(), 3);
 }
 

@@ -13,9 +13,9 @@ TEST(TicketMatrixTest, RegisterFillsAllPools) {
   TicketMatrix matrix;
   matrix.RegisterUser(UserId(0), 2.5);
   for (GpuGeneration gen : cluster::kAllGenerations) {
-    EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), gen), 2.5);
+    EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), gen).raw(), 2.5);
   }
-  EXPECT_DOUBLE_EQ(matrix.base(UserId(0)), 2.5);
+  EXPECT_DOUBLE_EQ(matrix.base(UserId(0)).raw(), 2.5);
   EXPECT_TRUE(matrix.HasUser(UserId(0)));
   EXPECT_FALSE(matrix.HasUser(UserId(1)));
 }
@@ -25,11 +25,11 @@ TEST(TicketMatrixTest, SetAndResetToBase) {
   matrix.RegisterUser(UserId(0), 1.0);
   matrix.Set(UserId(0), GpuGeneration::kV100, 0.0);
   matrix.Set(UserId(0), GpuGeneration::kK80, 5.0);
-  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kV100), 0.0);
-  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80), 5.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kV100).raw(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80).raw(), 5.0);
   matrix.ResetToBase();
-  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kV100), 1.0);
-  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kV100).raw(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80).raw(), 1.0);
 }
 
 TEST(TicketMatrixTest, PoolTotalOverUsers) {
@@ -38,7 +38,7 @@ TEST(TicketMatrixTest, PoolTotalOverUsers) {
   matrix.RegisterUser(UserId(1), 3.0);
   matrix.RegisterUser(UserId(2), 5.0);
   const std::vector<UserId> subset = {UserId(0), UserId(2)};
-  EXPECT_DOUBLE_EQ(matrix.PoolTotal(GpuGeneration::kP100, subset), 6.0);
+  EXPECT_DOUBLE_EQ(matrix.PoolTotal(GpuGeneration::kP100, subset).raw(), 6.0);
 }
 
 TEST(TicketMatrixTest, ReRegisterResetsRow) {
@@ -46,7 +46,7 @@ TEST(TicketMatrixTest, ReRegisterResetsRow) {
   matrix.RegisterUser(UserId(0), 1.0);
   matrix.Set(UserId(0), GpuGeneration::kK80, 7.0);
   matrix.RegisterUser(UserId(0), 2.0);
-  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80), 2.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(UserId(0), GpuGeneration::kK80).raw(), 2.0);
 }
 
 TEST(TicketMatrixDeathTest, UnknownUserAborts) {

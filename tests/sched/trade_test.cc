@@ -26,11 +26,11 @@ TradeInputs TwoUserInputs(double lender_speedup = 1.2, double borrower_speedup =
   inputs.pool_sizes[kK80] = 32;
   inputs.pool_sizes[kV100] = 32;
   inputs.user_speedup = [=](UserId user, GpuGeneration fast, GpuGeneration slow,
-                            double* out) {
+                            Speedup* out) {
     if (fast != GpuGeneration::kV100 || slow != GpuGeneration::kK80) {
       return false;
     }
-    *out = user == UserId(0) ? lender_speedup : borrower_speedup;
+    *out = Speedup::FromRatio(user == UserId(0) ? lender_speedup : borrower_speedup);
     return true;
   };
   return inputs;
@@ -52,7 +52,7 @@ TEST(TradeTest, BaseEntitlementsAreTicketProportional) {
   TradingEngine engine(TradeConfig{});
   TradeInputs inputs = TwoUserInputs();
   inputs.base_tickets[UserId(1)] = 3.0;
-  inputs.user_speedup = [](UserId, GpuGeneration, GpuGeneration, double*) {
+  inputs.user_speedup = [](UserId, GpuGeneration, GpuGeneration, Speedup*) {
     return false;  // no profiles -> no trades, pure base split
   };
   const TradeOutcome outcome = engine.ComputeEpoch(inputs);
@@ -72,8 +72,8 @@ TEST(TradeTest, WinWinTradeHappens) {
   EXPECT_EQ(trade.fast, GpuGeneration::kV100);
   EXPECT_EQ(trade.slow, GpuGeneration::kK80);
   // Paper's rate rule: lambda = borrower speedup, less the friction margin.
-  EXPECT_DOUBLE_EQ(trade.rate, 6.0 * 0.95);
-  EXPECT_DOUBLE_EQ(trade.slow_gpus, trade.fast_gpus * trade.rate);
+  EXPECT_DOUBLE_EQ(trade.rate.raw(), 6.0 * 0.95);
+  EXPECT_DOUBLE_EQ(trade.slow_gpus, trade.fast_gpus * trade.rate.raw());
 }
 
 TEST(TradeTest, NoTradeWhenLenderSpeedupMeetsBorrowers) {
@@ -99,15 +99,15 @@ TEST(TradeTest, NoTradeWhenLenderSpeedupMeetsBorrowers) {
   ASSERT_FALSE(swapped.trades.empty());
   EXPECT_EQ(swapped.trades[0].lender, UserId(1));
   EXPECT_EQ(swapped.trades[0].borrower, UserId(0));
-  EXPECT_GT(swapped.trades[0].rate, 2.0);
-  EXPECT_LE(swapped.trades[0].rate, 3.0);
+  EXPECT_GT(swapped.trades[0].rate.raw(), 2.0);
+  EXPECT_LE(swapped.trades[0].rate.raw(), 3.0);
 
   // Sanity: the same permissive config still trades when there is a genuine
   // surplus, and at a rate strictly between the two speedups.
   const TradeOutcome genuine = engine.ComputeEpoch(TwoUserInputs(1.2, 6.0));
   ASSERT_FALSE(genuine.trades.empty());
-  EXPECT_GT(genuine.trades[0].rate, 1.2);
-  EXPECT_LE(genuine.trades[0].rate, 6.0);
+  EXPECT_GT(genuine.trades[0].rate.raw(), 1.2);
+  EXPECT_LE(genuine.trades[0].rate.raw(), 6.0);
 }
 
 TEST(TradeTest, NoUserWorseOff) {
@@ -188,7 +188,7 @@ TEST(TradeTest, GeometricMeanRateSplitsSurplus) {
   TradingEngine engine(config);
   const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs(1.5, 6.0));
   ASSERT_FALSE(outcome.trades.empty());
-  EXPECT_NEAR(outcome.trades[0].rate, std::sqrt(1.5 * 6.0), 1e-9);
+  EXPECT_NEAR(outcome.trades[0].rate.raw(), std::sqrt(1.5 * 6.0), 1e-9);
   // Both parties strictly gain under the geometric rule.
   const double lender_after = ValueOf(outcome.entitlements.at(UserId(0)), 1.5);
   const double borrower_after = ValueOf(outcome.entitlements.at(UserId(1)), 6.0);
@@ -213,12 +213,12 @@ TEST(TradeTest, ThreeUsersBestPairTradesFirst) {
   inputs.pool_sizes[kK80] = 30;
   inputs.pool_sizes[kV100] = 30;
   inputs.user_speedup = [](UserId user, GpuGeneration fast, GpuGeneration slow,
-                           double* out) {
+                           Speedup* out) {
     if (fast != GpuGeneration::kV100 || slow != GpuGeneration::kK80) {
       return false;
     }
     const double speedups[] = {1.2, 3.0, 6.0};
-    *out = speedups[user.value()];
+    *out = Speedup::FromRatio(speedups[user.value()]);
     return true;
   };
   TradingEngine engine(TradeConfig{});

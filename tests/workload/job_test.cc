@@ -64,7 +64,7 @@ TEST(UserTableTest, CreateAndTotals) {
   const User& bob = table.Create("bob");
   EXPECT_EQ(alice.id, UserId(0));
   EXPECT_EQ(bob.id, UserId(1));
-  EXPECT_DOUBLE_EQ(table.TotalTickets(), 3.0);
+  EXPECT_DOUBLE_EQ(table.TotalTickets().raw(), 3.0);
   EXPECT_EQ(table.Get(alice.id).name, "alice");
 }
 

@@ -46,7 +46,7 @@ TEST(TraceIoTest, ReusesExistingUsers) {
   ASSERT_EQ(parsed.size(), 1u);
   EXPECT_EQ(parsed[0].entry.user, existing);
   EXPECT_EQ(users.size(), 1u);
-  EXPECT_DOUBLE_EQ(users.Get(existing).tickets, 5.0);  // tickets untouched
+  EXPECT_DOUBLE_EQ(users.Get(existing).tickets.raw(), 5.0);  // tickets untouched
 }
 
 TEST(TraceIoTest, SkipsCommentsAndBlankLines) {

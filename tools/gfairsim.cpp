@@ -304,7 +304,7 @@ int main(int argc, char** argv) {
       return Fail("trace: " + error);
     }
     for (const auto& user : scratch.users()) {
-      workload.users.push_back({user.name, user.tickets, user.group});
+      workload.users.push_back({user.name, user.tickets.raw(), user.group});
     }
   } else {
     const double diurnal = args.GetDouble("diurnal", 0.0);
@@ -333,7 +333,7 @@ int main(int argc, char** argv) {
     }
     std::vector<UserId> ids;
     for (const auto& spec : specs) {
-      workload.users.push_back({spec.name, spec.tickets, ""});
+      workload.users.push_back({spec.name, spec.tickets.raw(), ""});
       ids.push_back(UserId(static_cast<uint32_t>(ids.size())));
     }
     workload::TraceGenerator generator(zoo, seed);

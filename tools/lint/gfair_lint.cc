@@ -61,6 +61,11 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 std::string Trim(const std::string& s) {
   size_t b = 0;
   size_t e = s.size();
@@ -286,6 +291,24 @@ const std::vector<Rule>& Rules() {
        "(sched/cluster_state_view.h): read paths must be unable to mutate",
        "plumb non-const access explicitly through the owning type, or change "
        "the API so the writer receives a mutable reference",
+       {}},
+      {"raw-double-in-sched-api", "src/sched/ headers",
+       "sched API traffics a dimensioned quantity (tickets, pass, stride, "
+       "speedup, rate, gpu-time) as a bare double, so the compiler cannot "
+       "catch unit mix-ups at the call site",
+       "type it with the matching strong type from common/units.h (Tickets, "
+       "Pass, Stride, Speedup, PerGpuRate, GpuSeconds); a genuinely "
+       "dimensionless value (a ratio, an ordering key) may keep double with "
+       "'// gfair-lint: allow(raw-double-in-sched-api)' on the declaration",
+       {}},
+      {"unit-unwrap-outside-boundary", "src/sched/",
+       ".raw() unwraps a unit type inside scheduler logic, re-opening the "
+       "door to the unit mix-ups the strong types exist to prevent",
+       "stay in unit types — common/units.h carries every physically "
+       "meaningful operator (incl. MulDiv, FastToSlow/SlowToFast, "
+       "Stride::FromService); at a true logging/serialization/display "
+       "boundary, append '// gfair-lint: allow(unit-unwrap-outside-boundary)' "
+       "with the argument",
        {}},
   };
   return kRules;
@@ -820,6 +843,135 @@ void CheckUnorderedIter(const SourceFile& f, const UnorderedNames& names,
 }
 
 // ---------------------------------------------------------------------------
+// Unit-type rules (common/units.h companions).
+//
+// raw-double-in-sched-api: a `double` declaration in a sched header whose
+// identifier names a dimensioned quantity. Matching is by identifier
+// *segment* — underscores and camelCase humps — so `ticket_load` and
+// `NormTicketLoad` hit on ("ticket","load") while `migrate` does not hit on
+// the embedded "rate".
+//
+// unit-unwrap-outside-boundary: any `.raw()` escape hatch inside src/sched/.
+// ---------------------------------------------------------------------------
+
+// Lowercase segments of an identifier: "NormTicketLoad" / "norm_ticket_load"
+// both yield {"norm", "ticket", "load"}.
+std::vector<std::string> IdentifierSegments(const std::string& ident) {
+  std::vector<std::string> segments;
+  std::string current;
+  for (size_t i = 0; i < ident.size(); ++i) {
+    const char c = ident[i];
+    if (c == '_') {
+      if (!current.empty()) {
+        segments.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    const bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+    if (upper && !current.empty() &&
+        std::islower(static_cast<unsigned char>(current.back())) != 0) {
+      segments.push_back(current);
+      current.clear();
+    }
+    current.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!current.empty()) {
+    segments.push_back(current);
+  }
+  return segments;
+}
+
+// Does the identifier name a quantity that has a strong type in
+// common/units.h? Single segments are deliberately conservative ("tickets"
+// but not "ticket" — TicketMatrix is a type name, not a quantity); pairs
+// catch the compound spellings ("ticket_load", "GpuMs").
+bool NamesDimensionedQuantity(const std::string& ident) {
+  static const std::set<std::string> kSingles = {"pass", "tickets", "speedup",
+                                                 "stride", "rate"};
+  static const std::set<std::pair<std::string, std::string>> kPairs = {
+      {"ticket", "load"}, {"gpu", "ms"}, {"gpu", "seconds"}};
+  const std::vector<std::string> segments = IdentifierSegments(ident);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (kSingles.count(segments[i]) > 0) {
+      return true;
+    }
+    if (i + 1 < segments.size() &&
+        kPairs.count({segments[i], segments[i + 1]}) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckRawDoubleInSchedApi(const SourceFile& f, Emitter* emit) {
+  if (!StartsWith(f.rel, "src/sched/") || !EndsWith(f.rel, ".h")) {
+    return;
+  }
+  const Rule& rule = *FindRule("raw-double-in-sched-api");
+  for (size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    // `double` must *declare* something: the next token is an identifier (or
+    // pointer/reference declarator). `static_cast<double>(x)` and
+    // `PerGeneration<double>` are uses, not declarations.
+    bool declares = false;
+    for (size_t pos : FindWord(line, "double")) {
+      size_t i = pos + 6;
+      while (i < line.size() && IsSpace(line[i])) ++i;
+      if (i < line.size() &&
+          (IsIdentChar(line[i]) || line[i] == '*' || line[i] == '&')) {
+        declares = true;
+      }
+    }
+    if (!declares) {
+      continue;
+    }
+    // Every identifier on the line is a candidate name for the declared
+    // quantity (parameter names, member names, the function itself).
+    bool hit = false;
+    std::string ident;
+    for (size_t i = 0; i <= line.size() && !hit; ++i) {
+      const char c = i < line.size() ? line[i] : ' ';
+      if (IsIdentChar(c)) {
+        ident.push_back(c);
+        continue;
+      }
+      if (!ident.empty() && ident != "double" &&
+          NamesDimensionedQuantity(ident)) {
+        hit = true;
+      }
+      ident.clear();
+    }
+    if (hit) {
+      emit->Emit(rule, f, li);
+    }
+  }
+}
+
+void CheckUnitUnwrapOutsideBoundary(const SourceFile& f, Emitter* emit) {
+  if (!StartsWith(f.rel, "src/sched/")) {
+    return;
+  }
+  const Rule& rule = *FindRule("unit-unwrap-outside-boundary");
+  for (size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& line = f.code[li];
+    size_t pos = line.find(".raw(");
+    while (pos != std::string::npos) {
+      // `.raw(` preceded by an identifier/closing bracket is the unit-type
+      // accessor; anything else (a member named raw on a fresh line) is not
+      // something this tree contains.
+      if (pos > 0 && (IsIdentChar(line[pos - 1]) || line[pos - 1] == ')' ||
+                      line[pos - 1] == ']')) {
+        emit->Emit(rule, f, li);
+        break;
+      }
+      pos = line.find(".raw(", pos + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -833,6 +985,8 @@ void RunAllRules(const SourceFile& f, const UnorderedNames& names,
   CheckLayering(f, emit);
   CheckFloatEq(f, emit);
   CheckUnorderedIter(f, names, emit);
+  CheckRawDoubleInSchedApi(f, emit);
+  CheckUnitUnwrapOutsideBoundary(f, emit);
 }
 
 bool HasLintedExtension(const fs::path& p) {
