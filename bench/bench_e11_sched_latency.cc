@@ -31,7 +31,7 @@
 #include "analysis/harness.h"
 #include "bench/scenarios.h"
 #include "sched/stride.h"
-#include "sched/trade.h"
+#include "sched/policy/greedy_trade_policy.h"
 
 using namespace gfair;
 
@@ -134,9 +134,9 @@ void BM_TradeEpoch(benchmark::State& state) {
     *out = gfair::Speedup::FromRatio(1.0 + (base - 1.0) * span / 3.0);
     return true;
   };
-  sched::TradingEngine engine(sched::TradeConfig{});
+  sched::GreedyTradePolicy engine(sched::TradeConfig{});
   for (auto _ : state) {
-    auto outcome = engine.ComputeEpoch(inputs);
+    auto outcome = engine.Allocate(inputs);
     benchmark::DoNotOptimize(outcome);
   }
 }

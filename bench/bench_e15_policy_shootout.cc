@@ -1,0 +1,220 @@
+// E15 (extension) — allocation-policy shootout behind the IAllocationPolicy
+// seam.
+//
+// The same scheduler, cluster, and workloads, with only the trade-epoch
+// allocation backend swapped: the paper's greedy highest-vs-lowest exchange
+// (default), a Themis-style finish-time-fairness auction, and a Gavel-style
+// ticket-weighted water-filling max-min. Three scenario shapes on the
+// heterogeneous 200-GPU paper-scale cluster:
+//   * e6_mixed    — 8 users, Poisson arrivals, model mixes spanning the
+//                   speedup spectrum (the E6 cluster-fairness workload);
+//   * e9_steady   — the same mixes at 1.6x load: steady oversubscription,
+//                   the E9 trading snapshot as an arrival process;
+//   * e13_diurnal — 24 h day/night cycle (amplitude 0.7), over- and
+//                   under-subscribed regimes in one run.
+// Reported per (scenario, backend): aggregate throughput (useful K80-GPU-h),
+// Jain fairness over achieved/ideal, and finish-time fairness (mean/max rho)
+// — the efficiency-vs-fairness frontier each formulation picks.
+//
+// Flags / env:
+//   --policy=NAME                  run a single backend (registry-validated).
+//   GFAIR_E15_SMOKE=1              one seed per scenario; with
+//   GFAIR_E15_BASELINE=path        gate the default backend's throughput and
+//                                  Jain against the checked-in baseline and
+//                                  exit non-zero beyond
+//   GFAIR_E15_THRESHOLD            (fractional, default 0.25).
+//   GFAIR_E15_WRITE_BASELINE=path  write the baseline instead of gating.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/scenarios.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "sched/policy/allocation_policy.h"
+
+using namespace gfair;
+
+namespace {
+
+struct Scenario {
+  const char* key;
+  std::vector<workload::UserWorkloadSpec> specs;
+  SimTime horizon;
+  SimTime measure_from;
+};
+
+std::vector<Scenario> MakeScenarios() {
+  std::vector<Scenario> scenarios;
+
+  // E6 shape: balanced Poisson load, 12 h.
+  scenarios.push_back({"e6_mixed", bench::ClusterUserSpecs(Hours(12)), Hours(12),
+                       Hours(2)});
+
+  // E9 shape: the same user mixes pushed to steady oversubscription (~1.6x
+  // the fair share), measured after profiling and trade convergence.
+  scenarios.push_back({"e9_steady", bench::ClusterUserSpecs(Hours(12), 1.6),
+                       Hours(12), Hours(6)});
+
+  // E13 shape: diurnal swing on the hetero cluster. Base load near capacity,
+  // amplitude 0.7 -> peak ~1.7x, trough ~0.3x.
+  {
+    std::vector<workload::UserWorkloadSpec> specs =
+        bench::ClusterUserSpecs(Hours(24));
+    for (auto& spec : specs) {
+      spec.mean_interarrival = Minutes(12);
+      spec.mean_duration_k80 = Hours(2.5);
+      spec.diurnal_amplitude = 0.7;
+    }
+    scenarios.push_back({"e13_diurnal", std::move(specs), Hours(24), Hours(2)});
+  }
+  return scenarios;
+}
+
+struct CellResult {
+  double useful_work = 0.0;
+  double jain = 0.0;
+  double mean_rho = 0.0;
+  double max_rho = 0.0;
+  int jobs_finished = 0;
+  size_t trades = 0;
+  int64_t migrations = 0;
+};
+
+CellResult RunCell(const Scenario& scenario, const std::string& backend,
+                   const std::vector<uint64_t>& seeds) {
+  CellResult cell;
+  double max_rho = 0.0;
+  for (const uint64_t seed : seeds) {
+    sched::GandivaFairConfig config;
+    config.allocation_policy = backend;
+    const bench::RunOutcome outcome = bench::RunScenario(
+        analysis::Policy::kGandivaFair, cluster::PaperScaleTopology(),
+        scenario.specs, scenario.horizon, seed, &config, scenario.measure_from);
+    const double n = static_cast<double>(seeds.size());
+    cell.useful_work += outcome.total_useful_work / n;
+    cell.jain += outcome.jain / n;
+    cell.mean_rho += outcome.ftf.mean_rho / n;
+    max_rho = std::max(max_rho, outcome.ftf.max_rho);
+    cell.jobs_finished += outcome.jobs_finished;
+    cell.trades += outcome.trades;
+    cell.migrations += outcome.migrations;
+  }
+  cell.max_rho = max_rho;
+  return cell;
+}
+
+int RunGate(const std::vector<std::pair<std::string, double>>& recorded) {
+  const char* write_path = std::getenv("GFAIR_E15_WRITE_BASELINE");
+  if (write_path != nullptr) {
+    bench::WriteFlatJson(write_path, recorded);
+    std::cout << "E15 baseline written to " << write_path << "\n";
+    return 0;
+  }
+  const char* baseline_path = std::getenv("GFAIR_E15_BASELINE");
+  if (baseline_path == nullptr) {
+    return 0;  // measure-only smoke
+  }
+  const char* threshold_env = std::getenv("GFAIR_E15_THRESHOLD");
+  const double threshold = threshold_env ? std::atof(threshold_env) : 0.25;
+  std::vector<std::pair<std::string, double>> baseline;
+  if (!bench::ReadFlatJson(baseline_path, &baseline)) {
+    std::cerr << "E15 smoke: cannot read baseline " << baseline_path << "\n";
+    return 1;
+  }
+  // Both gated metrics are bigger-is-better: gate the downside only.
+  int violations = 0;
+  for (const auto& [key, old_value] : baseline) {
+    double new_value = -1.0;
+    for (const auto& [new_key, value] : recorded) {
+      if (new_key == key) {
+        new_value = value;
+      }
+    }
+    if (new_value < 0.0) {
+      std::cerr << "E15 REGRESSION CHECK: baseline key " << key
+                << " no longer measured\n";
+      violations += 1;
+    } else if (new_value < old_value * (1.0 - threshold)) {
+      std::cerr << "E15 REGRESSION: " << key << " " << old_value << " -> "
+                << new_value << " (drop >" << threshold * 100.0 << "%)\n";
+      violations += 1;
+    }
+  }
+  if (violations == 0) {
+    std::cout << "E15 smoke: greedy throughput/Jain within " << threshold * 100.0
+              << "% of baseline\n";
+  }
+  return violations > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string only = args.GetString("policy");
+  if (!only.empty()) {
+    std::string error;
+    if (!sched::ValidateAllocationPolicyName(only, &error)) {
+      std::cerr << "bench_e15: " << error << "\n";
+      return 1;
+    }
+  }
+  const auto unconsumed = args.UnconsumedFlags();
+  if (!unconsumed.empty()) {
+    std::cerr << "bench_e15: unknown flag --" << unconsumed.front() << "\n";
+    return 1;
+  }
+
+  const bool smoke = std::getenv("GFAIR_E15_SMOKE") != nullptr ||
+                     std::getenv("GFAIR_E15_WRITE_BASELINE") != nullptr;
+  const std::vector<uint64_t> seeds =
+      smoke ? std::vector<uint64_t>{29} : std::vector<uint64_t>{29, 31, 37};
+
+  std::vector<std::string> backends;
+  if (!only.empty()) {
+    backends.push_back(only);
+  } else {
+    backends = sched::AllocationPolicyRegistry::Instance().Names();
+  }
+
+  // The gate pins the default backend only; alternatives are informational.
+  const std::string gated = sched::GandivaFairConfig{}.allocation_policy;
+  std::vector<std::pair<std::string, double>> recorded;
+  Table table({"scenario", "backend", "useful work (K80-GPU-h)", "Jain",
+               "FTF mean rho", "FTF max rho", "jobs done", "trades", "migrations"});
+  for (const Scenario& scenario : MakeScenarios()) {
+    for (const std::string& backend : backends) {
+      const CellResult cell = RunCell(scenario, backend, seeds);
+      table.BeginRow()
+          .Cell(scenario.key)
+          .Cell(backend)
+          .Cell(cell.useful_work, 0)
+          .Cell(cell.jain, 3)
+          .Cell(cell.mean_rho, 2)
+          .Cell(cell.max_rho, 2)
+          .Cell(static_cast<int64_t>(cell.jobs_finished))
+          .Cell(static_cast<int64_t>(cell.trades))
+          .Cell(cell.migrations);
+      if (backend == gated) {
+        recorded.emplace_back(std::string("useful_work_") + scenario.key,
+                              cell.useful_work);
+        recorded.emplace_back(std::string("jain_") + scenario.key, cell.jain);
+      }
+    }
+  }
+  table.Report(
+      "E15 (extension): allocation-policy shootout on the 200-GPU hetero cluster",
+      "e15_policy_shootout");
+  std::cout << "\nReading the frontier: greedy trades for aggregate throughput\n"
+               "(paper's claim), themis flattens finish-time rho across users,\n"
+               "gavel equalizes value-per-ticket; Jain tracks GPU-time fairness\n"
+               "regardless of which currency the backend optimizes.\n";
+
+  if (smoke && !recorded.empty()) {
+    return RunGate(recorded);
+  }
+  return 0;
+}

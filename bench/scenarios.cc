@@ -51,6 +51,7 @@ RunOutcome RunScenario(analysis::Policy policy, const cluster::Topology& topolog
                                                        exp.cluster(), measure_from,
                                                        horizon);
   outcome.jct = analysis::ComputeJct(exp.jobs());
+  outcome.ftf = analysis::ComputeFinishTimeFairness(exp.jobs(), exp.zoo(), exp.cluster());
   if (auto* gandiva = exp.gandiva()) {
     outcome.migrations = gandiva->migrations_started();
     outcome.trades = gandiva->executed_trades().size();

@@ -30,6 +30,9 @@ struct RunOutcome {
   int64_t migrations = 0;
   size_t trades = 0;
   analysis::JctStats jct;  // over all finished jobs
+  // Themis-style rho (JCT / standalone-fastest) over all finished jobs —
+  // the E15 policy shootout's third axis next to throughput and Jain.
+  analysis::FinishTimeFairness ftf;
 };
 
 // Runs `policy` over the given user specs/trace on `topology` until

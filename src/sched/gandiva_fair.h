@@ -82,6 +82,11 @@ struct GandivaFairConfig {
   bool enable_trading = true;
   SimDuration trade_period = Minutes(10);
   TradeConfig trade;
+  // Allocation backend computing each epoch's entitlements, resolved against
+  // the AllocationPolicyRegistry ("greedy" = the paper's trade loop;
+  // "themis" and "gavel" are the auction-style alternatives). Unknown names
+  // CHECK-fail at scheduler construction with the registered listing.
+  std::string allocation_policy = "greedy";
   // Residency-rebalancing migrations allowed per trade epoch.
   int max_trade_migrations = 32;
 

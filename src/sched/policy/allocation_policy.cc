@@ -1,0 +1,171 @@
+#include "sched/policy/allocation_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/policy/gavel_waterfill_policy.h"
+#include "sched/policy/greedy_trade_policy.h"
+#include "sched/policy/policy_internal.h"
+#include "sched/policy/themis_ftf_policy.h"
+
+namespace gfair::sched {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using cluster::kAllGenerations;
+using cluster::kNumGenerations;
+using policy_internal::kEps;
+using policy_internal::MapGet;
+
+AllocationPolicyRegistry& AllocationPolicyRegistry::Instance() {
+  static AllocationPolicyRegistry registry;
+  return registry;
+}
+
+AllocationPolicyRegistry::AllocationPolicyRegistry() {
+  // Explicit built-in registration: a static-initializer scheme would let
+  // the linker drop unreferenced backend objects from the static library.
+  Register("greedy", [](const TradeConfig& config) -> std::unique_ptr<IAllocationPolicy> {
+    return std::make_unique<GreedyTradePolicy>(config);
+  });
+  Register("themis", [](const TradeConfig& config) -> std::unique_ptr<IAllocationPolicy> {
+    return std::make_unique<ThemisFtfPolicy>(config);
+  });
+  Register("gavel", [](const TradeConfig& config) -> std::unique_ptr<IAllocationPolicy> {
+    return std::make_unique<GavelWaterFillPolicy>(config);
+  });
+}
+
+void AllocationPolicyRegistry::Register(const std::string& name, Factory factory) {
+  GFAIR_CHECK(factory != nullptr);
+  GFAIR_CHECK_MSG(!name.empty(), "allocation policy name must be non-empty");
+  factories_[name] = factory;
+}
+
+bool AllocationPolicyRegistry::Known(const std::string& name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> AllocationPolicyRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {  // std::map: lexicographic
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::unique_ptr<IAllocationPolicy> AllocationPolicyRegistry::Create(
+    const std::string& name, const TradeConfig& config) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second(config);
+}
+
+std::string AllocationPolicyRegistry::UnknownPolicyMessage(const std::string& name) const {
+  std::string message = "unknown allocation policy '" + name + "' (registered: ";
+  bool first = true;
+  for (const auto& registered : Names()) {
+    if (!first) {
+      message += ", ";
+    }
+    message += registered;
+    first = false;
+  }
+  message += ")";
+  return message;
+}
+
+bool ValidateAllocationPolicyName(const std::string& name, std::string* error) {
+  const auto& registry = AllocationPolicyRegistry::Instance();
+  if (registry.Known(name)) {
+    return true;
+  }
+  if (error != nullptr) {
+    *error = registry.UnknownPolicyMessage(name);
+  }
+  return false;
+}
+
+void TicketProportionalEntitlements(const TradeInputs& inputs, TradeOutcome* outcome) {
+  GFAIR_CHECK(outcome != nullptr);
+  Tickets total_tickets = 0.0;
+  for (UserId user : inputs.active_users) {
+    total_tickets += MapGet(inputs.base_tickets, user);
+  }
+  GFAIR_CHECK(total_tickets > 0.0);
+  for (UserId user : inputs.active_users) {
+    const double fraction = MapGet(inputs.base_tickets, user) / total_tickets;
+    cluster::PerGeneration<double> row{};
+    for (GpuGeneration gen : kAllGenerations) {
+      row[GenerationIndex(gen)] = fraction * inputs.pool_sizes[GenerationIndex(gen)];
+    }
+    outcome->entitlements.emplace(user, row);
+  }
+}
+
+void SynthesizeReallocationTrades(const TradeInputs& inputs, const TradeConfig& config,
+                                  TradeOutcome* outcome) {
+  GFAIR_CHECK(outcome != nullptr);
+  if (inputs.active_users.empty()) {
+    return;
+  }
+  TradeOutcome base;
+  TicketProportionalEntitlements(inputs, &base);
+
+  // The "slow" leg of every record: the slowest pool that exists. Auction
+  // backends reallocate rather than barter, so the leg is nominal.
+  size_t slowest = kNumGenerations;
+  for (size_t g = 0; g < kNumGenerations; ++g) {
+    if (inputs.pool_sizes[g] > 0) {
+      slowest = g;
+      break;
+    }
+  }
+  if (slowest == kNumGenerations) {
+    return;  // no capacity anywhere: nothing can have moved
+  }
+
+  for (size_t f = kNumGenerations; f-- > 0;) {
+    if (inputs.pool_sizes[f] <= 0) {
+      continue;
+    }
+    // Net winners and losers of this pool, in active_users order (the
+    // coordinator's deterministic ordering — never hash order).
+    std::vector<std::pair<UserId, double>> gainers;
+    std::vector<std::pair<UserId, double>> losers;
+    for (UserId user : inputs.active_users) {
+      const double delta =
+          outcome->entitlements.at(user)[f] - base.entitlements.at(user)[f];
+      if (delta > kEps) {
+        gainers.emplace_back(user, delta);
+      } else if (delta < -kEps) {
+        losers.emplace_back(user, -delta);
+      }
+    }
+    size_t gi = 0;
+    size_t li = 0;
+    while (gi < gainers.size() && li < losers.size()) {
+      const double volume = std::min(gainers[gi].second, losers[li].second);
+      if (volume >= config.min_trade_gpus) {
+        outcome->trades.push_back(Trade{losers[li].first, gainers[gi].first,
+                                        kAllGenerations[f], kAllGenerations[slowest],
+                                        volume, 0.0, Speedup::Unit(), Speedup::Unit(),
+                                        Speedup::Unit()});
+      }
+      gainers[gi].second -= volume;
+      losers[li].second -= volume;
+      if (gainers[gi].second <= kEps) {
+        ++gi;
+      }
+      if (losers[li].second <= kEps) {
+        ++li;
+      }
+    }
+  }
+}
+
+}  // namespace gfair::sched

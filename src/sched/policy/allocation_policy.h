@@ -1,0 +1,105 @@
+// IAllocationPolicy — the pluggable allocation seam behind resource trading.
+//
+// Every trade epoch the TradeCoordinator snapshots the same typed inputs —
+// per-user tickets, outstanding demand, the per-generation up capacity, and
+// the profiled speedup matrix (TradeInputs) — and asks one backend to produce
+// a TradeOutcome: a per-user, per-generation entitlement allocation plus the
+// Trade records that explain how it differs from the ticket-proportional
+// base. The paper's greedy highest-vs-lowest exchange (GreedyTradePolicy) is
+// one backend; a Themis-style finish-time-fairness auction and a Gavel-style
+// water-filling max-min consume the identical inputs, so alternative
+// formulations compete on the same scenarios without forking the scheduler.
+//
+// Contract every backend must honour (pinned by the conservation property
+// suite and the lint/equivalence gates):
+//   * Allocate is pure: no state carries across epochs, so every
+//     reallocation is implicitly revocable when demand or profiles change.
+//   * entitlements cover exactly the active users in the inputs; rows are
+//     non-negative up to floating-point rounding (a trade that drains a
+//     lender's pool exactly may leave ~1e-16-scale residue).
+//   * Per-generation entitlement totals equal the pool's up capacity
+//     (inputs.pool_sizes): GPUs on down servers are not anyone's to
+//     allocate, and pools with zero up capacity receive zero mass.
+//   * trades is non-empty iff the allocation moved away from the
+//     ticket-proportional base — the coordinator applies entitlements only
+//     when trades exist, keeping no-op epochs identical to a plain
+//     ResetToBase.
+//   * Determinism: outputs are a function of the inputs alone; iteration
+//     follows inputs.active_users order or common::Sorted* helpers, never
+//     hash order.
+#ifndef GFAIR_SCHED_POLICY_ALLOCATION_POLICY_H_
+#define GFAIR_SCHED_POLICY_ALLOCATION_POLICY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+class IAllocationPolicy {
+ public:
+  virtual ~IAllocationPolicy() = default;
+
+  // Registry key and display name of the backend.
+  virtual const char* name() const = 0;
+
+  // Computes one epoch's entitlement allocation from scratch.
+  [[nodiscard]] virtual TradeOutcome Allocate(const TradeInputs& inputs) const = 0;
+};
+
+// String-keyed backend registry. Built-ins (greedy, themis, gavel) are
+// registered explicitly inside Instance() — not via static initializers,
+// which a static library would dead-strip for unreferenced objects.
+class AllocationPolicyRegistry {
+ public:
+  using Factory = std::unique_ptr<IAllocationPolicy> (*)(const TradeConfig&);
+
+  static AllocationPolicyRegistry& Instance();
+
+  // Later registrations under an existing name win (tests may shadow).
+  void Register(const std::string& name, Factory factory);
+  bool Known(const std::string& name) const;
+  std::vector<std::string> Names() const;  // lexicographic
+
+  // nullptr when `name` is not registered.
+  [[nodiscard]] std::unique_ptr<IAllocationPolicy> Create(const std::string& name,
+                                                          const TradeConfig& config) const;
+
+  // "unknown allocation policy 'x' (registered: gavel, greedy, themis)" —
+  // the message surfaced by every flag boundary.
+  std::string UnknownPolicyMessage(const std::string& name) const;
+
+ private:
+  AllocationPolicyRegistry();
+
+  std::map<std::string, Factory> factories_;
+};
+
+// Flag-boundary helper shared by gfairsim and the benches: validates a
+// --policy / --alloc-policy value against the registry. Returns false and
+// fills *error with the registered-backend listing when unknown.
+bool ValidateAllocationPolicyName(const std::string& name, std::string* error);
+
+// --- shared backend arithmetic ---
+
+// Fills outcome->entitlements with the ticket-proportional base: every
+// active user holds tickets/total_tickets of every pool. The common starting
+// point of all backends and the "no reallocation" reference for trade
+// synthesis. Checks that total tickets are positive.
+void TicketProportionalEntitlements(const TradeInputs& inputs, TradeOutcome* outcome);
+
+// Rewrites the net entitlement movement of `outcome` relative to the
+// ticket-proportional base as Trade records (lender = net loser of a pool,
+// borrower = net gainer, matched in active_users order). Auction-style
+// backends reallocate rather than barter, so the records carry a unit rate
+// and no slow-GPU payment; movements below config.min_trade_gpus are
+// suppressed as dust. Leaves trades empty when the allocation equals base.
+void SynthesizeReallocationTrades(const TradeInputs& inputs, const TradeConfig& config,
+                                  TradeOutcome* outcome);
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_POLICY_ALLOCATION_POLICY_H_

@@ -1,0 +1,54 @@
+#include "sched/policy/gavel_waterfill_policy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/policy/policy_internal.h"
+#include "sched/policy/water_fill.h"
+
+namespace gfair::sched {
+
+using policy_internal::kEps;
+using policy_internal::MapGet;
+
+TradeOutcome GavelWaterFillPolicy::Allocate(const TradeInputs& inputs) const {
+  TradeOutcome outcome;
+  if (inputs.active_users.empty()) {
+    return outcome;
+  }
+  GFAIR_CHECK(inputs.user_speedup != nullptr);
+  TicketProportionalEntitlements(inputs, &outcome);
+
+  const ValueMatrix matrix = ComputeValueMatrix(inputs);
+  if (!matrix.has_pool || !matrix.any_profile) {
+    // No capacity or no speedup information: stay at the base split (no
+    // trades -> the coordinator keeps plain proportional tickets).
+    return outcome;
+  }
+
+  // Weighted max-min: normalize delivered value by the user's ticket
+  // fraction. Zero-ticket users are clamped to an epsilon weight, which
+  // makes their normalized service effectively infinite — never topped up
+  // ahead of funded users.
+  const size_t n = inputs.active_users.size();
+  Tickets total_tickets = 0.0;
+  for (UserId user : inputs.active_users) {
+    total_tickets += MapGet(inputs.base_tickets, user);
+  }
+  GFAIR_CHECK(total_tickets > 0.0);
+  std::vector<double> weight(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    weight[i] = std::max(
+        MapGet(inputs.base_tickets, inputs.active_users[i]) / total_tickets, kEps);
+  }
+
+  const auto alloc = DiscreteMaxMinFill(inputs, matrix, weight);
+  for (size_t i = 0; i < n; ++i) {
+    outcome.entitlements.at(inputs.active_users[i]) = alloc[i];
+  }
+  SynthesizeReallocationTrades(inputs, config_, &outcome);
+  return outcome;
+}
+
+}  // namespace gfair::sched

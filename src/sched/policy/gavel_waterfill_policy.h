@@ -1,0 +1,38 @@
+// GavelWaterFillPolicy — heterogeneity-aware weighted max-min (Gavel,
+// arxiv 2008.09213).
+//
+// Gavel expresses fairness policies as optimization problems over the
+// effective-throughput matrix: max-min over each user's delivered
+// throughput normalized by its weight. Translated to this codebase's epoch
+// snapshot, a user's service is the value of its allocated entitlement
+// (GPUs weighted by the user's profiled speedups, in slowest-pool
+// equivalents) and the weight is its ticket fraction; the discrete
+// water-fill repeatedly tops up the user with the lowest service-per-ticket.
+//
+// Difference from ThemisFtfPolicy in one line: Gavel normalizes by ticket
+// WEIGHT, Themis by the ticket-proportional base's VALUE — so Themis folds a
+// user's own speedup profile into its fairness target while Gavel equalizes
+// value-per-ticket across heterogeneous users directly.
+#ifndef GFAIR_SCHED_POLICY_GAVEL_WATERFILL_POLICY_H_
+#define GFAIR_SCHED_POLICY_GAVEL_WATERFILL_POLICY_H_
+
+#include "sched/policy/allocation_policy.h"
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+class GavelWaterFillPolicy : public IAllocationPolicy {
+ public:
+  explicit GavelWaterFillPolicy(TradeConfig config) : config_(config) {}
+
+  const char* name() const override { return "gavel"; }
+
+  [[nodiscard]] TradeOutcome Allocate(const TradeInputs& inputs) const override;
+
+ private:
+  TradeConfig config_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_POLICY_GAVEL_WATERFILL_POLICY_H_

@@ -1,10 +1,11 @@
-#include "sched/trade.h"
+#include "sched/policy/greedy_trade_policy.h"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "sched/policy/policy_internal.h"
 
 namespace gfair::sched {
 
@@ -12,19 +13,10 @@ using cluster::GenerationIndex;
 using cluster::GpuGeneration;
 using cluster::kAllGenerations;
 using cluster::kNumGenerations;
+using policy_internal::kEps;
+using policy_internal::MapGet;
 
-namespace {
-constexpr double kEps = 1e-9;
-
-template <typename T>
-T MapGet(const std::unordered_map<UserId, T>& map, UserId user) {
-  auto it = map.find(user);
-  GFAIR_CHECK_MSG(it != map.end(), "missing per-user input");
-  return it->second;
-}
-}  // namespace
-
-Speedup TradingEngine::RateFor(Speedup lender_speedup, Speedup borrower_speedup) const {
+Speedup GreedyTradePolicy::RateFor(Speedup lender_speedup, Speedup borrower_speedup) const {
   switch (config_.rate_rule) {
     case TradeConfig::RateRule::kBorrowerSpeedup: {
       // Never discount below the lender's own speedup (both sides must gain).
@@ -37,7 +29,7 @@ Speedup TradingEngine::RateFor(Speedup lender_speedup, Speedup borrower_speedup)
   return borrower_speedup;
 }
 
-TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
+TradeOutcome GreedyTradePolicy::Allocate(const TradeInputs& inputs) const {
   TradeOutcome outcome;
   const auto& users = inputs.active_users;
   if (users.empty()) {
@@ -46,19 +38,7 @@ TradeOutcome TradingEngine::ComputeEpoch(const TradeInputs& inputs) const {
   GFAIR_CHECK(inputs.user_speedup != nullptr);
 
   // 1. Base entitlements: ticket-proportional slice of every pool.
-  Tickets total_tickets = 0.0;
-  for (UserId user : users) {
-    total_tickets += MapGet(inputs.base_tickets, user);
-  }
-  GFAIR_CHECK(total_tickets > 0.0);
-  for (UserId user : users) {
-    const double fraction = MapGet(inputs.base_tickets, user) / total_tickets;
-    cluster::PerGeneration<double> row{};
-    for (GpuGeneration gen : kAllGenerations) {
-      row[GenerationIndex(gen)] = fraction * inputs.pool_sizes[GenerationIndex(gen)];
-    }
-    outcome.entitlements.emplace(user, row);
-  }
+  TicketProportionalEntitlements(inputs, &outcome);
 
   auto entitlement_sum = [&](UserId user) {
     double total = 0.0;

@@ -1,0 +1,47 @@
+// GreedyTradePolicy — the paper's highest-vs-lowest entitlement exchange.
+//
+// Each epoch the backend recomputes, from scratch, how users' fair-share
+// entitlements should be reshaped so that fast GPUs flow to the jobs that
+// benefit most from them — without any user ending up worse off:
+//
+//   * Every active user starts with a ticket-proportional entitlement to
+//     EVERY generation pool.
+//   * For each (fast, slow) pool pair, the user with the LOWEST profiled
+//     speedup that can still use more GPUs lends fast-GPU entitlement to the
+//     user with the HIGHEST speedup, receiving λ slow GPUs per fast GPU.
+//   * With the paper's rate rule λ = (borrower's speedup), the borrower is
+//     exactly compensated (1 fast GPU does the work of λ slow ones for its
+//     jobs) and the lender strictly gains (λ exceeds the lender's own
+//     speedup, so λ slow GPUs beat 1 fast GPU for its jobs). A geometric-mean
+//     rule that splits the surplus between both parties is available for the
+//     ablation study (E12).
+//
+// This is the default backend; the decision-log equivalence suite pins its
+// output bit-exactly against the frozen legacy oracle.
+#ifndef GFAIR_SCHED_POLICY_GREEDY_TRADE_POLICY_H_
+#define GFAIR_SCHED_POLICY_GREEDY_TRADE_POLICY_H_
+
+#include "sched/policy/allocation_policy.h"
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+class GreedyTradePolicy : public IAllocationPolicy {
+ public:
+  explicit GreedyTradePolicy(TradeConfig config) : config_(config) {}
+
+  const char* name() const override { return "greedy"; }
+
+  [[nodiscard]] TradeOutcome Allocate(const TradeInputs& inputs) const override;
+
+  const TradeConfig& config() const { return config_; }
+
+ private:
+  Speedup RateFor(Speedup lender_speedup, Speedup borrower_speedup) const;
+
+  TradeConfig config_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_POLICY_GREEDY_TRADE_POLICY_H_

@@ -1,0 +1,24 @@
+// Shared internals of the allocation-policy backends. Not part of the
+// policy API — include only from src/sched/policy/*.cc and tests.
+#ifndef GFAIR_SCHED_POLICY_POLICY_INTERNAL_H_
+#define GFAIR_SCHED_POLICY_POLICY_INTERNAL_H_
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace gfair::sched::policy_internal {
+
+inline constexpr double kEps = 1e-9;
+
+template <typename T>
+T MapGet(const std::unordered_map<UserId, T>& map, UserId user) {
+  auto it = map.find(user);
+  GFAIR_CHECK_MSG(it != map.end(), "missing per-user input");
+  return it->second;
+}
+
+}  // namespace gfair::sched::policy_internal
+
+#endif  // GFAIR_SCHED_POLICY_POLICY_INTERNAL_H_

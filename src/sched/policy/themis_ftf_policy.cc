@@ -1,0 +1,53 @@
+#include "sched/policy/themis_ftf_policy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "sched/policy/policy_internal.h"
+#include "sched/policy/water_fill.h"
+
+namespace gfair::sched {
+
+using cluster::kNumGenerations;
+using policy_internal::kEps;
+
+TradeOutcome ThemisFtfPolicy::Allocate(const TradeInputs& inputs) const {
+  TradeOutcome outcome;
+  if (inputs.active_users.empty()) {
+    return outcome;
+  }
+  GFAIR_CHECK(inputs.user_speedup != nullptr);
+  TicketProportionalEntitlements(inputs, &outcome);
+
+  const ValueMatrix matrix = ComputeValueMatrix(inputs);
+  if (!matrix.has_pool || !matrix.any_profile) {
+    // No capacity or no speedup information: stay at the base split (no
+    // trades -> the coordinator keeps plain proportional tickets).
+    return outcome;
+  }
+
+  // rho denominator: the value of the user's own ticket-proportional slice —
+  // what a dedicated proportional share would deliver this epoch.
+  const size_t n = inputs.active_users.size();
+  std::vector<double> ideal(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& base = outcome.entitlements.at(inputs.active_users[i]);
+    for (size_t g = 0; g < kNumGenerations; ++g) {
+      ideal[i] += FastToSlow(base[g], matrix.value[i][g]);
+    }
+    // Zero-ticket users have a zero ideal; clamping keeps their rho finite
+    // (and effectively infinite relative to funded users, so the auction
+    // never prefers them).
+    ideal[i] = std::max(ideal[i], kEps);
+  }
+
+  const auto alloc = DiscreteMaxMinFill(inputs, matrix, ideal);
+  for (size_t i = 0; i < n; ++i) {
+    outcome.entitlements.at(inputs.active_users[i]) = alloc[i];
+  }
+  SynthesizeReallocationTrades(inputs, config_, &outcome);
+  return outcome;
+}
+
+}  // namespace gfair::sched

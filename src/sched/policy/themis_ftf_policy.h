@@ -1,0 +1,39 @@
+// ThemisFtfPolicy — finish-time-fairness auction (Themis, arxiv 1907.01484).
+//
+// Themis allocates so as to equalize each user's finish-time fairness
+// rho = T_shared / T_ideal: the service a user receives relative to what its
+// own dedicated proportional share would deliver. Translated to this
+// codebase's epoch snapshot, a user's ideal is the VALUE of its
+// ticket-proportional base entitlement (entitlement GPUs weighted by the
+// user's profiled speedups), and the auction water-fills capacity toward the
+// user whose delivered-value/ideal ratio is currently worst — a discrete
+// lexicographic max-min over rho.
+//
+// High-speedup users have a proportionally larger ideal (their base V100
+// slice is worth more to them), so equalizing rho sends fast GPUs where the
+// speedup matrix says they matter while anchoring every user to its
+// fair-share baseline — the same guarantee the greedy exchange provides via
+// explicit barter, reached through a global optimization instead.
+#ifndef GFAIR_SCHED_POLICY_THEMIS_FTF_POLICY_H_
+#define GFAIR_SCHED_POLICY_THEMIS_FTF_POLICY_H_
+
+#include "sched/policy/allocation_policy.h"
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+class ThemisFtfPolicy : public IAllocationPolicy {
+ public:
+  explicit ThemisFtfPolicy(TradeConfig config) : config_(config) {}
+
+  const char* name() const override { return "themis"; }
+
+  [[nodiscard]] TradeOutcome Allocate(const TradeInputs& inputs) const override;
+
+ private:
+  TradeConfig config_;
+};
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_POLICY_THEMIS_FTF_POLICY_H_

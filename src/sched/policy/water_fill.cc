@@ -1,0 +1,144 @@
+#include "sched/policy/water_fill.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "sched/policy/policy_internal.h"
+
+namespace gfair::sched {
+
+using cluster::kAllGenerations;
+using cluster::kNumGenerations;
+using policy_internal::kEps;
+using policy_internal::MapGet;
+
+ValueMatrix ComputeValueMatrix(const TradeInputs& inputs) {
+  ValueMatrix matrix;
+  const size_t n = inputs.active_users.size();
+  matrix.value.assign(n, {});
+  for (auto& row : matrix.value) {
+    row.fill(Speedup::Unit());
+  }
+
+  size_t slowest = kNumGenerations;
+  for (size_t g = 0; g < kNumGenerations; ++g) {
+    if (inputs.pool_sizes[g] > 0) {
+      slowest = g;
+      break;
+    }
+  }
+  if (slowest == kNumGenerations) {
+    return matrix;  // no capacity anywhere
+  }
+  matrix.has_pool = true;
+  matrix.slowest = slowest;
+
+  GFAIR_CHECK(inputs.user_speedup != nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t g = slowest + 1; g < kNumGenerations; ++g) {
+      if (inputs.pool_sizes[g] <= 0) {
+        continue;
+      }
+      Speedup speedup;
+      if (inputs.user_speedup(inputs.active_users[i], kAllGenerations[g],
+                              kAllGenerations[slowest], &speedup)) {
+        // A "fast" pool profiled below 1x stays at Unit: the matrix feeds a
+        // max-min, and pricing a pool below the numeraire would make the
+        // fill actively avoid otherwise-usable capacity.
+        matrix.value[i][g] = std::max(speedup, Speedup::Unit());
+        matrix.any_profile = true;
+      }
+    }
+  }
+  return matrix;
+}
+
+std::vector<cluster::PerGeneration<double>> DiscreteMaxMinFill(
+    const TradeInputs& inputs, const ValueMatrix& matrix,
+    const std::vector<double>& denominators) {
+  const size_t n = inputs.active_users.size();
+  GFAIR_CHECK(denominators.size() == n);
+  std::vector<cluster::PerGeneration<double>> alloc(n);
+  for (auto& row : alloc) {
+    row.fill(0.0);
+  }
+  if (!matrix.has_pool) {
+    return alloc;
+  }
+
+  cluster::PerGeneration<double> remaining{};
+  for (size_t g = 0; g < kNumGenerations; ++g) {
+    remaining[g] = double(inputs.pool_sizes[g]);
+  }
+  std::vector<double> granted(n, 0.0);  // GPUs held, across all pools
+  std::vector<double> service(n, 0.0);  // value delivered, slowest-equivalents
+  std::vector<double> demand(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    GFAIR_CHECK(denominators[i] > 0.0);
+    demand[i] = MapGet(inputs.total_demand_gpus, inputs.active_users[i]);
+  }
+
+  while (true) {
+    // Worst-off eligible user; strict < breaks ties to the earlier index.
+    size_t user = n;
+    double user_key = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (granted[i] >= demand[i] - kEps) {
+        continue;
+      }
+      const double key = service[i] / denominators[i];
+      if (key < user_key) {
+        user = i;
+        user_key = key;
+      }
+    }
+    if (user == n) {
+      break;  // all demand met
+    }
+    // Its most valuable remaining pool; the slowest-first scan with strict >
+    // leaves fast GPUs for users that actually value them when the user is
+    // indifferent (equal value, e.g. unprofiled).
+    size_t gen = kNumGenerations;
+    for (size_t g = 0; g < kNumGenerations; ++g) {
+      if (remaining[g] <= kEps) {
+        continue;
+      }
+      if (gen == kNumGenerations || matrix.value[user][g] > matrix.value[user][gen]) {
+        gen = g;
+      }
+    }
+    if (gen == kNumGenerations) {
+      break;  // capacity exhausted
+    }
+    const double grant = std::min({1.0, demand[user] - granted[user], remaining[gen]});
+    if (grant <= kEps) {
+      break;
+    }
+    alloc[user][gen] += grant;
+    granted[user] += grant;
+    remaining[gen] -= grant;
+    service[user] += FastToSlow(grant, matrix.value[user][gen]);
+  }
+
+  // Leftover capacity (total demand below the pool): ticket-proportional,
+  // so per-generation totals land exactly on pool_sizes.
+  Tickets total_tickets = 0.0;
+  for (UserId id : inputs.active_users) {
+    total_tickets += MapGet(inputs.base_tickets, id);
+  }
+  GFAIR_CHECK(total_tickets > 0.0);
+  for (size_t g = 0; g < kNumGenerations; ++g) {
+    if (remaining[g] <= 0.0) {
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double fraction =
+          MapGet(inputs.base_tickets, inputs.active_users[i]) / total_tickets;
+      alloc[i][g] += fraction * remaining[g];
+    }
+  }
+  return alloc;
+}
+
+}  // namespace gfair::sched

@@ -1,0 +1,47 @@
+// Discrete water-filling machinery shared by the auction-style allocation
+// backends (ThemisFtfPolicy, GavelWaterFillPolicy). Both are max-min
+// programs over the same speedup matrix; they differ only in how a user's
+// delivered service is normalized (finish-time fairness vs ticket weight),
+// so the value matrix and the filling loop live here.
+#ifndef GFAIR_SCHED_POLICY_WATER_FILL_H_
+#define GFAIR_SCHED_POLICY_WATER_FILL_H_
+
+#include <vector>
+
+#include "sched/trade.h"
+
+namespace gfair::sched {
+
+// Worth of one GPU of each generation to each active user, in slowest-pool
+// GPU equivalents, derived from TradeInputs::user_speedup against the
+// slowest non-empty pool. Unprofiled (user, generation) pairs fall back to
+// Unit — no information means no claimed benefit, mirroring the greedy
+// backend's "no profile, no trade" stance.
+struct ValueMatrix {
+  bool has_pool = false;     // some generation has up capacity
+  bool any_profile = false;  // at least one usable cross-pool profile
+  size_t slowest = 0;        // index of the slowest non-empty pool
+  std::vector<cluster::PerGeneration<Speedup>> value;  // by active_users index
+};
+
+ValueMatrix ComputeValueMatrix(const TradeInputs& inputs);
+
+// Max-min water-filling over the value matrix: repeatedly grant one GPU (or
+// the remaining fraction) of the recipient's most valuable remaining
+// generation to the eligible user with the lowest normalized service
+// service(u) / denominators[u]. Eligibility = outstanding demand; ties break
+// to the earlier active_users index, and on equal per-GPU value the slower
+// generation is granted first (an indifferent user should not soak up fast
+// GPUs). Capacity left over once all demand is met is
+// spread ticket-proportionally, so per-generation totals equal
+// inputs.pool_sizes exactly (the conservation contract).
+//
+// denominators must be positive (callers clamp to an epsilon) and indexed
+// like inputs.active_users.
+std::vector<cluster::PerGeneration<double>> DiscreteMaxMinFill(
+    const TradeInputs& inputs, const ValueMatrix& matrix,
+    const std::vector<double>& denominators);
+
+}  // namespace gfair::sched
+
+#endif  // GFAIR_SCHED_POLICY_WATER_FILL_H_

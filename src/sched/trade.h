@@ -1,23 +1,14 @@
-// TradingEngine — automatic resource trading across GPU generations.
+// The trading layer's data contract: the typed epoch snapshot every
+// allocation backend consumes (TradeInputs), the entitlement allocation it
+// produces (TradeOutcome), and the knobs shared across backends
+// (TradeConfig).
 //
-// Each epoch the engine recomputes, from scratch, how users' fair-share
-// entitlements should be reshaped so that fast GPUs flow to the jobs that
-// benefit most from them — without any user ending up worse off:
-//
-//   * Every active user starts with a ticket-proportional entitlement to
-//     EVERY generation pool.
-//   * For each (fast, slow) pool pair, the user with the LOWEST profiled
-//     speedup that can still use more GPUs lends fast-GPU entitlement to the
-//     user with the HIGHEST speedup, receiving λ slow GPUs per fast GPU.
-//   * With the paper's rate rule λ = (borrower's speedup), the borrower is
-//     exactly compensated (1 fast GPU does the work of λ slow ones for its
-//     jobs) and the lender strictly gains (λ exceeds the lender's own
-//     speedup, so λ slow GPUs beat 1 fast GPU for its jobs). A geometric-mean
-//     rule that splits the surplus between both parties is available for the
-//     ablation study (E12).
-//
-// Trades are pure entitlement arithmetic; recomputing from base entitlements
-// every epoch makes every trade implicitly revocable when demand or profiles
+// The algorithms themselves live behind the IAllocationPolicy seam in
+// sched/policy/ — the paper's greedy highest-vs-lowest exchange
+// (GreedyTradePolicy, the default), a Themis-style finish-time-fairness
+// auction, and a Gavel-style water-filling max-min. All of them are pure
+// entitlement arithmetic; recomputing from base entitlements every epoch
+// makes every reallocation implicitly revocable when demand or profiles
 // change (a user's guaranteed share is never mortgaged beyond one epoch).
 #ifndef GFAIR_SCHED_TRADE_H_
 #define GFAIR_SCHED_TRADE_H_
@@ -85,22 +76,10 @@ struct TradeInputs {
 
 struct TradeOutcome {
   std::vector<Trade> trades;
-  // Post-trade entitlement, in GPUs, per active user and pool.
+  // Post-trade entitlement, in GPUs, per active user and pool. Unordered:
+  // decision-affecting consumers must walk it via common::SortedItems (the
+  // unordered-iter lint rule pins this).
   std::unordered_map<UserId, cluster::PerGeneration<double>> entitlements;
-};
-
-class TradingEngine {
- public:
-  explicit TradingEngine(TradeConfig config) : config_(config) {}
-
-  [[nodiscard]] TradeOutcome ComputeEpoch(const TradeInputs& inputs) const;
-
-  const TradeConfig& config() const { return config_; }
-
- private:
-  Speedup RateFor(Speedup lender_speedup, Speedup borrower_speedup) const;
-
-  TradeConfig config_;
 };
 
 }  // namespace gfair::sched

@@ -29,7 +29,12 @@ TradeCoordinator::TradeCoordinator(const SchedulerEnv& env,
       ticket_matrix_(tickets),
       decisions_(decisions),
       host_(host),
-      trading_(config.trade) {
+      policy_(AllocationPolicyRegistry::Instance().Create(config.allocation_policy,
+                                                          config.trade)) {
+  GFAIR_CHECK_MSG(policy_ != nullptr,
+                  AllocationPolicyRegistry::Instance()
+                      .UnknownPolicyMessage(config.allocation_policy)
+                      .c_str());
   profiles_ = ProfileStore(config_.profile_min_samples);
 }
 
@@ -153,7 +158,7 @@ void TradeCoordinator::TradeEpoch() {
     return UserSpeedup(user, fast, slow, out);
   };
 
-  const TradeOutcome outcome = trading_.ComputeEpoch(inputs);
+  const TradeOutcome outcome = policy_->Allocate(inputs);
 
   ticket_matrix_.ResetToBase();
   if (!outcome.trades.empty()) {

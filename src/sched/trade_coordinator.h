@@ -1,21 +1,24 @@
 // TradeCoordinator — profiling, probe migrations and the trading epoch.
 //
 // Owns the ProfileStore (fed transparently from running jobs every quantum),
-// the TradingEngine, and the executed-trade history. Every trade period it
-// covers missing profiles with bounded probe migrations, recomputes the
-// epoch's trades from demand-weighted user speedups, reshapes the ticket
-// matrix to the traded entitlements, and rebalances residency so jobs follow
-// their user's entitlements. Server loads come from the ClusterStateIndex,
+// the configured IAllocationPolicy backend, and the executed-trade history.
+// Every trade period it covers missing profiles with bounded probe
+// migrations, asks the backend for the epoch's entitlement allocation (built
+// from demand-weighted user speedups), reshapes the ticket matrix to the
+// allocated entitlements, and rebalances residency so jobs follow their
+// user's entitlements. Server loads come from the ClusterStateIndex,
 // residency and demand from the ResidencyIndex; migrations and the ticket
 // refresh go through the host.
 #ifndef GFAIR_SCHED_TRADE_COORDINATOR_H_
 #define GFAIR_SCHED_TRADE_COORDINATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sched/cluster_state_index.h"
 #include "sched/decision_log.h"
+#include "sched/policy/allocation_policy.h"
 #include "sched/profiler.h"
 #include "sched/residency_index.h"
 #include "sched/scheduler_host.h"
@@ -50,6 +53,7 @@ class TradeCoordinator {
   ProfileStore& mutable_profiles() { return profiles_; }
   const std::vector<Trade>& executed_trades() const { return executed_trades_; }
   int64_t probes_started() const { return probes_started_; }
+  const IAllocationPolicy& policy() const { return *policy_; }
 
  private:
   // Demand-weighted mean speedup of the user's profiled resident jobs.
@@ -69,7 +73,9 @@ class TradeCoordinator {
   ISchedulerHost& host_;
 
   ProfileStore profiles_;
-  TradingEngine trading_;
+  // Resolved from GandivaFairConfig::allocation_policy via the registry at
+  // construction (unknown names CHECK-fail with the registered listing).
+  std::unique_ptr<IAllocationPolicy> policy_;
   std::vector<Trade> executed_trades_;
   int64_t probes_started_ = 0;
 };

@@ -1,0 +1,26 @@
+// gfair-lint-fixture: src/sched/entitlement_apply.cc
+// Seeded violation for the TradeOutcome::entitlements contract: the map is
+// unordered, so decision-affecting consumers (the coordinator's apply loop,
+// residency rebalancing, the legacy oracle) must walk it via
+// common::SortedItems, never bare range-for.
+#include <array>
+#include <unordered_map>
+
+struct Outcome {
+  // Mirrors TradeOutcome::entitlements: user -> per-generation GPU shares.
+  std::unordered_map<int, std::array<double, 4>> entitlements;
+};
+
+double ApplyEntitlements(const Outcome& outcome) {
+  double applied = 0.0;
+  // Bare iteration: apply order follows hash order, so ticket refreshes and
+  // migration choices would diverge across platforms.
+  for (const auto& [user, row] : outcome.entitlements) {  // EXPECT-LINT: unordered-iter
+    applied += row[0];
+  }
+  // The sanctioned route: SortedItems pins user order before any decision.
+  for (const auto& [user, row] : gfair::common::SortedItems(outcome.entitlements)) {
+    applied += row[1];
+  }
+  return applied;
+}

@@ -1,5 +1,5 @@
 // Randomized-operation fuzz suites with invariant checking:
-//  * TradingEngine over random user populations — conservation, no negative
+//  * GreedyTradePolicy over random user populations — conservation, no negative
 //    entitlements, no user worse off, rate bounds;
 //  * LocalStrideScheduler under random add/remove/retarget churn — selection
 //    feasibility, pass monotonicity, load accounting;
@@ -16,7 +16,7 @@
 #include "common/rng.h"
 #include "exec/executor.h"
 #include "sched/stride.h"
-#include "sched/trade.h"
+#include "sched/policy/greedy_trade_policy.h"
 #include "simkit/simulator.h"
 #include "workload/model_zoo.h"
 
@@ -24,7 +24,7 @@ namespace gfair {
 namespace {
 
 // ---------------------------------------------------------------------------
-// TradingEngine fuzz.
+// GreedyTradePolicy fuzz.
 // ---------------------------------------------------------------------------
 
 class TradeFuzz : public ::testing::TestWithParam<uint64_t> {};
@@ -60,8 +60,8 @@ TEST_P(TradeFuzz, InvariantsHoldForRandomPopulations) {
     sched::TradeConfig config;
     config.rate_rule = rng.Bernoulli(0.5) ? sched::TradeConfig::RateRule::kBorrowerSpeedup
                                           : sched::TradeConfig::RateRule::kGeometricMean;
-    sched::TradingEngine engine(config);
-    const auto outcome = engine.ComputeEpoch(inputs);
+    sched::GreedyTradePolicy engine(config);
+    const auto outcome = engine.Allocate(inputs);
 
     // Pool conservation and non-negativity.
     for (size_t g = 0; g < cluster::kNumGenerations; ++g) {

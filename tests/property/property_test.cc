@@ -12,7 +12,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "sched/stride.h"
-#include "sched/trade.h"
+#include "sched/policy/greedy_trade_policy.h"
 
 namespace gfair {
 namespace {
@@ -101,8 +101,8 @@ TEST_P(TradeInvariants, NoUserWorseOffAndPoolsConserved) {
 
   sched::TradeConfig config;
   config.rate_rule = param.rule;
-  sched::TradingEngine engine(config);
-  const auto outcome = engine.ComputeEpoch(inputs);
+  sched::GreedyTradePolicy engine(config);
+  const auto outcome = engine.Allocate(inputs);
 
   // Pools conserved, no negative entitlements.
   for (size_t g : {kK80, kV100}) {

@@ -1,0 +1,317 @@
+// The allocation-policy seam: registry behavior, the --policy flag
+// boundary, and the two auction-style backends (Themis finish-time-fairness,
+// Gavel weighted max-min) against the contract every backend must honour.
+#include "sched/policy/allocation_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "sched/gandiva_fair.h"
+#include "sched/policy/gavel_waterfill_policy.h"
+#include "sched/policy/greedy_trade_policy.h"
+#include "sched/policy/themis_ftf_policy.h"
+
+namespace gfair::sched {
+namespace {
+
+using cluster::GenerationIndex;
+using cluster::GpuGeneration;
+using cluster::kNumGenerations;
+
+constexpr size_t kK80 = static_cast<size_t>(GpuGeneration::kK80);
+constexpr size_t kV100 = static_cast<size_t>(GpuGeneration::kV100);
+
+// Two-user fixture shared with trade_test.cc: a low-speedup user (1.2x) and
+// a high-speedup user (6x) sharing 32 K80 + 32 V100, both oversubscribed.
+TradeInputs TwoUserInputs(double low_speedup = 1.2, double high_speedup = 6.0,
+                          double low_demand = 64.0, double high_demand = 64.0) {
+  TradeInputs inputs;
+  inputs.active_users = {UserId(0), UserId(1)};
+  inputs.base_tickets[UserId(0)] = 1.0;
+  inputs.base_tickets[UserId(1)] = 1.0;
+  inputs.total_demand_gpus[UserId(0)] = low_demand;
+  inputs.total_demand_gpus[UserId(1)] = high_demand;
+  inputs.pool_sizes[kK80] = 32;
+  inputs.pool_sizes[kV100] = 32;
+  inputs.user_speedup = [=](UserId user, GpuGeneration fast, GpuGeneration slow,
+                            Speedup* out) {
+    if (fast != GpuGeneration::kV100 || slow != GpuGeneration::kK80) {
+      return false;
+    }
+    *out = Speedup::FromRatio(user == UserId(0) ? low_speedup : high_speedup);
+    return true;
+  };
+  return inputs;
+}
+
+double PoolTotal(const TradeOutcome& outcome, size_t gen) {
+  double total = 0.0;
+  for (const auto& [user, ent] : outcome.entitlements) {
+    total += ent[gen];
+  }
+  return total;
+}
+
+// --- registry ---
+
+TEST(AllocationPolicyRegistryTest, BuiltinsRegistered) {
+  auto& registry = AllocationPolicyRegistry::Instance();
+  EXPECT_TRUE(registry.Known("greedy"));
+  EXPECT_TRUE(registry.Known("themis"));
+  EXPECT_TRUE(registry.Known("gavel"));
+  EXPECT_FALSE(registry.Known("drf"));
+  const auto names = registry.Names();
+  EXPECT_EQ(names, (std::vector<std::string>{"gavel", "greedy", "themis"}));
+}
+
+TEST(AllocationPolicyRegistryTest, CreateResolvesEachBuiltinToItsName) {
+  auto& registry = AllocationPolicyRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    const auto policy = registry.Create(name, TradeConfig{});
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_EQ(registry.Create("drf", TradeConfig{}), nullptr);
+}
+
+TEST(AllocationPolicyRegistryTest, UnknownMessageListsRegisteredBackends) {
+  const std::string message =
+      AllocationPolicyRegistry::Instance().UnknownPolicyMessage("drf");
+  EXPECT_NE(message.find("'drf'"), std::string::npos);
+  EXPECT_NE(message.find("gavel, greedy, themis"), std::string::npos);
+}
+
+TEST(AllocationPolicyRegistryTest, ConfigDefaultIsGreedy) {
+  // The --policy default must name a registered backend, or every scheduler
+  // construction would CHECK-fail out of the box.
+  GandivaFairConfig config;
+  EXPECT_EQ(config.allocation_policy, "greedy");
+  EXPECT_TRUE(AllocationPolicyRegistry::Instance().Known(config.allocation_policy));
+}
+
+// --- flag boundary (the plumbing gfairsim/bench_e15 use verbatim) ---
+
+TEST(AllocationPolicyFlagTest, FlagValueFlowsIntoConfig) {
+  const char* argv[] = {"tool", "--policy=themis"};
+  ArgParser args(2, argv);
+  GandivaFairConfig config;
+  std::string error;
+  const std::string name = args.GetString("policy", "greedy");
+  ASSERT_TRUE(ValidateAllocationPolicyName(name, &error)) << error;
+  config.allocation_policy = name;
+  EXPECT_EQ(config.allocation_policy, "themis");
+}
+
+TEST(AllocationPolicyFlagTest, DefaultsToGreedyWhenFlagAbsent) {
+  const char* argv[] = {"tool"};
+  ArgParser args(1, argv);
+  EXPECT_EQ(args.GetString("policy", "greedy"), "greedy");
+}
+
+TEST(AllocationPolicyFlagTest, UnknownNameFailsWithRegisteredListing) {
+  const char* argv[] = {"tool", "--policy", "srtf"};
+  ArgParser args(3, argv);
+  std::string error;
+  EXPECT_FALSE(ValidateAllocationPolicyName(args.GetString("policy", "greedy"), &error));
+  EXPECT_NE(error.find("unknown allocation policy 'srtf'"), std::string::npos);
+  EXPECT_NE(error.find("gavel"), std::string::npos);
+  EXPECT_NE(error.find("greedy"), std::string::npos);
+  EXPECT_NE(error.find("themis"), std::string::npos);
+}
+
+// --- contract shared by every registered backend ---
+
+TEST(AllocationPolicyContractTest, AllBackendsConserveEveryPool) {
+  auto& registry = AllocationPolicyRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    const auto policy = registry.Create(name, TradeConfig{});
+    const TradeOutcome outcome = policy->Allocate(TwoUserInputs());
+    ASSERT_EQ(outcome.entitlements.size(), 2u) << name;
+    for (size_t g : {kK80, kV100}) {
+      EXPECT_NEAR(PoolTotal(outcome, g), 32.0, 1e-9) << name << " pool " << g;
+    }
+    for (const auto& [user, ent] : outcome.entitlements) {
+      for (size_t g = 0; g < kNumGenerations; ++g) {
+        EXPECT_GE(ent[g], -1e-9) << name;
+      }
+    }
+  }
+}
+
+TEST(AllocationPolicyContractTest, EmptyPoolsGetNoEntitlement) {
+  for (const std::string& name : AllocationPolicyRegistry::Instance().Names()) {
+    const auto policy =
+        AllocationPolicyRegistry::Instance().Create(name, TradeConfig{});
+    const TradeOutcome outcome = policy->Allocate(TwoUserInputs());
+    for (const auto& [user, ent] : outcome.entitlements) {
+      EXPECT_DOUBLE_EQ(ent[GenerationIndex(GpuGeneration::kP40)], 0.0) << name;
+      EXPECT_DOUBLE_EQ(ent[GenerationIndex(GpuGeneration::kP100)], 0.0) << name;
+    }
+  }
+}
+
+TEST(AllocationPolicyContractTest, NoUsersNoOutcome) {
+  for (const std::string& name : AllocationPolicyRegistry::Instance().Names()) {
+    const auto policy =
+        AllocationPolicyRegistry::Instance().Create(name, TradeConfig{});
+    const TradeOutcome outcome = policy->Allocate(TradeInputs{});
+    EXPECT_TRUE(outcome.trades.empty()) << name;
+    EXPECT_TRUE(outcome.entitlements.empty()) << name;
+  }
+}
+
+TEST(AllocationPolicyContractTest, NoProfilesMeansBaseSplitAndNoTrades) {
+  for (const std::string& name : AllocationPolicyRegistry::Instance().Names()) {
+    const auto policy =
+        AllocationPolicyRegistry::Instance().Create(name, TradeConfig{});
+    TradeInputs inputs = TwoUserInputs();
+    inputs.user_speedup = [](UserId, GpuGeneration, GpuGeneration, Speedup*) {
+      return false;
+    };
+    const TradeOutcome outcome = policy->Allocate(inputs);
+    EXPECT_TRUE(outcome.trades.empty()) << name;
+    EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(0))[kV100], 16.0) << name;
+    EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(1))[kK80], 16.0) << name;
+  }
+}
+
+// --- Themis finish-time-fairness auction ---
+
+TEST(ThemisFtfPolicyTest, FtfMaxMinProtectsTheStraggler) {
+  ThemisFtfPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(TwoUserInputs());
+  ASSERT_FALSE(outcome.trades.empty());
+  // Equalizing rho moves fast GPUs the OPPOSITE way from the greedy
+  // exchange: the 1.2x user's delivered value grows slowly per V100, so the
+  // max-min keeps granting it fast GPUs to hold its finish-time ratio level
+  // with the 6x user (who reaches the same rho on fewer V100s). This is the
+  // fairness-vs-efficiency tension the E15 shootout measures.
+  EXPECT_GT(outcome.entitlements.at(UserId(0))[kV100], 16.0);
+  EXPECT_LT(outcome.entitlements.at(UserId(1))[kV100], 16.0);
+  EXPECT_GT(outcome.entitlements.at(UserId(1))[kK80], 16.0);
+}
+
+TEST(ThemisFtfPolicyTest, EqualizesFinishTimeFairness) {
+  const TradeInputs inputs = TwoUserInputs();
+  ThemisFtfPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(inputs);
+  // rho_u = delivered value / value of the ticket-proportional base slice.
+  const auto rho = [&](UserId user, double speedup) {
+    const auto& ent = outcome.entitlements.at(user);
+    const double delivered = ent[kK80] + speedup * ent[kV100];
+    const double ideal = 16.0 + speedup * 16.0;
+    return delivered / ideal;
+  };
+  // The discrete auction cannot equalize exactly, but the max-min leaves the
+  // two users within one grant (~1 GPU of value) of each other.
+  EXPECT_NEAR(rho(UserId(0), 1.2), rho(UserId(1), 6.0), 0.15);
+}
+
+TEST(ThemisFtfPolicyTest, LeftoverCapacitySpreadWhenDemandLow) {
+  // Total demand (10 + 10) far below the 64-GPU pool: everyone's demand is
+  // met and the surplus is spread ticket-proportionally (conservation).
+  ThemisFtfPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(TwoUserInputs(1.2, 6.0, 10.0, 10.0));
+  for (size_t g : {kK80, kV100}) {
+    EXPECT_NEAR(PoolTotal(outcome, g), 32.0, 1e-9);
+  }
+}
+
+TEST(ThemisFtfPolicyTest, ZeroTicketUserNeverPreferred) {
+  TradeInputs inputs = TwoUserInputs();
+  inputs.base_tickets[UserId(1)] = 0.0;
+  ThemisFtfPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(inputs);
+  // The funded user absorbs capacity up to its demand before the zero-ticket
+  // user sees anything beyond the (zero) proportional leftover share. One
+  // grant of slack: at the all-zero start both users tie at rho = 0, so the
+  // discrete fill may hand the zero-ticket user a single GPU before its rho
+  // explodes and it is never picked again.
+  double funded = 0.0;
+  for (size_t g = 0; g < kNumGenerations; ++g) {
+    funded += outcome.entitlements.at(UserId(0))[g];
+  }
+  EXPECT_GE(funded, 63.0);  // demand 64, minus at most one tie-break grant
+}
+
+// --- Gavel weighted max-min water-filling ---
+
+TEST(GavelWaterFillPolicyTest, EqualizesValuePerTicket) {
+  GavelWaterFillPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(TwoUserInputs());
+  ASSERT_FALSE(outcome.trades.empty());
+  // Water-filling on value-per-ticket: the 6x user hits any given value level
+  // on far fewer V100s, so it cedes fast capacity to the 1.2x user until
+  // delivered values meet (within one discrete grant of each other's reach).
+  const auto value = [&](UserId user, double speedup) {
+    const auto& ent = outcome.entitlements.at(user);
+    return ent[kK80] + speedup * ent[kV100];
+  };
+  EXPECT_LT(outcome.entitlements.at(UserId(1))[kV100], 16.0);
+  EXPECT_GT(outcome.entitlements.at(UserId(0))[kV100], 16.0);
+  EXPECT_NEAR(value(UserId(0), 1.2), value(UserId(1), 6.0), 6.0);
+}
+
+TEST(GavelWaterFillPolicyTest, TicketsWeightTheMaxMin) {
+  // Identical speedups, tickets 1:3 — delivered value must track tickets
+  // (weighted max-min), not equalize per user.
+  TradeInputs inputs = TwoUserInputs(3.0, 3.0);
+  inputs.base_tickets[UserId(1)] = 3.0;
+  GavelWaterFillPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(inputs);
+  const auto value = [&](UserId user) {
+    const auto& ent = outcome.entitlements.at(user);
+    return ent[kK80] + 3.0 * ent[kV100];
+  };
+  // Both users are demand-capped at 64 total GPUs; the heavy user's value
+  // per ticket converges on the light user's.
+  EXPECT_NEAR(value(UserId(1)) / 3.0, value(UserId(0)), 3.5);
+  EXPECT_GT(value(UserId(1)), value(UserId(0)) * 2.0);
+}
+
+TEST(GavelWaterFillPolicyTest, DiffersFromThemisWhenSpeedupsDiffer) {
+  // Themis folds each user's own speedup into its fairness target; Gavel
+  // equalizes value-per-ticket directly. With a wide speedup gap the two
+  // backends must not coincide.
+  const TradeInputs inputs = TwoUserInputs();
+  const TradeOutcome themis = ThemisFtfPolicy(TradeConfig{}).Allocate(inputs);
+  const TradeOutcome gavel = GavelWaterFillPolicy(TradeConfig{}).Allocate(inputs);
+  const double themis_v100 = themis.entitlements.at(UserId(1))[kV100];
+  const double gavel_v100 = gavel.entitlements.at(UserId(1))[kV100];
+  EXPECT_GT(std::abs(themis_v100 - gavel_v100), 0.5);
+}
+
+TEST(GavelWaterFillPolicyTest, DeterministicAcrossCalls) {
+  GavelWaterFillPolicy policy(TradeConfig{});
+  const TradeInputs inputs = TwoUserInputs();
+  const TradeOutcome a = policy.Allocate(inputs);
+  const TradeOutcome b = policy.Allocate(inputs);
+  ASSERT_EQ(a.entitlements.size(), b.entitlements.size());
+  for (const auto& [user, ent] : a.entitlements) {
+    for (size_t g = 0; g < kNumGenerations; ++g) {
+      EXPECT_DOUBLE_EQ(ent[g], b.entitlements.at(user)[g]);
+    }
+  }
+  EXPECT_EQ(a.trades.size(), b.trades.size());
+}
+
+// --- trade synthesis (what the coordinator keys "did anything move" on) ---
+
+TEST(SynthesizeTradesTest, RecordsNetMovementLenderToBorrower) {
+  ThemisFtfPolicy policy(TradeConfig{});
+  const TradeOutcome outcome = policy.Allocate(TwoUserInputs());
+  ASSERT_FALSE(outcome.trades.empty());
+  for (const Trade& trade : outcome.trades) {
+    EXPECT_NE(trade.lender, trade.borrower);
+    EXPECT_GT(trade.fast_gpus, 0.0);
+    // Reallocation, not barter: unit rate, no slow-GPU payment leg.
+    EXPECT_EQ(trade.rate, Speedup::Unit());
+    EXPECT_DOUBLE_EQ(trade.slow_gpus, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gfair::sched

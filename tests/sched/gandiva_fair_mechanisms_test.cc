@@ -4,6 +4,7 @@
 
 #include "analysis/harness.h"
 #include "sched/gandiva_fair.h"
+#include "sched/policy/greedy_trade_policy.h"
 
 namespace gfair::sched {
 namespace {
@@ -190,7 +191,7 @@ TEST(TradeEpochTest, TradesRevokedWhenBorrowerLeaves) {
 TEST(BorrowerMarginTest, RateDiscountedButAboveLenderSpeedup) {
   TradeConfig config;
   config.borrower_margin = 0.10;
-  TradingEngine engine(config);
+  GreedyTradePolicy engine(config);
   // Direct rate check through a synthetic epoch.
   TradeInputs inputs;
   inputs.active_users = {UserId(0), UserId(1)};
@@ -208,7 +209,7 @@ TEST(BorrowerMarginTest, RateDiscountedButAboveLenderSpeedup) {
     *out = Speedup::FromRatio(user == UserId(0) ? 1.2 : 6.0);
     return true;
   };
-  const auto outcome = engine.ComputeEpoch(inputs);
+  const auto outcome = engine.Allocate(inputs);
   ASSERT_FALSE(outcome.trades.empty());
   EXPECT_DOUBLE_EQ(outcome.trades[0].rate.raw(), 6.0 * 0.9);
   EXPECT_GT(outcome.trades[0].rate.raw(), 1.2);

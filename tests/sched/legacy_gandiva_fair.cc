@@ -966,13 +966,16 @@ void LegacyGandivaFairScheduler::TradeTick() {
     return true;
   };
 
-  const TradeOutcome outcome = trading_.ComputeEpoch(inputs);
+  const TradeOutcome outcome = trading_.Allocate(inputs);
 
   ticket_matrix_.ResetToBase();
   if (!outcome.trades.empty()) {
     // Pool tickets become the traded entitlements (stride normalizes within
-    // each pool, so entitlement GPUs double as tickets).
-    for (const auto& [user, entitlement] : outcome.entitlements) {
+    // each pool, so entitlement GPUs double as tickets). Sorted like the
+    // production coordinator: sets on distinct users commute, but the
+    // decision-affecting consumers of `entitlements` all route through
+    // common::SortedItems.
+    for (const auto& [user, entitlement] : common::SortedItems(outcome.entitlements)) {
       for (GpuGeneration gen : kAllGenerations) {
         ticket_matrix_.Set(user, gen,
                            std::max(entitlement[GenerationIndex(gen)], 0.0));

@@ -26,6 +26,7 @@
 #include "sched/scheduler_iface.h"
 #include "sched/snapshot.h"
 #include "sched/stride.h"
+#include "sched/policy/greedy_trade_policy.h"
 #include "sched/ticket_matrix.h"
 #include "sched/trade.h"
 
@@ -105,7 +106,9 @@ class LegacyGandivaFairScheduler : public IScheduler {
   FairnessLedger ledger_;
   ProfileStore profiles_;
   TicketMatrix ticket_matrix_;
-  TradingEngine trading_;
+  // The oracle pins the DEFAULT backend: the greedy exchange, held directly
+  // (the registry indirection is part of the refactor under test).
+  GreedyTradePolicy trading_;
   std::vector<Trade> executed_trades_;
 
   std::unordered_map<JobId, JobInfo> job_info_;

@@ -1,4 +1,4 @@
-#include "sched/trade.h"
+#include "sched/policy/greedy_trade_policy.h"
 
 #include <gtest/gtest.h>
 
@@ -42,20 +42,20 @@ double ValueOf(const cluster::PerGeneration<double>& ent, double speedup) {
 }
 
 TEST(TradeTest, NoUsersNoTrades) {
-  TradingEngine engine(TradeConfig{});
-  const TradeOutcome outcome = engine.ComputeEpoch(TradeInputs{});
+  GreedyTradePolicy engine(TradeConfig{});
+  const TradeOutcome outcome = engine.Allocate(TradeInputs{});
   EXPECT_TRUE(outcome.trades.empty());
   EXPECT_TRUE(outcome.entitlements.empty());
 }
 
 TEST(TradeTest, BaseEntitlementsAreTicketProportional) {
-  TradingEngine engine(TradeConfig{});
+  GreedyTradePolicy engine(TradeConfig{});
   TradeInputs inputs = TwoUserInputs();
   inputs.base_tickets[UserId(1)] = 3.0;
   inputs.user_speedup = [](UserId, GpuGeneration, GpuGeneration, Speedup*) {
     return false;  // no profiles -> no trades, pure base split
   };
-  const TradeOutcome outcome = engine.ComputeEpoch(inputs);
+  const TradeOutcome outcome = engine.Allocate(inputs);
   EXPECT_TRUE(outcome.trades.empty());
   EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(0))[kV100], 8.0);
   EXPECT_DOUBLE_EQ(outcome.entitlements.at(UserId(1))[kV100], 24.0);
@@ -63,8 +63,8 @@ TEST(TradeTest, BaseEntitlementsAreTicketProportional) {
 }
 
 TEST(TradeTest, WinWinTradeHappens) {
-  TradingEngine engine(TradeConfig{});
-  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  GreedyTradePolicy engine(TradeConfig{});
+  const TradeOutcome outcome = engine.Allocate(TwoUserInputs());
   ASSERT_FALSE(outcome.trades.empty());
   const Trade& trade = outcome.trades[0];
   EXPECT_EQ(trade.lender, UserId(0));
@@ -81,21 +81,21 @@ TEST(TradeTest, NoTradeWhenLenderSpeedupMeetsBorrowers) {
   // rejects pairings where the borrower's speedup is at or below the
   // lender's. RateFor would clamp such a trade's rate to (or past) the
   // borrower's entire speedup — at or below the lender's breakeven — so one
-  // side cannot gain; ComputeEpoch must skip the pairing entirely.
+  // side cannot gain; Allocate must skip the pairing entirely.
   TradeConfig config;
   config.min_speedup_gap = 0.5;
-  TradingEngine engine(config);
+  GreedyTradePolicy engine(config);
 
   // Identical speedups: zero surplus to split, no trade. Without the guard
   // the engine would strike a trade at rate == both speedups, leaving the
   // borrower exactly flat — pointless churn.
-  const TradeOutcome identical = engine.ComputeEpoch(TwoUserInputs(2.0, 2.0));
+  const TradeOutcome identical = engine.Allocate(TwoUserInputs(2.0, 2.0));
   EXPECT_TRUE(identical.trades.empty());
 
   // Roles come from the speedup ordering, not the argument order: when the
   // "lender" argument has the higher speedup (3.0 vs 2.0) the engine swaps
   // the pair and still finds a genuine win-win trade.
-  const TradeOutcome swapped = engine.ComputeEpoch(TwoUserInputs(3.0, 2.0));
+  const TradeOutcome swapped = engine.Allocate(TwoUserInputs(3.0, 2.0));
   ASSERT_FALSE(swapped.trades.empty());
   EXPECT_EQ(swapped.trades[0].lender, UserId(1));
   EXPECT_EQ(swapped.trades[0].borrower, UserId(0));
@@ -104,7 +104,7 @@ TEST(TradeTest, NoTradeWhenLenderSpeedupMeetsBorrowers) {
 
   // Sanity: the same permissive config still trades when there is a genuine
   // surplus, and at a rate strictly between the two speedups.
-  const TradeOutcome genuine = engine.ComputeEpoch(TwoUserInputs(1.2, 6.0));
+  const TradeOutcome genuine = engine.Allocate(TwoUserInputs(1.2, 6.0));
   ASSERT_FALSE(genuine.trades.empty());
   EXPECT_GT(genuine.trades[0].rate.raw(), 1.2);
   EXPECT_LE(genuine.trades[0].rate.raw(), 6.0);
@@ -113,9 +113,9 @@ TEST(TradeTest, NoTradeWhenLenderSpeedupMeetsBorrowers) {
 TEST(TradeTest, NoUserWorseOff) {
   // The fairness guarantee: post-trade entitlement value (in each user's own
   // K80-equivalents) must be >= pre-trade value.
-  TradingEngine engine(TradeConfig{});
+  GreedyTradePolicy engine(TradeConfig{});
   const TradeInputs inputs = TwoUserInputs();
-  const TradeOutcome outcome = engine.ComputeEpoch(inputs);
+  const TradeOutcome outcome = engine.Allocate(inputs);
   ASSERT_FALSE(outcome.trades.empty());
   // Pre-trade: 16 K80 + 16 V100 each.
   const double lender_before = 16.0 + 1.2 * 16.0;
@@ -129,8 +129,8 @@ TEST(TradeTest, NoUserWorseOff) {
 }
 
 TEST(TradeTest, AggregateThroughputIncreases) {
-  TradingEngine engine(TradeConfig{});
-  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  GreedyTradePolicy engine(TradeConfig{});
+  const TradeOutcome outcome = engine.Allocate(TwoUserInputs());
   const double before = (16.0 + 1.2 * 16.0) + (16.0 + 6.0 * 16.0);
   const double after = ValueOf(outcome.entitlements.at(UserId(0)), 1.2) +
                        ValueOf(outcome.entitlements.at(UserId(1)), 6.0);
@@ -138,8 +138,8 @@ TEST(TradeTest, AggregateThroughputIncreases) {
 }
 
 TEST(TradeTest, EntitlementsConserveEachPool) {
-  TradingEngine engine(TradeConfig{});
-  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  GreedyTradePolicy engine(TradeConfig{});
+  const TradeOutcome outcome = engine.Allocate(TwoUserInputs());
   for (size_t g : {kK80, kV100}) {
     double total = 0.0;
     for (const auto& [user, ent] : outcome.entitlements) {
@@ -151,33 +151,33 @@ TEST(TradeTest, EntitlementsConserveEachPool) {
 }
 
 TEST(TradeTest, NoTradeWithoutSpeedupGap) {
-  TradingEngine engine(TradeConfig{});
+  GreedyTradePolicy engine(TradeConfig{});
   const TradeOutcome outcome =
-      engine.ComputeEpoch(TwoUserInputs(/*lender=*/3.0, /*borrower=*/3.2));
+      engine.Allocate(TwoUserInputs(/*lender=*/3.0, /*borrower=*/3.2));
   EXPECT_TRUE(outcome.trades.empty());  // 3.2 < 3.0 * 1.15
 }
 
 TEST(TradeTest, NoTradeWithoutLenderSpareDemand) {
   // Lender demand 20 < its entitlement 32: extra slow GPUs are useless to it,
   // so it should not lend.
-  TradingEngine engine(TradeConfig{});
+  GreedyTradePolicy engine(TradeConfig{});
   const TradeOutcome outcome =
-      engine.ComputeEpoch(TwoUserInputs(1.2, 6.0, /*lender_demand=*/20.0));
+      engine.Allocate(TwoUserInputs(1.2, 6.0, /*lender_demand=*/20.0));
   EXPECT_TRUE(outcome.trades.empty());
 }
 
 TEST(TradeTest, NoTradeWithoutBorrowerFastDemand) {
   // Borrower demand 10 < its fast entitlement 16: it has no unmet fast need.
-  TradingEngine engine(TradeConfig{});
+  GreedyTradePolicy engine(TradeConfig{});
   const TradeOutcome outcome =
-      engine.ComputeEpoch(TwoUserInputs(1.2, 6.0, 64.0, /*borrower_demand=*/10.0));
+      engine.Allocate(TwoUserInputs(1.2, 6.0, 64.0, /*borrower_demand=*/10.0));
   EXPECT_TRUE(outcome.trades.empty());
 }
 
 TEST(TradeTest, VolumeCappedByBorrowerSlowHoldings) {
   // Borrower pays rate x volume slow GPUs; it only holds 16.
-  TradingEngine engine(TradeConfig{});
-  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs());
+  GreedyTradePolicy engine(TradeConfig{});
+  const TradeOutcome outcome = engine.Allocate(TwoUserInputs());
   double borrower_k80 = outcome.entitlements.at(UserId(1))[kK80];
   EXPECT_GE(borrower_k80, -1e-9);
 }
@@ -185,8 +185,8 @@ TEST(TradeTest, VolumeCappedByBorrowerSlowHoldings) {
 TEST(TradeTest, GeometricMeanRateSplitsSurplus) {
   TradeConfig config;
   config.rate_rule = TradeConfig::RateRule::kGeometricMean;
-  TradingEngine engine(config);
-  const TradeOutcome outcome = engine.ComputeEpoch(TwoUserInputs(1.5, 6.0));
+  GreedyTradePolicy engine(config);
+  const TradeOutcome outcome = engine.Allocate(TwoUserInputs(1.5, 6.0));
   ASSERT_FALSE(outcome.trades.empty());
   EXPECT_NEAR(outcome.trades[0].rate.raw(), std::sqrt(1.5 * 6.0), 1e-9);
   // Both parties strictly gain under the geometric rule.
@@ -199,8 +199,8 @@ TEST(TradeTest, GeometricMeanRateSplitsSurplus) {
 TEST(TradeTest, MinTradeVolumeFiltersDust) {
   TradeConfig config;
   config.min_trade_gpus = 100.0;  // absurdly high
-  TradingEngine engine(config);
-  EXPECT_TRUE(engine.ComputeEpoch(TwoUserInputs()).trades.empty());
+  GreedyTradePolicy engine(config);
+  EXPECT_TRUE(engine.Allocate(TwoUserInputs()).trades.empty());
 }
 
 TEST(TradeTest, ThreeUsersBestPairTradesFirst) {
@@ -221,8 +221,8 @@ TEST(TradeTest, ThreeUsersBestPairTradesFirst) {
     *out = Speedup::FromRatio(speedups[user.value()]);
     return true;
   };
-  TradingEngine engine(TradeConfig{});
-  const TradeOutcome outcome = engine.ComputeEpoch(inputs);
+  GreedyTradePolicy engine(TradeConfig{});
+  const TradeOutcome outcome = engine.Allocate(inputs);
   ASSERT_FALSE(outcome.trades.empty());
   // The extreme pair (0 lends to 2) must trade first.
   EXPECT_EQ(outcome.trades[0].lender, UserId(0));
@@ -232,8 +232,8 @@ TEST(TradeTest, ThreeUsersBestPairTradesFirst) {
 TEST(TradeTest, EmptyPoolPairSkipped) {
   TradeInputs inputs = TwoUserInputs();
   inputs.pool_sizes[kK80] = 0;  // only V100 exists: no pair to trade across
-  TradingEngine engine(TradeConfig{});
-  EXPECT_TRUE(engine.ComputeEpoch(inputs).trades.empty());
+  GreedyTradePolicy engine(TradeConfig{});
+  EXPECT_TRUE(engine.Allocate(inputs).trades.empty());
 }
 
 }  // namespace

@@ -47,6 +47,7 @@
 #include "analysis/metrics.h"
 #include "common/flags.h"
 #include "common/stats.h"
+#include "sched/policy/allocation_policy.h"
 #include "common/table.h"
 #include "workload/trace_io.h"
 
@@ -71,6 +72,7 @@ void PrintHelp() {
       "  --gangs typical|philly|single --diurnal A\n"
       "  --trace file.csv | --save-trace file.csv\n"
       "  --no-trading --no-balancing --no-stealing --trade-rate borrower|geometric\n"
+      "  --alloc-policy greedy|themis|gavel  trade-epoch allocation backend\n"
       "  --csv PREFIX --dump-decisions FILE\n");
 }
 
@@ -412,6 +414,14 @@ int main(int argc, char** argv) {
   if (args.GetString("trade-rate") == "geometric") {
     sched_config.trade.rate_rule = sched::TradeConfig::RateRule::kGeometricMean;
   }
+  // --policy names the scheduler; --alloc-policy picks which allocation
+  // backend GandivaFair's trade epochs run (registry-validated).
+  const std::string alloc_policy = args.GetString("alloc-policy", "greedy");
+  std::string alloc_error;
+  if (!sched::ValidateAllocationPolicyName(alloc_policy, &alloc_error)) {
+    return Fail(alloc_error);
+  }
+  sched_config.allocation_policy = alloc_policy;
   const std::string decisions_path = args.GetString("dump-decisions");
   const bool want_snapshot = args.GetBool("snapshot");
 
