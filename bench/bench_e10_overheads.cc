@@ -54,5 +54,70 @@ int main() {
   std::cout << "Measured: 8 jobs on 4 GPUs for 6h -> " << suspends << " suspends, "
             << FormatDouble(overhead_ms / gpu_ms * 100.0, 2)
             << "% of GPU time lost to suspend/resume (quantum = 60s).\n";
+
+  // Migration cost model: the same drain-driven migration burst under four
+  // executor configs. Wire bytes shrink with compression (at a CPU cost
+  // folded into the transfer), and the availability bubble shrinks with
+  // pre-copy (only the stop-and-copy tail stops the job).
+  struct MigrationVariant {
+    const char* name;
+    exec::ExecutorConfig exec;
+  };
+  std::vector<MigrationVariant> variants;
+  variants.push_back({"stop-and-copy", {}});
+  {
+    exec::ExecutorConfig compressed;
+    compressed.compress_ratio = 3.0;
+    compressed.compress_seconds_per_gb = 0.5;
+    variants.push_back({"+compression (3x)", compressed});
+  }
+  {
+    exec::ExecutorConfig precopy;
+    precopy.precopy = true;
+    variants.push_back({"+pre-copy", precopy});
+  }
+  {
+    exec::ExecutorConfig combined;
+    combined.compress_ratio = 3.0;
+    combined.compress_seconds_per_gb = 0.5;
+    combined.precopy = true;
+    combined.overlap_warmup = true;
+    variants.push_back({"+pre-copy+compress+overlap", combined});
+  }
+
+  Table costs({"config", "migrations", "wire GB", "bubble (s)",
+               "overlap saved (s)", "overhead %"});
+  for (const MigrationVariant& variant : variants) {
+    analysis::ExperimentConfig vconfig;
+    vconfig.topology = cluster::HomogeneousTopology(2, 4);
+    vconfig.exec = variant.exec;
+    analysis::Experiment vexp(vconfig);
+    auto& vuser = vexp.users().Create("u");
+    vexp.UseGandivaFair({});
+    for (int i = 0; i < 8; ++i) {
+      vexp.SubmitAt(kTimeZero, vuser.id, i % 2 == 0 ? "DCGAN" : "LSTM-LM", 1,
+                    Hours(2000));
+    }
+    vexp.Run(Minutes(10));
+    // Drain one server: every resident migrates to the survivor, then 2:1
+    // oversubscription time-slices for the rest of the hour.
+    vexp.gandiva()->DrainServer(vexp.cluster().servers()[0].id());
+    vexp.Run(Hours(1));
+    double voverhead_ms = 0.0;
+    double vgpu_ms = 0.0;
+    for (const auto* job : vexp.jobs().All()) {
+      voverhead_ms += static_cast<double>(job->overhead_ms);
+      vgpu_ms += job->TotalGpuMs();
+    }
+    costs.BeginRow()
+        .Cell(variant.name)
+        .Cell(vexp.gandiva()->migrations_started())
+        .Cell(vexp.exec().migration_bytes_gb(), 2)
+        .Cell(static_cast<double>(vexp.exec().migration_bubble_ms()) / kSecond, 1)
+        .Cell(static_cast<double>(vexp.exec().overlap_saved_ms()) / kSecond, 1)
+        .Cell(voverhead_ms / vgpu_ms * 100.0, 2);
+  }
+  costs.Report("E10b: migration cost model (drain 4 jobs off a server, 1h)",
+               "e10_migration_costs");
   return 0;
 }

@@ -19,6 +19,9 @@
 //   GFAIR_E11_BASELINE=path        compare p50s against the baseline and
 //                                  exit non-zero on a regression beyond
 //   GFAIR_E11_THRESHOLD            (fractional, default 0.25).
+//   GFAIR_E11_POINTS=a,b           restrict to a comma-separated subset of
+//                                  point keys (iterating on one scale point
+//                                  without paying for the full sweep).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -59,13 +62,16 @@ BENCHMARK(BM_StrideSelectForQuantum)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 // A homogeneous cluster of 8-GPU servers running identical infinite 1-GPU
 // jobs, `jobs_per_server` per server, warmed up past its first quanta.
 std::unique_ptr<analysis::Experiment> MakeTickCluster(int num_servers,
-                                                      int jobs_per_server) {
+                                                      int jobs_per_server,
+                                                      int apply_threads = 1) {
   analysis::ExperimentConfig config;
   config.topology = cluster::HomogeneousTopology(num_servers, 8);
   auto exp = std::make_unique<analysis::Experiment>(config);
   auto& a = exp->users().Create("a");
   auto& b = exp->users().Create("b");
-  exp->UseGandivaFair({});
+  sched::GandivaFairConfig gf;
+  gf.apply_threads = apply_threads;
+  exp->UseGandivaFair(gf);
   for (int i = 0; i < num_servers * jobs_per_server; ++i) {
     exp->SubmitAt(kTimeZero, i % 2 == 0 ? a.id : b.id, "DCGAN", 1,
                   Hours(100000));
@@ -91,7 +97,9 @@ BENCHMARK(BM_ClusterQuantumTick)
     ->Arg(4)
     ->Arg(25)
     ->Arg(64)
+    ->Arg(125)
     ->Arg(250)  // 2000 GPUs: scale point well past the paper's 200-GPU cluster
+    ->Arg(500)  // 4000 GPUs: headroom check for the flip-tick hot path
     ->Unit(benchmark::kMicrosecond);
 
 // Steady state: demand == capacity, so after warm-up nothing changes and the
@@ -173,8 +181,8 @@ BENCHMARK(BM_PaperScaleSimHour)->Unit(benchmark::kMillisecond);
 // Per-quantum wall-clock latency over `quanta` ticks (after a settling
 // prefix), sampled with the shared PercentileSampler.
 PercentileSampler MeasureTickLatency(int num_servers, int jobs_per_server,
-                                     int quanta) {
-  auto exp = MakeTickCluster(num_servers, jobs_per_server);
+                                     int quanta, int apply_threads = 1) {
+  auto exp = MakeTickCluster(num_servers, jobs_per_server, apply_threads);
   SimTime now = exp->sim().Now();
   for (int q = 0; q < 16; ++q) {  // settle stride state + allocator pools
     now += Minutes(1);
@@ -203,16 +211,42 @@ int RunSmoke() {
     const char* key;
     int servers;
     int jobs_per_server;
+    int apply_threads = 1;
   };
   const std::vector<Point> points = {
-      {"flip_25", 25, 16},    {"flip_64", 64, 16},   {"flip_250", 250, 16},
+      {"flip_25", 25, 16},    {"flip_64", 64, 16},   {"flip_125", 125, 16},
+      {"flip_250", 250, 16},  {"flip_500", 500, 16},
+      {"flip_250_par4", 250, 16, 4},  // threaded ApplyDelta slices
       {"steady_64", 64, 8},   {"steady_250", 250, 8},
+  };
+
+  const char* points_env = std::getenv("GFAIR_E11_POINTS");
+  const std::string points_filter = points_env != nullptr ? points_env : "";
+  const auto point_enabled = [&points_filter](const char* key) {
+    if (points_filter.empty()) {
+      return true;
+    }
+    size_t pos = 0;
+    while (pos < points_filter.size()) {
+      size_t comma = points_filter.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = points_filter.size();
+      }
+      if (points_filter.compare(pos, comma - pos, key) == 0) {
+        return true;
+      }
+      pos = comma + 1;
+    }
+    return false;
   };
 
   std::vector<std::pair<std::string, double>> recorded;
   for (const Point& point : points) {
-    const auto sampler =
-        MeasureTickLatency(point.servers, point.jobs_per_server, 300);
+    if (!point_enabled(point.key)) {
+      continue;
+    }
+    const auto sampler = MeasureTickLatency(point.servers, point.jobs_per_server,
+                                            300, point.apply_threads);
     const bench::LatencySummary summary = bench::Summarize(sampler);
     std::cout << "E11 smoke " << point.key << ": p50 " << summary.p50
               << " us, p95 " << summary.p95 << " us, mean " << summary.mean
@@ -247,6 +281,9 @@ int RunSmoke() {
       }
     }
     if (new_value < 0.0) {
+      if (!points_filter.empty()) {
+        continue;  // point excluded by GFAIR_E11_POINTS, not missing
+      }
       std::cerr << "E11 REGRESSION CHECK: baseline key " << key
                 << " no longer measured\n";
       violations += 1;

@@ -43,6 +43,8 @@ struct AvailabilityOutcome {
   int64_t replaced = 0;
   int64_t migration_failures = 0;
   int64_t retries = 0;
+  double migration_bytes_gb = 0.0;  // checkpoint GB shipped over the wire
+  double migration_bubble_s = 0.0;  // job-unavailable time across migrations
   size_t pending_orphans = 0;  // after the post-run heal window
   bool healed_clean = true;    // every job finished or resident after heal
 };
@@ -103,6 +105,9 @@ AvailabilityOutcome RunOne(double down_fraction, SimTime horizon, uint64_t seed)
   outcome.replaced = exp.gandiva()->orphans_replaced();
   outcome.migration_failures = exp.exec().migration_failures();
   outcome.retries = exp.gandiva()->migration_retries_started();
+  outcome.migration_bytes_gb = exp.exec().migration_bytes_gb();
+  outcome.migration_bubble_s =
+      static_cast<double>(exp.exec().migration_bubble_ms()) / kSecond;
 
   // Heal: stop injecting, let repairs drain, and verify nothing was lost —
   // every job finished or is resident on an up server, with no orphan parked.
@@ -131,7 +136,8 @@ int main() {
 
   Table table({"down frac", "MTBF (h)", "GPU-h", "vs baseline", "capacity",
                "efficiency", "Jain", "min hourly Jain", "failures", "orphaned",
-               "replaced", "mig fail", "retries", "jobs done"});
+               "replaced", "mig fail", "retries", "mig GB", "bubble (s)",
+               "jobs done"});
 
   std::vector<AvailabilityOutcome> outcomes;
   for (double fraction : fractions) {
@@ -159,6 +165,8 @@ int main() {
         .Cell(outcome.replaced)
         .Cell(outcome.migration_failures)
         .Cell(outcome.retries)
+        .Cell(outcome.migration_bytes_gb, 1)
+        .Cell(outcome.migration_bubble_s, 0)
         .Cell(static_cast<int64_t>(outcome.jobs_finished));
   }
 

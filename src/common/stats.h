@@ -2,6 +2,7 @@
 #ifndef GFAIR_COMMON_STATS_H_
 #define GFAIR_COMMON_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -10,7 +11,20 @@ namespace gfair {
 // Numerically stable running mean/variance (Welford's algorithm).
 class RunningStats {
  public:
-  void Add(double x);
+  // Inline: the profiler calls this once per running job per quantum.
+  void Add(double x) {
+    if (count_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   size_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }

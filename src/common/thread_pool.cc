@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gfair::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  GFAIR_CHECK(num_threads >= 1);
+  const size_t spawned = static_cast<size_t>(num_threads - 1);
+  workers_.reserve(spawned);
+  for (size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const RangeFn& fn) {
+  GFAIR_CHECK(fn != nullptr);
+  if (workers_.empty() || n <= 1) {
+    if (n > 0) {
+      fn(0, n);
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    GFAIR_CHECK_MSG(pending_ == 0 && fn_ == nullptr, "ParallelFor is not re-entrant");
+    fn_ = &fn;
+    n_ = n;
+    pending_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller takes chunk 0 (worker i takes chunk i + 1).
+  const size_t parts = static_cast<size_t>(size());
+  fn(ChunkBegin(n, parts, 0), ChunkBegin(n, parts, 1));
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const RangeFn* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&]() { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      fn = fn_;
+      n = n_;
+    }
+    const size_t parts = static_cast<size_t>(size());
+    const size_t begin = ChunkBegin(n, parts, worker_index + 1);
+    const size_t end = ChunkBegin(n, parts, worker_index + 2);
+    if (begin < end) {
+      (*fn)(begin, end);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace gfair::common

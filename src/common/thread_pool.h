@@ -1,0 +1,66 @@
+// ThreadPool — fixed-size fork-join pool for data-parallel spans.
+//
+// ParallelFor splits [0, n) into one contiguous chunk per participant (the
+// workers plus the calling thread) and blocks until every chunk ran. The
+// split is static and deterministic: chunk boundaries depend only on n and
+// the pool size, never on timing, so a ParallelFor over disjoint work
+// produces the same state no matter how the OS schedules the threads. The
+// caller is responsible for handing it only disjoint work — the executor's
+// per-server apply slices are the intended load.
+//
+// The pool serves one caller at a time and is not re-entrant (no nested
+// ParallelFor from inside a chunk).
+#ifndef GFAIR_COMMON_THREAD_POOL_H_
+#define GFAIR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gfair::common {
+
+class ThreadPool {
+ public:
+  // `num_threads` counts the caller: a pool of 1 spawns no workers and runs
+  // every span inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total participants (spawned workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  using RangeFn = std::function<void(size_t begin, size_t end)>;
+
+  // Runs fn over [0, n) split into size() contiguous chunks; returns after
+  // all chunks completed. fn must be safe to call concurrently on disjoint
+  // ranges.
+  void ParallelFor(size_t n, const RangeFn& fn);
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  static size_t ChunkBegin(size_t n, size_t parts, size_t part) {
+    const size_t chunk = (n + parts - 1) / parts;
+    return part * chunk < n ? part * chunk : n;
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const RangeFn* fn_ = nullptr;  // current span's body (valid while pending)
+  size_t n_ = 0;
+  uint64_t epoch_ = 0;  // bumped once per ParallelFor; wakes the workers
+  size_t pending_ = 0;  // workers that have not finished the current epoch
+  bool shutdown_ = false;
+};
+
+}  // namespace gfair::common
+
+#endif  // GFAIR_COMMON_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace gfair::exec {
 
@@ -33,10 +34,44 @@ SimDuration Executor::ResumeLatency(workload::ModelId model) const {
   return Seconds(config_.resume_base_s + config_.resume_per_gb_s * profile.checkpoint_gb);
 }
 
+double Executor::CompressedGb(workload::ModelId model) const {
+  return zoo_.Get(model).checkpoint_gb / config_.compress_ratio;
+}
+
+SimDuration Executor::TransferTime(double compressed_gb, double compress_cpu_s) const {
+  return Seconds(compressed_gb / config_.migrate_bw_gbps + compress_cpu_s);
+}
+
 SimDuration Executor::MigrateLatency(workload::ModelId model) const {
-  const auto& profile = zoo_.Get(model);
-  const double transfer_s = profile.checkpoint_gb / config_.migrate_bw_gbps;
-  return SuspendLatency(model) + Seconds(transfer_s) + ResumeLatency(model);
+  const double cpu_s =
+      config_.compress_seconds_per_gb * zoo_.Get(model).checkpoint_gb;
+  return SuspendLatency(model) + TransferTime(CompressedGb(model), cpu_s) +
+         ResumeLatency(model);
+}
+
+const Executor::ModelCosts& Executor::CostsFor(workload::ModelId model) {
+  const size_t idx = model.value();
+  if (idx >= model_costs_.size()) {
+    model_costs_.resize(idx + 1);
+  }
+  ModelCosts& costs = model_costs_[idx];
+  if (!costs.init) {
+    costs.suspend = SuspendLatency(model);
+    costs.resume = ResumeLatency(model);
+    costs.init = true;
+  }
+  return costs;
+}
+
+simkit::TimerId Executor::FinishTimerFor(JobId id) {
+  const size_t idx = id.value();
+  if (idx >= finish_timer_.size()) {
+    finish_timer_.resize(idx + 1, simkit::kInvalidTimer);
+  }
+  if (finish_timer_[idx] == simkit::kInvalidTimer) {
+    finish_timer_[idx] = sim_.CreateTimer([this, id]() { OnFinishEvent(id); });
+  }
+  return finish_timer_[idx];
 }
 
 void Executor::MakeResident(JobId id, ServerId server) {
@@ -68,7 +103,9 @@ double Executor::TrueRate(JobId id, GpuGeneration gen) const {
   return zoo_.Get(job.model).GangThroughput(gen, job.gang_size);
 }
 
-void Executor::Resume(JobId id) {
+void Executor::Resume(JobId id) { ResumeWithOverlap(id, 0); }
+
+void Executor::ResumeWithOverlap(JobId id, SimDuration overlap_allowance) {
   Job& job = jobs_.Get(id);
   GFAIR_CHECK_MSG(job.state == JobState::kSuspended, "Resume requires a suspended job");
   cluster::Server& server = cluster_.server(job.server);
@@ -81,8 +118,15 @@ void Executor::Resume(JobId id) {
   const auto& profile = zoo_.Get(job.model);
   RunSegment seg;
   seg.start = sim_.Now();
-  seg.warmup =
-      Seconds(config_.resume_base_s + config_.resume_per_gb_s * profile.checkpoint_gb);
+  seg.warmup = CostsFor(job.model).resume;
+  if (overlap_allowance > 0) {
+    // Overlap mode: the warm-up hides behind the drain of the jobs suspended
+    // earlier in the same apply slice (see ExecutorConfig::overlap_warmup);
+    // only the un-hidden prefix bubbles.
+    const SimDuration hidden = std::min(seg.warmup, overlap_allowance);
+    seg.warmup -= hidden;
+    overlap_saved_ms_ += hidden;
+  }
   seg.gen = server.generation();
   seg.rate = profile.GangThroughput(seg.gen, job.gang_size);
   GFAIR_CHECK(seg.rate > 0.0);
@@ -91,8 +135,7 @@ void Executor::Resume(JobId id) {
   GFAIR_CHECK(remaining > 0.0);
   const SimDuration work_time =
       static_cast<SimDuration>(std::ceil(remaining / seg.rate * kSecond));
-  seg.finish_event = sim_.At(seg.start + seg.warmup + work_time,
-                             [this, id]() { OnFinishEvent(id); });
+  sim_.ArmTimerAt(FinishTimerFor(id), seg.start + seg.warmup + work_time);
 
   if (id.value() >= segments_.size()) {
     segments_.resize(id.value() + 1);
@@ -104,6 +147,7 @@ void Executor::Resume(JobId id) {
   job.state = JobState::kRunning;
   job.num_resumes += 1;
   job.overhead_ms += seg.warmup;
+  warmup_bubble_ms_ += seg.warmup;
 }
 
 double Executor::SegmentProgress(const RunSegment& seg, SimDuration elapsed) {
@@ -121,16 +165,21 @@ void Executor::CloseSegment(Job& job, bool cancel_finish_event) {
   const SimTime now = sim_.Now();
   const SimDuration elapsed = now - seg.start;
 
-  job.completed_minibatches = std::min(
-      job.total_minibatches, job.completed_minibatches + SegmentProgress(seg, elapsed));
-  job.gpu_ms_by_gen[cluster::GenerationIndex(seg.gen)] +=
-      static_cast<double>(elapsed) * job.gang_size;
+  // elapsed == 0 contributes exactly 0.0 to both accumulators, so skipping
+  // the arithmetic is bit-identical — and it is the common case at quantum
+  // edges, where SyncAll has just restarted every segment at `now`.
+  if (elapsed > 0) {
+    job.completed_minibatches = std::min(
+        job.total_minibatches, job.completed_minibatches + SegmentProgress(seg, elapsed));
+    job.gpu_ms_by_gen[cluster::GenerationIndex(seg.gen)] +=
+        static_cast<double>(elapsed) * job.gang_size;
+    if (on_gpu_time_) {
+      on_gpu_time_(job.user, seg.gen, seg.start, now, job.gang_size);
+    }
+  }
 
   if (cancel_finish_event) {
-    sim_.Cancel(seg.finish_event);
-  }
-  if (on_gpu_time_ && elapsed > 0) {
-    on_gpu_time_(job.user, seg.gen, seg.start, now, job.gang_size);
+    sim_.DisarmTimer(finish_timer_[job.id.value()]);
   }
 
   cluster_.server(job.server).Release(job.id);
@@ -147,18 +196,181 @@ void Executor::Suspend(JobId id) {
   CloseSegment(job, /*cancel_finish_event=*/true);
   job.state = JobState::kSuspended;
   job.num_suspends += 1;
-  job.overhead_ms += SuspendLatency(job.model);
+  job.overhead_ms += CostsFor(job.model).suspend;
   job.checkpointed_minibatches = job.completed_minibatches;
 }
 
 void Executor::ApplyDelta(const ScheduleOp* ops, size_t count) {
+  // A slice's suspends (PlanDiffer orders them first) bound how much of a
+  // subsequent resume's warm-up can hide behind the outgoing jobs' drains.
+  SimDuration overlap_allowance = 0;
   for (size_t i = 0; i < count; ++i) {
+    // Each op's job record and segment are scattered by id; hint the next
+    // op's lines while this one applies.
+    if (i + 1 < count) {
+      jobs_.Prefetch(ops[i + 1].job);
+      PrefetchJobState(ops[i + 1].job);
+    }
     const ScheduleOp& op = ops[i];
     if (op.resume) {
-      Resume(op.job);
+      ResumeWithOverlap(op.job, overlap_allowance);
     } else {
       Suspend(op.job);
+      if (config_.overlap_warmup) {
+        overlap_allowance =
+            std::max(overlap_allowance, CostsFor(jobs_.Get(op.job).model).suspend);
+      }
     }
+  }
+}
+
+void Executor::ApplyDeltaParallel(const ApplySlice* slices, size_t num_slices,
+                                  common::ThreadPool& pool) {
+  // Serial prologue: pre-size every shared dense array and warm the lazy
+  // per-model cost cache, so the parallel phase performs no allocation and
+  // no first-touch initialization (either would race).
+  size_t total_ops = 0;
+  size_t max_job = 0;
+  for (size_t s = 0; s < num_slices; ++s) {
+    total_ops += slices[s].count;
+    for (size_t i = 0; i < slices[s].count; ++i) {
+      max_job = std::max(max_job, static_cast<size_t>(slices[s].ops[i].job.value()));
+      CostsFor(jobs_.Get(slices[s].ops[i].job).model);
+    }
+  }
+  if (total_ops == 0) {
+    return;
+  }
+  if (max_job >= segments_.size()) {
+    segments_.resize(max_job + 1);
+  }
+  prepared_scratch_.assign(total_ops, PreparedOp{});
+  std::vector<size_t> offsets(num_slices, 0);
+  for (size_t s = 1; s < num_slices; ++s) {
+    offsets[s] = offsets[s - 1] + slices[s - 1].count;
+  }
+
+  // Parallel prepare: per-job and per-server state only. Slices target
+  // pairwise-distinct servers (caller contract), so two chunks never touch
+  // the same job, segment slot, or server occupancy.
+  pool.ParallelFor(num_slices, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      PreparedOp* prepared = prepared_scratch_.data() + offsets[s];
+      SimDuration overlap_allowance = 0;
+      for (size_t i = 0; i < slices[s].count; ++i) {
+        const ScheduleOp& op = slices[s].ops[i];
+        if (op.resume) {
+          prepared[i] = PrepareResume(op.job, overlap_allowance);
+        } else {
+          prepared[i] = PrepareSuspend(op.job);
+          if (config_.overlap_warmup) {
+            overlap_allowance = std::max(
+                overlap_allowance, model_costs_[jobs_.Get(op.job).model.value()].suspend);
+          }
+        }
+      }
+    }
+  });
+
+  // Serial commit, in op order: exactly the sequence of running-list edits,
+  // timer arms/disarms, counter bumps and accounting flushes the serial
+  // ApplyDelta performs — same event ids, same ledger stream.
+  for (size_t s = 0; s < num_slices; ++s) {
+    const PreparedOp* prepared = prepared_scratch_.data() + offsets[s];
+    for (size_t i = 0; i < slices[s].count; ++i) {
+      CommitOp(slices[s].ops[i], prepared[i]);
+    }
+  }
+}
+
+Executor::PreparedOp Executor::PrepareResume(JobId id, SimDuration overlap_allowance) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kSuspended, "Resume requires a suspended job");
+  cluster::Server& server = cluster_.server(job.server);
+  GFAIR_CHECK_MSG(server.up(), "Resume on a down server");
+  GFAIR_CHECK_MSG(server.CanFit(job.gang_size), "Resume without free GPUs");
+  server.Allocate(id, job.gang_size);
+
+  const auto& profile = zoo_.Get(job.model);
+  RunSegment seg;
+  seg.start = sim_.Now();
+  seg.warmup = model_costs_[job.model.value()].resume;
+  SimDuration hidden = 0;
+  if (overlap_allowance > 0) {
+    hidden = std::min(seg.warmup, overlap_allowance);
+    seg.warmup -= hidden;
+  }
+  seg.gen = server.generation();
+  seg.rate = profile.GangThroughput(seg.gen, job.gang_size);
+  GFAIR_CHECK(seg.rate > 0.0);
+
+  const double remaining = job.remaining_minibatches();
+  GFAIR_CHECK(remaining > 0.0);
+  const SimDuration work_time =
+      static_cast<SimDuration>(std::ceil(remaining / seg.rate * kSecond));
+
+  seg.active = true;  // running_pos is assigned at commit
+  segments_[id.value()] = seg;
+  job.state = JobState::kRunning;
+  job.num_resumes += 1;
+  job.overhead_ms += seg.warmup;
+
+  PreparedOp out;
+  out.finish_at = seg.start + seg.warmup + work_time;
+  out.overlap_hidden = hidden;
+  return out;
+}
+
+Executor::PreparedOp Executor::PrepareSuspend(JobId id) {
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kRunning, "Suspend requires a running job");
+  RunSegment& seg = segments_[id.value()];
+  GFAIR_CHECK_MSG(seg.active, "job has no active run segment");
+  const SimTime now = sim_.Now();
+  const SimDuration elapsed = now - seg.start;
+
+  if (elapsed > 0) {
+    job.completed_minibatches = std::min(
+        job.total_minibatches, job.completed_minibatches + SegmentProgress(seg, elapsed));
+    job.gpu_ms_by_gen[cluster::GenerationIndex(seg.gen)] +=
+        static_cast<double>(elapsed) * job.gang_size;
+  }
+  cluster_.server(job.server).Release(job.id);
+  // seg.active flips at commit, together with the running-list edit it guards.
+
+  job.state = JobState::kSuspended;
+  job.num_suspends += 1;
+  job.overhead_ms += model_costs_[job.model.value()].suspend;
+  job.checkpointed_minibatches = job.completed_minibatches;
+
+  PreparedOp out;
+  out.user = job.user;
+  out.gen = seg.gen;
+  out.acct_start = seg.start;
+  out.gpus = job.gang_size;
+  out.flush_accounting = elapsed > 0;
+  return out;
+}
+
+void Executor::CommitOp(const ScheduleOp& op, const PreparedOp& prepared) {
+  RunSegment& seg = segments_[op.job.value()];
+  if (op.resume) {
+    seg.running_pos = static_cast<uint32_t>(running_list_.size());
+    running_list_.push_back(op.job);
+    sim_.ArmTimerAt(FinishTimerFor(op.job), prepared.finish_at);
+    warmup_bubble_ms_ += seg.warmup;
+    overlap_saved_ms_ += prepared.overlap_hidden;
+  } else {
+    sim_.DisarmTimer(finish_timer_[op.job.value()]);
+    if (prepared.flush_accounting && on_gpu_time_) {
+      on_gpu_time_(prepared.user, prepared.gen, prepared.acct_start, sim_.Now(),
+                   prepared.gpus);
+    }
+    const JobId moved = running_list_.back();
+    running_list_[seg.running_pos] = moved;
+    segments_[moved.value()].running_pos = seg.running_pos;
+    running_list_.pop_back();
+    seg.active = false;
   }
 }
 
@@ -195,6 +407,15 @@ void Executor::OnFinishEvent(JobId id) {
 }
 
 void Executor::Migrate(JobId id, ServerId dest) {
+  DoMigrate(id, dest, /*transfer_fraction=*/1.0);
+}
+
+void Executor::MigrateTail(JobId id, ServerId dest) {
+  GFAIR_CHECK_MSG(config_.precopy, "MigrateTail without precopy enabled");
+  DoMigrate(id, dest, config_.precopy_dirty_fraction);
+}
+
+void Executor::DoMigrate(JobId id, ServerId dest, double transfer_fraction) {
   Job& job = jobs_.Get(id);
   GFAIR_CHECK_MSG(job.state == JobState::kSuspended,
                   "Migrate requires a suspended job (suspend first)");
@@ -204,21 +425,108 @@ void Executor::Migrate(JobId id, ServerId dest) {
   GFAIR_CHECK_MSG(job.gang_size <= target.num_gpus(), "gang cannot fit on destination");
   GFAIR_CHECK_MSG(zoo_.Get(job.model).FitsGeneration(target.generation()),
                   "model does not fit destination generation's GPU memory");
+  GFAIR_CHECK(transfer_fraction >= 0.0 && transfer_fraction <= 1.0);
 
   job.state = JobState::kMigrating;
   // Concurrent checkpoint transfers share the migration network: stretch the
   // transfer by the contention factor for each migration already in flight.
   const double stretch =
       1.0 + config_.migrate_contention * static_cast<double>(migrations_in_flight_);
-  const SimDuration base_latency = MigrateLatency(job.model);
+  const double wire_gb = CompressedGb(job.model) * transfer_fraction;
+  const double compress_cpu_s = config_.compress_seconds_per_gb *
+                                zoo_.Get(job.model).checkpoint_gb * transfer_fraction;
   const SimDuration fixed = SuspendLatency(job.model) + ResumeLatency(job.model);
+  const SimDuration transfer = TransferTime(wire_gb, compress_cpu_s);
   const SimDuration latency =
-      fixed + static_cast<SimDuration>(static_cast<double>(base_latency - fixed) * stretch);
+      fixed + static_cast<SimDuration>(static_cast<double>(transfer) * stretch);
   job.overhead_ms += latency;
   job.num_migrations += 1;
   job.checkpointed_minibatches = job.completed_minibatches;
   migrations_in_flight_ += 1;
+  migration_bytes_gb_ += wire_gb;
+  migration_bubble_ms_ += latency;
   sim_.After(latency, [this, id, dest]() { FinishMigration(id, dest); });
+}
+
+void Executor::StartPreCopy(JobId id, ServerId dest) {
+  GFAIR_CHECK_MSG(config_.precopy, "StartPreCopy without precopy enabled");
+  Job& job = jobs_.Get(id);
+  GFAIR_CHECK_MSG(job.state == JobState::kRunning || job.state == JobState::kSuspended,
+                  "StartPreCopy requires a resident job");
+  GFAIR_CHECK(dest.valid() && dest != job.server);
+  const cluster::Server& target = cluster_.server(dest);
+  GFAIR_CHECK_MSG(target.up(), "StartPreCopy to a down server");
+  GFAIR_CHECK_MSG(job.gang_size <= target.num_gpus(), "gang cannot fit on destination");
+  GFAIR_CHECK_MSG(zoo_.Get(job.model).FitsGeneration(target.generation()),
+                  "model does not fit destination generation's GPU memory");
+
+  // The bulk ships the whole compressed checkpoint while the job keeps its
+  // source state (running or suspended — it stays schedulable either way, so
+  // none of this is bubble time and no overhead is charged to the job).
+  const double stretch =
+      1.0 + config_.migrate_contention * static_cast<double>(migrations_in_flight_);
+  const double wire_gb = CompressedGb(job.model);
+  const double compress_cpu_s =
+      config_.compress_seconds_per_gb * zoo_.Get(job.model).checkpoint_gb;
+  const SimDuration transfer = TransferTime(wire_gb, compress_cpu_s);
+  const SimDuration bulk =
+      static_cast<SimDuration>(static_cast<double>(transfer) * stretch);
+  migrations_in_flight_ += 1;
+  migration_bytes_gb_ += wire_gb;
+  precopies_started_ += 1;
+  pending_precopies_.push_back(PendingPrecopy{id, job.server, dest});
+  const ServerId source = job.server;
+  sim_.After(bulk, [this, id, source, dest]() { PrecopyCutover(id, source, dest); });
+}
+
+void Executor::PrecopyCutover(JobId id, ServerId source, ServerId dest) {
+  migrations_in_flight_ -= 1;
+  GFAIR_CHECK(migrations_in_flight_ >= 0);
+  for (size_t i = 0; i < pending_precopies_.size(); ++i) {
+    const PendingPrecopy& p = pending_precopies_[i];
+    if (p.job == id && p.source == source && p.dest == dest) {
+      pending_precopies_[i] = pending_precopies_.back();
+      pending_precopies_.pop_back();
+      break;
+    }
+  }
+
+  // The world may have moved on during the bulk transfer. A job that
+  // finished, was orphaned, or otherwise left its source makes the shipped
+  // checkpoint useless — the transfer is abandoned (wasted bytes, but no
+  // failure: the job never stopped running anywhere).
+  Job& job = jobs_.Get(id);
+  const bool still_at_source =
+      (job.state == JobState::kRunning || job.state == JobState::kSuspended) &&
+      job.server == source;
+  if (!still_at_source) {
+    precopies_aborted_ += 1;
+    GFAIR_DLOG << "pre-copy of job " << id << " abandoned (job left server "
+               << source << ")";
+    return;
+  }
+  if (!cluster_.server(dest).up()) {
+    // The destination died mid-flight. Unlike a stop-and-copy landing
+    // failure this is cheap — the job kept running at its source — but it
+    // is still an attributed failure for E10/E14.
+    migration_failures_dest_down_ += 1;
+    job.num_migration_failures += 1;
+    precopies_aborted_ += 1;
+    GFAIR_DLOG << "pre-copy of job " << id << " to server " << dest
+               << " failed: destination down";
+    if (on_migration_failed_) {
+      on_migration_failed_(id, dest);
+    }
+    return;
+  }
+  // Ask the scheduler to cut over: suspend/detach the job and start the
+  // stop-and-copy tail (MigrateTail). It may decline — e.g. it dropped its
+  // pre-copy claim when the job was orphaned and re-placed back onto the
+  // same server — which abandons the transfer like any other stale bulk.
+  const bool proceeded = on_precopy_cutover_ && on_precopy_cutover_(id, dest);
+  if (!proceeded) {
+    precopies_aborted_ += 1;
+  }
 }
 
 void Executor::FinishMigration(JobId id, ServerId dest) {
@@ -230,7 +538,10 @@ void Executor::FinishMigration(JobId id, ServerId dest) {
   // A transfer can fail at landing: the destination died while the
   // checkpoint was in flight, or the transfer itself flaked. The prob-zero
   // short-circuit also skips the RNG draw, keeping failure-free runs
-  // bit-identical to the pre-fault-plane executor.
+  // bit-identical to the pre-fault-plane executor. Given prob > 0 the flake
+  // draw stays unconditional — even when the destination is down — so the
+  // fault stream does not depend on cluster state; a down destination takes
+  // attribution priority over a simultaneous flake.
   const bool dest_down = !cluster_.server(dest).up();
   const bool flaked = config_.migrate_failure_prob > 0.0 &&
                       fault_rng_.Bernoulli(config_.migrate_failure_prob);
@@ -244,7 +555,11 @@ void Executor::FinishMigration(JobId id, ServerId dest) {
   }
 
   moved.num_migration_failures += 1;
-  migration_failures_ += 1;
+  if (dest_down) {
+    migration_failures_dest_down_ += 1;
+  } else {
+    migration_failures_flake_ += 1;
+  }
   // The checkpoint is durable, so the job falls back to its source — unless
   // the source died too while the transfer was in flight, which orphans it.
   if (moved.server.valid() && cluster_.server(moved.server).up()) {
@@ -293,6 +608,9 @@ void Executor::FailServer(ServerId id) {
   // callback runs: the callbacks then observe a consistent world (server
   // down, victims queued). Jobs mid-migration keep flying — their checkpoint
   // is already in durable storage (see FinishMigration for inbound ones).
+  // Pending pre-copy bulks out of this server keep flying too: the cutover
+  // re-validates that the job is still at its source, which an orphaned
+  // victim no longer is, so the stale transfer is abandoned there.
   std::vector<JobId> victims;
   for (Job* job : jobs_.All()) {
     if (job->server == id && (job->state == JobState::kRunning ||
@@ -333,8 +651,12 @@ void Executor::SyncAll() {
   // Snapshot first: an accounting callback could in principle suspend a job
   // and mutate running_list_ under the iteration.
   sync_scratch_.assign(running_list_.begin(), running_list_.end());
-  for (JobId id : sync_scratch_) {
-    SyncProgress(id);
+  for (size_t i = 0; i < sync_scratch_.size(); ++i) {
+    if (i + 1 < sync_scratch_.size()) {
+      jobs_.Prefetch(sync_scratch_[i + 1]);
+      PrefetchJobState(sync_scratch_[i + 1]);
+    }
+    SyncProgress(sync_scratch_[i]);
   }
 }
 

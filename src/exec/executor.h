@@ -41,6 +41,10 @@
 #include "workload/job.h"
 #include "workload/model_zoo.h"
 
+namespace gfair::common {
+class ThreadPool;
+}
+
 namespace gfair::exec {
 
 struct ExecutorConfig {
@@ -65,6 +69,34 @@ struct ExecutorConfig {
   // disables — and skips the draw entirely, keeping failure-free runs
   // bit-identical to builds without the fault plane.
   double migrate_failure_prob = 0.0;
+  // --- checkpoint compression (see DESIGN.md, "Migration cost model") ---
+  // Checkpoints are compressed before hitting the migration network: the
+  // transfer moves checkpoint_gb / compress_ratio GB, and compressing costs
+  // compress_seconds_per_gb * checkpoint_gb of CPU time added to the
+  // transfer phase (the trade: CPU seconds for network bytes). The defaults
+  // model compression off and keep migration timing bit-identical to the
+  // pre-compression executor.
+  double compress_ratio = 1.0;
+  double compress_seconds_per_gb = 0.0;
+  // --- pre-copy migration (live-migration style) ---
+  // When true, a migration of a resident job ships the bulk of the
+  // checkpoint while the job keeps executing at its source; only the
+  // stop-and-copy tail — suspend, re-send of the pages dirtied during the
+  // bulk transfer, resume — makes the job unavailable. The scheduler drives
+  // this through StartPreCopy + the cutover callback; plain Migrate remains
+  // the full stop-and-copy path (and the only path for orphan re-placement,
+  // where there is no live source to pre-copy from).
+  bool precopy = false;
+  // Fraction of the (compressed) checkpoint re-sent in the stop-and-copy
+  // tail: the write working set dirtied while the bulk transfer ran.
+  double precopy_dirty_fraction = 0.1;
+  // --- warm-up overlap (Tally-style GPU sharing at quantum edges) ---
+  // When true, a job resumed by an ApplyDelta slice warms up while the jobs
+  // suspended earlier in the same slice drain their last mini-batch: its
+  // no-progress warm-up prefix shrinks by up to the largest suspend latency
+  // among those departures, hiding the quantum-boundary bubble. Off keeps
+  // resume timing bit-identical to the non-overlapped executor.
+  bool overlap_warmup = false;
 };
 
 class Executor {
@@ -86,6 +118,12 @@ class Executor {
   // [start, end). Fired at the end of every run segment.
   using AccountingCallback = std::function<void(
       UserId user, cluster::GpuGeneration gen, SimTime start, SimTime end, int gpus)>;
+  // Fired when a pre-copy bulk transfer completes and the job is still a
+  // valid candidate on the executor side (alive, still at its source). The
+  // scheduler returns true to proceed — it must suspend/detach the job and
+  // call MigrateTail(job, dest) — or false to abort the migration (e.g. it
+  // already dropped its own pre-copy claim on the job).
+  using PrecopyCutoverCallback = std::function<bool(JobId, ServerId dest)>;
 
   Executor(simkit::Simulator& sim, cluster::Cluster& cluster,
            const workload::ModelZoo& zoo, workload::JobTable& jobs,
@@ -103,6 +141,9 @@ class Executor {
   void set_on_server_down(ServerEventCallback cb) { on_server_down_ = std::move(cb); }
   void set_on_server_up(ServerEventCallback cb) { on_server_up_ = std::move(cb); }
   void set_on_gpu_time(AccountingCallback cb) { on_gpu_time_ = std::move(cb); }
+  void set_on_precopy_cutover(PrecopyCutoverCallback cb) {
+    on_precopy_cutover_ = std::move(cb);
+  }
 
   // queued -> suspended: the job becomes resident on `server` (no cost; the
   // container/image is assumed pre-staged, as in the paper's clusters).
@@ -131,9 +172,42 @@ class Executor {
     ApplyDelta(ops.data(), ops.size());
   }
 
+  // One per-server run of consecutive ops inside a ScheduleDelta.
+  struct ApplySlice {
+    const ScheduleOp* ops;
+    size_t count;
+  };
+
+  // Applies many per-server slices with the per-job/per-server work fanned
+  // out across `pool` and a serial commit pass in slice order. Slices must
+  // target pairwise-distinct servers (disjoint jobs and GPUs by
+  // construction); under that precondition the result — state, decision
+  // order, event ids, accounting stream — is bit-identical to calling
+  // ApplyDelta on each slice in order, because everything order-sensitive
+  // (running-list maintenance, finish-timer arms, accounting flushes) is
+  // replayed serially in op order by the commit pass. Suspend/resume draw no
+  // RNG, so the fan-out cannot perturb streams.
+  void ApplyDeltaParallel(const ApplySlice* slices, size_t num_slices,
+                          common::ThreadPool& pool);
+
   // suspended -> migrating -> suspended on `dest` after the migration
   // latency. The migration-done callback then fires.
   void Migrate(JobId id, ServerId dest);
+
+  // Starts a pre-copy migration: the (compressed) checkpoint bulk-transfers
+  // while the job keeps running (or sits suspended) at its source; the job
+  // stays schedulable there throughout. When the bulk lands, the cutover
+  // callback asks the scheduler to suspend/detach the job and call
+  // MigrateTail — or the transfer is abandoned if the job finished, moved,
+  // was orphaned, or the destination died mid-flight (a cheap failure: the
+  // job never stopped running). Precondition: job running or suspended on an
+  // up server, destination up and fitting, config().precopy enabled.
+  void StartPreCopy(JobId id, ServerId dest);
+
+  // The stop-and-copy tail of a pre-copy migration: like Migrate but the
+  // transfer re-sends only precopy_dirty_fraction of the compressed
+  // checkpoint. Call from the cutover callback after suspending the job.
+  void MigrateTail(JobId id, ServerId dest);
 
   // Failure injection: the job's process dies (OOM, spot preemption, node
   // fault). Progress rolls back to the last checkpoint — checkpoints are
@@ -165,6 +239,14 @@ class Executor {
     return id.value() < segments_.size() && segments_[id.value()].active;
   }
 
+  // Cache hint for an upcoming IsRunning/SampleObservedRate on `id` in a
+  // walk over scattered job ids. No effect on behavior.
+  void PrefetchJobState(JobId id) const {
+    if (id.value() < segments_.size()) {
+      __builtin_prefetch(&segments_[id.value()]);
+    }
+  }
+
   // Ground-truth gang throughput (mini-batches/s) of the job on `gen`.
   double TrueRate(JobId id, cluster::GpuGeneration gen) const;
 
@@ -193,8 +275,31 @@ class Executor {
   // Lifetime fault counters (benches and tests).
   int64_t server_failures() const { return server_failures_; }
   int64_t server_recoveries() const { return server_recoveries_; }
-  int64_t migration_failures() const { return migration_failures_; }
+  // Failed landings, split by cause: the destination died while the
+  // checkpoint was in flight vs the transfer itself flaked. The total is
+  // their sum (kept as a getter so E10/E14 attribution can't drift).
+  int64_t migration_failures() const {
+    return migration_failures_dest_down_ + migration_failures_flake_;
+  }
+  int64_t migration_failures_dest_down() const { return migration_failures_dest_down_; }
+  int64_t migration_failures_flake() const { return migration_failures_flake_; }
   int64_t jobs_orphaned() const { return jobs_orphaned_; }
+
+  // Pre-copy lifecycle counters.
+  int64_t precopies_started() const { return precopies_started_; }
+  int64_t precopies_aborted() const { return precopies_aborted_; }
+
+  // Migration byte/bubble accounting (benches report these, not just
+  // counts). Bytes are post-compression GB put on the migration network
+  // (bulk + tail for pre-copies). Bubble is the time jobs were unavailable
+  // to the scheduler due to migration (the full latency for stop-and-copy,
+  // only the tail for pre-copies). Warm-up bubble is the total no-progress
+  // warm-up prefix charged at resumes; overlap_saved is the portion of it
+  // hidden by overlap_warmup.
+  double migration_bytes_gb() const { return migration_bytes_gb_; }
+  SimDuration migration_bubble_ms() const { return migration_bubble_ms_; }
+  SimDuration warmup_bubble_ms() const { return warmup_bubble_ms_; }
+  SimDuration overlap_saved_ms() const { return overlap_saved_ms_; }
 
   const ExecutorConfig& config() const { return config_; }
 
@@ -203,13 +308,12 @@ class Executor {
   // id — IsRunning and segment lookup are on the scheduler's per-quantum hot
   // path for every resident job, where a hash probe per call dominates.
   struct RunSegment {
-    SimTime start;                 // segment start (resume instant)
-    SimDuration warmup;            // no-progress prefix (resume latency)
-    double rate;                   // mini-batches/s once warmed up
+    SimTime start;       // segment start (resume instant)
+    SimDuration warmup;  // no-progress prefix (resume latency)
+    double rate;         // mini-batches/s once warmed up
     cluster::GpuGeneration gen;
-    simkit::EventId finish_event;  // pending completion event
-    bool active = false;           // this job currently holds GPUs
-    uint32_t running_pos = 0;      // index into running_list_ while active
+    bool active = false;      // this job currently holds GPUs
+    uint32_t running_pos = 0;  // index into running_list_ while active
   };
 
   RunSegment& SegmentOf(JobId id);
@@ -222,9 +326,39 @@ class Executor {
 
   void OnFinishEvent(JobId id);
 
+  // Per-model costs, resolved once per model instead of recomputing the
+  // latency formula (and its Seconds() rounding) on every suspend/resume.
+  struct ModelCosts {
+    SimDuration suspend = 0;
+    SimDuration resume = 0;
+    bool init = false;
+  };
+  const ModelCosts& CostsFor(workload::ModelId model);
+
+  // The job's finish timer slot (created at first resume; see
+  // EventQueue timers — arming/disarming replaces the push/cancel pair).
+  simkit::TimerId FinishTimerFor(JobId id);
+
+  // Shared resume body: `overlap_allowance` is the largest suspend latency
+  // earlier in the same apply slice (0 outside overlap mode).
+  void ResumeWithOverlap(JobId id, SimDuration overlap_allowance);
+
+  // Shared Migrate/MigrateTail body; `dirty_fraction` scales the transfer.
+  void DoMigrate(JobId id, ServerId dest, double transfer_fraction);
+
   // A checkpoint transfer reached its scheduled landing time: success, or
   // fall back to the source, or orphan when both ends are gone.
   void FinishMigration(JobId id, ServerId dest);
+
+  // A pre-copy bulk transfer reached its landing time: validate, ask the
+  // scheduler to cut over, or abandon the transfer.
+  void PrecopyCutover(JobId id, ServerId source, ServerId dest);
+
+  // Post-compression GB on the wire for a full checkpoint of `model`.
+  double CompressedGb(workload::ModelId model) const;
+  // Transfer seconds (compression CPU + wire time) for `gb` compressed GB,
+  // stretched by current contention.
+  SimDuration TransferTime(double compressed_gb, double compress_cpu_s) const;
 
   // Shared orphan mechanics for FailServer and FinishMigration: close the
   // segment if running, roll back to the checkpoint, queue the job. Does NOT
@@ -244,12 +378,52 @@ class Executor {
   std::vector<RunSegment> segments_;  // indexed by job id; see RunSegment
   std::vector<JobId> running_list_;   // ids of active segments (swap-erase)
   std::vector<JobId> sync_scratch_;   // reused snapshot buffer for SyncAll
+  std::vector<ModelCosts> model_costs_;       // indexed by model id
+  std::vector<simkit::TimerId> finish_timer_;  // indexed by job id
   int migrations_in_flight_ = 0;
+
+  // An in-flight pre-copy bulk transfer. The record is validated at cutover
+  // (the job may have finished, moved, or been orphaned mid-flight), so no
+  // eager invalidation is needed anywhere.
+  struct PendingPrecopy {
+    JobId job;
+    ServerId source;
+    ServerId dest;
+  };
+  std::vector<PendingPrecopy> pending_precopies_;
+
+  // Deferred per-op commit state for ApplyDeltaParallel: everything the
+  // parallel prepare pass computed but must apply serially in op order.
+  struct PreparedOp {
+    SimTime finish_at = 0;             // resumes: when the finish timer fires
+    SimDuration overlap_hidden = 0;    // resumes: warm-up hidden by overlap
+    UserId user;                       // suspends: deferred accounting args
+    cluster::GpuGeneration gen{};
+    SimTime acct_start = 0;
+    int gpus = 0;
+    bool flush_accounting = false;  // suspends: elapsed > 0, ledger owed
+  };
+  std::vector<PreparedOp> prepared_scratch_;
+
+  // ApplyDeltaParallel's three passes (see the public method for the
+  // contract): prepare runs concurrently across slices and touches only
+  // per-job/per-server state; commit replays the order-sensitive remainder
+  // serially in op order.
+  PreparedOp PrepareResume(JobId id, SimDuration overlap_allowance);
+  PreparedOp PrepareSuspend(JobId id);
+  void CommitOp(const ScheduleOp& op, const PreparedOp& prepared);
 
   int64_t server_failures_ = 0;
   int64_t server_recoveries_ = 0;
-  int64_t migration_failures_ = 0;
+  int64_t migration_failures_dest_down_ = 0;
+  int64_t migration_failures_flake_ = 0;
   int64_t jobs_orphaned_ = 0;
+  int64_t precopies_started_ = 0;
+  int64_t precopies_aborted_ = 0;
+  double migration_bytes_gb_ = 0.0;
+  SimDuration migration_bubble_ms_ = 0;
+  SimDuration warmup_bubble_ms_ = 0;
+  SimDuration overlap_saved_ms_ = 0;
 
   JobFinishedCallback on_finished_;
   MigrationDoneCallback on_migrated_;
@@ -258,6 +432,7 @@ class Executor {
   ServerEventCallback on_server_down_;
   ServerEventCallback on_server_up_;
   AccountingCallback on_gpu_time_;
+  PrecopyCutoverCallback on_precopy_cutover_;
 };
 
 }  // namespace gfair::exec

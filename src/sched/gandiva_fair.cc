@@ -29,6 +29,24 @@ constexpr Tickets kMinTickets = 1e-6;
 
 using internal_gfair::kMinTickets;
 
+SimDuration RetryBackoff(SimDuration base, int attempt) {
+  GFAIR_CHECK(attempt >= 1);
+  constexpr SimDuration kMaxBackoff = kDay;
+  if (base <= 0) {
+    return 0;
+  }
+  if (base >= kMaxBackoff) {
+    return kMaxBackoff;
+  }
+  const int shift = attempt - 1;
+  // base < kMaxBackoff here, so the shift fits iff base <= kMaxBackoff >> shift
+  // (and any shift past the cap's bit width saturates outright).
+  if (shift >= 63 || base > (kMaxBackoff >> shift)) {
+    return kMaxBackoff;
+  }
+  return base << shift;
+}
+
 GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
                                            GandivaFairConfig config)
     : env_(env),
@@ -40,6 +58,9 @@ GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
       trader_(env_, config_, index_, residency_, ticket_matrix_, decisions_, *this),
       planner_(ClusterStateView(env_.cluster, index_)),
       differ_(env_.jobs, env_.exec, ClusterStateView(env_.cluster, index_)),
+      apply_pool_(config_.apply_threads > 1
+                      ? std::make_unique<common::ThreadPool>(config_.apply_threads)
+                      : nullptr),
       checker_(env_, *this) {}
 
 GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
@@ -47,6 +68,10 @@ GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
 }
 
 void GandivaFairScheduler::Start() {
+  if (env_.exec.config().precopy) {
+    env_.exec.set_on_precopy_cutover(
+        [this](JobId id, ServerId dest) { return OnPrecopyCutover(id, dest); });
+  }
   env_.sim.Every(config_.quantum, [this]() { QuantumTick(); });
   if (config_.enable_load_balancing && env_.cluster.num_servers() > 1) {
     env_.sim.Every(config_.balance_period, [this]() { balancer_.Balance(); });
@@ -87,6 +112,7 @@ void GandivaFairScheduler::OnJobFinished(JobId id) {
   ResidencyIndex::JobInfo& info = residency_.Info(id);
   const ServerId server = info.home;
   GFAIR_CHECK(server.valid());
+  info.precopying = false;  // any in-flight pre-copy bulk is now stale
 
   // Account the final partial quantum to the stride pass before removal.
   LocalStrideScheduler& stride = index_.stride(server);
@@ -112,6 +138,15 @@ void GandivaFairScheduler::OnMigrationDone(JobId id) {
 
 void GandivaFairScheduler::OnMigrationFailed(JobId id, ServerId dest) {
   ResidencyIndex::JobInfo& info = residency_.Info(id);
+  if (info.precopying) {
+    // A pre-copy bulk lost its destination mid-flight. Cheap failure: the
+    // job never stopped running at its source and is still attached there —
+    // only the claim needs clearing before the retry ladder.
+    GFAIR_CHECK(!info.migrating);
+    info.precopying = false;
+    ScheduleRetryOrGiveUp(id, dest);
+    return;
+  }
   GFAIR_CHECK(info.migrating);
   info.migrating = false;
   // The executor bounced the job back, suspended, to its source server
@@ -121,19 +156,23 @@ void GandivaFairScheduler::OnMigrationFailed(JobId id, ServerId dest) {
   GFAIR_CHECK(job.server.valid());
   AttachResident(id, job.server);
   FillIdleGpus(job.server);
+  ScheduleRetryOrGiveUp(id, dest);
+}
 
+void GandivaFairScheduler::ScheduleRetryOrGiveUp(JobId id, ServerId dest) {
   RetryState& retry = RetryOf(id);
   retry.attempts += 1;
   if (retry.attempts > config_.migration_max_retries) {
     // Terminal fallback: the job stays at its source. Reset the counter so
     // a later, unrelated migration starts a fresh retry budget.
     GFAIR_WLOG << "migration of job " << id << " failed "
-               << retry.attempts << " times; staying on server " << job.server;
+               << retry.attempts << " times; staying on server "
+               << env_.jobs.Get(id).server;
     retry.attempts = 0;
     return;
   }
   const SimDuration backoff =
-      config_.migration_retry_backoff << (retry.attempts - 1);
+      RetryBackoff(config_.migration_retry_backoff, retry.attempts);
   retry.scheduled = true;
   const GpuGeneration gen = GenOf(dest);
   ++migration_retries_started_;
@@ -153,6 +192,12 @@ void GandivaFairScheduler::RetryMigration(JobId id, GpuGeneration gen) {
   }
   ResidencyIndex::JobInfo& info = residency_.Info(id);
   GFAIR_CHECK(!info.migrating);
+  if (info.precopying) {
+    // A newer pre-copy claim (balance/trade picked the job again during the
+    // backoff) supersedes this retry.
+    retry.attempts = 0;
+    return;
+  }
   // Re-target: the original destination may still be down, so pick the
   // least-loaded up server of the same pool.
   const ServerId dest = index_.LeastLoadedServer(gen, job.gang_size, info.home);
@@ -181,6 +226,7 @@ void GandivaFairScheduler::OnJobOrphaned(JobId id) {
     }
     DetachResident(id);
   }
+  info.precopying = false;  // any in-flight pre-copy bulk is now stale
   RetryOf(id).attempts = 0;  // orphaning voids any in-progress retry budget
   ReplaceOrphan(id);
 }
@@ -232,6 +278,7 @@ GandivaFairScheduler::RetryState& GandivaFairScheduler::RetryOf(JobId id) {
   return retry_[id.value()];
 }
 
+
 void GandivaFairScheduler::QuantumTick() {
   // Flush open run segments first so ledger windows attribute GPU time to
   // the quantum it was actually consumed in (long uninterrupted runs would
@@ -254,22 +301,63 @@ void GandivaFairScheduler::QuantumTick() {
   // whole quantum's ops for introspection.
   plan_.Clear();
   delta_.Clear();
-  for (const auto& server : env_.cluster.servers()) {
-    if (!server.up()) {
-      continue;
+  if (apply_pool_) {
+    // Two-pass tick (apply_threads > 1): charge/plan/diff every server
+    // first, then batch the per-server slices across the pool. Nothing in
+    // the first pass consumes event ids or RNG beyond what the fused loop
+    // does at the same point in server order, and slices touch disjoint
+    // servers/jobs, so the streams match the serial path bit for bit.
+    slice_begins_.clear();
+    for (const auto& server : env_.cluster.servers()) {
+      if (!server.up()) {
+        continue;
+      }
+      const ServerId id = server.id();
+      ChargeAndSample(id);
+      LocalStrideScheduler& stride = index_.stride(id);
+      if (planner_.PlanServerOrSkip(id, &plan_)) {
+        const SchedulePlan::ServerTarget& target = plan_.servers.back();
+        stride.AdvanceVirtualTime(target.min_runnable_pass);
+        index_.ClearPlanDirty(id);
+        slice_begins_.push_back(delta_.ops.size());
+        differ_.DiffServer(plan_, target, &delta_);
+      } else {
+        stride.AdvanceVirtualTime(plan_.skipped_vt.back().second);
+      }
     }
-    const ServerId id = server.id();
-    ChargeAndSample(id);
-    LocalStrideScheduler& stride = index_.stride(id);
-    if (planner_.PlanServerOrSkip(id, &plan_)) {
-      const SchedulePlan::ServerTarget& target = plan_.servers.back();
-      stride.AdvanceVirtualTime(target.min_runnable_pass);
-      index_.ClearPlanDirty(id);
-      const size_t ops_begin = delta_.ops.size();
-      differ_.DiffServer(plan_, target, &delta_);
-      ApplyDeltaSlice(ops_begin);
-    } else {
-      stride.AdvanceVirtualTime(plan_.skipped_vt.back().second);
+    slice_scratch_.clear();
+    for (size_t s = 0; s < slice_begins_.size(); ++s) {
+      const size_t begin = slice_begins_[s];
+      const size_t end =
+          s + 1 < slice_begins_.size() ? slice_begins_[s + 1] : delta_.ops.size();
+      if (begin < end) {
+        slice_scratch_.push_back(
+            exec::Executor::ApplySlice{delta_.ops.data() + begin, end - begin});
+      }
+    }
+    if (!slice_scratch_.empty()) {
+      env_.exec.ApplyDeltaParallel(slice_scratch_.data(), slice_scratch_.size(),
+                                   *apply_pool_);
+      RecordAppliedOps(0, delta_.ops.size());
+    }
+  } else {
+    for (const auto& server : env_.cluster.servers()) {
+      if (!server.up()) {
+        continue;
+      }
+      const ServerId id = server.id();
+      ChargeAndSample(id);
+      LocalStrideScheduler& stride = index_.stride(id);
+      if (planner_.PlanServerOrSkip(id, &plan_)) {
+        const SchedulePlan::ServerTarget& target = plan_.servers.back();
+        stride.AdvanceVirtualTime(target.min_runnable_pass);
+        index_.ClearPlanDirty(id);
+        const size_t ops_begin = delta_.ops.size();
+        differ_.DiffServer(plan_, target, &delta_);
+        ApplyDeltaSlice(ops_begin);
+      } else {
+        stride.AdvanceVirtualTime(plan_.skipped_vt.back().second);
+      }
     }
   }
 
@@ -296,15 +384,22 @@ void GandivaFairScheduler::ChargeAndSample(ServerId server) {
   LocalStrideScheduler& stride = index_.stride(server);
   const GpuGeneration gen = GenOf(server);
   const SimTime now = env_.sim.Now();
-  for (JobId id : stride.ResidentJobs()) {
+  const std::vector<JobId>& resident = stride.ResidentJobs();
+  for (size_t i = 0; i < resident.size(); ++i) {
+    // The walk's per-job state (segment, info, stride entry) is scattered by
+    // job id; hint the next job's lines while this one's sample is computed.
+    if (i + 1 < resident.size()) {
+      env_.exec.PrefetchJobState(resident[i + 1]);
+      residency_.PrefetchInfo(resident[i + 1]);
+    }
+    const JobId id = resident[i];
     if (env_.exec.IsRunning(id)) {
       ResidencyIndex::JobInfo& info = residency_.Info(id);
       stride.Charge(id, now - info.last_charge);
       info.last_charge = now;
-      const Job& job = env_.jobs.Get(id);
-      trader_.RecordSample(job.model, gen,
+      trader_.RecordSample(info.model, gen,
                            PerGpuRate::FromGangRate(env_.exec.SampleObservedRate(id),
-                                                    job.gang_size));
+                                                    info.gang_size));
     }
   }
 }
@@ -315,6 +410,10 @@ void GandivaFairScheduler::ApplyDeltaSlice(size_t ops_begin) {
     return;
   }
   env_.exec.ApplyDelta(delta_.ops.data() + ops_begin, ops_end - ops_begin);
+  RecordAppliedOps(ops_begin, ops_end);
+}
+
+void GandivaFairScheduler::RecordAppliedOps(size_t ops_begin, size_t ops_end) {
   const SimTime now = env_.sim.Now();
   for (size_t i = ops_begin; i < ops_end; ++i) {
     const exec::ScheduleOp& op = delta_.ops[i];
@@ -393,9 +492,23 @@ void GandivaFairScheduler::ExecuteMigration(JobId id, ServerId dest,
                                             MigrationCause cause) {
   ResidencyIndex::JobInfo& info = residency_.Info(id);
   GFAIR_CHECK(!info.migrating);
+  GFAIR_CHECK(!info.precopying);  // candidate walks skip claimed jobs
   GFAIR_CHECK(dest.valid() && dest != info.home);
   const ServerId source = info.home;
   decisions_.Record(env_.sim.Now(), DecisionFor(cause), id, source, dest);
+  RetryOf(id).cause = cause;  // a failed landing retries under the same cause
+  ++migrations_started_;
+
+  if (env_.exec.config().precopy) {
+    // Pre-copy: the bulk checkpoint ships while the job keeps running (or
+    // sits schedulable) at the source; residency is untouched until the
+    // cutover callback runs the stop-and-copy tail.
+    info.precopying = true;
+    env_.exec.StartPreCopy(id, dest);
+    GFAIR_DLOG << "pre-copying job " << id << " from server " << source
+               << " to " << dest;
+    return;
+  }
 
   if (env_.exec.IsRunning(id)) {
     index_.stride(source).Charge(id, env_.sim.Now() - info.last_charge);
@@ -405,11 +518,37 @@ void GandivaFairScheduler::ExecuteMigration(JobId id, ServerId dest,
   info.migrating = true;
   info.last_migration = env_.sim.Now();
   info.home = dest;  // AttachResident uses this when the migration lands
-  RetryOf(id).cause = cause;  // a failed landing retries under the same cause
-  ++migrations_started_;
   env_.exec.Migrate(id, dest);
   GFAIR_DLOG << "migrating job " << id << " from server " << source << " to " << dest;
   FillIdleGpus(source);
+}
+
+bool GandivaFairScheduler::OnPrecopyCutover(JobId id, ServerId dest) {
+  ResidencyIndex::JobInfo& info = residency_.Info(id);
+  if (!info.precopying) {
+    // The claim was dropped (the job was orphaned or finished and possibly
+    // re-placed back onto the same server) — the shipped bulk is stale.
+    return false;
+  }
+  GFAIR_CHECK(!info.migrating);
+  info.precopying = false;
+  if (index_.draining(dest) || index_.down(dest)) {
+    return false;  // destination became ineligible scheduler-side
+  }
+  const ServerId source = info.home;
+  if (env_.exec.IsRunning(id)) {
+    index_.stride(source).Charge(id, env_.sim.Now() - info.last_charge);
+    env_.exec.Suspend(id);
+  }
+  DetachResident(id);
+  info.migrating = true;
+  info.last_migration = env_.sim.Now();
+  info.home = dest;  // AttachResident uses this when the tail lands
+  env_.exec.MigrateTail(id, dest);
+  GFAIR_DLOG << "pre-copy cutover: job " << id << " from server " << source
+             << " to " << dest;
+  FillIdleGpus(source);
+  return true;
 }
 
 Tickets GandivaFairScheduler::PerJobTickets(UserId user, GpuGeneration gen,

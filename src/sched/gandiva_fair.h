@@ -39,9 +39,11 @@
 #ifndef GFAIR_SCHED_GANDIVA_FAIR_H_
 #define GFAIR_SCHED_GANDIVA_FAIR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sched/cluster_state_index.h"
 #include "sched/decision_log.h"
 #include "sched/invariant_checker.h"
@@ -116,7 +118,25 @@ struct GandivaFairConfig {
   // pass or trade epoch may move it again) — it is never left migrating.
   int migration_max_retries = 3;
   SimDuration migration_retry_backoff = Seconds(30);
+
+  // --- quantum-tick actuation ---
+  // Threads (counting the caller) batching the per-server ApplyDelta slices
+  // at each quantum tick. 1 = fully serial fused pipeline (the default).
+  // >1 = two-pass tick: charge/plan/diff every server first, then fan the
+  // per-server slices across a ThreadPool via Executor::ApplyDeltaParallel.
+  // Slices target disjoint servers/jobs/GPUs by construction and everything
+  // order-sensitive is committed serially in op order, so the decision log,
+  // event-id stream, RNG draws and accounting are bit-identical to the
+  // serial path (the decision-log cross-check test pins this).
+  int apply_threads = 1;
 };
+
+// Exponential migration-retry backoff for 1-based attempt k:
+// base * 2^(k-1), saturating at one simulated day. A plain shift overflows
+// SimDuration once k nears 63 (and goes negative well before that for large
+// bases), which a high migration_max_retries config can reach; saturation
+// keeps every attempt's delay finite and monotone instead.
+SimDuration RetryBackoff(SimDuration base, int attempt);
 
 class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
  public:
@@ -200,6 +220,10 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // Applies delta_.ops[ops_begin..end) — one diffed server's batch — then
   // records the decisions and resets resumed jobs' charge clocks.
   void ApplyDeltaSlice(size_t ops_begin);
+  // The decision/charge-clock bookkeeping shared by both apply paths: one
+  // DecisionLog record per op (in op order) and a last_charge reset per
+  // resume.
+  void RecordAppliedOps(size_t ops_begin, size_t ops_end);
 
   // Mid-quantum work conservation (arrivals/finishes/landed migrations).
   void FillIdleGpus(ServerId server);
@@ -219,10 +243,19 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
     MigrationCause cause = MigrationCause::kBalance;  // cause of the attempt
   };
   RetryState& RetryOf(JobId id);
+  // The shared tail of a failed transfer: bump the attempt counter and either
+  // schedule a backed-off retry (saturating — see RetryBackoff) or give up
+  // and leave the job at its source.
+  void ScheduleRetryOrGiveUp(JobId id, ServerId dest);
   // Fires when a backoff timer expires: re-target the least-loaded up server
   // of `gen` and re-start the migration, unless the world moved on (job
   // finished, migrating again, or orphaned meanwhile).
   void RetryMigration(JobId id, cluster::GpuGeneration gen);
+  // Executor pre-copy cutover callback: the bulk checkpoint landed at `dest`.
+  // Returns true after suspending/detaching the job and starting the
+  // stop-and-copy tail; false to abandon (the claim was dropped or the
+  // destination became ineligible scheduler-side).
+  bool OnPrecopyCutover(JobId id, ServerId dest);
   // Re-attempts placement of every parked orphan.
   void RetryPendingOrphans();
 
@@ -266,6 +299,14 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   PlanDiffer differ_;
   SchedulePlan plan_;
   ScheduleDelta delta_;
+
+  // Parallel-apply machinery (null / unused when apply_threads <= 1).
+  // slice_begins_ records each diffed server's offset into delta_.ops during
+  // the plan pass; slice_scratch_ materializes the ApplySlice pointers only
+  // after the pass, since delta_.ops may reallocate while growing.
+  std::unique_ptr<common::ThreadPool> apply_pool_;
+  std::vector<size_t> slice_begins_;
+  std::vector<exec::Executor::ApplySlice> slice_scratch_;
 
   // Post-quantum cluster-wide invariant sweep (declared last: reads the
   // subsystems above through `*this` but never mutates them).

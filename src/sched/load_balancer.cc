@@ -70,7 +70,9 @@ void LoadBalancer::Balance() {
           continue;
         }
         const Job& job = env_.jobs.Get(id);
-        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+        const ResidencyIndex::JobInfo& info = residency_.Info(id);
+        if (info.precopying ||
+            now - info.last_migration < config_.min_migration_interval) {
           continue;
         }
         if (job.gang_size <= best_spare + 1e-9 && job.gang_size > candidate_gang) {
@@ -127,7 +129,9 @@ void LoadBalancer::Balance() {
       Tickets best_gap = max_load - min_load;
       for (JobId id : index_.stride(max_server).ResidentJobs()) {
         const Job& job = env_.jobs.Get(id);
-        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+        const ResidencyIndex::JobInfo& info = residency_.Info(id);
+        if (info.precopying ||
+            now - info.last_migration < config_.min_migration_interval) {
           continue;
         }
         if (env_.cluster.server(min_server).num_gpus() < job.gang_size) {
@@ -176,6 +180,9 @@ void LoadBalancer::DrainBatch() {
         break;
       }
       const Job& job = env_.jobs.Get(id);
+      if (residency_.Info(id).precopying) {
+        continue;  // an in-flight pre-copy will move (or release) it shortly
+      }
       // Least-loaded non-draining server of the pool that fits the gang —
       // one ordered-set walk instead of a full pool scan.
       const ServerId dest = index_.LeastLoadedServer(gen, job.gang_size, source);

@@ -135,7 +135,9 @@ void PlacementEngine::TrySteal(ServerId server) {
         if (!env_.zoo.Get(job.model).FitsGeneration(gen)) {
           continue;
         }
-        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+        const ResidencyIndex::JobInfo& info = residency_.Info(id);
+        if (info.precopying ||
+            now - info.last_migration < config_.min_migration_interval) {
           continue;
         }
         candidate = id;

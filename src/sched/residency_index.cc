@@ -19,6 +19,8 @@ bool ResidencyIndex::RegisterJob(JobId id, UserId user, int gang_size) {
   }
   GFAIR_CHECK_MSG(!job_registered_[id.value()], "job already registered");
   JobInfo info;
+  info.model = jobs_.Get(id).model;
+  info.gang_size = gang_size;
   info.last_migration = kLongAgo;
   job_info_[id.value()] = info;
   job_registered_[id.value()] = true;

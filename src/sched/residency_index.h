@@ -34,9 +34,21 @@ class ResidencyIndex {
  public:
   struct JobInfo {
     ServerId home = ServerId::Invalid();  // resident/destination server
+    // Immutable copies of the job's model and gang size (set at
+    // registration). The quantum's charge-and-sample walk needs both for
+    // every running job; carrying them here — in the info line the walk
+    // already touches for last_charge — spares it a JobTable load per job.
+    workload::ModelId model = workload::ModelId::Invalid();
     SimTime last_charge = kTimeZero;
     SimTime last_migration;  // initialized to "long ago"
+    int gang_size = 0;
     bool migrating = false;
+    // An outstanding pre-copy claim: the bulk checkpoint transfer is in
+    // flight while the job stays resident (and schedulable) at `home`.
+    // Cleared at cutover, at abandonment (finish/orphan/failure), or when
+    // the scheduler drops the claim. A precopying job is never picked as a
+    // migration candidate and never carries `migrating` at the same time.
+    bool precopying = false;
   };
 
   explicit ResidencyIndex(const workload::JobTable& jobs) : jobs_(jobs) {}
@@ -60,6 +72,14 @@ class ResidencyIndex {
     GFAIR_CHECK_MSG(id.value() < job_info_.size() && job_registered_[id.value()],
                     "unknown job");
     return job_info_[id.value()];
+  }
+
+  // Cache hint for an upcoming Info() call in a walk over scattered job ids.
+  // No effect on behavior.
+  void PrefetchInfo(JobId id) const {
+    if (id.value() < job_info_.size()) {
+      __builtin_prefetch(&job_info_[id.value()]);
+    }
   }
 
   // --- pool residency (ground truth for demand aggregates) ---

@@ -97,7 +97,8 @@ void TradeCoordinator::RunProbes() {
       }
       const Job& job = env_.jobs.Get(id);
       const ResidencyIndex::JobInfo& info = residency_.Info(id);
-      if (now - info.last_migration < config_.min_migration_interval) {
+      if (info.precopying ||
+          now - info.last_migration < config_.min_migration_interval) {
         continue;
       }
       const GpuGeneration current = env_.cluster.server(info.home).generation();
@@ -223,7 +224,9 @@ void TradeCoordinator::RebalanceResidency(const TradeOutcome& outcome) {
       int candidate_gang = INT32_MAX;
       for (JobId id : common::SortedKeys(residency_.PoolJobs(user, kAllGenerations[over]))) {
         const Job& job = env_.jobs.Get(id);
-        if (now - residency_.Info(id).last_migration < config_.min_migration_interval) {
+        const ResidencyIndex::JobInfo& info = residency_.Info(id);
+        if (info.precopying ||
+            now - info.last_migration < config_.min_migration_interval) {
           continue;
         }
         if (!env_.zoo.Get(job.model).FitsGeneration(kAllGenerations[under])) {

@@ -98,11 +98,18 @@ bool EventQueue::CallbackTable::Contains(EventId id) const {
 EventId EventQueue::Push(SimTime when, EventCallback callback) {
   GFAIR_CHECK(callback != nullptr);
   const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  Enqueue(Entry{when, id, kInvalidTimer});
   callbacks_.Insert(id, std::move(callback));
   ++live_count_;
   return id;
+}
+
+
+TimerId EventQueue::CreateTimer(EventCallback callback) {
+  GFAIR_CHECK(callback != nullptr);
+  const TimerId timer = static_cast<TimerId>(timers_.size());
+  timers_.push_back(TimerSlot{std::move(callback), 0});
+  return timer;
 }
 
 bool EventQueue::Cancel(EventId id) {
@@ -111,22 +118,56 @@ bool EventQueue::Cancel(EventId id) {
   }
   --live_count_;
   // ~5:1 tombstone slack: a lower ratio (e.g. 1:1) makes steady cancel
-  // workloads recompact every couple of quanta, and the O(heap) passes start
+  // workloads recompact every couple of quanta, and the O(n) passes start
   // to show up in tick profiles; memory stays bounded by the live count.
-  if (heap_.size() > 6 * live_count_ + 64) {
+  if (heap_.size() + far_.size() > 6 * live_count_ + 64) {
     Compact();
   }
   return true;
 }
 
 void EventQueue::Compact() {
-  std::erase_if(heap_,
-                [this](const Entry& entry) { return !callbacks_.Contains(entry.id); });
+  std::erase_if(heap_, [this](const Entry& entry) { return !IsLive(entry); });
   std::make_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  // The far band filters without heap repair — the cheapness of compacting
+  // an unsorted band is most of its point. Timer entries are always live
+  // here (disarm splices them out immediately), so filtering only drops
+  // cancelled one-shot events; surviving timer entries get their slots'
+  // far_index re-pointed at their new positions.
+  std::erase_if(far_, [this](const Entry& entry) { return !IsLive(entry); });
+  far_min_ = kTimeNever;
+  for (size_t i = 0; i < far_.size(); ++i) {
+    if (far_[i].timer != kInvalidTimer) {
+      timers_[far_[i].timer].far_index = static_cast<uint32_t>(i);
+    }
+    if (far_[i].time < far_min_) {
+      far_min_ = far_[i].time;
+    }
+  }
+}
+
+void EventQueue::MaybeDrainFar() const {
+  if (far_.empty()) {
+    return;
+  }
+  if (!heap_.empty() && heap_.front().time < far_min_) {
+    return;
+  }
+  for (const Entry& entry : far_) {
+    if (entry.timer != kInvalidTimer) {
+      timers_[entry.timer].far_index = kNoFarIndex;
+    }
+    if (IsLive(entry)) {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+    }
+  }
+  far_.clear();
+  far_min_ = kTimeNever;
 }
 
 void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() && !callbacks_.Contains(heap_.front().id)) {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
     heap_.pop_back();
   }
@@ -134,6 +175,7 @@ void EventQueue::DropCancelledHead() const {
 
 SimTime EventQueue::NextTime() const {
   DropCancelledHead();
+  MaybeDrainFar();
   if (heap_.empty()) {
     return kTimeNever;
   }
@@ -142,13 +184,21 @@ SimTime EventQueue::NextTime() const {
 
 EventQueue::PoppedEvent EventQueue::Pop() {
   DropCancelledHead();
+  MaybeDrainFar();
   GFAIR_CHECK_MSG(!heap_.empty(), "Pop() on empty EventQueue");
   const Entry entry = heap_.front();
+  last_fired_ = entry.time;
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
   heap_.pop_back();
-  PoppedEvent popped{entry.time, entry.id, callbacks_.Take(entry.id)};
   --live_count_;
-  return popped;
+  if (entry.timer != kInvalidTimer) {
+    // Firing consumes the arm (the slot is free to re-arm, even from inside
+    // the callback); the slot keeps the callback, so hand out a copy.
+    TimerSlot& slot = timers_[entry.timer];
+    slot.armed_id = 0;
+    return PoppedEvent{entry.time, entry.id, slot.callback};
+  }
+  return PoppedEvent{entry.time, entry.id, callbacks_.Take(entry.id)};
 }
 
 }  // namespace gfair::simkit

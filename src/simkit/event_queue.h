@@ -9,6 +9,30 @@
 // keep the heap proportional to the live event count instead of growing
 // without bound. Compaction never changes pop order: the heap's (time, id)
 // key is a strict total order.
+//
+// Timers are the cheap path for the arm/disarm churn above: a timer is a
+// permanent slot holding its callback, created once, then re-armed with a
+// fresh (time, id) heap entry each cycle. Arming draws ids from the same
+// counter as Push, so the relative fire order of timers and one-shot events
+// is exactly what the equivalent Push sequence would produce — swapping one
+// for the other is invisible to the simulation. What changes is the cost:
+// arm is a heap push plus one slot store, disarm is one slot store, and the
+// liveness probe (pop, compaction) is an array compare instead of a hash
+// lookup. The executor's per-job completion events — pushed and cancelled
+// once per suspend/resume cycle, thousands per full-churn quantum — are the
+// workload this exists for.
+//
+// Far band: entries scheduled more than an hour of simulated time ahead of
+// the last fired event bypass the heap into an unsorted overflow vector.
+// They only matter once the clock approaches the earliest of them, so the
+// band is drained into the heap when the live heap front reaches (or the
+// heap runs out before) that minimum — pop order is unchanged because the
+// (time, id) key is a strict total order regardless of which container an
+// entry waited in. The win is the steady state: a long job's completion
+// event is armed thousands of quanta before it fires, and without the band
+// every arm is a heap push and every compaction walks and re-heapifies all
+// of them; with it they cost a vector append and compaction filters them
+// without heap repair.
 #ifndef GFAIR_SIMKIT_EVENT_QUEUE_H_
 #define GFAIR_SIMKIT_EVENT_QUEUE_H_
 
@@ -23,6 +47,8 @@ namespace gfair::simkit {
 
 using EventCallback = std::function<void()>;
 using EventId = uint64_t;
+using TimerId = uint32_t;
+inline constexpr TimerId kInvalidTimer = static_cast<TimerId>(-1);
 
 class EventQueue {
  public:
@@ -31,8 +57,27 @@ class EventQueue {
   EventId Push(SimTime when, EventCallback callback);
 
   // Cancels a pending event. Returns false if the event already fired or was
-  // already cancelled.
+  // already cancelled. Timer arms are not cancellable through this — use
+  // DisarmTimer.
   bool Cancel(EventId id);
+
+  // --- timers (see file comment) ---
+  //
+  // Allocates a permanent timer slot owning `callback`. Slots are never
+  // freed; create one per long-lived recurring purpose (e.g. per job), not
+  // per firing.
+  TimerId CreateTimer(EventCallback callback);
+  // Schedules the timer's callback at `when`. Precondition: not armed.
+  // Returns the heap entry's event id (introspection; disarm by TimerId).
+  // Defined inline below: arm/disarm run thousands of times per full-churn
+  // quantum and the bodies are a handful of stores.
+  EventId ArmTimer(TimerId timer, SimTime when);
+  // Cancels a pending arm. Returns false if the timer was not armed (never
+  // armed, already fired, or already disarmed). O(1), no heap access.
+  bool DisarmTimer(TimerId timer);
+  bool TimerArmed(TimerId timer) const {
+    return timers_[timer].armed_id != 0;
+  }
 
   bool empty() const { return live_count_ == 0; }
   size_t size() const { return live_count_; }
@@ -52,6 +97,10 @@ class EventQueue {
   struct Entry {
     SimTime time;
     EventId id;
+    // Owning timer slot, or kInvalidTimer for a one-shot Push event. Decides
+    // where the entry's callback and liveness live: the timer slot (armed_id
+    // must still equal `id`) or the callback table.
+    TimerId timer = kInvalidTimer;
     // Min-heap on (time, id): earlier time first, then earlier scheduling.
     bool operator>(const Entry& other) const {
       if (time != other.time) {
@@ -60,6 +109,28 @@ class EventQueue {
       return id > other.id;
     }
   };
+
+  static constexpr uint32_t kNoFarIndex = static_cast<uint32_t>(-1);
+
+  struct TimerSlot {
+    EventCallback callback;
+    EventId armed_id = 0;  // 0 = not armed
+    // Position of the armed entry inside far_, or kNoFarIndex when the arm
+    // went to the heap (or the timer is not armed). Far entries only move on
+    // swap-remove, drain, and compaction — all of which patch this — so a
+    // disarm can splice its far entry out in O(1) instead of leaving a
+    // tombstone. The common cycle (arm far, disarm before the horizon nears)
+    // then never grows the far band or triggers compaction.
+    uint32_t far_index = kNoFarIndex;
+  };
+
+  // Whether a heap entry will still fire (not cancelled/disarmed/superseded).
+  bool IsLive(const Entry& entry) const {
+    if (entry.timer != kInvalidTimer) {
+      return timers_[entry.timer].armed_id == entry.id;
+    }
+    return callbacks_.Contains(entry.id);
+  }
 
   // Open-addressing hash table from live EventId to its callback. Push and
   // Cancel run once per executor resume/suspend every quantum, so the table
@@ -97,19 +168,99 @@ class EventQueue {
     size_t size_ = 0;
   };
 
+  // Routes a fresh entry to the heap or, when it lies past the far horizon,
+  // the far band. Shared by Push and ArmTimer; inline below.
+  void Enqueue(const Entry& entry);
+
   void DropCancelledHead() const;
-  // Rebuilds the heap keeping only live entries. O(heap size); amortized
-  // O(1) per cancel since it only runs once tombstones exceed live entries.
+  // Rebuilds heap and far band keeping only live entries. O(total entries);
+  // amortized O(1) per cancel since it only runs once tombstones exceed live
+  // entries.
   void Compact();
+
+  // Entries at or beyond this much simulated time past the last fired event
+  // go to the far band instead of the heap. Must comfortably exceed every
+  // recurring period in the system (quantum, balance, trade — minutes), so
+  // steady-state recurring events never cycle through the band.
+  static constexpr SimDuration kFarHorizon = 60 * 60 * 1000;  // 1 sim-hour
+
+  // Moves the far band into the heap once the heap front (or heap
+  // exhaustion) reaches the band's earliest entry. Mutates only the mutable
+  // containers — logically const like DropCancelledHead.
+  void MaybeDrainFar() const;
 
   // Min-heap over a flat vector (std::push_heap/pop_heap with greater<>) so
   // it can be compacted in place; callbacks live in a side table so cancelled
   // callbacks release their captures promptly.
   mutable std::vector<Entry> heap_;
+  // Far band (see file comment): unsorted; `far_min_` tracks the minimum
+  // entry time ever inserted since the last drain. Cancelled entries can
+  // leave it lower than any live entry — that only costs a premature drain.
+  mutable std::vector<Entry> far_;
+  mutable SimTime far_min_ = kTimeNever;
+  SimTime last_fired_ = 0;
   CallbackTable callbacks_;
+  // Mutable for MaybeDrainFar: draining clears the drained entries'
+  // far_index back-pointers — cache maintenance, not behavior.
+  mutable std::vector<TimerSlot> timers_;
   EventId next_id_ = 1;
   size_t live_count_ = 0;
 };
+
+inline void EventQueue::Enqueue(const Entry& entry) {
+  if (entry.time - last_fired_ >= kFarHorizon) {
+    if (entry.timer != kInvalidTimer) {
+      timers_[entry.timer].far_index = static_cast<uint32_t>(far_.size());
+    }
+    far_.push_back(entry);
+    if (entry.time < far_min_) {
+      far_min_ = entry.time;
+    }
+    return;
+  }
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+}
+
+inline EventId EventQueue::ArmTimer(TimerId timer, SimTime when) {
+  GFAIR_CHECK(timer < timers_.size());
+  TimerSlot& slot = timers_[timer];
+  GFAIR_CHECK_MSG(slot.armed_id == 0, "ArmTimer on an armed timer");
+  const EventId id = next_id_++;
+  Enqueue(Entry{when, id, timer});
+  slot.armed_id = id;
+  ++live_count_;
+  return id;
+}
+
+inline bool EventQueue::DisarmTimer(TimerId timer) {
+  GFAIR_CHECK(timer < timers_.size());
+  TimerSlot& slot = timers_[timer];
+  if (slot.armed_id == 0) {
+    return false;
+  }
+  slot.armed_id = 0;
+  --live_count_;
+  if (slot.far_index != kNoFarIndex) {
+    // Splice the far entry out (see TimerSlot::far_index); no tombstone.
+    const uint32_t idx = slot.far_index;
+    slot.far_index = kNoFarIndex;
+    far_[idx] = far_.back();
+    far_.pop_back();
+    if (idx < far_.size() && far_[idx].timer != kInvalidTimer) {
+      timers_[far_[idx].timer].far_index = idx;
+    }
+    // far_min_ may now under-estimate the surviving minimum; that only costs
+    // a premature (harmless) drain.
+    return true;
+  }
+  // Heap-resident arm: tombstone, same slack policy as Cancel (see
+  // event_queue.cc).
+  if (heap_.size() + far_.size() > 6 * live_count_ + 64) {
+    Compact();
+  }
+  return true;
+}
 
 }  // namespace gfair::simkit
 

@@ -33,6 +33,19 @@ class Simulator {
   EventId Every(SimDuration period, std::function<void()> callback);
   bool Cancel(EventId id);
 
+  // Reusable timers (see EventQueue): create once, then arm/disarm per
+  // cycle. The cheap path for high-churn recurring events — the executor's
+  // per-job completion events are the intended user.
+  TimerId CreateTimer(EventCallback callback) {
+    return queue_.CreateTimer(std::move(callback));
+  }
+  EventId ArmTimerAt(TimerId timer, SimTime when) {
+    GFAIR_CHECK_MSG(when >= now_, "cannot schedule events in the past");
+    return queue_.ArmTimer(timer, when);
+  }
+  bool DisarmTimer(TimerId timer) { return queue_.DisarmTimer(timer); }
+  bool TimerArmed(TimerId timer) const { return queue_.TimerArmed(timer); }
+
   // Runs until the queue drains or the clock would pass `deadline`; the clock
   // ends at min(deadline, last event time). Returns the number of events
   // processed.

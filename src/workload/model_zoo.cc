@@ -13,8 +13,19 @@ bool ModelProfile::FitsGeneration(cluster::GpuGeneration gen) const {
 double ModelProfile::GangThroughput(cluster::GpuGeneration gen, int gang_size) const {
   GFAIR_CHECK(gang_size >= 1);
   const double per_gpu = throughput[cluster::GenerationIndex(gen)];
-  const double efficiency = std::pow(scaling_efficiency, std::log2(gang_size));
+  const double efficiency =
+      gang_size <= eff_cached_upto
+          ? gang_efficiency[static_cast<size_t>(gang_size - 1)]
+          : std::pow(scaling_efficiency, std::log2(gang_size));
   return static_cast<double>(gang_size) * per_gpu * efficiency;
+}
+
+void ModelProfile::PrecomputeGangEfficiency() {
+  for (int k = 1; k <= kMaxCachedGang; ++k) {
+    gang_efficiency[static_cast<size_t>(k - 1)] =
+        std::pow(scaling_efficiency, std::log2(k));
+  }
+  eff_cached_upto = kMaxCachedGang;
 }
 
 ModelId ModelZoo::Register(std::string name, cluster::PerGeneration<double> throughput,
@@ -34,6 +45,7 @@ ModelId ModelZoo::Register(std::string name, cluster::PerGeneration<double> thro
   const ModelId id(static_cast<uint32_t>(models_.size()));
   models_.push_back(ModelProfile{id, std::move(name), throughput, checkpoint_gb,
                                  memory_per_gpu_gb, scaling_efficiency});
+  models_.back().PrecomputeGangEfficiency();
   return id;
 }
 

@@ -10,6 +10,7 @@
 #ifndef GFAIR_WORKLOAD_MODEL_ZOO_H_
 #define GFAIR_WORKLOAD_MODEL_ZOO_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,17 @@ struct ModelProfile {
 
   // Total gang throughput (mini-batches/s) on `gang_size` GPUs of `gen`.
   double GangThroughput(cluster::GpuGeneration gen, int gang_size) const;
+
+  // Precomputed scaling_efficiency^(log2 k) for k in [1, kMaxCachedGang]
+  // (index k-1). GangThroughput sits on the executor's per-resume hot path,
+  // where the pow/log2 pair dominated the call; the table reproduces the
+  // formula bit-exactly. Filled by ModelZoo::Register — directly
+  // brace-constructed profiles (tests) leave eff_cached_upto at 0 and take
+  // the pow() fallback.
+  void PrecomputeGangEfficiency();
+  static constexpr int kMaxCachedGang = 32;
+  std::array<double, kMaxCachedGang> gang_efficiency{};
+  int eff_cached_upto = 0;
 };
 
 class ModelZoo {

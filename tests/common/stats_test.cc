@@ -58,6 +58,49 @@ TEST(PercentileSamplerTest, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(sampler.Mean(), 0.0);
 }
 
+TEST(PercentileSamplerTest, SingleSampleIsEveryPercentile) {
+  PercentileSampler sampler;
+  sampler.Add(42.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(sampler.Mean(), 42.0);
+}
+
+TEST(PercentileSamplerTest, TwoSamplesInterpolateLinearly) {
+  PercentileSampler sampler;
+  sampler.Add(10.0);
+  sampler.Add(20.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(75), 17.5);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(100), 20.0);
+}
+
+TEST(PercentileSamplerTest, BoundaryRanksAreExactSamples) {
+  // p landing exactly on a rank must return that sample with no
+  // interpolation (frac == 0), including the last rank where hi == lo.
+  PercentileSampler sampler;
+  for (int i = 0; i < 5; ++i) {
+    sampler.Add(i * 10.0);  // ranks 0..4 at p = 0, 25, 50, 75, 100
+  }
+  EXPECT_DOUBLE_EQ(sampler.Percentile(25), 10.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(75), 30.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(100), 40.0);
+}
+
+TEST(PercentileSamplerTest, DuplicatesAndUnsortedInsertion) {
+  PercentileSampler sampler;
+  for (double x : {5.0, 1.0, 5.0, 3.0, 5.0}) {
+    sampler.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(sampler.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(sampler.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(sampler.Percentile(100), 5.0);
+  EXPECT_EQ(sampler.count(), 5u);
+}
+
 TEST(PercentileSamplerTest, AddAfterQueryStaysSorted) {
   PercentileSampler sampler;
   sampler.Add(3.0);

@@ -1,0 +1,255 @@
+// Migration cost model: checkpoint compression (ratio + CPU cost knobs),
+// pre-copy migration (bulk overlaps continued execution; only the
+// stop-and-copy tail bubbles), warm-up overlap at apply edges, the
+// bytes/bubble accumulators behind E10/E14, and the split
+// dest-down-vs-flake failure attribution. The neutral-default tests pin the
+// bit-identity claim: with the knobs at their defaults every formula
+// reduces to the pre-compression, stop-and-copy executor.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "exec/executor.h"
+#include "simkit/simulator.h"
+#include "workload/job.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::exec {
+namespace {
+
+using cluster::GpuGeneration;
+using workload::Job;
+using workload::JobState;
+
+// DCGAN in the default zoo: checkpoint 0.6 GB, K80 rate 16 mb/s. With the
+// default latency model: suspend 620 ms, resume 1180 ms, transfer at 1 GB/s.
+constexpr double kCkptGb = 0.6;
+
+class MigrationCostTest : public ::testing::Test {
+ protected:
+  MigrationCostTest()
+      : cluster_(cluster::Topology{{{GpuGeneration::kK80, 2, 4}}}) {}
+
+  void Init(const ExecutorConfig& config) {
+    exec_.emplace(sim_, cluster_, workload::ModelZoo::Default(), jobs_, config,
+                  /*seed=*/1);
+    exec_->set_on_migration_done([this](JobId id) { migrated_.push_back(id); });
+    exec_->set_on_migration_failed(
+        [this](JobId id, ServerId dest) { failed_.push_back({id, dest}); });
+  }
+
+  Job& MakeJob(double minibatches, int gang = 1) {
+    const auto& model = workload::ModelZoo::Default().GetByName("DCGAN");
+    return jobs_.Create(UserId(0), model.id, gang, minibatches, sim_.Now());
+  }
+
+  ServerId Src() const { return cluster_.servers_of(GpuGeneration::kK80)[0]; }
+  ServerId Dst() const { return cluster_.servers_of(GpuGeneration::kK80)[1]; }
+
+  simkit::Simulator sim_;
+  cluster::Cluster cluster_;
+  workload::JobTable jobs_;
+  std::optional<Executor> exec_;
+  std::vector<JobId> migrated_;
+  std::vector<std::pair<JobId, ServerId>> failed_;
+};
+
+TEST_F(MigrationCostTest, CompressionDefaultsAreNeutral) {
+  Init(ExecutorConfig{});
+  const Job& job = MakeJob(1e9);
+  // ratio 1 / zero CPU cost: latency is exactly the pre-compression
+  // suspend + wire + resume formula.
+  const SimDuration expected =
+      Seconds(0.5 + 0.2 * kCkptGb) + Seconds(kCkptGb / 1.0) +
+      Seconds(1.0 + 0.3 * kCkptGb);
+  EXPECT_EQ(exec_->MigrateLatency(job.model), expected);
+}
+
+TEST_F(MigrationCostTest, CompressionTradesWireBytesForCpuSeconds) {
+  ExecutorConfig config;
+  config.compress_ratio = 4.0;
+  config.compress_seconds_per_gb = 2.0;
+  Init(config);
+  Job& job = MakeJob(1e9);
+  // Transfer phase = compressed wire time + compression CPU time; the CPU
+  // cost scales with the UNcompressed checkpoint.
+  const SimDuration expected = Seconds(0.5 + 0.2 * kCkptGb) +
+                               Seconds(kCkptGb / 4.0 + 2.0 * kCkptGb) +
+                               Seconds(1.0 + 0.3 * kCkptGb);
+  EXPECT_EQ(exec_->MigrateLatency(job.model), expected);
+
+  exec_->MakeResident(job.id, Src());
+  exec_->Migrate(job.id, Dst());
+  sim_.Run();
+  EXPECT_EQ(job.server, Dst());
+  // Only the compressed bytes hit the migration network.
+  EXPECT_DOUBLE_EQ(exec_->migration_bytes_gb(), kCkptGb / 4.0);
+}
+
+TEST_F(MigrationCostTest, StopAndCopyAccumulatesBytesAndBubble) {
+  Init(ExecutorConfig{});
+  Job& job = MakeJob(1e9);
+  exec_->MakeResident(job.id, Src());
+  exec_->Migrate(job.id, Dst());
+  sim_.Run();
+  ASSERT_EQ(migrated_.size(), 1u);
+  EXPECT_DOUBLE_EQ(exec_->migration_bytes_gb(), kCkptGb);
+  // The whole stop-and-copy latency is a bubble (the job is unavailable),
+  // and it is exactly what the job was charged as overhead.
+  EXPECT_EQ(exec_->migration_bubble_ms(), exec_->MigrateLatency(job.model));
+  EXPECT_EQ(job.overhead_ms, exec_->migration_bubble_ms());
+}
+
+TEST_F(MigrationCostTest, PrecopyOverlapsBulkWithExecution) {
+  ExecutorConfig config;
+  config.precopy = true;
+  config.precopy_dirty_fraction = 0.25;
+  Init(config);
+  Job& job = MakeJob(1e9);
+  exec_->set_on_precopy_cutover([this](JobId id, ServerId dest) {
+    if (exec_->IsRunning(id)) {
+      exec_->Suspend(id);
+    }
+    exec_->MigrateTail(id, dest);
+    return true;
+  });
+  exec_->MakeResident(job.id, Src());
+  exec_->Resume(job.id);
+  sim_.RunUntil(Seconds(30));
+
+  exec_->StartPreCopy(job.id, Dst());
+  // The job keeps running through the bulk transfer (600 ms at 1 GB/s).
+  EXPECT_TRUE(exec_->IsRunning(job.id));
+  sim_.RunUntil(Seconds(30) + Seconds(0.5));
+  EXPECT_TRUE(exec_->IsRunning(job.id));
+
+  sim_.Run();
+  ASSERT_EQ(migrated_.size(), 1u);
+  EXPECT_EQ(job.server, Dst());
+  EXPECT_EQ(job.state, JobState::kSuspended);
+  // Progress accrues lazily at segment close; the segment ran ~30.6 s
+  // (through the bulk) minus warm-up, at ~16 mb/s ± rate noise.
+  EXPECT_GT(job.completed_minibatches, 25.0 * 16.0);
+  // Wire bytes: the full bulk plus the dirty-fraction tail.
+  EXPECT_DOUBLE_EQ(exec_->migration_bytes_gb(), kCkptGb + 0.25 * kCkptGb);
+  // Bubble: ONLY the stop-and-copy tail — suspend, dirty re-send, resume.
+  // The bulk transfer cost no availability.
+  const SimDuration tail = Seconds(0.5 + 0.2 * kCkptGb) +
+                           Seconds(0.25 * kCkptGb) +
+                           Seconds(1.0 + 0.3 * kCkptGb);
+  EXPECT_EQ(exec_->migration_bubble_ms(), tail);
+  // Per-job overhead additionally carries the warm-up of the initial resume
+  // and the explicit suspend at cutover.
+  EXPECT_EQ(job.overhead_ms,
+            Seconds(1.0 + 0.3 * kCkptGb) + Seconds(0.5 + 0.2 * kCkptGb) + tail);
+  EXPECT_EQ(exec_->precopies_started(), 1);
+  EXPECT_EQ(exec_->precopies_aborted(), 0);
+}
+
+TEST_F(MigrationCostTest, PrecopyAbandonedWhenJobLeavesSource) {
+  ExecutorConfig config;
+  config.precopy = true;
+  Init(config);
+  Job& job = MakeJob(1e9);
+  exec_->set_on_precopy_cutover([](JobId, ServerId) {
+    ADD_FAILURE() << "cutover must not fire for a job that left its source";
+    return false;
+  });
+  exec_->MakeResident(job.id, Src());
+  exec_->StartPreCopy(job.id, Dst());
+  // The job leaves via a plain stop-and-copy before the bulk lands: the
+  // shipped checkpoint is stale, the pre-copy is abandoned, no failure.
+  exec_->Migrate(job.id, Dst());
+  sim_.Run();
+  EXPECT_EQ(exec_->precopies_started(), 1);
+  EXPECT_EQ(exec_->precopies_aborted(), 1);
+  EXPECT_EQ(exec_->migration_failures(), 0);
+  EXPECT_EQ(job.server, Dst());
+}
+
+TEST_F(MigrationCostTest, PrecopyDestDownIsCheapAttributedFailure) {
+  ExecutorConfig config;
+  config.precopy = true;
+  Init(config);
+  Job& job = MakeJob(1e9);
+  exec_->set_on_precopy_cutover([](JobId, ServerId) {
+    ADD_FAILURE() << "cutover must not fire with the destination down";
+    return false;
+  });
+  exec_->MakeResident(job.id, Src());
+  exec_->Resume(job.id);
+  exec_->StartPreCopy(job.id, Dst());
+  exec_->FailServer(Dst());
+  sim_.RunUntil(Seconds(2));
+  // Cheap failure: attributed (dest-down) and reported, but the job never
+  // stopped running at its source.
+  EXPECT_EQ(exec_->migration_failures_dest_down(), 1);
+  EXPECT_EQ(exec_->migration_failures_flake(), 0);
+  ASSERT_EQ(failed_.size(), 1u);
+  EXPECT_EQ(failed_[0].second, Dst());
+  EXPECT_TRUE(exec_->IsRunning(job.id));
+  EXPECT_EQ(job.server, Src());
+  EXPECT_EQ(exec_->precopies_aborted(), 1);
+}
+
+TEST_F(MigrationCostTest, FailureCountersSplitByCause) {
+  ExecutorConfig config;
+  config.migrate_failure_prob = 1.0;  // every landing flakes
+  Init(config);
+  Job& job = MakeJob(1e9);
+  exec_->MakeResident(job.id, Src());
+  exec_->Migrate(job.id, Dst());
+  sim_.Run();
+  EXPECT_EQ(exec_->migration_failures_flake(), 1);
+  EXPECT_EQ(exec_->migration_failures_dest_down(), 0);
+  EXPECT_EQ(job.server, Src());  // bounced back, suspended
+
+  // Destination death takes attribution priority over a simultaneous flake.
+  exec_->Migrate(job.id, Dst());
+  exec_->FailServer(Dst());
+  sim_.Run();
+  EXPECT_EQ(exec_->migration_failures_dest_down(), 1);
+  EXPECT_EQ(exec_->migration_failures_flake(), 1);
+  EXPECT_EQ(exec_->migration_failures(), 2);
+  EXPECT_EQ(job.num_migration_failures, 2);
+}
+
+TEST_F(MigrationCostTest, OverlapWarmupHidesResumeBehindSuspendDrain) {
+  ExecutorConfig config;
+  config.overlap_warmup = true;
+  Init(config);
+  Job& out = MakeJob(1e9);
+  Job& in = MakeJob(1e9);
+  exec_->MakeResident(out.id, Src());
+  exec_->MakeResident(in.id, Src());
+  exec_->Resume(out.id);
+  sim_.RunUntil(Minutes(1));
+
+  const std::vector<ScheduleOp> ops = {{out.id, Src(), /*resume=*/false},
+                                       {in.id, Src(), /*resume=*/true}};
+  exec_->ApplyDelta(ops);
+  // The incoming job's warm-up hides behind the outgoing job's drain, capped
+  // by the smaller of the two latencies (DCGAN: suspend 620 ms < resume
+  // 1180 ms, so 620 ms of the warm-up is hidden).
+  EXPECT_EQ(exec_->overlap_saved_ms(), Seconds(0.5 + 0.2 * kCkptGb));
+  EXPECT_TRUE(exec_->IsRunning(in.id));
+}
+
+TEST_F(MigrationCostTest, OverlapOffKeepsResumeTimingUnchanged) {
+  Init(ExecutorConfig{});  // overlap_warmup = false
+  Job& out = MakeJob(1e9);
+  Job& in = MakeJob(1e9);
+  exec_->MakeResident(out.id, Src());
+  exec_->MakeResident(in.id, Src());
+  exec_->Resume(out.id);
+  sim_.RunUntil(Minutes(1));
+  const std::vector<ScheduleOp> ops = {{out.id, Src(), /*resume=*/false},
+                                       {in.id, Src(), /*resume=*/true}};
+  exec_->ApplyDelta(ops);
+  EXPECT_EQ(exec_->overlap_saved_ms(), 0);
+}
+
+}  // namespace
+}  // namespace gfair::exec

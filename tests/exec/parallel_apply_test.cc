@@ -1,0 +1,138 @@
+// ApplyDeltaParallel: per-server slices fanned across a ThreadPool must
+// leave the executor in a state bit-identical to applying the same slices
+// serially in order — job states, overhead accounting, finish timing and
+// progress all match. This test (and the scheduler-level decision-stream
+// equivalence in tests/sched/equivalence_test.cc) runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+#include "simkit/simulator.h"
+#include "workload/job.h"
+#include "workload/model_zoo.h"
+
+namespace gfair::exec {
+namespace {
+
+using cluster::GpuGeneration;
+using workload::Job;
+using workload::JobState;
+
+constexpr int kServers = 4;
+constexpr int kJobsPerServer = 4;
+
+struct World {
+  World()
+      : cluster(cluster::Topology{{{GpuGeneration::kK80, kServers, 4}}}),
+        exec(sim, cluster, workload::ModelZoo::Default(), jobs, ExecutorConfig{},
+             /*seed=*/7) {}
+
+  // Four jobs per server, the first two running; finite lengths staggered so
+  // finish events interleave across servers.
+  void Populate() {
+    const auto& model = workload::ModelZoo::Default().GetByName("DCGAN");
+    const auto servers = cluster.servers_of(GpuGeneration::kK80);
+    for (int s = 0; s < kServers; ++s) {
+      for (int j = 0; j < kJobsPerServer; ++j) {
+        Job& job = jobs.Create(UserId(0), model.id, /*gang_size=*/1,
+                               /*minibatches=*/5000.0 + 37.0 * (s * 4 + j),
+                               sim.Now());
+        exec.MakeResident(job.id, servers[static_cast<size_t>(s)]);
+        if (j < 2) {
+          exec.Resume(job.id);
+        }
+      }
+    }
+    sim.RunUntil(Minutes(1));
+  }
+
+  // The flip: per server, suspend the running pair then resume the idle pair.
+  std::vector<std::vector<ScheduleOp>> FlipSlices() const {
+    std::vector<std::vector<ScheduleOp>> slices;
+    const auto servers = cluster.servers_of(GpuGeneration::kK80);
+    for (int s = 0; s < kServers; ++s) {
+      std::vector<ScheduleOp> ops;
+      for (int j = 0; j < kJobsPerServer; ++j) {
+        const JobId id(s * kJobsPerServer + j);
+        ops.push_back({id, servers[static_cast<size_t>(s)], /*resume=*/j >= 2});
+      }
+      slices.push_back(std::move(ops));
+    }
+    return slices;
+  }
+
+  simkit::Simulator sim;
+  cluster::Cluster cluster;
+  workload::JobTable jobs;
+  Executor exec;
+};
+
+void ExpectWorldsIdentical(const World& a, const World& b) {
+  ASSERT_EQ(a.jobs.All().size(), b.jobs.All().size());
+  for (size_t i = 0; i < a.jobs.All().size(); ++i) {
+    const Job* ja = a.jobs.All()[i];
+    const Job* jb = b.jobs.All()[i];
+    const std::string ctx = "job " + std::to_string(i);
+    EXPECT_EQ(ja->state, jb->state) << ctx;
+    EXPECT_EQ(ja->server, jb->server) << ctx;
+    EXPECT_EQ(ja->overhead_ms, jb->overhead_ms) << ctx;
+    EXPECT_EQ(ja->num_suspends, jb->num_suspends) << ctx;
+    EXPECT_EQ(ja->finish_time, jb->finish_time) << ctx;
+    // Bit-identical, not approximately equal: the parallel path must not
+    // reorder any floating-point accumulation.
+    EXPECT_EQ(ja->completed_minibatches,  // gfair-lint: allow(float-eq)
+              jb->completed_minibatches)
+        << ctx;
+  }
+  EXPECT_EQ(a.exec.warmup_bubble_ms(), b.exec.warmup_bubble_ms());
+  EXPECT_EQ(a.exec.overlap_saved_ms(), b.exec.overlap_saved_ms());
+}
+
+TEST(ParallelApplyTest, MatchesSerialSliceApplicationBitForBit) {
+  World serial;
+  World parallel;
+  serial.Populate();
+  parallel.Populate();
+
+  const auto slices = serial.FlipSlices();
+  for (const auto& ops : slices) {
+    serial.exec.ApplyDelta(ops);
+  }
+
+  common::ThreadPool pool(4);
+  const auto par_slices = parallel.FlipSlices();
+  std::vector<Executor::ApplySlice> slice_views;
+  for (const auto& ops : par_slices) {
+    slice_views.push_back({ops.data(), ops.size()});
+  }
+  parallel.exec.ApplyDeltaParallel(slice_views.data(), slice_views.size(), pool);
+
+  ExpectWorldsIdentical(serial, parallel);
+
+  // Let the resumed jobs run to completion: finish events must fire at
+  // identical times and the final accounting must match exactly.
+  serial.sim.Run();
+  parallel.sim.Run();
+  EXPECT_EQ(serial.sim.Now(), parallel.sim.Now());
+  ExpectWorldsIdentical(serial, parallel);
+}
+
+TEST(ParallelApplyTest, SingleSliceAndEmptySlicesAreHandled) {
+  World world;
+  world.Populate();
+  common::ThreadPool pool(2);
+  world.exec.ApplyDeltaParallel(nullptr, 0, pool);  // no-op
+
+  const auto slices = world.FlipSlices();
+  const Executor::ApplySlice one{slices[0].data(), slices[0].size()};
+  world.exec.ApplyDeltaParallel(&one, 1, pool);
+  EXPECT_EQ(world.jobs.Get(JobId(0)).state, JobState::kSuspended);
+  EXPECT_EQ(world.jobs.Get(JobId(2)).state, JobState::kRunning);
+}
+
+}  // namespace
+}  // namespace gfair::exec

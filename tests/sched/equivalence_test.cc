@@ -223,6 +223,51 @@ void TraceDrivenScenario(ExpT& exp, SchedT& /*sched*/) {
   exp.Run(horizon);
 }
 
+// Fault-churn scenario for the parallel-apply cross-check: oversubscribed
+// mixed-gang load (every quantum flips schedules on every server) with two
+// server failure/recovery cycles mid-run, so apply slices interleave with
+// orphan re-placement, migration retries and recovery placements.
+template <typename ExpT, typename SchedT>
+void FaultChurnScenario(ExpT& exp, SchedT& /*sched*/) {
+  auto& a = exp.users().Create("a");
+  auto& b = exp.users().Create("b", 2.0);
+  const int gangs[] = {1, 2, 1, 4, 1, 2, 8, 1};
+  for (int i = 0; i < 96; ++i) {  // ~2x oversubscription on 8x8 GPUs
+    exp.SubmitAt(Minutes(i % 7), (i % 2 == 0 ? a : b).id, "DCGAN", gangs[i % 8],
+                 Hours(3 + (i % 4)));
+  }
+  exp.Run(Hours(1));
+  exp.exec().FailServer(ServerId(2));
+  exp.Run(Hours(1) + Minutes(31));
+  exp.exec().FailServer(ServerId(5));
+  exp.Run(Hours(2));
+  exp.exec().RecoverServer(ServerId(2));
+  exp.Run(Hours(2) + Minutes(17));
+  exp.exec().RecoverServer(ServerId(5));
+  exp.Run(Hours(5));
+}
+
+// The tentpole's determinism gate: apply_threads > 1 batches the per-server
+// ApplyDelta slices across a thread pool, and the run must stay bit-identical
+// to the serial fused pipeline — same decisions, same finish times — even
+// with fault churn interleaved. Any hidden cross-slice dependency (shared
+// RNG, event-id draw, occupancy coupling) would diverge the streams here.
+TEST(EquivalenceTest, ParallelApplyDecisionStreamMatchesSerialUnderFaultChurn) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(8, 8);
+  const GandivaFairConfig serial_gf;
+  GandivaFairConfig parallel_gf;
+  parallel_gf.apply_threads = 4;
+  const RunResult serial = RunWith<GandivaFairScheduler>(
+      config, serial_gf, [](auto& exp, auto& s) { FaultChurnScenario(exp, s); });
+  const RunResult parallel = RunWith<GandivaFairScheduler>(
+      config, parallel_gf, [](auto& exp, auto& s) { FaultChurnScenario(exp, s); });
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kSuspend)], 0);
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kResume)], 0);
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kPlace)], 0);
+  ExpectIdentical(serial, parallel);
+}
+
 TEST(EquivalenceTest, TraceDrivenPaperScaleDecisionStreamMatchesLegacy) {
   ExperimentConfig config;
   config.topology = cluster::PaperScaleTopology();

@@ -14,6 +14,37 @@ using analysis::Experiment;
 using analysis::ExperimentConfig;
 using workload::JobState;
 
+TEST(FailoverTest, RetryBackoffMatchesPlainShiftAtLowAttempts) {
+  const SimDuration base = Seconds(30);
+  EXPECT_EQ(RetryBackoff(base, 1), base);
+  EXPECT_EQ(RetryBackoff(base, 2), base * 2);
+  EXPECT_EQ(RetryBackoff(base, 3), base * 4);
+}
+
+TEST(FailoverTest, RetryBackoffSaturatesInsteadOfOverflowing) {
+  const SimDuration base = Seconds(30);
+  // 30s * 2^k crosses one day at k = 12 (30s * 4096 = 34.1h).
+  EXPECT_LT(RetryBackoff(base, 12), kDay);
+  EXPECT_EQ(RetryBackoff(base, 13), kDay);
+  // A plain shift is UB / negative from attempt 63 on; the helper must stay
+  // pinned at the cap for arbitrarily high attempt counts.
+  for (int attempt : {40, 63, 64, 100, 1000}) {
+    EXPECT_EQ(RetryBackoff(base, attempt), kDay) << "attempt " << attempt;
+    EXPECT_GT(RetryBackoff(base, attempt), 0) << "attempt " << attempt;
+  }
+  // Monotone: each attempt waits at least as long as the previous one.
+  for (int attempt = 2; attempt <= 70; ++attempt) {
+    EXPECT_GE(RetryBackoff(base, attempt), RetryBackoff(base, attempt - 1));
+  }
+}
+
+TEST(FailoverTest, RetryBackoffHandlesExtremeBases) {
+  EXPECT_EQ(RetryBackoff(0, 50), 0);
+  EXPECT_EQ(RetryBackoff(Hours(25), 1), kDay);  // base above the cap clamps
+  EXPECT_EQ(RetryBackoff(1, 1), 1);
+  EXPECT_EQ(RetryBackoff(1, 64), kDay);
+}
+
 TEST(FailoverTest, OrphansAreReplacedAndFinish) {
   ExperimentConfig config;
   config.topology = cluster::HomogeneousTopology(2, 4);

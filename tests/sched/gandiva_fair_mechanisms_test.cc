@@ -59,6 +59,81 @@ TEST(TicketSplitTest, MixedGangUserNotPenalizedOnBigJob) {
   EXPECT_NEAR(a_ms / b_ms, 1.0, 0.10);
 }
 
+TEST(PrecopyTest, MigrationKeepsJobRunningThroughBulkTransfer) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(2, 4);
+  config.exec.precopy = true;
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  const JobId id = exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(100));
+  exp.Run(Minutes(2));
+  ASSERT_TRUE(exp.exec().IsRunning(id));
+  const ServerId source = exp.jobs().Get(id).server;
+
+  // Draining the host forces a migration. Under pre-copy the job must KEEP
+  // RUNNING at the source while the bulk checkpoint (600 ms at 1 GB/s)
+  // ships; stop-and-copy would have suspended it here.
+  exp.gandiva()->DrainServer(source);
+  EXPECT_TRUE(exp.exec().IsRunning(id));
+  EXPECT_TRUE(exp.gandiva()->residency().Info(id).precopying);
+  exp.Run(exp.sim().Now() + Seconds(0.3));  // mid-bulk
+  EXPECT_TRUE(exp.exec().IsRunning(id));
+  EXPECT_EQ(exp.jobs().Get(id).server, source);
+
+  // Past cutover + stop-and-copy tail: landed, re-attached, running again.
+  exp.Run(exp.sim().Now() + Minutes(1));
+  EXPECT_NE(exp.jobs().Get(id).server, source);
+  EXPECT_TRUE(exp.exec().IsRunning(id));
+  EXPECT_FALSE(exp.gandiva()->residency().Info(id).precopying);
+  EXPECT_EQ(exp.exec().precopies_started(), 1);
+  EXPECT_EQ(exp.exec().precopies_aborted(), 0);
+  EXPECT_EQ(exp.exec().migration_failures(), 0);
+  EXPECT_EQ(exp.gandiva()->migrations_started(), 1);
+}
+
+TEST(PrecopyTest, DestDownDuringBulkRetriesElsewhereWithoutStopping) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(3, 4);
+  config.exec.precopy = true;
+  Experiment exp(config);
+  auto& a = exp.users().Create("a");
+  exp.UseGandivaFair({});
+  const JobId id = exp.SubmitAt(kTimeZero, a.id, "DCGAN", 1, Hours(100));
+  exp.Run(Minutes(2));
+  const ServerId source = exp.jobs().Get(id).server;
+
+  exp.gandiva()->DrainServer(source);
+  ASSERT_TRUE(exp.gandiva()->residency().Info(id).precopying);
+  // Kill the chosen destination while the bulk is in flight. The failure is
+  // cheap — the job never stops running at its source — and the retry
+  // ladder re-targets the remaining up server.
+  ServerId first_dest = ServerId::Invalid();
+  for (const auto& server : exp.cluster().servers()) {
+    if (server.id() != source) {
+      // DrainBatch targets the least-loaded non-source server; with both
+      // empty that is the lowest id.
+      first_dest = server.id();
+      break;
+    }
+  }
+  exp.Run(exp.sim().Now() + Seconds(0.2));
+  exp.exec().FailServer(first_dest);
+  EXPECT_TRUE(exp.exec().IsRunning(id));
+
+  // Cutover fires at +600 ms and attributes a dest-down failure; the retry
+  // backs off 30 s, then pre-copies to the surviving server and lands.
+  exp.Run(exp.sim().Now() + Minutes(2));
+  EXPECT_EQ(exp.exec().migration_failures_dest_down(), 1);
+  EXPECT_EQ(exp.exec().migration_failures_flake(), 0);
+  EXPECT_EQ(exp.gandiva()->migration_retries_started(), 1);
+  const ServerId final_home = exp.jobs().Get(id).server;
+  EXPECT_NE(final_home, source);
+  EXPECT_NE(final_home, first_dest);
+  EXPECT_TRUE(exp.exec().IsRunning(id));
+  EXPECT_FALSE(exp.gandiva()->residency().Info(id).precopying);
+}
+
 TEST(WorkStealingTest, IdleServerStealsWaitingJob) {
   // Server 0 ends up with a 4-gang plus three 1-GPU long jobs (demand 7 on
   // 4 GPUs) while server 1 drains to empty: placement pins the singles to

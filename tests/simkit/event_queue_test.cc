@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace gfair::simkit {
@@ -71,6 +72,127 @@ TEST(EventQueueTest, SizeCountsLiveOnly) {
   EXPECT_EQ(queue.size(), 2u);
   queue.Cancel(a);
   EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTimerTest, ArmFireRearm) {
+  EventQueue queue;
+  int fired = 0;
+  const TimerId timer = queue.CreateTimer([&] { ++fired; });
+  EXPECT_FALSE(queue.TimerArmed(timer));
+  queue.ArmTimer(timer, 10);
+  EXPECT_TRUE(queue.TimerArmed(timer));
+  auto event = queue.Pop();
+  event.callback();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.TimerArmed(timer));  // firing consumed the arm
+  queue.ArmTimer(timer, 20);
+  queue.Pop().callback();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTimerTest, DisarmCancelsPendingArm) {
+  EventQueue queue;
+  int fired = 0;
+  const TimerId timer = queue.CreateTimer([&] { ++fired; });
+  queue.ArmTimer(timer, 10);
+  EXPECT_TRUE(queue.DisarmTimer(timer));
+  EXPECT_FALSE(queue.DisarmTimer(timer));  // already disarmed
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(fired, 0);
+}
+
+// One simulated hour — entries at or beyond this much past the last fired
+// event take the far-band path (see EventQueue's file comment).
+constexpr SimTime kHourMs = 60 * 60 * 1000;
+
+TEST(EventQueueFarBandTest, FarAndNearEventsPopInGlobalTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  // Interleave near heap entries with far-band entries (≥ 1h out) in
+  // shuffled time order; the pop stream must still be globally sorted.
+  queue.Push(2 * kHourMs, [&] { order.push_back(4); });
+  queue.Push(10, [&] { order.push_back(1); });
+  queue.Push(3 * kHourMs, [&] { order.push_back(5); });
+  queue.Push(20, [&] { order.push_back(2); });
+  queue.Push(kHourMs + 1, [&] { order.push_back(3); });
+  while (!queue.empty()) {
+    queue.Pop().callback();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueFarBandTest, NextTimeSeesFarEntriesWhenHeapEmpties) {
+  EventQueue queue;
+  queue.Push(5 * kHourMs, [] {});
+  EXPECT_EQ(queue.NextTime(), 5 * kHourMs);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueFarBandTest, CancelledFarEventNeverFires) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Push(2 * kHourMs, [&] { fired = true; });
+  queue.Push(3 * kHourMs, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  int pops = 0;
+  while (!queue.empty()) {
+    queue.Pop();
+    ++pops;
+  }
+  EXPECT_EQ(pops, 1);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueFarBandTest, DisarmedFarTimersAreSplicedOutAndRearmable) {
+  // The executor's steady-state pattern: many timers armed far ahead, most
+  // disarmed before the horizon nears (suspend cancels the completion
+  // event), some re-armed at new times. Disarm splices the far entry out via
+  // the slot back-pointer; this shuffled disarm order exercises the
+  // swap-remove patching.
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<TimerId> timers;
+  for (int i = 0; i < 16; ++i) {
+    timers.push_back(queue.CreateTimer([&fired, i] { fired.push_back(i); }));
+    queue.ArmTimer(timers.back(), (2 + i) * kHourMs);
+  }
+  for (int i : {0, 15, 7, 3, 11, 4, 12, 8}) {
+    EXPECT_TRUE(queue.DisarmTimer(timers[static_cast<size_t>(i)]));
+  }
+  // Re-arm two of the disarmed timers at times that re-sort them.
+  queue.ArmTimer(timers[7], 30 * kHourMs);
+  queue.ArmTimer(timers[0], kHourMs + 5);
+  while (!queue.empty()) {
+    queue.Pop().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 5, 6, 9, 10, 13, 14, 7}));
+}
+
+TEST(EventQueueFarBandTest, HeavyCancelChurnCompactsWithoutReordering) {
+  // Arm/cancel churn deep enough to trip compaction with a populated far
+  // band; survivors must still fire in (time, id) order.
+  EventQueue queue;
+  std::vector<SimTime> fire_times;
+  std::vector<EventId> cancelable;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      const SimTime when = 2 * kHourMs + round * 1000 + i;
+      if (i % 4 == 0) {
+        queue.Push(when, [&fire_times, when] { fire_times.push_back(when); });
+      } else {
+        cancelable.push_back(queue.Push(when, [] {}));
+      }
+    }
+    for (EventId id : cancelable) {
+      queue.Cancel(id);
+    }
+    cancelable.clear();
+  }
+  while (!queue.empty()) {
+    queue.Pop().callback();
+  }
+  EXPECT_EQ(fire_times.size(), 40u * 4u);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
 }
 
 TEST(EventQueueDeathTest, PopEmptyAborts) {
