@@ -30,25 +30,54 @@ void ThreadPool::ParallelFor(size_t n, const RangeFn& fn) {
   GFAIR_CHECK(fn != nullptr);
   if (workers_.empty() || n <= 1) {
     if (n > 0) {
-      fn(0, n);
+      fn(0, n);  // inline: an exception propagates directly
     }
     return;
   }
+  const size_t parts = static_cast<size_t>(size());
+  const size_t chunk = (n + parts - 1) / parts;
+  // Only workers with a non-empty chunk participate in the epoch: the wait
+  // predicate below gates on the participant count, so the rest sleep
+  // through the span instead of waking to find nothing to do. The chunk map
+  // itself is unchanged — worker i still owns [ChunkBegin(i+1),
+  // ChunkBegin(i+2)) — so which indices run where is identical either way.
+  const size_t used_chunks = (n + chunk - 1) / chunk;
+  const size_t active_workers = used_chunks - 1;  // the caller takes chunk 0
   {
     const std::lock_guard<std::mutex> lock(mu_);
     GFAIR_CHECK_MSG(pending_ == 0 && fn_ == nullptr, "ParallelFor is not re-entrant");
     fn_ = &fn;
     n_ = n;
-    pending_ = workers_.size();
+    pending_ = active_workers;
+    participants_ = active_workers;
+    error_ = nullptr;
     ++epoch_;
   }
   work_cv_.notify_all();
   // The caller takes chunk 0 (worker i takes chunk i + 1).
-  const size_t parts = static_cast<size_t>(size());
-  fn(ChunkBegin(n, parts, 0), ChunkBegin(n, parts, 1));
+  try {
+    fn(ChunkBegin(n, parts, 0), ChunkBegin(n, parts, 1));
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    RecordChunkErrorLocked(std::current_exception(), 0);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this]() { return pending_ == 0; });
   fn_ = nullptr;
+  participants_ = 0;
+  if (error_ != nullptr) {
+    std::exception_ptr error = nullptr;
+    std::swap(error, error_);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::RecordChunkErrorLocked(std::exception_ptr error, size_t chunk) {
+  if (error_ == nullptr || chunk < error_chunk_) {
+    error_ = std::move(error);
+    error_chunk_ = chunk;
+  }
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
@@ -58,8 +87,13 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     size_t n = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&]() { return shutdown_ || epoch_ != seen_epoch; });
+      // A worker past the participant cut has an empty chunk this epoch: it
+      // neither wakes nor touches pending_, and catches up on epoch_ the
+      // next time it does participate (the comparison is !=, not <).
+      work_cv_.wait(lock, [&]() {
+        return shutdown_ ||
+               (epoch_ != seen_epoch && worker_index < participants_);
+      });
       if (shutdown_) {
         return;
       }
@@ -71,7 +105,12 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     const size_t begin = ChunkBegin(n, parts, worker_index + 1);
     const size_t end = ChunkBegin(n, parts, worker_index + 2);
     if (begin < end) {
-      (*fn)(begin, end);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        RecordChunkErrorLocked(std::current_exception(), worker_index + 1);
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(mu_);

@@ -6,7 +6,8 @@
 // the pool size, never on timing, so a ParallelFor over disjoint work
 // produces the same state no matter how the OS schedules the threads. The
 // caller is responsible for handing it only disjoint work — the executor's
-// per-server apply slices are the intended load.
+// per-server apply slices and the scheduler's plan shards are the intended
+// loads.
 //
 // The pool serves one caller at a time and is not re-entrant (no nested
 // ParallelFor from inside a chunk).
@@ -16,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -41,10 +43,23 @@ class ThreadPool {
   // Runs fn over [0, n) split into size() contiguous chunks; returns after
   // all chunks completed. fn must be safe to call concurrently on disjoint
   // ranges.
+  //
+  // Workers whose static chunk would be empty (n < size(), or a tail chunk
+  // past n) are never woken: they are excluded from the epoch's participant
+  // set, so a small span costs only the wakeups it can actually use.
+  //
+  // An exception escaping a chunk does not tear the span down: the other
+  // chunks still run to completion (disjoint work stays consistent), and
+  // once every participant finished, the failure from the lowest-numbered
+  // chunk is rethrown on the calling thread. The pool stays usable after.
   void ParallelFor(size_t n, const RangeFn& fn);
 
  private:
   void WorkerLoop(size_t worker_index);
+  // Records `error` as the span's failure unless a lower-numbered chunk
+  // already failed (ties on chunk index are impossible — one error per
+  // chunk). Caller holds mu_.
+  void RecordChunkErrorLocked(std::exception_ptr error, size_t chunk);
   static size_t ChunkBegin(size_t n, size_t parts, size_t part) {
     const size_t chunk = (n + parts - 1) / parts;
     return part * chunk < n ? part * chunk : n;
@@ -57,7 +72,10 @@ class ThreadPool {
   const RangeFn* fn_ = nullptr;  // current span's body (valid while pending)
   size_t n_ = 0;
   uint64_t epoch_ = 0;  // bumped once per ParallelFor; wakes the workers
-  size_t pending_ = 0;  // workers that have not finished the current epoch
+  size_t pending_ = 0;       // participating workers not yet done this epoch
+  size_t participants_ = 0;  // workers with a non-empty chunk this epoch
+  std::exception_ptr error_;  // lowest-chunk failure of the current span
+  size_t error_chunk_ = 0;
   bool shutdown_ = false;
 };
 

@@ -58,10 +58,39 @@ GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
       trader_(env_, config_, index_, residency_, ticket_matrix_, decisions_, *this),
       planner_(ClusterStateView(env_.cluster, index_)),
       differ_(env_.jobs, env_.exec, ClusterStateView(env_.cluster, index_)),
-      apply_pool_(config_.apply_threads > 1
-                      ? std::make_unique<common::ThreadPool>(config_.apply_threads)
-                      : nullptr),
-      checker_(env_, *this) {}
+      tick_pool_(std::max(config_.plan_threads, config_.apply_threads) > 1
+                     ? std::make_unique<common::ThreadPool>(
+                           std::max(config_.plan_threads, config_.apply_threads))
+                     : nullptr),
+      checker_(env_, *this) {
+  GFAIR_CHECK(config_.plan_shards >= 1);
+  GFAIR_CHECK(config_.plan_threads >= 1);
+  GFAIR_CHECK(config_.apply_threads >= 1);
+  if (config_.plan_shards > 1) {
+    // Fixed contiguous ceil-division partition of the server ids: shard s
+    // owns [s * span, (s + 1) * span). The partition depends only on
+    // (num_servers, plan_shards), never on runtime state, which is half of
+    // the determinism argument (the other half is the shard-order merge).
+    const size_t num_servers = static_cast<size_t>(env_.cluster.num_servers());
+    const size_t shards =
+        std::min<size_t>(static_cast<size_t>(config_.plan_shards),
+                         std::max<size_t>(num_servers, 1));
+    const size_t span = (num_servers + shards - 1) / shards;
+    const ClusterStateView view(env_.cluster, index_);
+    shards_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      PlanShard shard{QuantumPlanner(view),
+                      PlanDiffer(env_.jobs, env_.exec, view),
+                      SchedulePlan{},
+                      ScheduleDelta{},
+                      {},
+                      {},
+                      std::min(s * span, num_servers),
+                      std::min((s + 1) * span, num_servers)};
+      shards_.push_back(std::move(shard));
+    }
+  }
+}
 
 GpuGeneration GandivaFairScheduler::GenOf(ServerId server) const {
   return env_.cluster.server(server).generation();
@@ -301,7 +330,30 @@ void GandivaFairScheduler::QuantumTick() {
   // whole quantum's ops for introspection.
   plan_.Clear();
   delta_.Clear();
-  if (apply_pool_) {
+  if (!shards_.empty()) {
+    // Sharded tick (plan_shards > 1): fan the per-shard charge/plan/diff
+    // across the tick pool (or run the shards inline when plan_threads is
+    // 1 — same seam, no threads). Every cell the fan-out touches — a
+    // stride's passes and heap, a job's info and charge clock, a server's
+    // plan-dirty byte — belongs to exactly one shard's servers, so the
+    // shards commute; the serial reduce then replays the deferred RNG
+    // draws and merges the shard streams in ascending server order, making
+    // the tick bit-identical to the serial path for any shard count.
+    slice_begins_.clear();
+    if (tick_pool_ && config_.plan_threads > 1) {
+      tick_pool_->ParallelFor(shards_.size(), [this](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          PlanShardRange(shards_[s]);
+        }
+      });
+    } else {
+      for (PlanShard& shard : shards_) {
+        PlanShardRange(shard);
+      }
+    }
+    ReduceShards();
+    ApplyMergedSlices();
+  } else if (tick_pool_ && config_.apply_threads > 1) {
     // Two-pass tick (apply_threads > 1): charge/plan/diff every server
     // first, then batch the per-server slices across the pool. Nothing in
     // the first pass consumes event ids or RNG beyond what the fused loop
@@ -325,21 +377,7 @@ void GandivaFairScheduler::QuantumTick() {
         stride.AdvanceVirtualTime(plan_.skipped_vt.back().second);
       }
     }
-    slice_scratch_.clear();
-    for (size_t s = 0; s < slice_begins_.size(); ++s) {
-      const size_t begin = slice_begins_[s];
-      const size_t end =
-          s + 1 < slice_begins_.size() ? slice_begins_[s + 1] : delta_.ops.size();
-      if (begin < end) {
-        slice_scratch_.push_back(
-            exec::Executor::ApplySlice{delta_.ops.data() + begin, end - begin});
-      }
-    }
-    if (!slice_scratch_.empty()) {
-      env_.exec.ApplyDeltaParallel(slice_scratch_.data(), slice_scratch_.size(),
-                                   *apply_pool_);
-      RecordAppliedOps(0, delta_.ops.size());
-    }
+    ApplyMergedSlices();
   } else {
     for (const auto& server : env_.cluster.servers()) {
       if (!server.up()) {
@@ -400,6 +438,140 @@ void GandivaFairScheduler::ChargeAndSample(ServerId server) {
       trader_.RecordSample(info.model, gen,
                            PerGpuRate::FromGangRate(env_.exec.SampleObservedRate(id),
                                                     info.gang_size));
+    }
+  }
+}
+
+// gfair-shard-parallel-begin — ChargeServer and PlanShardRange run
+// concurrently across shards. Only per-server / per-job state of the
+// shard's own contiguous id range may be touched here; every cross-shard
+// concern (RNG draws, the merged plan_/delta_, decisions, migrations)
+// belongs to ReduceShards and later. gfair_lint's shard-locality rule
+// enforces the denylist over this region.
+void GandivaFairScheduler::ChargeServer(
+    ServerId server, std::vector<PendingSample>* pending_samples) {
+  LocalStrideScheduler& stride = index_.stride(server);
+  const GpuGeneration gen = GenOf(server);
+  const SimTime now = env_.sim.Now();
+  const std::vector<JobId>& resident = stride.ResidentJobs();
+  for (size_t i = 0; i < resident.size(); ++i) {
+    if (i + 1 < resident.size()) {
+      env_.exec.PrefetchJobState(resident[i + 1]);
+      residency_.PrefetchInfo(resident[i + 1]);
+    }
+    const JobId id = resident[i];
+    if (env_.exec.IsRunning(id)) {
+      ResidencyIndex::JobInfo& info = residency_.Info(id);
+      stride.Charge(id, now - info.last_charge);
+      info.last_charge = now;
+      // The profiler sample draws from the executor's single RNG stream, so
+      // it is deferred: the reduce step replays the buffered jobs in
+      // ascending server order, reproducing the serial tick's draw order
+      // exactly. Everything but the rate is captured here, while info is
+      // hot, so the replay touches only executor segment state per job.
+      pending_samples->push_back(PendingSample{id, info.model, gen, info.gang_size});
+    }
+  }
+}
+
+void GandivaFairScheduler::PlanShardRange(PlanShard& shard) {
+  shard.plan.Clear();
+  shard.delta.Clear();
+  shard.slice_begins.clear();
+  shard.pending_samples.clear();
+  const std::vector<cluster::Server>& servers = env_.cluster.servers();
+  for (size_t s = shard.server_begin; s < shard.server_end; ++s) {
+    const cluster::Server& server = servers[s];
+    if (!server.up()) {
+      continue;
+    }
+    const ServerId id = server.id();
+    ChargeServer(id, &shard.pending_samples);
+    LocalStrideScheduler& stride = index_.stride(id);
+    if (shard.planner.PlanServerOrSkip(id, &shard.plan)) {
+      const SchedulePlan::ServerTarget& target = shard.plan.servers.back();
+      stride.AdvanceVirtualTime(target.min_runnable_pass);
+      index_.ClearPlanDirty(id);
+      shard.slice_begins.push_back(shard.delta.ops.size());
+      shard.differ.DiffServer(shard.plan, target, &shard.delta);
+    } else {
+      stride.AdvanceVirtualTime(shard.plan.skipped_vt.back().second);
+    }
+  }
+}
+// gfair-shard-parallel-end
+
+void GandivaFairScheduler::ReduceShards() {
+  // Serial reduce: the only stage allowed to touch cross-shard state.
+  // Shards partition the ids in ascending contiguous ranges and are merged
+  // in shard order, so every stream below — sample draws, plan entries,
+  // delta ops, slice offsets — comes out in exactly the serial planner's
+  // ascending-server-order, independent of shard and thread count.
+  for (PlanShard& shard : shards_) {
+    // Profiler samples: one RNG draw per running job, in charge order. The
+    // jobs' segment state is scattered by id, so pipeline the next lookup
+    // behind the current draw (as the charge walks do).
+    for (size_t i = 0; i < shard.pending_samples.size(); ++i) {
+      if (i + 1 < shard.pending_samples.size()) {
+        env_.exec.PrefetchJobState(shard.pending_samples[i + 1].job);
+      }
+      const PendingSample& sample = shard.pending_samples[i];
+      trader_.RecordSample(
+          sample.model, sample.gen,
+          PerGpuRate::FromGangRate(env_.exec.SampleObservedRate(sample.job),
+                                   sample.gang_size));
+    }
+    // Plan merge: re-base each server target's span into the merged
+    // target-job pool. (Shard plans carry no migrations — directives are
+    // emitted between ticks or after the apply, straight into plan_.)
+    const uint32_t job_base = static_cast<uint32_t>(plan_.target_jobs.size());
+    plan_.target_jobs.insert(plan_.target_jobs.end(), shard.plan.target_jobs.begin(),
+                             shard.plan.target_jobs.end());
+    for (const SchedulePlan::ServerTarget& target : shard.plan.servers) {
+      plan_.servers.push_back(SchedulePlan::ServerTarget{
+          target.server, target.target_begin + job_base,
+          target.target_end + job_base, target.min_runnable_pass});
+    }
+    plan_.skipped_vt.insert(plan_.skipped_vt.end(), shard.plan.skipped_vt.begin(),
+                            shard.plan.skipped_vt.end());
+    // Delta merge, re-basing each diffed server's slice offset.
+    const size_t ops_base = delta_.ops.size();
+    for (const size_t begin : shard.slice_begins) {
+      slice_begins_.push_back(ops_base + begin);
+    }
+    delta_.ops.insert(delta_.ops.end(), shard.delta.ops.begin(),
+                      shard.delta.ops.end());
+  }
+}
+
+void GandivaFairScheduler::ApplyMergedSlices() {
+  if (tick_pool_ && config_.apply_threads > 1) {
+    // slice_scratch_ materializes the ApplySlice pointers only now —
+    // delta_.ops can no longer reallocate.
+    slice_scratch_.clear();
+    for (size_t s = 0; s < slice_begins_.size(); ++s) {
+      const size_t begin = slice_begins_[s];
+      const size_t end =
+          s + 1 < slice_begins_.size() ? slice_begins_[s + 1] : delta_.ops.size();
+      if (begin < end) {
+        slice_scratch_.push_back(
+            exec::Executor::ApplySlice{delta_.ops.data() + begin, end - begin});
+      }
+    }
+    if (!slice_scratch_.empty()) {
+      env_.exec.ApplyDeltaParallel(slice_scratch_.data(), slice_scratch_.size(),
+                                   *tick_pool_);
+      RecordAppliedOps(0, delta_.ops.size());
+    }
+  } else {
+    for (size_t s = 0; s < slice_begins_.size(); ++s) {
+      const size_t begin = slice_begins_[s];
+      const size_t end =
+          s + 1 < slice_begins_.size() ? slice_begins_[s + 1] : delta_.ops.size();
+      if (begin < end) {
+        env_.exec.ApplyDelta(delta_.ops.data() + begin, end - begin);
+        RecordAppliedOps(begin, end);
+      }
     }
   }
 }

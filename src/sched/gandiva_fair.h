@@ -25,6 +25,12 @@
 //               ->  diff  ->  Executor::ApplyDelta (the server's batch)
 //               ->  record decisions
 //
+// With plan_shards > 1 the same pipeline runs per contiguous server shard
+// on ThreadPool threads (sample draws deferred), a serial reduce step
+// replays the samples and merges the shard plans/deltas in ascending server
+// order, and the apply consumes the merged slices — bit-identical decisions
+// for any shard count (see DESIGN.md "Sharded planning").
+//
 // (see docs/ARCHITECTURE.md "The quantum tick" for the full walk-through).
 // Combines, on top of the Executor substrate:
 //   * per-server gang-aware stride schedulers driven by a global quantum tick
@@ -129,6 +135,31 @@ struct GandivaFairConfig {
   // event-id stream, RNG draws and accounting are bit-identical to the
   // serial path (the decision-log cross-check test pins this).
   int apply_threads = 1;
+
+  // --- sharded parallel planning ---
+  // Shards the tick's plan phase: servers are partitioned into plan_shards
+  // fixed contiguous id ranges and each shard runs charge + plan + commit +
+  // diff into its own planner/differ/plan/delta (the per-server dirty-set
+  // skip keeps each shard's work proportional to its churn). A serial
+  // reduce step then owns every cross-shard concern: the profiler sample
+  // draws (the executor RNG stays one serial stream), the plan/delta merge,
+  // and the apply-slice bookkeeping. Balancer / steal / trade
+  // MigrationDirectives never run inside the shard fan-out — they are
+  // emitted between ticks or after the apply, straight into the merged
+  // plan. Because shards are contiguous ascending id ranges merged in shard
+  // order, the merged streams are exactly the serial planner's
+  // ascending-server-order streams — bit-identical for ANY shard count
+  // (the equivalence suite and the shard-count-invariance test pin this).
+  // 1 = the unsharded pipeline (the default). Counts above the server count
+  // are clamped.
+  int plan_shards = 1;
+  // Threads (counting the caller) fanning the shards across the tick's
+  // ThreadPool. 1 plans the shards inline on the caller (still exercising
+  // the shard/reduce seam); >1 shares one pool with the parallel apply,
+  // sized max(plan_threads, apply_threads). Thread count never affects
+  // decisions — only shard state is touched in the fan-out, and the merge
+  // reads it in shard order.
+  int plan_threads = 1;
 };
 
 // Exponential migration-retry backoff for 1-based attempt k:
@@ -217,6 +248,53 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // Stride pass charging + profiler feeding for one up server, fused into a
   // single resident walk (both touch exactly the running jobs).
   void ChargeAndSample(ServerId server);
+  // Sharded plan phase (plan_shards > 1): one shard's private pipeline
+  // state. Each shard owns a planner/differ pair (both carry per-call
+  // scratch), its own plan and delta, the per-diffed-server offsets into
+  // that delta, and the running jobs whose profiler samples the reduce step
+  // replays serially.
+  // A deferred profiler sample: everything RecordSample needs except the
+  // observed rate itself, captured while the job's info is cache-hot in the
+  // shard's charge walk. The reduce step's serial replay then touches only
+  // the executor's segment state per job.
+  struct PendingSample {
+    JobId job;
+    workload::ModelId model;
+    cluster::GpuGeneration gen;  // the home server's pool
+    int gang_size;
+  };
+  struct PlanShard {
+    QuantumPlanner planner;
+    PlanDiffer differ;
+    SchedulePlan plan;
+    ScheduleDelta delta;
+    std::vector<size_t> slice_begins;  // per diffed server, into delta.ops
+    std::vector<PendingSample> pending_samples;  // running jobs, charge order
+    size_t server_begin = 0;           // contiguous id range [begin, end)
+    size_t server_end = 0;
+  };
+  // The shard-parallel half of ChargeAndSample: charges one up server's
+  // stride passes and buffers its running jobs for the reduce step's serial
+  // sample replay (the draw itself consumes the executor's single RNG
+  // stream, so it cannot run here).
+  void ChargeServer(ServerId server, std::vector<PendingSample>* pending_samples);
+  // The per-shard parallel phase: charge / plan-or-skip / commit / diff
+  // every up server of the shard's range into the shard's own plan + delta.
+  // Runs concurrently across shards — touches only per-server and per-job
+  // state owned by the shard's range (gfair_lint's shard-locality rule
+  // enforces the denylist).
+  void PlanShardRange(PlanShard& shard);
+  // The serial reduce step — the only stage that may touch cross-shard
+  // state. Replays the buffered profiler samples in ascending server order
+  // (one RNG stream, serial draw order), then merges the per-shard plans
+  // and deltas into plan_/delta_/slice_begins_; shard order is ascending
+  // server order, so the merged streams equal the serial planner's for any
+  // shard count.
+  void ReduceShards();
+  // Applies the merged delta_ slice by slice: per-server serial ApplyDelta
+  // when apply_threads == 1, one ApplyDeltaParallel batch otherwise. Also
+  // the apply tail of the unsharded two-pass path.
+  void ApplyMergedSlices();
   // Applies delta_.ops[ops_begin..end) — one diffed server's batch — then
   // records the decisions and resets resumed jobs' charge clocks.
   void ApplyDeltaSlice(size_t ops_begin);
@@ -300,13 +378,19 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   SchedulePlan plan_;
   ScheduleDelta delta_;
 
-  // Parallel-apply machinery (null / unused when apply_threads <= 1).
-  // slice_begins_ records each diffed server's offset into delta_.ops during
-  // the plan pass; slice_scratch_ materializes the ApplySlice pointers only
-  // after the pass, since delta_.ops may reallocate while growing.
-  std::unique_ptr<common::ThreadPool> apply_pool_;
+  // The tick's fork-join pool, shared by the two fan-outs — the shard plan
+  // phase (plan_threads) and the parallel apply (apply_threads) — sized
+  // max(plan_threads, apply_threads); null when both are 1.
+  // slice_begins_ records each diffed server's offset into delta_.ops
+  // during the plan pass (or the reduce merge); slice_scratch_ materializes
+  // the ApplySlice pointers only after the pass, since delta_.ops may
+  // reallocate while growing.
+  std::unique_ptr<common::ThreadPool> tick_pool_;
   std::vector<size_t> slice_begins_;
   std::vector<exec::Executor::ApplySlice> slice_scratch_;
+  // Plan shards (empty when plan_shards <= 1): fixed contiguous partition
+  // of the server ids, sized once at construction.
+  std::vector<PlanShard> shards_;
 
   // Post-quantum cluster-wide invariant sweep (declared last: reads the
   // subsystems above through `*this` but never mutates them).

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -97,6 +99,107 @@ TEST(ThreadPoolTest, MoreThreadsThanWork) {
   for (const auto& h : hits) {
     EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST(ThreadPoolTest, BoundaryEmptySpanIsNoOpAndPoolStaysUsable) {
+  // n == 0: the body must never run, no epoch is published, and a full-width
+  // span right after must still behave.
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, BoundaryFewerItemsThanParts) {
+  // n < parts leaves some workers with empty chunks — they are skipped
+  // entirely, and every index is still visited exactly once. n values that
+  // leave *interior* tail chunks empty (e.g. n = 10 with 8 parts → chunk 2,
+  // 5 used chunks) must behave the same way.
+  ThreadPool pool(8);
+  for (size_t n : {1u, 2u, 3u, 5u, 7u, 10u, 12u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (int round = 0; round < 50; ++round) {
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 50) << "n=" << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionFromWorkerChunkReachesCaller) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 8;  // chunk = 2: caller owns [0,2), workers the rest
+  std::vector<std::atomic<int>> hits(kN);
+  const auto body = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (begin == 4) {
+      throw std::runtime_error("chunk-4");
+    }
+  };
+  EXPECT_THROW(pool.ParallelFor(kN, body), std::runtime_error);
+  // The failing chunk still did its (pre-throw) work and no other chunk was
+  // torn down.
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionFromCallerChunkReachesCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [&](size_t begin, size_t) {
+                                  if (begin == 0) {
+                                    throw std::runtime_error("caller chunk");
+                                  }
+                                }),
+               std::runtime_error);
+  // Inline execution (pool of one) propagates directly too.
+  ThreadPool inline_pool(1);
+  EXPECT_THROW(
+      inline_pool.ParallelFor(8, [](size_t, size_t) { throw std::runtime_error("inline"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestChunkErrorWinsAndPoolIsReusableAfter) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 8;  // chunk = 2: worker chunks begin at 2, 4, 6
+  const auto body = [](size_t begin, size_t) {
+    if (begin == 2 || begin == 6) {
+      throw std::runtime_error("begin=" + std::to_string(begin));
+    }
+  };
+  for (int round = 0; round < 20; ++round) {
+    // Two chunks fail every span; the rethrown error must deterministically
+    // be the lowest-numbered one no matter which worker recorded first.
+    try {
+      pool.ParallelFor(kN, body);
+      FAIL() << "span did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "begin=2");
+    }
+  }
+  // A failed span leaves no residue: the next span runs clean.
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(kN, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), kN);
 }
 
 }  // namespace

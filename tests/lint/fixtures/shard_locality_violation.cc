@@ -1,0 +1,33 @@
+// gfair-lint-fixture: src/sched/example.cc
+// Seeded violations for the shard-locality rule: inside a
+// gfair-shard-parallel region (the quantum tick's shard fan-out) the code
+// runs concurrently across shards, so cross-shard mutable state — the merged
+// plan/delta, the decision log, the trader's profile store, the executor's
+// single RNG stream, migration entry points — must stay untouched until the
+// serial reduce step.
+namespace gfair::sched {
+
+void PlanShardRangeExample(PlanShard& shard, ServerId id) {
+  // Outside any region the same tokens are legal — this models ReduceShards,
+  // the serial reduce step that owns every cross-shard concern.
+  plan_.target_jobs.clear();
+  trader_.RecordSample(model, gen, rate);
+
+  // gfair-shard-parallel-begin
+  shard.plan.Clear();                   // shard-local twin (no underscore): fine
+  shard.pending_samples.push_back(id);  // buffered for the reduce step: fine
+  index_.ClearPlanDirty(id);            // per-server byte of the shard's range: fine
+  plan_.servers.push_back(target);  // EXPECT-LINT: shard-locality
+  delta_.ops.clear();  // EXPECT-LINT: shard-locality
+  decisions_.Record(now, DecisionType::kResume, id);  // EXPECT-LINT: shard-locality
+  trader_.RecordSample(model, gen, rate);  // EXPECT-LINT: shard-locality
+  const double rate = env_.exec.SampleObservedRate(id);  // EXPECT-LINT: shard-locality
+  EmitMigration(id, dest, MigrationCause::kBalance);  // EXPECT-LINT: shard-locality
+  const size_t n = plan_.migrations.size();  // gfair-lint: allow(shard-locality) -- read-only; nothing appends migrations during the fan-out
+  // gfair-shard-parallel-end
+
+  // Region closed: the merge below is serial again.
+  delta_.ops.clear();
+}
+
+}  // namespace gfair::sched

@@ -102,5 +102,77 @@ TEST_P(FaultChurnProperty, NoJobLostOrWedgedUnderChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultChurnProperty, ::testing::Values(1, 2, 3, 4));
 
+// Sharded-planning variant: with plan_shards covering one server each, every
+// balance/trade/steal migration, orphan re-placement and pre-copy claim
+// crosses a shard boundary by construction. Those flows run between ticks or
+// in the serial reduce — never inside the shard fan-out — so the invariant
+// sweep must stay exactly as clean as the serial planner's under the same
+// churn, flaky transfers and pre-copy cutovers included.
+class ShardedFaultChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedFaultChurnProperty, CrossShardTrafficKeepsInvariantsClean) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 2, 4},
+      {cluster::GpuGeneration::kV100, 2, 4},
+  }};
+  config.exec.migrate_failure_prob = 0.3;
+  config.exec.precopy = true;  // claims span ticks, so they span shard merges
+  config.seed = GetParam();
+  analysis::Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  const UserId bob = exp.users().Create("bob").id;
+  sched::GandivaFairConfig gf;
+  gf.plan_shards = 4;  // one server per shard: all migrations cross shards
+  gf.plan_threads = 4;
+  exp.UseGandivaFair(gf);
+
+  Rng rng(GetParam());
+  const char* models[] = {"DCGAN", "VAE", "ResNet-50"};
+  for (int i = 0; i < 10; ++i) {
+    exp.SubmitAt(Minutes(rng.UniformInt(0, 120)), i % 2 == 0 ? alice : bob,
+                 models[i % 3], static_cast<int>(1 << rng.UniformInt(0, 2)),
+                 Minutes(rng.UniformInt(30, 90)));
+  }
+  exp.Run(Seconds(1));
+
+  exec::FaultInjectorConfig faults;
+  faults.server_mtbf = Hours(2);
+  faults.server_mttr = Minutes(20);
+  faults.seed = GetParam() * 31 + 7;
+  exec::FaultInjector injector(exp.sim(), exp.cluster(), exp.exec(), faults);
+  injector.Start();
+
+  for (SimTime t = Minutes(10); t <= Hours(6); t += Minutes(10)) {
+    exp.Run(t);
+    const auto violations = exp.gandiva()->CheckInvariants();
+    EXPECT_TRUE(violations.empty()) << "at t=" << t << " (seed " << GetParam()
+                                    << "): " << Joined(violations);
+    for (const auto* job : exp.jobs().All()) {
+      ASSERT_GE(job->completed_minibatches, job->checkpointed_minibatches - 1e-6);
+      if (job->state == JobState::kRunning || job->state == JobState::kSuspended) {
+        ASSERT_TRUE(job->server.valid());
+        ASSERT_TRUE(exp.cluster().server(job->server).up());
+      }
+    }
+  }
+  ASSERT_GT(injector.failures_injected(), 0) << "churn never fired; test is vacuous";
+
+  injector.Stop();
+  exp.Run(Hours(16));
+
+  EXPECT_EQ(exp.cluster().num_up_servers(), 4);
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+  const auto healed = exp.gandiva()->CheckInvariants();
+  EXPECT_TRUE(healed.empty()) << Joined(healed);
+  for (const auto* job : exp.jobs().All()) {
+    EXPECT_EQ(job->state, JobState::kFinished)
+        << "job " << job->id << " stuck after the cluster healed (seed "
+        << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedFaultChurnProperty, ::testing::Values(7, 11));
+
 }  // namespace
 }  // namespace gfair

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/harness.h"
@@ -266,6 +267,85 @@ TEST(EquivalenceTest, ParallelApplyDecisionStreamMatchesSerialUnderFaultChurn) {
   EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kResume)], 0);
   EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kPlace)], 0);
   ExpectIdentical(serial, parallel);
+}
+
+// The sharded planner's determinism gate: plan_shards > 1 plans contiguous
+// server shards on pool threads with deferred RNG draws, and the merged
+// streams must stay bit-identical to the serial fused pipeline under fault
+// churn — where orphan re-placements, migration retries and recovery
+// placements all cross shard boundaries between ticks. A hidden cross-shard
+// dependency in the fan-out (shared scratch, RNG order, dirty-set coupling)
+// would diverge the streams here.
+TEST(EquivalenceTest, ShardedPlanDecisionStreamMatchesSerialUnderFaultChurn) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(8, 8);
+  const GandivaFairConfig serial_gf;
+  GandivaFairConfig sharded_gf;
+  sharded_gf.plan_shards = 4;
+  sharded_gf.plan_threads = 4;
+  const RunResult serial = RunWith<GandivaFairScheduler>(
+      config, serial_gf, [](auto& exp, auto& s) { FaultChurnScenario(exp, s); });
+  const RunResult sharded = RunWith<GandivaFairScheduler>(
+      config, sharded_gf, [](auto& exp, auto& s) { FaultChurnScenario(exp, s); });
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kSuspend)], 0);
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kResume)], 0);
+  ExpectIdentical(serial, sharded);
+
+  // Both fan-outs at once: the sharded plan phase and the parallel apply
+  // share one tick pool and must still reproduce the serial streams.
+  GandivaFairConfig combined_gf;
+  combined_gf.plan_shards = 4;
+  combined_gf.plan_threads = 2;
+  combined_gf.apply_threads = 4;
+  const RunResult combined = RunWith<GandivaFairScheduler>(
+      config, combined_gf, [](auto& exp, auto& s) { FaultChurnScenario(exp, s); });
+  ExpectIdentical(serial, combined);
+}
+
+// Shard-count invariance on the E6-style homogeneous scenario: every fixed
+// shard count — including one that exceeds the server count and gets
+// clamped — must produce the serial planner's exact decision log. The
+// partition is a fixed ascending-id split merged in shard order, so the
+// count can only matter if some per-shard state leaks across the cut.
+TEST(EquivalenceTest, ShardCountInvarianceOnHomogeneousScenario) {
+  ExperimentConfig config;
+  config.topology = cluster::HomogeneousTopology(25, 8);
+  const GandivaFairConfig serial_gf;
+  const RunResult serial = RunWith<GandivaFairScheduler>(
+      config, serial_gf, [](auto& exp, auto& s) { HomogeneousScenario(exp, s); });
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kSuspend)], 0);
+  EXPECT_GT(serial.migrations, 0);
+  for (const int shards : {2, 4, 8, 64}) {
+    GandivaFairConfig sharded_gf;
+    sharded_gf.plan_shards = shards;
+    sharded_gf.plan_threads = 2;
+    const RunResult sharded = RunWith<GandivaFairScheduler>(
+        config, sharded_gf, [](auto& exp, auto& s) { HomogeneousScenario(exp, s); });
+    SCOPED_TRACE("plan_shards=" + std::to_string(shards));
+    ExpectIdentical(serial, sharded);
+  }
+}
+
+// Shard-count invariance on the E14-style paper-scale trace: the widest
+// surface — trace-driven arrivals/finishes, trading, balancing and stealing
+// interleaved with sharded ticks — across 2/4/8 shards.
+TEST(EquivalenceTest, ShardCountInvarianceOnTraceDrivenScenario) {
+  ExperimentConfig config;
+  config.topology = cluster::PaperScaleTopology();
+  config.seed = 2020;
+  const GandivaFairConfig serial_gf;
+  const RunResult serial = RunWith<GandivaFairScheduler>(
+      config, serial_gf, [](auto& exp, auto& s) { TraceDrivenScenario(exp, s); });
+  EXPECT_GT(serial.counts[static_cast<size_t>(DecisionType::kPlace)], 0);
+  for (const int shards : {2, 4, 8}) {
+    GandivaFairConfig sharded_gf;
+    sharded_gf.plan_shards = shards;
+    sharded_gf.plan_threads = 4;
+    const RunResult sharded = RunWith<GandivaFairScheduler>(
+        config, sharded_gf, [](auto& exp, auto& s) { TraceDrivenScenario(exp, s); });
+    SCOPED_TRACE("plan_shards=" + std::to_string(shards));
+    ExpectIdentical(serial, sharded);
+  }
 }
 
 TEST(EquivalenceTest, TraceDrivenPaperScaleDecisionStreamMatchesLegacy) {

@@ -29,6 +29,8 @@
 //   --trace F    load jobs from CSV (see workload/trace_io.h) instead of --user
 //   --save-trace F   write the generated trace as CSV and continue
 //   --quantum-s N    scheduling quantum                          (default 60)
+//   --plan-shards N  shard the tick's plan phase (decisions unchanged)
+//   --plan-threads N threads fanning the plan shards             (default 1)
 //   --no-trading / --no-balancing / --no-stealing   disable mechanisms
 //   --trade-rate borrower|geometric                              (default borrower)
 //   --csv PREFIX     also write result tables as PREFIX_*.csv
@@ -73,6 +75,7 @@ void PrintHelp() {
       "  --trace file.csv | --save-trace file.csv\n"
       "  --no-trading --no-balancing --no-stealing --trade-rate borrower|geometric\n"
       "  --alloc-policy greedy|themis|gavel  trade-epoch allocation backend\n"
+      "  --plan-shards N --plan-threads N    sharded parallel quantum planning\n"
       "  --csv PREFIX --dump-decisions FILE\n");
 }
 
@@ -422,6 +425,21 @@ int main(int argc, char** argv) {
     return Fail(alloc_error);
   }
   sched_config.allocation_policy = alloc_policy;
+  // --plan-shards / --plan-threads shard the quantum tick's plan phase
+  // (see GandivaFairConfig: decisions are bit-identical for any values).
+  // Validated here so a typo fails fast with the accepted range.
+  const int64_t plan_shards = args.GetInt("plan-shards", 1);
+  if (plan_shards < 1 || plan_shards > 65536) {
+    return Fail("--plan-shards must be an integer in [1, 65536], got " +
+                std::to_string(plan_shards));
+  }
+  const int64_t plan_threads = args.GetInt("plan-threads", 1);
+  if (plan_threads < 1 || plan_threads > 512) {
+    return Fail("--plan-threads must be an integer in [1, 512], got " +
+                std::to_string(plan_threads));
+  }
+  sched_config.plan_shards = static_cast<int>(plan_shards);
+  sched_config.plan_threads = static_cast<int>(plan_threads);
   const std::string decisions_path = args.GetString("dump-decisions");
   const bool want_snapshot = args.GetBool("snapshot");
 

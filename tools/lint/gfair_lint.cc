@@ -310,6 +310,18 @@ const std::vector<Rule>& Rules() {
        "boundary, append '// gfair-lint: allow(unit-unwrap-outside-boundary)' "
        "with the argument",
        {}},
+      {"shard-locality", "src/sched/ gfair-shard-parallel regions",
+       "per-shard planning code touches cross-shard mutable scheduler state; "
+       "the region runs concurrently across shards, so only the shard's own "
+       "servers/jobs may be mutated — cross-shard concerns (the merged "
+       "plan/delta, decisions, RNG draws, migrations) belong to the serial "
+       "reduce step",
+       "buffer the per-shard result (sample lists, plan, delta, slice "
+       "offsets) in the PlanShard and replay/merge it in ReduceShards after "
+       "the fan-out joins; a provably serial line inside the region may "
+       "append '// gfair-lint: allow(shard-locality)' with the argument; the "
+       "denylist is kShardCrossStateTokens in tools/lint/gfair_lint.cc",
+       {}},
   };
   return kRules;
 }
@@ -971,6 +983,54 @@ void CheckUnitUnwrapOutsideBoundary(const SourceFile& f, Emitter* emit) {
   }
 }
 
+// Cross-shard mutable state and serial-only entry points, matched as whole
+// words inside gfair-shard-parallel regions: the facade members every shard
+// would share (merged plan/delta, slice bookkeeping, decision log, the
+// subsystems, fault/retry queues) plus the calls whose global order — or
+// RNG stream — the serial reduce step owns.
+const std::vector<std::string> kShardCrossStateTokens = {
+    // Shared facade state (the per-shard twins live in PlanShard and carry
+    // no trailing underscore).
+    "plan_", "delta_", "slice_begins_", "slice_scratch_", "decisions_",
+    "trader_", "balancer_", "placement_", "checker_", "ledger_",
+    "ticket_matrix_", "pending_orphans_", "retry_", "planner_", "differ_",
+    // Serial-only calls: RNG draws, profiler feeding, migrations, applies,
+    // decision recording, work conservation.
+    "SampleObservedRate", "RecordSample", "EmitMigration", "ExecuteMigration",
+    "ApplyDelta", "ApplyDeltaParallel", "ApplyDeltaSlice", "RecordAppliedOps",
+    "FillIdleGpus", "TrySteal", "ReplaceOrphan",
+};
+
+// Scans gfair-shard-parallel-begin/-end regions (the markers live in
+// comments, so they are matched on raw lines) for denylisted tokens on the
+// stripped code lines.
+void CheckShardLocality(const SourceFile& f, Emitter* emit) {
+  if (!StartsWith(f.rel, "src/sched/")) {
+    return;
+  }
+  const Rule& rule = *FindRule("shard-locality");
+  bool in_region = false;
+  for (size_t li = 0; li < f.raw.size(); ++li) {
+    if (f.raw[li].find("gfair-shard-parallel-begin") != std::string::npos) {
+      in_region = true;
+      continue;
+    }
+    if (f.raw[li].find("gfair-shard-parallel-end") != std::string::npos) {
+      in_region = false;
+      continue;
+    }
+    if (!in_region || li >= f.code.size()) {
+      continue;
+    }
+    for (const std::string& token : kShardCrossStateTokens) {
+      if (HasWord(f.code[li], token)) {
+        emit->Emit(rule, f, li);
+        break;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
@@ -987,6 +1047,7 @@ void RunAllRules(const SourceFile& f, const UnorderedNames& names,
   CheckUnorderedIter(f, names, emit);
   CheckRawDoubleInSchedApi(f, emit);
   CheckUnitUnwrapOutsideBoundary(f, emit);
+  CheckShardLocality(f, emit);
 }
 
 bool HasLintedExtension(const fs::path& p) {
