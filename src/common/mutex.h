@@ -1,0 +1,74 @@
+// Annotated mutex wrappers: the only sanctioned lock vocabulary outside
+// src/common/ (the `raw-mutex` lint rule fences bare std::mutex /
+// std::lock_guard / std::condition_variable elsewhere). The wrappers carry
+// Clang Thread Safety Analysis attributes, so under clang every
+// GFAIR_GUARDED_BY member access is proven to hold the right lock at
+// compile time; under gcc they are zero-cost pass-throughs.
+#ifndef GFAIR_COMMON_MUTEX_H_
+#define GFAIR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace gfair::common {
+
+class CondVar;
+class MutexLock;
+
+// A standard mutex, declared as a thread-safety capability. Prefer the
+// scoped MutexLock; Lock()/Unlock() exist for the rare hand-over-hand case.
+class GFAIR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GFAIR_ACQUIRE() { mu_.lock(); }
+  void Unlock() GFAIR_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII critical section over a Mutex (scoped capability: the analysis
+// treats the mutex as held for exactly the lock object's lifetime).
+class GFAIR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GFAIR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() GFAIR_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to MutexLock. Wait() atomically releases the
+// mutex and reacquires it before returning, so from the analysis's point of
+// view the capability is held across the call — which is why waits must be
+// written as explicit `while (!cond) cv.Wait(lock);` loops in the annotated
+// caller rather than as predicate lambdas (the analysis cannot carry lock
+// context into a lambda body).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gfair::common
+
+#endif  // GFAIR_COMMON_MUTEX_H_

@@ -1,0 +1,69 @@
+// Clang Thread Safety Analysis macros (GFAIR_GUARDED_BY, GFAIR_REQUIRES,
+// ...). Under clang the `-Wthread-safety` pass proves lock discipline at
+// compile time from these annotations; under any other compiler they expand
+// to nothing, so the annotated code stays portable. See
+// docs/STATIC_ANALYSIS.md "Concurrency contracts" for the full design and
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+//
+// Annotate with the GFAIR_* spellings only — bare __attribute__((...)) use
+// would silently diverge between compilers.
+#ifndef GFAIR_COMMON_THREAD_ANNOTATIONS_H_
+#define GFAIR_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+// A type that is a lock (common::Mutex). The string names the capability in
+// diagnostics.
+#define GFAIR_CAPABILITY(x) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// An RAII type whose lifetime equals a critical section (common::MutexLock).
+#define GFAIR_SCOPED_CAPABILITY \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Data member readable/writable only while the named mutex is held.
+#define GFAIR_GUARDED_BY(x) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// Pointer member whose *pointee* is guarded by the named mutex.
+#define GFAIR_PT_GUARDED_BY(x) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Function that may only be called with the listed mutexes already held.
+#define GFAIR_REQUIRES(...) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+// Function that acquires / releases the listed mutexes (empty list = `this`,
+// for the members of a capability type itself).
+#define GFAIR_ACQUIRE(...) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define GFAIR_RELEASE(...) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define GFAIR_TRY_ACQUIRE(...) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+// Function that must be called with the listed mutexes NOT held (deadlock
+// documentation for self-locking public APIs).
+#define GFAIR_EXCLUDES(...) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code the analysis
+// cannot follow, e.g. after an external callback contract).
+#define GFAIR_ASSERT_CAPABILITY(x) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+// Function returning a reference to the named mutex.
+#define GFAIR_RETURN_CAPABILITY(x) \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch: function excluded from analysis entirely. Allowed only
+// inside src/common/ (the wrapper internals); anywhere else it defeats the
+// contract and review must reject it.
+#define GFAIR_NO_THREAD_SAFETY_ANALYSIS \
+  GFAIR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // GFAIR_COMMON_THREAD_ANNOTATIONS_H_

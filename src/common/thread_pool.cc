@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -28,9 +28,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(size_t n, const RangeFn& fn) {
   GFAIR_CHECK(fn != nullptr);
+  // Re-entrancy tripwire: a nested span from inside a chunk would deadlock
+  // (the outer span's caller waits on the inner's participants) or corrupt
+  // the epoch protocol. Fail loudly in Debug on every path — including the
+  // inline one, where the nesting would "work" locally and then deadlock
+  // the first time the pool has workers.
+  GFAIR_DCHECK_MSG(!in_span_.load(std::memory_order_relaxed),
+                   "ParallelFor is not re-entrant (nested span)");
   if (workers_.empty() || n <= 1) {
     if (n > 0) {
-      fn(0, n);  // inline: an exception propagates directly
+      in_span_.store(true, std::memory_order_relaxed);
+      try {
+        fn(0, n);  // inline: an exception propagates directly
+      } catch (...) {
+        in_span_.store(false, std::memory_order_relaxed);
+        throw;
+      }
+      in_span_.store(false, std::memory_order_relaxed);
     }
     return;
   }
@@ -43,8 +57,9 @@ void ThreadPool::ParallelFor(size_t n, const RangeFn& fn) {
   // ChunkBegin(i+2)) — so which indices run where is identical either way.
   const size_t used_chunks = (n + chunk - 1) / chunk;
   const size_t active_workers = used_chunks - 1;  // the caller takes chunk 0
+  in_span_.store(true, std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     GFAIR_CHECK_MSG(pending_ == 0 && fn_ == nullptr, "ParallelFor is not re-entrant");
     fn_ = &fn;
     n_ = n;
@@ -53,22 +68,26 @@ void ThreadPool::ParallelFor(size_t n, const RangeFn& fn) {
     error_ = nullptr;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller takes chunk 0 (worker i takes chunk i + 1).
   try {
     fn(ChunkBegin(n, parts, 0), ChunkBegin(n, parts, 1));
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     RecordChunkErrorLocked(std::current_exception(), 0);
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this]() { return pending_ == 0; });
-  fn_ = nullptr;
-  participants_ = 0;
-  if (error_ != nullptr) {
-    std::exception_ptr error = nullptr;
+  std::exception_ptr error = nullptr;
+  {
+    MutexLock lock(mu_);
+    while (pending_ != 0) {
+      done_cv_.Wait(lock);
+    }
+    fn_ = nullptr;
+    participants_ = 0;
     std::swap(error, error_);
-    lock.unlock();
+  }
+  in_span_.store(false, std::memory_order_relaxed);
+  if (error != nullptr) {
     std::rethrow_exception(error);
   }
 }
@@ -86,14 +105,17 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     const RangeFn* fn = nullptr;
     size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // A worker past the participant cut has an empty chunk this epoch: it
       // neither wakes nor touches pending_, and catches up on epoch_ the
-      // next time it does participate (the comparison is !=, not <).
-      work_cv_.wait(lock, [&]() {
-        return shutdown_ ||
-               (epoch_ != seen_epoch && worker_index < participants_);
-      });
+      // next time it does participate (the comparison is !=, not <). The
+      // wait is an explicit loop so clang's thread-safety analysis can see
+      // the lock is held around every predicate read (a predicate lambda
+      // would be analyzed without the caller's lock context).
+      while (!(shutdown_ ||
+               (epoch_ != seen_epoch && worker_index < participants_))) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) {
         return;
       }
@@ -108,14 +130,14 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       try {
         (*fn)(begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         RecordChunkErrorLocked(std::current_exception(), worker_index + 1);
       }
     }
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (--pending_ == 0) {
-        done_cv_.notify_one();
+        done_cv_.NotifyOne();
       }
     }
   }

@@ -10,18 +10,24 @@
 // loads.
 //
 // The pool serves one caller at a time and is not re-entrant (no nested
-// ParallelFor from inside a chunk).
+// ParallelFor from inside a chunk): nesting trips a Debug CHECK via
+// in_span_ instead of deadlocking.
+//
+// All epoch/participant/error state is GFAIR_GUARDED_BY(mu_); under clang
+// `-Wthread-safety` proves every access holds the lock.
 #ifndef GFAIR_COMMON_THREAD_POOL_H_
 #define GFAIR_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gfair::common {
 
@@ -52,31 +58,47 @@ class ThreadPool {
   // chunks still run to completion (disjoint work stays consistent), and
   // once every participant finished, the failure from the lowest-numbered
   // chunk is rethrown on the calling thread. The pool stays usable after.
-  void ParallelFor(size_t n, const RangeFn& fn);
+  void ParallelFor(size_t n, const RangeFn& fn) GFAIR_EXCLUDES(mu_);
 
  private:
   void WorkerLoop(size_t worker_index);
   // Records `error` as the span's failure unless a lower-numbered chunk
   // already failed (ties on chunk index are impossible — one error per
-  // chunk). Caller holds mu_.
-  void RecordChunkErrorLocked(std::exception_ptr error, size_t chunk);
+  // chunk).
+  void RecordChunkErrorLocked(std::exception_ptr error, size_t chunk)
+      GFAIR_REQUIRES(mu_);
   static size_t ChunkBegin(size_t n, size_t parts, size_t part) {
     const size_t chunk = (n + parts - 1) / parts;
     return part * chunk < n ? part * chunk : n;
   }
 
+  // Unguarded state first: workers_ is written only in the constructor
+  // (before any worker can observe it) and joined in the destructor;
+  // in_span_ is an atomic tripwire read outside the lock on purpose — it
+  // detects the erroneous nested-span call, which by definition happens
+  // while another thread may be mid-span.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const RangeFn* fn_ = nullptr;  // current span's body (valid while pending)
-  size_t n_ = 0;
-  uint64_t epoch_ = 0;  // bumped once per ParallelFor; wakes the workers
-  size_t pending_ = 0;       // participating workers not yet done this epoch
-  size_t participants_ = 0;  // workers with a non-empty chunk this epoch
-  std::exception_ptr error_;  // lowest-chunk failure of the current span
-  size_t error_chunk_ = 0;
-  bool shutdown_ = false;
+  std::atomic<bool> in_span_{false};
+  CondVar work_cv_;
+  CondVar done_cv_;
+
+  // Everything below the mutex is guarded by it (the layout convention the
+  // `mutex-unannotated` lint rule assumes: guarded members follow their
+  // mutex).
+  Mutex mu_;
+  const RangeFn* fn_ GFAIR_GUARDED_BY(mu_) =
+      nullptr;  // current span's body (valid while pending)
+  size_t n_ GFAIR_GUARDED_BY(mu_) = 0;
+  // epoch_: bumped once per ParallelFor; wakes the workers.
+  uint64_t epoch_ GFAIR_GUARDED_BY(mu_) = 0;
+  // pending_: participating workers not yet done this epoch.
+  size_t pending_ GFAIR_GUARDED_BY(mu_) = 0;
+  // participants_: workers with a non-empty chunk this epoch.
+  size_t participants_ GFAIR_GUARDED_BY(mu_) = 0;
+  // error_: lowest-chunk failure of the current span.
+  std::exception_ptr error_ GFAIR_GUARDED_BY(mu_);
+  size_t error_chunk_ GFAIR_GUARDED_BY(mu_) = 0;
+  bool shutdown_ GFAIR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gfair::common

@@ -125,7 +125,7 @@ void Executor::ResumeWithOverlap(JobId id, SimDuration overlap_allowance) {
     // only the un-hidden prefix bubbles.
     const SimDuration hidden = std::min(seg.warmup, overlap_allowance);
     seg.warmup -= hidden;
-    overlap_saved_ms_ += hidden;
+    acct_.AddOverlapSaved(hidden, common::ReduceToken{});
   }
   seg.gen = server.generation();
   seg.rate = profile.GangThroughput(seg.gen, job.gang_size);
@@ -147,7 +147,7 @@ void Executor::ResumeWithOverlap(JobId id, SimDuration overlap_allowance) {
   job.state = JobState::kRunning;
   job.num_resumes += 1;
   job.overhead_ms += seg.warmup;
-  warmup_bubble_ms_ += seg.warmup;
+  acct_.AddWarmupBubble(seg.warmup, common::ReduceToken{});
 }
 
 double Executor::SegmentProgress(const RunSegment& seg, SimDuration elapsed) {
@@ -250,6 +250,12 @@ void Executor::ApplyDeltaParallel(const ApplySlice* slices, size_t num_slices,
     offsets[s] = offsets[s - 1] + slices[s - 1].count;
   }
 
+  // gfair-parallel-apply-begin — the prepare fan-out. Only per-job /
+  // per-server state of the slice's own server may be touched here; every
+  // order-sensitive or global concern (running-list edits, timer
+  // arms/disarms, the acct_ accumulators, callbacks, RNG) belongs to the
+  // serial commit pass. gfair_lint's parallel-region-write rule enforces
+  // the denylist over this region.
   // Parallel prepare: per-job and per-server state only. Slices target
   // pairwise-distinct servers (caller contract), so two chunks never touch
   // the same job, segment slot, or server occupancy.
@@ -271,6 +277,7 @@ void Executor::ApplyDeltaParallel(const ApplySlice* slices, size_t num_slices,
       }
     }
   });
+  // gfair-parallel-apply-end
 
   // Serial commit, in op order: exactly the sequence of running-list edits,
   // timer arms/disarms, counter bumps and accounting flushes the serial
@@ -283,6 +290,8 @@ void Executor::ApplyDeltaParallel(const ApplySlice* slices, size_t num_slices,
   }
 }
 
+// gfair-parallel-apply-begin — PrepareResume/PrepareSuspend bodies run
+// concurrently across slices (same contract as the fan-out lambda above).
 Executor::PreparedOp Executor::PrepareResume(JobId id, SimDuration overlap_allowance) {
   Job& job = jobs_.Get(id);
   GFAIR_CHECK_MSG(job.state == JobState::kSuspended, "Resume requires a suspended job");
@@ -351,6 +360,7 @@ Executor::PreparedOp Executor::PrepareSuspend(JobId id) {
   out.flush_accounting = elapsed > 0;
   return out;
 }
+// gfair-parallel-apply-end
 
 void Executor::CommitOp(const ScheduleOp& op, const PreparedOp& prepared) {
   RunSegment& seg = segments_[op.job.value()];
@@ -358,8 +368,8 @@ void Executor::CommitOp(const ScheduleOp& op, const PreparedOp& prepared) {
     seg.running_pos = static_cast<uint32_t>(running_list_.size());
     running_list_.push_back(op.job);
     sim_.ArmTimerAt(FinishTimerFor(op.job), prepared.finish_at);
-    warmup_bubble_ms_ += seg.warmup;
-    overlap_saved_ms_ += prepared.overlap_hidden;
+    acct_.AddWarmupBubble(seg.warmup, common::ReduceToken{});
+    acct_.AddOverlapSaved(prepared.overlap_hidden, common::ReduceToken{});
   } else {
     sim_.DisarmTimer(finish_timer_[op.job.value()]);
     if (prepared.flush_accounting && on_gpu_time_) {
@@ -443,8 +453,8 @@ void Executor::DoMigrate(JobId id, ServerId dest, double transfer_fraction) {
   job.num_migrations += 1;
   job.checkpointed_minibatches = job.completed_minibatches;
   migrations_in_flight_ += 1;
-  migration_bytes_gb_ += wire_gb;
-  migration_bubble_ms_ += latency;
+  acct_.AddTransfer(wire_gb, common::ReduceToken{});
+  acct_.AddBubble(latency, common::ReduceToken{});
   sim_.After(latency, [this, id, dest]() { FinishMigration(id, dest); });
 }
 
@@ -472,8 +482,8 @@ void Executor::StartPreCopy(JobId id, ServerId dest) {
   const SimDuration bulk =
       static_cast<SimDuration>(static_cast<double>(transfer) * stretch);
   migrations_in_flight_ += 1;
-  migration_bytes_gb_ += wire_gb;
-  precopies_started_ += 1;
+  acct_.AddTransfer(wire_gb, common::ReduceToken{});
+  acct_.CountPrecopyStarted(common::ReduceToken{});
   pending_precopies_.push_back(PendingPrecopy{id, job.server, dest});
   const ServerId source = job.server;
   sim_.After(bulk, [this, id, source, dest]() { PrecopyCutover(id, source, dest); });
@@ -500,7 +510,7 @@ void Executor::PrecopyCutover(JobId id, ServerId source, ServerId dest) {
       (job.state == JobState::kRunning || job.state == JobState::kSuspended) &&
       job.server == source;
   if (!still_at_source) {
-    precopies_aborted_ += 1;
+    acct_.CountPrecopyAborted(common::ReduceToken{});
     GFAIR_DLOG << "pre-copy of job " << id << " abandoned (job left server "
                << source << ")";
     return;
@@ -509,9 +519,9 @@ void Executor::PrecopyCutover(JobId id, ServerId source, ServerId dest) {
     // The destination died mid-flight. Unlike a stop-and-copy landing
     // failure this is cheap — the job kept running at its source — but it
     // is still an attributed failure for E10/E14.
-    migration_failures_dest_down_ += 1;
+    acct_.CountFailureDestDown(common::ReduceToken{});
     job.num_migration_failures += 1;
-    precopies_aborted_ += 1;
+    acct_.CountPrecopyAborted(common::ReduceToken{});
     GFAIR_DLOG << "pre-copy of job " << id << " to server " << dest
                << " failed: destination down";
     if (on_migration_failed_) {
@@ -525,7 +535,7 @@ void Executor::PrecopyCutover(JobId id, ServerId source, ServerId dest) {
   // same server — which abandons the transfer like any other stale bulk.
   const bool proceeded = on_precopy_cutover_ && on_precopy_cutover_(id, dest);
   if (!proceeded) {
-    precopies_aborted_ += 1;
+    acct_.CountPrecopyAborted(common::ReduceToken{});
   }
 }
 
@@ -556,9 +566,9 @@ void Executor::FinishMigration(JobId id, ServerId dest) {
 
   moved.num_migration_failures += 1;
   if (dest_down) {
-    migration_failures_dest_down_ += 1;
+    acct_.CountFailureDestDown(common::ReduceToken{});
   } else {
-    migration_failures_flake_ += 1;
+    acct_.CountFailureFlake(common::ReduceToken{});
   }
   // The checkpoint is durable, so the job falls back to its source — unless
   // the source died too while the transfer was in flight, which orphans it.
@@ -594,14 +604,14 @@ void Executor::OrphanJob(Job& job) {
   job.state = JobState::kQueued;
   job.server = ServerId::Invalid();
   job.num_orphanings += 1;
-  jobs_orphaned_ += 1;
+  acct_.CountOrphaned(common::ReduceToken{});
 }
 
 void Executor::FailServer(ServerId id) {
   cluster::Server& server = cluster_.server(id);
   GFAIR_CHECK_MSG(server.up(), "FailServer on a server that is already down");
   cluster_.SetServerUp(id, false);
-  server_failures_ += 1;
+  acct_.CountServerFailure(common::ReduceToken{});
   GFAIR_DLOG << "server " << id << " failed at " << FormatDuration(sim_.Now());
 
   // Evacuate executor state for every resident job BEFORE any scheduler
@@ -634,7 +644,7 @@ void Executor::FailServer(ServerId id) {
 void Executor::RecoverServer(ServerId id) {
   GFAIR_CHECK_MSG(!cluster_.server(id).up(), "RecoverServer on an up server");
   cluster_.SetServerUp(id, true);
-  server_recoveries_ += 1;
+  acct_.CountServerRecovery(common::ReduceToken{});
   GFAIR_DLOG << "server " << id << " recovered at " << FormatDuration(sim_.Now());
   if (on_server_up_) {
     on_server_up_(id);

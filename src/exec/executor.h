@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/phase_tokens.h"
 #include "common/rng.h"
 #include "exec/schedule_op.h"
 #include "common/sim_time.h"
@@ -97,6 +98,64 @@ struct ExecutorConfig {
   // among those departures, hiding the quantum-boundary bubble. Off keeps
   // resume timing bit-identical to the non-overlapped executor.
   bool overlap_warmup = false;
+};
+
+// Global migration / fault accounting: lifetime counters plus the
+// byte/bubble accumulators the E10/E14 benches report. These are exactly
+// the cross-slice cells ApplyDeltaParallel's prepare fan-out must NOT touch
+// (a `+=` from two slices is a lost-update race, and a double accumulation
+// order change breaks bit-identity), so every mutator requires a
+// common::ReduceToken — mintable only by the Executor (and the scheduler
+// facade) at points that are serial by construction: event handlers,
+// migration landings, and the serial commit pass of the parallel apply.
+// Parallel code reaching for an accumulator is a compile error (pinned by a
+// WILL_FAIL negative-compile ctest); reads are unrestricted.
+class MigrationAccounting {
+ public:
+  // --- mutators (serial phase only; see common/phase_tokens.h) ---
+  void AddTransfer(double wire_gb, common::ReduceToken) { bytes_gb_ += wire_gb; }
+  void AddBubble(SimDuration latency, common::ReduceToken) {
+    bubble_ms_ += latency;
+  }
+  void AddWarmupBubble(SimDuration warmup, common::ReduceToken) {
+    warmup_bubble_ms_ += warmup;
+  }
+  void AddOverlapSaved(SimDuration hidden, common::ReduceToken) {
+    overlap_saved_ms_ += hidden;
+  }
+  void CountServerFailure(common::ReduceToken) { server_failures_ += 1; }
+  void CountServerRecovery(common::ReduceToken) { server_recoveries_ += 1; }
+  void CountFailureDestDown(common::ReduceToken) { failures_dest_down_ += 1; }
+  void CountFailureFlake(common::ReduceToken) { failures_flake_ += 1; }
+  void CountOrphaned(common::ReduceToken) { jobs_orphaned_ += 1; }
+  void CountPrecopyStarted(common::ReduceToken) { precopies_started_ += 1; }
+  void CountPrecopyAborted(common::ReduceToken) { precopies_aborted_ += 1; }
+
+  // --- getters (any phase) ---
+  double bytes_gb() const { return bytes_gb_; }
+  SimDuration bubble_ms() const { return bubble_ms_; }
+  SimDuration warmup_bubble_ms() const { return warmup_bubble_ms_; }
+  SimDuration overlap_saved_ms() const { return overlap_saved_ms_; }
+  int64_t server_failures() const { return server_failures_; }
+  int64_t server_recoveries() const { return server_recoveries_; }
+  int64_t failures_dest_down() const { return failures_dest_down_; }
+  int64_t failures_flake() const { return failures_flake_; }
+  int64_t jobs_orphaned() const { return jobs_orphaned_; }
+  int64_t precopies_started() const { return precopies_started_; }
+  int64_t precopies_aborted() const { return precopies_aborted_; }
+
+ private:
+  int64_t server_failures_ = 0;
+  int64_t server_recoveries_ = 0;
+  int64_t failures_dest_down_ = 0;
+  int64_t failures_flake_ = 0;
+  int64_t jobs_orphaned_ = 0;
+  int64_t precopies_started_ = 0;
+  int64_t precopies_aborted_ = 0;
+  double bytes_gb_ = 0.0;
+  SimDuration bubble_ms_ = 0;
+  SimDuration warmup_bubble_ms_ = 0;
+  SimDuration overlap_saved_ms_ = 0;
 };
 
 class Executor {
@@ -273,21 +332,21 @@ class Executor {
   int migrations_in_flight() const { return migrations_in_flight_; }
 
   // Lifetime fault counters (benches and tests).
-  int64_t server_failures() const { return server_failures_; }
-  int64_t server_recoveries() const { return server_recoveries_; }
+  int64_t server_failures() const { return acct_.server_failures(); }
+  int64_t server_recoveries() const { return acct_.server_recoveries(); }
   // Failed landings, split by cause: the destination died while the
   // checkpoint was in flight vs the transfer itself flaked. The total is
   // their sum (kept as a getter so E10/E14 attribution can't drift).
   int64_t migration_failures() const {
-    return migration_failures_dest_down_ + migration_failures_flake_;
+    return acct_.failures_dest_down() + acct_.failures_flake();
   }
-  int64_t migration_failures_dest_down() const { return migration_failures_dest_down_; }
-  int64_t migration_failures_flake() const { return migration_failures_flake_; }
-  int64_t jobs_orphaned() const { return jobs_orphaned_; }
+  int64_t migration_failures_dest_down() const { return acct_.failures_dest_down(); }
+  int64_t migration_failures_flake() const { return acct_.failures_flake(); }
+  int64_t jobs_orphaned() const { return acct_.jobs_orphaned(); }
 
   // Pre-copy lifecycle counters.
-  int64_t precopies_started() const { return precopies_started_; }
-  int64_t precopies_aborted() const { return precopies_aborted_; }
+  int64_t precopies_started() const { return acct_.precopies_started(); }
+  int64_t precopies_aborted() const { return acct_.precopies_aborted(); }
 
   // Migration byte/bubble accounting (benches report these, not just
   // counts). Bytes are post-compression GB put on the migration network
@@ -296,10 +355,14 @@ class Executor {
   // only the tail for pre-copies). Warm-up bubble is the total no-progress
   // warm-up prefix charged at resumes; overlap_saved is the portion of it
   // hidden by overlap_warmup.
-  double migration_bytes_gb() const { return migration_bytes_gb_; }
-  SimDuration migration_bubble_ms() const { return migration_bubble_ms_; }
-  SimDuration warmup_bubble_ms() const { return warmup_bubble_ms_; }
-  SimDuration overlap_saved_ms() const { return overlap_saved_ms_; }
+  double migration_bytes_gb() const { return acct_.bytes_gb(); }
+  SimDuration migration_bubble_ms() const { return acct_.bubble_ms(); }
+  SimDuration warmup_bubble_ms() const { return acct_.warmup_bubble_ms(); }
+  SimDuration overlap_saved_ms() const { return acct_.overlap_saved_ms(); }
+
+  // The full accounting block (token-gated mutators live on the class
+  // itself; see MigrationAccounting above).
+  const MigrationAccounting& accounting() const { return acct_; }
 
   const ExecutorConfig& config() const { return config_; }
 
@@ -413,17 +476,9 @@ class Executor {
   PreparedOp PrepareSuspend(JobId id);
   void CommitOp(const ScheduleOp& op, const PreparedOp& prepared);
 
-  int64_t server_failures_ = 0;
-  int64_t server_recoveries_ = 0;
-  int64_t migration_failures_dest_down_ = 0;
-  int64_t migration_failures_flake_ = 0;
-  int64_t jobs_orphaned_ = 0;
-  int64_t precopies_started_ = 0;
-  int64_t precopies_aborted_ = 0;
-  double migration_bytes_gb_ = 0.0;
-  SimDuration migration_bubble_ms_ = 0;
-  SimDuration warmup_bubble_ms_ = 0;
-  SimDuration overlap_saved_ms_ = 0;
+  // Committed only at serial points, through the ReduceToken-gated
+  // mutators (an audit of every site is in the class comment above).
+  MigrationAccounting acct_;
 
   JobFinishedCallback on_finished_;
   MigrationDoneCallback on_migrated_;

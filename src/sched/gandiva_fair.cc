@@ -79,15 +79,10 @@ GandivaFairScheduler::GandivaFairScheduler(const SchedulerEnv& env,
     const ClusterStateView view(env_.cluster, index_);
     shards_.reserve(shards);
     for (size_t s = 0; s < shards; ++s) {
-      PlanShard shard{QuantumPlanner(view),
-                      PlanDiffer(env_.jobs, env_.exec, view),
-                      SchedulePlan{},
-                      ScheduleDelta{},
-                      {},
-                      {},
-                      std::min(s * span, num_servers),
-                      std::min((s + 1) * span, num_servers)};
-      shards_.push_back(std::move(shard));
+      shards_.emplace_back(QuantumPlanner(view),
+                           PlanDiffer(env_.jobs, env_.exec, view),
+                           std::min(s * span, num_servers),
+                           std::min((s + 1) * span, num_servers));
     }
   }
 }
@@ -343,15 +338,19 @@ void GandivaFairScheduler::QuantumTick() {
     if (tick_pool_ && config_.plan_threads > 1) {
       tick_pool_->ParallelFor(shards_.size(), [this](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s) {
-          PlanShardRange(shards_[s]);
+          // One ShardToken per shard, minted inside the fan-out: it unlocks
+          // exactly the shard's own PlanShard state (phase_tokens.h).
+          PlanShardRange(shards_[s], common::ShardToken{});
         }
       });
     } else {
       for (PlanShard& shard : shards_) {
-        PlanShardRange(shard);
+        PlanShardRange(shard, common::ShardToken{});
       }
     }
-    ReduceShards();
+    // The fan-out has joined — this thread is the tick's serial reduce and
+    // may mint the ReduceToken unlocking cross-shard state.
+    ReduceShards(common::ReduceToken{});
     ApplyMergedSlices();
   } else if (tick_pool_ && config_.apply_threads > 1) {
     // Two-pass tick (apply_threads > 1): charge/plan/diff every server
@@ -365,7 +364,7 @@ void GandivaFairScheduler::QuantumTick() {
         continue;
       }
       const ServerId id = server.id();
-      ChargeAndSample(id);
+      ChargeAndSample(id, common::ReduceToken{});
       LocalStrideScheduler& stride = index_.stride(id);
       if (planner_.PlanServerOrSkip(id, &plan_)) {
         const SchedulePlan::ServerTarget& target = plan_.servers.back();
@@ -384,7 +383,7 @@ void GandivaFairScheduler::QuantumTick() {
         continue;
       }
       const ServerId id = server.id();
-      ChargeAndSample(id);
+      ChargeAndSample(id, common::ReduceToken{});
       LocalStrideScheduler& stride = index_.stride(id);
       if (planner_.PlanServerOrSkip(id, &plan_)) {
         const SchedulePlan::ServerTarget& target = plan_.servers.back();
@@ -418,7 +417,8 @@ void GandivaFairScheduler::QuantumTick() {
 #endif
 }
 
-void GandivaFairScheduler::ChargeAndSample(ServerId server) {
+void GandivaFairScheduler::ChargeAndSample(ServerId server,
+                                           common::ReduceToken token) {
   LocalStrideScheduler& stride = index_.stride(server);
   const GpuGeneration gen = GenOf(server);
   const SimTime now = env_.sim.Now();
@@ -437,7 +437,8 @@ void GandivaFairScheduler::ChargeAndSample(ServerId server) {
       info.last_charge = now;
       trader_.RecordSample(info.model, gen,
                            PerGpuRate::FromGangRate(env_.exec.SampleObservedRate(id),
-                                                    info.gang_size));
+                                                    info.gang_size),
+                           token);
     }
   }
 }
@@ -449,7 +450,8 @@ void GandivaFairScheduler::ChargeAndSample(ServerId server) {
 // belongs to ReduceShards and later. gfair_lint's shard-locality rule
 // enforces the denylist over this region.
 void GandivaFairScheduler::ChargeServer(
-    ServerId server, std::vector<PendingSample>* pending_samples) {
+    ServerId server, std::vector<PendingSample>* pending_samples,
+    common::ShardToken) {
   LocalStrideScheduler& stride = index_.stride(server);
   const GpuGeneration gen = GenOf(server);
   const SimTime now = env_.sim.Now();
@@ -474,73 +476,56 @@ void GandivaFairScheduler::ChargeServer(
   }
 }
 
-void GandivaFairScheduler::PlanShardRange(PlanShard& shard) {
-  shard.plan.Clear();
-  shard.delta.Clear();
-  shard.slice_begins.clear();
-  shard.pending_samples.clear();
+void GandivaFairScheduler::PlanShardRange(PlanShard& shard,
+                                          common::ShardToken token) {
+  shard.BeginTick(token);
   const std::vector<cluster::Server>& servers = env_.cluster.servers();
-  for (size_t s = shard.server_begin; s < shard.server_end; ++s) {
+  for (size_t s = shard.server_begin(); s < shard.server_end(); ++s) {
     const cluster::Server& server = servers[s];
     if (!server.up()) {
       continue;
     }
     const ServerId id = server.id();
-    ChargeServer(id, &shard.pending_samples);
+    ChargeServer(id, &shard.pending_samples(token), token);
     LocalStrideScheduler& stride = index_.stride(id);
-    if (shard.planner.PlanServerOrSkip(id, &shard.plan)) {
-      const SchedulePlan::ServerTarget& target = shard.plan.servers.back();
+    if (shard.planner(token).PlanServerOrSkip(id, &shard.plan(token))) {
+      const SchedulePlan::ServerTarget& target = shard.plan(token).servers.back();
       stride.AdvanceVirtualTime(target.min_runnable_pass);
       index_.ClearPlanDirty(id);
-      shard.slice_begins.push_back(shard.delta.ops.size());
-      shard.differ.DiffServer(shard.plan, target, &shard.delta);
+      shard.slice_begins(token).push_back(shard.delta(token).ops.size());
+      shard.differ(token).DiffServer(shard.plan(token), target,
+                                     &shard.delta(token));
     } else {
-      stride.AdvanceVirtualTime(shard.plan.skipped_vt.back().second);
+      stride.AdvanceVirtualTime(shard.plan(token).skipped_vt.back().second);
     }
   }
 }
 // gfair-shard-parallel-end
 
-void GandivaFairScheduler::ReduceShards() {
-  // Serial reduce: the only stage allowed to touch cross-shard state.
-  // Shards partition the ids in ascending contiguous ranges and are merged
-  // in shard order, so every stream below — sample draws, plan entries,
-  // delta ops, slice offsets — comes out in exactly the serial planner's
+void GandivaFairScheduler::ReduceShards(common::ReduceToken token) {
+  // Serial reduce: the only stage allowed to touch cross-shard state (its
+  // ReduceToken unlocks the shard merge and the profiler feed). Shards
+  // partition the ids in ascending contiguous ranges and are merged in
+  // shard order, so every stream below — sample draws, plan entries, delta
+  // ops, slice offsets — comes out in exactly the serial planner's
   // ascending-server-order, independent of shard and thread count.
-  for (PlanShard& shard : shards_) {
+  for (const PlanShard& shard : shards_) {
     // Profiler samples: one RNG draw per running job, in charge order. The
     // jobs' segment state is scattered by id, so pipeline the next lookup
     // behind the current draw (as the charge walks do).
-    for (size_t i = 0; i < shard.pending_samples.size(); ++i) {
-      if (i + 1 < shard.pending_samples.size()) {
-        env_.exec.PrefetchJobState(shard.pending_samples[i + 1].job);
+    const std::vector<PendingSample>& samples = shard.pending_samples(token);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (i + 1 < samples.size()) {
+        env_.exec.PrefetchJobState(samples[i + 1].job);
       }
-      const PendingSample& sample = shard.pending_samples[i];
+      const PendingSample& sample = samples[i];
       trader_.RecordSample(
           sample.model, sample.gen,
           PerGpuRate::FromGangRate(env_.exec.SampleObservedRate(sample.job),
-                                   sample.gang_size));
+                                   sample.gang_size),
+          token);
     }
-    // Plan merge: re-base each server target's span into the merged
-    // target-job pool. (Shard plans carry no migrations — directives are
-    // emitted between ticks or after the apply, straight into plan_.)
-    const uint32_t job_base = static_cast<uint32_t>(plan_.target_jobs.size());
-    plan_.target_jobs.insert(plan_.target_jobs.end(), shard.plan.target_jobs.begin(),
-                             shard.plan.target_jobs.end());
-    for (const SchedulePlan::ServerTarget& target : shard.plan.servers) {
-      plan_.servers.push_back(SchedulePlan::ServerTarget{
-          target.server, target.target_begin + job_base,
-          target.target_end + job_base, target.min_runnable_pass});
-    }
-    plan_.skipped_vt.insert(plan_.skipped_vt.end(), shard.plan.skipped_vt.begin(),
-                            shard.plan.skipped_vt.end());
-    // Delta merge, re-basing each diffed server's slice offset.
-    const size_t ops_base = delta_.ops.size();
-    for (const size_t begin : shard.slice_begins) {
-      slice_begins_.push_back(ops_base + begin);
-    }
-    delta_.ops.insert(delta_.ops.end(), shard.delta.ops.begin(),
-                      shard.delta.ops.end());
+    shard.MergeInto(&plan_, &delta_, &slice_begins_, token);
   }
 }
 

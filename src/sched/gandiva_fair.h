@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/phase_tokens.h"
 #include "common/thread_pool.h"
 #include "sched/cluster_state_index.h"
 #include "sched/decision_log.h"
@@ -56,6 +57,7 @@
 #include "sched/ledger.h"
 #include "sched/placement_engine.h"
 #include "sched/plan_differ.h"
+#include "sched/plan_shard.h"
 #include "sched/load_balancer.h"
 #include "sched/profiler.h"
 #include "sched/quantum_planner.h"
@@ -244,53 +246,37 @@ class GandivaFairScheduler : public IScheduler, private ISchedulerHost {
   // Periodic events.
   void QuantumTick();
 
-  // Quantum pipeline stages (see class comment).
+  // Quantum pipeline stages (see class comment). The fork-join phases carry
+  // phase-capability tokens (common/phase_tokens.h): a ShardToken is minted
+  // per shard inside the fan-out and unlocks only that shard's PlanShard
+  // state; a ReduceToken is minted only at serial points and unlocks the
+  // cross-shard merge, the deferred profiler-sample replay and the
+  // executor's global accounting. Only this facade (and the executor, for
+  // ReduceToken) can mint them, so phase violations are compile errors.
   // Stride pass charging + profiler feeding for one up server, fused into a
-  // single resident walk (both touch exactly the running jobs).
-  void ChargeAndSample(ServerId server);
-  // Sharded plan phase (plan_shards > 1): one shard's private pipeline
-  // state. Each shard owns a planner/differ pair (both carry per-call
-  // scratch), its own plan and delta, the per-diffed-server offsets into
-  // that delta, and the running jobs whose profiler samples the reduce step
-  // replays serially.
-  // A deferred profiler sample: everything RecordSample needs except the
-  // observed rate itself, captured while the job's info is cache-hot in the
-  // shard's charge walk. The reduce step's serial replay then touches only
-  // the executor's segment state per job.
-  struct PendingSample {
-    JobId job;
-    workload::ModelId model;
-    cluster::GpuGeneration gen;  // the home server's pool
-    int gang_size;
-  };
-  struct PlanShard {
-    QuantumPlanner planner;
-    PlanDiffer differ;
-    SchedulePlan plan;
-    ScheduleDelta delta;
-    std::vector<size_t> slice_begins;  // per diffed server, into delta.ops
-    std::vector<PendingSample> pending_samples;  // running jobs, charge order
-    size_t server_begin = 0;           // contiguous id range [begin, end)
-    size_t server_end = 0;
-  };
+  // single resident walk (both touch exactly the running jobs). Serial by
+  // construction — hence the ReduceToken for the profiler feed.
+  void ChargeAndSample(ServerId server, common::ReduceToken token);
   // The shard-parallel half of ChargeAndSample: charges one up server's
   // stride passes and buffers its running jobs for the reduce step's serial
   // sample replay (the draw itself consumes the executor's single RNG
   // stream, so it cannot run here).
-  void ChargeServer(ServerId server, std::vector<PendingSample>* pending_samples);
+  void ChargeServer(ServerId server, std::vector<PendingSample>* pending_samples,
+                    common::ShardToken token);
   // The per-shard parallel phase: charge / plan-or-skip / commit / diff
-  // every up server of the shard's range into the shard's own plan + delta.
-  // Runs concurrently across shards — touches only per-server and per-job
-  // state owned by the shard's range (gfair_lint's shard-locality rule
-  // enforces the denylist).
-  void PlanShardRange(PlanShard& shard);
+  // every up server of the shard's range into the shard's own plan + delta
+  // (sched/plan_shard.h). Runs concurrently across shards — touches only
+  // per-server and per-job state owned by the shard's range, unlocked by
+  // the shard's token (gfair_lint's shard-locality rule additionally
+  // enforces a cross-shard denylist over the region).
+  void PlanShardRange(PlanShard& shard, common::ShardToken token);
   // The serial reduce step — the only stage that may touch cross-shard
-  // state. Replays the buffered profiler samples in ascending server order
-  // (one RNG stream, serial draw order), then merges the per-shard plans
-  // and deltas into plan_/delta_/slice_begins_; shard order is ascending
-  // server order, so the merged streams equal the serial planner's for any
-  // shard count.
-  void ReduceShards();
+  // state (it holds the tick's ReduceToken). Replays the buffered profiler
+  // samples in ascending server order (one RNG stream, serial draw order),
+  // then merges the per-shard plans and deltas into
+  // plan_/delta_/slice_begins_; shard order is ascending server order, so
+  // the merged streams equal the serial planner's for any shard count.
+  void ReduceShards(common::ReduceToken token);
   // Applies the merged delta_ slice by slice: per-server serial ApplyDelta
   // when apply_threads == 1, one ApplyDeltaParallel batch otherwise. Also
   // the apply tail of the unsharded two-pass path.

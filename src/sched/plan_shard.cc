@@ -1,0 +1,47 @@
+#include "sched/plan_shard.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace gfair::sched {
+
+PlanShard::PlanShard(QuantumPlanner planner, PlanDiffer differ,
+                     size_t server_begin, size_t server_end)
+    : planner_(std::move(planner)),
+      differ_(std::move(differ)),
+      server_begin_(server_begin),
+      server_end_(server_end) {}
+
+void PlanShard::BeginTick(common::ShardToken) {
+  plan_.Clear();
+  delta_.Clear();
+  slice_begins_.clear();
+  pending_samples_.clear();
+}
+
+void PlanShard::MergeInto(SchedulePlan* plan, ScheduleDelta* delta,
+                          std::vector<size_t>* slice_begins,
+                          common::ReduceToken) const {
+  // Plan merge: re-base each server target's span into the merged
+  // target-job pool. (Shard plans carry no migrations — directives are
+  // emitted between ticks or after the apply, straight into the merged
+  // plan.)
+  const uint32_t job_base = static_cast<uint32_t>(plan->target_jobs.size());
+  plan->target_jobs.insert(plan->target_jobs.end(), plan_.target_jobs.begin(),
+                           plan_.target_jobs.end());
+  for (const SchedulePlan::ServerTarget& target : plan_.servers) {
+    plan->servers.push_back(SchedulePlan::ServerTarget{
+        target.server, target.target_begin + job_base,
+        target.target_end + job_base, target.min_runnable_pass});
+  }
+  plan->skipped_vt.insert(plan->skipped_vt.end(), plan_.skipped_vt.begin(),
+                          plan_.skipped_vt.end());
+  // Delta merge, re-basing each diffed server's slice offset.
+  const size_t ops_base = delta->ops.size();
+  for (const size_t begin : slice_begins_) {
+    slice_begins->push_back(ops_base + begin);
+  }
+  delta->ops.insert(delta->ops.end(), delta_.ops.begin(), delta_.ops.end());
+}
+
+}  // namespace gfair::sched

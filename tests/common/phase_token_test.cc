@@ -1,0 +1,46 @@
+// Positive side of the phase-capability token contracts
+// (common/phase_tokens.h). The negative side — minting outside the friend
+// list must not compile — lives in tests/lint/
+// shard_token_mint_must_not_compile.cc and
+// reduce_accounting_without_token_must_not_compile.cc (WILL_FAIL ctests).
+#include "common/phase_tokens.h"
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace gfair::common {
+namespace {
+
+// Zero-size: passing a token by value costs nothing at runtime; the whole
+// scheme is a compile-time proof that the call site sits in the right phase.
+static_assert(std::is_empty_v<ShardToken>, "ShardToken must stay zero-size");
+static_assert(std::is_empty_v<ReduceToken>, "ReduceToken must stay zero-size");
+
+// Not mintable from arbitrary code: the default constructor is private, so
+// from this (non-friend) context the types are not default-constructible.
+static_assert(!std::is_default_constructible_v<ShardToken>,
+              "only the scheduler facade may mint a ShardToken");
+static_assert(!std::is_default_constructible_v<ReduceToken>,
+              "only the facade and the executor may mint a ReduceToken");
+
+// Copyable but not assignable: a granted token flows down the call stack by
+// value, and nothing can overwrite one capability with another.
+static_assert(std::is_trivially_copy_constructible_v<ShardToken>,
+              "a granted ShardToken must pass by value for free");
+static_assert(std::is_trivially_copy_constructible_v<ReduceToken>,
+              "a granted ReduceToken must pass by value for free");
+static_assert(!std::is_copy_assignable_v<ShardToken>,
+              "tokens are capabilities, not values — no reassignment");
+static_assert(!std::is_copy_assignable_v<ReduceToken>,
+              "tokens are capabilities, not values — no reassignment");
+
+TEST(PhaseTokenTest, TokensAreZeroCost) {
+  // An empty class still has sizeof 1; anything larger means someone added
+  // state to what must remain a pure compile-time capability.
+  EXPECT_EQ(sizeof(ShardToken), 1u);
+  EXPECT_EQ(sizeof(ReduceToken), 1u);
+}
+
+}  // namespace
+}  // namespace gfair::common

@@ -1,0 +1,46 @@
+// ThreadPool re-entrancy tripwire: a nested ParallelFor from inside a chunk
+// must die loudly instead of deadlocking (the outer span's caller would wait
+// forever on the inner span's participants). The worker path carries an
+// always-on locked CHECK; the inline path — where the nesting would "work"
+// locally and then deadlock the first time the pool has workers — is caught
+// by a Debug-only tripwire on the in_span_ flag.
+//
+// Death tests fork with worker threads alive, which TSan rejects; this
+// binary carries the tsan-skip label (the TSan CI job runs `ctest -LE
+// tsan-skip`).
+#include "common/thread_pool.h"
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+namespace gfair::common {
+namespace {
+
+TEST(ThreadPoolDeathTest, NestedSpanAcrossWorkersDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(2);
+  EXPECT_DEATH(
+      pool.ParallelFor(2,
+                       [&pool](size_t begin, size_t) {
+                         if (begin == 0) {  // nest from the caller's chunk only
+                           pool.ParallelFor(2, [](size_t, size_t) {});
+                         }
+                       }),
+      "not re-entrant");
+}
+
+#ifndef NDEBUG
+TEST(ThreadPoolDeathTest, NestedInlineSpanDiesInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);  // no workers: every span runs inline
+  EXPECT_DEATH(pool.ParallelFor(4,
+                                [&pool](size_t, size_t) {
+                                  pool.ParallelFor(4, [](size_t, size_t) {});
+                                }),
+               "nested span");
+}
+#endif
+
+}  // namespace
+}  // namespace gfair::common

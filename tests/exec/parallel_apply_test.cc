@@ -26,9 +26,10 @@ constexpr int kServers = 4;
 constexpr int kJobsPerServer = 4;
 
 struct World {
-  World()
+  World() : World(ExecutorConfig{}) {}
+  explicit World(const ExecutorConfig& config)
       : cluster(cluster::Topology{{{GpuGeneration::kK80, kServers, 4}}}),
-        exec(sim, cluster, workload::ModelZoo::Default(), jobs, ExecutorConfig{},
+        exec(sim, cluster, workload::ModelZoo::Default(), jobs, config,
              /*seed=*/7) {}
 
   // Four jobs per server, the first two running; finite lengths staggered so
@@ -92,6 +93,25 @@ void ExpectWorldsIdentical(const World& a, const World& b) {
   EXPECT_EQ(a.exec.overlap_saved_ms(), b.exec.overlap_saved_ms());
 }
 
+// Every global migration accumulator, not just the two the flip scenario
+// exercises: the accumulators are ReduceToken-gated serial-commit state
+// (exec/executor.h, MigrationAccounting), so the parallel prepare fan-out
+// must leave all of them exactly as the serial path does.
+void ExpectAccountingIdentical(const MigrationAccounting& a,
+                               const MigrationAccounting& b) {
+  EXPECT_EQ(a.bytes_gb(), b.bytes_gb());
+  EXPECT_EQ(a.bubble_ms(), b.bubble_ms());
+  EXPECT_EQ(a.warmup_bubble_ms(), b.warmup_bubble_ms());
+  EXPECT_EQ(a.overlap_saved_ms(), b.overlap_saved_ms());
+  EXPECT_EQ(a.server_failures(), b.server_failures());
+  EXPECT_EQ(a.server_recoveries(), b.server_recoveries());
+  EXPECT_EQ(a.failures_dest_down(), b.failures_dest_down());
+  EXPECT_EQ(a.failures_flake(), b.failures_flake());
+  EXPECT_EQ(a.jobs_orphaned(), b.jobs_orphaned());
+  EXPECT_EQ(a.precopies_started(), b.precopies_started());
+  EXPECT_EQ(a.precopies_aborted(), b.precopies_aborted());
+}
+
 TEST(ParallelApplyTest, MatchesSerialSliceApplicationBitForBit) {
   World serial;
   World parallel;
@@ -119,6 +139,40 @@ TEST(ParallelApplyTest, MatchesSerialSliceApplicationBitForBit) {
   parallel.sim.Run();
   EXPECT_EQ(serial.sim.Now(), parallel.sim.Now());
   ExpectWorldsIdentical(serial, parallel);
+}
+
+// Regression for the accumulator audit: with warmup overlap on, CommitOp
+// flushes warmup-bubble and overlap-saved time into the ReduceToken-gated
+// MigrationAccounting. The parallel fan-out only *prepares* — every
+// accumulator bump happens in the serial commit pass — so all eleven
+// accounting streams must match the serial apply bit for bit, and the
+// scenario must actually exercise them (nonzero overlap savings).
+TEST(ParallelApplyTest, AccountingMatchesSerialWithOverlapWarmup) {
+  ExecutorConfig config;
+  config.overlap_warmup = true;
+  World serial(config);
+  World parallel(config);
+  serial.Populate();
+  parallel.Populate();
+
+  const auto slices = serial.FlipSlices();
+  for (const auto& ops : slices) {
+    serial.exec.ApplyDelta(ops);
+  }
+
+  common::ThreadPool pool(4);
+  const auto par_slices = parallel.FlipSlices();
+  std::vector<Executor::ApplySlice> slice_views;
+  for (const auto& ops : par_slices) {
+    slice_views.push_back({ops.data(), ops.size()});
+  }
+  parallel.exec.ApplyDeltaParallel(slice_views.data(), slice_views.size(), pool);
+
+  ExpectWorldsIdentical(serial, parallel);
+  ExpectAccountingIdentical(serial.exec.accounting(), parallel.exec.accounting());
+  // The flip suspends before it resumes within each slice, so the resume
+  // warmup hides behind the suspend cost and the overlap stream is nonzero.
+  EXPECT_GT(serial.exec.accounting().overlap_saved_ms(), 0);
 }
 
 TEST(ParallelApplyTest, SingleSliceAndEmptySlicesAreHandled) {

@@ -1,0 +1,30 @@
+// gfair-lint-fixture: src/exec/example.h
+// Seeded violations for the mutex-unannotated rule: a data member declared
+// after a mutex member without GFAIR_GUARDED_BY cannot be tied to its lock
+// by the thread-safety analysis, so unlocked access compiles silently. The
+// layout convention (common/thread_pool.h) puts deliberately unguarded
+// members above the mutex and everything the mutex guards below it.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace gfair::exec {
+
+class Example {
+ public:
+  void Tick();
+
+ private:
+  // Above the mutex: deliberately unguarded (written before any thread can
+  // observe them, or synchronized externally). The rule does not fire here.
+  std::vector<int> workers_;
+  std::atomic<bool> in_span_{false};
+
+  common::Mutex mu_;
+  size_t guarded_ GFAIR_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ GFAIR_GUARDED_BY(mu_);
+  size_t pending_ = 0;  // EXPECT-LINT: mutex-unannotated
+  bool shutdown_;  // EXPECT-LINT: mutex-unannotated
+  double snapshot_ = 0.5;  // gfair-lint: allow(mutex-unannotated) -- published only after the workers join
+};
+
+}  // namespace gfair::exec

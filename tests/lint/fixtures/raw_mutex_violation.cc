@@ -1,0 +1,32 @@
+// gfair-lint-fixture: src/exec/example.cc
+// Seeded violations for the raw-mutex rule: outside src/common/, the bare
+// std:: locking vocabulary is banned — unannotated locks are invisible to
+// clang -Wthread-safety, so everything they guard drops out of the
+// compile-time proof. Lock through the annotated wrappers instead.
+#include <mutex>  // EXPECT-LINT: raw-mutex
+
+#include "common/mutex.h"
+
+namespace gfair::exec {
+
+void Example() {
+  // The annotated vocabulary is fine anywhere (case-sensitive match: Mutex,
+  // MutexLock and CondVar are different tokens from mutex).
+  common::Mutex annotated;
+  common::MutexLock hold(annotated);
+  common::CondVar cv;
+
+  std::mutex raw;  // EXPECT-LINT: raw-mutex
+  std::lock_guard<std::mutex> guard(raw);  // EXPECT-LINT: raw-mutex
+  std::unique_lock<std::mutex> lock(raw);  // EXPECT-LINT: raw-mutex
+  std::condition_variable raw_cv;  // EXPECT-LINT: raw-mutex
+  std::shared_lock<std::shared_mutex> reader(rw);  // EXPECT-LINT: raw-mutex
+
+  // Prose and strings never fire: the stripper blanks "std::mutex" here.
+  const char* label = "std::mutex";
+  (void)label;
+
+  std::scoped_lock both(raw, raw);  // gfair-lint: allow(raw-mutex) -- models a sanctioned migration shim awaiting its wrapper
+}
+
+}  // namespace gfair::exec

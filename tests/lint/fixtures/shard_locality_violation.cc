@@ -23,6 +23,7 @@ void PlanShardRangeExample(PlanShard& shard, ServerId id) {
   trader_.RecordSample(model, gen, rate);  // EXPECT-LINT: shard-locality
   const double rate = env_.exec.SampleObservedRate(id);  // EXPECT-LINT: shard-locality
   EmitMigration(id, dest, MigrationCause::kBalance);  // EXPECT-LINT: shard-locality
+  ReduceShards(common::ReduceToken{});  // EXPECT-LINT: shard-locality
   const size_t n = plan_.migrations.size();  // gfair-lint: allow(shard-locality) -- read-only; nothing appends migrations during the fan-out
   // gfair-shard-parallel-end
 

@@ -1,0 +1,15 @@
+// Negative-compile proof for the serial-phase accounting gate
+// (exec/executor.h): MigrationAccounting's mutators require a ReduceToken,
+// and only the scheduler facade and the executor (friends of the token) can
+// mint one — so bumping a global migration accumulator from arbitrary code
+// (in particular from inside a parallel apply/plan region) must fail to
+// compile. The getters stay open; only mutation is fenced.
+#include "common/phase_tokens.h"
+#include "exec/executor.h"
+
+int main() {
+  gfair::exec::MigrationAccounting acct;
+  // The token's constructor is private outside the friend list.
+  acct.AddTransfer(1.0, gfair::common::ReduceToken{});
+  return 0;
+}

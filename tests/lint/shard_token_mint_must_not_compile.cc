@@ -1,0 +1,15 @@
+// Negative-compile proof for the phase-capability tokens
+// (common/phase_tokens.h): only the scheduler facade (a friend) can mint a
+// ShardToken, so the PlanShard fan-out APIs — and everything else gated on
+// the token — are uncallable from arbitrary code. The positive side
+// (emptiness, copyability, non-default-constructibility static_asserts)
+// lives in tests/common/phase_token_test.cc.
+#include "common/phase_tokens.h"
+
+int main() {
+  // The default constructor is private; minting outside the friend list
+  // must fail to compile.
+  gfair::common::ShardToken token{};
+  (void)token;
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Concurrency stress: every parallel subsystem at once. Sharded planning
+// (plan_shards=4 over 4 servers, 3 plan threads), parallel delta apply
+// (3 apply threads), pre-copy migrations (claims spanning ticks and shard
+// merges), flaky transfers and sustained server churn all run concurrently
+// for simulated hours; the registered cluster invariants must stay clean at
+// every step and every job must drain once the cluster heals.
+//
+// This is the TSan CI job's main target for the phase-token contracts: the
+// shard fan-out, the prepare fan-out and the serial reduce/commit phases all
+// interleave here, so a mis-phased write (anything the ShardToken /
+// ReduceToken gates or the parallel-region lint fences exist to prevent)
+// surfaces as a race report or an invariant violation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/harness.h"
+#include "exec/fault_injector.h"
+
+namespace gfair {
+namespace {
+
+using workload::JobState;
+
+std::string Joined(const std::vector<std::string>& violations) {
+  std::string all;
+  for (const auto& v : violations) {
+    all += v;
+    all += "; ";
+  }
+  return all;
+}
+
+class ConcurrencyStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrencyStress, AllParallelSubsystemsTogetherStayConsistent) {
+  analysis::ExperimentConfig config;
+  config.topology = cluster::Topology{{
+      {cluster::GpuGeneration::kK80, 2, 4},
+      {cluster::GpuGeneration::kV100, 2, 4},
+  }};
+  config.exec.migrate_failure_prob = 0.3;
+  config.exec.precopy = true;
+  config.exec.overlap_warmup = true;
+  config.seed = GetParam();
+  analysis::Experiment exp(config);
+  const UserId alice = exp.users().Create("alice").id;
+  const UserId bob = exp.users().Create("bob").id;
+  sched::GandivaFairConfig gf;
+  gf.plan_shards = 4;  // one server per shard: every migration crosses shards
+  gf.plan_threads = 3; // deliberately != shards: uneven chunking in the pool
+  gf.apply_threads = 3;
+  exp.UseGandivaFair(gf);
+
+  Rng rng(GetParam());
+  const char* models[] = {"DCGAN", "VAE", "ResNet-50", "Transformer"};
+  for (int i = 0; i < 14; ++i) {
+    exp.SubmitAt(Minutes(rng.UniformInt(0, 120)), i % 2 == 0 ? alice : bob,
+                 models[i % 4], static_cast<int>(1 << rng.UniformInt(0, 2)),
+                 Minutes(rng.UniformInt(30, 90)));
+  }
+  exp.Run(Seconds(1));
+
+  exec::FaultInjectorConfig faults;
+  faults.server_mtbf = Hours(2);
+  faults.server_mttr = Minutes(20);
+  faults.seed = GetParam() * 31 + 7;
+  exec::FaultInjector injector(exp.sim(), exp.cluster(), exp.exec(), faults);
+  injector.Start();
+
+  for (SimTime t = Minutes(10); t <= Hours(6); t += Minutes(10)) {
+    exp.Run(t);
+    const auto violations = exp.gandiva()->CheckInvariants();
+    EXPECT_TRUE(violations.empty()) << "at t=" << t << " (seed " << GetParam()
+                                    << "): " << Joined(violations);
+    for (const auto* job : exp.jobs().All()) {
+      ASSERT_GE(job->completed_minibatches, job->checkpointed_minibatches - 1e-6);
+      if (job->state == JobState::kRunning || job->state == JobState::kSuspended) {
+        ASSERT_TRUE(job->server.valid());
+        ASSERT_TRUE(exp.cluster().server(job->server).up());
+      }
+    }
+  }
+  ASSERT_GT(injector.failures_injected(), 0) << "churn never fired; test is vacuous";
+
+  injector.Stop();
+  exp.Run(Hours(16));
+
+  EXPECT_EQ(exp.cluster().num_up_servers(), 4);
+  EXPECT_EQ(exp.gandiva()->pending_orphan_count(), 0u);
+  const auto healed = exp.gandiva()->CheckInvariants();
+  EXPECT_TRUE(healed.empty()) << Joined(healed);
+  for (const auto* job : exp.jobs().All()) {
+    EXPECT_EQ(job->state, JobState::kFinished)
+        << "job " << job->id << " stuck after the cluster healed (seed "
+        << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrencyStress, ::testing::Values(13, 29));
+
+}  // namespace
+}  // namespace gfair
