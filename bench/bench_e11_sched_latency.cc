@@ -273,9 +273,9 @@ PercentileSampler MeasureTickLatency(int num_servers, int jobs_per_server,
   PercentileSampler sampler;
   for (int q = 0; q < quanta; ++q) {
     now += Minutes(1);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = std::chrono::steady_clock::now();  // gfair-lint: allow(wall-clock) -- E11 measures real scheduler latency; never feeds the simulation
     exp->Run(now);
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();  // gfair-lint: allow(wall-clock) -- E11 measures real scheduler latency; never feeds the simulation
     sampler.Add(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
         1000.0);

@@ -29,7 +29,7 @@ template <typename Container>
 std::vector<typename Container::key_type> SortedKeys(const Container& container) {
   std::vector<typename Container::key_type> keys;
   keys.reserve(container.size());
-  for (const auto& item : container) {
+  for (const auto& item : container) {  // gfair-lint: allow(unordered-iter) -- this IS the order-erasing snapshot; keys are sorted below
     if constexpr (std::is_same_v<typename Container::key_type,
                                  typename Container::value_type>) {
       keys.push_back(item);  // set: the element is the key
@@ -48,7 +48,7 @@ std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
 SortedItems(const Map& map) {
   std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>> items;
   items.reserve(map.size());
-  for (const auto& [key, value] : map) {
+  for (const auto& [key, value] : map) {  // gfair-lint: allow(unordered-iter) -- this IS the order-erasing snapshot; items are sorted below
     items.emplace_back(key, value);
   }
   std::sort(items.begin(), items.end(),

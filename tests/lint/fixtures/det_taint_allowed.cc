@@ -1,0 +1,16 @@
+// gfair-lint-fixture: src/sched/lint_taint_allowed.cc
+// Negative fixture: an inline allow(det-taint) at the reported call site
+// suppresses the taint finding, so provably benign paths use the same
+// suppression workflow as every other rule. No violation may fire here.
+#include <cstdlib>
+
+class PlanDiffer {
+ public:
+  bool Diff() const;
+};
+
+bool EnvProbe() { return std::getenv("GFAIR_LINT_FIXTURE") != nullptr; }
+
+bool PlanDiffer::Diff() const {
+  return EnvProbe();  // gfair-lint: allow(det-taint) -- fixture: probe result is logged, never branches the plan
+}

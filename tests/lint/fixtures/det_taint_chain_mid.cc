@@ -1,0 +1,6 @@
+// gfair-lint-fixture: src/common/lint_taint_mid.cc
+// Middle of the seeded taint chain (see det_taint_chain_root.cc): this file
+// contains no sink itself — it only forwards the taint one hop.
+long TaintHopTwo();
+
+long TaintHopOne() { return TaintHopTwo() + 1; }

@@ -1,0 +1,19 @@
+// gfair-lint-fixture: src/sched/lint_taint_root.cc
+// Seeded violation for the det-taint pass: a decision root whose schedule
+// depends on a wall-clock read three calls down the graph, spanning
+// det_taint_chain_mid.cc and det_taint_chain_sink.cc. The finding lands at
+// the root's first call toward the sink; --explain prints the whole chain.
+class QuantumPlanner {
+ public:
+  long Plan() const;
+};
+
+long TaintHopOne();
+
+long QuantumPlanner::Plan() const {
+  return TaintHopOne();  // EXPECT-LINT: det-taint
+}
+
+// A function nobody on the decision path calls may touch tainted helpers
+// without implicating the roots.
+long UnreachedTaintUser() { return TaintHopOne(); }

@@ -1,0 +1,11 @@
+// gfair-lint-fixture: src/common/lint_taint_sink.cc
+// Sink end of the seeded taint chain (see det_taint_chain_root.cc). The
+// clock read also trips the per-line wall-clock rule; det-taint is the
+// whole-tree consequence reported back at the decision root.
+#include <chrono>
+
+long TaintHopThree() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // EXPECT-LINT: wall-clock
+}
+
+long TaintHopTwo() { return TaintHopThree() / 2; }

@@ -1,0 +1,4 @@
+// gfair-lint-fixture: src/common/lint_cycle_a.h
+// Half of the seeded include cycle (see include_cycle_b.h). The DFS roots at
+// this file first, so the back edge — and the finding — lands in b.
+#include "common/lint_cycle_b.h"

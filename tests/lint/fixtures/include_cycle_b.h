@@ -1,0 +1,5 @@
+// gfair-lint-fixture: src/common/lint_cycle_b.h
+// Seeded violation for the include-cycle pass: completing the loop back to
+// lint_cycle_a.h is the back edge the tri-color DFS reports, with the full
+// cycle printed under --explain.
+#include "common/lint_cycle_a.h"  // EXPECT-LINT: include-cycle

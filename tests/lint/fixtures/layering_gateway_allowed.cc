@@ -1,0 +1,5 @@
+// gfair-lint-fixture: src/sched/ledger.h
+// Negative fixture: the (src/sched/ledger.h -> simkit/timeseries.h) row in
+// kLayeringGateways sanctions this include, so the layering rule stays
+// silent; the module DAG is silent too because sched sits above simkit.
+#include "simkit/timeseries.h"

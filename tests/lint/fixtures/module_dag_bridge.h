@@ -1,0 +1,6 @@
+// gfair-lint-fixture: src/exec/lint_dag_bridge.h
+// Seeded violation for the module-dag pass: exec (layer 4) must not depend
+// on sched (layer 5). module_dag_consumer.cc reaches sched only transitively
+// through this header — the direct upward edge owns the finding, which is
+// exactly why checking direct edges is complete.
+#include "sched/stride.h"  // EXPECT-LINT: module-dag

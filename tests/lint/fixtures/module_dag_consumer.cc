@@ -1,0 +1,5 @@
+// gfair-lint-fixture: src/exec/lint_dag_consumer.cc
+// Downstream half of the transitive module-dag fixture: this file includes
+// sched code only via lint_dag_bridge.h. The violation is reported at the
+// bridge's own include line, not here — same-module includes are clean.
+#include "exec/lint_dag_bridge.h"

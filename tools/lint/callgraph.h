@@ -1,0 +1,25 @@
+// gfair_lint determinism-taint pass: a token-level call-graph indexer over
+// src/ plus reverse taint propagation from nondeterminism sinks to the
+// scheduler's decision roots. See docs/STATIC_ANALYSIS.md, "Call-graph taint".
+#ifndef GFAIR_TOOLS_LINT_CALLGRAPH_H_
+#define GFAIR_TOOLS_LINT_CALLGRAPH_H_
+
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace gfair_lint {
+
+// Runs the det-taint pass over the whole file set (only files whose rel is
+// under src/ are indexed). `names` is the tree-wide unordered-container name
+// index, so an unordered range-for anywhere in src/ counts as a sink. One
+// violation per tainted decision-root function, reported at the root's
+// first call toward the sink (or at the sink line when the root itself is
+// the sink), with the full chain in Violation::explain.
+void CheckDeterminismTaint(const std::vector<SourceFile>& files,
+                           const UnorderedNames& names, Emitter* emit);
+
+}  // namespace gfair_lint
+
+#endif  // GFAIR_TOOLS_LINT_CALLGRAPH_H_

@@ -1,0 +1,165 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace gfair_lint {
+
+// No sanctioned upward edges today. A new row needs a justification here and
+// a docs/STATIC_ANALYSIS.md entry; prefer inverting the dependency instead.
+const std::vector<std::pair<std::string, std::string>> kModuleDagGateways = {};
+
+namespace {
+
+// The declared partial order (docs/ARCHITECTURE.md "Layering"): analysis
+// sits above baselines because it links and compares the baseline
+// schedulers; both sit above sched.
+const std::map<std::string, int>& ModuleRanks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},  {"simkit", 1},    {"cluster", 2}, {"workload", 3},
+      {"exec", 4},    {"sched", 5},     {"baselines", 6}, {"analysis", 7},
+  };
+  return kRanks;
+}
+
+constexpr int kTopRank = 100;  // bench/tools/tests: may include anything
+
+// First path component ("" when there is none).
+std::string FirstComponent(const std::string& path) {
+  const size_t slash = path.find('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+bool IsGateway(const std::string& rel, const std::string& inc) {
+  for (const auto& [file, header] : kModuleDagGateways) {
+    if (rel == file && inc == header) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Resolves a quoted include target to a repo-relative path: module-qualified
+// targets ("sched/ledger.h") live under src/; bare targets are same-directory
+// includes of the including file.
+std::string ResolveInclude(const std::string& rel, const std::string& inc) {
+  if (inc.find('/') != std::string::npos) {
+    return "src/" + inc;
+  }
+  const size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? inc : rel.substr(0, slash + 1) + inc;
+}
+
+}  // namespace
+
+int ModuleRank(const std::string& rel) {
+  const std::string top = FirstComponent(rel);
+  if (top == "bench" || top == "tools" || top == "tests") {
+    return kTopRank;
+  }
+  if (top != "src") {
+    return -1;
+  }
+  const std::string module = FirstComponent(rel.substr(4));
+  const auto it = ModuleRanks().find(module);
+  return it == ModuleRanks().end() ? -1 : it->second;
+}
+
+void CheckModuleDag(const std::vector<SourceFile>& files, Emitter* emit) {
+  const Rule& rule = *FindRule("module-dag");
+  for (const SourceFile& f : files) {
+    const int from_rank = ModuleRank(f.rel);
+    if (!StartsWith(f.rel, "src/") || from_rank < 0) {
+      continue;
+    }
+    for (size_t li = 0; li < f.raw.size(); ++li) {
+      const std::string inc = QuotedIncludeTarget(f.raw[li]);
+      if (inc.empty()) {
+        continue;
+      }
+      const std::string inc_module = FirstComponent(inc);
+      if (inc_module.empty()) {
+        continue;  // same-directory include: same module by construction
+      }
+      const auto it = ModuleRanks().find(inc_module);
+      if (it == ModuleRanks().end()) {
+        continue;  // not a module-qualified include (e.g. a local subdir)
+      }
+      if (it->second <= from_rank || IsGateway(f.rel, inc)) {
+        continue;
+      }
+      std::vector<std::string> explain = {
+          "note: " + FirstComponent(f.rel.substr(4)) + " (layer " +
+          std::to_string(from_rank) + ") must not depend on " + inc_module +
+          " (layer " + std::to_string(it->second) + ")"};
+      emit->Emit(rule, f, li, std::move(explain));
+    }
+  }
+}
+
+void CheckIncludeCycles(const std::vector<SourceFile>& files, Emitter* emit) {
+  const Rule& rule = *FindRule("include-cycle");
+  // Graph over the scanned set: node = rel, edge = resolved quoted include
+  // that names another scanned file. Fixture rels participate like real
+  // files, so a fixture pair can seed a cycle without touching the tree.
+  std::map<std::string, size_t> index;
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    index.emplace(files[fi].rel, fi);  // first wins; rels are unique in use
+  }
+  struct Edge {
+    size_t to;
+    size_t line;  // 0-based include line in the source file
+  };
+  std::vector<std::vector<Edge>> adj(files.size());
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    for (size_t li = 0; li < files[fi].raw.size(); ++li) {
+      const std::string inc = QuotedIncludeTarget(files[fi].raw[li]);
+      if (inc.empty()) {
+        continue;
+      }
+      const auto it = index.find(ResolveInclude(files[fi].rel, inc));
+      if (it != index.end() && it->second != fi) {
+        adj[fi].push_back({it->second, li});
+      }
+    }
+  }
+  // Tri-color DFS in sorted-rel order (files arrive sorted per tree walk; in
+  // --expect mode they arrive in argv order, which is CMake-fixed).
+  enum Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), kWhite);
+  std::vector<size_t> stack;  // gray path, root first
+  const std::function<void(size_t)> visit = [&](size_t u) {
+    color[u] = kGray;
+    stack.push_back(u);
+    for (const Edge& e : adj[u]) {
+      if (color[e.to] == kBlack) {
+        continue;
+      }
+      if (color[e.to] == kGray) {
+        // Back edge: the gray path from e.to to u, plus this edge, is a cycle.
+        std::vector<std::string> explain = {"note: include cycle:"};
+        const auto begin =
+            std::find(stack.begin(), stack.end(), e.to) - stack.begin();
+        for (size_t s = static_cast<size_t>(begin); s + 1 < stack.size(); ++s) {
+          explain.push_back("  " + files[stack[s]].rel + " includes " +
+                            files[stack[s + 1]].rel);
+        }
+        explain.push_back("  " + files[u].rel + " includes " +
+                          files[e.to].rel);
+        emit->Emit(rule, files[u], e.line, std::move(explain));
+        continue;
+      }
+      visit(e.to);
+    }
+    stack.pop_back();
+    color[u] = kBlack;
+  };
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    if (color[fi] == kWhite) {
+      visit(fi);
+    }
+  }
+}
+
+}  // namespace gfair_lint

@@ -1,0 +1,40 @@
+// gfair_lint include-DAG pass: the declared module partial order over src/
+// checked on the include graph, plus an include-cycle detector. See
+// docs/STATIC_ANALYSIS.md, "Module DAG".
+#ifndef GFAIR_TOOLS_LINT_INCLUDE_GRAPH_H_
+#define GFAIR_TOOLS_LINT_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace gfair_lint {
+
+// Sanctioned upward include edges: (including file rel, quoted include
+// target). Every row needs a justification comment here and an entry in
+// docs/STATIC_ANALYSIS.md.
+extern const std::vector<std::pair<std::string, std::string>>
+    kModuleDagGateways;
+
+// Layer rank of a repo-relative path in the declared module order
+// (common=0 < simkit < cluster < workload < exec < sched < baselines <
+// analysis; bench/tools/tests on top). Negative when the path is outside
+// the ordered tree.
+int ModuleRank(const std::string& rel);
+
+// module-dag: every quoted #include in src/ must point at the same or a
+// lower layer. Checking direct edges is complete: a transitive violation
+// always contains a direct upward edge, reported at the file that owns it.
+void CheckModuleDag(const std::vector<SourceFile>& files, Emitter* emit);
+
+// include-cycle: tri-color DFS over quoted includes resolved within the
+// scanned file set; each back edge is reported with the full cycle in
+// Violation::explain.
+void CheckIncludeCycles(const std::vector<SourceFile>& files, Emitter* emit);
+
+}  // namespace gfair_lint
+
+#endif  // GFAIR_TOOLS_LINT_INCLUDE_GRAPH_H_

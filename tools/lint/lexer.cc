@@ -1,0 +1,325 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <utility>
+
+namespace gfair_lint {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<size_t> FindWord(const std::string& line, const std::string& word) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    const size_t end = pos + word.size();
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      out.push_back(pos);
+    }
+    pos = end;
+  }
+  return out;
+}
+
+bool HasWord(const std::string& line, const std::string& word) {
+  return !FindWord(line, word).empty();
+}
+
+bool HasCall(const std::string& line, const std::string& word) {
+  for (size_t pos : FindWord(line, word)) {
+    size_t i = pos + word.size();
+    while (i < line.size() && IsSpace(line[i])) ++i;
+    if (i < line.size() && line[i] == '(') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> StripCommentsAndLiterals(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    bool in_string = false;
+    bool in_char = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (in_block) {
+        if (c == '*' && next == '/') {
+          in_block = false;
+          ++i;
+        }
+      } else if (in_string) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (in_char) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+        }
+      } else if (c == '/' && next == '/') {
+        break;  // rest of the line is a comment
+      } else if (c == '/' && next == '*') {
+        in_block = true;
+        ++i;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '\'') {
+        // A quote between digits is a separator (1'000), not a char literal.
+        const bool separator = i > 0 && IsDigit(line[i - 1]) && IsDigit(next);
+        if (separator) {
+          code[i] = '\'';
+        } else {
+          in_char = true;
+        }
+      } else {
+        code[i] = c;
+      }
+    }
+    // Strings and char literals do not continue across lines in this tree.
+    in_string = false;
+    in_char = false;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool LoadFile(const std::filesystem::path& path, const std::string& rel,
+              SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  out->display = path.generic_string();
+  out->rel = rel;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    out->raw.push_back(line);
+  }
+  out->code = StripCommentsAndLiterals(out->raw);
+  // Fixtures declare the tree location they emulate on their first line.
+  if (!out->raw.empty()) {
+    const std::string kTag = "gfair-lint-fixture:";
+    const size_t pos = out->raw[0].find(kTag);
+    if (pos != std::string::npos) {
+      out->rel = Trim(out->raw[0].substr(pos + kTag.size()));
+    }
+  }
+  return true;
+}
+
+std::set<std::string> AllowedRules(const std::string& raw_line) {
+  std::set<std::string> allowed;
+  const std::string kTag = "gfair-lint: allow(";
+  size_t pos = raw_line.find(kTag);
+  while (pos != std::string::npos) {
+    const size_t open = pos + kTag.size();
+    const size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string inside = raw_line.substr(open, close - open);
+    size_t start = 0;
+    while (start <= inside.size()) {
+      size_t comma = inside.find(',', start);
+      if (comma == std::string::npos) {
+        comma = inside.size();
+      }
+      const std::string rule = Trim(inside.substr(start, comma - start));
+      if (!rule.empty()) {
+        allowed.insert(rule);
+      }
+      start = comma + 1;
+    }
+    pos = raw_line.find(kTag, close);
+  }
+  return allowed;
+}
+
+std::string QuotedIncludeTarget(const std::string& raw_line) {
+  const std::string line = Trim(raw_line);
+  if (line.empty() || line[0] != '#' ||
+      line.find("include") == std::string::npos) {
+    return "";
+  }
+  const size_t open = line.find('"');
+  if (open == std::string::npos) {
+    return "";
+  }
+  const size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) {
+    return "";
+  }
+  return line.substr(open + 1, close - open - 1);
+}
+
+bool InLintedTree(const std::string& rel) {
+  return StartsWith(rel, "src/") || StartsWith(rel, "bench/") ||
+         StartsWith(rel, "tools/");
+}
+
+bool IsSimTimeImpl(const std::string& rel) {
+  return rel == "src/common/sim_time.h" || rel == "src/common/sim_time.cc";
+}
+
+bool IsRngImpl(const std::string& rel) {
+  return rel == "src/common/rng.h" || rel == "src/common/rng.cc";
+}
+
+int AngleDelta(const std::string& s, size_t i) {
+  const char c = s[i];
+  if (c == '<') {
+    // "<<" is a shift in expression context; template args never produce it.
+    const bool shift = (i + 1 < s.size() && s[i + 1] == '<') ||
+                       (i > 0 && s[i - 1] == '<');
+    return shift ? 0 : 1;
+  }
+  if (c == '>') {
+    if (i > 0 && s[i - 1] == '-') {
+      return 0;  // ->
+    }
+    return -1;  // ">>" closes two template levels (C++11)
+  }
+  return 0;
+}
+
+std::string ReadDeclaredName(const std::string& s, size_t i) {
+  while (i < s.size() && (IsSpace(s[i]) || s[i] == '>' || s[i] == '&' ||
+                          s[i] == '*')) {
+    ++i;
+  }
+  std::string last;
+  while (i < s.size()) {
+    if (IsIdentChar(s[i])) {
+      size_t j = i;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      const std::string word = s.substr(i, j - i);
+      if (word == "const") {
+        i = j;
+        while (i < s.size() && IsSpace(s[i])) ++i;
+        continue;
+      }
+      last = word;
+      i = j;
+      if (i + 1 < s.size() && s[i] == ':' && s[i + 1] == ':') {
+        i += 2;
+        continue;
+      }
+    }
+    break;
+  }
+  return last;
+}
+
+std::string RangeForExpr(const SourceFile& f, size_t li, size_t pos) {
+  std::string joined;
+  const size_t head_lines = 6;
+  for (size_t extra = 0; extra < head_lines && li + extra < f.code.size();
+       ++extra) {
+    joined += extra == 0 ? f.code[li].substr(pos) : f.code[li + extra];
+    joined += ' ';
+  }
+  const size_t open = joined.find('(');
+  if (open == std::string::npos) {
+    return "";
+  }
+  int depth = 0;
+  size_t close = std::string::npos;
+  for (size_t i = open; i < joined.size(); ++i) {
+    if (joined[i] == '(') ++depth;
+    if (joined[i] == ')' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
+  if (close == std::string::npos) {
+    return "";
+  }
+  const std::string head = joined.substr(open + 1, close - open - 1);
+  size_t colon = std::string::npos;
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i] == ';') {
+      return "";  // classic for
+    }
+    if (head[i] == ':') {
+      if (i + 1 < head.size() && head[i + 1] == ':') {
+        ++i;
+        continue;
+      }
+      if (i > 0 && head[i - 1] == ':') {
+        continue;
+      }
+      colon = i;
+      break;
+    }
+  }
+  if (colon == std::string::npos) {
+    return "";
+  }
+  return head.substr(colon + 1);
+}
+
+std::vector<std::string> IdentifierSegments(const std::string& ident) {
+  std::vector<std::string> segments;
+  std::string current;
+  for (size_t i = 0; i < ident.size(); ++i) {
+    const char c = ident[i];
+    if (c == '_') {
+      if (!current.empty()) {
+        segments.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    const bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+    if (upper && !current.empty() &&
+        std::islower(static_cast<unsigned char>(current.back())) != 0) {
+      segments.push_back(current);
+      current.clear();
+    }
+    current.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!current.empty()) {
+    segments.push_back(current);
+  }
+  return segments;
+}
+
+}  // namespace gfair_lint

@@ -1,0 +1,95 @@
+// gfair_lint lexical layer: the comment/string-stripped source model and the
+// token-level string utilities every pass builds on. No rule knowledge lives
+// here — rules.cc (line rules), callgraph.cc (determinism taint) and
+// include_graph.cc (module DAG) all consume this one representation, so a
+// stripping or tokenization fix lands in every pass at once.
+#ifndef GFAIR_TOOLS_LINT_LEXER_H_
+#define GFAIR_TOOLS_LINT_LEXER_H_
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gfair_lint {
+
+// ---------------------------------------------------------------------------
+// Small string utilities.
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c);
+bool IsSpace(char c);
+bool IsDigit(char c);
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+std::string Trim(const std::string& s);
+
+// Positions of whole-word occurrences of `word` in `line`.
+std::vector<size_t> FindWord(const std::string& line, const std::string& word);
+bool HasWord(const std::string& line, const std::string& word);
+
+// Whole-word `word` immediately followed (mod spaces) by '(' — a call.
+bool HasCall(const std::string& line, const std::string& word);
+
+// ---------------------------------------------------------------------------
+// Source model: raw lines + comment/string-stripped lines.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string display;            // path as reported in diagnostics
+  std::string rel;                // repo-relative logical path ('/'-separated)
+  std::vector<std::string> raw;   // verbatim lines
+  std::vector<std::string> code;  // comments and literal contents blanked
+};
+
+// Blanks comments and the contents of string/char literals (quote characters
+// included), preserving line lengths so columns stay meaningful.
+std::vector<std::string> StripCommentsAndLiterals(
+    const std::vector<std::string>& raw);
+
+// Loads `path` into `out`, honoring a first-line
+// "// gfair-lint-fixture: src/..." tree-location override.
+bool LoadFile(const std::filesystem::path& path, const std::string& rel,
+              SourceFile* out);
+
+// Inline suppressions: "// gfair-lint: allow(rule-a, rule-b)" on the line.
+std::set<std::string> AllowedRules(const std::string& raw_line);
+
+// The quoted target of an #include directive on a RAW line ("" when the line
+// is not a quoted-include directive). Raw because the stripper blanks the
+// quoted path; only directive lines count, so prose mentions never parse.
+std::string QuotedIncludeTarget(const std::string& raw_line);
+
+// ---------------------------------------------------------------------------
+// Path scoping shared across passes.
+// ---------------------------------------------------------------------------
+
+bool InLintedTree(const std::string& rel);
+bool IsSimTimeImpl(const std::string& rel);
+bool IsRngImpl(const std::string& rel);
+
+// ---------------------------------------------------------------------------
+// Token helpers shared by the unordered-container machinery and the
+// callgraph pass.
+// ---------------------------------------------------------------------------
+
+// Angle-bracket depth delta of the character at position i, with
+// shift/arrow guards.
+int AngleDelta(const std::string& s, size_t i);
+
+// Reads the last component of a qualified identifier starting at `i`
+// (skipping leading space/&/*/> debris); empty when none is found.
+std::string ReadDeclaredName(const std::string& s, size_t i);
+
+// Extracts the parenthesized head of a `for` starting at (li, pos); returns
+// the range expression after the top-level ':' (empty for classic fors or
+// when unbalanced).
+std::string RangeForExpr(const SourceFile& f, size_t li, size_t pos);
+
+// Lowercase segments of an identifier: "NormTicketLoad" / "norm_ticket_load"
+// both yield {"norm", "ticket", "load"}.
+std::vector<std::string> IdentifierSegments(const std::string& ident);
+
+}  // namespace gfair_lint
+
+#endif  // GFAIR_TOOLS_LINT_LEXER_H_

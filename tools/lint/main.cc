@@ -1,0 +1,241 @@
+// gfair_lint driver: loads the tree (or an explicit fixture set), runs the
+// per-line rules plus the whole-tree graph passes (determinism taint, module
+// DAG, include cycles), and reports. The graph passes see the entire file
+// set at once, so --expect mode computes all violations first and diffs them
+// against each fixture's EXPECT-LINT annotations afterwards.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.h"
+#include "include_graph.h"
+#include "lexer.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace gfair_lint {
+namespace {
+
+bool HasLintedExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+// All violations across the set: line rules per file, then the graph passes.
+std::vector<Violation> RunAllPasses(const std::vector<SourceFile>& files,
+                                    const UnorderedNames& names) {
+  std::vector<Violation> violations;
+  Emitter emit(&violations);
+  for (const SourceFile& f : files) {
+    RunLineRules(f, names, &emit);
+  }
+  CheckDeterminismTaint(files, names, &emit);
+  CheckModuleDag(files, &emit);
+  CheckIncludeCycles(files, &emit);
+  return violations;
+}
+
+// Expected (line, rule) pairs from "EXPECT-LINT: rule-a, rule-b" comments.
+std::set<std::pair<int, std::string>> ExpectedViolations(const SourceFile& f) {
+  std::set<std::pair<int, std::string>> expected;
+  const std::string kTag = "EXPECT-LINT:";
+  for (size_t li = 0; li < f.raw.size(); ++li) {
+    const size_t pos = f.raw[li].find(kTag);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::string rest = f.raw[li].substr(pos + kTag.size());
+    const size_t close = rest.find("*/");
+    if (close != std::string::npos) {
+      rest = rest.substr(0, close);
+    }
+    std::string word;
+    for (size_t i = 0; i <= rest.size(); ++i) {
+      const char c = i < rest.size() ? rest[i] : ',';
+      if (IsIdentChar(c) || c == '-') {
+        word.push_back(c);
+      } else if (!word.empty()) {
+        if (FindRule(word) == nullptr) {
+          std::cout << f.display << ":" << li + 1
+                    << ": EXPECT-LINT names unknown rule '" << word << "'\n";
+        } else {
+          expected.emplace(static_cast<int>(li) + 1, word);
+        }
+        word.clear();
+      }
+    }
+  }
+  return expected;
+}
+
+int RunExpectMode(const std::vector<SourceFile>& files,
+                  const UnorderedNames& names) {
+  // The graph passes need the whole set, so compute everything up front and
+  // bucket by display path (fixtures share rel-space with the tree they
+  // emulate, but each fixture file is its own display path).
+  std::map<std::string, std::set<std::pair<int, std::string>>> actual_by_file;
+  for (const Violation& v : RunAllPasses(files, names)) {
+    actual_by_file[v.file].emplace(v.line, v.rule);
+  }
+  int failures = 0;
+  for (const SourceFile& f : files) {
+    const std::set<std::pair<int, std::string>>& actual = actual_by_file[f.display];
+    const std::set<std::pair<int, std::string>> expected = ExpectedViolations(f);
+    for (const auto& [line, rule] : expected) {
+      if (actual.count({line, rule}) == 0) {
+        std::cout << f.display << ":" << line << ": self-test MISSED expected ["
+                  << rule << "] violation\n";
+        ++failures;
+      }
+    }
+    for (const auto& [line, rule] : actual) {
+      if (expected.count({line, rule}) == 0) {
+        std::cout << f.display << ":" << line << ": self-test UNEXPECTED ["
+                  << rule << "] violation\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "gfair_lint self-test: " << files.size()
+              << " fixture file(s) matched their EXPECT-LINT annotations\n";
+    return 0;
+  }
+  std::cout << "gfair_lint self-test: " << failures << " mismatch(es)\n";
+  return 1;
+}
+
+int Usage() {
+  std::cout
+      << "usage: gfair_lint [--root <repo-root>] [--explain] [--only <rule>]\n"
+         "       gfair_lint [--explain] [--only <rule>] <file>...\n"
+         "       gfair_lint --expect <fixture>...\n"
+         "       gfair_lint --list-rules\n"
+         "Scans src/, bench/ and tools/ under the root; exits nonzero on\n"
+         "violations. --explain prints call chains (det-taint) and cycle\n"
+         "paths (include-cycle) under each finding. --only keeps findings of\n"
+         "one rule. --expect runs the self-test over fixture files whose\n"
+         "EXPECT-LINT comments state exactly which rules must fire.\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  std::string root = ".";
+  bool expect_mode = false;
+  bool explain = false;
+  std::string only;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--expect") {
+      expect_mode = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--only" && i + 1 < argc) {
+      only = argv[++i];
+      if (FindRule(only) == nullptr) {
+        std::cout << "--only names unknown rule '" << only << "'\n";
+        return 2;
+      }
+    } else if (arg == "--list-rules") {
+      ListRules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cout << "unknown flag: " << arg << "\n";
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  const fs::path root_path(root);
+  std::vector<SourceFile> files;
+  if (expect_mode || !paths.empty()) {
+    for (const std::string& p : paths) {
+      SourceFile f;
+      std::error_code ec;
+      const fs::path rel = fs::relative(p, root_path, ec);
+      const std::string rel_str =
+          ec || rel.empty() ? fs::path(p).filename().generic_string()
+                            : rel.generic_string();
+      if (!LoadFile(p, rel_str, &f)) {
+        std::cout << "gfair_lint: cannot read " << p << "\n";
+        return 2;
+      }
+      files.push_back(std::move(f));
+    }
+  } else {
+    for (const char* dir : {"src", "bench", "tools"}) {
+      const fs::path base = root_path / dir;
+      if (!fs::exists(base)) {
+        continue;
+      }
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && HasLintedExtension(entry.path())) {
+          found.push_back(entry.path());
+        }
+      }
+      // Directory iteration order is filesystem-dependent; report stably.
+      std::sort(found.begin(), found.end());
+      for (const fs::path& p : found) {
+        SourceFile f;
+        std::error_code ec;
+        const std::string rel = fs::relative(p, root_path, ec).generic_string();
+        if (!LoadFile(p, rel, &f)) {
+          std::cout << "gfair_lint: cannot read " << p << "\n";
+          return 2;
+        }
+        files.push_back(std::move(f));
+      }
+    }
+    if (files.empty()) {
+      std::cout << "gfair_lint: nothing to scan under " << root << "\n";
+      return 2;
+    }
+  }
+
+  UnorderedNames names;
+  for (const SourceFile& f : files) {
+    CollectUnorderedNames(f, &names);
+  }
+
+  if (expect_mode) {
+    return RunExpectMode(files, names);
+  }
+
+  std::vector<Violation> violations = RunAllPasses(files, names);
+  if (!only.empty()) {
+    violations.erase(std::remove_if(violations.begin(), violations.end(),
+                                    [&only](const Violation& v) {
+                                      return v.rule != only;
+                                    }),
+                     violations.end());
+  }
+  for (const Violation& v : violations) {
+    PrintViolation(v, explain);
+  }
+  if (violations.empty()) {
+    std::cout << "gfair_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "gfair_lint: " << violations.size() << " violation(s) in "
+            << files.size() << " scanned files\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace gfair_lint
+
+int main(int argc, char** argv) { return gfair_lint::Run(argc, argv); }

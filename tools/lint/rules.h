@@ -1,0 +1,102 @@
+// gfair_lint rule layer: the rule catalog (the contract --list-rules and
+// docs/STATIC_ANALYSIS.md mirror), the violation/emitter plumbing every pass
+// reports through, and the per-line token rules. The whole-tree passes live
+// in callgraph.cc (determinism taint) and include_graph.cc (module DAG);
+// they share this catalog and emitter so suppressions behave identically.
+#ifndef GFAIR_TOOLS_LINT_RULES_H_
+#define GFAIR_TOOLS_LINT_RULES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace gfair_lint {
+
+// ---------------------------------------------------------------------------
+// Rule catalog.
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  std::string name;
+  std::string scope;  // human description of where the rule applies
+  std::string what;   // one-line description of the defect
+  std::string fix;    // the --fix-style explain message
+  std::vector<std::string> suppressed_files;  // repo-relative, rule-wide
+};
+
+const std::vector<Rule>& Rules();
+const Rule* FindRule(const std::string& name);
+void ListRules();
+
+// ---------------------------------------------------------------------------
+// Violations and the suppression-aware emitter.
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string rule;
+  std::string file;  // display path
+  std::string rel;
+  int line = 0;      // 1-based
+  std::string snippet;
+  // Extra context printed only under --explain: the call chain of a
+  // det-taint finding, the cycle path of an include-cycle finding.
+  std::vector<std::string> explain;
+};
+
+// Emits unless the line carries an inline allow or the file is on the rule's
+// suppression list.
+class Emitter {
+ public:
+  explicit Emitter(std::vector<Violation>* out) : out_(out) {}
+
+  void Emit(const Rule& rule, const SourceFile& file, size_t line_index) {
+    Emit(rule, file, line_index, {});
+  }
+  void Emit(const Rule& rule, const SourceFile& file, size_t line_index,
+            std::vector<std::string> explain);
+
+ private:
+  std::vector<Violation>* out_;
+};
+
+void PrintViolation(const Violation& v, bool explain);
+
+// ---------------------------------------------------------------------------
+// Unordered-container name index (shared with the taint pass).
+// ---------------------------------------------------------------------------
+
+// name -> true when the name holds a container OF unordered containers.
+using UnorderedNames = std::map<std::string, bool>;
+
+void CollectUnorderedNames(const SourceFile& f, UnorderedNames* names);
+
+// Does a range-for's range expression iterate an unordered object (bare use
+// of a direct unordered name, or an indexed element name) without routing
+// through common::SortedKeys / SortedItems?
+bool RangeUsesUnordered(const std::string& range, const UnorderedNames& names);
+
+// ---------------------------------------------------------------------------
+// Sink token vocabularies (shared between the wall-clock / raw-rand line
+// rules and the taint pass's sink marking, so the two can never drift).
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& WallClockTypeTokens();
+const std::vector<std::string>& WallClockCallTokens();
+const std::vector<std::string>& RawRandTypeTokens();
+const std::vector<std::string>& RawRandCallTokens();
+
+// Is `rel` on the rule's file-granular suppression list?
+bool FileSuppressed(const Rule& rule, const std::string& rel);
+
+// ---------------------------------------------------------------------------
+// The per-line rules (everything except the whole-tree graph passes).
+// ---------------------------------------------------------------------------
+
+void RunLineRules(const SourceFile& f, const UnorderedNames& names,
+                  Emitter* emit);
+
+}  // namespace gfair_lint
+
+#endif  // GFAIR_TOOLS_LINT_RULES_H_
